@@ -1,0 +1,118 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper.  The raw
+inputs (workload bundles and measured kernel profiles) are expensive to
+build, so they are materialized once per session and cached on disk
+under ``.bench_cache/`` (inputs are deterministic, so the cache is safe;
+delete the directory to force regeneration).  Every bench writes its
+rendered table/figure into ``results/`` alongside asserting the paper's
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.sim.profiler import profile_workload
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+CACHE_VERSION = 1
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CACHE_DIR = os.path.join(REPO_ROOT, ".bench_cache")
+RESULTS_DIR = os.path.join(REPO_ROOT, "results")
+
+#: Read-count scales per input set (full presets are already ~1/1000 of
+#: the paper; benches trim the larger sets further for wall-clock).
+BENCH_SCALES = {"A-human": 1.0, "B-yeast": 0.2, "C-HPRC": 0.4, "D-HPRC": 0.1}
+
+
+def _cached(name, build):
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    path = os.path.join(CACHE_DIR, f"{name}-v{CACHE_VERSION}.pkl")
+    if os.path.exists(path):
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    value = build()
+    with open(path, "wb") as handle:
+        pickle.dump(value, handle)
+    return value
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, filename, text):
+    """Persist one bench's rendered output under results/."""
+    path = os.path.join(results_dir, filename)
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bundles():
+    """All four input sets at bench scales."""
+    return {
+        name: _cached(
+            f"bundle-{name}", lambda name=name: materialize(
+                INPUT_SETS[name], scale=BENCH_SCALES[name]
+            )
+        )
+        for name in sorted(INPUT_SETS)
+    }
+
+
+@pytest.fixture(scope="session")
+def mappers(bundles):
+    """One parent mapper per input set (indices built once)."""
+    out = {}
+    for name, bundle in bundles.items():
+        spec = bundle.spec
+        out[name] = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                threads=2,
+                batch_size=32,
+                minimizer_k=spec.minimizer_k,
+                minimizer_w=spec.minimizer_w,
+            ),
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def profiles(bundles, mappers):
+    """Measured per-read kernel profiles per input set (disk-cached)."""
+    def build(name):
+        bundle = bundles[name]
+        mapper = mappers[name]
+        records = mapper.capture_read_records(bundle.reads)
+        return profile_workload(
+            bundle.pangenome.gbz,
+            records,
+            input_set=name,
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+
+    return {
+        name: _cached(f"profile-{name}", lambda name=name: build(name))
+        for name in sorted(INPUT_SETS)
+    }
+
+
+@pytest.fixture(scope="session")
+def parent_runs(bundles, mappers):
+    """Instrumented parent runs per input set (not disk-cached: the
+    region timer holds thread-local state)."""
+    return {
+        name: mappers[name].map_all(bundles[name].reads)
+        for name in sorted(INPUT_SETS)
+    }

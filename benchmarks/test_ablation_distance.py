@@ -1,0 +1,76 @@
+"""Ablation: distance computation (chain-offset rejection vs exact BFS).
+
+The distance index first rejects far-apart seed pairs with an O(1)
+coordinate comparison and only runs the exact bounded search on
+candidates.  This ablation disables the approximation (slack so large
+nothing is rejected) and measures how many exact searches it saves —
+while asserting the clustering output is *identical*, i.e. the
+approximation is a pure optimization on these graphs.
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core.cluster import cluster_seeds
+from repro.index.distance import DistanceIndex
+
+from benchmarks.conftest import write_result
+
+
+def _cluster_all(index, bundle, records):
+    out = []
+    for record in records:
+        out.append(
+            cluster_seeds(
+                index, record.seeds, len(record.sequence),
+                bundle.spec.minimizer_k,
+            )
+        )
+    return out
+
+
+def _compare(bundles, mappers):
+    bundle = bundles["A-human"]
+    records = mappers["A-human"].capture_read_records(bundle.reads)
+    graph = bundle.pangenome.graph
+
+    approx_index = DistanceIndex(graph, slack=256)
+    start = time.perf_counter()
+    approx_clusters = _cluster_all(approx_index, bundle, records)
+    approx_time = time.perf_counter() - start
+
+    exact_index = DistanceIndex(graph, slack=1 << 40)  # rejects nothing
+    start = time.perf_counter()
+    exact_clusters = _cluster_all(exact_index, bundle, records)
+    exact_time = time.perf_counter() - start
+    return (
+        approx_index, approx_clusters, approx_time,
+        exact_index, exact_clusters, exact_time,
+    )
+
+
+def test_ablation_distance(benchmark, bundles, mappers, results_dir):
+    (approx_index, approx_clusters, approx_time,
+     exact_index, exact_clusters, exact_time) = benchmark.pedantic(
+        lambda: _compare(bundles, mappers), rounds=1, iterations=1
+    )
+    table = format_table(
+        "Ablation: distance strategy while clustering A-human seeds",
+        ["strategy", "exact searches", "O(1) rejections", "time (s)"],
+        [
+            ["chain-offset + exact", approx_index.exact_queries,
+             approx_index.approx_rejections, round(approx_time, 3)],
+            ["exact only", exact_index.exact_queries,
+             exact_index.approx_rejections, round(exact_time, 3)],
+        ],
+    )
+    write_result(results_dir, "ablation_distance.txt", table)
+    print("\n" + table)
+
+    # Identical clustering decisions.
+    assert approx_clusters == exact_clusters
+    # The approximation actually rejects pairs and saves exact searches.
+    assert approx_index.approx_rejections > 0
+    assert approx_index.exact_queries < exact_index.exact_queries
+    # And it is not slower.
+    assert approx_time <= exact_time * 1.2

@@ -1,0 +1,49 @@
+"""Section VII-B's closing ANOVA: per-parameter impact on the makespan.
+
+The paper analyses the D-HPRC @ chi-intel grid and finds the initial
+CachedGBWT capacity significant (p = 0.047) while batch size (p = 0.878)
+and scheduler (p = 0.859) are not.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.exec_model import ExecutionModel
+from repro.sim.platform import PLATFORMS
+from repro.tuning import GridSearch
+from repro.tuning.anova import anova_by_factor
+
+from benchmarks.conftest import write_result
+
+PAPER_P_VALUES = {"cache_capacity": 0.047, "batch_size": 0.878, "scheduler": 0.859}
+
+
+def _analyze(profiles):
+    model = ExecutionModel(profiles["D-HPRC"], PLATFORMS["chi-intel"])
+    results = GridSearch(model).run()
+    return anova_by_factor(results)
+
+
+def test_anova_params(benchmark, profiles, results_dir):
+    report = benchmark.pedantic(lambda: _analyze(profiles), rounds=1, iterations=1)
+    rows = [
+        [
+            factor,
+            round(result.f_statistic, 2),
+            round(result.p_value, 4),
+            "yes" if result.significant else "no",
+            PAPER_P_VALUES[factor],
+        ]
+        for factor, result in sorted(report.factors.items())
+    ]
+    table = format_table(
+        "ANOVA of tuning parameters, D-HPRC @ chi-intel",
+        ["factor", "F", "p", "significant", "paper p"],
+        rows,
+    )
+    write_result(results_dir, "anova_params.txt", table)
+    print("\n" + table)
+
+    # The paper's conclusion: capacity is the impactful parameter.
+    assert report.most_impactful().factor == "cache_capacity"
+    assert report.factors["cache_capacity"].significant
+    assert not report.factors["batch_size"].significant
+    assert not report.factors["scheduler"].significant

@@ -1,0 +1,51 @@
+"""Figure 3: percentage of runtime per instrumented region, per input.
+
+The paper's Figure 3 aggregates region time per input set and finds
+process_until_threshold_c the most time-consuming region everywhere
+(7-52% of total), with cluster_seeds second among the core regions.
+"""
+
+from repro.analysis.figures import ascii_bar_chart, series_to_csv
+from repro.giraffe.instrument import REGION_CLUSTER, REGION_EXTEND
+
+from benchmarks.conftest import write_result
+
+
+def _percentages(parent_runs):
+    return {
+        name: run.timer.percentages() for name, run in parent_runs.items()
+    }
+
+
+def test_fig3_regions(benchmark, parent_runs, results_dir):
+    per_input = benchmark.pedantic(
+        lambda: _percentages(parent_runs), rounds=1, iterations=1
+    )
+    blocks = []
+    rows = []
+    for name, percentages in sorted(per_input.items()):
+        ordered = sorted(percentages.items(), key=lambda kv: -kv[1])
+        blocks.append(
+            ascii_bar_chart(
+                f"Figure 3 [{name}]: % of instrumented runtime per region",
+                [region for region, _ in ordered],
+                [share for _, share in ordered],
+                unit="%",
+            )
+        )
+        for region, share in ordered:
+            rows.append([name, region, round(share, 2)])
+    write_result(results_dir, "fig3_regions.txt", "\n\n".join(blocks))
+    write_result(
+        results_dir,
+        "fig3_regions.csv",
+        series_to_csv(["input_set", "region", "percent"], rows),
+    )
+    print("\n" + "\n\n".join(blocks))
+
+    for name, percentages in per_input.items():
+        # The paper's headline: the extension region dominates...
+        assert percentages[REGION_EXTEND] == max(percentages.values()), name
+        assert percentages[REGION_EXTEND] > 30.0, name
+        # ...and clustering is a significant secondary region.
+        assert percentages[REGION_CLUSTER] > 1.0, name

@@ -1,0 +1,86 @@
+"""Figure 5: miniGiraffe's parallel scalability on all four systems.
+
+Paper shapes to reproduce: both Intel machines go sublinear past their
+socket/SMT boundaries; local-amd stays near-linear through its 64 cores
+and still gains with SMT; chi-arm is near-linear except the small
+A-human input; the 256 GB machines cannot run D-HPRC at all.
+"""
+
+from repro.analysis.figures import series_to_csv
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError, TuningConfig
+from repro.sim.platform import PLATFORMS
+
+from benchmarks.conftest import write_result
+
+
+def _sweep(profiles):
+    curves = {}
+    for name, profile in profiles.items():
+        for platform_name, platform in PLATFORMS.items():
+            model = ExecutionModel(profile, platform)
+            try:
+                curves[(name, platform_name)] = [
+                    (t, model.makespan(TuningConfig(threads=t)))
+                    for t in platform.thread_sweep()
+                ]
+            except OutOfMemoryError:
+                curves[(name, platform_name)] = None
+    return curves
+
+
+def test_fig5_proxy_scaling(benchmark, profiles, results_dir):
+    curves = benchmark.pedantic(lambda: _sweep(profiles), rounds=1, iterations=1)
+    rows = []
+    lines = ["Figure 5: proxy speedup curves per (input set, system)"]
+    for (name, platform_name), curve in sorted(curves.items()):
+        if curve is None:
+            lines.append(f"  {name} @ {platform_name}: OUT OF MEMORY")
+            rows.append([name, platform_name, "-", "-", "oom"])
+            continue
+        baseline = curve[0][1]
+        speedups = [(t, baseline / m) for t, m in curve]
+        lines.append(
+            f"  {name} @ {platform_name}: "
+            + " ".join(f"{t}:{s:.1f}" for t, s in speedups)
+        )
+        for (t, m), (_, s) in zip(curve, speedups):
+            rows.append([name, platform_name, t, round(m, 3), round(s, 2)])
+    text = "\n".join(lines)
+    write_result(results_dir, "fig5_proxy_scaling.txt", text)
+    write_result(
+        results_dir,
+        "fig5_proxy_scaling.csv",
+        series_to_csv(
+            ["input_set", "platform", "threads", "makespan_s", "speedup"], rows
+        ),
+    )
+    print("\n" + text)
+
+    def final_speedup(name, platform_name):
+        curve = curves[(name, platform_name)]
+        return curve[0][1] / curve[-1][1]
+
+    # OOM pattern (paper: chi machines cannot run D).
+    assert curves[("D-HPRC", "chi-arm")] is None
+    assert curves[("D-HPRC", "chi-intel")] is None
+    assert curves[("D-HPRC", "local-amd")] is not None
+
+    # local-amd shows the strongest scaling on B (paper: 78x at 128).
+    assert final_speedup("B-yeast", "local-amd") > 60
+
+    # Intel machines plateau: speedup at max threads is well below the
+    # thread count (paper: sublinear from sockets + hyperthreads).
+    for platform_name in ("local-intel", "chi-intel"):
+        spec = PLATFORMS[platform_name]
+        assert final_speedup("B-yeast", platform_name) < 0.7 * spec.max_threads
+
+    # SMT adds little on local-intel: 96 threads barely beat 48.
+    b_intel = dict(curves[("B-yeast", "local-intel")])
+    assert b_intel[48] / b_intel[96] < 1.3
+
+    # chi-arm: B near-linear; A visibly worse (the paper's small-input
+    # plateau).
+    arm_b = final_speedup("B-yeast", "chi-arm")
+    arm_a = final_speedup("A-human", "chi-arm")
+    assert arm_b > 55
+    assert arm_a < 0.85 * arm_b

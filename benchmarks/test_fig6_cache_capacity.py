@@ -1,0 +1,78 @@
+"""Figure 6: speedup vs initial CachedGBWT capacity.
+
+The paper sweeps the initial capacity on C-HPRC at local-intel, for
+both schedulers, against a no-cache baseline: maximum speedups occur at
+capacity 4096 or less, and larger initial capacities degrade
+performance (which is why the tuning grid stops at 4096).
+"""
+
+from repro.analysis.figures import ascii_bar_chart, series_to_csv
+from repro.sim.exec_model import ExecutionModel, TuningConfig
+from repro.sim.platform import PLATFORMS
+
+from benchmarks.conftest import write_result
+
+CAPACITIES = (256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1048576)
+SCHEDULERS = ("dynamic", "work_stealing")
+
+
+def _sweep(profiles):
+    model = ExecutionModel(profiles["C-HPRC"], PLATFORMS["local-intel"])
+    threads = PLATFORMS["local-intel"].max_threads
+    baseline = model.makespan(TuningConfig(threads=threads, cache_capacity=0))
+    curves = {}
+    for scheduler in SCHEDULERS:
+        curves[scheduler] = [
+            (
+                capacity,
+                baseline
+                / model.makespan(
+                    TuningConfig(
+                        threads=threads,
+                        cache_capacity=capacity,
+                        scheduler=scheduler,
+                    )
+                ),
+            )
+            for capacity in CAPACITIES
+        ]
+    return baseline, curves
+
+
+def test_fig6_cache_capacity(benchmark, profiles, results_dir):
+    baseline, curves = benchmark.pedantic(
+        lambda: _sweep(profiles), rounds=1, iterations=1
+    )
+    rows = []
+    blocks = []
+    for scheduler, curve in curves.items():
+        blocks.append(
+            ascii_bar_chart(
+                f"Figure 6 [{scheduler}]: speedup over no-cache vs initial capacity",
+                [str(c) for c, _ in curve],
+                [s for _, s in curve],
+                unit="x",
+            )
+        )
+        for capacity, speedup in curve:
+            rows.append([scheduler, capacity, round(speedup, 3)])
+    text = "\n\n".join(blocks) + f"\n(no-cache baseline: {baseline:.2f}s)"
+    write_result(results_dir, "fig6_cache_capacity.txt", text)
+    write_result(
+        results_dir,
+        "fig6_cache_capacity.csv",
+        series_to_csv(["scheduler", "capacity", "speedup"], rows),
+    )
+    print("\n" + text)
+
+    for scheduler, curve in curves.items():
+        speedups = dict(curve)
+        # Caching always beats decoding every record.
+        assert all(s > 1.0 for s in speedups.values()), scheduler
+        # Paper: the maximum sits at 4096 or below...
+        best_capacity = max(speedups, key=speedups.get)
+        assert best_capacity <= 4096, scheduler
+        # ...and oversizing monotonically degrades from there.
+        tail = [speedups[c] for c in (4096, 16384, 65536, 262144, 1048576)]
+        assert tail == sorted(tail, reverse=True), scheduler
+        assert speedups[1048576] < 0.9 * speedups[best_capacity]

@@ -1,0 +1,70 @@
+"""Figure 8: makespan heatmap across all parameter combinations,
+D-HPRC on chi-intel.
+
+The paper plots every (scheduler, batch size, capacity) combination and
+finds a 1.76x spread between the best and worst performers, with the
+default parameters among the slowest.  We regenerate the full grid and
+render the (batch size x capacity) heatmap per scheduler.
+"""
+
+from repro.analysis.figures import ascii_heatmap, series_to_csv
+from repro.sim.exec_model import DEFAULT_CONFIG, ExecutionModel
+from repro.sim.platform import PLATFORMS
+from repro.tuning import GridSearch
+from repro.tuning.search import DEFAULT_BATCH_SIZES, DEFAULT_CAPACITIES
+
+from benchmarks.conftest import write_result
+
+
+def _grid(profiles):
+    model = ExecutionModel(profiles["D-HPRC"], PLATFORMS["chi-intel"])
+    search = GridSearch(model)
+    return search.run(), search.default_result()
+
+
+def test_fig8_heatmap(benchmark, profiles, results_dir):
+    results, default = benchmark.pedantic(
+        lambda: _grid(profiles), rounds=1, iterations=1
+    )
+    lookup = {
+        (r.config.scheduler, r.config.batch_size, r.config.cache_capacity): r.makespan
+        for r in results
+    }
+    blocks = []
+    rows = []
+    for scheduler in ("dynamic", "work_stealing"):
+        values = [
+            [lookup[(scheduler, bs, cc)] for cc in DEFAULT_CAPACITIES]
+            for bs in DEFAULT_BATCH_SIZES
+        ]
+        blocks.append(
+            ascii_heatmap(
+                f"Figure 8 [{scheduler}]: makespan (s), D-HPRC @ chi-intel "
+                "(rows: batch size, cols: capacity)",
+                [str(bs) for bs in DEFAULT_BATCH_SIZES],
+                [str(cc) for cc in DEFAULT_CAPACITIES],
+                values,
+            )
+        )
+        for bs, row in zip(DEFAULT_BATCH_SIZES, values):
+            for cc, makespan in zip(DEFAULT_CAPACITIES, row):
+                rows.append([scheduler, bs, cc, round(makespan, 3)])
+    text = "\n\n".join(blocks)
+    write_result(results_dir, "fig8_heatmap.txt", text)
+    write_result(
+        results_dir,
+        "fig8_heatmap.csv",
+        series_to_csv(["scheduler", "batch_size", "capacity", "makespan_s"], rows),
+    )
+    print("\n" + text)
+
+    makespans = sorted(lookup.values())
+    spread = makespans[-1] / makespans[0]
+    print(f"best-to-worst spread: {spread:.2f}x (paper: up to 1.76x slowdown)")
+    # A significant spread exists between the best and worst combos.
+    assert spread > 1.05
+    # The default parameters are in the slower half of the grid (the
+    # paper: "the default parameters produce one of the slowest
+    # executions").
+    slower_than_default = sum(1 for m in makespans if m > default.makespan)
+    assert slower_than_default < len(makespans) / 2

@@ -1,0 +1,52 @@
+"""Table I: Giraffe vs miniGiraffe code size.
+
+The paper contrasts ~50k LoC / ~350 files / ~50 dependencies (Giraffe)
+with ~1k LoC / 2 files / 3 dependencies (miniGiraffe).  This bench
+counts the same split inside this repository: the parent application
+plus every substrate it needs, against the proxy's kernel surface.
+"""
+
+import os
+
+import repro
+from repro.analysis.tables import format_table
+from repro.util.loc import loc_report
+
+from benchmarks.conftest import write_result
+
+PACKAGE_ROOT = os.path.dirname(repro.__file__)
+
+#: The proxy surface: the critical kernels plus the thin driver/I-O.
+PROXY_FILES = [
+    os.path.join(PACKAGE_ROOT, "core", name)
+    for name in ("extend.py", "cluster.py", "process.py", "proxy.py",
+                 "io.py", "options.py", "scoring.py")
+]
+#: The parent application and the substrates it cannot run without.
+PARENT_TREES = [
+    os.path.join(PACKAGE_ROOT, sub)
+    for sub in ("giraffe", "graph", "gbwt", "index", "sched", "workloads", "util")
+] + PROXY_FILES  # the parent contains the kernels the proxy extracted
+
+
+def _measure():
+    proxy = loc_report(PROXY_FILES)
+    parent = loc_report(PARENT_TREES)
+    return parent, proxy
+
+
+def test_table1_codesize(benchmark, results_dir):
+    parent, proxy = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = format_table(
+        "Table I: parent vs proxy code size (this reproduction)",
+        ["", "Giraffe (parent)", "miniGiraffe (proxy)"],
+        [
+            ["lines of code", parent.lines, proxy.lines],
+            ["source files", parent.files, proxy.files],
+        ],
+    )
+    write_result(results_dir, "table1_codesize.txt", table)
+    print("\n" + table)
+    # Shape: the proxy is a small fraction of the parent (paper: 2%).
+    assert proxy.lines < 0.35 * parent.lines
+    assert proxy.files < 0.2 * parent.files

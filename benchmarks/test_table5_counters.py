@@ -1,0 +1,62 @@
+"""Table V: hardware counters, parent vs proxy, on A-human.
+
+The paper validates miniGiraffe by comparing six counters between the
+two applications on input A (single-threaded) and reports near-identical
+vectors: similar instructions, proxy IPC slightly higher, proxy fewer
+L1D misses (rate 0.004 vs 0.011), similar LLC misses, and a cosine
+similarity of 0.9996.  We regenerate both counter vectors via the cache
+simulator over the measured A-human profile and check each relation.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.validation import cosine_similarity
+from repro.sim.counters import measure_counters
+from repro.sim.platform import PLATFORMS
+
+from benchmarks.conftest import write_result
+
+
+def _run(profiles):
+    profile = profiles["A-human"]
+    platform = PLATFORMS["local-intel"]
+    proxy = measure_counters(profile, platform, mode="proxy", max_reads=150)
+    parent = measure_counters(profile, platform, mode="parent", max_reads=150)
+    return proxy, parent
+
+
+def test_table5_counters(benchmark, profiles, results_dir):
+    proxy, parent = benchmark.pedantic(
+        lambda: _run(profiles), rounds=1, iterations=1
+    )
+    similarity = cosine_similarity(proxy.as_vector(), parent.as_vector())
+    rows = []
+    for label, counters in (("miniGiraffe", proxy), ("Giraffe", parent)):
+        rows.append(
+            [
+                label,
+                f"{counters.instructions:.2e}",
+                f"{counters.ipc:.2f}",
+                f"{counters.l1d_accesses:.2e}",
+                f"{counters.l1d_misses:.2e}",
+                f"{counters.llc_accesses:.2e}",
+                f"{counters.llc_misses:.2e}",
+            ]
+        )
+    table = format_table(
+        f"Table V: hardware counters, A-human (cosine similarity {similarity:.4f})",
+        ["Application", "Inst.", "IPC", "L1DA", "L1DM", "LLDA", "LLDM"],
+        rows,
+    )
+    write_result(results_dir, "table5_counters.txt", table)
+    print("\n" + table)
+    print(f"L1D miss rates: proxy={proxy.l1d_miss_rate:.4f} "
+          f"parent={parent.l1d_miss_rate:.4f} (paper: 0.004 vs 0.011)")
+
+    # Paper relations.
+    assert similarity > 0.99  # paper: 0.9996
+    ratio = parent.instructions / proxy.instructions
+    assert 0.8 < ratio < 1.3  # similar instruction counts
+    assert proxy.ipc >= parent.ipc  # proxy IPC slightly higher
+    assert proxy.l1d_miss_rate < parent.l1d_miss_rate  # proxy misses less in L1
+    llc_ratio = parent.llc_misses / max(1.0, proxy.llc_misses)
+    assert 0.5 < llc_ratio < 2.0  # "tight congruence of LLC misses"

@@ -1,0 +1,80 @@
+"""Table VI: execution time, parent critical region vs proxy, 4 inputs.
+
+The paper measures Giraffe's instrumented critical regions against
+miniGiraffe's end-to-end time on each input set and finds the proxy
+within 8.77% (max) of the parent.  Here both sides are *actual
+wall-clock measurements* of this repository's code: the parent's
+cluster+extend region time against the proxy's makespan over the same
+captured seeds.
+"""
+
+import pytest
+
+from repro.analysis.report import percent_diff
+from repro.analysis.tables import format_table
+from repro.core import MiniGiraffe, ProxyOptions
+from repro.workloads.input_sets import INPUT_SETS
+
+from benchmarks.conftest import write_result
+
+
+def _measure(bundles, mappers):
+    from repro.giraffe import GiraffeMapper, GiraffeOptions
+
+    rows = {}
+    for name in sorted(INPUT_SETS):
+        bundle = bundles[name]
+        mapper = mappers[name]
+        records = mapper.capture_read_records(bundle.reads)
+        # Both sides single-threaded: the GIL serializes Python threads,
+        # so multi-threaded region times would double-count busy waits.
+        serial_parent = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                threads=1, batch_size=64,
+                minimizer_k=bundle.spec.minimizer_k,
+                minimizer_w=bundle.spec.minimizer_w,
+            ),
+        )
+        serial_parent.seed_finder = mapper.seed_finder
+        serial_parent.distance_index = mapper.distance_index
+        parent_time = min(
+            serial_parent.map_all(bundle.reads).critical_time for _ in range(3)
+        )
+        proxy = MiniGiraffe(
+            bundle.pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=64),
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+        proxy_time = min(proxy.map_reads(records).makespan for _ in range(3))
+        rows[name] = (proxy_time, parent_time)
+    return rows
+
+
+def test_table6_exec_time(benchmark, bundles, mappers, results_dir):
+    rows = benchmark.pedantic(
+        lambda: _measure(bundles, mappers), rounds=1, iterations=1
+    )
+    names = sorted(rows)
+    table = format_table(
+        "Table VI: execution time (s), proxy vs parent critical region",
+        [""] + names,
+        [
+            ["miniGiraffe"] + [round(rows[n][0], 3) for n in names],
+            ["Giraffe (critical)"] + [round(rows[n][1], 3) for n in names],
+            ["% diff"] + [
+                round(percent_diff(rows[n][0], rows[n][1]), 2) for n in names
+            ],
+        ],
+    )
+    write_result(results_dir, "table6_exec_time.txt", table)
+    print("\n" + table)
+    print("paper: diffs of 8.77 / 5.75 / 7.02 / 8.22 % over Giraffe")
+    # Shape: the proxy tracks the parent's critical-region time closely.
+    # (The paper sees <9%; we allow a wider band for Python timer noise
+    # and the parent's instrumentation overhead.)
+    for name in names:
+        proxy_time, parent_time = rows[name]
+        assert proxy_time > 0 and parent_time > 0
+        assert abs(percent_diff(proxy_time, parent_time)) < 35.0, name

@@ -1,0 +1,81 @@
+"""Table VII: fastest execution times per input set x system.
+
+The paper reports the fastest miniGiraffe execution (over the thread
+sweep) for each input on each machine, with local-amd fastest and
+chi-arm slowest everywhere, and D-HPRC missing on the 256 GB machines.
+We regenerate the table from the execution model at paper scale.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError, TuningConfig
+from repro.sim.platform import PLATFORMS
+
+from benchmarks.conftest import write_result
+
+PAPER_TABLE7 = {
+    "A-human": {"local-intel": 9.06, "local-amd": 1.60, "chi-arm": 13.42, "chi-intel": 3.44},
+    "B-yeast": {"local-intel": 113.75, "local-amd": 42.09, "chi-arm": 137.86, "chi-intel": 73.44},
+    "C-HPRC": {"local-intel": 74.44, "local-amd": 23.25, "chi-arm": 97.95, "chi-intel": 59.36},
+    "D-HPRC": {"local-intel": 681.82, "local-amd": 229.42, "chi-arm": None, "chi-intel": None},
+}
+
+
+def _fastest(profiles):
+    table = {}
+    for name, profile in profiles.items():
+        row = {}
+        for platform_name, platform in PLATFORMS.items():
+            model = ExecutionModel(profile, platform)
+            try:
+                row[platform_name] = min(
+                    model.makespan(TuningConfig(threads=t))
+                    for t in platform.thread_sweep()
+                )
+            except OutOfMemoryError:
+                row[platform_name] = None
+        table[name] = row
+    return table
+
+
+def test_table7_fastest(benchmark, profiles, results_dir):
+    table = benchmark.pedantic(lambda: _fastest(profiles), rounds=1, iterations=1)
+    platform_names = list(PLATFORMS)
+    rows = []
+    for input_set in sorted(table):
+        rows.append(
+            [input_set]
+            + [
+                "-" if table[input_set][p] is None else round(table[input_set][p], 2)
+                for p in platform_names
+            ]
+        )
+        rows.append(
+            [f"  (paper)"]
+            + [
+                "-" if PAPER_TABLE7[input_set][p] is None
+                else PAPER_TABLE7[input_set][p]
+                for p in platform_names
+            ]
+        )
+    rendered = format_table(
+        "Table VII: fastest execution times (s) per input set and system",
+        ["Input Set"] + platform_names,
+        rows,
+    )
+    write_result(results_dir, "table7_fastest.txt", rendered)
+    print("\n" + rendered)
+
+    for input_set, row in table.items():
+        finite = {p: v for p, v in row.items() if v is not None}
+        # Who wins: local-amd fastest on every input (paper Table VII).
+        assert min(finite, key=finite.get) == "local-amd", input_set
+        # Who loses: chi-arm slowest wherever it can run.
+        if "chi-arm" in finite:
+            assert max(finite, key=finite.get) == "chi-arm", input_set
+    # OOM pattern: D-HPRC missing exactly on the 256 GB machines.
+    assert table["D-HPRC"]["chi-arm"] is None
+    assert table["D-HPRC"]["chi-intel"] is None
+    assert table["D-HPRC"]["local-intel"] is not None
+    # Rough factor: amd beats intel by 2-8x on A (paper: 5.7x).
+    ratio = table["A-human"]["local-intel"] / table["A-human"]["local-amd"]
+    assert 2.0 < ratio < 9.0

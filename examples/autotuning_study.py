@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Autotuning case study (paper Section VII-B, Figure 7 / Table VIII).
+
+Exhaustively sweeps the three exposed parameters — scheduler, batch
+size, initial CachedGBWT capacity — for one input set across all four
+machine models, reports the best configuration and its speedup over the
+defaults, and closes with the per-parameter ANOVA.
+
+Run:  python examples/autotuning_study.py [input-set]
+"""
+
+import sys
+
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import profile_workload
+from repro.tuning import GridSearch, ResultStore
+from repro.tuning.anova import anova_by_factor
+from repro.workloads.input_sets import materialize_by_name
+
+PROFILE_SCALES = {"A-human": 0.3, "B-yeast": 0.08, "C-HPRC": 0.2, "D-HPRC": 0.05}
+
+
+def main(input_set: str = "C-HPRC"):
+    print(f"== Profiling {input_set} ==")
+    bundle = materialize_by_name(input_set, scale=PROFILE_SCALES[input_set])
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            minimizer_k=bundle.spec.minimizer_k,
+            minimizer_w=bundle.spec.minimizer_w,
+        ),
+    )
+    records = mapper.capture_read_records(bundle.reads)
+    profile = profile_workload(
+        bundle.pangenome.gbz, records, input_set=input_set,
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+
+    print("\n== Exhaustive grid per machine (10% subsample, all threads) ==")
+    store = ResultStore()
+    last_results = None
+    for name, platform in PLATFORMS.items():
+        search = GridSearch(ExecutionModel(profile, platform))
+        try:
+            results = search.run()
+            default = search.default_result()
+        except OutOfMemoryError as error:
+            print(f"   {name:12s} OUT OF MEMORY ({error})")
+            continue
+        store.add_results(results)
+        store.add_default(default)
+        best = search.best(results)
+        print(
+            f"   {name:12s} best {best.makespan:8.3f}s ({best.config.label()})"
+            f"  default {default.makespan:8.3f}s"
+            f"  speedup {default.makespan / best.makespan:.2f}x"
+        )
+        last_results = results
+
+    geomeans = store.geomean_speedup_by_input()
+    print(f"\n   geometric-mean tuned speedup: {geomeans[input_set]:.3f}x "
+          "(paper overall: 1.15x)")
+
+    if last_results is not None:
+        print("\n== ANOVA: which parameter matters? ==")
+        report = anova_by_factor(last_results)
+        for factor, result in sorted(report.factors.items()):
+            flag = "SIGNIFICANT" if result.significant else "not significant"
+            print(f"   {factor:16s} F={result.f_statistic:8.2f} "
+                  f"p={result.p_value:.4f}  ({flag})")
+        print("   (the paper's ANOVA — on D-HPRC @ chi-intel — found "
+              "capacity significant at p=0.047,")
+        print("    batch size and scheduler not; run "
+              "`python examples/autotuning_study.py D-HPRC` to compare)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "C-HPRC")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Build a custom pangenome by hand and map reads against it.
+
+Unlike the other examples, which use the paper's input-set presets,
+this one drives the substrate APIs directly — the workflow a downstream
+user follows to index their own reference + variants:
+
+1. define a reference and an explicit variant list (SNPs, an indel, a
+   structural insertion);
+2. thread named haplotypes through the bubbles;
+3. build the GBWT, write a .gbz file, and reload it;
+4. query haplotype counts through graph walks;
+5. map hand-made reads (one per haplotype, plus a reverse-strand and a
+   mutated one) and inspect the alignments.
+
+Run:  python examples/custom_pangenome.py
+"""
+
+import os
+import tempfile
+
+from repro import GiraffeMapper, GiraffeOptions, GraphBuilder, Variant
+from repro.gbwt import build_gbwt
+from repro.gbwt.gbz import GBZ, load_gbz_file, save_gbz_file
+from repro.graph.handle import reverse_complement
+from repro.workloads.reads import Read
+
+
+def main():
+    # 1. Reference and variants (positions are 0-based).
+    reference = (
+        "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGAT"
+        "TTGACCAGTAGGCATCAGGCTTAACCGGATATCGGCATTACGGA"
+        "CCATTGGACCAGTTGGACTAGCATGCATGCAAGGTCAGGTTACA"
+    )
+    variants = [
+        Variant(10, reference[10], "T" if reference[10] != "T" else "A"),  # SNP
+        Variant(40, reference[40:44], ""),                                 # deletion
+        Variant(70, "", "GGTTGGAA"),                                       # insertion
+        Variant(100, reference[100], "C" if reference[100] != "C" else "G"),
+    ]
+    builder = GraphBuilder(reference, variants, max_node_length=16)
+    print(f"graph: {builder.graph.describe()}")
+
+    # 2. Haplotypes: each picks a subset of the variants.
+    selections = {
+        "reference": [],
+        "sample-1": [0, 2],
+        "sample-2": [1, 3],
+        "sample-3": [0, 1, 2, 3],
+    }
+    builder.embed_haplotypes(selections)
+
+    # 3. Index and persist.
+    gbwt, _ = build_gbwt(builder.graph)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "custom.gbz")
+        save_gbz_file(GBZ(graph=builder.graph, gbwt=gbwt), path)
+        size = os.path.getsize(path)
+        gbz = load_gbz_file(path)
+        print(f"gbz round-trip: {size} bytes on disk; {gbz.summary()}")
+
+    # 4. Haplotype queries through the insertion bubble.
+    walk = builder.graph.paths["sample-1"].handles[:6]
+    print(f"haplotypes through sample-1's first 6 nodes: "
+          f"{gbz.gbwt.count_haplotypes(walk)}")
+
+    # 5. Map reads: one clean read per haplotype, one reverse-strand,
+    #    one with a sequencing error.
+    reads = []
+    for name in selections:
+        haplotype = gbz.graph.path_sequence(name)
+        reads.append(Read(f"{name}-fwd", haplotype[20:80]))
+    sample1 = gbz.graph.path_sequence("sample-1")
+    reads.append(Read("sample-1-rev", reverse_complement(sample1[30:90])))
+    erroneous = list(sample1[20:80])
+    erroneous[30] = "A" if erroneous[30] != "A" else "C"
+    reads.append(Read("sample-1-err", "".join(erroneous)))
+
+    mapper = GiraffeMapper(
+        gbz, GiraffeOptions(minimizer_k=11, minimizer_w=5)
+    )
+    run = mapper.map_all(reads)
+    print("\nalignments:")
+    for read in reads:
+        alignment = run.alignments[read.name]
+        if alignment.is_mapped:
+            print(f"  {read.name:14s} score={alignment.score:3d} "
+                  f"mapq={alignment.mapq:2d} cigar={alignment.cigar}")
+        else:
+            print(f"  {read.name:14s} unmapped")
+    assert all(a.is_mapped for a in run.alignments.values())
+    err = run.alignments["sample-1-err"]
+    assert "X" in err.cigar, "the injected error should appear as a mismatch"
+    print("\nall reads mapped; the injected error shows as a 1X in the CIGAR.")
+
+
+if __name__ == "__main__":
+    main()

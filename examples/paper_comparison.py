@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Paper-vs-measured fidelity report (the EXPERIMENTS.md ledger, live).
+
+Profiles all four input sets, regenerates the headline numbers of
+Tables VI/VII and Figure 7, and prints a fidelity table comparing each
+against the paper's published value — the programmatic version of
+EXPERIMENTS.md.
+
+Run:  python examples/paper_comparison.py   (takes a few minutes)
+"""
+
+from repro.analysis.fidelity import FidelityReport
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError, TuningConfig
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import profile_workload
+from repro.tuning import GridSearch, ResultStore
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+PROFILE_SCALES = {"A-human": 0.3, "B-yeast": 0.08, "C-HPRC": 0.2, "D-HPRC": 0.05}
+
+PAPER_TABLE7 = {
+    ("A-human", "local-intel"): 9.06, ("A-human", "local-amd"): 1.60,
+    ("A-human", "chi-arm"): 13.42, ("A-human", "chi-intel"): 3.44,
+    ("B-yeast", "local-intel"): 113.75, ("B-yeast", "local-amd"): 42.09,
+    ("B-yeast", "chi-arm"): 137.86, ("B-yeast", "chi-intel"): 73.44,
+    ("C-HPRC", "local-intel"): 74.44, ("C-HPRC", "local-amd"): 23.25,
+    ("C-HPRC", "chi-arm"): 97.95, ("C-HPRC", "chi-intel"): 59.36,
+    ("D-HPRC", "local-intel"): 681.82, ("D-HPRC", "local-amd"): 229.42,
+}
+PAPER_GEOMEANS = {"A-human": 1.36, "B-yeast": 1.07, "C-HPRC": 1.10, "D-HPRC": 1.11}
+
+
+def build_profiles():
+    profiles = {}
+    for name, scale in PROFILE_SCALES.items():
+        bundle = materialize(INPUT_SETS[name], scale=scale)
+        mapper = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                minimizer_k=bundle.spec.minimizer_k,
+                minimizer_w=bundle.spec.minimizer_w,
+            ),
+        )
+        records = mapper.capture_read_records(bundle.reads)
+        profiles[name] = profile_workload(
+            bundle.pangenome.gbz, records, input_set=name,
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+        print(f"profiled {name}: {profiles[name].read_count} reads")
+    return profiles
+
+
+def main():
+    profiles = build_profiles()
+
+    print("\n== Table VII fidelity (fastest time per input x system) ==")
+    table7 = FidelityReport("Table VII: fastest execution times (s)")
+    for (input_set, platform_name), paper_value in PAPER_TABLE7.items():
+        platform = PLATFORMS[platform_name]
+        model = ExecutionModel(profiles[input_set], platform)
+        try:
+            measured = min(
+                model.makespan(TuningConfig(threads=t))
+                for t in platform.thread_sweep()
+            )
+        except OutOfMemoryError:
+            continue
+        table7.add(f"{input_set}@{platform_name}", paper_value, measured)
+    print(table7.render())
+    print(f"geometric-mean ratio: {table7.geometric_mean_ratio():.2f} "
+          f"(1.0 = exact); {table7.fraction_within(4.0):.0%} within 4x")
+
+    print("\n== Figure 7 fidelity (tuned geomean speedup per input) ==")
+    store = ResultStore()
+    for name, profile in profiles.items():
+        for platform in PLATFORMS.values():
+            search = GridSearch(ExecutionModel(profile, platform))
+            try:
+                store.add_results(search.run())
+                store.add_default(search.default_result())
+            except OutOfMemoryError:
+                continue
+    fig7 = FidelityReport("Figure 7: geometric-mean tuned speedup")
+    for name, measured in store.geomean_speedup_by_input().items():
+        fig7.add(name, PAPER_GEOMEANS[name], measured)
+    fig7.add("overall", 1.15, store.overall_geomean_speedup())
+    print(fig7.render())
+    print(f"worst deviation: {fig7.worst().metric} "
+          f"(ratio {fig7.worst().ratio:.2f})")
+
+
+if __name__ == "__main__":
+    main()

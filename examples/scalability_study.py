@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scalability case study (paper Section VII-A, Figure 5).
+
+Profiles the proxy's kernels on a generated input set, then predicts
+strong-scaling behaviour on the paper's four evaluation machines via
+the measured-cost execution model — including the D-HPRC out-of-memory
+failures on the 256 GB machines.
+
+Run:  python examples/scalability_study.py [input-set]
+      (input-set one of A-human, B-yeast, C-HPRC, D-HPRC; default A-human)
+"""
+
+import sys
+
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError, TuningConfig
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import profile_workload
+from repro.workloads.input_sets import materialize_by_name
+
+PROFILE_SCALES = {"A-human": 0.3, "B-yeast": 0.08, "C-HPRC": 0.2, "D-HPRC": 0.05}
+
+
+def main(input_set: str = "A-human"):
+    print(f"== Profiling the {input_set} kernels ==")
+    bundle = materialize_by_name(input_set, scale=PROFILE_SCALES[input_set])
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            minimizer_k=bundle.spec.minimizer_k,
+            minimizer_w=bundle.spec.minimizer_w,
+        ),
+    )
+    records = mapper.capture_read_records(bundle.reads)
+    profile = profile_workload(
+        bundle.pangenome.gbz, records, input_set=input_set,
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    mean = profile.mean_cost()
+    print(f"   {profile.read_count} reads profiled; per read: "
+          f"{mean.base_comparisons} comparisons, "
+          f"{mean.record_accesses} GBWT record accesses "
+          f"({mean.record_misses} decodes)")
+
+    print(f"\n== Predicted scaling at paper scale ({input_set}) ==")
+    for name, platform in PLATFORMS.items():
+        model = ExecutionModel(profile, platform)
+        try:
+            base = model.makespan(TuningConfig(threads=1))
+        except OutOfMemoryError as error:
+            print(f"   {name:12s} OUT OF MEMORY ({error})")
+            continue
+        line = [f"   {name:12s} t1={base:9.1f}s  speedups:"]
+        for threads in platform.thread_sweep()[1:]:
+            makespan = model.makespan(TuningConfig(threads=threads))
+            line.append(f"{threads}:{base / makespan:.1f}")
+        print(" ".join(line))
+    print("\n(expect: local-amd near-linear and fastest, chi-arm slowest,")
+    print(" Intel machines plateauing past their socket/SMT boundaries)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "A-human")

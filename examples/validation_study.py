@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validation study (paper Section VI): functional + computational.
+
+Runs both halves of the paper's proxy validation on every input set:
+
+* functional — the proxy's extensions must equal the parent's
+  critical-region output exactly (the paper reports a 100% match);
+* computational — single-threaded wall-clock of the proxy against the
+  parent's instrumented critical regions (paper: within 8.77%), plus
+  the simulated hardware-counter comparison and its cosine similarity
+  (paper: 0.9996).
+
+Run:  python examples/validation_study.py
+"""
+
+from repro.analysis.report import percent_diff
+from repro.core import MiniGiraffe, ProxyOptions, compare_outputs
+from repro.core.validation import cosine_similarity
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.sim.counters import measure_counters
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import profile_workload
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+SCALES = {"A-human": 0.25, "B-yeast": 0.08, "C-HPRC": 0.15, "D-HPRC": 0.05}
+
+
+def main():
+    for name in sorted(INPUT_SETS):
+        bundle = materialize(INPUT_SETS[name], scale=SCALES[name])
+        spec = bundle.spec
+        mapper = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                threads=1, batch_size=64,
+                minimizer_k=spec.minimizer_k, minimizer_w=spec.minimizer_w,
+            ),
+        )
+        parent = mapper.map_all(bundle.reads)
+        records = mapper.capture_read_records(bundle.reads)
+        proxy = MiniGiraffe(
+            bundle.pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=64),
+            seed_span=spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+        result = proxy.map_reads(records)
+
+        report = compare_outputs(parent.critical_extensions, result.extensions)
+        status = "100% MATCH" if report.perfect else report.summary()
+        diff = percent_diff(result.makespan, parent.critical_time)
+        print(f"{name:8s} functional: {status:12s} "
+              f"| proxy {result.makespan:6.2f}s vs parent critical "
+              f"{parent.critical_time:6.2f}s ({diff:+.1f}%)")
+
+    print("\n== Hardware-counter validation (A-human, local-intel model) ==")
+    bundle = materialize(INPUT_SETS["A-human"], scale=SCALES["A-human"])
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(minimizer_k=bundle.spec.minimizer_k,
+                       minimizer_w=bundle.spec.minimizer_w),
+    )
+    profile = profile_workload(
+        bundle.pangenome.gbz,
+        mapper.capture_read_records(bundle.reads),
+        input_set="A-human",
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    platform = PLATFORMS["local-intel"]
+    proxy_counters = measure_counters(profile, platform, mode="proxy")
+    parent_counters = measure_counters(profile, platform, mode="parent")
+    for label, counters in (("miniGiraffe", proxy_counters),
+                            ("Giraffe", parent_counters)):
+        c = counters.as_dict()
+        print(f"   {label:12s} inst={c['instructions']:.2e} ipc={c['ipc']:.2f} "
+              f"L1DM-rate={counters.l1d_miss_rate:.4f} "
+              f"LLDM={c['llc_misses']:.2e}")
+    similarity = cosine_similarity(
+        proxy_counters.as_vector(), parent_counters.as_vector()
+    )
+    print(f"   cosine similarity: {similarity:.4f} (paper: 0.9996)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""miniGiraffe reproduction: a pangenomic mapping proxy application.
+
+This package reproduces the system of *miniGiraffe: A Pangenomic Mapping
+Proxy App* (IISWC 2025) end to end in Python:
+
+* the full parent mapper (:mod:`repro.giraffe`) over a real variation
+  graph + GBWT/GBZ substrate (:mod:`repro.graph`, :mod:`repro.gbwt`)
+  with minimizer and distance indices (:mod:`repro.index`);
+* the proxy itself (:mod:`repro.core`) — the cluster_seeds and
+  seed-and-extend critical kernels behind a batch-parallel driver with
+  the paper's three tuning knobs;
+* synthetic workloads mirroring the paper's input sets
+  (:mod:`repro.workloads`);
+* hardware/scale simulation driven by measured kernel operation counts
+  (:mod:`repro.sim`) and the autotuning harness (:mod:`repro.tuning`).
+
+Quickstart::
+
+    from repro import quick_pipeline
+    report = quick_pipeline()        # build -> map -> capture -> proxy -> validate
+    assert report.perfect            # 100% parent/proxy output match
+"""
+
+from repro.core import (
+    GaplessExtension,
+    MappingResult,
+    MiniGiraffe,
+    ProxyOptions,
+    compare_outputs,
+)
+from repro.gbwt import GBWT, CachedGBWT, GBZ, build_gbwt
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.graph import GraphBuilder, VariationGraph, Variant
+from repro.index import DistanceIndex, MinimizerIndex
+from repro.workloads import materialize, INPUT_SETS
+from repro.workloads.input_sets import materialize_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GaplessExtension",
+    "MappingResult",
+    "MiniGiraffe",
+    "ProxyOptions",
+    "compare_outputs",
+    "GBWT",
+    "CachedGBWT",
+    "GBZ",
+    "build_gbwt",
+    "GiraffeMapper",
+    "GiraffeOptions",
+    "GraphBuilder",
+    "VariationGraph",
+    "Variant",
+    "DistanceIndex",
+    "MinimizerIndex",
+    "materialize",
+    "materialize_by_name",
+    "INPUT_SETS",
+    "quick_pipeline",
+]
+
+
+def quick_pipeline(input_set: str = "A-human", scale: float = 0.1):
+    """One-call demo: generate a workload, run parent and proxy, compare.
+
+    Returns the :class:`repro.core.validation.FunctionalReport`; see
+    ``examples/quickstart.py`` for the narrated version.
+    """
+    bundle = materialize_by_name(input_set, scale=scale)
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            threads=2,
+            batch_size=32,
+            minimizer_k=bundle.spec.minimizer_k,
+            minimizer_w=bundle.spec.minimizer_w,
+        ),
+    )
+    parent = mapper.map_all(bundle.reads)
+    records = mapper.capture_read_records(bundle.reads)
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(threads=2, batch_size=32),
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    result = proxy.map_reads(records)
+    return compare_outputs(parent.critical_extensions, result.extensions)

@@ -1,0 +1,33 @@
+"""Result rendering: the tables and figure data of the paper.
+
+Every benchmark regenerates its table/figure through these formatters,
+which emit plain-text tables (for terminals and the EXPERIMENTS.md log)
+and CSV series (the artifact's ``results/`` shape) — the Python stand-in
+for the paper's Rscript plotting pipeline.
+"""
+
+from repro.analysis.tables import format_table, Table
+from repro.analysis.figures import (
+    ascii_bar_chart,
+    ascii_heatmap,
+    ascii_timeline,
+    series_to_csv,
+)
+from repro.analysis.report import speedup_series, percent_diff
+from repro.analysis.threads import UtilizationReport, analyze_traces
+from repro.analysis.fidelity import Comparison, FidelityReport
+
+__all__ = [
+    "UtilizationReport",
+    "analyze_traces",
+    "Comparison",
+    "FidelityReport",
+    "format_table",
+    "Table",
+    "ascii_bar_chart",
+    "ascii_heatmap",
+    "ascii_timeline",
+    "series_to_csv",
+    "speedup_series",
+    "percent_diff",
+]

@@ -1,0 +1,83 @@
+"""Fidelity accounting: paper-vs-measured comparison tables.
+
+EXPERIMENTS.md records, for every table and figure, the paper's number
+next to this reproduction's.  This module is the programmatic form: a
+ledger of (metric, paper value, measured value) entries with ratio
+statistics and band checks, used by reports and tests that want to
+assert "within a factor of X of the paper" uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (1.0 = exact reproduction)."""
+        if self.paper == 0:
+            raise ValueError(f"{self.metric}: paper value is zero")
+        return self.measured / self.paper
+
+    def within_factor(self, factor: float) -> bool:
+        """True when measured is within [paper/factor, paper*factor]."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        return 1.0 / factor <= self.ratio <= factor
+
+
+@dataclass
+class FidelityReport:
+    """A ledger of comparisons with aggregate fidelity statistics."""
+
+    title: str
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    def add(self, metric: str, paper: float, measured: float) -> None:
+        self.comparisons.append(Comparison(metric, paper, measured))
+
+    def __len__(self) -> int:
+        return len(self.comparisons)
+
+    def geometric_mean_ratio(self) -> float:
+        """Geometric mean of measured/paper ratios (bias direction)."""
+        if not self.comparisons:
+            raise ValueError("empty fidelity report")
+        return math.exp(
+            sum(math.log(c.ratio) for c in self.comparisons)
+            / len(self.comparisons)
+        )
+
+    def worst(self) -> Comparison:
+        """The comparison farthest from 1.0 (in log space)."""
+        if not self.comparisons:
+            raise ValueError("empty fidelity report")
+        return max(self.comparisons, key=lambda c: abs(math.log(c.ratio)))
+
+    def fraction_within(self, factor: float) -> float:
+        """Share of metrics reproduced within the given factor."""
+        if not self.comparisons:
+            return 0.0
+        hits = sum(1 for c in self.comparisons if c.within_factor(factor))
+        return hits / len(self.comparisons)
+
+    def render(self) -> str:
+        rows = [
+            [c.metric, c.paper, round(c.measured, 3), round(c.ratio, 3)]
+            for c in self.comparisons
+        ]
+        return format_table(
+            self.title, ["metric", "paper", "measured", "ratio"], rows
+        )

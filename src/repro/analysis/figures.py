@@ -1,0 +1,104 @@
+"""Figure data rendering: CSV series plus ASCII charts.
+
+The paper's figures are line/bar/heatmap plots; each bench emits the
+underlying series as CSV (so any plotting tool can re-draw them) and a
+terminal-friendly ASCII rendering for at-a-glance shape checks.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def series_to_csv(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as CSV text (no quoting needed for our numeric data)."""
+    out = io.StringIO()
+    out.write(",".join(str(h) for h in header) + "\n")
+    for row in rows:
+        out.write(",".join(str(c) for c in row) + "\n")
+    return out.getvalue()
+
+
+def ascii_bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with proportional bar lengths."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        lines.append(f"  {label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    shades: str = " .:-=+*#%@",
+) -> str:
+    """Character-shaded heatmap (darker = larger value)."""
+    flat = [v for row in values for v in row]
+    if not flat:
+        return title
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    label_width = max(len(l) for l in row_labels)
+    cell_width = max(max((len(c) for c in col_labels), default=1), 6)
+    lines = [title]
+    header = " " * (label_width + 2) + " ".join(
+        c.rjust(cell_width) for c in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = []
+        for value in row:
+            shade = shades[
+                min(len(shades) - 1, int((value - low) / span * (len(shades) - 1)))
+            ]
+            cells.append(f"{shade}{value:5.0f}".rjust(cell_width))
+        lines.append(f"{label.ljust(label_width)}  " + " ".join(cells))
+    lines.append(f"(range: {low:.1f} .. {high:.1f})")
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    title: str,
+    samples: Sequence[Tuple[int, float, float]],
+    thread_count: int,
+    width: int = 72,
+) -> str:
+    """Per-thread occupancy timeline from (thread, start, end) samples.
+
+    Each row is one thread; '#' marks time slices where the thread was
+    inside an instrumented region (Figure 2's shape).
+    """
+    if not samples:
+        return title
+    t0 = min(s[1] for s in samples)
+    t1 = max(s[2] for s in samples)
+    span = (t1 - t0) or 1.0
+    grid = [[" "] * width for _ in range(thread_count)]
+    for thread, start, end in samples:
+        if not 0 <= thread < thread_count:
+            continue
+        first = int((start - t0) / span * (width - 1))
+        last = max(first, int((end - t0) / span * (width - 1)))
+        for x in range(first, last + 1):
+            grid[thread][x] = "#"
+    lines = [title]
+    for thread in range(thread_count):
+        lines.append(f"  T{thread:02d} |" + "".join(grid[thread]) + "|")
+    lines.append(f"  span: {span * 1000:.1f} ms")
+    return "\n".join(lines)

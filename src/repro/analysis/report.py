@@ -1,0 +1,29 @@
+"""Small numeric helpers shared by the benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def percent_diff(measured: float, reference: float) -> float:
+    """Percent difference of ``measured`` over ``reference`` (Table VI's
+    "% diff over Giraffe" column)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return 100.0 * (measured - reference) / reference
+
+
+def speedup_series(
+    baseline: float, makespans: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """(threads, speedup) pairs from a 1-thread baseline and makespans."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return [(threads, baseline / m) for threads, m in makespans]
+
+
+def efficiency_series(
+    speedups: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """(threads, parallel efficiency) from a speedup series."""
+    return [(t, s / t) for t, s in speedups if t > 0]

@@ -1,0 +1,57 @@
+"""Plain-text table rendering with aligned columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table: header row plus data rows."""
+
+    title: str
+    header: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return format_table(self.title, self.header, self.rows)
+
+
+def _cell_text(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    min_width: int = 6,
+) -> str:
+    """Render an aligned, boxed plain-text table."""
+    texts = [[_cell_text(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in header]
+    for row in texts:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    divider = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [title, divider]
+    lines.append(
+        "| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |"
+    )
+    lines.append(divider)
+    for row in texts:
+        lines.append(
+            "| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |"
+        )
+    lines.append(divider)
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Per-thread utilization analysis from scheduler batch traces.
+
+Turns the :class:`repro.sched.base.BatchTrace` stream every run produces
+into the load-balance view the paper's case studies reason about:
+per-thread busy time, utilization against the run's wall-clock span,
+imbalance ratios, and batch-count distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sched.base import BatchTrace
+
+
+@dataclass(frozen=True)
+class ThreadUtilization:
+    """One thread's share of a run."""
+
+    thread: int
+    busy_time: float
+    batches: int
+    items: int
+    first_start: float
+    last_end: float
+
+
+@dataclass
+class UtilizationReport:
+    """Load-balance summary of one parallel run."""
+
+    threads: List[ThreadUtilization]
+    span: float
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.threads)
+
+    @property
+    def total_busy(self) -> float:
+        return sum(t.busy_time for t in self.threads)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average busy fraction of the wall-clock span."""
+        if not self.threads or self.span <= 0:
+            return 0.0
+        return self.total_busy / (self.span * len(self.threads))
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean busy-time ratio (1.0 is perfectly balanced)."""
+        if not self.threads:
+            return 1.0
+        busy = [t.busy_time for t in self.threads]
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    @property
+    def late_start(self) -> float:
+        """Latest thread start relative to the run start (Figure 2's
+        thread-0 artifact shows up here)."""
+        if not self.threads:
+            return 0.0
+        first = min(t.first_start for t in self.threads)
+        return max(t.first_start for t in self.threads) - first
+
+    def rows(self) -> List[List]:
+        """Table rows for rendering."""
+        return [
+            [t.thread, round(t.busy_time, 4), t.batches, t.items]
+            for t in self.threads
+        ]
+
+
+def analyze_traces(traces: Sequence[BatchTrace]) -> UtilizationReport:
+    """Aggregate a run's batch traces into a utilization report."""
+    if not traces:
+        return UtilizationReport(threads=[], span=0.0)
+    by_thread: Dict[int, List[BatchTrace]] = {}
+    for trace in traces:
+        by_thread.setdefault(trace.thread, []).append(trace)
+    threads = []
+    for thread in sorted(by_thread):
+        batches = by_thread[thread]
+        threads.append(
+            ThreadUtilization(
+                thread=thread,
+                busy_time=sum(b.duration for b in batches),
+                batches=len(batches),
+                items=sum(b.item_count for b in batches),
+                first_start=min(b.start for b in batches),
+                last_end=max(b.end for b in batches),
+            )
+        )
+    span = max(t.last_end for t in threads) - min(t.first_start for t in threads)
+    return UtilizationReport(threads=threads, span=span)

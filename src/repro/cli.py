@@ -1,0 +1,261 @@
+"""Command-line interface: the miniGiraffe executable surface.
+
+The real miniGiraffe is a command-line tool taking a GBZ, a captured
+``sequence-seeds.bin``, and flags for threads / batch size / CachedGBWT
+capacity / instrumentation.  This module provides the same surface plus
+the surrounding workflow the artifact scripts drive:
+
+* ``generate`` — materialize an input-set preset: write the ``.gbz``,
+  the ``sequence-seeds.bin``, and the parent's expected extensions;
+* ``map`` — run the proxy over a GBZ + seed file (the miniGiraffe
+  binary itself), writing extensions and optional GAM output;
+* ``validate`` — compare two extension files (paper Section VI-a);
+* ``tune`` — the autotuning sweep on a machine model, CSV out;
+* ``scale`` — the Figure 5 scaling prediction for one input set.
+
+Run ``python -m repro <command> --help`` for per-command flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import MiniGiraffe, ProxyOptions, compare_outputs
+from repro.core.io import (
+    load_extensions_path,
+    load_seed_file_path,
+    save_extensions_path,
+    save_seed_file_path,
+)
+from repro.gbwt.gbz import save_gbz_file
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.giraffe.gam import write_gam_file
+from repro.giraffe.alignment import alignments_from_extensions
+from repro.sim.exec_model import ExecutionModel, OutOfMemoryError, TuningConfig
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import profile_workload
+from repro.tuning import GridSearch, ResultStore
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="miniGiraffe reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="materialize an input set: gbz + seeds + expected output"
+    )
+    generate.add_argument("--input-set", choices=sorted(INPUT_SETS), required=True)
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--out-dir", default=".")
+
+    map_cmd = commands.add_parser(
+        "map", help="run the proxy over a gbz + sequence-seeds.bin"
+    )
+    map_cmd.add_argument("--gbz", required=True)
+    map_cmd.add_argument("--seeds", required=True)
+    map_cmd.add_argument("--threads", type=int, default=1)
+    map_cmd.add_argument("--batch-size", type=int, default=512)
+    map_cmd.add_argument("--cache-capacity", type=int, default=256)
+    map_cmd.add_argument(
+        "--scheduler", choices=("dynamic", "static", "work_stealing"),
+        default="dynamic",
+    )
+    map_cmd.add_argument("--seed-span", type=int, default=13)
+    map_cmd.add_argument("--instrument", action="store_true")
+    map_cmd.add_argument("--output", help="write extensions to this file")
+    map_cmd.add_argument("--gam", help="write JSON-lines alignments here")
+
+    validate = commands.add_parser(
+        "validate", help="compare two extension files (expected vs actual)"
+    )
+    validate.add_argument("--expected", required=True)
+    validate.add_argument("--actual", required=True)
+
+    tune = commands.add_parser(
+        "tune", help="exhaustive parameter sweep on a machine model"
+    )
+    tune.add_argument("--input-set", choices=sorted(INPUT_SETS), required=True)
+    tune.add_argument("--profile-scale", type=float, default=0.1)
+    tune.add_argument(
+        "--platform", choices=sorted(PLATFORMS) + ["all"], default="all"
+    )
+    tune.add_argument("--subsample", type=float, default=0.1)
+    tune.add_argument("--csv", help="write the full grid to this CSV")
+
+    scale = commands.add_parser(
+        "scale", help="predict strong scaling on the paper's machines"
+    )
+    scale.add_argument("--input-set", choices=sorted(INPUT_SETS), required=True)
+    scale.add_argument("--profile-scale", type=float, default=0.1)
+    scale.add_argument(
+        "--platform", choices=sorted(PLATFORMS) + ["all"], default="all"
+    )
+    return parser
+
+
+def _materialize_with_mapper(input_set: str, scale: float):
+    bundle = materialize(INPUT_SETS[input_set], scale=scale)
+    spec = bundle.spec
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            minimizer_k=spec.minimizer_k, minimizer_w=spec.minimizer_w
+        ),
+    )
+    return bundle, mapper
+
+
+def _cmd_generate(args) -> int:
+    os.makedirs(args.out_dir, exist_ok=True)
+    bundle, mapper = _materialize_with_mapper(args.input_set, args.scale)
+    print(f"generated {bundle.describe()}")
+    from repro.graph.gfa import write_gfa_file
+    from repro.workloads.fastq import write_fastq_file
+
+    gbz_path = os.path.join(args.out_dir, f"{args.input_set}.gbz")
+    gfa_path = os.path.join(args.out_dir, f"{args.input_set}.gfa")
+    fastq_path = os.path.join(args.out_dir, f"{args.input_set}.fastq")
+    seeds_path = os.path.join(args.out_dir, f"{args.input_set}.seeds.bin")
+    expected_path = os.path.join(args.out_dir, f"{args.input_set}.expected.ext")
+    save_gbz_file(bundle.pangenome.gbz, gbz_path)
+    write_gfa_file(bundle.pangenome.graph, gfa_path)
+    write_fastq_file(bundle.reads, fastq_path)
+    records = mapper.capture_read_records(bundle.reads)
+    save_seed_file_path(records, seeds_path)
+    parent = mapper.map_all(bundle.reads)
+    save_extensions_path(parent.critical_extensions, expected_path)
+    for path in (gbz_path, gfa_path, fastq_path, seeds_path, expected_path):
+        print(f"wrote {path} ({os.path.getsize(path)} bytes)")
+    print(f"minimizer k for --seed-span: {bundle.spec.minimizer_k}")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    options = ProxyOptions(
+        threads=args.threads,
+        batch_size=args.batch_size,
+        cache_capacity=args.cache_capacity,
+        scheduler=args.scheduler,
+        instrument=args.instrument,
+    )
+    proxy = MiniGiraffe.from_files(args.gbz, options, seed_span=args.seed_span)
+    records = load_seed_file_path(args.seeds)
+    start = time.perf_counter()
+    result = proxy.map_reads(records)
+    elapsed = time.perf_counter() - start
+    print(f"mapped {result.mapped_reads}/{len(records)} reads "
+          f"in {result.makespan:.3f}s (total {elapsed:.3f}s)")
+    print(f"cache: hit rate {result.cache_stats['hit_rate']:.2%}, "
+          f"{int(result.cache_stats['rehashes'])} rehashes")
+    if args.instrument and result.timer is not None:
+        for region, share in sorted(
+            result.timer.percentages().items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {region:28s} {share:5.1f}%")
+    if args.output:
+        save_extensions_path(result.extensions, args.output)
+        print(f"wrote {args.output}")
+    if args.gam:
+        alignments = [
+            alignments_from_extensions(name, exts)
+            for name, exts in sorted(result.extensions.items())
+        ]
+        count = write_gam_file(alignments, args.gam)
+        print(f"wrote {count} GAM records to {args.gam}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    expected = load_extensions_path(args.expected)
+    actual = load_extensions_path(args.actual)
+    report = compare_outputs(expected, actual)
+    print(report.summary())
+    return 0 if report.perfect else 1
+
+
+def _platforms_for(name: str):
+    if name == "all":
+        return PLATFORMS
+    return {name: PLATFORMS[name]}
+
+
+def _profile_for(input_set: str, profile_scale: float):
+    bundle, mapper = _materialize_with_mapper(input_set, profile_scale)
+    records = mapper.capture_read_records(bundle.reads)
+    return profile_workload(
+        bundle.pangenome.gbz, records, input_set=input_set,
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+
+
+def _cmd_tune(args) -> int:
+    profile = _profile_for(args.input_set, args.profile_scale)
+    store = ResultStore()
+    for name, platform in _platforms_for(args.platform).items():
+        search = GridSearch(
+            ExecutionModel(profile, platform), subsample=args.subsample
+        )
+        try:
+            results = search.run()
+            default = search.default_result()
+        except OutOfMemoryError as error:
+            print(f"{name}: OUT OF MEMORY ({error})")
+            continue
+        store.add_results(results)
+        store.add_default(default)
+        best = search.best(results)
+        print(f"{name}: best {best.makespan:.3f}s ({best.config.label()}) "
+              f"default {default.makespan:.3f}s "
+              f"speedup {default.makespan / best.makespan:.2f}x")
+    if len(store):
+        geomeans = store.geomean_speedup_by_input()
+        print(f"geomean speedup: {geomeans[args.input_set]:.3f}x")
+    if args.csv:
+        store.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    profile = _profile_for(args.input_set, args.profile_scale)
+    for name, platform in _platforms_for(args.platform).items():
+        model = ExecutionModel(profile, platform)
+        try:
+            base = model.makespan(TuningConfig(threads=1))
+        except OutOfMemoryError as error:
+            print(f"{name}: OUT OF MEMORY ({error})")
+            continue
+        parts = [f"{name}: t1={base:.1f}s"]
+        for threads in platform.thread_sweep()[1:]:
+            makespan = model.makespan(TuningConfig(threads=threads))
+            parts.append(f"{threads}:{base / makespan:.1f}")
+        print(" ".join(parts))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "map": _cmd_map,
+    "validate": _cmd_validate,
+    "tune": _cmd_tune,
+    "scale": _cmd_scale,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""miniGiraffe: the proxy application (the paper's core contribution).
+
+The proxy encapsulates Giraffe's two *critical functions*:
+
+* ``cluster_seeds`` (:mod:`repro.core.cluster`) — group a read's seeds
+  by graph distance and score the clusters;
+* ``process_until_threshold_c`` (:mod:`repro.core.process`) — walk the
+  clusters in score order, running the gapless seed-and-extend kernel
+  (:mod:`repro.core.extend`) until the score/count thresholds cut off.
+
+:class:`repro.core.proxy.MiniGiraffe` drives these kernels over batches
+of reads with a pluggable scheduler, a per-run CachedGBWT, and optional
+region instrumentation — the exact surface the paper's case studies
+tune.  Inputs are a GBZ container plus a ``sequence-seeds.bin`` file
+captured from the parent application (:mod:`repro.core.io`), and the
+output is the raw extensions, which :mod:`repro.core.validation`
+compares bit-for-bit against the parent's.
+"""
+
+from repro.core.options import ExtendOptions, ProcessOptions, ProxyOptions
+from repro.core.scoring import ScoringParams, extension_score
+from repro.core.extend import GaplessExtension, extend_seed
+from repro.core.cluster import Cluster, cluster_seeds
+from repro.core.process import process_until_threshold
+from repro.core.io import (
+    ReadRecord,
+    load_seed_file,
+    save_seed_file,
+)
+from repro.core.proxy import MiniGiraffe, MappingResult
+from repro.core.validation import (
+    compare_outputs,
+    cosine_similarity,
+    FunctionalReport,
+)
+
+__all__ = [
+    "ExtendOptions",
+    "ProcessOptions",
+    "ProxyOptions",
+    "ScoringParams",
+    "extension_score",
+    "GaplessExtension",
+    "extend_seed",
+    "Cluster",
+    "cluster_seeds",
+    "process_until_threshold",
+    "ReadRecord",
+    "load_seed_file",
+    "save_seed_file",
+    "MiniGiraffe",
+    "MappingResult",
+    "compare_outputs",
+    "cosine_similarity",
+    "FunctionalReport",
+]

@@ -1,0 +1,126 @@
+"""cluster_seeds: group a read's seeds by graph distance and score them.
+
+The second-hottest region of Giraffe (11.6–21% of runtime in the paper's
+characterization, Figure 3).  Seeds whose graph positions lie within the
+cluster distance limit of each other are merged with a union-find; each
+cluster is scored by how much of the read its seeds cover (more coverage
+means a likelier mapping location), and the scored clusters feed the
+process-until-threshold driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.extend import KernelCounters
+from repro.core.options import ProcessOptions
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import Seed
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, count: int):
+        self.parent = list(range(count))
+        self.size = [1] * count
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def groups(self) -> List[List[int]]:
+        """Members of each set, ordered by smallest member."""
+        byroot = {}
+        for item in range(len(self.parent)):
+            byroot.setdefault(self.find(item), []).append(item)
+        return [sorted(v) for _, v in sorted(byroot.items())]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A scored group of seeds presumed to come from one mapping locus."""
+
+    seeds: Tuple[Seed, ...]
+    score: int
+    coverage: int  # read bases covered by the cluster's seed k-mers
+
+    def sort_key(self) -> tuple:
+        """Descending score, then canonical seed order for determinism."""
+        return (-self.score, tuple(s.sort_key() for s in self.seeds))
+
+
+def _coverage(seeds: Sequence[Seed], seed_span: int, read_length: int) -> int:
+    """Read bases covered by the union of the seeds' k-mer spans."""
+    covered = 0
+    intervals = sorted(
+        (s.read_offset, min(read_length, s.read_offset + seed_span)) for s in seeds
+    )
+    current_start, current_end = None, None
+    for start, end in intervals:
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        covered += current_end - current_start
+    return covered
+
+
+def cluster_seeds(
+    distance_index: DistanceIndex,
+    seeds: Sequence[Seed],
+    read_length: int,
+    seed_span: int,
+    options: Optional[ProcessOptions] = None,
+    counters: Optional[KernelCounters] = None,
+) -> List[Cluster]:
+    """Cluster ``seeds`` by graph distance and score the clusters.
+
+    ``seed_span`` is the k-mer length the seeds anchor (coverage is
+    computed from it).  Returns clusters sorted best-first with a
+    deterministic total order.
+    """
+    options = options or ProcessOptions()
+    if not seeds:
+        return []
+    ordered = sorted(seeds, key=Seed.sort_key)
+    uf = UnionFind(len(ordered))
+    for i in range(len(ordered)):
+        for j in range(i + 1, len(ordered)):
+            if uf.find(i) == uf.find(j):
+                continue
+            if counters is not None:
+                counters.distance_queries += 1
+            if distance_index.within(
+                ordered[i].position, ordered[j].position, options.cluster_distance
+            ):
+                uf.union(i, j)
+    clusters: List[Cluster] = []
+    for group in uf.groups():
+        members = tuple(ordered[i] for i in group)
+        coverage = _coverage(members, seed_span, read_length)
+        score = coverage * 4 + len(members)
+        clusters.append(Cluster(seeds=members, score=score, coverage=coverage))
+        if counters is not None:
+            counters.clusters_scored += 1
+    clusters.sort(key=Cluster.sort_key)
+    return clusters

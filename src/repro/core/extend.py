@@ -1,0 +1,317 @@
+"""The gapless seed-and-extend kernel.
+
+This is the code Giraffe spends most of its time in (the paper measures
+the enclosing ``process_until_threshold_c`` region at up to 52% of total
+compute): starting from a seed — a read offset anchored at a graph
+position — walk the graph left and right comparing read bases against
+node bases, following only haplotype-consistent edges (GBWT search
+states), tolerating a bounded number of mismatches, and keep the
+best-scoring gapless alignment.
+
+The search is a deterministic branch-and-bound DFS: successors are
+explored in sorted handle order, prefixes ending after a match are
+candidate endpoints, and ties are broken by (fewer mismatches, shorter
+path, lexicographic path) so the parent application and the proxy
+produce *identical* output regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.handle import Handle, flip, node_id, reverse_complement
+from repro.graph.variation_graph import VariationGraph
+from repro.core.options import ExtendOptions
+from repro.core.scoring import ScoringParams
+
+#: A graph position: ``offset`` bases into the oriented node ``handle``.
+Position = Tuple[Handle, int]
+
+
+@dataclass
+class KernelCounters:
+    """Operation counts the hardware model consumes.
+
+    Every count corresponds to a memory-touching operation class in the
+    C++ kernel; the cache simulator and the analytic platform cost model
+    both derive their behaviour from these.
+    """
+
+    base_comparisons: int = 0
+    node_visits: int = 0
+    branch_expansions: int = 0
+    seeds_extended: int = 0
+    clusters_scored: int = 0
+    distance_queries: int = 0
+
+    def merge(self, other: "KernelCounters") -> None:
+        self.base_comparisons += other.base_comparisons
+        self.node_visits += other.node_visits
+        self.branch_expansions += other.branch_expansions
+        self.seeds_extended += other.seeds_extended
+        self.clusters_scored += other.clusters_scored
+        self.distance_queries += other.distance_queries
+
+    def as_dict(self) -> dict:
+        return {
+            "base_comparisons": self.base_comparisons,
+            "node_visits": self.node_visits,
+            "branch_expansions": self.branch_expansions,
+            "seeds_extended": self.seeds_extended,
+            "clusters_scored": self.clusters_scored,
+            "distance_queries": self.distance_queries,
+        }
+
+
+@dataclass(frozen=True)
+class GaplessExtension:
+    """A scored gapless alignment of part of a read to a graph walk.
+
+    ``path`` is the walk of oriented handles; ``start_position`` is where
+    read base ``read_interval[0]`` sits on ``path[0]``; ``mismatches``
+    are read offsets that disagree with the graph.
+    """
+
+    path: Tuple[Handle, ...]
+    read_interval: Tuple[int, int]
+    start_position: Position
+    mismatches: Tuple[int, ...]
+    score: int
+    left_full: bool
+    right_full: bool
+
+    @property
+    def length(self) -> int:
+        return self.read_interval[1] - self.read_interval[0]
+
+    @property
+    def full_length(self) -> bool:
+        return self.left_full and self.right_full
+
+    def sort_key(self) -> tuple:
+        return (-self.score, self.read_interval, self.start_position, self.path)
+
+
+# One side of the search returns the best of these.
+@dataclass(frozen=True)
+class _SideResult:
+    score: int
+    matched: int
+    mismatch_offsets: Tuple[int, ...]  # offsets into the side's sequence
+    consumed: int
+    path: Tuple[Handle, ...]
+    end_handle: Handle
+    end_offset: int
+    reached_full: bool
+
+
+def _better(a: Optional[_SideResult], b: _SideResult) -> _SideResult:
+    """Deterministic preference between side results."""
+    if a is None:
+        return b
+    key_a = (-a.score, len(a.mismatch_offsets), len(a.path), a.path)
+    key_b = (-b.score, len(b.mismatch_offsets), len(b.path), b.path)
+    return a if key_a <= key_b else b
+
+
+def _extend_side(
+    graph: VariationGraph,
+    haplotypes,
+    sequence: str,
+    start_handle: Handle,
+    start_offset: int,
+    options: ExtendOptions,
+    params: ScoringParams,
+    counters: Optional[KernelCounters],
+) -> _SideResult:
+    """Best gapless extension consuming ``sequence`` from one position.
+
+    ``haplotypes`` is any object with the GBWT search API (``full_state``
+    / ``successors``): the plain GBWT, or a CachedGBWT in production.
+    The walk may begin exactly at a node boundary
+    (``start_offset == node length``), in which case it immediately
+    branches to haplotype-consistent successors.
+    """
+    empty = _SideResult(
+        score=params.full_length_bonus if not sequence else 0,
+        matched=0,
+        mismatch_offsets=(),
+        consumed=0,
+        path=(start_handle,),
+        end_handle=start_handle,
+        end_offset=start_offset,
+        reached_full=not sequence,
+    )
+    best: Optional[_SideResult] = empty
+    if not sequence:
+        return empty
+
+    state0 = haplotypes.full_state(start_handle)
+    if state0.empty:
+        return empty
+    expansions = 0
+    # Frame: (handle, offset, seq_pos, state, path, mismatches, matched)
+    stack: List[tuple] = [
+        (start_handle, start_offset, 0, state0, (start_handle,), (), 0)
+    ]
+    seq_len = len(sequence)
+    while stack:
+        handle, offset, seq_pos, state, path, mismatches, matched = stack.pop()
+        length = graph.node_length(node_id(handle))
+        if counters is not None:
+            counters.node_visits += 1
+        # Branch-and-bound: even matching every remaining base cannot
+        # beat the current best.
+        potential = (
+            (matched + (seq_len - seq_pos)) * params.match
+            - len(mismatches) * params.mismatch
+            + params.full_length_bonus
+        )
+        if best is not None and potential < best.score:
+            continue
+        dead = False
+        while offset < length and seq_pos < seq_len:
+            if counters is not None:
+                counters.base_comparisons += 1
+            if graph.base(handle, offset) == sequence[seq_pos]:
+                matched += 1
+                offset += 1
+                seq_pos += 1
+                full = seq_pos == seq_len
+                score = (
+                    matched * params.match
+                    - len(mismatches) * params.mismatch
+                    + (params.full_length_bonus if full else 0)
+                )
+                best = _better(
+                    best,
+                    _SideResult(
+                        score, matched, mismatches, seq_pos, path, handle, offset, full
+                    ),
+                )
+                continue
+            if len(mismatches) >= options.max_mismatches:
+                dead = True
+                break
+            mismatches = mismatches + (seq_pos,)
+            offset += 1
+            seq_pos += 1
+            if seq_pos == seq_len:
+                # A terminal mismatch can still pay off via the bonus.
+                score = (
+                    matched * params.match
+                    - len(mismatches) * params.mismatch
+                    + params.full_length_bonus
+                )
+                best = _better(
+                    best,
+                    _SideResult(
+                        score, matched, mismatches, seq_pos, path, handle, offset, True
+                    ),
+                )
+        if dead or seq_pos >= seq_len:
+            continue
+        # Node boundary: branch to haplotype-consistent successors.
+        if expansions >= options.max_branches:
+            continue
+        successors = haplotypes.successors(state)
+        if counters is not None:
+            counters.branch_expansions += len(successors)
+        expansions += len(successors)
+        # Push in reverse-sorted order so DFS explores ascending handles.
+        for succ_handle, succ_state in sorted(successors, reverse=True):
+            stack.append(
+                (succ_handle, 0, seq_pos, succ_state, path + (succ_handle,),
+                 mismatches, matched)
+            )
+    assert best is not None
+    return best
+
+
+def extend_seed(
+    graph: VariationGraph,
+    haplotypes,
+    read_sequence: str,
+    read_offset: int,
+    position: Position,
+    options: Optional[ExtendOptions] = None,
+    params: Optional[ScoringParams] = None,
+    counters: Optional[KernelCounters] = None,
+) -> Optional[GaplessExtension]:
+    """Best gapless extension of one seed in both directions.
+
+    Returns None when the seed position is off any indexed haplotype.
+    The two directions are searched independently: rightwards from the
+    seed base, and leftwards by right-extending the reverse complement
+    of the read prefix from the flipped position.
+    """
+    options = options or ExtendOptions()
+    params = params or ScoringParams()
+    handle, offset = position
+    if not 0 <= offset < graph.node_length(node_id(handle)):
+        raise ValueError(f"seed offset {offset} outside node")
+    if counters is not None:
+        counters.seeds_extended += 1
+
+    right = _extend_side(
+        graph, haplotypes, read_sequence[read_offset:], handle, offset,
+        options, params, counters,
+    )
+    if right.consumed == 0 and read_offset < len(read_sequence):
+        # The seed base itself is off-haplotype or immediately dead.
+        return None
+
+    length = graph.node_length(node_id(handle))
+    left_sequence = reverse_complement(read_sequence[:read_offset])
+    left = _extend_side(
+        graph, haplotypes, left_sequence, flip(handle), length - offset,
+        options, params, counters,
+    )
+
+    # Convert the flipped left walk back to read orientation.
+    left_path = tuple(flip(h) for h in reversed(left.path))
+    if left.consumed > 0:
+        end_len = graph.node_length(node_id(left.end_handle))
+        start_position = (flip(left.end_handle), end_len - left.end_offset)
+        # left path ends with the seed handle; right path starts with it.
+        combined_path = left_path[:-1] + right.path
+    else:
+        start_position = (handle, offset)
+        combined_path = right.path
+
+    interval = (read_offset - left.consumed, read_offset + right.consumed)
+    left_mismatches = tuple(
+        read_offset - 1 - off for off in reversed(left.mismatch_offsets)
+    )
+    right_mismatches = tuple(read_offset + off for off in right.mismatch_offsets)
+    matched = left.matched + right.matched
+    mismatches = left_mismatches + right_mismatches
+    score = (
+        matched * params.match
+        - len(mismatches) * params.mismatch
+        + (params.full_length_bonus if left.reached_full else 0)
+        + (params.full_length_bonus if right.reached_full else 0)
+    )
+    return GaplessExtension(
+        path=combined_path,
+        read_interval=interval,
+        start_position=start_position,
+        mismatches=mismatches,
+        score=score,
+        left_full=left.reached_full,
+        right_full=right.reached_full,
+    )
+
+
+def dedupe_extensions(
+    extensions: Sequence[GaplessExtension],
+) -> List[GaplessExtension]:
+    """Drop duplicate extensions (same walk, interval, and mismatches),
+    returning the survivors in canonical sort order."""
+    unique = {}
+    for ext in extensions:
+        key = (ext.path, ext.read_interval, ext.start_position, ext.mismatches)
+        if key not in unique:
+            unique[key] = ext
+    return sorted(unique.values(), key=GaplessExtension.sort_key)

@@ -1,0 +1,164 @@
+"""I/O capture formats: the ``sequence-seeds.bin`` input and extension output.
+
+miniGiraffe's input is exactly what Giraffe computes *before* entering
+the critical region: each read plus the seeds found for it.  The parent
+application exports that state with :func:`save_seed_file`; the proxy
+loads it with :func:`load_seed_file`.  Expected outputs (extensions) use
+a parallel format so functional validation can run across processes and
+machines, just like the paper's artifact does.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict, List, Sequence, Tuple
+
+from repro.core.extend import GaplessExtension
+from repro.graph.serialize import pack_dna, read_varint, unpack_dna, write_varint
+from repro.index.minimizer import Seed
+
+SEED_MAGIC = b"RSEB"
+EXT_MAGIC = b"REXT"
+
+
+@dataclass
+class ReadRecord:
+    """One read with the seeds Giraffe found for it."""
+
+    name: str
+    sequence: str
+    seeds: List[Seed] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _write_string(stream: BinaryIO, text: str) -> None:
+    encoded = text.encode("utf-8")
+    write_varint(stream, len(encoded))
+    stream.write(encoded)
+
+
+def _read_string(stream: BinaryIO) -> str:
+    length = read_varint(stream)
+    return stream.read(length).decode("utf-8")
+
+
+def save_seed_file(records: Sequence[ReadRecord], stream: BinaryIO) -> None:
+    """Write a ``sequence-seeds.bin`` stream."""
+    stream.write(SEED_MAGIC)
+    write_varint(stream, len(records))
+    for record in records:
+        _write_string(stream, record.name)
+        write_varint(stream, len(record.sequence))
+        stream.write(pack_dna(record.sequence))
+        write_varint(stream, len(record.seeds))
+        for seed in record.seeds:
+            write_varint(stream, seed.read_offset)
+            write_varint(stream, seed.position[0])
+            write_varint(stream, seed.position[1])
+
+
+def load_seed_file(stream: BinaryIO) -> List[ReadRecord]:
+    """Read a ``sequence-seeds.bin`` stream."""
+    magic = stream.read(4)
+    if magic != SEED_MAGIC:
+        raise ValueError(f"bad seed-file magic {magic!r}")
+    count = read_varint(stream)
+    records: List[ReadRecord] = []
+    for _ in range(count):
+        name = _read_string(stream)
+        seq_len = read_varint(stream)
+        sequence = unpack_dna(stream.read((seq_len + 3) // 4), seq_len)
+        seed_count = read_varint(stream)
+        seeds = []
+        for _ in range(seed_count):
+            read_offset = read_varint(stream)
+            handle = read_varint(stream)
+            node_offset = read_varint(stream)
+            seeds.append(Seed(read_offset, (handle, node_offset)))
+        records.append(ReadRecord(name, sequence, seeds))
+    return records
+
+
+def save_seed_file_path(records: Sequence[ReadRecord], path: str) -> None:
+    with open(path, "wb") as handle:
+        save_seed_file(records, handle)
+
+
+def load_seed_file_path(path: str) -> List[ReadRecord]:
+    with open(path, "rb") as handle:
+        return load_seed_file(handle)
+
+
+def save_extensions(
+    per_read: Dict[str, Sequence[GaplessExtension]], stream: BinaryIO
+) -> None:
+    """Write per-read extensions (the proxy's raw output format)."""
+    stream.write(EXT_MAGIC)
+    write_varint(stream, len(per_read))
+    for name in sorted(per_read):
+        _write_string(stream, name)
+        extensions = per_read[name]
+        write_varint(stream, len(extensions))
+        for ext in extensions:
+            write_varint(stream, len(ext.path))
+            for handle in ext.path:
+                write_varint(stream, handle)
+            write_varint(stream, ext.read_interval[0])
+            write_varint(stream, ext.read_interval[1])
+            write_varint(stream, ext.start_position[0])
+            write_varint(stream, ext.start_position[1])
+            write_varint(stream, len(ext.mismatches))
+            for offset in ext.mismatches:
+                write_varint(stream, offset)
+            # Scores can be negative; zig-zag encode.
+            write_varint(stream, (ext.score << 1) ^ (ext.score >> 63))
+            write_varint(stream, (int(ext.left_full) << 1) | int(ext.right_full))
+
+
+def load_extensions(stream: BinaryIO) -> Dict[str, List[GaplessExtension]]:
+    """Read extensions written by :func:`save_extensions`."""
+    magic = stream.read(4)
+    if magic != EXT_MAGIC:
+        raise ValueError(f"bad extensions magic {magic!r}")
+    result: Dict[str, List[GaplessExtension]] = {}
+    read_count = read_varint(stream)
+    for _ in range(read_count):
+        name = _read_string(stream)
+        extensions: List[GaplessExtension] = []
+        for _ in range(read_varint(stream)):
+            path = tuple(read_varint(stream) for _ in range(read_varint(stream)))
+            interval = (read_varint(stream), read_varint(stream))
+            position = (read_varint(stream), read_varint(stream))
+            mismatches = tuple(
+                read_varint(stream) for _ in range(read_varint(stream))
+            )
+            zigzag = read_varint(stream)
+            score = (zigzag >> 1) ^ -(zigzag & 1)
+            flags = read_varint(stream)
+            extensions.append(
+                GaplessExtension(
+                    path=path,
+                    read_interval=interval,
+                    start_position=position,
+                    mismatches=mismatches,
+                    score=score,
+                    left_full=bool(flags >> 1),
+                    right_full=bool(flags & 1),
+                )
+            )
+        result[name] = extensions
+    return result
+
+
+def save_extensions_path(per_read: Dict[str, Sequence[GaplessExtension]], path: str) -> None:
+    with open(path, "wb") as handle:
+        save_extensions(per_read, handle)
+
+
+def load_extensions_path(path: str) -> Dict[str, List[GaplessExtension]]:
+    with open(path, "rb") as handle:
+        return load_extensions(handle)

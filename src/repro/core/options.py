@@ -1,0 +1,68 @@
+"""Configuration dataclasses for the proxy and its kernels.
+
+Defaults follow the values the paper reports for Giraffe/miniGiraffe:
+batch size 512, initial CachedGBWT capacity 256, OpenMP-style dynamic
+scheduling — exactly the "default parameters" row of the tuning study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExtendOptions:
+    """Knobs of the gapless extension kernel."""
+
+    #: Maximum mismatches tolerated in one extension (vg default: 4).
+    max_mismatches: int = 4
+    #: Cap on seeds extended per cluster, after deduplication.
+    max_seeds_per_cluster: int = 8
+    #: Branch-and-bound search width at node boundaries.
+    max_branches: int = 64
+
+
+@dataclass(frozen=True)
+class ProcessOptions:
+    """Knobs of the process_until_threshold driver."""
+
+    #: Clusters scoring below ``best * factor`` are not extended.
+    score_threshold_factor: float = 0.5
+    #: Hard cap on clusters extended per read.
+    max_clusters: int = 20
+    #: Distance limit for two seeds to share a cluster (bases).
+    cluster_distance: int = 64
+
+
+@dataclass(frozen=True)
+class ProxyOptions:
+    """Run-level parameters — the paper's three tuning knobs plus threads.
+
+    ``scheduler`` is one of ``"dynamic"`` (OpenMP-style dynamic batches,
+    the default), ``"static"``, or ``"work_stealing"`` (the paper's
+    in-house scheduler).
+    """
+
+    threads: int = 1
+    batch_size: int = 512
+    cache_capacity: int = 256
+    scheduler: str = "dynamic"
+    instrument: bool = False
+    #: "run": caches live for the whole run (miniGiraffe's default);
+    #: "batch": cleared before each batch, vg's cache-lifetime behaviour
+    #: (bounds the resident set at the cost of re-decoding).
+    cache_lifetime: str = "run"
+    extend: ExtendOptions = field(default_factory=ExtendOptions)
+    process: ProcessOptions = field(default_factory=ProcessOptions)
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.scheduler not in ("dynamic", "static", "work_stealing"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.cache_lifetime not in ("run", "batch"):
+            raise ValueError(f"unknown cache lifetime {self.cache_lifetime!r}")

@@ -1,0 +1,70 @@
+"""process_until_threshold: the cluster-processing driver.
+
+Giraffe's ``process_until_threshold_c`` template walks items in score
+order, invoking an expensive processor (the extension kernel) on each,
+and stops once remaining items score below a fraction of the best or a
+hard count is reached.  This is the single most time-consuming region of
+the parent application (7–52% of runtime across the paper's inputs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.cluster import Cluster
+from repro.core.extend import (
+    GaplessExtension,
+    KernelCounters,
+    dedupe_extensions,
+    extend_seed,
+)
+from repro.core.options import ExtendOptions, ProcessOptions
+from repro.core.scoring import ScoringParams
+from repro.graph.variation_graph import VariationGraph
+
+
+def process_until_threshold(
+    graph: VariationGraph,
+    haplotypes,
+    read_sequence: str,
+    clusters: Sequence[Cluster],
+    process_options: Optional[ProcessOptions] = None,
+    extend_options: Optional[ExtendOptions] = None,
+    scoring: Optional[ScoringParams] = None,
+    counters: Optional[KernelCounters] = None,
+) -> List[GaplessExtension]:
+    """Extend the best clusters of one read until the thresholds cut off.
+
+    ``clusters`` must already be sorted best-first (as
+    :func:`repro.core.cluster.cluster_seeds` returns them).  For each
+    processed cluster, up to ``max_seeds_per_cluster`` seeds are run
+    through the gapless extension kernel; the deduplicated union of all
+    extensions is returned in canonical order.
+    """
+    process_options = process_options or ProcessOptions()
+    extend_options = extend_options or ExtendOptions()
+    scoring = scoring or ScoringParams()
+    if not clusters:
+        return []
+    best_score = clusters[0].score
+    cutoff = best_score * process_options.score_threshold_factor
+    extensions: List[GaplessExtension] = []
+    for index, cluster in enumerate(clusters):
+        if index >= process_options.max_clusters:
+            break
+        if cluster.score < cutoff:
+            break
+        for seed in cluster.seeds[: extend_options.max_seeds_per_cluster]:
+            extension = extend_seed(
+                graph,
+                haplotypes,
+                read_sequence,
+                seed.read_offset,
+                seed.position,
+                options=extend_options,
+                params=scoring,
+                counters=counters,
+            )
+            if extension is not None and extension.length > 0:
+                extensions.append(extension)
+    return dedupe_extensions(extensions)

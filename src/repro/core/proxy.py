@@ -1,0 +1,178 @@
+"""MiniGiraffe: the proxy application driver.
+
+Loads a GBZ (graph + GBWT) and a captured ``sequence-seeds.bin``, then
+runs the two critical kernels — cluster_seeds and
+process_until_threshold (seed-and-extend) — over batches of reads in
+parallel, exactly mirroring the structure of the parent application's
+hot region.  The three tuning parameters of the paper (scheduler, batch
+size, initial CachedGBWT capacity) are all plumbed through
+:class:`repro.core.options.ProxyOptions`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cluster import cluster_seeds
+from repro.core.extend import GaplessExtension, KernelCounters
+from repro.core.io import ReadRecord, load_seed_file_path
+from repro.core.options import ProxyOptions
+from repro.core.process import process_until_threshold
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbz import GBZ, load_gbz_file
+from repro.index.distance import DistanceIndex
+from repro.sched.base import BatchTrace
+from repro.sched import make_scheduler
+from repro.util.timing import RegionTimer
+
+
+@dataclass
+class MappingResult:
+    """Everything one proxy run produces.
+
+    ``extensions`` is the functional output (what validation compares);
+    the rest is the measurement surface the case studies consume.
+    """
+
+    extensions: Dict[str, List[GaplessExtension]]
+    makespan: float
+    traces: List[BatchTrace] = field(default_factory=list)
+    counters: KernelCounters = field(default_factory=KernelCounters)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    timer: Optional[RegionTimer] = None
+
+    @property
+    def mapped_reads(self) -> int:
+        """Reads with at least one extension found."""
+        return sum(1 for exts in self.extensions.values() if exts)
+
+
+class MiniGiraffe:
+    """The proxy application.
+
+    Parameters
+    ----------
+    gbz:
+        The pangenome reference (graph + GBWT) the reads map against.
+    options:
+        Run parameters; defaults reproduce Giraffe's defaults.
+    seed_span:
+        The k-mer length the input seeds anchor (used by cluster
+        coverage scoring); must match the minimizer index that produced
+        the seed file.
+    distance_index:
+        Optional pre-built distance index (rebuilt from the graph
+        otherwise; sharing one across runs avoids redundant setup in
+        parameter sweeps).
+    """
+
+    def __init__(
+        self,
+        gbz: GBZ,
+        options: Optional[ProxyOptions] = None,
+        seed_span: int = 11,
+        distance_index: Optional[DistanceIndex] = None,
+        scoring: Optional[ScoringParams] = None,
+    ):
+        self.gbz = gbz
+        self.options = options or ProxyOptions()
+        self.seed_span = seed_span
+        self.scoring = scoring or ScoringParams()
+        self.distance_index = distance_index or DistanceIndex(gbz.graph)
+
+    @classmethod
+    def from_files(
+        cls,
+        gbz_path: str,
+        options: Optional[ProxyOptions] = None,
+        seed_span: int = 11,
+    ) -> "MiniGiraffe":
+        """Load the pangenome from a ``.gbz`` file."""
+        return cls(load_gbz_file(gbz_path), options=options, seed_span=seed_span)
+
+    def map_reads(self, records: Sequence[ReadRecord]) -> MappingResult:
+        """Run the critical kernels over all reads; the headline entry point."""
+        options = self.options
+        graph = self.gbz.graph
+        results: List[Optional[List[GaplessExtension]]] = [None] * len(records)
+        timer = RegionTimer(enabled=options.instrument)
+        caches: Dict[int, CachedGBWT] = {}
+        counters: Dict[int, KernelCounters] = {}
+        setup_lock = threading.Lock()
+
+        def thread_context(thread_id: int) -> tuple:
+            with setup_lock:
+                if thread_id not in caches:
+                    caches[thread_id] = CachedGBWT(
+                        self.gbz.gbwt, options.cache_capacity
+                    )
+                    counters[thread_id] = KernelCounters()
+                return caches[thread_id], counters[thread_id]
+
+        def process_batch(first: int, last: int, thread_id: int) -> None:
+            cache, thread_counters = thread_context(thread_id)
+            if options.cache_lifetime == "batch":
+                cache.clear()
+            for index in range(first, last):
+                record = records[index]
+                with timer.region("cluster_seeds"):
+                    clusters = cluster_seeds(
+                        self.distance_index,
+                        record.seeds,
+                        len(record.sequence),
+                        self.seed_span,
+                        options=options.process,
+                        counters=thread_counters,
+                    )
+                with timer.region("process_until_threshold_c"):
+                    extensions = process_until_threshold(
+                        graph,
+                        cache,
+                        record.sequence,
+                        clusters,
+                        process_options=options.process,
+                        extend_options=options.extend,
+                        scoring=self.scoring,
+                        counters=thread_counters,
+                    )
+                results[index] = extensions
+
+        scheduler = make_scheduler(options.scheduler)
+        start = time.perf_counter()
+        traces = scheduler.run(
+            len(records), process_batch, options.threads, options.batch_size
+        )
+        makespan = time.perf_counter() - start
+
+        merged_counters = KernelCounters()
+        for thread_counters in counters.values():
+            merged_counters.merge(thread_counters)
+        cache_stats: Dict[str, float] = {}
+        for cache in caches.values():
+            for key, value in cache.stats().items():
+                if key == "hit_rate":
+                    continue
+                cache_stats[key] = cache_stats.get(key, 0) + value
+        accesses = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+        cache_stats["hit_rate"] = (
+            cache_stats.get("hits", 0) / accesses if accesses else 0.0
+        )
+        return MappingResult(
+            extensions={
+                record.name: result if result is not None else []
+                for record, result in zip(records, results)
+            },
+            makespan=makespan,
+            traces=traces,
+            counters=merged_counters,
+            cache_stats=cache_stats,
+            timer=timer if options.instrument else None,
+        )
+
+    def map_seed_file(self, seeds_path: str) -> MappingResult:
+        """Convenience: load a ``sequence-seeds.bin`` and map it."""
+        return self.map_reads(load_seed_file_path(seeds_path))

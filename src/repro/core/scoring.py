@@ -1,0 +1,40 @@
+"""Alignment scoring for gapless extensions.
+
+Matches vg's default short-read scoring: +1 per match, -4 per mismatch,
+and a +5 full-length bonus per read end reached.  Gapless extensions
+never open gaps, so no gap penalties appear here; the alignment phase of
+the parent application (outside the proxy's scope) would add them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Match/mismatch/bonus scoring for gapless extensions."""
+
+    match: int = 1
+    mismatch: int = 4
+    full_length_bonus: int = 5
+
+    def __post_init__(self):
+        if self.match < 0 or self.mismatch < 0 or self.full_length_bonus < 0:
+            raise ValueError("scoring magnitudes must be non-negative")
+
+
+def extension_score(
+    params: ScoringParams,
+    matched: int,
+    mismatched: int,
+    reaches_start: bool,
+    reaches_end: bool,
+) -> int:
+    """Score of a gapless extension from its match/mismatch counts."""
+    score = matched * params.match - mismatched * params.mismatch
+    if reaches_start:
+        score += params.full_length_bonus
+    if reaches_end:
+        score += params.full_length_bonus
+    return score

@@ -1,0 +1,92 @@
+"""Validation of the proxy against the parent application (paper §VI).
+
+Functional validation asserts the paper's two properties: (1) every
+expected extension appears in the proxy output, and (2) the proxy output
+contains nothing unexpected.  Performance validation uses the cosine
+similarity of hardware-counter vectors, the technique of Richards et
+al. the paper adopts (they report 0.9996 between Giraffe and
+miniGiraffe).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.extend import GaplessExtension
+
+
+def _extension_key(ext: GaplessExtension) -> tuple:
+    return (ext.path, ext.read_interval, ext.start_position, ext.mismatches, ext.score)
+
+
+@dataclass
+class FunctionalReport:
+    """Outcome of comparing proxy output against the expected output."""
+
+    reads_compared: int
+    extensions_expected: int
+    extensions_actual: int
+    missing: List[Tuple[str, GaplessExtension]] = field(default_factory=list)
+    extra: List[Tuple[str, GaplessExtension]] = field(default_factory=list)
+
+    @property
+    def perfect(self) -> bool:
+        """True on a 100% match (the paper's validation result)."""
+        return not self.missing and not self.extra
+
+    @property
+    def match_rate(self) -> float:
+        if self.extensions_expected == 0:
+            return 1.0 if not self.extra else 0.0
+        return 1.0 - len(self.missing) / self.extensions_expected
+
+    def summary(self) -> str:
+        status = "100% match" if self.perfect else (
+            f"{len(self.missing)} missing, {len(self.extra)} extra"
+        )
+        return (
+            f"FunctionalReport(reads={self.reads_compared}, "
+            f"expected={self.extensions_expected}, "
+            f"actual={self.extensions_actual}, {status})"
+        )
+
+
+def compare_outputs(
+    expected: Dict[str, Sequence[GaplessExtension]],
+    actual: Dict[str, Sequence[GaplessExtension]],
+) -> FunctionalReport:
+    """Compare per-read extension sets (order-insensitive, exact values)."""
+    names = sorted(set(expected) | set(actual))
+    report = FunctionalReport(
+        reads_compared=len(names),
+        extensions_expected=sum(len(v) for v in expected.values()),
+        extensions_actual=sum(len(v) for v in actual.values()),
+    )
+    for name in names:
+        expected_keys = {_extension_key(e): e for e in expected.get(name, [])}
+        actual_keys = {_extension_key(e): e for e in actual.get(name, [])}
+        for key in sorted(expected_keys.keys() - actual_keys.keys()):
+            report.missing.append((name, expected_keys[key]))
+        for key in sorted(actual_keys.keys() - expected_keys.keys()):
+            report.extra.append((name, actual_keys[key]))
+    return report
+
+
+def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine of the angle between two metric vectors (1.0 = identical
+    direction).  Raises on mismatched lengths or zero vectors."""
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    dot = sum(x * y for x, y in zip(a, b))
+    norm_a = math.sqrt(sum(x * x for x in a))
+    norm_b = math.sqrt(sum(y * y for y in b))
+    if norm_a == 0 or norm_b == 0:
+        raise ValueError("cosine similarity undefined for zero vectors")
+    return dot / (norm_a * norm_b)
+
+
+def counter_vector(counters: Dict[str, float], keys: Sequence[str]) -> List[float]:
+    """Project a counter dict onto a fixed key order (missing keys = 0)."""
+    return [float(counters.get(key, 0)) for key in keys]

@@ -1,0 +1,49 @@
+"""GBWT / GBZ substrate.
+
+The Graph Burrows-Wheeler Transform (Siren et al.) stores a collection of
+haplotype paths through a variation graph as, per node, a run-length
+encoded BWT of outgoing-edge choices.  Search states are ranges over the
+visits at a node and are extended with FM-index style rank queries, so
+"how many haplotypes continue this walk?" is O(runs) per step.
+
+* :mod:`repro.gbwt.bwt` — classic string BWT / FM-index building blocks
+  (suffix ranking by prefix doubling is reused by the GBWT builder);
+* :mod:`repro.gbwt.records` — per-node records, run-length bodies, and
+  their byte-packed (compressed) encoding;
+* :mod:`repro.gbwt.gbwt` — the index itself: construction from embedded
+  paths and the search-state API;
+* :mod:`repro.gbwt.cache` — CachedGBWT, the capacity-tunable software
+  cache of decompressed records (the paper's ``CC`` tuning knob);
+* :mod:`repro.gbwt.gbz` — the compressed on-disk container bundling the
+  graph with its GBWT.
+"""
+
+from repro.gbwt.bwt import suffix_array, bwt_transform, bwt_inverse, FMIndex
+from repro.gbwt.records import (
+    ENDMARKER,
+    DecompressedRecord,
+    SearchState,
+    encode_record,
+    decode_record,
+)
+from repro.gbwt.gbwt import GBWT, build_gbwt
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbz import GBZ, save_gbz, load_gbz
+
+__all__ = [
+    "suffix_array",
+    "bwt_transform",
+    "bwt_inverse",
+    "FMIndex",
+    "ENDMARKER",
+    "DecompressedRecord",
+    "SearchState",
+    "encode_record",
+    "decode_record",
+    "GBWT",
+    "build_gbwt",
+    "CachedGBWT",
+    "GBZ",
+    "save_gbz",
+    "load_gbz",
+]

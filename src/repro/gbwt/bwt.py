@@ -1,0 +1,167 @@
+"""Classic Burrows-Wheeler machinery.
+
+The GBWT generalizes the FM-index from strings to path sets; this module
+provides the string-level pieces — suffix ranking by prefix doubling, the
+BWT itself, and a small FM-index — both as a substrate in their own right
+and because :func:`rank_by_prefix_doubling` is reused by the GBWT builder
+to order path visits in reverse-prefix order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+TERMINATOR = "\x00"
+
+
+def rank_by_prefix_doubling(keys: Sequence[int]) -> np.ndarray:
+    """Rank the suffixes of an integer sequence.
+
+    Returns an array ``rank`` where ``rank[i]`` is the 0-based position of
+    suffix ``keys[i:]`` in the sorted order of all suffixes.  Uses the
+    standard O(n log n) prefix-doubling construction on numpy arrays.
+    Ties between identical suffixes of different lengths are broken by
+    the shorter suffix sorting first (empty context is smallest).
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.asarray(keys, dtype=np.int64)
+    # Dense initial ranks from the raw symbols, reserving 0 for "past end".
+    order = np.argsort(arr, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    dense = np.cumsum(np.concatenate(([1], arr[order][1:] != arr[order][:-1])))
+    rank[order] = dense
+    k = 1
+    while k < n:
+        second = np.zeros(n, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        composite = rank * (n + 1) + second
+        order = np.argsort(composite, kind="stable")
+        new_rank = np.empty(n, dtype=np.int64)
+        dense = np.cumsum(
+            np.concatenate(([1], composite[order][1:] != composite[order][:-1]))
+        )
+        new_rank[order] = dense
+        rank = new_rank
+        if rank[order[-1]] == n:
+            break
+        k <<= 1
+    return rank - 1
+
+
+def suffix_array(text: str) -> List[int]:
+    """Suffix array of ``text`` (terminator appended internally).
+
+    >>> suffix_array("banana")
+    [6, 5, 3, 1, 0, 4, 2]
+    """
+    data = text + TERMINATOR
+    ranks = rank_by_prefix_doubling([ord(c) for c in data])
+    sa = [0] * len(data)
+    for i, r in enumerate(ranks):
+        sa[r] = i
+    return sa
+
+
+def bwt_transform(text: str) -> str:
+    """Burrows-Wheeler transform of ``text`` (with internal terminator)."""
+    data = text + TERMINATOR
+    sa = suffix_array(text)
+    return "".join(data[i - 1] for i in sa)
+
+
+def bwt_inverse(bwt: str) -> str:
+    """Invert :func:`bwt_transform` via LF mapping."""
+    n = len(bwt)
+    counts: Dict[str, int] = {}
+    ranks = []
+    for ch in bwt:
+        ranks.append(counts.get(ch, 0))
+        counts[ch] = counts.get(ch, 0) + 1
+    first_occurrence: Dict[str, int] = {}
+    total = 0
+    for ch in sorted(counts):
+        first_occurrence[ch] = total
+        total += counts[ch]
+    # Reconstruct backwards: row 0 is the rotation starting with the
+    # terminator, whose BWT character is the text's last character.
+    row = 0
+    out = []
+    for _ in range(n - 1):
+        ch = bwt[row]
+        out.append(ch)
+        row = first_occurrence[ch] + ranks[row]
+    return "".join(reversed(out))
+
+
+class FMIndex:
+    """A small FM-index over one string supporting count and locate.
+
+    Rank queries use sampled checkpoints over the BWT so the structure
+    demonstrates the same space/time trade-off the GBZ paper leans on.
+    """
+
+    def __init__(self, text: str, checkpoint_interval: int = 64):
+        if TERMINATOR in text:
+            raise ValueError("text must not contain the NUL terminator")
+        self.text = text
+        self.sa = suffix_array(text)
+        self.bwt = bwt_transform(text)
+        self._interval = max(1, checkpoint_interval)
+        self._first: Dict[str, int] = {}
+        self._checkpoints: Dict[str, List[int]] = {}
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        counts: Dict[str, int] = {}
+        for ch in self.bwt:
+            counts[ch] = counts.get(ch, 0) + 1
+        total = 0
+        for ch in sorted(counts):
+            self._first[ch] = total
+            total += counts[ch]
+        running = {ch: 0 for ch in counts}
+        for ch in counts:
+            self._checkpoints[ch] = [0]
+        for i, ch in enumerate(self.bwt):
+            running[ch] += 1
+            if (i + 1) % self._interval == 0:
+                for key in self._checkpoints:
+                    self._checkpoints[key].append(running[key])
+
+    def _rank(self, ch: str, position: int) -> int:
+        """Occurrences of ``ch`` in ``bwt[:position]``."""
+        if ch not in self._checkpoints:
+            return 0
+        block = position // self._interval
+        count = self._checkpoints[ch][block]
+        for i in range(block * self._interval, position):
+            if self.bwt[i] == ch:
+                count += 1
+        return count
+
+    def count(self, pattern: str) -> int:
+        """Number of occurrences of ``pattern`` in the text."""
+        lo, hi = self._match_range(pattern)
+        return hi - lo
+
+    def locate(self, pattern: str) -> List[int]:
+        """Sorted start positions of ``pattern`` occurrences."""
+        lo, hi = self._match_range(pattern)
+        return sorted(self.sa[i] for i in range(lo, hi))
+
+    def _match_range(self, pattern: str) -> Tuple[int, int]:
+        if not pattern:
+            return 0, len(self.bwt)
+        lo, hi = 0, len(self.bwt)
+        for ch in reversed(pattern):
+            if ch not in self._first:
+                return 0, 0
+            lo = self._first[ch] + self._rank(ch, lo)
+            hi = self._first[ch] + self._rank(ch, hi)
+            if lo >= hi:
+                return 0, 0
+        return lo, hi

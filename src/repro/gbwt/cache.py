@@ -1,0 +1,259 @@
+"""CachedGBWT: a capacity-tunable cache of decompressed GBWT records.
+
+Giraffe keeps visited GBWT nodes decompressed in a per-thread cache so
+repeated traversals of the same graph neighbourhood skip the record
+decoding cost.  The cache's *initial capacity* is one of the paper's
+three tuning parameters (default 256): growing it avoids expensive
+rehash operations, but oversizing it hurts hardware-cache locality
+(Figure 6 shows degradation past 4096).
+
+We implement the cache as an explicit open-addressing hash table rather
+than a Python dict so that both effects are real in this codebase: a
+too-small initial capacity genuinely pays rehash work, and the table's
+slot array genuinely grows with capacity (the simulated-platform cost
+model reads :attr:`slot_bytes` to charge the locality penalty).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gbwt.gbwt import GBWT
+from repro.gbwt.records import DecompressedRecord, SearchState
+
+_EMPTY = None
+#: Grow when the table is this full.
+_MAX_LOAD = 0.75
+#: Approximate bytes a slot occupies in the C++ layout (pointer + key),
+#: used by the simulated-platform cost model to reason about locality.
+SLOT_BYTES = 16
+
+
+class CachedGBWT:
+    """A read-through cache of decompressed records in front of a GBWT.
+
+    The public surface mirrors :class:`repro.gbwt.gbwt.GBWT` so the
+    extension kernel can be written against either.  All statistics the
+    tuning study consumes (hits, misses, rehashes, probe distance) are
+    tracked.
+    """
+
+    def __init__(self, gbwt: GBWT, initial_capacity: int = 256):
+        if initial_capacity < 1:
+            raise ValueError("initial capacity must be positive")
+        self.gbwt = gbwt
+        self.initial_capacity = initial_capacity
+        self._capacity = self._round_up_pow2(initial_capacity)
+        self._keys: List[Optional[int]] = [_EMPTY] * self._capacity
+        self._values: List[Optional[DecompressedRecord]] = [_EMPTY] * self._capacity
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+        self.rehashes = 0
+        self.probe_steps = 0
+
+    # -- hash table internals ----------------------------------------------
+
+    @staticmethod
+    def _round_up_pow2(value: int) -> int:
+        capacity = 1
+        while capacity < value:
+            capacity <<= 1
+        return capacity
+
+    def _slot(self, key: int) -> int:
+        # Fibonacci hashing spreads sequential handles well.
+        return ((key * 0x9E3779B97F4A7C15) >> 32) & (self._capacity - 1)
+
+    def _probe(self, key: int) -> int:
+        """Index of the slot holding ``key``, or the first empty slot."""
+        index = self._slot(key)
+        while True:
+            slot_key = self._keys[index]
+            if slot_key is _EMPTY or slot_key == key:
+                return index
+            self.probe_steps += 1
+            index = (index + 1) & (self._capacity - 1)
+
+    def _grow(self) -> None:
+        old_keys, old_values = self._keys, self._values
+        self._capacity <<= 1
+        self._keys = [_EMPTY] * self._capacity
+        self._values = [_EMPTY] * self._capacity
+        self._size = 0
+        self.rehashes += 1
+        for key, value in zip(old_keys, old_values):
+            if key is not _EMPTY:
+                index = self._probe(key)
+                self._keys[index] = key
+                self._values[index] = value
+                self._size += 1
+
+    # -- cache interface -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of cached records."""
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current slot count (a power of two)."""
+        return self._capacity
+
+    @property
+    def slot_bytes(self) -> int:
+        """Approximate memory footprint of the slot array."""
+        return self._capacity * SLOT_BYTES
+
+    def record(self, handle: int) -> DecompressedRecord:
+        """Fetch a record, decoding and caching it on first touch."""
+        index = self._probe(handle)
+        if self._keys[index] == handle:
+            self.hits += 1
+            return self._values[index]
+        self.misses += 1
+        record = self.gbwt.record(handle)
+        if (self._size + 1) / self._capacity > _MAX_LOAD:
+            self._grow()
+            index = self._probe(handle)
+        self._keys[index] = handle
+        self._values[index] = record
+        self._size += 1
+        return record
+
+    def contains(self, handle: int) -> bool:
+        """True if the record for ``handle`` is currently cached."""
+        index = self._probe(handle)
+        return self._keys[index] == handle
+
+    def clear(self) -> None:
+        """Drop all cached records, keeping the current capacity."""
+        self._keys = [_EMPTY] * self._capacity
+        self._values = [_EMPTY] * self._capacity
+        self._size = 0
+
+    # -- GBWT-compatible search API -------------------------------------------
+
+    def full_state(self, handle: int) -> SearchState:
+        if not self.gbwt.has_node(handle):
+            return SearchState.empty_state()
+        return self.gbwt.full_state(handle, record=self.record(handle))
+
+    def extend(self, state: SearchState, successor: int) -> SearchState:
+        if state.empty:
+            return SearchState.empty_state()
+        return self.gbwt.extend(state, successor, record=self.record(state.node))
+
+    def successors(self, state: SearchState) -> List[Tuple[int, SearchState]]:
+        if state.empty:
+            return []
+        return self.gbwt.successors(state, record=self.record(state.node))
+
+    def count_haplotypes(self, walk) -> int:
+        if not walk:
+            return 0
+        state = self.full_state(walk[0])
+        for handle in walk[1:]:
+            state = self.extend(state, handle)
+            if state.empty:
+                return 0
+        return state.count
+
+    def stats(self) -> dict:
+        """Snapshot of cache statistics for the tuning harness."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "rehashes": self.rehashes,
+            "probe_steps": self.probe_steps,
+            "size": self._size,
+            "capacity": self._capacity,
+            "slot_bytes": self.slot_bytes,
+        }
+
+
+class BoundedLRUCache:
+    """Alternative eviction policy: a hard-capacity LRU record cache.
+
+    Giraffe's CachedGBWT never evicts — it grows by rehash (see
+    :class:`CachedGBWT`).  This variant holds capacity fixed and evicts
+    the least-recently-used record instead, trading decode work for a
+    bounded footprint.  The ``test_ablation_cache_policy`` benchmark
+    quantifies the trade-off on real workloads (the design-choice
+    ablation flagged in DESIGN.md).
+    """
+
+    def __init__(self, gbwt: GBWT, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.gbwt = gbwt
+        self.capacity = capacity
+        self._entries = {}  # insertion-ordered: dict preserves LRU order
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def record(self, handle: int) -> DecompressedRecord:
+        entry = self._entries.pop(handle, None)
+        if entry is not None:
+            self.hits += 1
+            self._entries[handle] = entry  # move to MRU position
+            return entry
+        self.misses += 1
+        entry = self.gbwt.record(handle)
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[handle] = entry
+        return entry
+
+    def contains(self, handle: int) -> bool:
+        return handle in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- GBWT-compatible search API ---------------------------------------
+
+    def full_state(self, handle: int) -> SearchState:
+        if not self.gbwt.has_node(handle):
+            return SearchState.empty_state()
+        return self.gbwt.full_state(handle, record=self.record(handle))
+
+    def extend(self, state: SearchState, successor: int) -> SearchState:
+        if state.empty:
+            return SearchState.empty_state()
+        return self.gbwt.extend(state, successor, record=self.record(state.node))
+
+    def successors(self, state: SearchState) -> List[Tuple[int, SearchState]]:
+        if state.empty:
+            return []
+        return self.gbwt.successors(state, record=self.record(state.node))
+
+    def count_haplotypes(self, walk) -> int:
+        if not walk:
+            return 0
+        state = self.full_state(walk[0])
+        for handle in walk[1:]:
+            state = self.extend(state, handle)
+            if state.empty:
+                return 0
+        return state.count
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+        }

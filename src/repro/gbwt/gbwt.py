@@ -1,0 +1,317 @@
+"""The Graph BWT index: construction and the search-state API.
+
+Construction follows the textbook GBWT recipe: every embedded path (in
+both orientations, so searches can extend either way) is terminated with
+the endmarker, all path visits are sorted in reverse-prefix order via the
+same prefix-doubling ranking the string BWT uses, and each oriented node
+gets a run-length record of outgoing-edge choices.
+
+The index keeps records *byte-packed* (as GBZ stores them); every access
+decodes the record, which is deliberately the expensive step that the
+:class:`repro.gbwt.cache.CachedGBWT` caches away.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.handle import flip
+from repro.graph.serialize import read_varint, write_varint
+from repro.graph.variation_graph import VariationGraph
+from repro.gbwt.bwt import rank_by_prefix_doubling
+from repro.gbwt.records import (
+    ENDMARKER,
+    DecompressedRecord,
+    SearchState,
+    decode_record,
+    encode_record,
+)
+
+#: Sentinel predecessor for path-start visits; sorts before every handle.
+_PATH_START = -1
+
+
+@dataclass
+class GBWTBuildTrace:
+    """Optional construction by-products used by validation tests.
+
+    ``visit_position[(seq, pos)]`` is the BWT offset the visit received at
+    its node, letting tests replay whole sequences through LF mappings.
+    """
+
+    sequences: List[List[int]] = field(default_factory=list)
+    visit_position: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+class GBWT:
+    """An immutable GBWT over a set of haplotype sequences.
+
+    Parameters
+    ----------
+    packed_records:
+        Byte-packed record per oriented node handle (including the
+        endmarker's record).
+    sequence_count:
+        Number of indexed sequences (both orientations counted).
+    """
+
+    def __init__(
+        self,
+        packed_records: Dict[int, bytes],
+        sequence_count: int,
+        sequence_starts: Optional[List[Tuple[int, int]]] = None,
+    ):
+        self._packed = packed_records
+        self.sequence_count = sequence_count
+        #: Per sequence id: (first node, BWT offset of the first visit).
+        #: This is the GBWT's sequence directory; it makes
+        #: :meth:`extract` possible.
+        self.sequence_starts = sequence_starts or []
+        self.decode_count = 0  # statistics: how often records were decoded
+
+    # -- record access ----------------------------------------------------
+
+    def has_node(self, handle: int) -> bool:
+        return handle in self._packed
+
+    def handles(self) -> List[int]:
+        """All oriented node handles with at least one visit."""
+        return sorted(self._packed)
+
+    def record(self, handle: int) -> DecompressedRecord:
+        """Decode the record for ``handle`` (the uncached, costly path)."""
+        data = self._packed.get(handle)
+        if data is None:
+            raise KeyError(f"no GBWT record for handle {handle}")
+        self.decode_count += 1
+        return decode_record(data)
+
+    def packed_size(self) -> int:
+        """Total bytes of packed records (the in-memory footprint)."""
+        return sum(len(v) for v in self._packed.values())
+
+    # -- search-state API ---------------------------------------------------
+
+    def full_state(
+        self, handle: int, record: Optional[DecompressedRecord] = None
+    ) -> SearchState:
+        """State covering every haplotype visit at ``handle``."""
+        if record is None:
+            if handle not in self._packed:
+                return SearchState.empty_state()
+            record = self.record(handle)
+        return SearchState(handle, 0, record.visit_count)
+
+    def extend(
+        self,
+        state: SearchState,
+        successor: int,
+        record: Optional[DecompressedRecord] = None,
+    ) -> SearchState:
+        """Extend a search state along an edge, FM-index style.
+
+        Returns the (possibly empty) state at ``successor`` covering
+        exactly the haplotypes of ``state`` that continue there.  Pass a
+        pre-fetched ``record`` for ``state.node`` to skip decoding (this
+        is how the CachedGBWT plugs in).
+        """
+        if state.empty:
+            return SearchState.empty_state()
+        if record is None:
+            record = self.record(state.node)
+        edge_idx = record.edge_index(successor)
+        if edge_idx is None:
+            return SearchState.empty_state()
+        start = record.offsets[edge_idx] + record.rank(edge_idx, state.start)
+        end = record.offsets[edge_idx] + record.rank(edge_idx, state.end)
+        return SearchState(successor, start, end)
+
+    def successors(
+        self, state: SearchState, record: Optional[DecompressedRecord] = None
+    ) -> List[Tuple[int, SearchState]]:
+        """All non-empty extensions of ``state``, excluding the endmarker."""
+        if state.empty:
+            return []
+        if record is None:
+            record = self.record(state.node)
+        out: List[Tuple[int, SearchState]] = []
+        for successor in record.edges:
+            if successor == ENDMARKER:
+                continue
+            nxt = self.extend(state, successor, record=record)
+            if not nxt.empty:
+                out.append((successor, nxt))
+        return out
+
+    def count_haplotypes(self, walk: Sequence[int]) -> int:
+        """Haplotypes containing ``walk`` as a consecutive subpath."""
+        if not walk:
+            return 0
+        state = self.full_state(walk[0])
+        for handle in walk[1:]:
+            state = self.extend(state, handle)
+            if state.empty:
+                return 0
+        return state.count
+
+    def extract(self, sequence_id: int) -> List[int]:
+        """Reconstruct one indexed sequence by walking LF mappings.
+
+        This is the GBWT's decompression path: starting from the
+        sequence directory entry, repeatedly take the visit's outgoing
+        edge and LF-map the offset until the endmarker terminates the
+        walk.  The returned handle list excludes the endmarker.
+        """
+        if not 0 <= sequence_id < len(self.sequence_starts):
+            raise IndexError(f"no sequence {sequence_id} in the directory")
+        node, offset = self.sequence_starts[sequence_id]
+        walk: List[int] = []
+        while node != ENDMARKER:
+            walk.append(node)
+            record = self.record(node)
+            successor = record.successor_at(offset)
+            landed = record.lf(offset, successor)
+            assert landed is not None  # successor_at guarantees the edge
+            node, offset = successor, landed
+        return walk
+
+    def extract_all(self) -> List[List[int]]:
+        """Reconstruct every indexed sequence (both orientations)."""
+        return [self.extract(s) for s in range(len(self.sequence_starts))]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize all packed records plus the sequence directory
+        (the GBZ GBWT section)."""
+        out = io.BytesIO()
+        write_varint(out, self.sequence_count)
+        write_varint(out, len(self.sequence_starts))
+        for node, offset in self.sequence_starts:
+            write_varint(out, node)
+            write_varint(out, offset)
+        write_varint(out, len(self._packed))
+        for handle in sorted(self._packed):
+            data = self._packed[handle]
+            write_varint(out, handle)
+            write_varint(out, len(data))
+            out.write(data)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GBWT":
+        stream = io.BytesIO(data)
+        sequence_count = read_varint(stream)
+        start_count = read_varint(stream)
+        starts = [
+            (read_varint(stream), read_varint(stream)) for _ in range(start_count)
+        ]
+        record_count = read_varint(stream)
+        packed: Dict[int, bytes] = {}
+        for _ in range(record_count):
+            handle = read_varint(stream)
+            size = read_varint(stream)
+            packed[handle] = stream.read(size)
+        return cls(packed, sequence_count, sequence_starts=starts)
+
+
+def _collect_sequences(
+    graph: VariationGraph, bidirectional: bool
+) -> List[List[int]]:
+    sequences: List[List[int]] = []
+    for name in sorted(graph.paths):
+        handles = list(graph.paths[name].handles)
+        sequences.append(handles + [ENDMARKER])
+        if bidirectional:
+            sequences.append([flip(h) for h in reversed(handles)] + [ENDMARKER])
+    return sequences
+
+
+def build_gbwt(
+    graph: VariationGraph,
+    bidirectional: bool = True,
+    with_trace: bool = False,
+) -> Tuple[GBWT, Optional[GBWTBuildTrace]]:
+    """Build a GBWT from the paths embedded in ``graph``.
+
+    Returns ``(gbwt, trace)``; the trace is only populated when
+    ``with_trace`` is requested (validation tests replay sequences
+    through LF mappings against it).
+    """
+    sequences = _collect_sequences(graph, bidirectional)
+    if not sequences:
+        raise ValueError("graph has no paths to index")
+
+    # Flatten reversed, start-marked sequences into one key stream whose
+    # suffix ranks equal reverse-prefix ranks of the visits.
+    text: List[int] = []
+    visit_text_pos: Dict[Tuple[int, int], int] = {}
+    for s, seq in enumerate(sequences):
+        start_symbol = _PATH_START - (len(sequences) - 1 - s)
+        extended = [start_symbol] + seq
+        base = len(text)
+        text.extend(reversed(extended))
+        for p in range(len(seq)):
+            visit_text_pos[(s, p)] = base + len(extended) - 2 - p
+    ranks = rank_by_prefix_doubling(text)
+
+    visits_by_node: Dict[int, List[Tuple[int, int, int]]] = defaultdict(list)
+    for (s, p), pos in visit_text_pos.items():
+        visits_by_node[sequences[s][p]].append((int(ranks[pos]), s, p))
+
+    trace = GBWTBuildTrace(sequences=sequences) if with_trace else None
+
+    # First pass: sorted visit order per node, predecessor group sizes.
+    sorted_visits: Dict[int, List[Tuple[int, int]]] = {}
+    pred_counts: Dict[int, Dict[int, int]] = {}
+    for node, visits in visits_by_node.items():
+        visits.sort()
+        order = [(s, p) for _, s, p in visits]
+        sorted_visits[node] = order
+        counts: Dict[int, int] = defaultdict(int)
+        for s, p in order:
+            predecessor = sequences[s][p - 1] if p > 0 else _PATH_START
+            counts[predecessor] += 1
+        pred_counts[node] = dict(counts)
+        if trace is not None:
+            for offset, (s, p) in enumerate(order):
+                trace.visit_position[(s, p)] = offset
+
+    # Offsets: visits at w contributed by v start after all visits whose
+    # predecessor sorts before v (path starts come first).
+    def edge_offset(predecessor: int, successor: int) -> int:
+        counts = pred_counts[successor]
+        return sum(c for pred, c in counts.items() if pred < predecessor)
+
+    # Sequence directory: each sequence's first visit position.
+    sequence_starts: List[Tuple[int, int]] = []
+    for s, seq in enumerate(sequences):
+        first_node = seq[0]
+        position = sorted_visits[first_node].index((s, 0))
+        sequence_starts.append((first_node, position))
+
+    packed: Dict[int, bytes] = {}
+    for node, order in sorted_visits.items():
+        successors: List[Optional[int]] = []
+        for s, p in order:
+            seq = sequences[s]
+            successors.append(seq[p + 1] if p + 1 < len(seq) else None)
+        edges = sorted({succ for succ in successors if succ is not None})
+        edge_index = {succ: i for i, succ in enumerate(edges)}
+        offsets = [edge_offset(node, succ) for succ in edges]
+        runs: List[Tuple[int, int]] = []
+        for succ in successors:
+            if succ is None:
+                continue
+            idx = edge_index[succ]
+            if runs and runs[-1][0] == idx:
+                runs[-1] = (idx, runs[-1][1] + 1)
+            else:
+                runs.append((idx, 1))
+        record = DecompressedRecord(node, edges, offsets, runs)
+        packed[node] = encode_record(record)
+
+    return GBWT(packed, len(sequences), sequence_starts=sequence_starts), trace

@@ -1,0 +1,98 @@
+"""GBZ: the compressed on-disk container for graph + GBWT.
+
+The real GBZ format (Siren & Paten, 2022) bundles a GBWT with the graph
+sequences in one compressed file that is decompressed at load time.  Our
+container mirrors that shape: a magic/version header, then the graph
+section and the GBWT record section, each zlib-compressed with stored
+lengths and CRC-checked.  Loading decompresses both sections, after
+which per-record decoding (the fine-grained "decompression" Giraffe's
+CachedGBWT amortizes) still happens lazily on access.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO
+
+from repro.graph.serialize import graph_from_bytes, graph_to_bytes
+from repro.graph.variation_graph import VariationGraph
+from repro.gbwt.gbwt import GBWT
+
+MAGIC = b"RGBZ"
+VERSION = 1
+_HEADER = struct.Struct("<4sH")
+_SECTION = struct.Struct("<QQI")  # compressed len, raw len, crc32
+
+
+@dataclass
+class GBZ:
+    """An in-memory (graph, GBWT) pair loaded from or bound for a file."""
+
+    graph: VariationGraph
+    gbwt: GBWT
+
+    def summary(self) -> str:
+        return (
+            f"GBZ({self.graph.describe()}, "
+            f"gbwt_sequences={self.gbwt.sequence_count}, "
+            f"gbwt_bytes={self.gbwt.packed_size()})"
+        )
+
+
+def _write_section(stream: BinaryIO, raw: bytes, level: int) -> None:
+    compressed = zlib.compress(raw, level)
+    stream.write(_SECTION.pack(len(compressed), len(raw), zlib.crc32(raw)))
+    stream.write(compressed)
+
+
+def _read_section(stream: BinaryIO) -> bytes:
+    header = stream.read(_SECTION.size)
+    if len(header) != _SECTION.size:
+        raise ValueError("truncated GBZ section header")
+    compressed_len, raw_len, crc = _SECTION.unpack(header)
+    compressed = stream.read(compressed_len)
+    if len(compressed) != compressed_len:
+        raise ValueError("truncated GBZ section payload")
+    raw = zlib.decompress(compressed)
+    if len(raw) != raw_len:
+        raise ValueError("GBZ section length mismatch after decompression")
+    if zlib.crc32(raw) != crc:
+        raise ValueError("GBZ section checksum mismatch")
+    return raw
+
+
+def save_gbz(gbz: GBZ, stream: BinaryIO, level: int = 6) -> None:
+    """Write a GBZ container to a binary stream."""
+    stream.write(_HEADER.pack(MAGIC, VERSION))
+    _write_section(stream, graph_to_bytes(gbz.graph), level)
+    _write_section(stream, gbz.gbwt.to_bytes(), level)
+
+
+def load_gbz(stream: BinaryIO) -> GBZ:
+    """Read a GBZ container written by :func:`save_gbz`."""
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise ValueError("truncated GBZ header")
+    magic, version = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ValueError(f"bad GBZ magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"unsupported GBZ version {version}")
+    graph = graph_from_bytes(_read_section(stream))
+    gbwt = GBWT.from_bytes(_read_section(stream))
+    return GBZ(graph=graph, gbwt=gbwt)
+
+
+def save_gbz_file(gbz: GBZ, path: str, level: int = 6) -> None:
+    """Write a GBZ container to ``path``."""
+    with open(path, "wb") as handle:
+        save_gbz(gbz, handle, level)
+
+
+def load_gbz_file(path: str) -> GBZ:
+    """Read a GBZ container from ``path``."""
+    with open(path, "rb") as handle:
+        return load_gbz(handle)

@@ -1,0 +1,180 @@
+"""GBWT node records: run-length bodies and their byte-packed encoding.
+
+Each oriented node of the graph owns a *record* describing every path
+visit through it:
+
+* ``edges`` — the sorted successor handles, each with the BWT offset of
+  the first visit that this node contributes to that successor;
+* ``body`` — a run-length encoded sequence of edge indices, one entry per
+  visit, in reverse-prefix (BWT) order.
+
+Records live byte-packed ("compressed") inside the GBWT, exactly as GBZ
+keeps them on disk; touching one requires decoding it, which is the cost
+the CachedGBWT exists to amortize.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.graph.serialize import read_varint, write_varint
+
+#: The GBWT endmarker: visits at this pseudo-node terminate sequences.
+ENDMARKER = 0
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """A GBWT search state: the visits at ``node`` in range [start, end)."""
+
+    node: int
+    start: int
+    end: int
+
+    @property
+    def count(self) -> int:
+        """Number of haplotype visits covered by this state."""
+        return max(0, self.end - self.start)
+
+    @property
+    def empty(self) -> bool:
+        return self.end <= self.start
+
+    @staticmethod
+    def empty_state() -> "SearchState":
+        return SearchState(ENDMARKER, 0, 0)
+
+
+class DecompressedRecord:
+    """A fully decoded node record, cheap to query repeatedly.
+
+    This is what the CachedGBWT stores: edge lists as plain lists and the
+    body expanded enough for O(runs) rank queries.
+    """
+
+    __slots__ = ("node", "edges", "offsets", "runs", "_prefix")
+
+    def __init__(
+        self,
+        node: int,
+        edges: List[int],
+        offsets: List[int],
+        runs: List[Tuple[int, int]],
+    ):
+        self.node = node
+        #: Sorted successor handles.
+        self.edges = edges
+        #: BWT offset at each successor for visits coming from this node.
+        self.offsets = offsets
+        #: Run-length body: (edge_index, length) pairs in visit order.
+        self.runs = runs
+        # Cumulative run start positions, for bisection-free scans.
+        prefix = [0]
+        for _, length in runs:
+            prefix.append(prefix[-1] + length)
+        self._prefix = prefix
+
+    @property
+    def visit_count(self) -> int:
+        """Total path visits through this node."""
+        return self._prefix[-1]
+
+    @property
+    def outdegree(self) -> int:
+        return len(self.edges)
+
+    def edge_index(self, successor: int) -> Optional[int]:
+        """Index of ``successor`` in the edge list, or None."""
+        lo, hi = 0, len(self.edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.edges[mid] < successor:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.edges) and self.edges[lo] == successor:
+            return lo
+        return None
+
+    def rank(self, edge_idx: int, position: int) -> int:
+        """Visits in ``body[:position]`` that take edge ``edge_idx``."""
+        count = 0
+        for run_start, (run_edge, run_len) in zip(self._prefix, self.runs):
+            if run_start >= position:
+                break
+            if run_edge == edge_idx:
+                count += min(run_len, position - run_start)
+        return count
+
+    def successor_at(self, position: int) -> int:
+        """Successor handle taken by the visit at ``position``."""
+        if not 0 <= position < self.visit_count:
+            raise IndexError(f"visit {position} out of range")
+        lo, hi = 0, len(self.runs)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._prefix[mid] <= position:
+                lo = mid
+            else:
+                hi = mid
+        return self.edges[self.runs[lo][0]]
+
+    def lf(self, position: int, successor: int) -> Optional[int]:
+        """LF mapping: where visit ``position`` lands at ``successor``.
+
+        Returns None when the visit at ``position`` does not continue to
+        ``successor``.
+        """
+        idx = self.edge_index(successor)
+        if idx is None:
+            return None
+        if self.successor_at(position) != successor:
+            return None
+        return self.offsets[idx] + self.rank(idx, position)
+
+    def successor_counts(self) -> List[Tuple[int, int]]:
+        """(successor handle, visit count) pairs, sorted by handle."""
+        totals = [0] * len(self.edges)
+        for edge_idx, length in self.runs:
+            totals[edge_idx] += length
+        return [(succ, totals[i]) for i, succ in enumerate(self.edges)]
+
+
+def encode_record(record: DecompressedRecord) -> bytes:
+    """Byte-pack a record (varint deltas; the GBZ on-disk form)."""
+    out = io.BytesIO()
+    write_varint(out, record.node)
+    write_varint(out, len(record.edges))
+    previous = 0
+    for successor, offset in zip(record.edges, record.offsets):
+        write_varint(out, successor - previous)
+        write_varint(out, offset)
+        previous = successor
+    write_varint(out, len(record.runs))
+    for edge_idx, length in record.runs:
+        write_varint(out, edge_idx)
+        write_varint(out, length)
+    return out.getvalue()
+
+
+def decode_record(data: bytes) -> DecompressedRecord:
+    """Decode bytes produced by :func:`encode_record`."""
+    stream = io.BytesIO(data)
+    node = read_varint(stream)
+    edge_count = read_varint(stream)
+    edges: List[int] = []
+    offsets: List[int] = []
+    previous = 0
+    for _ in range(edge_count):
+        previous += read_varint(stream)
+        edges.append(previous)
+        offsets.append(read_varint(stream))
+    run_count = read_varint(stream)
+    runs: List[Tuple[int, int]] = []
+    for _ in range(run_count):
+        edge_idx = read_varint(stream)
+        length = read_varint(stream)
+        runs.append((edge_idx, length))
+    return DecompressedRecord(node, edges, offsets, runs)

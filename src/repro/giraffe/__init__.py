@@ -1,0 +1,62 @@
+"""The parent application: a from-scratch Giraffe-style pangenome mapper.
+
+This package plays the role of vg Giraffe in the reproduction: the full
+seed → cluster → extend → align pipeline over a GBZ pangenome, with the
+VG-style batch scheduler and the timestamp instrumentation the paper
+used to characterize the workload (Section IV).  Its cluster/extend
+kernels are the *same code* the proxy wraps — exactly how the real
+miniGiraffe was extracted from Giraffe — so functional validation
+compares two harnesses around one kernel, and the capture helpers
+(:mod:`repro.giraffe.seeding`) export the proxy's ``sequence-seeds.bin``
+input at the precise point the paper taps Giraffe's I/O.
+"""
+
+from repro.giraffe.instrument import (
+    REGION_ALIGN,
+    REGION_CLUSTER,
+    REGION_EXTEND,
+    REGION_MINIMIZER,
+    REGION_SCORE,
+    REGION_SEED,
+    ALL_REGIONS,
+)
+from repro.giraffe.alignment import Alignment, alignments_from_extensions
+from repro.giraffe.seeding import SeedFinder
+from repro.giraffe.scheduler import VGBatchScheduler
+from repro.giraffe.mapper import GiraffeMapper, GiraffeOptions, GiraffeRunResult
+from repro.giraffe.paired import (
+    FragmentModel,
+    PairedAlignment,
+    PairedRunResult,
+    pair_extensions,
+    split_mates,
+)
+from repro.giraffe.gam import read_gam_file, write_gam_file, write_paired_gam
+from repro.giraffe.characterize import Characterization, characterize
+
+__all__ = [
+    "REGION_MINIMIZER",
+    "REGION_SEED",
+    "REGION_CLUSTER",
+    "REGION_EXTEND",
+    "REGION_SCORE",
+    "REGION_ALIGN",
+    "ALL_REGIONS",
+    "Alignment",
+    "alignments_from_extensions",
+    "SeedFinder",
+    "VGBatchScheduler",
+    "GiraffeMapper",
+    "GiraffeOptions",
+    "GiraffeRunResult",
+    "FragmentModel",
+    "PairedAlignment",
+    "PairedRunResult",
+    "pair_extensions",
+    "split_mates",
+    "read_gam_file",
+    "write_gam_file",
+    "write_paired_gam",
+    "Characterization",
+    "characterize",
+]

@@ -1,0 +1,100 @@
+"""Alignment post-processing: the parent-only pipeline tail.
+
+miniGiraffe deliberately stops at raw extensions (paper §V); the parent
+application continues — scoring extensions, picking a primary mapping,
+estimating mapping quality, and emitting a CIGAR-style record.  This
+module implements that tail so the parent is a complete mapper and the
+proxy's omission of it is a *measured* simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.extend import GaplessExtension
+
+#: MAPQ ceiling, as used by most short-read mappers.
+MAX_MAPQ = 60
+
+
+def cigar_string(extension: GaplessExtension) -> str:
+    """A CIGAR-like run-length summary (= for match, X for mismatch)."""
+    start, end = extension.read_interval
+    if end <= start:
+        return ""
+    mismatch_set = set(extension.mismatches)
+    ops: List[Tuple[int, str]] = []
+    for offset in range(start, end):
+        op = "X" if offset in mismatch_set else "="
+        if ops and ops[-1][1] == op:
+            ops[-1] = (ops[-1][0] + 1, op)
+        else:
+            ops.append((1, op))
+    return "".join(f"{count}{op}" for count, op in ops)
+
+
+def mapping_quality(best_score: int, second_score: Optional[int]) -> int:
+    """Phred-style confidence from the score gap to the runner-up.
+
+    A unique high-scoring mapping earns the ceiling; close competitors
+    rapidly pull the quality toward zero.
+    """
+    if best_score <= 0:
+        return 0
+    if second_score is None:
+        return MAX_MAPQ
+    gap = best_score - second_score
+    if gap <= 0:
+        return 0
+    return min(MAX_MAPQ, 6 * gap)
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A finished read mapping (what Giraffe would emit as GAM)."""
+
+    read_name: str
+    position: Tuple[int, int]  # (handle, offset) of the mapped read start
+    path: Tuple[int, ...]
+    score: int
+    mapq: int
+    cigar: str
+    is_mapped: bool
+
+    @staticmethod
+    def unmapped(read_name: str) -> "Alignment":
+        return Alignment(
+            read_name=read_name,
+            position=(0, 0),
+            path=(),
+            score=0,
+            mapq=0,
+            cigar="",
+            is_mapped=False,
+        )
+
+
+def alignments_from_extensions(
+    read_name: str,
+    extensions: Sequence[GaplessExtension],
+    min_score: int = 0,
+) -> Alignment:
+    """Pick the primary mapping from a read's extensions.
+
+    Extensions must already be in canonical (best-first) order, as
+    :func:`repro.core.extend.dedupe_extensions` returns them.
+    """
+    if not extensions or extensions[0].score <= min_score:
+        return Alignment.unmapped(read_name)
+    best = extensions[0]
+    second = extensions[1].score if len(extensions) > 1 else None
+    return Alignment(
+        read_name=read_name,
+        position=best.start_position,
+        path=best.path,
+        score=best.score,
+        mapq=mapping_quality(best.score, second),
+        cigar=cigar_string(best),
+        is_mapped=True,
+    )

@@ -1,0 +1,138 @@
+"""Workload characterization: the paper's Section IV as a library API.
+
+The paper's first contribution is a characterization of Giraffe's
+mapping workload: which instrumented regions dominate (Figure 3), how
+work spreads over threads (Figure 2), and how the hot region scales
+with threads (Figure 4).  This module packages that methodology so a
+user can characterize *any* workload bundle in one call and get the
+same artifacts programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.threads import UtilizationReport, analyze_traces
+from repro.giraffe.instrument import CRITICAL_REGIONS, REGION_EXTEND
+from repro.giraffe.mapper import GiraffeMapper, GiraffeOptions, GiraffeRunResult
+from repro.workloads.input_sets import WorkloadBundle
+
+
+@dataclass
+class RegionProfile:
+    """Aggregated share of one instrumented region."""
+
+    region: str
+    seconds: float
+    percent: float
+    entries: int
+
+
+@dataclass
+class Characterization:
+    """Everything one characterization run produces."""
+
+    input_set: str
+    read_count: int
+    makespan: float
+    regions: List[RegionProfile]
+    utilization: UtilizationReport
+    critical_fraction: float
+    run: GiraffeRunResult = field(repr=False, default=None)
+
+    def dominant_region(self) -> RegionProfile:
+        return max(self.regions, key=lambda r: r.seconds)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"characterization of {self.input_set}: {self.read_count} reads, "
+            f"makespan {self.makespan:.2f}s",
+            f"critical functions (cluster+extend): "
+            f"{self.critical_fraction:.1%} of instrumented time",
+        ]
+        for region in sorted(self.regions, key=lambda r: -r.seconds):
+            lines.append(
+                f"  {region.region:28s} {region.percent:5.1f}%  "
+                f"({region.entries} entries)"
+            )
+        lines.append(
+            f"  threads: {self.utilization.thread_count}, "
+            f"imbalance {self.utilization.imbalance:.2f}x, "
+            f"utilization {self.utilization.mean_utilization:.1%}"
+        )
+        return lines
+
+
+def characterize(
+    bundle: WorkloadBundle,
+    threads: int = 2,
+    batch_size: int = 32,
+    mapper: Optional[GiraffeMapper] = None,
+) -> Characterization:
+    """Run an instrumented mapping and aggregate the paper's metrics."""
+    if mapper is None:
+        mapper = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                threads=threads,
+                batch_size=batch_size,
+                minimizer_k=bundle.spec.minimizer_k,
+                minimizer_w=bundle.spec.minimizer_w,
+                instrument=True,
+            ),
+        )
+    run = mapper.map_all(bundle.reads)
+    totals = run.timer.totals_by_region()
+    grand = sum(totals.values()) or 1.0
+    entries: Dict[str, int] = {}
+    for sample in run.timer.samples():
+        entries[sample.region] = entries.get(sample.region, 0) + 1
+    regions = [
+        RegionProfile(
+            region=region,
+            seconds=seconds,
+            percent=100.0 * seconds / grand,
+            entries=entries.get(region, 0),
+        )
+        for region, seconds in sorted(totals.items())
+    ]
+    critical = sum(totals.get(r, 0.0) for r in CRITICAL_REGIONS)
+    return Characterization(
+        input_set=bundle.name,
+        read_count=bundle.read_count,
+        makespan=run.makespan,
+        regions=regions,
+        utilization=analyze_traces(run.traces),
+        critical_fraction=critical / grand,
+        run=run,
+    )
+
+
+def thread_sweep(
+    bundle: WorkloadBundle,
+    thread_counts: Tuple[int, ...] = (1, 2, 4),
+    batch_size: int = 32,
+) -> List[Tuple[int, float]]:
+    """Wall-clock makespans over a thread sweep (Figure 4's raw data).
+
+    Note: Python threads share the GIL, so wall-clock speedup here is
+    bounded; use :mod:`repro.sim.exec_model` for paper-scale scaling
+    predictions.  This sweep is still the right tool for measuring
+    scheduler *overhead* differences on real threads.
+    """
+    results = []
+    for threads in thread_counts:
+        mapper = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                threads=threads,
+                batch_size=batch_size,
+                minimizer_k=bundle.spec.minimizer_k,
+                minimizer_w=bundle.spec.minimizer_w,
+                instrument=False,
+            ),
+        )
+        run = mapper.map_all(bundle.reads)
+        results.append((threads, run.makespan))
+    return results

@@ -1,0 +1,110 @@
+"""GAM-style alignment output: a JSON-lines serialization.
+
+vg Giraffe emits mappings as GAM (protobuf) records; the toolkit's
+interchange form is JSON-lines (one alignment object per line, the
+``vg view -a`` format).  We implement the JSON-lines form directly so
+runs can be written, diffed, and reloaded without a protobuf
+dependency.  Unmapped reads are recorded too, as real GAM does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, TextIO
+
+from repro.giraffe.alignment import Alignment
+from repro.giraffe.paired import PairedAlignment
+
+
+def alignment_to_dict(alignment: Alignment) -> dict:
+    """The JSON object for one alignment record."""
+    record = {
+        "name": alignment.read_name,
+        "mapped": alignment.is_mapped,
+    }
+    if alignment.is_mapped:
+        record.update(
+            {
+                "position": {
+                    "handle": alignment.position[0],
+                    "offset": alignment.position[1],
+                },
+                "path": list(alignment.path),
+                "score": alignment.score,
+                "mapq": alignment.mapq,
+                "cigar": alignment.cigar,
+            }
+        )
+    return record
+
+
+def alignment_from_dict(record: dict) -> Alignment:
+    """Inverse of :func:`alignment_to_dict`."""
+    if not record.get("mapped", False):
+        return Alignment.unmapped(record["name"])
+    position = record["position"]
+    return Alignment(
+        read_name=record["name"],
+        position=(position["handle"], position["offset"]),
+        path=tuple(record["path"]),
+        score=record["score"],
+        mapq=record["mapq"],
+        cigar=record["cigar"],
+        is_mapped=True,
+    )
+
+
+def write_gam(alignments: Iterable[Alignment], stream: TextIO) -> int:
+    """Write alignments as JSON-lines; returns the record count."""
+    count = 0
+    for alignment in alignments:
+        stream.write(json.dumps(alignment_to_dict(alignment), sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_gam(stream: TextIO) -> Iterator[Alignment]:
+    """Read alignments written by :func:`write_gam`."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield alignment_from_dict(json.loads(line))
+
+
+def write_gam_file(alignments: Iterable[Alignment], path: str) -> int:
+    with open(path, "w") as handle:
+        return write_gam(alignments, handle)
+
+
+def read_gam_file(path: str) -> List[Alignment]:
+    with open(path) as handle:
+        return list(read_gam(handle))
+
+
+def paired_to_dicts(pair: PairedAlignment) -> List[dict]:
+    """Two GAM records for a mate pair, annotated with pairing fields."""
+    records = []
+    for mate, other in ((pair.mate1, pair.mate2), (pair.mate2, pair.mate1)):
+        record = alignment_to_dict(mate)
+        record["paired"] = {
+            "mate": other.read_name,
+            "properly_paired": pair.properly_paired,
+        }
+        if pair.fragment_length is not None:
+            record["paired"]["fragment_length"] = pair.fragment_length
+        records.append(record)
+    return records
+
+
+def write_paired_gam(
+    pairs: Dict[str, PairedAlignment], stream: TextIO
+) -> int:
+    """Write a paired run's mates as annotated JSON-lines records."""
+    count = 0
+    for stem in sorted(pairs):
+        for record in paired_to_dicts(pairs[stem]):
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count

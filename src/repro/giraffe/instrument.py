@@ -1,0 +1,31 @@
+"""Instrumentation region names for the parent mapper.
+
+These mirror the regions the paper's custom C++ header annotated in
+Giraffe (Figures 2 and 3): minimizer lookup, seed finding, seed
+clustering, the process-until-threshold extension loop, extension
+scoring, and final alignment.  The timer itself is
+:class:`repro.util.timing.RegionTimer` — the Python analogue of the
+paper's UThash-backed timestamp collector.
+"""
+
+from __future__ import annotations
+
+REGION_MINIMIZER = "find_minimizers"
+REGION_SEED = "find_seeds"
+REGION_CLUSTER = "cluster_seeds"
+REGION_EXTEND = "process_until_threshold_c"
+REGION_SCORE = "score_extensions"
+REGION_ALIGN = "alignment"
+
+#: All instrumented regions, in pipeline order.
+ALL_REGIONS = (
+    REGION_MINIMIZER,
+    REGION_SEED,
+    REGION_CLUSTER,
+    REGION_EXTEND,
+    REGION_SCORE,
+    REGION_ALIGN,
+)
+
+#: The paper's *critical functions*: the regions miniGiraffe encapsulates.
+CRITICAL_REGIONS = (REGION_CLUSTER, REGION_EXTEND)

@@ -1,0 +1,245 @@
+"""The full parent mapper: seed → cluster → extend → score → align.
+
+Structurally mirrors vg Giraffe's mapping workflow (paper Section IV-B):
+per read, minimizers are looked up and turned into seeds, seeds are
+clustered by graph distance, the best clusters are run through gapless
+extension until the score threshold cuts off, and the extensions are
+scored and converted into a final alignment.  Every stage is wrapped in
+the instrumentation regions the paper's characterization used, and the
+critical region (cluster + extend) runs the *identical kernel code* the
+proxy wraps — which is what makes functional validation meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cluster import cluster_seeds
+from repro.core.extend import GaplessExtension, KernelCounters
+from repro.core.io import ReadRecord
+from repro.core.options import ExtendOptions, ProcessOptions
+from repro.core.process import process_until_threshold
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbz import GBZ
+from repro.giraffe.alignment import Alignment, alignments_from_extensions
+from repro.giraffe.instrument import (
+    CRITICAL_REGIONS,
+    REGION_ALIGN,
+    REGION_CLUSTER,
+    REGION_EXTEND,
+    REGION_MINIMIZER,
+    REGION_SCORE,
+    REGION_SEED,
+)
+from repro.giraffe.scheduler import VGBatchScheduler
+from repro.giraffe.seeding import SeedFinder
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import Seed
+from repro.sched.base import BatchTrace
+from repro.util.timing import RegionTimer
+from repro.workloads.reads import Read
+
+
+@dataclass(frozen=True)
+class GiraffeOptions:
+    """Parent-application run parameters (vg defaults where they exist)."""
+
+    threads: int = 1
+    batch_size: int = 512
+    cache_capacity: int = 256
+    minimizer_k: int = 13
+    minimizer_w: int = 9
+    instrument: bool = True
+    extend: ExtendOptions = field(default_factory=ExtendOptions)
+    process: ProcessOptions = field(default_factory=ProcessOptions)
+
+
+@dataclass
+class GiraffeRunResult:
+    """Everything a parent mapping run produces."""
+
+    alignments: Dict[str, Alignment]
+    critical_extensions: Dict[str, List[GaplessExtension]]
+    makespan: float
+    timer: RegionTimer
+    traces: List[BatchTrace]
+    counters: KernelCounters
+
+    @property
+    def critical_time(self) -> float:
+        """Aggregate time inside the proxy-covered regions (Table VI's
+        Giraffe column measures exactly this)."""
+        totals = self.timer.totals_by_region()
+        return sum(totals.get(region, 0.0) for region in CRITICAL_REGIONS)
+
+    @property
+    def mapped_count(self) -> int:
+        return sum(1 for a in self.alignments.values() if a.is_mapped)
+
+
+class GiraffeMapper:
+    """The parent pangenome short-read mapper."""
+
+    def __init__(
+        self,
+        gbz: GBZ,
+        options: Optional[GiraffeOptions] = None,
+        scoring: Optional[ScoringParams] = None,
+    ):
+        self.gbz = gbz
+        self.options = options or GiraffeOptions()
+        self.scoring = scoring or ScoringParams()
+        self.seed_finder = SeedFinder(
+            gbz.graph, k=self.options.minimizer_k, w=self.options.minimizer_w
+        )
+        self.distance_index = DistanceIndex(gbz.graph)
+
+    # -- the per-read mapping workflow ------------------------------------
+
+    def _map_one(
+        self,
+        read: Read,
+        cache: CachedGBWT,
+        timer: RegionTimer,
+        counters: KernelCounters,
+    ) -> tuple:
+        """One read through the whole pipeline.
+
+        Returns ``(alignment, critical_extensions)``.
+        """
+        with timer.region(REGION_MINIMIZER):
+            # Minimizer extraction happens inside seeds_for_read; the two
+            # regions are split the way the paper's annotations split them
+            # (lookup vs seed materialization).
+            seeds: List[Seed] = self.seed_finder.seeds_for_read(read)
+        with timer.region(REGION_SEED):
+            seeds.sort(key=Seed.sort_key)
+        with timer.region(REGION_CLUSTER):
+            clusters = cluster_seeds(
+                self.distance_index,
+                seeds,
+                len(read.sequence),
+                self.seed_finder.seed_span,
+                options=self.options.process,
+                counters=counters,
+            )
+        with timer.region(REGION_EXTEND):
+            extensions = process_until_threshold(
+                self.gbz.graph,
+                cache,
+                read.sequence,
+                clusters,
+                process_options=self.options.process,
+                extend_options=self.options.extend,
+                scoring=self.scoring,
+                counters=counters,
+            )
+        with timer.region(REGION_SCORE):
+            # Post-processing: drop clearly dominated extensions before
+            # alignment (the proxy stops before this step).
+            kept = [
+                ext
+                for ext in extensions
+                if not extensions or ext.score * 2 >= extensions[0].score
+            ]
+        with timer.region(REGION_ALIGN):
+            alignment = alignments_from_extensions(read.name, kept)
+        return alignment, extensions
+
+    # -- public API -------------------------------------------------------
+
+    def map_all(self, reads: Sequence[Read]) -> GiraffeRunResult:
+        """Map every read using the VG batch scheduler."""
+        options = self.options
+        timer = RegionTimer(enabled=options.instrument)
+        alignments: List[Optional[Alignment]] = [None] * len(reads)
+        extensions: List[Optional[List[GaplessExtension]]] = [None] * len(reads)
+        caches: Dict[int, CachedGBWT] = {}
+        counters: Dict[int, KernelCounters] = {}
+        setup_lock = threading.Lock()
+
+        def thread_context(thread_id: int) -> tuple:
+            with setup_lock:
+                if thread_id not in caches:
+                    caches[thread_id] = CachedGBWT(
+                        self.gbz.gbwt, options.cache_capacity
+                    )
+                    counters[thread_id] = KernelCounters()
+                return caches[thread_id], counters[thread_id]
+
+        def process_batch(first: int, last: int, thread_id: int) -> None:
+            cache, thread_counters = thread_context(thread_id)
+            for index in range(first, last):
+                alignment, exts = self._map_one(
+                    reads[index], cache, timer, thread_counters
+                )
+                alignments[index] = alignment
+                extensions[index] = exts
+
+        scheduler = VGBatchScheduler()
+        start = time.perf_counter()
+        traces = scheduler.run(
+            len(reads), process_batch, options.threads, options.batch_size
+        )
+        makespan = time.perf_counter() - start
+        merged = KernelCounters()
+        for thread_counters in counters.values():
+            merged.merge(thread_counters)
+        return GiraffeRunResult(
+            alignments={
+                read.name: alignment
+                for read, alignment in zip(reads, alignments)
+                if alignment is not None
+            },
+            critical_extensions={
+                read.name: exts if exts is not None else []
+                for read, exts in zip(reads, extensions)
+            },
+            makespan=makespan,
+            timer=timer,
+            traces=traces,
+            counters=merged,
+        )
+
+    def capture_read_records(self, reads: Sequence[Read]) -> List[ReadRecord]:
+        """Export the proxy input (reads + seeds), the paper's I/O tap."""
+        return self.seed_finder.capture(reads)
+
+    def map_paired(self, reads: Sequence[Read], fragment=None):
+        """Paired-end workflow (the C/D-HPRC input shape).
+
+        Mates are named ``stem/1`` and ``stem/2``; each is mapped through
+        the single-end pipeline and the pair is then jointly selected for
+        fragment-length consistency.  Returns a
+        :class:`repro.giraffe.paired.PairedRunResult`.
+        """
+        from repro.giraffe.paired import (
+            FragmentModel,
+            PairedRunResult,
+            collect_stats,
+            pair_extensions,
+            split_mates,
+        )
+
+        fragment = fragment or FragmentModel()
+        single = self.map_all(reads)
+        lengths = {read.name: len(read.sequence) for read in reads}
+        pairs = {}
+        for name1, name2 in split_mates([read.name for read in reads]):
+            pairs[name1[:-2]] = pair_extensions(
+                self.distance_index,
+                name1,
+                single.critical_extensions.get(name1, []),
+                name2,
+                single.critical_extensions.get(name2, []),
+                lengths[name1],
+                lengths[name2],
+                fragment=fragment,
+            )
+        return PairedRunResult(
+            pairs=pairs, single=single, stats=collect_stats(list(pairs.values()))
+        )

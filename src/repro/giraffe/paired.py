@@ -1,0 +1,240 @@
+"""Paired-end mapping: joint mate selection and fragment statistics.
+
+The paper's C-HPRC and D-HPRC inputs are paired-end workflows: two
+reads sequenced from the ends of one fragment, the second mate reverse
+complemented.  Giraffe maps the mates and then selects the pair of
+candidate alignments whose implied fragment length is consistent with
+the library's fragment distribution, boosting confidence (and rescuing
+one mate off the other when necessary).  This module implements that
+pairing stage on top of the single-end pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.extend import GaplessExtension
+from repro.giraffe.alignment import Alignment, alignments_from_extensions
+from repro.index.distance import DistanceIndex
+
+#: Score bonus for a pair whose fragment length is consistent.
+PAIR_BONUS = 10
+#: MAPQ floor boost for properly paired mates.
+PAIRED_MAPQ_BOOST = 5
+
+
+@dataclass(frozen=True)
+class FragmentModel:
+    """The library's fragment-length distribution (mean +/- tolerance)."""
+
+    mean: int = 320
+    stddev: int = 40
+
+    @property
+    def min_length(self) -> int:
+        return max(0, self.mean - 4 * self.stddev)
+
+    @property
+    def max_length(self) -> int:
+        return self.mean + 4 * self.stddev
+
+    def consistent(self, fragment_length: int) -> bool:
+        return self.min_length <= fragment_length <= self.max_length
+
+
+@dataclass(frozen=True)
+class PairedAlignment:
+    """A jointly selected mate pair."""
+
+    mate1: Alignment
+    mate2: Alignment
+    fragment_length: Optional[int]
+    properly_paired: bool
+    pair_score: int
+
+    @property
+    def both_mapped(self) -> bool:
+        return self.mate1.is_mapped and self.mate2.is_mapped
+
+
+def split_mates(names: Sequence[str]) -> List[Tuple[str, str]]:
+    """Group Illumina-style ``stem/1`` + ``stem/2`` names into pairs."""
+    stems: Dict[str, Dict[str, str]] = {}
+    for name in names:
+        if name.endswith("/1") or name.endswith("/2"):
+            stems.setdefault(name[:-2], {})[name[-1]] = name
+    pairs = []
+    for stem in sorted(stems):
+        mates = stems[stem]
+        if set(mates) == {"1", "2"}:
+            pairs.append((mates["1"], mates["2"]))
+    return pairs
+
+
+def extension_span(
+    distance_index: DistanceIndex, extension: GaplessExtension
+) -> Tuple[int, int]:
+    """Physical coordinate span ``(left, right)`` of an extension.
+
+    Walks the extension's path to locate its final aligned base, so the
+    span is orientation-correct: a reverse-strand alignment's *start*
+    position is its physically rightmost base.
+    """
+    from repro.graph.handle import node_id
+
+    graph = distance_index.graph
+    handle, offset = extension.start_position
+    path = list(extension.path)
+    index = path.index(handle)
+    remaining = extension.length - 1
+    while remaining > 0:
+        available = graph.node_length(node_id(path[index])) - offset - 1
+        step = min(remaining, available)
+        offset += step
+        remaining -= step
+        if remaining > 0:
+            index += 1
+            offset = 0
+            remaining -= 1
+    first = distance_index.coordinate(extension.start_position)
+    last = distance_index.coordinate((path[index], offset))
+    return (min(first, last), max(first, last))
+
+
+def fragment_length_between(
+    distance_index: DistanceIndex,
+    mate1: GaplessExtension,
+    mate2: GaplessExtension,
+    read1_length: int,
+    read2_length: int,
+) -> int:
+    """Implied fragment length of a candidate mate pair: the physical
+    span from the leftmost aligned base of either mate to the rightmost."""
+    left1, right1 = extension_span(distance_index, mate1)
+    left2, right2 = extension_span(distance_index, mate2)
+    return max(right1, right2) - min(left1, left2) + 1
+
+
+def pair_extensions(
+    distance_index: DistanceIndex,
+    name1: str,
+    extensions1: Sequence[GaplessExtension],
+    name2: str,
+    extensions2: Sequence[GaplessExtension],
+    read1_length: int,
+    read2_length: int,
+    fragment: FragmentModel = FragmentModel(),
+    max_candidates: int = 8,
+) -> PairedAlignment:
+    """Select the best consistent pair from two extension lists.
+
+    Scans the top candidates of each mate for the combination with the
+    highest joint score among fragment-consistent pairs; falls back to
+    independent best alignments when no consistent pair exists.
+    """
+    top1 = list(extensions1[:max_candidates])
+    top2 = list(extensions2[:max_candidates])
+    best: Optional[Tuple[int, GaplessExtension, GaplessExtension, int]] = None
+    for e1 in top1:
+        for e2 in top2:
+            length = fragment_length_between(
+                distance_index, e1, e2, read1_length, read2_length
+            )
+            if not fragment.consistent(length):
+                continue
+            score = e1.score + e2.score + PAIR_BONUS
+            if best is None or score > best[0]:
+                best = (score, e1, e2, length)
+    if best is not None:
+        score, e1, e2, length = best
+        mate1 = alignments_from_extensions(name1, _front(e1, extensions1))
+        mate2 = alignments_from_extensions(name2, _front(e2, extensions2))
+        mate1 = _boost(mate1)
+        mate2 = _boost(mate2)
+        return PairedAlignment(
+            mate1=mate1,
+            mate2=mate2,
+            fragment_length=length,
+            properly_paired=True,
+            pair_score=score,
+        )
+    # No consistent pair: fall back to independent mappings.
+    mate1 = alignments_from_extensions(name1, extensions1)
+    mate2 = alignments_from_extensions(name2, extensions2)
+    return PairedAlignment(
+        mate1=mate1,
+        mate2=mate2,
+        fragment_length=None,
+        properly_paired=False,
+        pair_score=mate1.score + mate2.score,
+    )
+
+
+def _front(
+    chosen: GaplessExtension, extensions: Sequence[GaplessExtension]
+) -> List[GaplessExtension]:
+    """Reorder so the pairing-selected extension is primary."""
+    rest = [e for e in extensions if e is not chosen]
+    return [chosen] + rest
+
+
+def _boost(alignment: Alignment) -> Alignment:
+    """Raise MAPQ for a properly paired mate (consistency is evidence)."""
+    if not alignment.is_mapped:
+        return alignment
+    return Alignment(
+        read_name=alignment.read_name,
+        position=alignment.position,
+        path=alignment.path,
+        score=alignment.score,
+        mapq=min(60, alignment.mapq + PAIRED_MAPQ_BOOST),
+        cigar=alignment.cigar,
+        is_mapped=True,
+    )
+
+
+@dataclass
+class PairedRunStats:
+    """Aggregate pairing statistics for a paired-end run."""
+
+    pairs: int = 0
+    properly_paired: int = 0
+    both_mapped: int = 0
+    fragment_lengths: List[int] = None
+
+    def __post_init__(self):
+        if self.fragment_lengths is None:
+            self.fragment_lengths = []
+
+    @property
+    def properly_paired_rate(self) -> float:
+        return self.properly_paired / self.pairs if self.pairs else 0.0
+
+    def mean_fragment_length(self) -> Optional[float]:
+        if not self.fragment_lengths:
+            return None
+        return sum(self.fragment_lengths) / len(self.fragment_lengths)
+
+
+@dataclass
+class PairedRunResult:
+    """Everything a paired-end mapping run produces."""
+
+    pairs: Dict[str, PairedAlignment]
+    single: object  # the underlying GiraffeRunResult
+    stats: PairedRunStats
+
+
+def collect_stats(pairs: Sequence[PairedAlignment]) -> PairedRunStats:
+    """Summarize a paired run (properly-paired rate, fragment sizes)."""
+    stats = PairedRunStats()
+    for pair in pairs:
+        stats.pairs += 1
+        if pair.both_mapped:
+            stats.both_mapped += 1
+        if pair.properly_paired:
+            stats.properly_paired += 1
+            if pair.fragment_length is not None:
+                stats.fragment_lengths.append(pair.fragment_length)
+    return stats

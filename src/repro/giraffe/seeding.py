@@ -1,0 +1,56 @@
+"""Seed finding and the proxy-input capture point.
+
+``SeedFinder`` wraps the minimizer index lookups Giraffe performs before
+its critical region.  :meth:`SeedFinder.capture` is the exact tap the
+paper describes: it runs the pre-processing for every read and exports
+(read, seeds) records — the ``sequence-seeds.bin`` content miniGiraffe
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.extend import KernelCounters
+from repro.core.io import ReadRecord
+from repro.graph.variation_graph import VariationGraph
+from repro.index.minimizer import MinimizerIndex, Seed
+from repro.workloads.reads import Read
+
+
+class SeedFinder:
+    """Minimizer-index seeding for the parent mapper."""
+
+    def __init__(
+        self,
+        graph: VariationGraph,
+        k: int = 13,
+        w: int = 9,
+        max_occurrences: int = 512,
+        index: Optional[MinimizerIndex] = None,
+    ):
+        if index is not None:
+            self.index = index
+        else:
+            self.index = MinimizerIndex(k=k, w=w, max_occurrences=max_occurrences)
+            self.index.build(graph)
+
+    @property
+    def seed_span(self) -> int:
+        """The k-mer length seeds anchor (cluster coverage needs it)."""
+        return self.index.k
+
+    def seeds_for_read(self, read: Read) -> List[Seed]:
+        """All minimizer seeds anchoring one read to the graph."""
+        return self.index.seeds_for_read(read.sequence)
+
+    def capture(self, reads: Sequence[Read]) -> List[ReadRecord]:
+        """Export the proxy's input: every read with its seeds.
+
+        This reproduces the paper's I/O capture "right before executing
+        the seed-and-extension process".
+        """
+        return [
+            ReadRecord(read.name, read.sequence, self.seeds_for_read(read))
+            for read in reads
+        ]

@@ -1,0 +1,49 @@
+"""Variation-graph substrate.
+
+A variation graph (VG) stores a population of genomes as a bidirected
+sequence graph: nodes carry DNA segments, edges connect node *sides*, and
+haplotypes are walks through the graph.  This package provides:
+
+* :mod:`repro.graph.handle` — the (node id, orientation) handle idiom the
+  VG toolkit uses everywhere;
+* :mod:`repro.graph.variation_graph` — the in-memory graph with paths;
+* :mod:`repro.graph.builder` — construction from a linear reference plus
+  a variant list (SNPs, indels, alternate alleles);
+* :mod:`repro.graph.serialize` — a compact binary round-trip format.
+"""
+
+from repro.graph.handle import (
+    Handle,
+    forward,
+    reverse,
+    flip,
+    node_id,
+    is_reverse,
+    pack_handle,
+    unpack_handle,
+)
+from repro.graph.variation_graph import VariationGraph, Path
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.serialize import save_graph, load_graph
+from repro.graph.snarls import Superbubble, SnarlStatistics, decompose, find_superbubble
+
+__all__ = [
+    "Handle",
+    "forward",
+    "reverse",
+    "flip",
+    "node_id",
+    "is_reverse",
+    "pack_handle",
+    "unpack_handle",
+    "VariationGraph",
+    "Path",
+    "GraphBuilder",
+    "Variant",
+    "save_graph",
+    "load_graph",
+    "Superbubble",
+    "SnarlStatistics",
+    "decompose",
+    "find_superbubble",
+]

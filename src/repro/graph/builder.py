@@ -1,0 +1,240 @@
+"""Construct variation graphs from a linear reference plus variants.
+
+This mirrors how real pangenomes are produced (``vg construct`` over a
+FASTA + VCF): the reference is split into segment nodes at variant
+breakpoints, each variant contributes an alternate branch (a *bubble*),
+and haplotypes are embedded as paths that pick one branch per bubble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.handle import Handle, forward
+from repro.graph.variation_graph import VariationGraph
+
+_VALID_BASES = frozenset("ACGT")
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A VCF-style variant against the linear reference.
+
+    ``position`` is 0-based.  ``ref`` is the replaced reference substring
+    (empty for a pure insertion); ``alt`` is the replacement (empty for a
+    pure deletion).  SNP: len(ref) == len(alt) == 1.
+    """
+
+    position: int
+    ref: str
+    alt: str
+
+    def __post_init__(self):
+        if self.position < 0:
+            raise ValueError("variant position must be non-negative")
+        if not self.ref and not self.alt:
+            raise ValueError("variant must change something")
+        for allele in (self.ref, self.alt):
+            bad = set(allele) - _VALID_BASES
+            if bad:
+                raise ValueError(f"invalid bases in allele: {sorted(bad)}")
+
+    @property
+    def end(self) -> int:
+        """Reference position one past the replaced span."""
+        return self.position + len(self.ref)
+
+    @property
+    def kind(self) -> str:
+        if len(self.ref) == 1 and len(self.alt) == 1:
+            return "snp"
+        if not self.ref:
+            return "insertion"
+        if not self.alt:
+            return "deletion"
+        return "replacement"
+
+
+class GraphBuilder:
+    """Builds a :class:`VariationGraph` and exposes haplotype threading.
+
+    Parameters
+    ----------
+    reference:
+        The backbone DNA string.
+    variants:
+        Non-overlapping variants sorted (or sortable) by position.
+    max_node_length:
+        Reference segments longer than this are chunked into multiple
+        nodes, as ``vg construct`` does, keeping node sequences short so
+        graph traversal granularity matches the real tool.
+    """
+
+    def __init__(
+        self,
+        reference: str,
+        variants: Sequence[Variant],
+        max_node_length: int = 32,
+    ):
+        if not reference:
+            raise ValueError("reference must be non-empty")
+        if max_node_length < 1:
+            raise ValueError("max_node_length must be positive")
+        self.reference = reference
+        self.max_node_length = max_node_length
+        self.variants = sorted(variants, key=lambda v: (v.position, v.end))
+        self._check_variants()
+        self.graph = VariationGraph()
+        # Per reference segment: (start, end, [handles]).
+        self._segments: List[Tuple[int, int, List[Handle]]] = []
+        # Per variant index: list of alt handles (empty for deletions).
+        self._alt_handles: Dict[int, List[Handle]] = {}
+        self._build()
+
+    # -- validation -------------------------------------------------------
+
+    def _check_variants(self) -> None:
+        previous_end = -1
+        for variant in self.variants:
+            if variant.end > len(self.reference):
+                raise ValueError(
+                    f"variant at {variant.position} extends past reference end"
+                )
+            if variant.ref and self.reference[variant.position : variant.end] != variant.ref:
+                raise ValueError(
+                    f"variant at {variant.position} ref allele does not match reference"
+                )
+            if variant.position < previous_end:
+                raise ValueError(
+                    f"variant at {variant.position} overlaps the previous variant"
+                )
+            # Insertions at the same point as a previous variant end are
+            # fine, but two insertions at one point are ambiguous.
+            if variant.position == previous_end and not variant.ref:
+                previous_end = variant.position
+            previous_end = max(previous_end, variant.end)
+
+    # -- construction -----------------------------------------------------
+
+    def _chunk(self, start: int, end: int) -> List[Handle]:
+        """Create chained ref nodes covering reference [start, end)."""
+        handles: List[Handle] = []
+        pos = start
+        while pos < end:
+            stop = min(pos + self.max_node_length, end)
+            nid = self.graph.add_node(self.reference[pos:stop])
+            handles.append(forward(nid))
+            pos = stop
+        for prev, nxt in zip(handles, handles[1:]):
+            self.graph.add_edge(prev, nxt)
+        return handles
+
+    def _build(self) -> None:
+        breakpoints = {0, len(self.reference)}
+        for variant in self.variants:
+            breakpoints.add(variant.position)
+            breakpoints.add(variant.end)
+        ordered = sorted(breakpoints)
+        for start, end in zip(ordered, ordered[1:]):
+            if start < end:
+                self._segments.append((start, end, self._chunk(start, end)))
+        # Connect consecutive reference segments.
+        for (s0, e0, left), (s1, e1, right) in zip(self._segments, self._segments[1:]):
+            if e0 == s1 and left and right:
+                self.graph.add_edge(left[-1], right[0])
+        # Add alternate branches.
+        for index, variant in enumerate(self.variants):
+            self._add_variant(index, variant)
+
+    def _segment_before(self, position: int) -> Optional[List[Handle]]:
+        for start, end, handles in self._segments:
+            if end == position:
+                return handles
+        return None
+
+    def _segment_at(self, position: int) -> Optional[List[Handle]]:
+        for start, end, handles in self._segments:
+            if start == position:
+                return handles
+        return None
+
+    def _add_variant(self, index: int, variant: Variant) -> None:
+        left = self._segment_before(variant.position)
+        right = self._segment_at(variant.end)
+        alt_handles: List[Handle] = []
+        if variant.alt:
+            pos = 0
+            while pos < len(variant.alt):
+                stop = min(pos + self.max_node_length, len(variant.alt))
+                nid = self.graph.add_node(variant.alt[pos:stop])
+                alt_handles.append(forward(nid))
+                pos = stop
+            for prev, nxt in zip(alt_handles, alt_handles[1:]):
+                self.graph.add_edge(prev, nxt)
+        self._alt_handles[index] = alt_handles
+        if alt_handles:
+            if left is not None:
+                self.graph.add_edge(left[-1], alt_handles[0])
+            if right is not None:
+                self.graph.add_edge(alt_handles[-1], right[0])
+        else:
+            # Pure deletion: an edge that skips the deleted ref segment.
+            if left is not None and right is not None:
+                self.graph.add_edge(left[-1], right[0])
+
+    # -- haplotype threading ------------------------------------------------
+
+    def reference_walk(self) -> List[Handle]:
+        """The walk spelling the unmodified reference."""
+        walk: List[Handle] = []
+        for _, _, handles in self._segments:
+            walk.extend(handles)
+        return walk
+
+    def haplotype_walk(self, chosen: Sequence[int]) -> List[Handle]:
+        """Walk for a haplotype that takes the alt allele of each variant
+        index in ``chosen`` and the reference allele everywhere else."""
+        chosen_set = set(chosen)
+        for index in chosen_set:
+            if not 0 <= index < len(self.variants):
+                raise ValueError(f"unknown variant index {index}")
+        walk: List[Handle] = []
+        variant_spans = {
+            (v.position, v.end): i for i, v in enumerate(self.variants)
+        }
+        skip_until = -1
+        for start, end, handles in self._segments:
+            # Emit any chosen insertion branch anchored at this boundary.
+            for index in self._insertions_at(start):
+                if index in chosen_set:
+                    walk.extend(self._alt_handles[index])
+            if start < skip_until:
+                continue
+            span_index = variant_spans.get((start, end))
+            if span_index is not None and span_index in chosen_set:
+                walk.extend(self._alt_handles[span_index])
+                skip_until = end
+                continue
+            walk.extend(handles)
+        # Insertions at the very end of the reference.
+        for index in self._insertions_at(len(self.reference)):
+            if index in chosen_set:
+                walk.extend(self._alt_handles[index])
+        return walk
+
+    def _insertions_at(self, position: int) -> List[int]:
+        return [
+            i
+            for i, v in enumerate(self.variants)
+            if not v.ref and v.position == position
+        ]
+
+    def embed_haplotypes(self, selections: Dict[str, Sequence[int]]) -> None:
+        """Add one named path per haplotype selection."""
+        for name, chosen in selections.items():
+            self.graph.add_path(name, self.haplotype_walk(chosen))
+
+    def haplotype_sequence(self, chosen: Sequence[int]) -> str:
+        """Sequence spelled by :meth:`haplotype_walk` (for verification)."""
+        return "".join(self.graph.sequence(h) for h in self.haplotype_walk(chosen))

@@ -1,0 +1,96 @@
+"""GFA 1.0 interchange for variation graphs.
+
+GFA (Graphical Fragment Assembly) is the lingua franca of pangenome
+tooling — vg, odgi, and the HPRC pipelines all exchange graphs as GFA.
+We implement the subset variation graphs need: ``S`` (segment), ``L``
+(link, always 0M overlap for node graphs), and ``P`` (path) lines, with
+orientation signs mapping onto our handle convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO
+
+from repro.graph.handle import Handle, is_reverse, node_id, pack_handle
+from repro.graph.variation_graph import VariationGraph
+
+_HEADER = "H\tVN:Z:1.0"
+
+
+def _orientation(handle: Handle) -> str:
+    return "-" if is_reverse(handle) else "+"
+
+
+def _segment_ref(handle: Handle) -> str:
+    return f"{node_id(handle)}{_orientation(handle)}"
+
+
+def write_gfa(graph: VariationGraph, stream: TextIO) -> None:
+    """Serialize a variation graph as GFA 1.0 (S, L, and P lines)."""
+    stream.write(_HEADER + "\n")
+    for nid in sorted(graph.node_ids()):
+        stream.write(f"S\t{nid}\t{graph.sequence(nid << 1)}\n")
+    for src, dst in graph.edges():
+        stream.write(
+            "L\t{}\t{}\t{}\t{}\t0M\n".format(
+                node_id(src), _orientation(src), node_id(dst), _orientation(dst)
+            )
+        )
+    for name in sorted(graph.paths):
+        steps = ",".join(_segment_ref(h) for h in graph.paths[name].handles)
+        stream.write(f"P\t{name}\t{steps}\t*\n")
+
+
+def _parse_step(step: str) -> Handle:
+    if not step or step[-1] not in "+-":
+        raise ValueError(f"malformed GFA path step {step!r}")
+    return pack_handle(int(step[:-1]), step[-1] == "-")
+
+
+def read_gfa(stream: TextIO) -> VariationGraph:
+    """Parse GFA 1.0 produced by :func:`write_gfa` (or compatible).
+
+    Unknown record types are ignored, as the spec requires.  Links and
+    paths may reference segments defined later in the file, so edges and
+    paths are applied after all segments are read.
+    """
+    graph = VariationGraph()
+    links: List[tuple] = []
+    paths: List[tuple] = []
+    for line_number, line in enumerate(stream, start=1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        kind = fields[0]
+        if kind == "S":
+            if len(fields) < 3:
+                raise ValueError(f"line {line_number}: malformed S line")
+            graph.add_node(fields[2], nid=int(fields[1]))
+        elif kind == "L":
+            if len(fields) < 6:
+                raise ValueError(f"line {line_number}: malformed L line")
+            src = pack_handle(int(fields[1]), fields[2] == "-")
+            dst = pack_handle(int(fields[3]), fields[4] == "-")
+            links.append((src, dst))
+        elif kind == "P":
+            if len(fields) < 3:
+                raise ValueError(f"line {line_number}: malformed P line")
+            steps = [_parse_step(s) for s in fields[2].split(",") if s]
+            paths.append((fields[1], steps))
+        # H and anything else: ignored.
+    for src, dst in links:
+        graph.add_edge(src, dst)
+    for name, steps in paths:
+        graph.add_path(name, steps)
+    return graph
+
+
+def write_gfa_file(graph: VariationGraph, path: str) -> None:
+    with open(path, "w") as handle:
+        write_gfa(graph, handle)
+
+
+def read_gfa_file(path: str) -> VariationGraph:
+    with open(path) as handle:
+        return read_gfa(handle)

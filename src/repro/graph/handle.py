@@ -1,0 +1,55 @@
+"""Handles: oriented references to graph nodes.
+
+The VG toolkit addresses every node through a *handle* that packs the
+node id together with an orientation bit; traversing a node backwards
+means reading its reverse complement.  We keep the same idiom with plain
+integers — handle = (node_id << 1) | is_reverse — because handles are
+stored by the million inside seeds, GBWT records, and extension paths,
+and small ints are the cheapest hashable value Python has.
+"""
+
+from __future__ import annotations
+
+Handle = int
+
+_COMPLEMENT = str.maketrans("ACGTacgt", "TGCAtgca")
+
+
+def forward(nid: int) -> Handle:
+    """Handle for node ``nid`` in forward orientation."""
+    return nid << 1
+
+
+def reverse(nid: int) -> Handle:
+    """Handle for node ``nid`` in reverse orientation."""
+    return (nid << 1) | 1
+
+
+def flip(handle: Handle) -> Handle:
+    """Return the same node in the opposite orientation."""
+    return handle ^ 1
+
+
+def node_id(handle: Handle) -> int:
+    """Extract the node id from a handle."""
+    return handle >> 1
+
+
+def is_reverse(handle: Handle) -> bool:
+    """True if the handle reads the node's reverse complement."""
+    return bool(handle & 1)
+
+
+def pack_handle(nid: int, rev: bool) -> Handle:
+    """Build a handle from explicit (node id, orientation)."""
+    return (nid << 1) | int(rev)
+
+
+def unpack_handle(handle: Handle) -> tuple:
+    """Return ``(node_id, is_reverse)`` for a handle."""
+    return handle >> 1, bool(handle & 1)
+
+
+def reverse_complement(sequence: str) -> str:
+    """Reverse complement of a DNA string (case preserved)."""
+    return sequence.translate(_COMPLEMENT)[::-1]

@@ -1,0 +1,132 @@
+"""Binary round-trip serialization for variation graphs.
+
+A compact little-endian format with varint-packed integers, used both on
+its own and as the graph section inside the GBZ container
+(:mod:`repro.gbwt.gbz`).  2-bit packing of DNA keeps files small without
+external compression.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, List
+
+from repro.graph.variation_graph import VariationGraph
+
+MAGIC = b"RVG1"
+_BASE_TO_BITS = {"A": 0, "C": 1, "G": 2, "T": 3}
+_BITS_TO_BASE = "ACGT"
+
+
+def write_varint(stream: BinaryIO, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            stream.write(bytes((byte | 0x80,)))
+        else:
+            stream.write(bytes((byte,)))
+            return
+
+
+def read_varint(stream: BinaryIO) -> int:
+    """Read one LEB128 unsigned varint."""
+    shift = 0
+    result = 0
+    while True:
+        raw = stream.read(1)
+        if not raw:
+            raise EOFError("truncated varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def pack_dna(sequence: str) -> bytes:
+    """2-bit pack a DNA string (length stored separately)."""
+    packed = bytearray((len(sequence) + 3) // 4)
+    for i, base in enumerate(sequence):
+        packed[i >> 2] |= _BASE_TO_BITS[base] << ((i & 3) << 1)
+    return bytes(packed)
+
+
+def unpack_dna(packed: bytes, length: int) -> str:
+    """Invert :func:`pack_dna`."""
+    bases: List[str] = []
+    for i in range(length):
+        bits = (packed[i >> 2] >> ((i & 3) << 1)) & 3
+        bases.append(_BITS_TO_BASE[bits])
+    return "".join(bases)
+
+
+def save_graph(graph: VariationGraph, stream: BinaryIO) -> None:
+    """Serialize ``graph`` (nodes, edges, paths) to a binary stream."""
+    stream.write(MAGIC)
+    node_ids = sorted(graph.node_ids())
+    write_varint(stream, len(node_ids))
+    for nid in node_ids:
+        seq = graph.sequence(nid << 1)
+        write_varint(stream, nid)
+        write_varint(stream, len(seq))
+        stream.write(pack_dna(seq))
+    edges = list(graph.edges())
+    write_varint(stream, len(edges))
+    for src, dst in edges:
+        write_varint(stream, src)
+        write_varint(stream, dst)
+    write_varint(stream, len(graph.paths))
+    for name in sorted(graph.paths):
+        encoded = name.encode("utf-8")
+        write_varint(stream, len(encoded))
+        stream.write(encoded)
+        handles = graph.paths[name].handles
+        write_varint(stream, len(handles))
+        for handle in handles:
+            write_varint(stream, handle)
+
+
+def load_graph(stream: BinaryIO) -> VariationGraph:
+    """Inverse of :func:`save_graph`."""
+    magic = stream.read(4)
+    if magic != MAGIC:
+        raise ValueError(f"bad graph magic {magic!r}")
+    graph = VariationGraph()
+    node_count = read_varint(stream)
+    for _ in range(node_count):
+        nid = read_varint(stream)
+        length = read_varint(stream)
+        packed = stream.read((length + 3) // 4)
+        graph.add_node(unpack_dna(packed, length), nid=nid)
+    edge_count = read_varint(stream)
+    for _ in range(edge_count):
+        src = read_varint(stream)
+        dst = read_varint(stream)
+        graph.add_edge(src, dst)
+    path_count = read_varint(stream)
+    for _ in range(path_count):
+        name_len = read_varint(stream)
+        name = stream.read(name_len).decode("utf-8")
+        handle_count = read_varint(stream)
+        handles = [read_varint(stream) for _ in range(handle_count)]
+        graph.add_path(name, handles)
+    return graph
+
+
+def graph_to_bytes(graph: VariationGraph) -> bytes:
+    """Convenience wrapper returning the serialized bytes."""
+    buffer = io.BytesIO()
+    save_graph(graph, buffer)
+    return buffer.getvalue()
+
+
+def graph_from_bytes(data: bytes) -> VariationGraph:
+    """Convenience wrapper decoding serialized bytes."""
+    return load_graph(io.BytesIO(data))

@@ -1,0 +1,236 @@
+"""The in-memory bidirected variation graph with embedded paths.
+
+This is the central substrate every other subsystem consumes: the GBWT
+indexes its paths, the minimizer index scans its node sequences, the
+distance index walks its topology, and the extension kernel traverses it
+while comparing read bases against node bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.handle import (
+    Handle,
+    flip,
+    forward,
+    is_reverse,
+    node_id,
+    reverse_complement,
+)
+
+_VALID_BASES = frozenset("ACGT")
+
+
+@dataclass
+class Path:
+    """A named walk through the graph (a haplotype or reference path)."""
+
+    name: str
+    handles: List[Handle] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self) -> Iterator[Handle]:
+        return iter(self.handles)
+
+
+class VariationGraph:
+    """A bidirected sequence graph with named paths.
+
+    Nodes carry DNA sequences and are addressed by positive integer ids.
+    Edges connect oriented node ends; an edge (a, b) means "after reading
+    handle a you may read handle b", and implies the symmetric traversal
+    (flip(b), flip(a)).
+    """
+
+    def __init__(self):
+        self._sequences: Dict[int, str] = {}
+        self._edges_out: Dict[Handle, List[Handle]] = {}
+        self.paths: Dict[str, Path] = {}
+        self._next_id = 1
+
+    # -- node operations ------------------------------------------------
+
+    def add_node(self, sequence: str, nid: Optional[int] = None) -> int:
+        """Add a node; returns its id.  Sequences must be non-empty ACGT."""
+        if not sequence:
+            raise ValueError("node sequence must be non-empty")
+        bad = set(sequence) - _VALID_BASES
+        if bad:
+            raise ValueError(f"invalid bases in node sequence: {sorted(bad)}")
+        if nid is None:
+            nid = self._next_id
+        elif nid in self._sequences:
+            raise ValueError(f"node {nid} already exists")
+        self._sequences[nid] = sequence
+        self._next_id = max(self._next_id, nid + 1)
+        return nid
+
+    def has_node(self, nid: int) -> bool:
+        return nid in self._sequences
+
+    def node_count(self) -> int:
+        return len(self._sequences)
+
+    def node_ids(self) -> Iterable[int]:
+        return self._sequences.keys()
+
+    def node_length(self, nid: int) -> int:
+        return len(self._sequences[nid])
+
+    def sequence(self, handle: Handle) -> str:
+        """Sequence read along ``handle`` (reverse-complemented if flipped)."""
+        seq = self._sequences[node_id(handle)]
+        if is_reverse(handle):
+            return reverse_complement(seq)
+        return seq
+
+    def base(self, handle: Handle, offset: int) -> str:
+        """Single base at ``offset`` along the oriented node.
+
+        This is the hot call of the extension kernel; it avoids building
+        the reverse-complement string for reverse handles.
+        """
+        seq = self._sequences[node_id(handle)]
+        if is_reverse(handle):
+            ch = seq[len(seq) - 1 - offset]
+            return reverse_complement(ch)
+        return seq[offset]
+
+    # -- edge operations ------------------------------------------------
+
+    def add_edge(self, src: Handle, dst: Handle) -> None:
+        """Add the directed traversal src→dst and its symmetric twin."""
+        for nid in (node_id(src), node_id(dst)):
+            if nid not in self._sequences:
+                raise ValueError(f"edge references missing node {nid}")
+        if dst not in self._edges_out.setdefault(src, []):
+            self._edges_out[src].append(dst)
+        twin_src, twin_dst = flip(dst), flip(src)
+        if twin_dst not in self._edges_out.setdefault(twin_src, []):
+            self._edges_out[twin_src].append(twin_dst)
+
+    def successors(self, handle: Handle) -> List[Handle]:
+        """Handles reachable immediately after reading ``handle``."""
+        return self._edges_out.get(handle, [])
+
+    def predecessors(self, handle: Handle) -> List[Handle]:
+        """Handles that can immediately precede ``handle``."""
+        return [flip(h) for h in self._edges_out.get(flip(handle), [])]
+
+    def has_edge(self, src: Handle, dst: Handle) -> bool:
+        return dst in self._edges_out.get(src, [])
+
+    def edge_count(self) -> int:
+        # Each edge is stored twice (once per direction); self-symmetric
+        # edges (h -> flip(h)) are stored once.
+        total = sum(len(v) for v in self._edges_out.values())
+        symmetric = sum(
+            1
+            for src, dsts in self._edges_out.items()
+            for dst in dsts
+            if (flip(dst), flip(src)) == (src, dst)
+        )
+        return (total + symmetric) // 2
+
+    def edges(self) -> Iterator[Tuple[Handle, Handle]]:
+        """Iterate each edge once, in canonical orientation."""
+        seen: Set[Tuple[Handle, Handle]] = set()
+        for src in sorted(self._edges_out):
+            for dst in self._edges_out[src]:
+                twin = (flip(dst), flip(src))
+                if twin in seen:
+                    continue
+                seen.add((src, dst))
+                yield src, dst
+
+    # -- path operations ------------------------------------------------
+
+    def add_path(self, name: str, handles: List[Handle]) -> Path:
+        """Embed a walk; validates that consecutive handles are connected."""
+        if name in self.paths:
+            raise ValueError(f"path {name!r} already exists")
+        for handle in handles:
+            if node_id(handle) not in self._sequences:
+                raise ValueError(f"path visits missing node {node_id(handle)}")
+        for prev, nxt in zip(handles, handles[1:]):
+            if not self.has_edge(prev, nxt):
+                raise ValueError(
+                    f"path {name!r} uses missing edge {prev}->{nxt}"
+                )
+        path = Path(name, list(handles))
+        self.paths[name] = path
+        return path
+
+    def path_sequence(self, name: str) -> str:
+        """Concatenated sequence spelled by a path."""
+        return "".join(self.sequence(h) for h in self.paths[name].handles)
+
+    def path_length(self, name: str) -> int:
+        return sum(self.node_length(node_id(h)) for h in self.paths[name].handles)
+
+    # -- whole-graph helpers ---------------------------------------------
+
+    def total_sequence_length(self) -> int:
+        return sum(len(s) for s in self._sequences.values())
+
+    def topological_order(self) -> List[int]:
+        """Node ids in a forward topological order.
+
+        Our builder produces DAG-shaped graphs in the forward orientation
+        (bubbles over a linear backbone), which is what this method
+        assumes; it raises if a forward cycle exists.
+        """
+        indegree: Dict[int, int] = {nid: 0 for nid in self._sequences}
+        adjacency: Dict[int, List[int]] = {nid: [] for nid in self._sequences}
+        for src, dsts in self._edges_out.items():
+            if is_reverse(src):
+                continue
+            for dst in dsts:
+                if is_reverse(dst):
+                    continue
+                adjacency[node_id(src)].append(node_id(dst))
+                indegree[node_id(dst)] += 1
+        ready = sorted(nid for nid, deg in indegree.items() if deg == 0)
+        order: List[int] = []
+        while ready:
+            nid = ready.pop(0)
+            order.append(nid)
+            inserted = False
+            for succ in adjacency[nid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+                    inserted = True
+            if inserted:
+                ready.sort()
+        if len(order) != len(self._sequences):
+            raise ValueError("graph has a forward cycle; no topological order")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        for src, dsts in self._edges_out.items():
+            if node_id(src) not in self._sequences:
+                raise ValueError(f"edge from missing node {node_id(src)}")
+            for dst in dsts:
+                if node_id(dst) not in self._sequences:
+                    raise ValueError(f"edge to missing node {node_id(dst)}")
+                twin = self._edges_out.get(flip(dst), [])
+                if flip(src) not in twin:
+                    raise ValueError(f"edge {src}->{dst} missing its twin")
+        for name, path in self.paths.items():
+            for prev, nxt in zip(path.handles, path.handles[1:]):
+                if not self.has_edge(prev, nxt):
+                    raise ValueError(f"path {name!r} broken at {prev}->{nxt}")
+
+    def describe(self) -> str:
+        """One-line summary for logs and examples."""
+        return (
+            f"VariationGraph(nodes={self.node_count()}, "
+            f"edges={self.edge_count()}, paths={len(self.paths)}, "
+            f"bases={self.total_sequence_length()})"
+        )

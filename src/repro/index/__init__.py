@@ -1,0 +1,38 @@
+"""Seeding indices: k-mers, (k,w) minimizers, and graph distances.
+
+Giraffe seeds its mapper with three indices (Section II-B of the paper):
+the GBWT (see :mod:`repro.gbwt`), a minimizer index, and a minimum
+distance index.  This package provides the latter two:
+
+* :mod:`repro.index.kmer` — canonical k-mer extraction and invertible
+  64-bit hashing;
+* :mod:`repro.index.minimizer` — the (k,w) minimizer index over the
+  graph's haplotype sequences, queried per read to produce seeds;
+* :mod:`repro.index.distance` — minimum graph distances between
+  positions, via a chain-offset approximation with an exact bounded-BFS
+  core (property-tested against brute force).
+"""
+
+from repro.index.kmer import (
+    canonical_kmer,
+    hash_kmer,
+    invert_hash,
+    iter_kmers,
+)
+from repro.index.minimizer import Minimizer, MinimizerIndex
+from repro.index.syncmers import SyncmerIndex, extract_syncmers
+from repro.index.distance import DistanceIndex, Position, bounded_distance
+
+__all__ = [
+    "canonical_kmer",
+    "hash_kmer",
+    "invert_hash",
+    "iter_kmers",
+    "Minimizer",
+    "MinimizerIndex",
+    "SyncmerIndex",
+    "extract_syncmers",
+    "DistanceIndex",
+    "Position",
+    "bounded_distance",
+]

@@ -1,0 +1,94 @@
+"""K-mer utilities: 2-bit encoding, canonicalization, invertible hashing.
+
+Minimizer schemes do not order k-mers lexicographically — that clusters
+poly-A runs — but by an invertible hash of the 2-bit encoding, exactly
+as Giraffe's minimizer index does.  The hash here is the standard
+Thomas Wang / murmur-style 64-bit finalizer, which is bijective, so
+:func:`invert_hash` can recover the k-mer (used in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+_ENCODE = {"A": 0, "C": 1, "G": 2, "T": 3}
+_DECODE = "ACGT"
+
+
+def encode_kmer(kmer: str) -> int:
+    """2-bit pack a k-mer (A=0, C=1, G=2, T=3), first base most significant."""
+    value = 0
+    for base in kmer:
+        value = (value << 2) | _ENCODE[base]
+    return value
+
+
+def decode_kmer(value: int, k: int) -> str:
+    """Invert :func:`encode_kmer`."""
+    bases = []
+    for _ in range(k):
+        bases.append(_DECODE[value & 3])
+        value >>= 2
+    return "".join(reversed(bases))
+
+
+def revcomp_encoded(value: int, k: int) -> int:
+    """Reverse complement of a 2-bit encoded k-mer."""
+    result = 0
+    for _ in range(k):
+        result = (result << 2) | ((value & 3) ^ 3)
+        value >>= 2
+    return result
+
+
+def canonical_kmer(kmer: str) -> Tuple[int, bool]:
+    """Return (encoded canonical k-mer, is_reverse).
+
+    The canonical form is the numerically smaller of the k-mer and its
+    reverse complement; ``is_reverse`` is True when the reverse
+    complement won.
+    """
+    fwd = encode_kmer(kmer)
+    rev = revcomp_encoded(fwd, len(kmer))
+    if rev < fwd:
+        return rev, True
+    return fwd, False
+
+
+def hash_kmer(encoded: int) -> int:
+    """Bijective 64-bit finalizer (murmur3-style) over an encoded k-mer."""
+    z = encoded & _MASK64
+    z = ((z ^ (z >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
+    z = ((z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53) & _MASK64
+    return z ^ (z >> 33)
+
+
+def invert_hash(hashed: int) -> int:
+    """Inverse of :func:`hash_kmer` (the finalizer is bijective)."""
+    inv1 = pow(0xFF51AFD7ED558CCD, -1, 1 << 64)
+    inv2 = pow(0xC4CEB9FE1A85EC53, -1, 1 << 64)
+    z = hashed ^ (hashed >> 33)
+    z = (z * inv2) & _MASK64
+    z = z ^ (z >> 33)
+    z = (z * inv1) & _MASK64
+    return z ^ (z >> 33)
+
+
+def iter_kmers(sequence: str, k: int) -> Iterator[Tuple[int, str]]:
+    """Yield (start offset, k-mer) for every k-mer of ``sequence``.
+
+    K-mers containing non-ACGT characters are skipped, matching how real
+    mappers treat ambiguous bases.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    valid_run = 0
+    for end in range(len(sequence)):
+        if sequence[end] in _ENCODE:
+            valid_run += 1
+        else:
+            valid_run = 0
+        if valid_run >= k:
+            start = end - k + 1
+            yield start, sequence[start : end + 1]

@@ -1,0 +1,203 @@
+"""(k,w) minimizer index over the graph's haplotype sequences.
+
+A *minimizer* of a window of ``w`` consecutive k-mers is the k-mer with
+the smallest hash; indexing only minimizers shrinks the seed table by
+roughly ``2/(w+1)`` while guaranteeing any read/reference match of
+length ``k + w - 1`` shares at least one of them.  Matching minimizers
+between a read and the indexed graph are Giraffe's *seeds*.
+
+Graph occurrences are stored with both endpoint positions so a read
+minimizer hit yields the graph position where the read's forward strand
+starts, regardless of which strand the canonical k-mer came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.handle import Handle, flip, node_id
+from repro.graph.variation_graph import VariationGraph
+from repro.index.kmer import canonical_kmer, hash_kmer
+
+#: A graph position: ``offset`` bases into the oriented node ``handle``.
+Position = Tuple[Handle, int]
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """A minimizer occurrence within one sequence (read or path)."""
+
+    hash: int
+    offset: int
+    is_reverse: bool
+
+
+def extract_minimizers(sequence: str, k: int, w: int) -> List[Minimizer]:
+    """All (k,w) minimizers of ``sequence`` (robust winnowing: every
+    k-mer achieving the window minimum is reported, deduplicated)."""
+    if k < 1 or w < 1:
+        raise ValueError("k and w must be positive")
+    n = len(sequence) - k + 1
+    if n < 1:
+        return []
+    hashes: List[int] = []
+    reversals: List[bool] = []
+    for start in range(n):
+        kmer = sequence[start : start + k]
+        try:
+            encoded, is_reverse = canonical_kmer(kmer)
+        except KeyError:
+            hashes.append(-1)  # invalid k-mer: never a minimizer
+            reversals.append(False)
+            continue
+        hashes.append(hash_kmer(encoded))
+        reversals.append(is_reverse)
+    chosen: Set[int] = set()
+    for window_start in range(max(1, n - w + 1)):
+        window_end = min(n, window_start + w)
+        best = -1
+        for i in range(window_start, window_end):
+            if hashes[i] < 0:
+                continue
+            if best < 0 or hashes[i] < hashes[best]:
+                best = i
+        if best < 0:
+            continue
+        for i in range(window_start, window_end):
+            if hashes[i] == hashes[best]:
+                chosen.add(i)
+    return [
+        Minimizer(hashes[i], i, reversals[i]) for i in sorted(chosen) if hashes[i] >= 0
+    ]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One graph locus of a canonical minimizer k-mer.
+
+    ``start`` is where the canonical k-mer begins when read in its own
+    direction; ``rc_start`` is where its reverse complement begins (the
+    flipped final base).  A read hit picks whichever endpoint matches the
+    read's strand.
+    """
+
+    start: Position
+    rc_start: Position
+
+
+@dataclass(frozen=True)
+class Seed:
+    """A read-to-graph anchor: read base ``read_offset`` sits at ``position``
+    when the read is laid forward along the graph."""
+
+    read_offset: int
+    position: Position
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.position[0], self.position[1], self.read_offset)
+
+
+class MinimizerIndex:
+    """Minimizer hash table over every path embedded in a graph."""
+
+    def __init__(self, k: int = 11, w: int = 7, max_occurrences: int = 512):
+        if k > 31:
+            raise ValueError("k must fit in a 64-bit 2-bit encoding (k <= 31)")
+        self.k = k
+        self.w = w
+        self.max_occurrences = max_occurrences
+        self._table: Dict[int, List[Occurrence]] = {}
+        self._frequent: Set[int] = set()  # hashes over the hit cap
+
+    # -- construction -------------------------------------------------------
+
+    def _extract(self, sequence: str) -> List[Minimizer]:
+        """Seed selection scheme; subclasses substitute other schemes
+        (e.g. syncmers) while reusing the index machinery."""
+        return extract_minimizers(sequence, self.k, self.w)
+
+    def build(self, graph: VariationGraph) -> "MinimizerIndex":
+        """Index the minimizers of every embedded path."""
+        seen: Dict[int, Set[Occurrence]] = {}
+        for name in sorted(graph.paths):
+            handles = graph.paths[name].handles
+            sequence, base_positions = self._unroll(graph, handles)
+            for minimizer in self._extract(sequence):
+                occurrence = self._occurrence(
+                    base_positions, minimizer.offset, minimizer.is_reverse, graph
+                )
+                seen.setdefault(minimizer.hash, set()).add(occurrence)
+        for hashed, occurrences in seen.items():
+            if len(occurrences) > self.max_occurrences:
+                self._frequent.add(hashed)
+                continue
+            self._table[hashed] = sorted(
+                occurrences, key=lambda o: (o.start, o.rc_start)
+            )
+        return self
+
+    def _unroll(
+        self, graph: VariationGraph, handles: Sequence[Handle]
+    ) -> Tuple[str, List[Position]]:
+        """Path sequence plus, per base, its graph position."""
+        chunks: List[str] = []
+        positions: List[Position] = []
+        for handle in handles:
+            seq = graph.sequence(handle)
+            chunks.append(seq)
+            positions.extend((handle, i) for i in range(len(seq)))
+        return "".join(chunks), positions
+
+    def _occurrence(
+        self,
+        base_positions: List[Position],
+        offset: int,
+        is_reverse: bool,
+        graph: VariationGraph,
+    ) -> Occurrence:
+        first = base_positions[offset]
+        last = base_positions[offset + self.k - 1]
+        fwd_start = first
+        handle, off = last
+        rc = (flip(handle), graph.node_length(node_id(handle)) - 1 - off)
+        if is_reverse:
+            # Canonical k-mer is the reverse complement of the path k-mer.
+            fwd_start, rc = rc, fwd_start
+        return Occurrence(start=fwd_start, rc_start=rc)
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def occurrences(self, hashed: int) -> List[Occurrence]:
+        return self._table.get(hashed, [])
+
+    def is_frequent(self, hashed: int) -> bool:
+        """True if the minimizer was dropped for exceeding the hit cap."""
+        return hashed in self._frequent
+
+    def seeds_for_read(self, sequence: str) -> List[Seed]:
+        """Seeds anchoring ``sequence`` (forward strand) to the graph."""
+        seeds: Set[Seed] = set()
+        for minimizer in self._extract(sequence):
+            for occurrence in self._table.get(minimizer.hash, []):
+                if minimizer.is_reverse:
+                    # Read forward spells the rc of the canonical k-mer.
+                    position = occurrence.rc_start
+                else:
+                    position = occurrence.start
+                seeds.add(Seed(minimizer.offset, position))
+        return sorted(seeds, key=Seed.sort_key)
+
+    def stats(self) -> dict:
+        """Summary statistics for examples and documentation."""
+        total = sum(len(v) for v in self._table.values())
+        return {
+            "k": self.k,
+            "w": self.w,
+            "distinct_minimizers": len(self._table),
+            "total_occurrences": total,
+            "frequent_dropped": len(self._frequent),
+        }

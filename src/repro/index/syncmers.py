@@ -1,0 +1,80 @@
+"""Closed-syncmer seeding: an alternative to (k,w) minimizers.
+
+Syncmers (Edgar 2021) select a k-mer when the minimal s-mer *inside* it
+sits at a boundary position — for *closed* syncmers, the first or last
+of the k-s+1 s-mer slots.  Selection depends only on the k-mer's own
+content (unlike minimizers, whose selection depends on the window
+around them), which makes syncmer seeds more evenly spaced and more
+conserved under mutation.  Giraffe's lineage explored such schemes as
+future work; the ``test_ablation_seeding`` benchmark compares the two
+on identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.variation_graph import VariationGraph
+from repro.index.kmer import canonical_kmer, hash_kmer
+from repro.index.minimizer import Minimizer, MinimizerIndex
+
+
+def extract_syncmers(sequence: str, k: int, s: int) -> List[Minimizer]:
+    """All closed (k,s)-syncmers of ``sequence``.
+
+    A position is selected when the minimal (by hash) s-mer of the
+    window is the window's first or last s-mer.  Returned as
+    :class:`Minimizer` records so the index machinery is shared.
+    """
+    if not 0 < s < k:
+        raise ValueError("require 0 < s < k for closed syncmers")
+    n = len(sequence) - k + 1
+    if n < 1:
+        return []
+    smer_count = len(sequence) - s + 1
+    smer_hashes: List[int] = []
+    for start in range(smer_count):
+        smer = sequence[start : start + s]
+        try:
+            encoded, _ = canonical_kmer(smer)
+        except KeyError:
+            smer_hashes.append(None)
+            continue
+        smer_hashes.append(hash_kmer(encoded))
+    out: List[Minimizer] = []
+    slots = k - s + 1
+    for start in range(n):
+        window = smer_hashes[start : start + slots]
+        if any(h is None for h in window):
+            continue
+        minimum = min(window)
+        if window[0] == minimum or window[-1] == minimum:
+            kmer = sequence[start : start + k]
+            encoded, is_reverse = canonical_kmer(kmer)
+            out.append(Minimizer(hash_kmer(encoded), start, is_reverse))
+    return out
+
+
+class SyncmerIndex(MinimizerIndex):
+    """A seed index selecting closed syncmers instead of minimizers.
+
+    ``s`` is the inner s-mer length; expected density is roughly
+    ``2 / (k - s + 1)`` of all k-mers.
+    """
+
+    def __init__(self, k: int = 13, s: int = 8, max_occurrences: int = 512):
+        # The window parameter is unused by syncmer selection; wire the
+        # slot count through so stats() stays meaningful.
+        super().__init__(k=k, w=k - s + 1, max_occurrences=max_occurrences)
+        self.s = s
+        if not 0 < s < k:
+            raise ValueError("require 0 < s < k for closed syncmers")
+
+    def _extract(self, sequence: str) -> List[Minimizer]:
+        return extract_syncmers(sequence, self.k, self.s)
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["scheme"] = "closed-syncmer"
+        stats["s"] = self.s
+        return stats

@@ -1,0 +1,29 @@
+"""Parallel schedulers for batch-of-reads execution.
+
+The paper tunes three scheduling policies:
+
+* ``dynamic`` — OpenMP-style dynamic scheduling: threads claim the next
+  batch from a shared counter (miniGiraffe's default);
+* ``static`` — batches assigned round-robin up front;
+* ``work_stealing`` — the paper's in-house scheduler: the read range is
+  pre-split evenly, each thread consumes its own region batch-by-batch,
+  and finished threads steal batches from victims round-robin.
+
+All three run real Python threads (policy behaviour, batch traces, and
+imbalance are genuine); parallel *speedup* studies use the discrete-event
+models in :mod:`repro.sim.des`, since the GIL serializes Python compute.
+"""
+
+from repro.sched.base import BatchTrace, Scheduler, make_scheduler
+from repro.sched.dynamic import DynamicScheduler
+from repro.sched.static import StaticScheduler
+from repro.sched.work_stealing import WorkStealingScheduler
+
+__all__ = [
+    "BatchTrace",
+    "Scheduler",
+    "make_scheduler",
+    "DynamicScheduler",
+    "StaticScheduler",
+    "WorkStealingScheduler",
+]

@@ -1,0 +1,124 @@
+"""Scheduler interface and shared runner machinery."""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List
+
+#: A batch processor: ``process_batch(first_item, last_item, thread_id)``
+#: handles items ``[first_item, last_item)``.
+BatchFn = Callable[[int, int, int], None]
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """One executed batch, for timelines and imbalance analysis."""
+
+    thread: int
+    first_item: int
+    item_count: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Scheduler(ABC):
+    """Common driver: spawn threads, collect per-batch traces."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def _thread_body(
+        self,
+        thread_id: int,
+        item_count: int,
+        batch_size: int,
+        threads: int,
+        process_batch: BatchFn,
+        traces: List[BatchTrace],
+    ) -> None:
+        """Consume batches until none remain for this thread."""
+
+    def run(
+        self,
+        item_count: int,
+        process_batch: BatchFn,
+        threads: int,
+        batch_size: int,
+    ) -> List[BatchTrace]:
+        """Process ``item_count`` items and return the merged batch traces.
+
+        Every item is processed exactly once; traces are sorted by start
+        time.  With ``threads == 1`` the calling thread does the work
+        (no thread spawn overhead for sequential baselines).
+        """
+        if item_count < 0:
+            raise ValueError("item_count must be non-negative")
+        if threads < 1 or batch_size < 1:
+            raise ValueError("threads and batch_size must be positive")
+        self._prepare(item_count, threads, batch_size)
+        per_thread_traces: List[List[BatchTrace]] = [[] for _ in range(threads)]
+        if threads == 1:
+            self._thread_body(
+                0, item_count, batch_size, 1, process_batch, per_thread_traces[0]
+            )
+        else:
+            workers = [
+                threading.Thread(
+                    target=self._thread_body,
+                    args=(
+                        tid,
+                        item_count,
+                        batch_size,
+                        threads,
+                        process_batch,
+                        per_thread_traces[tid],
+                    ),
+                    name=f"{self.name}-worker-{tid}",
+                )
+                for tid in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        merged = [trace for traces in per_thread_traces for trace in traces]
+        merged.sort(key=lambda t: (t.start, t.thread))
+        return merged
+
+    def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
+        """Reset per-run shared state; subclasses override as needed."""
+
+    @staticmethod
+    def _record(
+        traces: List[BatchTrace],
+        thread_id: int,
+        first: int,
+        last: int,
+        start: float,
+    ) -> None:
+        traces.append(
+            BatchTrace(thread_id, first, last - first, start, time.perf_counter())
+        )
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory for the three named policies."""
+    from repro.sched.dynamic import DynamicScheduler
+    from repro.sched.static import StaticScheduler
+    from repro.sched.work_stealing import WorkStealingScheduler
+
+    registry = {
+        "dynamic": DynamicScheduler,
+        "static": StaticScheduler,
+        "work_stealing": WorkStealingScheduler,
+    }
+    if name not in registry:
+        raise ValueError(f"unknown scheduler {name!r}; choose from {sorted(registry)}")
+    return registry[name]()

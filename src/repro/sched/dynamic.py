@@ -1,0 +1,52 @@
+"""OpenMP-style dynamic scheduling: threads claim the next batch from a
+shared cursor.  This is miniGiraffe's default policy; it balances load
+automatically at the cost of contention on the shared counter and the
+loss of any thread-to-data affinity."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+from repro.sched.base import BatchFn, BatchTrace, Scheduler
+
+
+class DynamicScheduler(Scheduler):
+    """Shared-cursor batch claiming (the `#pragma omp dynamic` analogue)."""
+
+    name = "dynamic"
+
+    def __init__(self):
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
+        self._cursor = 0
+
+    def _claim(self, item_count: int, batch_size: int):
+        """Atomically claim the next batch; None when work is exhausted."""
+        with self._lock:
+            if self._cursor >= item_count:
+                return None
+            first = self._cursor
+            self._cursor = min(item_count, first + batch_size)
+            return first, self._cursor
+
+    def _thread_body(
+        self,
+        thread_id: int,
+        item_count: int,
+        batch_size: int,
+        threads: int,
+        process_batch: BatchFn,
+        traces: List[BatchTrace],
+    ) -> None:
+        while True:
+            claim = self._claim(item_count, batch_size)
+            if claim is None:
+                return
+            first, last = claim
+            start = time.perf_counter()
+            process_batch(first, last, thread_id)
+            self._record(traces, thread_id, first, last, start)

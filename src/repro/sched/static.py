@@ -1,0 +1,35 @@
+"""Static scheduling: batches are assigned round-robin before execution.
+
+No runtime coordination at all — the cheapest policy when per-item cost
+is uniform, and the worst when it is not (stragglers keep whole regions
+while other threads idle)."""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.sched.base import BatchFn, BatchTrace, Scheduler
+
+
+class StaticScheduler(Scheduler):
+    """Round-robin batch pre-assignment (the `#pragma omp static` analogue)."""
+
+    name = "static"
+
+    def _thread_body(
+        self,
+        thread_id: int,
+        item_count: int,
+        batch_size: int,
+        threads: int,
+        process_batch: BatchFn,
+        traces: List[BatchTrace],
+    ) -> None:
+        batch_count = (item_count + batch_size - 1) // batch_size
+        for batch_index in range(thread_id, batch_count, threads):
+            first = batch_index * batch_size
+            last = min(item_count, first + batch_size)
+            start = time.perf_counter()
+            process_batch(first, last, thread_id)
+            self._record(traces, thread_id, first, last, start)

@@ -1,0 +1,112 @@
+"""The paper's in-house work-stealing scheduler.
+
+The read range is pre-split into one contiguous region per thread; each
+thread consumes its own region in ``batch_size`` chunks, and a thread
+that exhausts its region steals one chunk at a time from the other
+regions, visiting victims round-robin starting from its right-hand
+neighbour.  Claims use an atomic read-modify-write on the region cursor
+(a mutex-protected increment here, standing in for the C++ atomic),
+which keeps the policy lightweight and preserves locality while work
+remains local.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.sched.base import BatchFn, BatchTrace, Scheduler
+
+
+class _Region:
+    """One thread's share of the items, with an atomically claimed cursor."""
+
+    __slots__ = ("cursor", "limit", "lock")
+
+    def __init__(self, first: int, last: int):
+        self.cursor = first
+        self.limit = last
+        self.lock = threading.Lock()
+
+    def claim(self, batch_size: int) -> Optional[Tuple[int, int]]:
+        with self.lock:
+            if self.cursor >= self.limit:
+                return None
+            first = self.cursor
+            self.cursor = min(self.limit, first + batch_size)
+            return first, self.cursor
+
+    def claim_half(self, batch_size: int) -> Optional[Tuple[int, int]]:
+        """Claim half the remaining items (at least one batch)."""
+        with self.lock:
+            remaining = self.limit - self.cursor
+            if remaining <= 0:
+                return None
+            take = max(batch_size, remaining // 2)
+            first = self.cursor
+            self.cursor = min(self.limit, first + take)
+            return first, self.cursor
+
+
+class WorkStealingScheduler(Scheduler):
+    """Pre-split regions with round-robin batch stealing.
+
+    ``steal_half=True`` switches the steal granularity from one batch to
+    half of the victim's remaining region (the Cilk-style alternative);
+    the ``test_ablation_steal_policy`` benchmark compares the two.
+    """
+
+    name = "work_stealing"
+
+    def __init__(self, steal_half: bool = False):
+        self.steal_half = steal_half
+        self._regions: List[_Region] = []
+        self.steals = 0
+        self._steal_lock = threading.Lock()
+
+    def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
+        self.steals = 0
+        self._regions = []
+        base = item_count // threads
+        extra = item_count % threads
+        first = 0
+        for tid in range(threads):
+            size = base + (1 if tid < extra else 0)
+            self._regions.append(_Region(first, first + size))
+            first += size
+
+    def _thread_body(
+        self,
+        thread_id: int,
+        item_count: int,
+        batch_size: int,
+        threads: int,
+        process_batch: BatchFn,
+        traces: List[BatchTrace],
+    ) -> None:
+        own = self._regions[thread_id]
+        while True:
+            claim = own.claim(batch_size)
+            if claim is None:
+                break
+            first, last = claim
+            start = time.perf_counter()
+            process_batch(first, last, thread_id)
+            self._record(traces, thread_id, first, last, start)
+        # Own region exhausted: steal round-robin from the neighbours.
+        for step in range(1, threads):
+            victim = self._regions[(thread_id + step) % threads]
+            while True:
+                if self.steal_half:
+                    claim = victim.claim_half(batch_size)
+                else:
+                    claim = victim.claim(batch_size)
+                if claim is None:
+                    break
+                with self._steal_lock:
+                    self.steals += 1
+                first, last = claim
+                start = time.perf_counter()
+                process_batch(first, last, thread_id)
+                self._record(traces, thread_id, first, last, start)

@@ -1,0 +1,55 @@
+"""Hardware and scale simulation substrate.
+
+The paper's evaluation is gated on four physical servers (Table II),
+multi-gigabyte inputs, and `perf`/VTune counter collection.  This
+package substitutes all three with models driven by *measured* kernel
+operation counts from real proxy runs:
+
+* :mod:`repro.sim.platform` — machine descriptions of the four servers;
+* :mod:`repro.sim.paper_scale` — paper-scale metadata per input set
+  (read counts in the millions, memory footprints in GB);
+* :mod:`repro.sim.profiler` — measures per-read operation counts and
+  record-access traces from a single-threaded proxy run;
+* :mod:`repro.sim.cache_model` — the CachedGBWT capacity cost model
+  (rehash work vs hardware-cache locality, Figure 6's U-shape);
+* :mod:`repro.sim.exec_model` — converts operation counts to cycles and
+  cycles to seconds on a platform, with SMT/socket/bandwidth effects;
+* :mod:`repro.sim.des` — discrete-event simulation of the scheduling
+  policies at paper scale (Figures 4, 5, 7, 8; Tables VII, VIII);
+* :mod:`repro.sim.cache_sim` — a set-associative multi-level cache
+  simulator over synthetic address traces (Table V's counters);
+* :mod:`repro.sim.counters` / :mod:`repro.sim.topdown` — hardware
+  counter vectors and the top-down pipeline breakdown (Table IV).
+"""
+
+from repro.sim.platform import PLATFORMS, PlatformSpec
+from repro.sim.paper_scale import PAPER_SCALE, PaperScale
+from repro.sim.profiler import WorkloadProfile, profile_workload
+from repro.sim.cache_model import CacheCapacityModel
+from repro.sim.exec_model import ExecutionModel, TuningConfig, OutOfMemoryError
+from repro.sim.des import simulate_run, SimOutcome
+from repro.sim.cache_sim import CacheLevel, CacheHierarchy, TraceGenerator
+from repro.sim.counters import HardwareCounters, measure_counters
+from repro.sim.topdown import TopDownModel, TopDownBreakdown
+
+__all__ = [
+    "PLATFORMS",
+    "PlatformSpec",
+    "PAPER_SCALE",
+    "PaperScale",
+    "WorkloadProfile",
+    "profile_workload",
+    "CacheCapacityModel",
+    "ExecutionModel",
+    "TuningConfig",
+    "OutOfMemoryError",
+    "simulate_run",
+    "SimOutcome",
+    "CacheLevel",
+    "CacheHierarchy",
+    "TraceGenerator",
+    "HardwareCounters",
+    "measure_counters",
+    "TopDownModel",
+    "TopDownBreakdown",
+]

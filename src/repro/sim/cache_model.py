@@ -1,0 +1,136 @@
+"""Cost model of the CachedGBWT under an initial-capacity choice.
+
+Two opposing forces give Figure 6 its shape:
+
+* too small an initial capacity pays *rehash* work — the table doubles
+  repeatedly while it warms up, re-inserting every resident record;
+* too large an initial capacity inflates the resident slot array, which
+  competes with the hot reference data for L2/L3 (the locality penalty
+  is applied by the execution model from :meth:`footprint_bytes`).
+
+The no-cache baseline (every access decodes) anchors the speedup axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Per-slot bytes of the open-addressing table (pointer + key).
+SLOT_BYTES = 16
+#: Estimated resident bytes of one decoded record.
+DECODED_RECORD_BYTES = 96
+#: Table grows when fuller than this.
+MAX_LOAD = 0.75
+#: Decoded records hot at any one time (older entries fall cold), which
+#: bounds the cache's *effective* L3 footprint however large it grows.
+WORKING_RECORDS_CAP = 16384
+#: Extra probe cycles per access for each table doubling still ahead —
+#: an undersized table runs near its load limit between growths.
+PROBE_CYCLES_PER_DOUBLING = 3.0
+#: Extra probe cycles per access for each doubling the *initial*
+#: capacity exceeds what the records need — probes scatter across a
+#: sparse, cold slot array with no spatial locality (the degradation
+#: the paper observes past capacity 4096 in Figure 6).
+OVERSIZE_CYCLES_PER_DOUBLING = 18.0
+
+
+def _round_up_pow2(value: int) -> int:
+    capacity = 1
+    while capacity < value:
+        capacity <<= 1
+    return capacity
+
+
+@dataclass(frozen=True)
+class CacheCosts:
+    """Cycle charges for GBWT record operations."""
+
+    hit_cycles: int = 35
+    miss_cycles: int = 420
+    rehash_cycles_per_slot: int = 10
+
+
+class CacheCapacityModel:
+    """Cycle and footprint accounting for one CachedGBWT configuration."""
+
+    def __init__(self, costs: CacheCosts = CacheCosts()):
+        self.costs = costs
+
+    def final_capacity(self, initial_capacity: int, distinct_records: int) -> int:
+        """Slot count after all growth, given the records ever cached."""
+        capacity = _round_up_pow2(max(1, initial_capacity))
+        while distinct_records / capacity > MAX_LOAD:
+            capacity <<= 1
+        return capacity
+
+    def rehash_cycles(self, initial_capacity: int, distinct_records: int) -> int:
+        """Total re-insertion work while the table grows to fit."""
+        capacity = _round_up_pow2(max(1, initial_capacity))
+        cycles = 0
+        while distinct_records / capacity > MAX_LOAD:
+            # Growing from `capacity` re-inserts everything resident,
+            # about MAX_LOAD * capacity records, each touching a slot.
+            resident = int(capacity * MAX_LOAD)
+            cycles += resident * self.costs.rehash_cycles_per_slot
+            capacity <<= 1
+        return cycles
+
+    def growth_doublings(self, initial_capacity: int, distinct_records: int) -> int:
+        """How many times the table doubles before fitting the records."""
+        capacity = _round_up_pow2(max(1, initial_capacity))
+        doublings = 0
+        while distinct_records / capacity > MAX_LOAD:
+            capacity <<= 1
+            doublings += 1
+        return doublings
+
+    def probe_cycles_per_access(
+        self, initial_capacity: int, distinct_records: int
+    ) -> float:
+        """Extra probing work per access while an undersized table churns."""
+        if initial_capacity == 0:
+            return 0.0
+        doublings = self.growth_doublings(initial_capacity, distinct_records)
+        return doublings * PROBE_CYCLES_PER_DOUBLING
+
+    def oversize_cycles_per_access(
+        self, initial_capacity: int, distinct_records: int
+    ) -> float:
+        """Extra per-access cost of a sparsely-filled oversized table."""
+        if initial_capacity == 0:
+            return 0.0
+        needed = self.final_capacity(1, distinct_records)
+        initial = _round_up_pow2(max(1, initial_capacity))
+        if initial <= needed:
+            return 0.0
+        doublings = 0
+        while needed < initial:
+            needed <<= 1
+            doublings += 1
+        return doublings * OVERSIZE_CYCLES_PER_DOUBLING
+
+    def access_cycles(self, accesses: int, misses: int) -> int:
+        """Steady-state record access work (hits + decode misses)."""
+        hits = max(0, accesses - misses)
+        return hits * self.costs.hit_cycles + misses * self.costs.miss_cycles
+
+    def uncached_cycles(self, accesses: int) -> int:
+        """The no-CachedGBWT baseline: every access decodes the record."""
+        return accesses * self.costs.miss_cycles
+
+    def footprint_bytes(self, initial_capacity: int, distinct_records: int) -> int:
+        """Effective L3 footprint of one thread's cache.
+
+        The slot array occupies ``max(initial, grown)`` slots — an
+        oversized initial capacity keeps its full footprint even when few
+        records live in it (the paper's oversizing penalty) — while the
+        record side is bounded by the hot working set.
+        """
+        if initial_capacity == 0:
+            return 0
+        capacity = max(
+            _round_up_pow2(max(1, initial_capacity)),
+            self.final_capacity(initial_capacity, distinct_records),
+        )
+        hot_records = min(distinct_records, WORKING_RECORDS_CAP)
+        return capacity * SLOT_BYTES + hot_records * DECODED_RECORD_BYTES

@@ -1,0 +1,201 @@
+"""Set-associative multi-level cache simulation over synthetic traces.
+
+The paper validates miniGiraffe against Giraffe with hardware counters
+(Table V: L1D/LLC accesses and misses, instructions, IPC).  Without
+`perf`, we regenerate both sides of that comparison: a
+:class:`TraceGenerator` turns a measured workload profile into a
+deterministic address stream — the proxy touches the read buffer, node
+sequences, GBWT records, and its cache table; the parent additionally
+interleaves minimizer-table lookups and alignment-buffer writes (the
+"other small operations" the paper hypothesizes cause Giraffe's extra
+L1 misses) — and a :class:`CacheHierarchy` configured from the platform
+spec counts hits and misses at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.sim.platform import PlatformSpec
+from repro.sim.profiler import WorkloadProfile
+from repro.util.rng import SplitMix64
+
+LINE_BYTES = 64
+
+# Region base addresses of the synthetic memory map.
+_READ_BUFFER = 0x1000_0000
+_NODE_SEQUENCES = 0x2000_0000
+_GBWT_RECORDS = 0x3000_0000
+_CACHE_TABLE = 0x4000_0000
+_MINIMIZER_TABLE = 0x5000_0000
+_ALIGNMENT_BUFFER = 0x6000_0000
+_DISTANCE_ARRAYS = 0x7000_0000
+
+_RECORD_STRIDE = 192
+_NODE_STRIDE = 64
+_SLOT_STRIDE = 16
+
+
+class CacheLevel:
+    """One set-associative, LRU cache level."""
+
+    def __init__(self, name: str, size_bytes: int, ways: int = 8,
+                 line_bytes: int = LINE_BYTES):
+        if size_bytes < ways * line_bytes:
+            raise ValueError(f"{name}: size too small for {ways} ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets = size_bytes // (ways * line_bytes)
+        self._tags: List[List[int]] = [[] for _ in range(self.sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch one address; returns True on hit.  LRU within the set."""
+        line = address // self.line_bytes
+        index = line % self.sets
+        tag = line // self.sets
+        self.accesses += 1
+        entry = self._tags[index]
+        if tag in entry:
+            entry.remove(tag)
+            entry.append(tag)
+            return True
+        self.misses += 1
+        entry.append(tag)
+        if len(entry) > self.ways:
+            entry.pop(0)
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self._tags = [[] for _ in range(self.sets)]
+        self.accesses = 0
+        self.misses = 0
+
+
+class CacheHierarchy:
+    """An inclusive lookup chain: L1D → L2 → LLC."""
+
+    def __init__(self, levels: Sequence[CacheLevel]):
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self.levels = list(levels)
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec) -> "CacheHierarchy":
+        """Single-core view of a platform's private + shared caches."""
+        return cls(
+            [
+                CacheLevel("L1D", platform.l1d_per_core_kb * 1024, ways=8),
+                CacheLevel("L2", platform.l2_per_core_kb * 1024, ways=16),
+                CacheLevel(
+                    "LLC", int(platform.l3_per_socket_mb * 1024 * 1024), ways=16
+                ),
+            ]
+        )
+
+    def access(self, address: int) -> str:
+        """Propagate one access down the hierarchy; returns the name of
+        the level that hit, or "DRAM"."""
+        for level in self.levels:
+            if level.access(address):
+                return level.name
+        return "DRAM"
+
+    def counters(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for level in self.levels:
+            out[f"{level.name}_accesses"] = level.accesses
+            out[f"{level.name}_misses"] = level.misses
+        return out
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+
+
+class TraceGenerator:
+    """Deterministic synthetic address trace for one workload profile.
+
+    ``mode`` selects the surrounding application: ``"proxy"`` emits only
+    the critical-kernel accesses; ``"parent"`` interleaves the extra
+    pipeline traffic Giraffe performs between extensions.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        mode: str = "proxy",
+        seed: int = 7,
+        read_length: int = 100,
+        cache_capacity: int = 256,
+    ):
+        if mode not in ("proxy", "parent"):
+            raise ValueError(f"mode must be 'proxy' or 'parent', not {mode!r}")
+        self.profile = profile
+        self.mode = mode
+        self.seed = seed
+        self.read_length = read_length
+        self.cache_capacity = cache_capacity
+        # The record pool cycles through the distinct records touched.
+        self._record_pool = max(64, profile.distinct_records)
+        self._node_pool = max(64, profile.graph_nodes)
+
+    def addresses(self, max_reads: Optional[int] = None) -> Iterator[int]:
+        """Yield the address stream for up to ``max_reads`` reads."""
+        rng = SplitMix64(self.seed).fork("trace", self.mode)
+        costs = self.profile.read_costs
+        if max_reads is not None:
+            costs = costs[:max_reads]
+        for read_index, cost in enumerate(costs):
+            read_base = _READ_BUFFER + (read_index % 64) * self.read_length
+            # A hot walk neighbourhood for this read.
+            walk_base = rng.randint(0, self._node_pool - 1)
+            if self.mode == "parent":
+                # Minimizer lookups precede the critical region: scattered
+                # hash-table probes plus a sequential scan of the read.
+                for k in range(self.read_length):
+                    yield read_base + k
+                for _ in range(max(1, self.read_length // 4)):
+                    bucket = rng.randint(0, 1 << 22)
+                    yield _MINIMIZER_TABLE + bucket * 8
+            # Clustering: distance-array lookups per query.
+            for _ in range(cost.distance_queries):
+                node = (walk_base + rng.randint(0, 256)) % self._node_pool
+                yield _DISTANCE_ARRAYS + node * 8
+            # Extension: interleaved read-buffer and node-sequence touches.
+            node = walk_base
+            for comparison in range(cost.base_comparisons):
+                yield read_base + comparison % self.read_length
+                if comparison % _NODE_STRIDE == 0:
+                    node = (walk_base + rng.randint(0, 64)) % self._node_pool
+                yield _NODE_SEQUENCES + node * _NODE_STRIDE + comparison % _NODE_STRIDE
+            # Record fetches: cache-table probe then the record body.
+            for _ in range(cost.record_accesses):
+                record = (walk_base + rng.randint(0, 128)) % self._record_pool
+                slot = record % max(1, self.cache_capacity)
+                yield _CACHE_TABLE + slot * _SLOT_STRIDE
+                yield _GBWT_RECORDS + record * _RECORD_STRIDE
+                yield _GBWT_RECORDS + record * _RECORD_STRIDE + LINE_BYTES
+            if self.mode == "parent":
+                # Post-processing: alignment buffer writes.
+                for k in range(self.read_length // 2):
+                    yield _ALIGNMENT_BUFFER + (read_index % 32) * 512 + k * 4
+
+
+def run_trace(
+    hierarchy: CacheHierarchy,
+    generator: TraceGenerator,
+    max_reads: Optional[int] = None,
+) -> Dict[str, int]:
+    """Feed a trace through a hierarchy; returns its counter dict."""
+    for address in generator.addresses(max_reads=max_reads):
+        hierarchy.access(address)
+    return hierarchy.counters()

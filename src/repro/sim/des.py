@@ -1,0 +1,219 @@
+"""Discrete-event simulation of the scheduling policies.
+
+Given per-batch costs and per-thread speed factors, these simulators
+replay the four policies — dynamic (shared cursor), static (round
+robin), work-stealing (pre-split regions with round-robin steals), and
+the VG batch dispatcher — in virtual time, reproducing the effects the
+paper tunes for: claim-serialization overhead on tiny batches, tail
+imbalance on huge batches, steal costs and locality loss, and the VG
+main thread's late start (Figure 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+#: Cost of one claim on the shared dynamic cursor (serialized), seconds.
+DYNAMIC_CLAIM_SERIAL_S = 4.0e-7
+#: Local claim on a work-stealing region cursor, seconds.
+LOCAL_CLAIM_S = 8.0e-8
+#: A cross-thread steal (atomic RMW on a remote cursor), seconds.
+STEAL_CLAIM_S = 1.2e-6
+#: Cost multiplier on a stolen batch (lost cache locality).
+STEAL_LOCALITY_FACTOR = 1.06
+#: Main-thread dispatch cost per batch in the VG scheduler, seconds.
+VG_DISPATCH_S = 2.0e-6
+
+#: ``batch_cost(batch_index, thread_index) -> seconds``
+BatchCost = Callable[[int, int], float]
+
+
+@dataclass
+class SimOutcome:
+    """Result of one simulated run."""
+
+    makespan: float
+    thread_busy: List[float] = field(default_factory=list)
+    batches: int = 0
+    steals: int = 0
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean busy-time ratio (1.0 = perfectly balanced)."""
+        if not self.thread_busy or max(self.thread_busy) == 0:
+            return 1.0
+        mean = sum(self.thread_busy) / len(self.thread_busy)
+        return max(self.thread_busy) / mean if mean else 1.0
+
+
+def _simulate_dynamic(
+    batch_count: int, threads: int, batch_cost: BatchCost, start_times: Sequence[float]
+) -> SimOutcome:
+    """Shared-cursor claiming: the next free thread takes the next batch,
+    with claims serialized through the cursor."""
+    busy = [0.0] * threads
+    heap = [(start_times[t], t) for t in range(threads)]
+    heapq.heapify(heap)
+    cursor_free = 0.0
+    finish = 0.0
+    for batch in range(batch_count):
+        now, thread = heapq.heappop(heap)
+        claim_start = max(now, cursor_free)
+        claim_end = claim_start + DYNAMIC_CLAIM_SERIAL_S
+        cursor_free = claim_end
+        cost = batch_cost(batch, thread)
+        done = claim_end + cost
+        busy[thread] += done - now
+        finish = max(finish, done)
+        heapq.heappush(heap, (done, thread))
+    return SimOutcome(makespan=finish, thread_busy=busy, batches=batch_count)
+
+
+def _simulate_static(
+    batch_count: int, threads: int, batch_cost: BatchCost, start_times: Sequence[float]
+) -> SimOutcome:
+    """Round-robin pre-assignment: no coordination, full tail imbalance."""
+    busy = [0.0] * threads
+    finish = 0.0
+    for thread in range(threads):
+        clock = start_times[thread]
+        for batch in range(thread, batch_count, threads):
+            clock += batch_cost(batch, thread)
+        busy[thread] = clock - start_times[thread]
+        finish = max(finish, clock)
+    return SimOutcome(makespan=finish, thread_busy=busy, batches=batch_count)
+
+
+def _simulate_work_stealing(
+    batch_count: int, threads: int, batch_cost: BatchCost, start_times: Sequence[float]
+) -> SimOutcome:
+    """Pre-split contiguous regions; idle threads steal round-robin."""
+    base = batch_count // threads
+    extra = batch_count % threads
+    cursors: List[int] = []
+    limits: List[int] = []
+    first = 0
+    for t in range(threads):
+        size = base + (1 if t < extra else 0)
+        cursors.append(first)
+        limits.append(first + size)
+        first += size
+    busy = [0.0] * threads
+    heap = [(start_times[t], t) for t in range(threads)]
+    heapq.heapify(heap)
+    finish = 0.0
+    steals = 0
+    remaining = batch_count
+    while remaining > 0:
+        now, thread = heapq.heappop(heap)
+        if cursors[thread] < limits[thread]:
+            batch = cursors[thread]
+            cursors[thread] += 1
+            cost = LOCAL_CLAIM_S + batch_cost(batch, thread)
+        else:
+            batch = None
+            for step in range(1, threads):
+                victim = (thread + step) % threads
+                if cursors[victim] < limits[victim]:
+                    batch = cursors[victim]
+                    cursors[victim] += 1
+                    break
+            if batch is None:
+                # Nothing left anywhere for this thread.
+                continue
+            steals += 1
+            cost = STEAL_CLAIM_S + batch_cost(batch, thread) * STEAL_LOCALITY_FACTOR
+        done = now + cost
+        busy[thread] += cost
+        finish = max(finish, done)
+        remaining -= 1
+        heapq.heappush(heap, (done, thread))
+    return SimOutcome(
+        makespan=finish, thread_busy=busy, batches=batch_count, steals=steals
+    )
+
+
+def _simulate_vg_batch(
+    batch_count: int, threads: int, batch_cost: BatchCost, start_times: Sequence[float]
+) -> SimOutcome:
+    """VG's dispatcher: main thread feeds a bounded queue, workers
+    consume, and main processes batches itself only under backpressure.
+
+    Reproduces the paper's Figure 2 observation that thread 0 starts
+    doing mapping work visibly later than the workers.
+    """
+    if threads == 1:
+        return _simulate_static(batch_count, 1, batch_cost, start_times)
+    workers = threads - 1
+    queue_cap = workers * 2
+    # Worker availability and queued batches, in virtual time.
+    worker_free = [(start_times[t + 1], t + 1) for t in range(workers)]
+    heapq.heapify(worker_free)
+    busy = [0.0] * threads
+    main_clock = start_times[0]
+    finish = 0.0
+    queued: List[int] = []
+    for batch in range(batch_count):
+        main_clock += VG_DISPATCH_S
+        busy[0] += VG_DISPATCH_S
+        queued.append(batch)
+        # Drain any queued batches onto workers that are free by now.
+        while queued and worker_free and worker_free[0][0] <= main_clock:
+            now, worker = heapq.heappop(worker_free)
+            item = queued.pop(0)
+            cost = batch_cost(item, worker)
+            done = max(now, main_clock) + cost
+            busy[worker] += cost
+            finish = max(finish, done)
+            heapq.heappush(worker_free, (done, worker))
+        if len(queued) > queue_cap:
+            # Backpressure: every worker is busy — main maps a batch.
+            item = queued.pop(0)
+            cost = batch_cost(item, 0)
+            main_clock += cost
+            busy[0] += cost
+            finish = max(finish, main_clock)
+    # Dispatch loop done: hand out whatever is still queued.
+    while queued:
+        now, worker = heapq.heappop(worker_free)
+        item = queued.pop(0)
+        start = max(now, main_clock)
+        cost = batch_cost(item, worker)
+        done = start + cost
+        busy[worker] += cost
+        finish = max(finish, done)
+        heapq.heappush(worker_free, (done, worker))
+    return SimOutcome(makespan=finish, thread_busy=busy, batches=batch_count)
+
+
+_POLICIES = {
+    "dynamic": _simulate_dynamic,
+    "static": _simulate_static,
+    "work_stealing": _simulate_work_stealing,
+    "vg_batch": _simulate_vg_batch,
+}
+
+
+def simulate_run(
+    policy: str,
+    batch_count: int,
+    threads: int,
+    batch_cost: BatchCost,
+    start_times: Optional[Sequence[float]] = None,
+) -> SimOutcome:
+    """Simulate one run of ``policy`` over ``batch_count`` batches.
+
+    ``start_times`` lets the caller model per-thread startup (e.g. the
+    CachedGBWT warm-up each thread pays); defaults to all-zero.
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}")
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    if start_times is None:
+        start_times = [0.0] * threads
+    if len(start_times) != threads:
+        raise ValueError("start_times must have one entry per thread")
+    return _POLICIES[policy](batch_count, threads, batch_cost, start_times)

@@ -1,0 +1,359 @@
+"""The analytic execution model: measured operation counts → seconds.
+
+This is the bridge between the real Python kernels and the paper's
+hardware study.  A :class:`repro.sim.profiler.WorkloadProfile` supplies
+*measured* per-read operation counts; this model converts them to cycles
+with fixed per-operation costs, applies the platform effects the paper
+observes (SMT throughput, cross-socket penalties, DRAM bandwidth
+contention, L3 fit of the hot reference, CachedGBWT capacity behaviour,
+per-thread cache warm-up), and replays the chosen scheduling policy at
+paper scale through the discrete-event simulator.
+
+A single calibration constant maps proxy-Python operation counts onto
+Giraffe-C++ per-read work so absolute makespans land in the paper's
+range; every *relative* effect comes from the structural model:
+
+* sub-linear scaling past the first socket — remote threads pay the
+  NUMA penalty and the shared LLC fit degrades as concurrent threads
+  widen the touched reference footprint;
+* plateau at SMT — two sibling threads share one core's throughput;
+* small inputs plateau early — each thread pays a fixed CachedGBWT
+  warm-up that only amortizes on large read counts (the paper's
+  "scalability is directly linked to the number of reads per thread");
+* Figure 6's U-shape in the CachedGBWT capacity — rehash work shrinks
+  with capacity while the resident slot arrays crowd the L3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.cache_model import CacheCapacityModel, CacheCosts
+from repro.sim.des import SimOutcome, simulate_run
+from repro.sim.paper_scale import PAPER_SCALE, PaperScale, fits_in_memory
+from repro.sim.platform import PlatformSpec
+from repro.sim.profiler import ReadCost, WorkloadProfile
+
+#: Cycles per kernel operation (compute-side).
+OP_CYCLES: Dict[str, int] = {
+    "base_comparisons": 5,
+    "node_visits": 22,
+    "branch_expansions": 40,
+    "distance_queries": 110,
+    "clusters_scored": 180,
+    "seeds_extended": 60,
+}
+
+#: Maps proxy-Python op counts to Giraffe-C++ per-read work (chosen so
+#: A-human single-threaded on local-intel lands near the paper's ~200 s).
+CALIBRATION = 20.0
+
+#: Extra stall cycles per record access when the hot set spills the LLC.
+SPILL_CYCLES_PER_ACCESS = 90.0
+#: DRAM bytes per spilled record access and per record decode miss.
+SPILL_BYTES_PER_ACCESS = 448.0
+BYTES_PER_RECORD_MISS = 256.0
+#: Random-access streams achieve a fraction of the STREAM bandwidth.
+EFFECTIVE_BW_FRACTION = 0.35
+#: Concurrent threads widen the touched reference footprint (log growth:
+#: most of the hot set is shared between reads).
+HOT_GROWTH = 0.25
+#: Per-thread CachedGBWT warm-up seconds per hot MB, local-intel-relative.
+WARMUP_S_PER_HOT_MB = 0.02
+#: Hot records a thread's cache converges to within one lifetime.
+CACHE_LIFETIME_RECORDS = 3000
+
+#: Cap on simulated DES events; longer runs are time-scaled (see
+#: ``ExecutionModel.simulate``).
+MAX_SIM_BATCHES = 4096
+
+
+class OutOfMemoryError(RuntimeError):
+    """The input set does not fit in the platform's DRAM (Figure 5's
+    missing D-HPRC points on the 256 GB machines)."""
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """One point of the autotuning space (paper Section VII-B)."""
+
+    scheduler: str = "dynamic"
+    batch_size: int = 512
+    cache_capacity: int = 256
+    threads: int = 1
+
+    def label(self) -> str:
+        return (
+            f"{self.scheduler}/bs{self.batch_size}/cc{self.cache_capacity}"
+            f"/t{self.threads}"
+        )
+
+
+#: The paper's default parameters (OpenMP dynamic, 512, 256).
+DEFAULT_CONFIG = TuningConfig()
+
+
+def compute_cycles(cost: ReadCost) -> float:
+    """Compute-side cycles of one read (record accesses excluded)."""
+    return CALIBRATION * (
+        cost.base_comparisons * OP_CYCLES["base_comparisons"]
+        + cost.node_visits * OP_CYCLES["node_visits"]
+        + cost.branch_expansions * OP_CYCLES["branch_expansions"]
+        + cost.distance_queries * OP_CYCLES["distance_queries"]
+        + cost.clusters_scored * OP_CYCLES["clusters_scored"]
+        + cost.seeds_extended * OP_CYCLES["seeds_extended"]
+    )
+
+
+class ExecutionModel:
+    """Predicts makespan for (input set, platform, tuning config)."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        platform: PlatformSpec,
+        paper_scale: Optional[PaperScale] = None,
+        cache_costs: CacheCosts = CacheCosts(),
+    ):
+        self.profile = profile
+        self.platform = platform
+        self.paper_scale = paper_scale or PAPER_SCALE.get(profile.input_set)
+        self.cache_model = CacheCapacityModel(cache_costs)
+        # Per-profiled-read compute and record-access components.
+        self._comp = [compute_cycles(c) for c in profile.read_costs]
+        self._accesses = [float(c.record_accesses) for c in profile.read_costs]
+        self._misses = [float(c.record_misses) for c in profile.read_costs]
+        self._comp_prefix = self._prefix(self._comp)
+        self._acc_prefix = self._prefix(self._accesses)
+        self._miss_prefix = self._prefix(self._misses)
+
+    @staticmethod
+    def _prefix(values: List[float]) -> List[float]:
+        out = [0.0]
+        for v in values:
+            out.append(out[-1] + v)
+        return out
+
+    # -- scale ---------------------------------------------------------------
+
+    @property
+    def hot_mb(self) -> float:
+        return self.paper_scale.hot_reference_mb if self.paper_scale else 8.0
+
+    def distinct_per_batch(self, batch_size: int) -> int:
+        """Records one thread's CachedGBWT holds over a cache lifetime.
+
+        vg's caches live for about a batch of reads; reuse saturates on
+        the revisited hot neighbourhoods, so the resident set is capped
+        (the cap is what makes the paper's 4096 the largest useful
+        initial capacity in Figure 6).
+        """
+        grown = int(self.profile.marginal_distinct_per_read * CALIBRATION * batch_size)
+        return max(1, min(grown, CACHE_LIFETIME_RECORDS))
+
+    def virtual_reads(self, subsample: float = 1.0) -> int:
+        """Read count being modeled (paper scale when metadata exists)."""
+        if self.paper_scale is not None:
+            return max(1, int(self.paper_scale.reads_millions * 1e6 * subsample))
+        return max(1, int(self.profile.read_count * subsample))
+
+    def check_memory(self, subsample: float = 1.0) -> None:
+        if self.paper_scale is None:
+            return
+        if not fits_in_memory(
+            self.paper_scale.name, self.platform.dram_gb, subsample
+        ):
+            raise OutOfMemoryError(
+                f"{self.paper_scale.name} (subsample={subsample}) exceeds "
+                f"{self.platform.name}'s {self.platform.dram_gb} GB DRAM"
+            )
+
+    def _tiled_sum(self, prefix: List[float], first: int, last: int) -> float:
+        """Sum of the profile array tiled over virtual reads [first, last)."""
+        period = len(prefix) - 1
+        total = prefix[period]
+
+        def cumulative(n: int) -> float:
+            full, part = divmod(n, period)
+            return full * total + prefix[part]
+
+        return cumulative(last) - cumulative(first)
+
+    # -- platform effects ------------------------------------------------------
+
+    def _threads_per_socket(self, threads: int) -> int:
+        p = self.platform
+        return min(
+            math.ceil(threads / p.sockets),
+            p.cores_per_socket * p.threads_per_core,
+        )
+
+    def llc_fit(self, threads: int, config: TuningConfig) -> float:
+        """Fraction of the hot working set resident in the per-socket L3.
+
+        Concurrent threads widen the touched footprint logarithmically
+        (reads share most hot nodes), and each thread's CachedGBWT slot
+        array plus decoded records crowd the same cache.
+        """
+        p = self.platform
+        tps = max(1, self._threads_per_socket(threads))
+        hot_effective = self.hot_mb * (1.0 + HOT_GROWTH * math.log(tps))
+        if hot_effective <= 0:
+            return 1.0
+        return max(0.0, min(1.0, p.l3_per_socket_mb / hot_effective))
+
+    def _record_op_cycles(
+        self, accesses: float, misses: float, fit: float, config: TuningConfig
+    ) -> float:
+        """Memory-side cycles for a span of record accesses.
+
+        ``cache_capacity == 0`` models running without the CachedGBWT:
+        every access pays the decode cost (Figure 6's baseline).
+        """
+        if config.cache_capacity == 0:
+            base = self.cache_model.uncached_cycles(int(accesses))
+            probe = 0.0
+        else:
+            distinct = self.distinct_per_batch(config.batch_size)
+            base = self.cache_model.access_cycles(int(accesses), int(misses))
+            probe = accesses * (
+                self.cache_model.probe_cycles_per_access(
+                    config.cache_capacity, distinct
+                )
+                + self.cache_model.oversize_cycles_per_access(
+                    config.cache_capacity, distinct
+                )
+            )
+        spill = accesses * (1.0 - fit) * SPILL_CYCLES_PER_ACCESS
+        return CALIBRATION * (base + probe + spill)
+
+    def mem_cycles_per_read_mean(self, fit: float, config: TuningConfig) -> float:
+        """Mean memory-side cycles per read at a given LLC fit."""
+        mean = self.profile.mean_cost()
+        return self._record_op_cycles(
+            mean.record_accesses, mean.record_misses, fit, config
+        )
+
+    def _bandwidth_factor(
+        self, threads: int, fit: float, config: TuningConfig
+    ) -> float:
+        """Slowdown on memory work when aggregate DRAM traffic exceeds
+        the platform's achievable random-access bandwidth."""
+        mean = self.profile.mean_cost()
+        comp = compute_cycles(mean)
+        mem = self.mem_cycles_per_read_mean(fit, config)
+        rate = self.platform.frequency_ghz * 1e9 * self.platform.base_ipc
+        read_seconds = (comp + mem) / rate
+        if read_seconds <= 0:
+            return 1.0
+        misses = (
+            mean.record_accesses
+            if config.cache_capacity == 0
+            else mean.record_misses
+        )
+        bytes_per_read = CALIBRATION * (
+            misses * BYTES_PER_RECORD_MISS
+            + mean.record_accesses * (1.0 - fit) * SPILL_BYTES_PER_ACCESS
+        )
+        demand_gbps = threads * bytes_per_read / read_seconds / 1e9
+        achievable = self.platform.dram_bw_gbps * EFFECTIVE_BW_FRACTION
+        return max(1.0, demand_gbps / achievable)
+
+    def _thread_rates(self, threads: int, config: TuningConfig) -> List[dict]:
+        """Per-thread compute rate (cycles/s) and memory multiplier."""
+        p = self.platform
+        fit = self.llc_fit(threads, config)
+        bandwidth = self._bandwidth_factor(threads, fit, config)
+        physical = p.physical_cores
+        oversubscribed = max(0, threads - physical)
+        rates = []
+        for t in range(threads):
+            core = t % physical
+            socket = core // p.cores_per_socket
+            throughput = p.frequency_ghz * 1e9 * p.base_ipc
+            if threads > physical and core < oversubscribed:
+                throughput *= p.smt_throughput / p.threads_per_core
+            if socket > 0:
+                # NUMA: the reference lives on socket 0's memory.
+                throughput /= p.socket_penalty
+            rates.append({"rate": throughput, "mem_mult": bandwidth, "fit": fit})
+        return rates
+
+    def warmup_seconds(self, config: TuningConfig) -> float:
+        """Per-thread CachedGBWT warm-up: cold decodes of the hot set.
+
+        Machines whose L3 holds the whole hot reference warm up almost
+        for free (decodes read L3-resident bytes); small-LLC machines
+        pull everything from DRAM.
+        """
+        reference_rate = 2.4 * 1.35  # local-intel GHz * IPC
+        this_rate = self.platform.frequency_ghz * self.platform.base_ipc
+        fit_single = min(1.0, self.platform.l3_per_socket_mb / max(1e-9, self.hot_mb))
+        resident_discount = 0.2 + 0.8 * (1.0 - fit_single)
+        return (
+            WARMUP_S_PER_HOT_MB
+            * self.hot_mb
+            * resident_discount
+            * reference_rate
+            / this_rate
+        )
+
+    # -- the headline query -------------------------------------------------------
+
+    def simulate(self, config: TuningConfig, subsample: float = 1.0) -> SimOutcome:
+        """Predicted makespan of one (config, subsample) run.
+
+        Raises :class:`OutOfMemoryError` when the input cannot fit.
+        Long runs are event-capped: batch costs are simulated for up to
+        ``MAX_SIM_BATCHES`` batches and the busy portion is time-scaled,
+        which preserves policy differences while keeping sweeps fast.
+        """
+        self.check_memory(subsample)
+        reads = self.virtual_reads(subsample)
+        threads = config.threads
+        rates = self._thread_rates(threads, config)
+        batch_size = config.batch_size
+        total_batches = (reads + batch_size - 1) // batch_size
+        sim_batches = min(total_batches, MAX_SIM_BATCHES)
+        time_scale = total_batches / sim_batches
+        access = self.cache_model
+
+        # Per-batch rehash work while the CachedGBWT grows to this
+        # batch's record set (distinct_per_batch is already paper-scale).
+        rehash_per_batch = 0.0
+        if config.cache_capacity > 0:
+            rehash_per_batch = access.rehash_cycles(
+                config.cache_capacity, self.distinct_per_batch(batch_size)
+            )
+
+        def batch_cost(batch_index: int, thread_index: int) -> float:
+            first = batch_index * batch_size
+            last = min(reads, first + batch_size)
+            comp = self._tiled_sum(self._comp_prefix, first, last)
+            accesses = self._tiled_sum(self._acc_prefix, first, last)
+            misses = self._tiled_sum(self._miss_prefix, first, last)
+            slot = rates[thread_index]
+            mem = self._record_op_cycles(accesses, misses, slot["fit"], config)
+            return (comp + rehash_per_batch + mem * slot["mem_mult"]) / slot["rate"]
+
+        warmup = self.warmup_seconds(config)
+        outcome = simulate_run(
+            config.scheduler,
+            sim_batches,
+            threads,
+            batch_cost,
+            start_times=[warmup] * threads,
+        )
+        makespan = warmup + (outcome.makespan - warmup) * time_scale
+        return SimOutcome(
+            makespan=makespan,
+            thread_busy=[b * time_scale for b in outcome.thread_busy],
+            batches=total_batches,
+            steals=outcome.steals,
+        )
+
+    def makespan(self, config: TuningConfig, subsample: float = 1.0) -> float:
+        """Convenience wrapper returning just the predicted makespan."""
+        return self.simulate(config, subsample).makespan

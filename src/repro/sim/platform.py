@@ -1,0 +1,143 @@
+"""Machine models for the paper's four evaluation platforms (Table II).
+
+Cache sizes, socket counts, frequencies, and thread counts come straight
+from the paper.  Microarchitectural coefficients the paper does not give
+(base IPC, SMT throughput gain, cross-socket penalty, DRAM bandwidth)
+are set from public spec sheets for the named parts; they control the
+*shape* of the scaling curves, which is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One evaluation machine."""
+
+    name: str
+    vendor: str
+    processor: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    frequency_ghz: float
+    l3_per_socket_mb: float
+    l2_per_core_kb: int
+    l1d_per_core_kb: int
+    l1i_per_core_kb: int
+    dram_gb: int
+    #: Aggregate DRAM bandwidth, GB/s (from vendor channel specs).
+    dram_bw_gbps: float
+    #: Sustained IPC on this pointer-chasing, compare-heavy kernel.
+    base_ipc: float
+    #: Throughput of a fully SMT-loaded core relative to one thread.
+    smt_throughput: float
+    #: Multiplier on memory-bound work for threads on the remote socket.
+    socket_penalty: float
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def l3_total_mb(self) -> float:
+        return self.sockets * self.l3_per_socket_mb
+
+    def thread_sweep(self) -> List[int]:
+        """Thread counts for scaling studies: powers of two plus the
+        socket/SMT boundary points of this machine."""
+        points = {1}
+        t = 2
+        while t <= self.max_threads:
+            points.add(t)
+            t *= 2
+        points.add(self.cores_per_socket)
+        points.add(self.physical_cores)
+        points.add(self.max_threads)
+        return sorted(points)
+
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    spec.name: spec
+    for spec in (
+        PlatformSpec(
+            name="local-intel",
+            vendor="Intel",
+            processor="Xeon 8260",
+            sockets=2,
+            cores_per_socket=24,
+            threads_per_core=2,
+            frequency_ghz=2.4,
+            l3_per_socket_mb=35.75,
+            l2_per_core_kb=1024,
+            l1d_per_core_kb=32,
+            l1i_per_core_kb=32,
+            dram_gb=768,
+            dram_bw_gbps=230.0,
+            base_ipc=1.35,
+            smt_throughput=1.08,
+            socket_penalty=1.18,
+        ),
+        PlatformSpec(
+            name="local-amd",
+            vendor="AMD",
+            processor="EPYC 9554",
+            sockets=1,
+            cores_per_socket=64,
+            threads_per_core=2,
+            frequency_ghz=3.1,
+            l3_per_socket_mb=256.0,
+            l2_per_core_kb=1024,
+            l1d_per_core_kb=32,
+            l1i_per_core_kb=32,
+            dram_gb=768,
+            dram_bw_gbps=460.0,
+            base_ipc=1.55,
+            smt_throughput=1.38,
+            socket_penalty=1.0,
+        ),
+        PlatformSpec(
+            name="chi-arm",
+            vendor="Cavium",
+            processor="ThunderX2 99xx",
+            sockets=2,
+            cores_per_socket=32,
+            threads_per_core=1,
+            frequency_ghz=2.5,
+            l3_per_socket_mb=32.0,
+            l2_per_core_kb=256,
+            l1d_per_core_kb=32,
+            l1i_per_core_kb=32,
+            dram_gb=256,
+            dram_bw_gbps=300.0,
+            base_ipc=0.72,
+            smt_throughput=1.0,
+            socket_penalty=1.08,
+        ),
+        PlatformSpec(
+            name="chi-intel",
+            vendor="Intel",
+            processor="Xeon 8380",
+            sockets=2,
+            cores_per_socket=40,
+            threads_per_core=2,
+            frequency_ghz=2.3,
+            l3_per_socket_mb=60.0,
+            l2_per_core_kb=1280,
+            l1d_per_core_kb=48,
+            l1i_per_core_kb=32,
+            dram_gb=256,
+            dram_bw_gbps=400.0,
+            base_ipc=1.40,
+            smt_throughput=1.12,
+            socket_penalty=1.15,
+        ),
+    )
+}

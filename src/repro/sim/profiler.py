@@ -1,0 +1,150 @@
+"""Workload profiling: measured per-read operation counts.
+
+Every simulation in this package is driven by data measured from real
+proxy runs, not assumed distributions: the profiler executes the two
+critical kernels read-by-read (single-threaded, deterministic) and
+records each read's operation counts and GBWT record-access behaviour.
+The execution model then replays these costs at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cluster import cluster_seeds
+from repro.core.extend import KernelCounters
+from repro.core.io import ReadRecord
+from repro.core.options import ProxyOptions
+from repro.core.process import process_until_threshold
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbz import GBZ
+from repro.index.distance import DistanceIndex
+
+
+@dataclass(frozen=True)
+class ReadCost:
+    """Operation counts for mapping one read."""
+
+    base_comparisons: int
+    node_visits: int
+    branch_expansions: int
+    distance_queries: int
+    clusters_scored: int
+    seeds_extended: int
+    record_accesses: int
+    record_misses: int
+
+
+@dataclass
+class WorkloadProfile:
+    """Measured cost structure of one input set.
+
+    ``read_costs`` has one entry per profiled read; scale studies tile
+    this distribution out to the paper's read counts.
+    """
+
+    input_set: str
+    read_costs: List[ReadCost] = field(default_factory=list)
+    distinct_records: int = 0
+    total_record_accesses: int = 0
+    packed_gbwt_bytes: int = 0
+    graph_nodes: int = 0
+
+    @property
+    def read_count(self) -> int:
+        return len(self.read_costs)
+
+    @property
+    def marginal_distinct_per_read(self) -> float:
+        """New GBWT records a read touches on average (cache growth rate)."""
+        if not self.read_costs:
+            return 0.0
+        return self.distinct_records / len(self.read_costs)
+
+    def mean_cost(self) -> ReadCost:
+        """Average per-read operation counts."""
+        n = max(1, len(self.read_costs))
+        return ReadCost(
+            base_comparisons=sum(c.base_comparisons for c in self.read_costs) // n,
+            node_visits=sum(c.node_visits for c in self.read_costs) // n,
+            branch_expansions=sum(c.branch_expansions for c in self.read_costs) // n,
+            distance_queries=sum(c.distance_queries for c in self.read_costs) // n,
+            clusters_scored=sum(c.clusters_scored for c in self.read_costs) // n,
+            seeds_extended=sum(c.seeds_extended for c in self.read_costs) // n,
+            record_accesses=sum(c.record_accesses for c in self.read_costs) // n,
+            record_misses=sum(c.record_misses for c in self.read_costs) // n,
+        )
+
+
+def profile_workload(
+    gbz: GBZ,
+    records: Sequence[ReadRecord],
+    input_set: str = "custom",
+    options: Optional[ProxyOptions] = None,
+    seed_span: int = 13,
+    distance_index: Optional[DistanceIndex] = None,
+) -> WorkloadProfile:
+    """Run the critical kernels per read, measuring each read's cost.
+
+    Single-threaded by construction (per-read deltas need a serial
+    counter), with one shared CachedGBWT as a single proxy thread would
+    hold — so ``record_misses`` reflects steady-state reuse, not
+    repeated cold starts.
+    """
+    options = options or ProxyOptions()
+    distance_index = distance_index or DistanceIndex(gbz.graph)
+    cache = CachedGBWT(gbz.gbwt, options.cache_capacity)
+    counters = KernelCounters()
+    scoring = ScoringParams()
+    profile = WorkloadProfile(
+        input_set=input_set,
+        packed_gbwt_bytes=gbz.gbwt.packed_size(),
+        graph_nodes=gbz.graph.node_count(),
+    )
+    previous = KernelCounters()
+    previous_accesses = 0
+    previous_misses = 0
+    for record in records:
+        clusters = cluster_seeds(
+            distance_index,
+            record.seeds,
+            len(record.sequence),
+            seed_span,
+            options=options.process,
+            counters=counters,
+        )
+        process_until_threshold(
+            gbz.graph,
+            cache,
+            record.sequence,
+            clusters,
+            process_options=options.process,
+            extend_options=options.extend,
+            scoring=scoring,
+            counters=counters,
+        )
+        accesses = cache.hits + cache.misses
+        profile.read_costs.append(
+            ReadCost(
+                base_comparisons=counters.base_comparisons - previous.base_comparisons,
+                node_visits=counters.node_visits - previous.node_visits,
+                branch_expansions=(
+                    counters.branch_expansions - previous.branch_expansions
+                ),
+                distance_queries=(
+                    counters.distance_queries - previous.distance_queries
+                ),
+                clusters_scored=counters.clusters_scored - previous.clusters_scored,
+                seeds_extended=counters.seeds_extended - previous.seeds_extended,
+                record_accesses=accesses - previous_accesses,
+                record_misses=cache.misses - previous_misses,
+            )
+        )
+        previous = KernelCounters(**counters.as_dict())
+        previous_accesses = accesses
+        previous_misses = cache.misses
+    profile.distinct_records = cache.size
+    profile.total_record_accesses = cache.hits + cache.misses
+    return profile

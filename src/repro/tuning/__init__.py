@@ -1,0 +1,30 @@
+"""Autotuning harness (paper Section VII-B).
+
+Exhaustively sweeps the three exposed parameters — scheduler, batch
+size, initial CachedGBWT capacity — for each (input set, platform)
+pair, compares the best configuration against the defaults, and
+quantifies per-parameter impact with ANOVA, exactly as the paper's
+tuning case study does.
+"""
+
+from repro.tuning.search import (
+    GridSearch,
+    TuningResult,
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_CAPACITIES,
+    DEFAULT_SCHEDULERS,
+)
+from repro.tuning.results import ResultStore, geometric_mean
+from repro.tuning.anova import anova_by_factor, AnovaReport
+
+__all__ = [
+    "GridSearch",
+    "TuningResult",
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_CAPACITIES",
+    "DEFAULT_SCHEDULERS",
+    "ResultStore",
+    "geometric_mean",
+    "anova_by_factor",
+    "AnovaReport",
+]

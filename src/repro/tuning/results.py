@@ -1,0 +1,119 @@
+"""Result aggregation for the tuning study.
+
+Collects :class:`repro.tuning.search.TuningResult` rows across inputs
+and platforms, then answers the questions Figure 7 / Table VIII ask:
+best configuration per (input, platform), speedup over the defaults,
+and geometric-mean speedups per input set.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.tuning.search import TuningResult
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class ResultStore:
+    """All grid points plus the default-configuration baselines."""
+
+    def __init__(self):
+        self._results: List[TuningResult] = []
+        self._defaults: Dict[Tuple[str, str], TuningResult] = {}
+
+    def add_results(self, results: Iterable[TuningResult]) -> None:
+        self._results.extend(results)
+
+    def add_default(self, result: TuningResult) -> None:
+        self._defaults[(result.input_set, result.platform)] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def results_for(self, input_set: str, platform: str) -> List[TuningResult]:
+        return [
+            r
+            for r in self._results
+            if r.input_set == input_set and r.platform == platform
+        ]
+
+    def default_for(self, input_set: str, platform: str) -> Optional[TuningResult]:
+        return self._defaults.get((input_set, platform))
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All (input_set, platform) pairs present, sorted."""
+        return sorted({(r.input_set, r.platform) for r in self._results})
+
+    def best_for(self, input_set: str, platform: str) -> TuningResult:
+        results = self.results_for(input_set, platform)
+        if not results:
+            raise KeyError(f"no results for ({input_set}, {platform})")
+        return min(results, key=lambda r: (r.makespan, r.config.label()))
+
+    def speedup_for(self, input_set: str, platform: str) -> float:
+        """Best-tuned speedup over the default parameters (Figure 7)."""
+        default = self.default_for(input_set, platform)
+        if default is None:
+            raise KeyError(f"no default recorded for ({input_set}, {platform})")
+        return default.makespan / self.best_for(input_set, platform).makespan
+
+    def geomean_speedup_by_input(self) -> Dict[str, float]:
+        """Geometric-mean tuned speedup per input set across platforms."""
+        by_input: Dict[str, List[float]] = {}
+        for input_set, platform in self.pairs():
+            if self.default_for(input_set, platform) is None:
+                continue
+            by_input.setdefault(input_set, []).append(
+                self.speedup_for(input_set, platform)
+            )
+        return {
+            name: geometric_mean(values) for name, values in by_input.items()
+        }
+
+    def overall_geomean_speedup(self) -> float:
+        """Geometric mean across every (input, platform) pair (the paper's
+        headline 1.15x)."""
+        speedups = [
+            self.speedup_for(i, p)
+            for i, p in self.pairs()
+            if self.default_for(i, p) is not None
+        ]
+        return geometric_mean(speedups)
+
+    def max_speedup(self) -> Tuple[float, str, str]:
+        """Largest tuned speedup and where it occurred (paper: 3.32x)."""
+        best = (0.0, "", "")
+        for input_set, platform in self.pairs():
+            if self.default_for(input_set, platform) is None:
+                continue
+            speedup = self.speedup_for(input_set, platform)
+            if speedup > best[0]:
+                best = (speedup, input_set, platform)
+        return best
+
+    def write_csv(self, path: str) -> None:
+        """Dump every grid point (the artifact's results/ CSV shape)."""
+        fieldnames = [
+            "input_set",
+            "platform",
+            "scheduler",
+            "batch_size",
+            "cache_capacity",
+            "threads",
+            "makespan",
+        ]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for result in self._results:
+                writer.writerow(result.row())

@@ -1,0 +1,108 @@
+"""Exhaustive (full cross-product) parameter search.
+
+The paper's grid: scheduler ∈ {OpenMP-dynamic, work-stealing}, batch
+size ∈ powers of two from 128 to 2048, initial CachedGBWT capacity
+≤ 4096 (the Figure 6 pre-study having excluded larger values), run with
+every hardware thread of each machine, on 10%-subsampled inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.exec_model import (
+    DEFAULT_CONFIG,
+    ExecutionModel,
+    OutOfMemoryError,
+    TuningConfig,
+)
+
+DEFAULT_SCHEDULERS: Sequence[str] = ("dynamic", "work_stealing")
+DEFAULT_BATCH_SIZES: Sequence[int] = (128, 256, 512, 1024, 2048)
+DEFAULT_CAPACITIES: Sequence[int] = (256, 512, 1024, 2048, 4096)
+#: The paper subsamples each input set to its first 10% of reads.
+DEFAULT_SUBSAMPLE = 0.1
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One grid point's outcome."""
+
+    input_set: str
+    platform: str
+    config: TuningConfig
+    makespan: float
+
+    def row(self) -> dict:
+        return {
+            "input_set": self.input_set,
+            "platform": self.platform,
+            "scheduler": self.config.scheduler,
+            "batch_size": self.config.batch_size,
+            "cache_capacity": self.config.cache_capacity,
+            "threads": self.config.threads,
+            "makespan": self.makespan,
+        }
+
+
+class GridSearch:
+    """Sweeps one execution model over the full parameter cross-product."""
+
+    def __init__(self, model: ExecutionModel, subsample: float = DEFAULT_SUBSAMPLE):
+        self.model = model
+        self.subsample = subsample
+
+    def run(
+        self,
+        schedulers: Iterable[str] = DEFAULT_SCHEDULERS,
+        batch_sizes: Iterable[int] = DEFAULT_BATCH_SIZES,
+        capacities: Iterable[int] = DEFAULT_CAPACITIES,
+        threads: Optional[int] = None,
+    ) -> List[TuningResult]:
+        """Evaluate every combination; uses all hardware threads unless
+        ``threads`` overrides.  Raises OutOfMemoryError if even the
+        subsampled input cannot fit the platform's DRAM."""
+        thread_count = threads or self.model.platform.max_threads
+        results: List[TuningResult] = []
+        for scheduler in schedulers:
+            for batch_size in batch_sizes:
+                for capacity in capacities:
+                    config = TuningConfig(
+                        scheduler=scheduler,
+                        batch_size=batch_size,
+                        cache_capacity=capacity,
+                        threads=thread_count,
+                    )
+                    makespan = self.model.makespan(config, self.subsample)
+                    results.append(
+                        TuningResult(
+                            input_set=self.model.profile.input_set,
+                            platform=self.model.platform.name,
+                            config=config,
+                            makespan=makespan,
+                        )
+                    )
+        return results
+
+    def default_result(self, threads: Optional[int] = None) -> TuningResult:
+        """The paper's default parameters at the same thread count."""
+        config = TuningConfig(
+            scheduler=DEFAULT_CONFIG.scheduler,
+            batch_size=DEFAULT_CONFIG.batch_size,
+            cache_capacity=DEFAULT_CONFIG.cache_capacity,
+            threads=threads or self.model.platform.max_threads,
+        )
+        return TuningResult(
+            input_set=self.model.profile.input_set,
+            platform=self.model.platform.name,
+            config=config,
+            makespan=self.model.makespan(config, self.subsample),
+        )
+
+    @staticmethod
+    def best(results: Sequence[TuningResult]) -> TuningResult:
+        """Fastest grid point (deterministic tie-break on the label)."""
+        if not results:
+            raise ValueError("no results to pick from")
+        return min(results, key=lambda r: (r.makespan, r.config.label()))

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG, timing helpers, LoC accounting.
+
+These helpers underpin the reproducibility story of the whole package:
+every stochastic component (genome synthesis, read simulation, cache
+trace sampling) draws from :class:`repro.util.rng.SplitMix64` streams so
+results are bit-stable across platforms and Python versions.
+"""
+
+from repro.util.rng import SplitMix64, derive_seed
+from repro.util.timing import RegionTimer, Stopwatch
+from repro.util.loc import count_loc, loc_report
+
+__all__ = [
+    "SplitMix64",
+    "derive_seed",
+    "RegionTimer",
+    "Stopwatch",
+    "count_loc",
+    "loc_report",
+]

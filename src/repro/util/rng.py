@@ -1,0 +1,106 @@
+"""Deterministic random number generation.
+
+Python's :mod:`random` is stable across versions for most methods, but we
+want explicit, seedable, *forkable* streams so that independent subsystems
+(genome synthesis, variant placement, read sampling, error injection) can
+each consume randomness without perturbing one another.  ``SplitMix64`` is
+a tiny, well-studied 64-bit PRNG that is trivially portable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``base_seed`` and a sequence of labels.
+
+    The derivation hashes the labels so streams for different purposes
+    are statistically independent, and the same (seed, labels) pair
+    always produces the same child seed.
+
+    >>> derive_seed(42, "reads") == derive_seed(42, "reads")
+    True
+    >>> derive_seed(42, "reads") != derive_seed(42, "variants")
+    True
+    """
+    payload = repr((base_seed, labels)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class SplitMix64:
+    """A small deterministic PRNG with convenience draw methods.
+
+    The generator passes through the SplitMix64 output function, which has
+    full 64-bit period and excellent statistical quality for simulation
+    workloads of this size.
+    """
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit output."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, seq):
+        """Return a uniformly random element of a non-empty sequence."""
+        if not seq:
+            raise IndexError("choice from empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """Fisher-Yates shuffle in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def sample_indices(self, population: int, k: int) -> list:
+        """Return ``k`` distinct indices drawn from ``range(population)``.
+
+        Uses Floyd's algorithm so the cost is O(k) even for very large
+        populations.
+        """
+        if k > population:
+            raise ValueError(f"cannot sample {k} from population {population}")
+        chosen = set()
+        result = []
+        for j in range(population - k, population):
+            t = self.randint(0, j)
+            if t in chosen:
+                t = j
+            chosen.add(t)
+            result.append(t)
+        return result
+
+    def geometric(self, p: float) -> int:
+        """Return a geometric variate (number of failures before success)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        count = 0
+        while self.random() >= p:
+            count += 1
+        return count
+
+    def fork(self, *labels: object) -> "SplitMix64":
+        """Create an independent child generator labelled by ``labels``."""
+        return SplitMix64(derive_seed(self._state, *labels))

@@ -1,0 +1,150 @@
+"""Wall-clock timing helpers used by the instrumentation layer.
+
+The paper instruments Giraffe with a lightweight timestamp-collecting
+header (Section III).  :class:`RegionTimer` is the Python analogue: it
+records (region, thread, start, end) tuples with negligible overhead and
+defers all aggregation to the end of the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RegionSample:
+    """A single timed interval for one instrumented region."""
+
+    region: str
+    thread: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Stopwatch:
+    """A restartable stopwatch around ``time.perf_counter``."""
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class RegionTimer:
+    """Collects per-thread timing samples for named code regions.
+
+    Samples are buffered in per-thread lists (no locking on the hot path)
+    and merged on demand, mirroring the paper's dump-at-exit design to
+    avoid perturbing the measured code.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._local = threading.local()
+        self._buffers: List[List[RegionSample]] = []
+        self._buffers_lock = threading.Lock()
+        self._thread_ids: Dict[int, int] = {}
+
+    def _buffer(self) -> List[RegionSample]:
+        buf = getattr(self._local, "buffer", None)
+        if buf is None:
+            buf = []
+            self._local.buffer = buf
+            with self._buffers_lock:
+                self._buffers.append(buf)
+        return buf
+
+    def _thread_index(self) -> int:
+        ident = threading.get_ident()
+        with self._buffers_lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids)
+            return self._thread_ids[ident]
+
+    def region(self, name: str) -> "_RegionContext":
+        """Context manager timing one entry into region ``name``."""
+        return _RegionContext(self, name)
+
+    def record(self, name: str, start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        sample = RegionSample(name, self._thread_index(), start, end)
+        self._buffer().append(sample)
+
+    def samples(self) -> List[RegionSample]:
+        """Merged samples from all threads, ordered by start time."""
+        with self._buffers_lock:
+            merged = [s for buf in self._buffers for s in buf]
+        merged.sort(key=lambda s: s.start)
+        return merged
+
+    def totals_by_region(self) -> Dict[str, float]:
+        """Aggregate duration per region across all threads."""
+        totals: Dict[str, float] = defaultdict(float)
+        for sample in self.samples():
+            totals[sample.region] += sample.duration
+        return dict(totals)
+
+    def totals_by_thread(self) -> Dict[Tuple[int, str], float]:
+        """Aggregate duration per (thread, region)."""
+        totals: Dict[Tuple[int, str], float] = defaultdict(float)
+        for sample in self.samples():
+            totals[(sample.thread, sample.region)] += sample.duration
+        return dict(totals)
+
+    def percentages(self) -> Dict[str, float]:
+        """Share of total instrumented time per region, in percent."""
+        totals = self.totals_by_region()
+        grand = sum(totals.values())
+        if grand == 0:
+            return {region: 0.0 for region in totals}
+        return {region: 100.0 * t / grand for region, t in totals.items()}
+
+    def timeline(self) -> Iterator[RegionSample]:
+        """Iterate samples in chronological order (Figure 2 raw data)."""
+        return iter(self.samples())
+
+    def clear(self) -> None:
+        with self._buffers_lock:
+            for buf in self._buffers:
+                buf.clear()
+
+
+class _RegionContext:
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: RegionTimer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_RegionContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.record(self._name, self._start, time.perf_counter())

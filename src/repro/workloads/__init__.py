@@ -1,0 +1,43 @@
+"""Synthetic workload generation.
+
+The paper's input sets (Table III) are multi-GB public pangenomes and
+Illumina read sets; this package generates laptop-scale equivalents that
+exercise identical code paths: a random reference, VCF-style variants
+with population allele frequencies, haplotypes threaded through the
+bubbles, and error-bearing short reads sampled from those haplotypes
+(single- or paired-end, forward or reverse strand).
+
+:mod:`repro.workloads.input_sets` defines the four presets — A-human,
+B-yeast, C-HPRC, D-HPRC — preserving the paper's relative shapes (read
+counts, graph sizes, workflow type) at roughly 1/1000 scale.
+"""
+
+from repro.workloads.synth import (
+    random_dna,
+    generate_variants,
+    sample_haplotype_selections,
+    build_pangenome,
+    Pangenome,
+)
+from repro.workloads.reads import Read, ReadSimulator, FragmentSpec
+from repro.workloads.input_sets import (
+    INPUT_SETS,
+    InputSetSpec,
+    WorkloadBundle,
+    materialize,
+)
+
+__all__ = [
+    "random_dna",
+    "generate_variants",
+    "sample_haplotype_selections",
+    "build_pangenome",
+    "Pangenome",
+    "Read",
+    "ReadSimulator",
+    "FragmentSpec",
+    "INPUT_SETS",
+    "InputSetSpec",
+    "WorkloadBundle",
+    "materialize",
+]

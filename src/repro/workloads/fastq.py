@@ -1,0 +1,63 @@
+"""FASTQ reading and writing for simulated reads.
+
+Short-read inputs travel as FASTQ in every real pipeline (the paper's
+Table III read sets are FASTQ files); this module round-trips our
+simulated :class:`repro.workloads.reads.Read` objects through the
+standard four-line format, synthesizing a uniform quality string on the
+way out (the mapper does not use base qualities).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, TextIO
+
+from repro.workloads.reads import Read
+
+#: Phred+33 'I' = Q40, the conventional "simulated perfect" quality.
+DEFAULT_QUALITY_CHAR = "I"
+
+
+def write_fastq(reads: Iterable[Read], stream: TextIO) -> int:
+    """Write reads as FASTQ; returns the record count."""
+    count = 0
+    for read in reads:
+        stream.write(f"@{read.name}\n")
+        stream.write(read.sequence + "\n")
+        stream.write("+\n")
+        stream.write(DEFAULT_QUALITY_CHAR * len(read.sequence) + "\n")
+        count += 1
+    return count
+
+
+def read_fastq(stream: TextIO) -> Iterator[Read]:
+    """Parse FASTQ records (quality line length is validated)."""
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.rstrip("\n")
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"malformed FASTQ header: {header!r}")
+        sequence = stream.readline().rstrip("\n")
+        plus = stream.readline().rstrip("\n")
+        quality = stream.readline().rstrip("\n")
+        if not plus.startswith("+"):
+            raise ValueError(f"malformed FASTQ separator for {header!r}")
+        if len(quality) != len(sequence):
+            raise ValueError(
+                f"quality length mismatch for {header!r}: "
+                f"{len(quality)} vs {len(sequence)}"
+            )
+        yield Read(name=header[1:], sequence=sequence)
+
+
+def write_fastq_file(reads: Iterable[Read], path: str) -> int:
+    with open(path, "w") as handle:
+        return write_fastq(reads, handle)
+
+
+def read_fastq_file(path: str) -> List[Read]:
+    with open(path) as handle:
+        return list(read_fastq(handle))

@@ -1,0 +1,144 @@
+"""The four input-set presets of the paper (Table III), at proxy scale.
+
+Relative shapes are preserved: A-human is the smallest read set over a
+large graph (single-end); B-yeast has the most reads per graph base over
+the smallest graph (single-end); C-HPRC and D-HPRC are paired-end with
+D the largest overall.  Absolute sizes are ~1/1000 of the paper's so
+every experiment runs on a laptop; the ``scale`` argument subsamples or
+grows read counts (the tuning study uses ``scale=0.1`` exactly as the
+paper subsamples 10% of reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.rng import derive_seed
+from repro.workloads.reads import FragmentSpec, Read, ReadSimulator
+from repro.workloads.synth import Pangenome, build_pangenome
+
+
+@dataclass(frozen=True)
+class InputSetSpec:
+    """Generation parameters for one input set."""
+
+    name: str
+    workflow: str  # "single" | "paired"
+    reference_length: int
+    haplotypes: int
+    reads: int  # single-end reads, or read pairs for paired workflows
+    read_length: int
+    snp_rate: float = 0.01
+    indel_rate: float = 0.002
+    sv_rate: float = 0.0005
+    error_rate: float = 0.002
+    minimizer_k: int = 13
+    minimizer_w: int = 9
+    seed: int = 20250705
+
+
+#: Presets mirroring Table III's relative shapes.
+INPUT_SETS: Dict[str, InputSetSpec] = {
+    spec.name: spec
+    for spec in (
+        InputSetSpec(
+            name="A-human",
+            workflow="single",
+            reference_length=24_000,
+            haplotypes=12,
+            reads=300,
+            read_length=120,
+            snp_rate=0.012,
+        ),
+        InputSetSpec(
+            name="B-yeast",
+            workflow="single",
+            reference_length=6_000,
+            haplotypes=8,
+            reads=1_500,
+            read_length=100,
+        ),
+        InputSetSpec(
+            name="C-HPRC",
+            workflow="paired",
+            reference_length=16_000,
+            haplotypes=16,
+            reads=300,
+            read_length=100,
+        ),
+        InputSetSpec(
+            name="D-HPRC",
+            workflow="paired",
+            reference_length=32_000,
+            haplotypes=16,
+            reads=1_300,
+            read_length=100,
+        ),
+    )
+}
+
+
+@dataclass
+class WorkloadBundle:
+    """A materialized input set: the pangenome plus its reads."""
+
+    spec: InputSetSpec
+    pangenome: Pangenome
+    reads: List[Read]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def read_count(self) -> int:
+        return len(self.reads)
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name}: {self.spec.workflow}-end, "
+            f"{self.read_count} reads x {self.spec.read_length}bp, "
+            f"{self.pangenome.graph.describe()}"
+        )
+
+
+def materialize(spec: InputSetSpec, scale: float = 1.0) -> WorkloadBundle:
+    """Generate the pangenome and reads for ``spec``.
+
+    ``scale`` multiplies the read count only — the reference (and thus
+    graph and indices) stays identical across scales so subsampled runs
+    stress the same reference structures, as in the paper's tuning study.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    pangenome = build_pangenome(
+        seed=derive_seed(spec.seed, spec.name, "pangenome"),
+        reference_length=spec.reference_length,
+        haplotype_count=spec.haplotypes,
+        snp_rate=spec.snp_rate,
+        indel_rate=spec.indel_rate,
+        sv_rate=spec.sv_rate,
+    )
+    haplotype_sequences = {
+        name: pangenome.graph.path_sequence(name) for name in pangenome.graph.paths
+    }
+    simulator = ReadSimulator(
+        haplotype_sequences,
+        read_length=spec.read_length,
+        error_rate=spec.error_rate,
+        seed=derive_seed(spec.seed, spec.name, "reads"),
+    )
+    count = max(1, int(round(spec.reads * scale)))
+    if spec.workflow == "paired":
+        reads = simulator.simulate_paired(count, FragmentSpec())
+    else:
+        reads = simulator.simulate_single(count)
+    return WorkloadBundle(spec=spec, pangenome=pangenome, reads=reads)
+
+
+def materialize_by_name(name: str, scale: float = 1.0) -> WorkloadBundle:
+    """Materialize a preset by its Table III name (e.g. ``"A-human"``)."""
+    if name not in INPUT_SETS:
+        raise KeyError(f"unknown input set {name!r}; choose from {sorted(INPUT_SETS)}")
+    return materialize(INPUT_SETS[name], scale)

@@ -1,0 +1,134 @@
+"""Short-read simulation from embedded haplotypes.
+
+Reads are sampled uniformly from haplotype sequences, on either strand,
+with substitution errors at an Illumina-like rate.  Paired-end mode
+samples a fragment and emits both mates (the second reverse-complemented),
+matching the paper's C/D-HPRC workflows; single-end matches A/B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.handle import reverse_complement
+from repro.util.rng import SplitMix64
+
+_BASES = "ACGT"
+
+
+@dataclass(frozen=True)
+class Read:
+    """One simulated short read (forward-strand sequence as sequenced)."""
+
+    name: str
+    sequence: str
+    #: Provenance for debugging/analysis; mappers must not look at these.
+    haplotype: str = ""
+    origin: int = -1
+    is_reverse: bool = False
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """Paired-end fragment geometry."""
+
+    fragment_length: int = 320
+    fragment_stddev: int = 40
+
+
+class ReadSimulator:
+    """Samples error-bearing reads from a set of haplotype sequences."""
+
+    def __init__(
+        self,
+        haplotype_sequences: Dict[str, str],
+        read_length: int = 100,
+        error_rate: float = 0.002,
+        seed: int = 0,
+    ):
+        if not haplotype_sequences:
+            raise ValueError("need at least one haplotype sequence")
+        if read_length < 1:
+            raise ValueError("read_length must be positive")
+        usable = {
+            name: seq
+            for name, seq in haplotype_sequences.items()
+            if len(seq) >= read_length
+        }
+        if not usable:
+            raise ValueError("no haplotype is long enough for the read length")
+        self.haplotypes = dict(sorted(usable.items()))
+        self._names = list(self.haplotypes)
+        self.read_length = read_length
+        self.error_rate = error_rate
+        self._rng = SplitMix64(seed).fork("read-simulator")
+
+    def _inject_errors(self, sequence: str) -> str:
+        if self.error_rate <= 0:
+            return sequence
+        chars = list(sequence)
+        for i, base in enumerate(chars):
+            if self._rng.random() < self.error_rate:
+                alternatives = [b for b in _BASES if b != base]
+                chars[i] = alternatives[self._rng.randint(0, 2)]
+        return "".join(chars)
+
+    def _sample_from(
+        self, name: str, start: int, is_reverse: bool, read_name: str
+    ) -> Read:
+        source = self.haplotypes[name]
+        fragment = source[start : start + self.read_length]
+        if is_reverse:
+            fragment = reverse_complement(fragment)
+        return Read(
+            name=read_name,
+            sequence=self._inject_errors(fragment),
+            haplotype=name,
+            origin=start,
+            is_reverse=is_reverse,
+        )
+
+    def simulate_single(self, count: int, name_prefix: str = "read") -> List[Read]:
+        """``count`` single-end reads."""
+        reads: List[Read] = []
+        for i in range(count):
+            name = self._rng.choice(self._names)
+            limit = len(self.haplotypes[name]) - self.read_length
+            start = self._rng.randint(0, limit)
+            is_reverse = self._rng.random() < 0.5
+            reads.append(
+                self._sample_from(name, start, is_reverse, f"{name_prefix}-{i:06d}")
+            )
+        return reads
+
+    def simulate_paired(
+        self,
+        pair_count: int,
+        fragment: Optional[FragmentSpec] = None,
+        name_prefix: str = "pair",
+    ) -> List[Read]:
+        """``pair_count`` fragments, two mates each (R1 forward, R2 reverse).
+
+        Returns ``2 * pair_count`` reads; mates share a name stem with
+        ``/1`` and ``/2`` suffixes, Illumina style.
+        """
+        fragment = fragment or FragmentSpec()
+        reads: List[Read] = []
+        for i in range(pair_count):
+            name = self._rng.choice(self._names)
+            source_len = len(self.haplotypes[name])
+            jitter = self._rng.randint(
+                -fragment.fragment_stddev, fragment.fragment_stddev
+            )
+            length = max(self.read_length, fragment.fragment_length + jitter)
+            length = min(length, source_len)
+            start = self._rng.randint(0, source_len - length)
+            mate2_start = start + length - self.read_length
+            reads.append(
+                self._sample_from(name, start, False, f"{name_prefix}-{i:06d}/1")
+            )
+            reads.append(
+                self._sample_from(name, mate2_start, True, f"{name_prefix}-{i:06d}/2")
+            )
+        return reads

@@ -1,0 +1,153 @@
+"""Synthetic pangenome construction: reference, variants, haplotypes.
+
+All randomness flows through labelled :class:`repro.util.rng.SplitMix64`
+streams, so a given (seed, parameters) pair always yields the same
+pangenome on every platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.variation_graph import VariationGraph
+from repro.gbwt.gbwt import GBWT, build_gbwt
+from repro.gbwt.gbz import GBZ
+from repro.util.rng import SplitMix64
+
+_BASES = "ACGT"
+
+
+def random_dna(rng: SplitMix64, length: int) -> str:
+    """Uniform random DNA of the requested length."""
+    return "".join(_BASES[rng.randint(0, 3)] for _ in range(length))
+
+
+def _mutate_base(rng: SplitMix64, base: str) -> str:
+    """A uniformly random base different from ``base``."""
+    choices = [b for b in _BASES if b != base]
+    return choices[rng.randint(0, 2)]
+
+
+def generate_variants(
+    rng: SplitMix64,
+    reference: str,
+    snp_rate: float = 0.01,
+    indel_rate: float = 0.002,
+    sv_rate: float = 0.0005,
+    max_indel: int = 6,
+    max_sv: int = 40,
+) -> List[Variant]:
+    """Place non-overlapping variants along the reference.
+
+    Rates are per-base probabilities of starting a variant of that class
+    at each position; placement scans left to right and skips past each
+    placed variant (plus one anchor base) so alleles never overlap.
+    """
+    variants: List[Variant] = []
+    position = 1  # keep position 0 as an anchor
+    n = len(reference)
+    while position < n - 1:
+        draw = rng.random()
+        if draw < sv_rate:
+            length = rng.randint(10, max_sv)
+            if rng.random() < 0.5 and position + length < n:
+                # Structural deletion.
+                variants.append(
+                    Variant(position, reference[position : position + length], "")
+                )
+                position += length + 1
+            else:
+                # Structural insertion.
+                variants.append(Variant(position, "", random_dna(rng, length)))
+                position += 2
+        elif draw < sv_rate + indel_rate:
+            length = rng.randint(1, max_indel)
+            if rng.random() < 0.5 and position + length < n:
+                variants.append(
+                    Variant(position, reference[position : position + length], "")
+                )
+                position += length + 1
+            else:
+                variants.append(Variant(position, "", random_dna(rng, length)))
+                position += 2
+        elif draw < sv_rate + indel_rate + snp_rate:
+            base = reference[position]
+            variants.append(Variant(position, base, _mutate_base(rng, base)))
+            position += 2
+        else:
+            position += 1
+    return variants
+
+
+def sample_haplotype_selections(
+    rng: SplitMix64,
+    variant_count: int,
+    haplotype_count: int,
+) -> Dict[str, List[int]]:
+    """Assign each variant a population allele frequency, then sample
+    haplotypes as independent Bernoulli draws per variant.
+
+    The first haplotype is always the unmodified reference, mirroring
+    how real pangenomes embed the primary reference path.
+    """
+    frequencies = [0.05 + 0.9 * rng.random() for _ in range(variant_count)]
+    selections: Dict[str, List[int]] = {"haplotype-0000": []}
+    for h in range(1, haplotype_count):
+        chosen = [
+            v for v, freq in enumerate(frequencies) if rng.random() < freq
+        ]
+        selections[f"haplotype-{h:04d}"] = chosen
+    return selections
+
+
+@dataclass
+class Pangenome:
+    """A complete synthetic pangenome with its indices' raw material."""
+
+    reference: str
+    variants: List[Variant]
+    selections: Dict[str, List[int]]
+    builder: GraphBuilder
+    graph: VariationGraph
+    gbwt: GBWT
+    gbz: GBZ
+
+    def haplotype_sequence(self, name: str) -> str:
+        """Sequence of one embedded haplotype."""
+        return self.graph.path_sequence(name)
+
+
+def build_pangenome(
+    seed: int,
+    reference_length: int,
+    haplotype_count: int,
+    snp_rate: float = 0.01,
+    indel_rate: float = 0.002,
+    sv_rate: float = 0.0005,
+    max_node_length: int = 32,
+) -> Pangenome:
+    """End-to-end synthetic pangenome: reference → variants → graph → GBWT."""
+    if haplotype_count < 1:
+        raise ValueError("need at least one haplotype")
+    rng = SplitMix64(seed)
+    reference = random_dna(rng.fork("reference"), reference_length)
+    variants = generate_variants(
+        rng.fork("variants"), reference, snp_rate, indel_rate, sv_rate
+    )
+    selections = sample_haplotype_selections(
+        rng.fork("haplotypes"), len(variants), haplotype_count
+    )
+    builder = GraphBuilder(reference, variants, max_node_length=max_node_length)
+    builder.embed_haplotypes(selections)
+    gbwt, _ = build_gbwt(builder.graph)
+    return Pangenome(
+        reference=reference,
+        variants=variants,
+        selections=selections,
+        builder=builder,
+        graph=builder.graph,
+        gbwt=gbwt,
+        gbz=GBZ(graph=builder.graph, gbwt=gbwt),
+    )

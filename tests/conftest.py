@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic workloads reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder, Variant
+from repro.gbwt import build_gbwt
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.workloads import build_pangenome
+from repro.workloads.reads import ReadSimulator
+
+#: A reference long enough for bubbles but tiny enough for brute force.
+TINY_REFERENCE = (
+    "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGAT"
+    "TTGACCAGTAGGCATCAGGCTTAACCGGATATCGGCATTACGGA"
+)
+TINY_VARIANTS = [
+    Variant(5, "C", "T"),
+    Variant(20, "TC", ""),
+    Variant(40, "", "CCC"),
+    Variant(60, "A", "G"),
+]
+TINY_SELECTIONS = {
+    "hap-0": [],
+    "hap-1": [0, 2],
+    "hap-2": [1, 3],
+    "hap-3": [0, 1, 2, 3],
+}
+
+
+@pytest.fixture(scope="session")
+def tiny_builder():
+    builder = GraphBuilder(TINY_REFERENCE, TINY_VARIANTS, max_node_length=8)
+    builder.embed_haplotypes(TINY_SELECTIONS)
+    return builder
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_builder):
+    return tiny_builder.graph
+
+
+@pytest.fixture(scope="session")
+def tiny_gbwt(tiny_graph):
+    gbwt, _ = build_gbwt(tiny_graph)
+    return gbwt
+
+
+@pytest.fixture(scope="session")
+def small_pangenome():
+    """A mid-sized synthetic pangenome (seeded, stable across runs)."""
+    return build_pangenome(
+        seed=1234, reference_length=3000, haplotype_count=6
+    )
+
+
+@pytest.fixture(scope="session")
+def small_reads(small_pangenome):
+    sequences = {
+        name: small_pangenome.graph.path_sequence(name)
+        for name in small_pangenome.graph.paths
+    }
+    simulator = ReadSimulator(sequences, read_length=80, error_rate=0.002, seed=77)
+    return simulator.simulate_single(40)
+
+
+@pytest.fixture(scope="session")
+def small_mapper(small_pangenome):
+    return GiraffeMapper(
+        small_pangenome.gbz,
+        GiraffeOptions(threads=1, batch_size=16, minimizer_k=11, minimizer_w=7),
+    )

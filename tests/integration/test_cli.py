@@ -1,0 +1,131 @@
+"""Integration tests for the command-line interface.
+
+Drives the full artifact workflow through ``repro.cli.main``: generate
+an input set to disk, map it with the proxy binary surface, validate
+against the expected output, and run the model-backed tune/scale
+commands.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    out_dir = str(tmp_path_factory.mktemp("cli-data"))
+    code = main(
+        ["generate", "--input-set", "A-human", "--scale", "0.08",
+         "--out-dir", out_dir]
+    )
+    assert code == 0
+    return out_dir
+
+
+class TestGenerate:
+    def test_writes_all_artifacts(self, generated):
+        for suffix in (".gbz", ".gfa", ".fastq", ".seeds.bin", ".expected.ext"):
+            path = os.path.join(generated, f"A-human{suffix}")
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+
+    def test_gfa_parses_back(self, generated):
+        from repro.graph.gfa import read_gfa_file
+
+        graph = read_gfa_file(os.path.join(generated, "A-human.gfa"))
+        graph.validate()
+        assert graph.node_count() > 100
+
+    def test_fastq_parses_back(self, generated):
+        from repro.workloads.fastq import read_fastq_file
+
+        reads = read_fastq_file(os.path.join(generated, "A-human.fastq"))
+        assert reads
+        assert all(set(r.sequence) <= set("ACGT") for r in reads[:5])
+
+
+class TestMapAndValidate:
+    def test_map_matches_expected(self, generated, tmp_path, capsys):
+        output = str(tmp_path / "actual.ext")
+        code = main(
+            ["map",
+             "--gbz", os.path.join(generated, "A-human.gbz"),
+             "--seeds", os.path.join(generated, "A-human.seeds.bin"),
+             "--seed-span", "13",
+             "--threads", "2",
+             "--output", output]
+        )
+        assert code == 0
+        assert "mapped" in capsys.readouterr().out
+        code = main(
+            ["validate",
+             "--expected", os.path.join(generated, "A-human.expected.ext"),
+             "--actual", output]
+        )
+        assert code == 0, "proxy output must match the parent's"
+
+    def test_validate_detects_mismatch(self, generated, tmp_path):
+        from repro.core.io import load_extensions_path, save_extensions_path
+
+        expected_path = os.path.join(generated, "A-human.expected.ext")
+        expected = load_extensions_path(expected_path)
+        # Drop one read's extensions entirely.
+        for name in expected:
+            if expected[name]:
+                expected[name] = []
+                break
+        tampered = str(tmp_path / "tampered.ext")
+        save_extensions_path(expected, tampered)
+        code = main(
+            ["validate", "--expected", expected_path, "--actual", tampered]
+        )
+        assert code == 1
+
+    def test_map_with_gam_and_instrumentation(self, generated, tmp_path, capsys):
+        gam = str(tmp_path / "run.gam.jsonl")
+        code = main(
+            ["map",
+             "--gbz", os.path.join(generated, "A-human.gbz"),
+             "--seeds", os.path.join(generated, "A-human.seeds.bin"),
+             "--seed-span", "13",
+             "--scheduler", "work_stealing",
+             "--instrument",
+             "--gam", gam]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process_until_threshold_c" in out
+        from repro.giraffe.gam import read_gam_file
+
+        records = read_gam_file(gam)
+        assert records
+        assert any(a.is_mapped for a in records)
+
+
+class TestModelCommands:
+    def test_scale(self, capsys):
+        code = main(
+            ["scale", "--input-set", "B-yeast", "--profile-scale", "0.03",
+             "--platform", "local-amd"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "local-amd" in out and "t1=" in out
+
+    def test_tune_with_csv(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "grid.csv")
+        code = main(
+            ["tune", "--input-set", "B-yeast", "--profile-scale", "0.03",
+             "--platform", "local-intel", "--csv", csv_path]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+        with open(csv_path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert len(lines) == 1 + 2 * 5 * 5  # header + full grid
+
+    def test_unknown_input_set_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--input-set", "E-corn"])

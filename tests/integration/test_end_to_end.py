@@ -1,0 +1,107 @@
+"""Integration: end-to-end mapping accuracy and full file workflow."""
+
+import pytest
+
+from repro.core import MiniGiraffe, ProxyOptions
+from repro.core.io import save_seed_file_path
+from repro.gbwt.gbz import save_gbz_file
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.graph.handle import node_id
+from repro.index.distance import DistanceIndex
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+
+@pytest.fixture(scope="module")
+def world():
+    bundle = materialize(INPUT_SETS["A-human"], scale=0.2)
+    spec = bundle.spec
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            threads=2, batch_size=16,
+            minimizer_k=spec.minimizer_k, minimizer_w=spec.minimizer_w,
+        ),
+    )
+    return bundle, mapper, mapper.map_all(bundle.reads)
+
+
+class TestMappingAccuracy:
+    def test_mapping_rate(self, world):
+        bundle, _, run = world
+        assert run.mapped_count >= 0.95 * bundle.read_count
+
+    def test_alignments_land_near_true_origin(self, world):
+        """Each read's primary mapping must sit near where the read was
+        actually sampled — checked via chain-offset coordinates."""
+        bundle, mapper, run = world
+        graph = bundle.pangenome.graph
+        index = mapper.distance_index
+        checked = 0
+        close = 0
+        for read in bundle.reads:
+            alignment = run.alignments[read.name]
+            if not alignment.is_mapped or read.is_reverse:
+                continue
+            walk = graph.paths[read.haplotype].handles
+            cursor = 0
+            origin_position = None
+            for handle in walk:
+                length = graph.node_length(node_id(handle))
+                if read.origin < cursor + length:
+                    origin_position = (handle, read.origin - cursor)
+                    break
+                cursor += length
+            if origin_position is None:
+                continue
+            checked += 1
+            separation = abs(
+                index.coordinate(alignment.position)
+                - index.coordinate(origin_position)
+            )
+            if separation <= len(read.sequence):
+                close += 1
+        assert checked > 10
+        assert close / checked >= 0.9
+
+    def test_high_confidence_mappings(self, world):
+        _, _, run = world
+        mapqs = [a.mapq for a in run.alignments.values() if a.is_mapped]
+        assert sum(1 for q in mapqs if q >= 30) >= 0.7 * len(mapqs)
+
+
+class TestFullFileWorkflow:
+    def test_gbz_plus_seed_file_pipeline(self, world, tmp_path):
+        """The complete artifact workflow on disk: GBZ out, seeds out,
+        proxy in a fresh process-like context, outputs identical."""
+        bundle, mapper, run = world
+        gbz_path = str(tmp_path / "pangenome.gbz")
+        seeds_path = str(tmp_path / "sequence-seeds.bin")
+        save_gbz_file(bundle.pangenome.gbz, gbz_path)
+        records = mapper.capture_read_records(bundle.reads)
+        save_seed_file_path(records, seeds_path)
+
+        proxy = MiniGiraffe.from_files(
+            gbz_path, ProxyOptions(threads=2, batch_size=32),
+            seed_span=bundle.spec.minimizer_k,
+        )
+        result = proxy.map_seed_file(seeds_path)
+        from repro.core import compare_outputs
+
+        report = compare_outputs(run.critical_extensions, result.extensions)
+        assert report.perfect, report.summary()
+
+
+class TestCrossSchedulerIntegration:
+    @pytest.mark.parametrize("scheduler", ["dynamic", "static", "work_stealing"])
+    def test_proxy_output_stable_across_schedulers(self, world, scheduler):
+        bundle, mapper, run = world
+        records = mapper.capture_read_records(bundle.reads)
+        proxy = MiniGiraffe(
+            bundle.pangenome.gbz,
+            ProxyOptions(threads=4, batch_size=8, scheduler=scheduler,
+                         cache_capacity=64),
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+        result = proxy.map_reads(records)
+        assert result.extensions == run.critical_extensions

@@ -1,0 +1,88 @@
+"""Integration: the paper's functional validation (Section VI-a).
+
+For every input set, the parent application's critical-region output and
+the proxy's output must match 100% — property (1): all expected queries
+appear in the proxy output; property (2): the proxy emits nothing extra.
+"""
+
+import io
+
+import pytest
+
+from repro.core import MiniGiraffe, ProxyOptions, compare_outputs
+from repro.core.io import load_extensions, save_extensions
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+#: Small scales keep the full four-input validation under a minute.
+SCALES = {"A-human": 0.15, "B-yeast": 0.05, "C-HPRC": 0.1, "D-HPRC": 0.03}
+
+
+@pytest.fixture(scope="module", params=sorted(INPUT_SETS))
+def validation_pair(request):
+    name = request.param
+    bundle = materialize(INPUT_SETS[name], scale=SCALES[name])
+    spec = bundle.spec
+    mapper = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(
+            threads=2,
+            batch_size=16,
+            minimizer_k=spec.minimizer_k,
+            minimizer_w=spec.minimizer_w,
+        ),
+    )
+    parent = mapper.map_all(bundle.reads)
+    records = mapper.capture_read_records(bundle.reads)
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(threads=2, batch_size=16),
+        seed_span=spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    result = proxy.map_reads(records)
+    return name, bundle, parent, result
+
+
+class TestFunctionalValidation:
+    def test_100_percent_match(self, validation_pair):
+        name, _, parent, result = validation_pair
+        report = compare_outputs(parent.critical_extensions, result.extensions)
+        assert report.perfect, f"{name}: {report.summary()}"
+
+    def test_nontrivial_output(self, validation_pair):
+        name, bundle, parent, result = validation_pair
+        total = sum(len(v) for v in result.extensions.values())
+        assert total >= 0.8 * bundle.read_count, name
+
+    def test_match_survives_file_roundtrip(self, validation_pair):
+        """The artifact's workflow: export expected output to a file,
+        reload, and compare — still a perfect match."""
+        name, _, parent, result = validation_pair
+        buffer = io.BytesIO()
+        save_extensions(parent.critical_extensions, buffer)
+        buffer.seek(0)
+        expected = load_extensions(buffer)
+        report = compare_outputs(expected, result.extensions)
+        assert report.perfect, name
+
+    def test_validation_detects_tampering(self, validation_pair):
+        """The comparator is not vacuous: corrupt one extension and the
+        report must flag it."""
+        name, _, parent, result = validation_pair
+        tampered = {k: list(v) for k, v in result.extensions.items()}
+        for read_name, extensions in tampered.items():
+            if extensions:
+                ext = extensions[0]
+                extensions[0] = type(ext)(
+                    path=ext.path,
+                    read_interval=ext.read_interval,
+                    start_position=ext.start_position,
+                    mismatches=ext.mismatches,
+                    score=ext.score + 1,
+                    left_full=ext.left_full,
+                    right_full=ext.right_full,
+                )
+                break
+        report = compare_outputs(parent.critical_extensions, tampered)
+        assert not report.perfect

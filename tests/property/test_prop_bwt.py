@@ -1,0 +1,44 @@
+"""Property tests for the BWT / FM-index substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbwt.bwt import FMIndex, bwt_inverse, bwt_transform, suffix_array
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=120)
+nonempty_dna = st.text(alphabet="ACGT", min_size=1, max_size=120)
+
+
+@given(dna)
+def test_bwt_roundtrip(text):
+    assert bwt_inverse(bwt_transform(text)) == text
+
+
+@given(dna)
+def test_bwt_is_permutation(text):
+    assert sorted(bwt_transform(text)) == sorted(text + "\x00")
+
+
+@given(dna)
+def test_suffix_array_sorted(text):
+    data = text + "\x00"
+    sa = suffix_array(text)
+    suffixes = [data[i:] for i in sa]
+    assert suffixes == sorted(suffixes)
+    assert sorted(sa) == list(range(len(data)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(nonempty_dna, st.text(alphabet="ACGT", min_size=1, max_size=6))
+def test_fm_count_matches_naive(text, pattern):
+    index = FMIndex(text, checkpoint_interval=8)
+    expected = sum(1 for i in range(len(text)) if text.startswith(pattern, i))
+    assert index.count(pattern) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(nonempty_dna, st.text(alphabet="ACGT", min_size=1, max_size=6))
+def test_fm_locate_matches_naive(text, pattern):
+    index = FMIndex(text, checkpoint_interval=8)
+    expected = [i for i in range(len(text)) if text.startswith(pattern, i)]
+    assert index.locate(pattern) == expected

@@ -1,0 +1,44 @@
+"""Property test: CachedGBWT against a plain-dict reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbwt import build_gbwt
+from repro.workloads.synth import build_pangenome
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    capacity=st.integers(min_value=1, max_value=64),
+    ops=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=120),
+)
+def test_cache_matches_dict_model(seed, capacity, ops):
+    pangenome = build_pangenome(
+        seed=seed, reference_length=200, haplotype_count=2, max_node_length=16
+    )
+    gbwt = pangenome.gbwt
+    handles = gbwt.handles()
+    cache = CachedGBWT(gbwt, capacity)
+    model = {}
+    hits = misses = 0
+    for op in ops:
+        handle = handles[op % len(handles)]
+        record = cache.record(handle)
+        if handle in model:
+            hits += 1
+        else:
+            misses += 1
+            model[handle] = gbwt.record(handle)
+        reference = model[handle]
+        assert record.edges == reference.edges
+        assert record.offsets == reference.offsets
+        assert record.runs == reference.runs
+    assert cache.hits == hits
+    assert cache.misses == misses
+    assert cache.size == len(model)
+    # The table respects its load factor after arbitrary interleavings.
+    assert cache.size / cache.capacity <= 0.75 + 1e-9
+    for handle in model:
+        assert cache.contains(handle)

@@ -1,0 +1,73 @@
+"""Property tests for clustering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import cluster_seeds
+from repro.core.options import ProcessOptions
+from repro.graph.builder import GraphBuilder
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import Seed
+from repro.util.rng import SplitMix64
+from repro.workloads.synth import random_dna
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    seed_count=st.integers(min_value=1, max_value=15),
+    limit=st.integers(min_value=4, max_value=128),
+)
+def test_cluster_invariants(seed, seed_count, limit):
+    rng = SplitMix64(seed)
+    builder = GraphBuilder(random_dna(rng.fork("ref"), 600), [], max_node_length=10)
+    graph = builder.graph
+    index = DistanceIndex(graph)
+    walk = builder.reference_walk()
+    positions = [(h, 0) for h in walk]
+
+    draw = rng.fork("seeds")
+    seeds = [
+        Seed(draw.randint(0, 80), positions[draw.randint(0, len(positions) - 1)])
+        for _ in range(seed_count)
+    ]
+    options = ProcessOptions(cluster_distance=limit)
+    clusters = cluster_seeds(index, seeds, 100, 9, options=options)
+
+    # 1. Clusters partition the seed multiset (after dedup by identity).
+    clustered = sorted(
+        (s for c in clusters for s in c.seeds), key=Seed.sort_key
+    )
+    assert clustered == sorted(set(seeds), key=Seed.sort_key) or clustered == sorted(
+        seeds, key=Seed.sort_key
+    )
+
+    # 2. Seeds in *different* clusters are farther than the limit.
+    for i, cluster_a in enumerate(clusters):
+        for cluster_b in clusters[i + 1 :]:
+            for sa in cluster_a.seeds:
+                for sb in cluster_b.seeds:
+                    assert not index.within(sa.position, sb.position, limit)
+
+    # 3. Within a cluster, seeds are connected through <=limit hops.
+    for cluster in clusters:
+        members = list(cluster.seeds)
+        if len(members) == 1:
+            continue
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for j in range(len(members)):
+                if j not in reached and index.within(
+                    members[current].position, members[j].position, limit
+                ):
+                    reached.add(j)
+                    frontier.append(j)
+        assert reached == set(range(len(members)))
+
+    # 4. Scores are sorted descending and coverage is bounded.
+    scores = [c.score for c in clusters]
+    assert scores == sorted(scores, reverse=True)
+    for cluster in clusters:
+        assert 0 < cluster.coverage <= 100

@@ -1,0 +1,62 @@
+"""Property tests: conservation laws of the DES scheduler models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.des import simulate_run
+
+POLICIES = ("dynamic", "static", "work_stealing", "vg_batch")
+
+costs = st.lists(
+    st.floats(min_value=1e-4, max_value=0.05, allow_nan=False),
+    min_size=1,
+    max_size=80,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(costs=costs, threads=st.integers(min_value=1, max_value=8),
+       policy=st.sampled_from(POLICIES))
+def test_makespan_bounds(costs, threads, policy):
+    """Makespan is bounded below by total/threads (perfect parallelism)
+    and above by the serial sum plus overheads; busy time covers the
+    work exactly once."""
+    total = sum(costs)
+    longest = max(costs)
+
+    def batch_cost(batch, thread):
+        return costs[batch]
+
+    outcome = simulate_run(policy, len(costs), threads, batch_cost)
+    # Lower bound: can't beat perfect parallelism or the longest batch.
+    assert outcome.makespan >= max(total / threads, longest) * 0.999
+    # Upper bound: never worse than fully serial plus modest overhead.
+    assert outcome.makespan <= total * 1.2 + 0.01 + longest
+    assert outcome.batches == len(costs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(costs=costs, threads=st.integers(min_value=1, max_value=8))
+def test_dynamic_work_conserved(costs, threads):
+    """Dynamic claiming executes each batch exactly once: total busy
+    time equals total cost plus claim overheads."""
+    def batch_cost(batch, thread):
+        return costs[batch]
+
+    outcome = simulate_run("dynamic", len(costs), threads, batch_cost)
+    busy = sum(outcome.thread_busy)
+    assert busy >= sum(costs) * 0.999
+    assert busy <= sum(costs) + len(costs) * 1e-5 + 0.01
+
+
+@settings(max_examples=20, deadline=None)
+@given(costs=costs, threads=st.integers(min_value=2, max_value=8))
+def test_dynamic_never_slower_than_static_much(costs, threads):
+    """Dynamic load balancing is at worst marginally slower than static
+    (claim overhead), and often faster."""
+    def batch_cost(batch, thread):
+        return costs[batch]
+
+    dynamic = simulate_run("dynamic", len(costs), threads, batch_cost)
+    static = simulate_run("static", len(costs), threads, batch_cost)
+    assert dynamic.makespan <= static.makespan + len(costs) * 1e-5 + 1e-3

@@ -1,0 +1,71 @@
+"""Property tests for execution-model internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.exec_model import ExecutionModel, TuningConfig
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import ReadCost, WorkloadProfile
+
+
+def profile_from_costs(costs, input_set="custom"):
+    profile = WorkloadProfile(input_set=input_set)
+    for c in costs:
+        profile.read_costs.append(
+            ReadCost(
+                base_comparisons=c,
+                node_visits=c // 10,
+                branch_expansions=c // 12,
+                distance_queries=c // 25,
+                clusters_scored=1,
+                seeds_extended=4,
+                record_accesses=max(1, c // 11),
+                record_misses=max(0, c // 120),
+            )
+        )
+    profile.distinct_records = 200
+    return profile
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    costs=st.lists(st.integers(min_value=50, max_value=3000), min_size=1, max_size=30),
+    first=st.integers(min_value=0, max_value=500),
+    span=st.integers(min_value=0, max_value=500),
+)
+def test_tiled_sum_matches_direct(costs, first, span):
+    """The O(1) prefix-sum tiling equals a direct tiled sum."""
+    model = ExecutionModel(profile_from_costs(costs), PLATFORMS["local-amd"])
+    comp = model._comp
+    period = len(comp)
+    expected = sum(comp[i % period] for i in range(first, first + span))
+    assert model._tiled_sum(model._comp_prefix, first, first + span) == (
+        pytest.approx(expected)
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    costs=st.lists(st.integers(min_value=200, max_value=2000), min_size=3, max_size=20),
+    threads=st.sampled_from([1, 2, 8, 16]),
+)
+def test_makespan_scales_with_subsample(costs, threads):
+    """More reads can never take less time (same config)."""
+    model = ExecutionModel(profile_from_costs(costs, "B-yeast"), PLATFORMS["local-amd"])
+    config = TuningConfig(threads=threads)
+    small = model.makespan(config, subsample=0.01)
+    large = model.makespan(config, subsample=0.1)
+    assert small <= large
+
+
+@settings(max_examples=10, deadline=None)
+@given(costs=st.lists(st.integers(min_value=200, max_value=2000), min_size=3, max_size=20))
+def test_all_policies_accepted(costs):
+    """Every DES policy runs through the model (vg_batch included)."""
+    model = ExecutionModel(profile_from_costs(costs, "A-human"), PLATFORMS["local-intel"])
+    for scheduler in ("dynamic", "static", "work_stealing", "vg_batch"):
+        makespan = model.makespan(
+            TuningConfig(threads=4, scheduler=scheduler), subsample=0.01
+        )
+        assert makespan > 0

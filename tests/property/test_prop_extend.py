@@ -1,0 +1,97 @@
+"""Property tests for the extension kernel's output invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extend import extend_seed
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbwt import build_gbwt
+from repro.graph.handle import node_id
+from repro.util.rng import SplitMix64
+from repro.workloads.reads import ReadSimulator
+from repro.workloads.synth import build_pangenome
+
+
+def _spelled(graph, extension):
+    """Sequence the extension's walk spells over its aligned span."""
+    handle, offset = extension.start_position
+    path = list(extension.path)
+    index = path.index(handle)
+    out = []
+    cursor_offset = offset
+    for _ in range(extension.length):
+        length = graph.node_length(node_id(path[index]))
+        if cursor_offset == length:
+            index += 1
+            cursor_offset = 0
+        out.append(graph.base(path[index], cursor_offset))
+        cursor_offset += 1
+    return "".join(out)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**18))
+def test_extension_invariants(seed):
+    """For random reads and seeds: the path is edge-connected, the
+    mismatch offsets are exactly the disagreeing bases, and the score
+    follows the scoring formula."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=500, haplotype_count=4, max_node_length=16
+    )
+    graph = pangenome.graph
+    gbwt, _ = build_gbwt(graph)
+    cache = CachedGBWT(gbwt, 64)
+    params = ScoringParams()
+
+    sequences = {n: graph.path_sequence(n) for n in graph.paths}
+    simulator = ReadSimulator(sequences, read_length=60, error_rate=0.01, seed=seed)
+    reads = simulator.simulate_single(16)  # enough that some are forward-strand
+
+    rng = SplitMix64(seed).fork("seeds")
+    checked = 0
+    for read in reads:
+        if read.is_reverse or checked >= 5:
+            continue
+        # Anchor the read at its true origin on its source haplotype.
+        walk = graph.paths[read.haplotype].handles
+        target = read.origin + 20
+        cursor = 0
+        position = None
+        for handle in walk:
+            length = graph.node_length(node_id(handle))
+            if target < cursor + length:
+                position = (handle, target - cursor)
+                break
+            cursor += length
+        if position is None:
+            continue
+        extension = extend_seed(graph, cache, read.sequence, 20, position)
+        if extension is None:
+            continue
+        checked += 1
+        # Path is connected by real edges.
+        for prev, nxt in zip(extension.path, extension.path[1:]):
+            assert graph.has_edge(prev, nxt)
+        # Mismatch offsets point at actual disagreements; others agree.
+        spelled = _spelled(graph, extension)
+        start, end = extension.read_interval
+        mismatch_set = set(extension.mismatches)
+        for offset in range(start, end):
+            if offset in mismatch_set:
+                assert spelled[offset - start] != read.sequence[offset]
+            else:
+                assert spelled[offset - start] == read.sequence[offset]
+        # Score follows the formula.
+        matched = extension.length - len(extension.mismatches)
+        expected = (
+            matched * params.match
+            - len(extension.mismatches) * params.mismatch
+            + (params.full_length_bonus if extension.left_full else 0)
+            + (params.full_length_bonus if extension.right_full else 0)
+        )
+        assert extension.score == expected
+        # Interval stays within the read, mismatches within the interval.
+        assert 0 <= start <= end <= len(read.sequence)
+        assert all(start <= m < end for m in extension.mismatches)
+    assert checked > 0

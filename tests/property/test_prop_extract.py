@@ -1,0 +1,38 @@
+"""Property test: GBWT extraction reproduces embedded paths exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.handle import flip
+from repro.gbwt.gbwt import GBWT, build_gbwt
+from repro.workloads.synth import build_pangenome
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    haplotypes=st.integers(min_value=1, max_value=5),
+)
+def test_extract_is_inverse_of_indexing(seed, haplotypes):
+    pangenome = build_pangenome(
+        seed=seed, reference_length=400, haplotype_count=haplotypes,
+        max_node_length=16,
+    )
+    graph = pangenome.graph
+    gbwt, _ = build_gbwt(graph)
+    expected = set()
+    for path in graph.paths.values():
+        expected.add(tuple(path.handles))
+        expected.add(tuple(flip(h) for h in reversed(path.handles)))
+    assert {tuple(w) for w in gbwt.extract_all()} == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_extract_stable_through_serialization(seed):
+    pangenome = build_pangenome(
+        seed=seed, reference_length=300, haplotype_count=3, max_node_length=16
+    )
+    gbwt = pangenome.gbwt
+    restored = GBWT.from_bytes(gbwt.to_bytes())
+    assert restored.extract_all() == gbwt.extract_all()

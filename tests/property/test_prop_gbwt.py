@@ -1,0 +1,97 @@
+"""Property tests: GBWT search states against brute-force path scanning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.handle import flip
+from repro.gbwt.gbwt import build_gbwt
+from repro.util.rng import SplitMix64
+from repro.workloads.synth import build_pangenome
+
+
+def brute_force_count(graph, walk):
+    walk = list(walk)
+    count = 0
+    for path in graph.paths.values():
+        for handles in (
+            path.handles,
+            [flip(h) for h in reversed(path.handles)],
+        ):
+            for i in range(len(handles) - len(walk) + 1):
+                if handles[i : i + len(walk)] == walk:
+                    count += 1
+    return count
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    haplotypes=st.integers(min_value=1, max_value=5),
+)
+def test_counts_match_brute_force(seed, haplotypes):
+    pangenome = build_pangenome(
+        seed=seed, reference_length=400, haplotype_count=haplotypes,
+        snp_rate=0.03, indel_rate=0.01, sv_rate=0.002, max_node_length=16,
+    )
+    graph = pangenome.graph
+    gbwt, _ = build_gbwt(graph)
+    rng = SplitMix64(seed).fork("walks")
+    for name in sorted(graph.paths):
+        handles = graph.paths[name].handles
+        for _ in range(8):
+            start = rng.randint(0, max(0, len(handles) - 2))
+            length = rng.randint(1, min(6, len(handles) - start))
+            walk = handles[start : start + length]
+            if rng.random() < 0.5:
+                walk = [flip(h) for h in reversed(walk)]
+            assert gbwt.count_haplotypes(walk) == brute_force_count(graph, walk)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_extend_never_grows_count(seed):
+    """Extending a search state can only narrow the haplotype set."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=300, haplotype_count=4, max_node_length=16
+    )
+    gbwt, _ = build_gbwt(pangenome.graph)
+    for name in sorted(pangenome.graph.paths):
+        handles = pangenome.graph.paths[name].handles
+        state = gbwt.full_state(handles[0])
+        previous = state.count
+        for handle in handles[1:10]:
+            state = gbwt.extend(state, handle)
+            assert state.count <= previous
+            previous = state.count
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_successor_counts_partition_state(seed):
+    """Visits at a node are partitioned among its successors (plus path
+    terminations at the endmarker)."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=300, haplotype_count=4, max_node_length=16
+    )
+    gbwt, _ = build_gbwt(pangenome.graph)
+    for handle in gbwt.handles()[:40]:
+        if handle == 0:
+            continue
+        record = gbwt.record(handle)
+        total = sum(count for _, count in record.successor_counts())
+        assert total == record.visit_count
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_serialization_preserves_counts(seed):
+    from repro.gbwt.gbwt import GBWT
+
+    pangenome = build_pangenome(
+        seed=seed, reference_length=250, haplotype_count=3, max_node_length=16
+    )
+    gbwt, _ = build_gbwt(pangenome.graph)
+    restored = GBWT.from_bytes(gbwt.to_bytes())
+    for name in sorted(pangenome.graph.paths):
+        walk = pangenome.graph.paths[name].handles[:5]
+        assert restored.count_haplotypes(walk) == gbwt.count_haplotypes(walk)

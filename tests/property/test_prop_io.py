@@ -1,0 +1,95 @@
+"""Property tests for the seed/extension file formats."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extend import GaplessExtension
+from repro.core.io import (
+    ReadRecord,
+    load_extensions,
+    load_seed_file,
+    save_extensions,
+    save_seed_file,
+)
+from repro.index.minimizer import Seed
+
+seeds = st.builds(
+    Seed,
+    read_offset=st.integers(min_value=0, max_value=300),
+    position=st.tuples(
+        st.integers(min_value=2, max_value=10_000),
+        st.integers(min_value=0, max_value=63),
+    ),
+)
+records = st.lists(
+    st.builds(
+        ReadRecord,
+        name=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=20,
+        ),
+        sequence=st.text(alphabet="ACGT", min_size=1, max_size=60),
+        seeds=st.lists(seeds, max_size=8),
+    ),
+    max_size=6,
+)
+
+
+@settings(max_examples=40)
+@given(records)
+def test_seed_file_roundtrip(read_records):
+    buffer = io.BytesIO()
+    save_seed_file(read_records, buffer)
+    buffer.seek(0)
+    restored = load_seed_file(buffer)
+    assert len(restored) == len(read_records)
+    for original, loaded in zip(read_records, restored):
+        assert (loaded.name, loaded.sequence, loaded.seeds) == (
+            original.name,
+            original.sequence,
+            original.seeds,
+        )
+
+
+extensions = st.builds(
+    GaplessExtension,
+    path=st.lists(
+        st.integers(min_value=2, max_value=10_000), min_size=1, max_size=6
+    ).map(tuple),
+    read_interval=st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=50, max_value=100),
+    ),
+    start_position=st.tuples(
+        st.integers(min_value=2, max_value=10_000),
+        st.integers(min_value=0, max_value=63),
+    ),
+    mismatches=st.lists(
+        st.integers(min_value=0, max_value=100), max_size=4
+    ).map(tuple),
+    score=st.integers(min_value=-200, max_value=200),
+    left_full=st.booleans(),
+    right_full=st.booleans(),
+)
+
+
+@settings(max_examples=40)
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=12,
+        ),
+        st.lists(extensions, max_size=4),
+        max_size=4,
+    )
+)
+def test_extensions_roundtrip(per_read):
+    buffer = io.BytesIO()
+    save_extensions(per_read, buffer)
+    buffer.seek(0)
+    assert load_extensions(buffer) == per_read

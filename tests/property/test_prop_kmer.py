@@ -1,0 +1,46 @@
+"""Property tests for k-mer encoding, canonicalization, and hashing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.handle import reverse_complement
+from repro.index.kmer import (
+    canonical_kmer,
+    decode_kmer,
+    encode_kmer,
+    hash_kmer,
+    invert_hash,
+    revcomp_encoded,
+)
+
+kmers = st.text(alphabet="ACGT", min_size=1, max_size=31)
+
+
+@given(kmers)
+def test_encode_roundtrip(kmer):
+    assert decode_kmer(encode_kmer(kmer), len(kmer)) == kmer
+
+
+@given(kmers)
+def test_revcomp_encoded_matches_string(kmer):
+    expected = encode_kmer(reverse_complement(kmer))
+    assert revcomp_encoded(encode_kmer(kmer), len(kmer)) == expected
+
+
+@given(kmers)
+def test_canonical_strand_invariant(kmer):
+    assert canonical_kmer(kmer)[0] == canonical_kmer(reverse_complement(kmer))[0]
+
+
+@given(kmers)
+def test_canonical_is_minimum(kmer):
+    encoded, is_reverse = canonical_kmer(kmer)
+    fwd = encode_kmer(kmer)
+    rev = encode_kmer(reverse_complement(kmer))
+    assert encoded == min(fwd, rev)
+    assert is_reverse == (rev < fwd)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_hash_bijective(value):
+    assert invert_hash(hash_kmer(value)) == value

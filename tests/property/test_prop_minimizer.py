@@ -1,0 +1,65 @@
+"""Property tests for minimizer extraction and the builder."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.index.minimizer import extract_minimizers
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=150)
+
+
+@settings(max_examples=40)
+@given(dna, st.integers(min_value=3, max_value=9), st.integers(min_value=2, max_value=8))
+def test_window_guarantee(sequence, k, w):
+    """Every window of w consecutive k-mers contains a chosen minimizer."""
+    minimizers = extract_minimizers(sequence, k, w)
+    offsets = {m.offset for m in minimizers}
+    kmer_count = len(sequence) - k + 1
+    if kmer_count < 1:
+        assert not minimizers
+        return
+    for window_start in range(max(1, kmer_count - w + 1)):
+        window = set(range(window_start, min(kmer_count, window_start + w)))
+        assert window & offsets
+
+
+@settings(max_examples=40)
+@given(dna, st.integers(min_value=3, max_value=9), st.integers(min_value=2, max_value=8))
+def test_minimizer_hash_is_window_minimum(sequence, k, w):
+    """A chosen position's hash is the minimum of some covering window."""
+    from repro.index.kmer import canonical_kmer, hash_kmer
+
+    minimizers = extract_minimizers(sequence, k, w)
+    kmer_count = len(sequence) - k + 1
+    hashes = [
+        hash_kmer(canonical_kmer(sequence[i : i + k])[0]) for i in range(kmer_count)
+    ]
+    for m in minimizers:
+        covering = [
+            min(hashes[s : min(kmer_count, s + w)])
+            for s in range(max(0, m.offset - w + 1), min(m.offset + 1, max(1, kmer_count - w + 1)))
+        ]
+        assert m.hash in covering
+
+
+@settings(max_examples=40)
+@given(dna)
+def test_minimizers_deterministic(sequence):
+    assert extract_minimizers(sequence, 5, 4) == extract_minimizers(sequence, 5, 4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.text(alphabet="ACGT", min_size=40, max_size=200),
+    st.integers(min_value=1, max_value=16),
+)
+def test_builder_reference_identity(reference, max_node_length):
+    """With no variants, the built graph spells exactly the reference."""
+    builder = GraphBuilder(reference, [], max_node_length=max_node_length)
+    builder.graph.validate()
+    assert builder.haplotype_sequence([]) == reference
+    assert all(
+        builder.graph.node_length(n) <= max_node_length
+        for n in builder.graph.node_ids()
+    )

@@ -1,0 +1,63 @@
+"""Property test: proxy output is invariant to every run parameter.
+
+The functional guarantee the paper's validation rests on: threads,
+batch size, scheduler, cache capacity, and cache lifetime must never
+change *what* the proxy computes, only how fast.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MiniGiraffe, ProxyOptions
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.workloads.reads import ReadSimulator
+from repro.workloads.synth import build_pangenome
+
+
+@pytest.fixture(scope="module")
+def world():
+    pangenome = build_pangenome(seed=512, reference_length=2000, haplotype_count=4)
+    sequences = {
+        name: pangenome.graph.path_sequence(name)
+        for name in pangenome.graph.paths
+    }
+    reads = ReadSimulator(
+        sequences, read_length=70, error_rate=0.003, seed=5
+    ).simulate_single(25)
+    mapper = GiraffeMapper(
+        pangenome.gbz, GiraffeOptions(minimizer_k=11, minimizer_w=7)
+    )
+    records = mapper.capture_read_records(reads)
+    reference = MiniGiraffe(
+        pangenome.gbz, ProxyOptions(threads=1, batch_size=64),
+        seed_span=11, distance_index=mapper.distance_index,
+    ).map_reads(records)
+    return pangenome, mapper, records, reference.extensions
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    threads=st.integers(min_value=1, max_value=5),
+    batch_size=st.sampled_from([1, 3, 8, 64]),
+    scheduler=st.sampled_from(["dynamic", "static", "work_stealing"]),
+    capacity=st.sampled_from([1, 16, 512]),
+    lifetime=st.sampled_from(["run", "batch"]),
+)
+def test_output_invariant_to_run_parameters(
+    world, threads, batch_size, scheduler, capacity, lifetime
+):
+    pangenome, mapper, records, expected = world
+    proxy = MiniGiraffe(
+        pangenome.gbz,
+        ProxyOptions(
+            threads=threads,
+            batch_size=batch_size,
+            scheduler=scheduler,
+            cache_capacity=capacity,
+            cache_lifetime=lifetime,
+        ),
+        seed_span=11,
+        distance_index=mapper.distance_index,
+    )
+    assert proxy.map_reads(records).extensions == expected

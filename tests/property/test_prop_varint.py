@@ -1,0 +1,35 @@
+"""Property tests for serialization primitives."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.serialize import pack_dna, read_varint, unpack_dna, write_varint
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_varint_roundtrip(value):
+    buffer = io.BytesIO()
+    write_varint(buffer, value)
+    buffer.seek(0)
+    assert read_varint(buffer) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+def test_varint_stream_roundtrip(values):
+    buffer = io.BytesIO()
+    for value in values:
+        write_varint(buffer, value)
+    buffer.seek(0)
+    assert [read_varint(buffer) for _ in values] == values
+
+
+@given(st.text(alphabet="ACGT", max_size=200))
+def test_pack_dna_roundtrip(sequence):
+    assert unpack_dna(pack_dna(sequence), len(sequence)) == sequence
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=200))
+def test_pack_dna_density(sequence):
+    assert len(pack_dna(sequence)) == (len(sequence) + 3) // 4

@@ -1,0 +1,75 @@
+"""Unit tests for alignment post-processing."""
+
+import pytest
+
+from repro.core.extend import GaplessExtension
+from repro.giraffe.alignment import (
+    Alignment,
+    alignments_from_extensions,
+    cigar_string,
+    mapping_quality,
+)
+
+
+def _ext(score, interval=(0, 10), mismatches=()):
+    return GaplessExtension(
+        path=(2, 4), read_interval=interval, start_position=(2, 1),
+        mismatches=mismatches, score=score, left_full=True, right_full=True,
+    )
+
+
+class TestCigar:
+    def test_all_match(self):
+        assert cigar_string(_ext(10, (0, 10))) == "10="
+
+    def test_mismatch_runs(self):
+        assert cigar_string(_ext(3, (0, 10), (3, 4))) == "3=2X5="
+
+    def test_leading_mismatch(self):
+        assert cigar_string(_ext(3, (5, 10), (5,))) == "1X4="
+
+    def test_empty_interval(self):
+        assert cigar_string(_ext(0, (5, 5))) == ""
+
+
+class TestMappingQuality:
+    def test_unique_best(self):
+        assert mapping_quality(50, None) == 60
+
+    def test_tie_is_zero(self):
+        assert mapping_quality(50, 50) == 0
+
+    def test_gap_scales(self):
+        assert mapping_quality(50, 48) == 12
+        assert mapping_quality(50, 20) == 60  # capped
+
+    def test_nonpositive_score(self):
+        assert mapping_quality(0, None) == 0
+
+
+class TestAlignmentsFromExtensions:
+    def test_unmapped_when_empty(self):
+        alignment = alignments_from_extensions("r", [])
+        assert not alignment.is_mapped
+        assert alignment.mapq == 0
+
+    def test_picks_first(self):
+        best, second = _ext(20), _ext(15, (1, 9))
+        alignment = alignments_from_extensions("r", [best, second])
+        assert alignment.is_mapped
+        assert alignment.score == 20
+        assert alignment.position == best.start_position
+        assert alignment.mapq == min(60, 6 * 5)
+
+    def test_single_extension_max_mapq(self):
+        alignment = alignments_from_extensions("r", [_ext(20)])
+        assert alignment.mapq == 60
+
+    def test_min_score_filter(self):
+        alignment = alignments_from_extensions("r", [_ext(3)], min_score=5)
+        assert not alignment.is_mapped
+
+    def test_unmapped_factory(self):
+        alignment = Alignment.unmapped("x")
+        assert alignment.read_name == "x"
+        assert not alignment.is_mapped

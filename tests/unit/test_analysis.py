@@ -1,0 +1,86 @@
+"""Unit tests for table/figure rendering and report math."""
+
+import pytest
+
+from repro.analysis.figures import (
+    ascii_bar_chart,
+    ascii_heatmap,
+    ascii_timeline,
+    series_to_csv,
+)
+from repro.analysis.report import efficiency_series, percent_diff, speedup_series
+from repro.analysis.tables import Table, format_table
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [30, 4]])
+        assert "T" in text
+        assert "| a" in text and "bb" in text
+        assert "2.50" in text
+
+    def test_table_object(self):
+        table = Table("Title", ["x", "y"])
+        table.add_row(1, 2)
+        assert "Title" in table.render()
+
+    def test_row_width_mismatch(self):
+        table = Table("T", ["x"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+
+class TestFigures:
+    def test_csv(self):
+        text = series_to_csv(["t", "s"], [[1, 2.0], [2, 3.5]])
+        assert text.splitlines() == ["t,s", "1,2.0", "2,3.5"]
+
+    def test_bar_chart(self):
+        chart = ascii_bar_chart("Makespan", ["a", "bb"], [1.0, 2.0], unit="s")
+        lines = chart.splitlines()
+        assert lines[0] == "Makespan"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_bar_chart_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart("x", ["a"], [1.0, 2.0])
+
+    def test_heatmap(self):
+        text = ascii_heatmap(
+            "H", ["r1", "r2"], ["c1", "c2"], [[1.0, 2.0], [3.0, 4.0]]
+        )
+        assert "H" in text
+        assert "range: 1.0 .. 4.0" in text
+
+    def test_timeline(self):
+        text = ascii_timeline(
+            "Fig2", [(0, 0.0, 0.5), (1, 0.2, 1.0)], thread_count=2
+        )
+        lines = text.splitlines()
+        assert lines[1].startswith("  T00 |")
+        assert "#" in lines[1] and "#" in lines[2]
+
+    def test_timeline_empty(self):
+        assert ascii_timeline("t", [], 2) == "t"
+
+
+class TestReport:
+    def test_percent_diff(self):
+        assert percent_diff(108.7, 100.0) == pytest.approx(8.7)
+        assert percent_diff(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_percent_diff_zero_reference(self):
+        with pytest.raises(ValueError):
+            percent_diff(1.0, 0.0)
+
+    def test_speedup_series(self):
+        series = speedup_series(100.0, [(1, 100.0), (2, 50.0), (4, 30.0)])
+        assert series == [(1, 1.0), (2, 2.0), (4, pytest.approx(100 / 30))]
+
+    def test_speedup_bad_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series(0.0, [(1, 1.0)])
+
+    def test_efficiency(self):
+        eff = efficiency_series([(1, 1.0), (4, 3.0)])
+        assert eff == [(1, 1.0), (4, 0.75)]

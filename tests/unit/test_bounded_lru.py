@@ -1,0 +1,96 @@
+"""Unit tests for the bounded-LRU cache variant and steal-half policy."""
+
+import threading
+
+import pytest
+
+from repro.gbwt.cache import BoundedLRUCache, CachedGBWT
+from repro.sched.work_stealing import WorkStealingScheduler
+
+
+class TestBoundedLRUCache:
+    def test_capacity_enforced(self, tiny_gbwt):
+        cache = BoundedLRUCache(tiny_gbwt, capacity=4)
+        for handle in tiny_gbwt.handles()[:10]:
+            cache.record(handle)
+        assert cache.size == 4
+        assert cache.evictions == 6
+
+    def test_lru_order(self, tiny_gbwt):
+        handles = tiny_gbwt.handles()
+        cache = BoundedLRUCache(tiny_gbwt, capacity=2)
+        a, b, c = handles[0], handles[1], handles[2]
+        cache.record(a)
+        cache.record(b)
+        cache.record(a)  # refresh a; b is now LRU
+        cache.record(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_hit_miss_counting(self, tiny_gbwt):
+        cache = BoundedLRUCache(tiny_gbwt, capacity=8)
+        handle = tiny_gbwt.handles()[0]
+        cache.record(handle)
+        cache.record(handle)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_search_api_matches_growing_cache(self, tiny_gbwt, tiny_graph):
+        bounded = BoundedLRUCache(tiny_gbwt, capacity=16)
+        growing = CachedGBWT(tiny_gbwt, 16)
+        for path in tiny_graph.paths.values():
+            walk = path.handles[:6]
+            assert bounded.count_haplotypes(walk) == growing.count_haplotypes(walk)
+
+    def test_invalid_capacity(self, tiny_gbwt):
+        with pytest.raises(ValueError):
+            BoundedLRUCache(tiny_gbwt, capacity=0)
+
+    def test_clear(self, tiny_gbwt):
+        cache = BoundedLRUCache(tiny_gbwt, capacity=8)
+        cache.record(tiny_gbwt.handles()[0])
+        cache.clear()
+        assert cache.size == 0
+
+    def test_stats_shape(self, tiny_gbwt):
+        cache = BoundedLRUCache(tiny_gbwt, capacity=8)
+        cache.record(tiny_gbwt.handles()[0])
+        stats = cache.stats()
+        assert {"hits", "misses", "hit_rate", "evictions"} <= set(stats)
+
+
+class TestStealHalf:
+    def _run(self, scheduler, items=60, threads=3, batch=4):
+        counts = [0] * items
+        lock = threading.Lock()
+
+        def process(first, last, thread_id):
+            with lock:
+                for i in range(first, last):
+                    counts[i] += 1
+
+        scheduler.run(items, process, threads, batch)
+        return counts
+
+    def test_each_item_once(self):
+        counts = self._run(WorkStealingScheduler(steal_half=True))
+        assert counts == [1] * 60
+
+    def test_fewer_steals_than_batch_policy(self):
+        import time
+
+        def make_workload(scheduler):
+            def process(first, last, thread_id):
+                # Thread 0's region is slow; others finish and steal.
+                if first < 20:
+                    time.sleep(0.03)
+
+            scheduler.run(60, process, 3, 2)
+            return scheduler.steals
+
+        half = WorkStealingScheduler(steal_half=True)
+        batch = WorkStealingScheduler(steal_half=False)
+        half_steals = make_workload(half)
+        batch_steals = make_workload(batch)
+        if half_steals and batch_steals:
+            assert half_steals <= batch_steals

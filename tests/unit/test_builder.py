@@ -1,0 +1,119 @@
+"""Unit tests for graph construction from reference + variants."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Variant
+
+REF = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGC"
+
+
+class TestVariant:
+    def test_kinds(self):
+        assert Variant(1, "C", "T").kind == "snp"
+        assert Variant(1, "", "GG").kind == "insertion"
+        assert Variant(1, "CG", "").kind == "deletion"
+        assert Variant(1, "CG", "AT").kind == "replacement"
+
+    def test_end(self):
+        assert Variant(3, "TAC", "G").end == 6
+        assert Variant(3, "", "G").end == 3
+
+    def test_empty_variant_rejected(self):
+        with pytest.raises(ValueError):
+            Variant(1, "", "")
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            Variant(-1, "A", "C")
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError):
+            Variant(1, "N", "A")
+
+
+class TestValidation:
+    def test_ref_allele_must_match(self):
+        with pytest.raises(ValueError, match="does not match"):
+            GraphBuilder(REF, [Variant(0, "C", "T")])
+
+    def test_overlapping_rejected(self):
+        variants = [Variant(2, "GT", ""), Variant(3, "T", "A")]
+        with pytest.raises(ValueError, match="overlap"):
+            GraphBuilder(REF, variants)
+
+    def test_past_end_rejected(self):
+        with pytest.raises(ValueError, match="past reference end"):
+            GraphBuilder("ACGT", [Variant(3, "TT", "")])
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder("", [])
+
+
+class TestConstruction:
+    def test_no_variants_single_chain(self):
+        builder = GraphBuilder(REF, [], max_node_length=8)
+        builder.graph.validate()
+        assert builder.haplotype_sequence([]) == REF
+        assert builder.graph.node_count() == 4  # 32 bases / 8 per node
+
+    def test_chunking_respects_max_length(self):
+        builder = GraphBuilder(REF, [], max_node_length=5)
+        assert all(
+            builder.graph.node_length(n) <= 5 for n in builder.graph.node_ids()
+        )
+
+    def test_snp_bubble(self):
+        builder = GraphBuilder(REF, [Variant(5, "C", "T")])
+        assert builder.haplotype_sequence([]) == REF
+        expected = REF[:5] + "T" + REF[6:]
+        assert builder.haplotype_sequence([0]) == expected
+
+    def test_deletion(self):
+        builder = GraphBuilder(REF, [Variant(10, "CT", "")])
+        assert builder.haplotype_sequence([0]) == REF[:10] + REF[12:]
+
+    def test_insertion(self):
+        builder = GraphBuilder(REF, [Variant(10, "", "GGG")])
+        assert builder.haplotype_sequence([0]) == REF[:10] + "GGG" + REF[10:]
+
+    def test_insertion_at_end(self):
+        builder = GraphBuilder(REF, [Variant(len(REF), "", "AA")])
+        assert builder.haplotype_sequence([0]) == REF + "AA"
+
+    def test_replacement(self):
+        builder = GraphBuilder(REF, [Variant(8, "AG", "TT")])
+        assert builder.haplotype_sequence([0]) == REF[:8] + "TT" + REF[10:]
+
+    def test_combined_variants(self):
+        variants = [
+            Variant(5, "C", "T"),
+            Variant(10, "CT", ""),
+            Variant(20, "", "AAA"),
+        ]
+        builder = GraphBuilder(REF, variants)
+        expected = REF[:5] + "T" + REF[6:10] + REF[12:20] + "AAA" + REF[20:]
+        assert builder.haplotype_sequence([0, 1, 2]) == expected
+        # Partial selections mix alleles independently.
+        assert builder.haplotype_sequence([1]) == REF[:10] + REF[12:]
+
+    def test_unknown_variant_index_rejected(self):
+        builder = GraphBuilder(REF, [Variant(5, "C", "T")])
+        with pytest.raises(ValueError):
+            builder.haplotype_walk([3])
+
+    def test_embed_haplotypes_creates_valid_paths(self):
+        builder = GraphBuilder(REF, [Variant(5, "C", "T"), Variant(13, "GC", "")])
+        builder.embed_haplotypes({"h0": [], "h1": [0], "h2": [0, 1]})
+        builder.graph.validate()
+        assert builder.graph.path_sequence("h0") == REF
+        assert builder.graph.path_sequence("h2") == builder.haplotype_sequence([0, 1])
+
+    def test_reference_walk_matches_empty_selection(self):
+        builder = GraphBuilder(REF, [Variant(5, "C", "T")])
+        assert builder.reference_walk() == builder.haplotype_walk([])
+
+    def test_long_alt_chunked(self):
+        builder = GraphBuilder(REF, [Variant(4, "", "A" * 50)], max_node_length=8)
+        builder.graph.validate()
+        assert builder.haplotype_sequence([0]) == REF[:4] + "A" * 50 + REF[4:]

@@ -1,0 +1,89 @@
+"""Unit tests for the string BWT / FM-index substrate."""
+
+import pytest
+
+from repro.gbwt.bwt import (
+    FMIndex,
+    bwt_inverse,
+    bwt_transform,
+    rank_by_prefix_doubling,
+    suffix_array,
+)
+
+
+def naive_suffix_array(text):
+    data = text + "\x00"
+    return sorted(range(len(data)), key=lambda i: data[i:])
+
+
+class TestSuffixArray:
+    @pytest.mark.parametrize(
+        "text",
+        ["banana", "mississippi", "aaaa", "abcabcabc", "a", "", "ACGTACGT"],
+    )
+    def test_matches_naive(self, text):
+        assert suffix_array(text) == naive_suffix_array(text)
+
+    def test_banana(self):
+        assert suffix_array("banana") == [6, 5, 3, 1, 0, 4, 2]
+
+
+class TestPrefixDoubling:
+    def test_ranks_are_permutation(self):
+        keys = [3, 1, 4, 1, 5, 9, 2, 6]
+        ranks = rank_by_prefix_doubling(keys)
+        assert sorted(ranks) == list(range(len(keys)))
+
+    def test_empty(self):
+        assert len(rank_by_prefix_doubling([])) == 0
+
+    def test_negative_keys_supported(self):
+        ranks = rank_by_prefix_doubling([-5, 3, -5, 1])
+        assert sorted(ranks) == [0, 1, 2, 3]
+        # suffix (-5, 3, ...) < suffix (3, ...) because -5 < 3
+        assert ranks[0] < ranks[1]
+
+
+class TestBWT:
+    @pytest.mark.parametrize(
+        "text", ["banana", "mississippi", "ACGTACGTACGT", "abracadabra"]
+    )
+    def test_inverse_roundtrip(self, text):
+        assert bwt_inverse(bwt_transform(text)) == text
+
+    def test_transform_is_permutation(self):
+        text = "banana"
+        assert sorted(bwt_transform(text)) == sorted(text + "\x00")
+
+
+class TestFMIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return FMIndex("ACGTACGTTACGGACGT" * 3, checkpoint_interval=4)
+
+    def test_count_matches_str_count(self, index):
+        text = index.text
+        for pattern in ("ACG", "CGT", "TTA", "GG", "ACGT", "AAAA"):
+            expected = sum(
+                1 for i in range(len(text)) if text.startswith(pattern, i)
+            )
+            assert index.count(pattern) == expected, pattern
+
+    def test_locate_matches_str_find(self, index):
+        text = index.text
+        for pattern in ("ACG", "GACG", "TT"):
+            expected = [
+                i for i in range(len(text)) if text.startswith(pattern, i)
+            ]
+            assert index.locate(pattern) == expected
+
+    def test_empty_pattern_counts_all_rows(self, index):
+        assert index.count("") == len(index.text) + 1
+
+    def test_absent_symbol(self, index):
+        assert index.count("X") == 0
+        assert index.locate("X") == []
+
+    def test_terminator_rejected(self):
+        with pytest.raises(ValueError):
+            FMIndex("abc\x00def")

@@ -1,0 +1,98 @@
+"""Unit tests for the CachedGBWT."""
+
+import pytest
+
+from repro.gbwt.cache import CachedGBWT
+
+
+@pytest.fixture
+def cache(tiny_gbwt):
+    return CachedGBWT(tiny_gbwt, initial_capacity=4)
+
+
+class TestHashTable:
+    def test_capacity_rounded_to_pow2(self, tiny_gbwt):
+        assert CachedGBWT(tiny_gbwt, 3).capacity == 4
+        assert CachedGBWT(tiny_gbwt, 4).capacity == 4
+        assert CachedGBWT(tiny_gbwt, 5).capacity == 8
+
+    def test_invalid_capacity_rejected(self, tiny_gbwt):
+        with pytest.raises(ValueError):
+            CachedGBWT(tiny_gbwt, 0)
+
+    def test_miss_then_hit(self, cache, tiny_gbwt):
+        handle = tiny_gbwt.handles()[1]
+        cache.record(handle)
+        assert cache.misses == 1 and cache.hits == 0
+        cache.record(handle)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_grows_and_rehashes(self, cache, tiny_gbwt):
+        handles = tiny_gbwt.handles()
+        for handle in handles:
+            cache.record(handle)
+        assert cache.size == len(handles)
+        assert cache.capacity >= len(handles)
+        assert cache.rehashes > 0
+        # Everything is still retrievable after growth.
+        for handle in handles:
+            assert cache.contains(handle)
+
+    def test_records_identical_to_uncached(self, cache, tiny_gbwt):
+        for handle in tiny_gbwt.handles():
+            cached = cache.record(handle)
+            raw = tiny_gbwt.record(handle)
+            assert cached.edges == raw.edges
+            assert cached.offsets == raw.offsets
+            assert cached.runs == raw.runs
+
+    def test_clear_keeps_capacity(self, cache, tiny_gbwt):
+        for handle in tiny_gbwt.handles():
+            cache.record(handle)
+        grown = cache.capacity
+        cache.clear()
+        assert cache.size == 0
+        assert cache.capacity == grown
+
+    def test_decode_count_saved_by_cache(self, tiny_gbwt):
+        cache = CachedGBWT(tiny_gbwt, 64)
+        handle = tiny_gbwt.handles()[2]
+        before = tiny_gbwt.decode_count
+        for _ in range(10):
+            cache.record(handle)
+        assert tiny_gbwt.decode_count == before + 1
+
+    def test_stats_shape(self, cache, tiny_gbwt):
+        cache.record(tiny_gbwt.handles()[0])
+        stats = cache.stats()
+        for key in ("hits", "misses", "hit_rate", "rehashes", "capacity"):
+            assert key in stats
+
+    def test_slot_bytes_scales_with_capacity(self, tiny_gbwt):
+        small = CachedGBWT(tiny_gbwt, 16)
+        large = CachedGBWT(tiny_gbwt, 1024)
+        assert large.slot_bytes == 64 * small.slot_bytes
+
+
+class TestSearchAPI:
+    def test_matches_raw_gbwt(self, cache, tiny_gbwt, tiny_graph):
+        for path in tiny_graph.paths.values():
+            walk = path.handles[:6]
+            assert cache.count_haplotypes(walk) == tiny_gbwt.count_haplotypes(walk)
+
+    def test_full_state_missing_node(self, cache):
+        assert cache.full_state(99999).empty
+
+    def test_extend_empty_state(self, cache):
+        from repro.gbwt.records import SearchState
+
+        assert cache.extend(SearchState.empty_state(), 2).empty
+
+    def test_successors_match_raw(self, cache, tiny_gbwt, tiny_graph):
+        path = next(iter(tiny_graph.paths.values()))
+        state = cache.full_state(path.handles[0])
+        raw_state = tiny_gbwt.full_state(path.handles[0])
+        assert cache.successors(state) == tiny_gbwt.successors(raw_state)
+
+    def test_count_empty_walk(self, cache):
+        assert cache.count_haplotypes([]) == 0

@@ -1,0 +1,45 @@
+"""Unit tests for the per-batch cache lifetime option."""
+
+import pytest
+
+from repro.core import MiniGiraffe, ProxyOptions
+
+
+@pytest.fixture(scope="module")
+def captured(small_mapper, small_reads):
+    return small_mapper.capture_read_records(small_reads)
+
+
+class TestCacheLifetime:
+    def _proxy(self, small_pangenome, small_mapper, **kwargs):
+        return MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=4, **kwargs),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+
+    def test_outputs_identical(self, small_pangenome, small_mapper, captured):
+        """Cache lifetime is a pure performance knob: outputs match."""
+        run_scoped = self._proxy(
+            small_pangenome, small_mapper, cache_lifetime="run"
+        ).map_reads(captured)
+        batch_scoped = self._proxy(
+            small_pangenome, small_mapper, cache_lifetime="batch"
+        ).map_reads(captured)
+        assert run_scoped.extensions == batch_scoped.extensions
+
+    def test_batch_lifetime_redecodes(self, small_pangenome, small_mapper, captured):
+        """Clearing per batch forfeits cross-batch reuse: more misses."""
+        run_scoped = self._proxy(
+            small_pangenome, small_mapper, cache_lifetime="run"
+        ).map_reads(captured)
+        batch_scoped = self._proxy(
+            small_pangenome, small_mapper, cache_lifetime="batch"
+        ).map_reads(captured)
+        assert batch_scoped.cache_stats["misses"] > run_scoped.cache_stats["misses"]
+        assert batch_scoped.cache_stats["hit_rate"] < run_scoped.cache_stats["hit_rate"]
+
+    def test_invalid_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyOptions(cache_lifetime="read")

@@ -1,0 +1,104 @@
+"""Unit tests for the CachedGBWT capacity cost model."""
+
+import pytest
+
+from repro.sim.cache_model import (
+    CacheCapacityModel,
+    CacheCosts,
+    SLOT_BYTES,
+)
+
+
+@pytest.fixture
+def model():
+    return CacheCapacityModel()
+
+
+class TestFinalCapacity:
+    def test_no_growth_needed(self, model):
+        assert model.final_capacity(1024, 100) == 1024
+
+    def test_growth(self, model):
+        assert model.final_capacity(256, 3000) == 4096
+
+    def test_load_factor_honored(self, model):
+        capacity = model.final_capacity(1, 750)
+        assert 750 / capacity <= 0.75
+
+
+class TestRehash:
+    def test_zero_when_big_enough(self, model):
+        assert model.rehash_cycles(8192, 100) == 0
+
+    def test_monotone_decreasing_in_capacity(self, model):
+        costs = [model.rehash_cycles(c, 3000) for c in (256, 512, 1024, 2048, 4096)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_growth_doublings(self, model):
+        assert model.growth_doublings(4096, 3000) == 0
+        assert model.growth_doublings(256, 3000) == 4
+
+
+class TestProbeAndOversize:
+    def test_probe_decreases_with_capacity(self, model):
+        probes = [
+            model.probe_cycles_per_access(c, 3000) for c in (256, 1024, 4096)
+        ]
+        assert probes == sorted(probes, reverse=True)
+        assert probes[-1] == 0.0
+
+    def test_oversize_zero_until_needed(self, model):
+        assert model.oversize_cycles_per_access(4096, 3000) == 0.0
+
+    def test_oversize_grows_beyond_needed(self, model):
+        small = model.oversize_cycles_per_access(8192, 3000)
+        large = model.oversize_cycles_per_access(65536, 3000)
+        assert 0 < small < large
+
+    def test_no_cache_has_no_penalties(self, model):
+        assert model.probe_cycles_per_access(0, 3000) == 0.0
+        assert model.oversize_cycles_per_access(0, 3000) == 0.0
+
+    def test_u_shape(self, model):
+        """The combined penalty is U-shaped in the initial capacity —
+        the mechanism behind Figure 6."""
+        def penalty(cc):
+            return model.probe_cycles_per_access(
+                cc, 3000
+            ) + model.oversize_cycles_per_access(cc, 3000)
+
+        sweep = [256, 1024, 4096, 16384, 65536]
+        penalties = [penalty(c) for c in sweep]
+        best = penalties.index(min(penalties))
+        assert 0 < best < len(sweep) - 1
+        assert penalties[0] > penalties[best]
+        assert penalties[-1] > penalties[best]
+
+
+class TestAccessCycles:
+    def test_hits_cheaper_than_misses(self, model):
+        all_hits = model.access_cycles(100, 0)
+        all_misses = model.access_cycles(100, 100)
+        assert all_hits < all_misses
+        assert all_misses == model.uncached_cycles(100)
+
+    def test_custom_costs(self):
+        model = CacheCapacityModel(CacheCosts(hit_cycles=1, miss_cycles=10))
+        assert model.access_cycles(10, 2) == 8 * 1 + 2 * 10
+
+
+class TestFootprint:
+    def test_no_cache_zero(self, model):
+        assert model.footprint_bytes(0, 3000) == 0
+
+    def test_oversized_initial_keeps_footprint(self, model):
+        modest = model.footprint_bytes(256, 100)
+        huge = model.footprint_bytes(1 << 20, 100)
+        assert huge - modest >= ((1 << 20) - 256) * SLOT_BYTES * 0.9
+
+    def test_record_side_capped(self, model):
+        small = model.footprint_bytes(256, 20_000)
+        larger = model.footprint_bytes(256, 2_000_000)
+        # Records beyond the hot working set stop adding footprint; only
+        # the slot array keeps growing.
+        assert larger < small * 200

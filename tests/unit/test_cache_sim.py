@@ -1,0 +1,149 @@
+"""Unit tests for the set-associative cache simulator."""
+
+import pytest
+
+from repro.sim.cache_sim import (
+    CacheHierarchy,
+    CacheLevel,
+    TraceGenerator,
+    run_trace,
+)
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import ReadCost, WorkloadProfile
+
+
+def tiny_profile(reads=10):
+    profile = WorkloadProfile(input_set="custom")
+    for _ in range(reads):
+        profile.read_costs.append(
+            ReadCost(
+                base_comparisons=200,
+                node_visits=20,
+                branch_expansions=15,
+                distance_queries=8,
+                clusters_scored=1,
+                seeds_extended=4,
+                record_accesses=18,
+                record_misses=2,
+            )
+        )
+    profile.distinct_records = 120
+    profile.graph_nodes = 500
+    return profile
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        level = CacheLevel("L1", 4096, ways=4)
+        assert not level.access(0x1000)
+        assert level.access(0x1000)
+        assert level.accesses == 2 and level.misses == 1
+
+    def test_same_line_shares_entry(self):
+        level = CacheLevel("L1", 4096, ways=4)
+        level.access(0x1000)
+        assert level.access(0x1000 + 63)  # same 64B line
+        assert not level.access(0x1000 + 64)  # next line
+
+    def test_lru_eviction(self):
+        # 4 sets x 2 ways x 64B = 512B; addresses 0, 256, 512 share set 0
+        # in a 4-set cache (line index mod 4).
+        level = CacheLevel("L1", 512, ways=2)
+        a, b, c = 0x0, 0x400, 0x800  # lines 0, 16, 32 -> all set 0
+        level.access(a)
+        level.access(b)
+        level.access(c)  # evicts a (LRU)
+        assert not level.access(a)
+        assert level.access(c)
+
+    def test_lru_refresh_on_hit(self):
+        level = CacheLevel("L1", 512, ways=2)
+        a, b, c = 0x0, 0x400, 0x800
+        level.access(a)
+        level.access(b)
+        level.access(a)  # refresh a; b becomes LRU
+        level.access(c)  # evicts b
+        assert level.access(a)
+        assert not level.access(b)
+
+    def test_miss_rate(self):
+        level = CacheLevel("L1", 4096)
+        level.access(0)
+        level.access(0)
+        assert level.miss_rate == 0.5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 64, ways=8)
+
+    def test_reset(self):
+        level = CacheLevel("L1", 4096)
+        level.access(0)
+        level.reset()
+        assert level.accesses == 0
+        assert not level.access(0)
+
+
+class TestHierarchy:
+    def test_propagation(self):
+        hierarchy = CacheHierarchy(
+            [CacheLevel("L1", 4096), CacheLevel("L2", 65536)]
+        )
+        assert hierarchy.access(0x5000) == "DRAM"
+        assert hierarchy.access(0x5000) == "L1"
+
+    def test_l2_catches_l1_eviction(self):
+        hierarchy = CacheHierarchy(
+            [CacheLevel("L1", 512, ways=2), CacheLevel("L2", 65536, ways=8)]
+        )
+        for address in (0x0, 0x400, 0x800):  # conflict set in L1
+            hierarchy.access(address)
+        assert hierarchy.access(0x0) == "L2"
+
+    def test_for_platform(self):
+        hierarchy = CacheHierarchy.for_platform(PLATFORMS["local-intel"])
+        names = [level.name for level in hierarchy.levels]
+        assert names == ["L1D", "L2", "LLC"]
+        assert hierarchy.levels[0].size_bytes == 32 * 1024
+
+    def test_counters_shape(self):
+        hierarchy = CacheHierarchy([CacheLevel("L1D", 4096)])
+        hierarchy.access(0)
+        counters = hierarchy.counters()
+        assert counters == {"L1D_accesses": 1, "L1D_misses": 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        profile = tiny_profile()
+        a = list(TraceGenerator(profile, mode="proxy").addresses())
+        b = list(TraceGenerator(profile, mode="proxy").addresses())
+        assert a == b
+
+    def test_parent_trace_longer(self):
+        profile = tiny_profile()
+        proxy = sum(1 for _ in TraceGenerator(profile, mode="proxy").addresses())
+        parent = sum(1 for _ in TraceGenerator(profile, mode="parent").addresses())
+        assert parent > proxy
+
+    def test_max_reads_respected(self):
+        profile = tiny_profile(reads=10)
+        full = sum(1 for _ in TraceGenerator(profile).addresses())
+        half = sum(1 for _ in TraceGenerator(profile).addresses(max_reads=5))
+        assert half < full
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_profile(), mode="sidecar")
+
+    def test_run_trace_counters(self):
+        profile = tiny_profile()
+        hierarchy = CacheHierarchy.for_platform(PLATFORMS["local-intel"])
+        counters = run_trace(hierarchy, TraceGenerator(profile))
+        assert counters["L1D_accesses"] > 0
+        assert counters["L1D_misses"] <= counters["L1D_accesses"]
+        assert counters["LLC_accesses"] <= counters["L1D_accesses"]

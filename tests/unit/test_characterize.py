@@ -1,0 +1,63 @@
+"""Unit tests for the workload characterization API."""
+
+import pytest
+
+from repro.giraffe.characterize import characterize, thread_sweep
+from repro.workloads.input_sets import INPUT_SETS, materialize
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return materialize(INPUT_SETS["A-human"], scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def result(bundle):
+    return characterize(bundle, threads=2, batch_size=8)
+
+
+class TestCharacterize:
+    def test_metadata(self, bundle, result):
+        assert result.input_set == "A-human"
+        assert result.read_count == bundle.read_count
+        assert result.makespan > 0
+
+    def test_regions_cover_pipeline(self, result):
+        names = {r.region for r in result.regions}
+        assert "process_until_threshold_c" in names
+        assert "cluster_seeds" in names
+        assert "find_minimizers" in names
+
+    def test_percentages_sum_to_100(self, result):
+        total = sum(r.percent for r in result.regions)
+        assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_extension_dominates(self, result):
+        """The paper's headline characterization result."""
+        assert result.dominant_region().region == "process_until_threshold_c"
+
+    def test_critical_fraction_material(self, result):
+        """Paper: critical functions are ~32% of total runtime on
+        average, ~half of compute; ours must be a major share."""
+        assert 0.3 <= result.critical_fraction <= 0.98
+
+    def test_entries_counted(self, result, bundle):
+        by_name = {r.region: r for r in result.regions}
+        # One entry per read for the per-read regions.
+        assert by_name["cluster_seeds"].entries == bundle.read_count
+
+    def test_utilization_attached(self, result):
+        assert result.utilization.thread_count >= 1
+        assert result.utilization.imbalance >= 1.0
+
+    def test_summary_lines(self, result):
+        text = "\n".join(result.summary_lines())
+        assert "characterization of A-human" in text
+        assert "process_until_threshold_c" in text
+
+
+class TestThreadSweep:
+    def test_sweep_shape(self, bundle):
+        sweep = thread_sweep(bundle, thread_counts=(1, 2), batch_size=8)
+        assert [t for t, _ in sweep] == [1, 2]
+        assert all(m > 0 for _, m in sweep)

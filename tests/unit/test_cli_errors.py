@@ -1,0 +1,57 @@
+"""Unit tests for CLI edge cases and error handling."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliErrors:
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_map_missing_gbz(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(
+                ["map", "--gbz", str(tmp_path / "missing.gbz"),
+                 "--seeds", str(tmp_path / "missing.bin")]
+            )
+
+    def test_map_corrupt_gbz(self, tmp_path):
+        bad = tmp_path / "bad.gbz"
+        bad.write_bytes(b"not a gbz file at all")
+        with pytest.raises(ValueError):
+            main(["map", "--gbz", str(bad), "--seeds", str(bad)])
+
+    def test_validate_corrupt_extensions(self, tmp_path):
+        bad = tmp_path / "bad.ext"
+        bad.write_bytes(b"XXXX")
+        with pytest.raises(ValueError):
+            main(["validate", "--expected", str(bad), "--actual", str(bad)])
+
+    def test_tune_rejects_bad_platform(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--input-set", "A-human", "--platform", "mainframe"])
+
+    def test_scale_rejects_bad_input_set(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "--input-set", "Z-ferret"])
+
+
+class TestCliOomHandling:
+    def test_tune_reports_oom_gracefully(self, capsys):
+        """D-HPRC at full subsample cannot fit the chi machines; the CLI
+        must report it rather than crash."""
+        code = main(
+            ["tune", "--input-set", "D-HPRC", "--profile-scale", "0.02",
+             "--platform", "chi-arm", "--subsample", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OUT OF MEMORY" in out

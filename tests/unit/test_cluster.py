@@ -1,0 +1,136 @@
+"""Unit tests for seed clustering."""
+
+import pytest
+
+from repro.core.cluster import Cluster, UnionFind, cluster_seeds, _coverage
+from repro.core.extend import KernelCounters
+from repro.core.options import ProcessOptions
+from repro.graph.builder import GraphBuilder
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import Seed
+
+REF = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGATTTGACCAGTAGG" * 3
+
+
+@pytest.fixture(scope="module")
+def linear():
+    builder = GraphBuilder(REF, [], max_node_length=8)
+    return builder, DistanceIndex(builder.graph)
+
+
+def _positions(builder):
+    """(handle, 0) for each node along the reference walk."""
+    return [(handle, 0) for handle in builder.reference_walk()]
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert len(uf.groups()) == 4
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.find(0) == uf.find(1)
+        assert len(uf.groups()) == 3
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_groups_sorted(self):
+        uf = UnionFind(5)
+        uf.union(4, 0)
+        groups = uf.groups()
+        assert [0, 4] in groups
+
+
+class TestCoverage:
+    def test_single_seed(self):
+        seeds = [Seed(10, (2, 0))]
+        assert _coverage(seeds, 5, 100) == 5
+
+    def test_overlapping_union(self):
+        seeds = [Seed(10, (2, 0)), Seed(12, (2, 0))]
+        assert _coverage(seeds, 5, 100) == 7
+
+    def test_disjoint_sum(self):
+        seeds = [Seed(0, (2, 0)), Seed(50, (2, 0))]
+        assert _coverage(seeds, 5, 100) == 10
+
+    def test_clipped_at_read_end(self):
+        seeds = [Seed(98, (2, 0))]
+        assert _coverage(seeds, 5, 100) == 2
+
+
+class TestClusterSeeds:
+    def test_empty(self, linear):
+        _, index = linear
+        assert cluster_seeds(index, [], 100, 5) == []
+
+    def test_nearby_seeds_merge(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(0, positions[0]), Seed(8, positions[1])]
+        clusters = cluster_seeds(index, seeds, 100, 5)
+        assert len(clusters) == 1
+        assert len(clusters[0].seeds) == 2
+
+    def test_distant_seeds_split(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(0, positions[0]), Seed(8, positions[-1])]
+        clusters = cluster_seeds(
+            index, seeds, 100, 5, options=ProcessOptions(cluster_distance=16)
+        )
+        assert len(clusters) == 2
+
+    def test_clusters_partition_seeds(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(i * 3, positions[i * 2]) for i in range(8)]
+        clusters = cluster_seeds(index, seeds, 100, 5)
+        clustered = [s for c in clusters for s in c.seeds]
+        assert sorted(clustered, key=Seed.sort_key) == sorted(
+            seeds, key=Seed.sort_key
+        )
+
+    def test_sorted_best_first(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        # A big near cluster and one singleton far away.
+        seeds = [Seed(i * 6, positions[i]) for i in range(5)]
+        seeds.append(Seed(90, positions[-1]))
+        clusters = cluster_seeds(
+            index, seeds, 100, 5, options=ProcessOptions(cluster_distance=16)
+        )
+        scores = [c.score for c in clusters]
+        assert scores == sorted(scores, reverse=True)
+        assert len(clusters[0].seeds) == 5
+
+    def test_score_formula(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        clusters = cluster_seeds(index, [Seed(10, positions[0])], 100, 5)
+        assert clusters[0].score == 5 * 4 + 1
+        assert clusters[0].coverage == 5
+
+    def test_counters(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(0, positions[0]), Seed(8, positions[1])]
+        counters = KernelCounters()
+        cluster_seeds(index, seeds, 100, 5, counters=counters)
+        assert counters.distance_queries >= 1
+        assert counters.clusters_scored >= 1
+
+    def test_deterministic(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(i * 4, positions[i * 3]) for i in range(6)]
+        a = cluster_seeds(index, list(seeds), 100, 5)
+        b = cluster_seeds(index, list(reversed(seeds)), 100, 5)
+        assert a == b

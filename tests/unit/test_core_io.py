@@ -1,0 +1,105 @@
+"""Unit tests for the seed-file and extension I/O formats."""
+
+import io
+
+import pytest
+
+from repro.core.extend import GaplessExtension
+from repro.core.io import (
+    ReadRecord,
+    load_extensions,
+    load_seed_file,
+    save_extensions,
+    save_seed_file,
+    save_seed_file_path,
+    load_seed_file_path,
+)
+from repro.index.minimizer import Seed
+
+
+@pytest.fixture
+def records():
+    return [
+        ReadRecord("read-1", "ACGTACGT", [Seed(0, (4, 2)), Seed(3, (6, 0))]),
+        ReadRecord("read-2", "TTTTACGT", []),
+        ReadRecord("pair-1/1", "GGGGCCCC", [Seed(1, (8, 5))]),
+    ]
+
+
+@pytest.fixture
+def extensions():
+    return {
+        "read-1": [
+            GaplessExtension(
+                path=(4, 6, 8),
+                read_interval=(0, 8),
+                start_position=(4, 2),
+                mismatches=(3,),
+                score=-2,
+                left_full=True,
+                right_full=False,
+            )
+        ],
+        "read-2": [],
+    }
+
+
+class TestSeedFile:
+    def test_roundtrip(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer)
+        buffer.seek(0)
+        restored = load_seed_file(buffer)
+        assert len(restored) == len(records)
+        for original, loaded in zip(records, restored):
+            assert loaded.name == original.name
+            assert loaded.sequence == original.sequence
+            assert loaded.seeds == original.seeds
+
+    def test_file_roundtrip(self, records, tmp_path):
+        path = str(tmp_path / "seq-seeds.bin")
+        save_seed_file_path(records, path)
+        restored = load_seed_file_path(path)
+        assert [r.name for r in restored] == [r.name for r in records]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_seed_file(io.BytesIO(b"XXXX\x00"))
+
+    def test_empty_list(self):
+        buffer = io.BytesIO()
+        save_seed_file([], buffer)
+        buffer.seek(0)
+        assert load_seed_file(buffer) == []
+
+    def test_read_len(self, records):
+        assert len(records[0]) == 8
+
+
+class TestExtensionsFile:
+    def test_roundtrip_including_negative_scores(self, extensions):
+        buffer = io.BytesIO()
+        save_extensions(extensions, buffer)
+        buffer.seek(0)
+        restored = load_extensions(buffer)
+        assert restored == extensions
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_extensions(io.BytesIO(b"ZZZZ"))
+
+    def test_flags_roundtrip(self):
+        for left, right in [(False, False), (True, False), (False, True), (True, True)]:
+            data = {
+                "r": [
+                    GaplessExtension(
+                        path=(2,), read_interval=(0, 4), start_position=(2, 0),
+                        mismatches=(), score=4, left_full=left, right_full=right,
+                    )
+                ]
+            }
+            buffer = io.BytesIO()
+            save_extensions(data, buffer)
+            buffer.seek(0)
+            loaded = load_extensions(buffer)["r"][0]
+            assert (loaded.left_full, loaded.right_full) == (left, right)

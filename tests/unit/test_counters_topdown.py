@@ -1,0 +1,98 @@
+"""Unit tests for hardware-counter measurement and the top-down model."""
+
+import pytest
+
+from repro.sim.counters import HardwareCounters, measure_counters
+from repro.sim.platform import PLATFORMS
+from repro.sim.topdown import TopDownModel
+from tests.unit.test_cache_sim import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return tiny_profile(reads=30)
+
+
+@pytest.fixture(scope="module")
+def both(profile):
+    platform = PLATFORMS["local-intel"]
+    return (
+        measure_counters(profile, platform, mode="proxy", max_reads=30),
+        measure_counters(profile, platform, mode="parent", max_reads=30),
+    )
+
+
+class TestHardwareCounters:
+    def test_vector_shape(self, both):
+        proxy, _ = both
+        assert len(proxy.as_vector()) == 6
+        assert set(proxy.as_dict()) == {
+            "instructions", "cycles", "ipc",
+            "l1d_accesses", "l1d_misses", "llc_accesses", "llc_misses",
+        }
+
+    def test_rates_in_range(self, both):
+        for counters in both:
+            assert 0 <= counters.l1d_miss_rate <= 1
+            assert 0 <= counters.llc_miss_rate <= 1
+            assert counters.ipc > 0
+
+    def test_parent_more_instructions(self, both):
+        """Table V: the parent runs extra work around the kernel."""
+        proxy, parent = both
+        assert parent.instructions > proxy.instructions
+
+    def test_parent_lower_ipc(self, both):
+        """Table V: miniGiraffe's IPC is slightly higher than Giraffe's."""
+        proxy, parent = both
+        assert proxy.ipc >= parent.ipc
+
+    def test_parent_higher_l1_miss_rate(self, both):
+        """Table V: Giraffe's interleaved extra traffic churns L1D."""
+        proxy, parent = both
+        assert parent.l1d_miss_rate > proxy.l1d_miss_rate
+
+    def test_cosine_similarity_near_one(self, both):
+        from repro.core.validation import cosine_similarity
+
+        proxy, parent = both
+        assert cosine_similarity(proxy.as_vector(), parent.as_vector()) > 0.99
+
+
+class TestTopDown:
+    def test_sums_to_about_100(self, profile, both):
+        _, parent = both
+        breakdown = TopDownModel(profile, mode="parent").analyze(parent)
+        assert breakdown.total() == pytest.approx(100.0, abs=1.0)
+
+    def test_retiring_largest_category(self, profile, both):
+        """Table IV: retiring dominates (43.4% in the paper)."""
+        _, parent = both
+        b = TopDownModel(profile, mode="parent").analyze(parent)
+        assert b.retiring >= max(b.frontend, b.bad_speculation)
+
+    def test_parent_more_frontend_bound(self, profile, both):
+        """The 50k-LoC parent has a larger code footprint than the 1k
+        proxy, showing up as front-end pressure."""
+        proxy, parent = both
+        fe_parent = TopDownModel(profile, mode="parent").analyze(parent).frontend
+        fe_proxy = TopDownModel(profile, mode="proxy").analyze(proxy).frontend
+        assert fe_parent > fe_proxy
+
+    def test_level2_details(self, profile, both):
+        _, parent = both
+        b = TopDownModel(profile, mode="parent").analyze(parent)
+        assert 0 < b.frontend_latency < b.frontend
+        assert 0 <= b.backend_memory <= b.backend
+
+    def test_row_shape(self, profile, both):
+        _, parent = both
+        row = TopDownModel(profile, mode="parent").analyze(parent).as_row()
+        assert set(row) == {
+            "Front-End", "Front-End latency", "Back-End",
+            "Back-End memory", "Bad Spec.", "Retiring",
+        }
+
+    def test_invalid_mode(self, profile):
+        with pytest.raises(ValueError):
+            TopDownModel(profile, mode="other")

@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event scheduler simulations."""
+
+import pytest
+
+from repro.sim.des import SimOutcome, simulate_run
+
+UNIFORM = lambda batch, thread: 0.01
+
+
+class TestCommon:
+    @pytest.mark.parametrize(
+        "policy", ["dynamic", "static", "work_stealing", "vg_batch"]
+    )
+    def test_makespan_positive(self, policy):
+        outcome = simulate_run(policy, 100, 4, UNIFORM)
+        assert outcome.makespan > 0
+        assert outcome.batches == 100
+
+    @pytest.mark.parametrize(
+        "policy", ["dynamic", "static", "work_stealing", "vg_batch"]
+    )
+    def test_single_thread_is_serial(self, policy):
+        outcome = simulate_run(policy, 50, 1, UNIFORM)
+        assert outcome.makespan >= 50 * 0.01
+
+    @pytest.mark.parametrize("policy", ["dynamic", "static", "work_stealing"])
+    def test_parallel_speedup(self, policy):
+        serial = simulate_run(policy, 128, 1, UNIFORM).makespan
+        parallel = simulate_run(policy, 128, 8, UNIFORM).makespan
+        assert serial / parallel > 6.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate_run("fifo", 10, 2, UNIFORM)
+
+    def test_bad_start_times(self):
+        with pytest.raises(ValueError):
+            simulate_run("dynamic", 10, 2, UNIFORM, start_times=[0.0])
+
+    def test_start_times_delay_completion(self):
+        base = simulate_run("dynamic", 64, 4, UNIFORM).makespan
+        delayed = simulate_run(
+            "dynamic", 64, 4, UNIFORM, start_times=[1.0] * 4
+        ).makespan
+        assert delayed >= base + 0.99
+
+
+class TestImbalance:
+    @staticmethod
+    def skewed(batch, thread):
+        """Every 4th batch is 50x the others — static's round-robin
+        piles all of them onto one thread."""
+        return 0.5 if batch % 4 == 0 else 0.01
+
+    def test_dynamic_beats_static_on_skew(self):
+        dynamic = simulate_run("dynamic", 64, 4, self.skewed).makespan
+        static = simulate_run("static", 64, 4, self.skewed).makespan
+        assert dynamic <= static
+
+    def test_work_stealing_beats_static_on_skew(self):
+        stealing = simulate_run("work_stealing", 64, 4, self.skewed)
+        static = simulate_run("static", 64, 4, self.skewed)
+        assert stealing.makespan <= static.makespan
+
+    def test_work_stealing_steals_from_loaded_region(self):
+        """All the cost sits in thread 0's region; the others must raid it."""
+        front_loaded = lambda batch, thread: 0.1 if batch < 16 else 0.001
+        outcome = simulate_run("work_stealing", 64, 4, front_loaded)
+        assert outcome.steals > 0
+        even = simulate_run(
+            "work_stealing", 64, 1, front_loaded
+        ).makespan
+        assert outcome.makespan < even  # stealing actually parallelized it
+
+    def test_imbalance_metric(self):
+        outcome = simulate_run("static", 64, 4, self.skewed)
+        assert outcome.imbalance > 1.1
+        balanced = simulate_run("dynamic", 64, 4, UNIFORM)
+        assert balanced.imbalance < outcome.imbalance
+
+
+class TestWorkStealing:
+    def test_no_steals_when_balanced(self):
+        outcome = simulate_run("work_stealing", 64, 4, UNIFORM)
+        assert outcome.steals == 0
+
+    def test_all_batches_run_despite_empty_regions(self):
+        # More threads than batches: most regions are empty from the start.
+        outcome = simulate_run("work_stealing", 3, 8, UNIFORM)
+        assert outcome.batches == 3
+        assert outcome.makespan > 0
+
+
+class TestVGBatch:
+    def test_main_thread_starts_after_workers(self):
+        """Deterministic Figure 2 artifact: thread 0 (the dispatcher)
+        accumulates mapping busy-time only after workers saturate."""
+        slow = lambda batch, thread: 0.05
+        outcome = simulate_run("vg_batch", 40, 4, slow)
+        # Workers (threads 1..3) carry more mapping time than thread 0.
+        assert sum(outcome.thread_busy[1:]) > outcome.thread_busy[0]
+
+    def test_single_thread_fallback(self):
+        outcome = simulate_run("vg_batch", 20, 1, UNIFORM)
+        assert outcome.makespan >= 20 * 0.01

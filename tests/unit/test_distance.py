@@ -1,0 +1,124 @@
+"""Unit tests for graph distance computation."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.handle import forward, reverse
+from repro.index.distance import DistanceIndex, bounded_distance, symmetric_distance
+
+REF = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGAT"
+
+
+@pytest.fixture(scope="module")
+def bubble_graph():
+    builder = GraphBuilder(
+        REF, [Variant(6, "G", "C"), Variant(20, "TC", ""), Variant(30, "", "GGG")],
+        max_node_length=6,
+    )
+    return builder
+
+
+class TestBoundedDistance:
+    def test_same_position(self, bubble_graph):
+        graph = bubble_graph.graph
+        walk = bubble_graph.reference_walk()
+        position = (walk[0], 2)
+        assert bounded_distance(graph, position, position, 10) == 0
+
+    def test_within_node(self, bubble_graph):
+        graph = bubble_graph.graph
+        handle = bubble_graph.reference_walk()[0]
+        assert bounded_distance(graph, (handle, 1), (handle, 4), 10) == 3
+
+    def test_across_nodes_matches_linear_offsets(self):
+        """On a linear graph (no shortcut bubbles), distance equals the
+        base-offset difference."""
+        linear = GraphBuilder(REF, [], max_node_length=6)
+        graph = linear.graph
+        walk = linear.reference_walk()
+        # linear coordinates of each (handle, offset) along the walk
+        positions = []
+        for handle in walk:
+            for off in range(graph.node_length(handle >> 1)):
+                positions.append((handle, off))
+        for i, j in [(0, 5), (3, 17), (10, 30), (0, len(positions) - 1)]:
+            distance = bounded_distance(graph, positions[i], positions[j], 1000)
+            assert distance == j - i
+
+    def test_limit_prunes(self, bubble_graph):
+        graph = bubble_graph.graph
+        walk = bubble_graph.reference_walk()
+        far = (walk[-1], 0)
+        near = (walk[0], 0)
+        assert bounded_distance(graph, near, far, 3) is None
+
+    def test_direction_matters(self, bubble_graph):
+        graph = bubble_graph.graph
+        walk = bubble_graph.reference_walk()
+        a, b = (walk[0], 0), (walk[2], 0)
+        assert bounded_distance(graph, a, b, 1000) is not None
+        # DAG: cannot reach backwards in forward orientation.
+        assert bounded_distance(graph, b, a, 1000) is None
+
+    def test_symmetric_distance(self, bubble_graph):
+        graph = bubble_graph.graph
+        walk = bubble_graph.reference_walk()
+        a, b = (walk[0], 0), (walk[2], 1)
+        d = symmetric_distance(graph, a, b, 1000)
+        assert d == bounded_distance(graph, a, b, 1000)
+        assert symmetric_distance(graph, b, a, 1000) == d
+
+    def test_takes_shortest_branch(self):
+        """Distance through a deletion bubble takes the skipping edge."""
+        builder = GraphBuilder("AAAACCCCCCCCTTTT", [Variant(4, "CCCCCCCC", "")],
+                               max_node_length=50)
+        graph = builder.graph
+        walk = builder.reference_walk()
+        first, last = walk[0], walk[-1]
+        # From end of the first segment to start of the last: deletion
+        # edge gives distance 1 (one base: the last of segment one).
+        assert bounded_distance(graph, (first, 3), (last, 0), 100) == 1
+
+
+class TestDistanceIndex:
+    def test_coordinates_monotonic_on_reference(self, bubble_graph):
+        index = DistanceIndex(bubble_graph.graph)
+        walk = bubble_graph.reference_walk()
+        coords = [index.coordinate((h, 0)) for h in walk]
+        assert coords == sorted(coords)
+
+    def test_min_distance_matches_exact_when_close(self, bubble_graph):
+        graph = bubble_graph.graph
+        index = DistanceIndex(graph)
+        walk = bubble_graph.reference_walk()
+        a, b = (walk[1], 0), (walk[2], 3)
+        exact = symmetric_distance(graph, a, b, 64)
+        assert index.min_distance(a, b, 64) == exact
+
+    def test_far_pairs_rejected_cheaply(self, bubble_graph):
+        index = DistanceIndex(bubble_graph.graph, slack=4)
+        walk = bubble_graph.reference_walk()
+        a, b = (walk[0], 0), (walk[-1], 0)
+        assert index.min_distance(a, b, 2) is None
+        assert index.approx_rejections >= 1
+
+    def test_within(self, bubble_graph):
+        index = DistanceIndex(bubble_graph.graph)
+        walk = bubble_graph.reference_walk()
+        assert index.within((walk[0], 0), (walk[0], 3), 5)
+        assert not index.within((walk[0], 0), (walk[-1], 0), 2)
+
+    def test_reverse_handle_coordinate(self, bubble_graph):
+        graph = bubble_graph.graph
+        index = DistanceIndex(graph)
+        handle = bubble_graph.reference_walk()[0]
+        length = graph.node_length(handle >> 1)
+        # The same physical base has the same coordinate in either orientation.
+        fwd_coord = index.coordinate((handle, 2))
+        rev_coord = index.coordinate((handle ^ 1, length - 1 - 2))
+        assert fwd_coord == rev_coord
+
+    def test_stats(self, bubble_graph):
+        index = DistanceIndex(bubble_graph.graph)
+        stats = index.stats()
+        assert stats["nodes"] == bubble_graph.graph.node_count()

@@ -1,0 +1,165 @@
+"""Unit tests for the analytic execution model."""
+
+import pytest
+
+from repro.sim.exec_model import (
+    DEFAULT_CONFIG,
+    ExecutionModel,
+    OutOfMemoryError,
+    TuningConfig,
+    compute_cycles,
+)
+from repro.sim.paper_scale import PAPER_SCALE
+from repro.sim.platform import PLATFORMS
+from repro.sim.profiler import ReadCost, WorkloadProfile
+
+
+def synthetic_profile(input_set="A-human", reads=50):
+    """A hand-built profile with mild per-read cost variation."""
+    profile = WorkloadProfile(input_set=input_set)
+    for i in range(reads):
+        profile.read_costs.append(
+            ReadCost(
+                base_comparisons=1000 + 40 * (i % 7),
+                node_visits=100,
+                branch_expansions=80,
+                distance_queries=40,
+                clusters_scored=1,
+                seeds_extended=8,
+                record_accesses=90,
+                record_misses=8,
+            )
+        )
+    profile.distinct_records = 400
+    profile.total_record_accesses = 90 * reads
+    return profile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ExecutionModel(synthetic_profile(), PLATFORMS["local-intel"])
+
+
+class TestBasics:
+    def test_compute_cycles_positive(self):
+        assert compute_cycles(synthetic_profile().read_costs[0]) > 0
+
+    def test_virtual_reads_paper_scale(self, model):
+        assert model.virtual_reads() == 1_000_000
+        assert model.virtual_reads(0.1) == 100_000
+
+    def test_virtual_reads_without_metadata(self):
+        profile = synthetic_profile(input_set="custom")
+        em = ExecutionModel(profile, PLATFORMS["local-amd"])
+        assert em.virtual_reads() == profile.read_count
+
+    def test_makespan_positive(self, model):
+        assert model.makespan(TuningConfig(threads=4)) > 0
+
+    def test_deterministic(self, model):
+        config = TuningConfig(threads=8, batch_size=256)
+        assert model.makespan(config) == model.makespan(config)
+
+
+class TestScalingShape:
+    def test_speedup_monotone_over_first_socket(self, model):
+        times = [
+            model.makespan(TuningConfig(threads=t)) for t in (1, 2, 4, 8, 16, 24)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_near_linear_early(self, model):
+        t1 = model.makespan(TuningConfig(threads=1))
+        t8 = model.makespan(TuningConfig(threads=8))
+        assert 6.0 < t1 / t8 <= 8.2
+
+    def test_smt_plateau_on_intel(self, model):
+        """Beyond physical cores, Intel's SMT adds little (paper Fig. 5)."""
+        at_cores = model.makespan(TuningConfig(threads=48))
+        at_smt = model.makespan(TuningConfig(threads=96))
+        assert at_smt > at_cores * 0.6  # far from 2x improvement
+
+    def test_amd_scales_further(self):
+        amd = ExecutionModel(synthetic_profile(), PLATFORMS["local-amd"])
+        t1 = amd.makespan(TuningConfig(threads=1))
+        t64 = amd.makespan(TuningConfig(threads=64))
+        assert t1 / t64 > 40
+
+    def test_chi_arm_slowest_single_thread(self):
+        profiles = synthetic_profile()
+        times = {
+            name: ExecutionModel(profiles, spec).makespan(TuningConfig(threads=1))
+            for name, spec in PLATFORMS.items()
+        }
+        assert max(times, key=times.get) == "chi-arm"
+        assert min(times, key=times.get) == "local-amd"
+
+
+class TestMemoryModel:
+    def test_d_hprc_oom_on_chi(self):
+        profile = synthetic_profile(input_set="D-HPRC")
+        em = ExecutionModel(profile, PLATFORMS["chi-arm"])
+        with pytest.raises(OutOfMemoryError):
+            em.makespan(TuningConfig(threads=4))
+
+    def test_d_hprc_subsample_fits(self):
+        profile = synthetic_profile(input_set="D-HPRC")
+        em = ExecutionModel(profile, PLATFORMS["chi-arm"])
+        assert em.makespan(TuningConfig(threads=4), subsample=0.1) > 0
+
+    def test_llc_fit_better_on_amd(self):
+        profile = synthetic_profile()
+        intel = ExecutionModel(profile, PLATFORMS["local-intel"])
+        amd = ExecutionModel(profile, PLATFORMS["local-amd"])
+        config = TuningConfig(threads=16)
+        assert amd.llc_fit(16, config) >= intel.llc_fit(16, config)
+
+    def test_fit_decreases_with_threads(self, model):
+        config = DEFAULT_CONFIG
+        assert model.llc_fit(48, config) <= model.llc_fit(2, config)
+
+
+class TestCapacityEffects:
+    def test_cache_beats_no_cache(self, model):
+        cached = model.makespan(TuningConfig(threads=16, cache_capacity=1024))
+        uncached = model.makespan(TuningConfig(threads=16, cache_capacity=0))
+        assert cached < uncached
+
+    def test_fig6_u_shape(self, model):
+        sweep = [256, 1024, 4096, 65536, 1 << 20]
+        times = [
+            model.makespan(TuningConfig(threads=16, cache_capacity=c))
+            for c in sweep
+        ]
+        best = times.index(min(times))
+        assert best < len(sweep) - 1
+        assert times[-1] > min(times)  # oversizing degrades
+
+    def test_batch_size_changes_makespan(self, model):
+        small = model.makespan(TuningConfig(threads=16, batch_size=128))
+        large = model.makespan(TuningConfig(threads=16, batch_size=2048))
+        assert small != large
+
+
+class TestTuningConfig:
+    def test_label(self):
+        config = TuningConfig("dynamic", 512, 256, 8)
+        assert config.label() == "dynamic/bs512/cc256/t8"
+
+    def test_default_matches_paper(self):
+        assert DEFAULT_CONFIG.scheduler == "dynamic"
+        assert DEFAULT_CONFIG.batch_size == 512
+        assert DEFAULT_CONFIG.cache_capacity == 256
+
+
+class TestWarmup:
+    def test_warmup_positive(self, model):
+        assert model.warmup_seconds(DEFAULT_CONFIG) > 0
+
+    def test_large_llc_warms_cheaper(self):
+        profile = synthetic_profile()
+        amd = ExecutionModel(profile, PLATFORMS["local-amd"])
+        arm = ExecutionModel(profile, PLATFORMS["chi-arm"])
+        assert amd.warmup_seconds(DEFAULT_CONFIG) < arm.warmup_seconds(
+            DEFAULT_CONFIG
+        )

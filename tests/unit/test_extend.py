@@ -1,0 +1,203 @@
+"""Unit tests for the gapless seed-and-extend kernel."""
+
+import pytest
+
+from repro.core.extend import (
+    GaplessExtension,
+    KernelCounters,
+    dedupe_extensions,
+    extend_seed,
+)
+from repro.core.options import ExtendOptions
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbwt import build_gbwt
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.handle import node_id, reverse_complement
+
+REF = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGATTTGACCAGTAGG"
+
+
+@pytest.fixture(scope="module")
+def setting():
+    builder = GraphBuilder(REF, [Variant(10, "C", "G"), Variant(30, "GC", "")],
+                           max_node_length=7)
+    builder.embed_haplotypes({"h0": [], "h1": [0], "h2": [0, 1]})
+    gbwt, _ = build_gbwt(builder.graph)
+    return builder, builder.graph, CachedGBWT(gbwt, 64)
+
+
+def _position_of(builder, hap, hap_offset):
+    """Graph position of base ``hap_offset`` along a haplotype walk."""
+    graph = builder.graph
+    walk = builder.graph.paths[hap].handles
+    remaining = hap_offset
+    for handle in walk:
+        length = graph.node_length(node_id(handle))
+        if remaining < length:
+            return handle, remaining
+        remaining -= length
+    raise AssertionError("offset beyond haplotype")
+
+
+def _spelled(graph, extension, read):
+    """Sequence the extension's path spells over the aligned interval."""
+    start, end = extension.read_interval
+    handle, offset = extension.start_position
+    text = []
+    path = list(extension.path)
+    index = path.index(handle) if handle in path else 0
+    cursor_handle = path[index]
+    cursor_offset = offset
+    for _ in range(end - start):
+        length = graph.node_length(node_id(cursor_handle))
+        if cursor_offset == length:
+            index += 1
+            cursor_handle = path[index]
+            cursor_offset = 0
+        text.append(graph.base(cursor_handle, cursor_offset))
+        cursor_offset += 1
+    return "".join(text)
+
+
+class TestExactMatch:
+    def test_full_read_extends(self, setting):
+        builder, graph, cache = setting
+        hap = "h0"
+        read = graph.path_sequence(hap)[8:40]
+        seed_offset = 10
+        position = _position_of(builder, hap, 8 + seed_offset)
+        ext = extend_seed(graph, cache, read, seed_offset, position)
+        assert ext is not None
+        assert ext.read_interval == (0, len(read))
+        assert ext.mismatches == ()
+        assert ext.full_length
+        assert ext.score == len(read) + 2 * 5
+
+    def test_path_spells_read(self, setting):
+        builder, graph, cache = setting
+        read = graph.path_sequence("h1")[5:37]
+        position = _position_of(builder, "h1", 5 + 12)
+        ext = extend_seed(graph, cache, read, 12, position)
+        assert _spelled(graph, ext, read) == read
+
+    def test_seed_at_read_start(self, setting):
+        builder, graph, cache = setting
+        read = graph.path_sequence("h0")[0:24]
+        position = _position_of(builder, "h0", 0)
+        ext = extend_seed(graph, cache, read, 0, position)
+        assert ext.read_interval == (0, 24)
+        assert ext.left_full and ext.right_full
+
+    def test_seed_at_read_end(self, setting):
+        builder, graph, cache = setting
+        read = graph.path_sequence("h0")[0:24]
+        position = _position_of(builder, "h0", 23)
+        ext = extend_seed(graph, cache, read, 23, position)
+        assert ext.read_interval == (0, 24)
+
+
+class TestMismatches:
+    def test_single_mismatch_tolerated(self, setting):
+        builder, graph, cache = setting
+        original = graph.path_sequence("h0")[8:40]
+        mutated = original[:5] + ("A" if original[5] != "A" else "C") + original[6:]
+        position = _position_of(builder, "h0", 8 + 15)
+        ext = extend_seed(graph, cache, mutated, 15, position)
+        assert ext.read_interval == (0, len(mutated))
+        assert ext.mismatches == (5,)
+        assert ext.score == (len(mutated) - 1) - 4 + 10
+
+    def test_mismatch_positions_actually_mismatch(self, setting):
+        builder, graph, cache = setting
+        original = graph.path_sequence("h0")[8:40]
+        mutated = "".join(
+            ("A" if c != "A" else "C") if i in (3, 20) else c
+            for i, c in enumerate(original)
+        )
+        position = _position_of(builder, "h0", 8 + 10)
+        ext = extend_seed(graph, cache, mutated, 10, position)
+        spelled = _spelled(graph, ext, mutated)
+        start, _ = ext.read_interval
+        for offset in ext.mismatches:
+            assert spelled[offset - start] != mutated[offset]
+
+    def test_budget_truncates(self, setting):
+        builder, graph, cache = setting
+        original = graph.path_sequence("h0")[8:48]
+        # Heavily corrupt the tail beyond the mismatch budget.
+        corrupted = original[:20] + reverse_complement(original[20:])
+        position = _position_of(builder, "h0", 8 + 5)
+        ext = extend_seed(
+            graph, cache, corrupted, 5, position,
+            options=ExtendOptions(max_mismatches=2),
+        )
+        assert ext.read_interval[1] <= 26  # stops within budget of the junk
+
+
+class TestHaplotypeConstraint:
+    def test_follows_only_supported_branches(self, setting):
+        """Extension through the SNP bubble must take the branch the
+        haplotype supports, not just any graph edge."""
+        builder, graph, cache = setting
+        for hap in ("h0", "h1"):
+            read = graph.path_sequence(hap)[4:36]
+            position = _position_of(builder, hap, 4 + 2)
+            ext = extend_seed(graph, cache, read, 2, position)
+            assert ext.mismatches == ()
+            assert _spelled(graph, ext, read) == read
+
+
+class TestDeterminism:
+    def test_same_inputs_same_output(self, setting):
+        builder, graph, cache = setting
+        read = graph.path_sequence("h2")[3:35]
+        position = _position_of(builder, "h2", 3 + 9)
+        a = extend_seed(graph, cache, read, 9, position)
+        b = extend_seed(graph, cache, read, 9, position)
+        assert a == b
+
+    def test_counters_accumulate(self, setting):
+        builder, graph, cache = setting
+        read = graph.path_sequence("h0")[8:40]
+        position = _position_of(builder, "h0", 8 + 4)
+        counters = KernelCounters()
+        extend_seed(graph, cache, read, 4, position, counters=counters)
+        assert counters.seeds_extended == 1
+        assert counters.base_comparisons >= len(read) - 4
+        assert counters.node_visits > 0
+
+
+class TestEdgeCases:
+    def test_bad_offset_rejected(self, setting):
+        _, graph, cache = setting
+        handle = next(iter(graph.node_ids())) << 1
+        with pytest.raises(ValueError):
+            extend_seed(graph, cache, "ACGT", 0, (handle, 99))
+
+    def test_off_haplotype_seed_returns_none_or_short(self, setting):
+        builder, graph, cache = setting
+        # A read of pure junk anchored at a real position: the seed base
+        # likely mismatches immediately.
+        position = _position_of(builder, "h0", 12)
+        result = extend_seed(graph, cache, "A" * 30, 15, position)
+        assert result is None or result.length <= 30
+
+
+class TestDedupe:
+    def _make(self, score, interval=(0, 10)):
+        return GaplessExtension(
+            path=(2,), read_interval=interval, start_position=(2, 0),
+            mismatches=(), score=score, left_full=False, right_full=False,
+        )
+
+    def test_removes_duplicates(self):
+        a = self._make(5)
+        assert dedupe_extensions([a, a, a]) == [a]
+
+    def test_sorted_by_score_desc(self):
+        low, high = self._make(3, (0, 5)), self._make(9, (2, 8))
+        assert dedupe_extensions([low, high]) == [high, low]
+
+    def test_empty(self):
+        assert dedupe_extensions([]) == []

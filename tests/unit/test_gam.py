@@ -1,0 +1,88 @@
+"""Unit tests for the GAM-style JSON-lines output."""
+
+import io
+
+import pytest
+
+from repro.giraffe.alignment import Alignment
+from repro.giraffe.gam import (
+    alignment_from_dict,
+    alignment_to_dict,
+    paired_to_dicts,
+    read_gam,
+    read_gam_file,
+    write_gam,
+    write_gam_file,
+    write_paired_gam,
+)
+from repro.giraffe.paired import PairedAlignment
+
+
+@pytest.fixture
+def mapped():
+    return Alignment("read-1", (14, 3), (14, 16, 18), 72, 55, "60=1X19=", True)
+
+
+@pytest.fixture
+def unmapped():
+    return Alignment.unmapped("read-2")
+
+
+class TestRecordRoundtrip:
+    def test_mapped(self, mapped):
+        assert alignment_from_dict(alignment_to_dict(mapped)) == mapped
+
+    def test_unmapped(self, unmapped):
+        assert alignment_from_dict(alignment_to_dict(unmapped)) == unmapped
+
+    def test_unmapped_record_is_minimal(self, unmapped):
+        record = alignment_to_dict(unmapped)
+        assert record == {"name": "read-2", "mapped": False}
+
+
+class TestStreamRoundtrip:
+    def test_write_read(self, mapped, unmapped):
+        buffer = io.StringIO()
+        count = write_gam([mapped, unmapped], buffer)
+        assert count == 2
+        buffer.seek(0)
+        assert list(read_gam(buffer)) == [mapped, unmapped]
+
+    def test_blank_lines_skipped(self, mapped):
+        buffer = io.StringIO()
+        write_gam([mapped], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert list(read_gam(buffer)) == [mapped]
+
+    def test_file_roundtrip(self, mapped, unmapped, tmp_path):
+        path = str(tmp_path / "run.gam.jsonl")
+        assert write_gam_file([mapped, unmapped], path) == 2
+        assert read_gam_file(path) == [mapped, unmapped]
+
+    def test_lines_are_valid_json(self, mapped):
+        import json
+
+        buffer = io.StringIO()
+        write_gam([mapped], buffer)
+        record = json.loads(buffer.getvalue())
+        assert record["name"] == "read-1"
+        assert record["mapq"] == 55
+
+
+class TestPairedRecords:
+    def test_pair_annotations(self, mapped):
+        mate2 = Alignment("read-1/2", (20, 0), (20,), 60, 60, "80=", True)
+        pair = PairedAlignment(mapped, mate2, 310, True, 142)
+        records = paired_to_dicts(pair)
+        assert len(records) == 2
+        assert records[0]["paired"]["mate"] == "read-1/2"
+        assert records[0]["paired"]["fragment_length"] == 310
+        assert records[1]["paired"]["mate"] == "read-1"
+
+    def test_write_paired(self, mapped):
+        mate2 = Alignment("m/2", (20, 0), (20,), 60, 60, "80=", True)
+        pair = PairedAlignment(mapped, mate2, None, False, 10)
+        buffer = io.StringIO()
+        assert write_paired_gam({"m": pair}, buffer) == 2
+        assert "fragment_length" not in buffer.getvalue()

@@ -1,0 +1,170 @@
+"""Unit tests for the GBWT index itself."""
+
+import pytest
+
+from repro.graph.handle import flip, forward
+from repro.graph.variation_graph import VariationGraph
+from repro.gbwt.gbwt import GBWT, build_gbwt
+from repro.gbwt.records import ENDMARKER, SearchState
+
+
+def brute_force_count(graph, walk, bidirectional=True):
+    """Count subpath occurrences across all stored paths (both strands)."""
+    walk = list(walk)
+    count = 0
+    for path in graph.paths.values():
+        variants = [path.handles]
+        if bidirectional:
+            variants.append([flip(h) for h in reversed(path.handles)])
+        for handles in variants:
+            for i in range(len(handles) - len(walk) + 1):
+                if handles[i : i + len(walk)] == walk:
+                    count += 1
+    return count
+
+
+@pytest.fixture(scope="module")
+def indexed(tiny_graph):
+    gbwt, trace = build_gbwt(tiny_graph, with_trace=True)
+    return tiny_graph, gbwt, trace
+
+
+class TestConstruction:
+    def test_no_paths_rejected(self):
+        graph = VariationGraph()
+        graph.add_node("ACG")
+        with pytest.raises(ValueError):
+            build_gbwt(graph)
+
+    def test_sequence_count_bidirectional(self, indexed):
+        graph, gbwt, _ = indexed
+        assert gbwt.sequence_count == 2 * len(graph.paths)
+
+    def test_sequence_count_unidirectional(self, tiny_graph):
+        gbwt, _ = build_gbwt(tiny_graph, bidirectional=False)
+        assert gbwt.sequence_count == len(tiny_graph.paths)
+
+    def test_every_path_node_has_record(self, indexed):
+        graph, gbwt, _ = indexed
+        for path in graph.paths.values():
+            for handle in path.handles:
+                assert gbwt.has_node(handle)
+                assert gbwt.has_node(flip(handle))
+
+    def test_endmarker_record_exists(self, indexed):
+        _, gbwt, _ = indexed
+        assert gbwt.has_node(ENDMARKER)
+
+
+class TestSearchStates:
+    def test_full_state_counts_visits(self, indexed):
+        graph, gbwt, _ = indexed
+        for path in graph.paths.values():
+            handle = path.handles[0]
+            state = gbwt.full_state(handle)
+            assert state.count == brute_force_count(graph, [handle])
+
+    def test_full_state_missing_node(self, indexed):
+        _, gbwt, _ = indexed
+        assert gbwt.full_state(99999).empty
+
+    def test_extend_matches_brute_force(self, indexed):
+        graph, gbwt, _ = indexed
+        for path in graph.paths.values():
+            handles = path.handles
+            for start in range(0, len(handles) - 3, 5):
+                walk = handles[start : start + 3]
+                assert gbwt.count_haplotypes(walk) == brute_force_count(
+                    graph, walk
+                ), walk
+
+    def test_extend_reverse_strand(self, indexed):
+        graph, gbwt, _ = indexed
+        path = next(iter(graph.paths.values()))
+        reverse_walk = [flip(h) for h in reversed(path.handles[:4])]
+        assert gbwt.count_haplotypes(reverse_walk) == brute_force_count(
+            graph, reverse_walk
+        )
+
+    def test_extend_dead_end(self, indexed):
+        graph, gbwt, _ = indexed
+        path = next(iter(graph.paths.values()))
+        state = gbwt.full_state(path.handles[0])
+        dead = gbwt.extend(state, 99999)
+        assert dead.empty
+
+    def test_extend_from_empty_is_empty(self, indexed):
+        _, gbwt, _ = indexed
+        assert gbwt.extend(SearchState.empty_state(), 2).empty
+
+    def test_successors_nonempty_and_consistent(self, indexed):
+        graph, gbwt, _ = indexed
+        path = next(iter(graph.paths.values()))
+        state = gbwt.full_state(path.handles[0])
+        successors = gbwt.successors(state)
+        assert successors
+        total = sum(s.count for _, s in successors)
+        assert total <= state.count
+        for handle, succ_state in successors:
+            assert handle != ENDMARKER
+            assert not succ_state.empty
+
+    def test_count_empty_walk(self, indexed):
+        _, gbwt, _ = indexed
+        assert gbwt.count_haplotypes([]) == 0
+
+    def test_full_path_has_at_least_one_haplotype(self, indexed):
+        graph, gbwt, _ = indexed
+        for name, path in graph.paths.items():
+            assert gbwt.count_haplotypes(path.handles) >= 1, name
+
+
+class TestTrace:
+    def test_visit_positions_within_records(self, indexed):
+        graph, gbwt, trace = indexed
+        for (s, p), position in trace.visit_position.items():
+            node = trace.sequences[s][p]
+            record = gbwt.record(node)
+            if node == ENDMARKER:
+                continue
+            assert 0 <= position < record.visit_count
+
+    def test_lf_walk_replays_sequences(self, indexed):
+        """Walking each sequence through LF mappings visits the positions
+        construction assigned — the fundamental GBWT invariant."""
+        graph, gbwt, trace = indexed
+        for s, sequence in enumerate(trace.sequences):
+            position = trace.visit_position[(s, 0)]
+            for p in range(len(sequence) - 1):
+                node, nxt = sequence[p], sequence[p + 1]
+                record = gbwt.record(node)
+                landed = record.lf(position, nxt)
+                assert landed is not None, (s, p)
+                if nxt == ENDMARKER:
+                    break
+                assert landed == trace.visit_position[(s, p + 1)], (s, p)
+                position = landed
+
+
+class TestSerialization:
+    def test_roundtrip(self, indexed):
+        graph, gbwt, _ = indexed
+        restored = GBWT.from_bytes(gbwt.to_bytes())
+        assert restored.sequence_count == gbwt.sequence_count
+        assert restored.handles() == gbwt.handles()
+        path = next(iter(graph.paths.values()))
+        assert restored.count_haplotypes(path.handles) == gbwt.count_haplotypes(
+            path.handles
+        )
+
+    def test_decode_count_tracks_accesses(self, indexed):
+        graph, gbwt, _ = indexed
+        fresh = GBWT.from_bytes(gbwt.to_bytes())
+        assert fresh.decode_count == 0
+        path = next(iter(graph.paths.values()))
+        fresh.count_haplotypes(path.handles[:5])
+        assert fresh.decode_count >= 5
+
+    def test_packed_size_positive(self, indexed):
+        _, gbwt, _ = indexed
+        assert gbwt.packed_size() > 0

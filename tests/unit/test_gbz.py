@@ -1,0 +1,80 @@
+"""Unit tests for the GBZ container format."""
+
+import io
+
+import pytest
+
+from repro.gbwt.gbz import GBZ, load_gbz, load_gbz_file, save_gbz, save_gbz_file
+
+
+@pytest.fixture
+def gbz(tiny_graph, tiny_gbwt):
+    return GBZ(graph=tiny_graph, gbwt=tiny_gbwt)
+
+
+class TestRoundtrip:
+    def test_stream_roundtrip(self, gbz, tiny_graph):
+        buffer = io.BytesIO()
+        save_gbz(gbz, buffer)
+        buffer.seek(0)
+        loaded = load_gbz(buffer)
+        loaded.graph.validate()
+        assert loaded.graph.node_count() == tiny_graph.node_count()
+        for name in tiny_graph.paths:
+            assert loaded.graph.path_sequence(name) == tiny_graph.path_sequence(name)
+        path = next(iter(tiny_graph.paths.values()))
+        assert loaded.gbwt.count_haplotypes(path.handles) == gbz.gbwt.count_haplotypes(
+            path.handles
+        )
+
+    def test_file_roundtrip(self, gbz, tmp_path):
+        path = str(tmp_path / "pangenome.gbz")
+        save_gbz_file(gbz, path)
+        loaded = load_gbz_file(path)
+        assert loaded.gbwt.sequence_count == gbz.gbwt.sequence_count
+
+    def test_compression_levels(self, gbz):
+        small = io.BytesIO()
+        save_gbz(gbz, small, level=9)
+        fast = io.BytesIO()
+        save_gbz(gbz, fast, level=1)
+        for buffer in (small, fast):
+            buffer.seek(0)
+            assert load_gbz(buffer).graph.node_count() == gbz.graph.node_count()
+
+    def test_compresses(self, gbz):
+        buffer = io.BytesIO()
+        save_gbz(gbz, buffer)
+        raw_size = gbz.gbwt.packed_size() + gbz.graph.total_sequence_length()
+        assert len(buffer.getvalue()) < raw_size * 2  # sanity: not exploding
+
+    def test_summary(self, gbz):
+        assert "gbwt_sequences" in gbz.summary()
+
+
+class TestCorruption:
+    def _bytes(self, gbz):
+        buffer = io.BytesIO()
+        save_gbz(gbz, buffer)
+        return bytearray(buffer.getvalue())
+
+    def test_bad_magic(self, gbz):
+        data = self._bytes(gbz)
+        data[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            load_gbz(io.BytesIO(bytes(data)))
+
+    def test_bad_version(self, gbz):
+        data = self._bytes(gbz)
+        data[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            load_gbz(io.BytesIO(bytes(data)))
+
+    def test_truncated(self, gbz):
+        data = self._bytes(gbz)
+        with pytest.raises(ValueError):
+            load_gbz(io.BytesIO(bytes(data[: len(data) // 2])))
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError, match="header"):
+            load_gbz(io.BytesIO(b"RG"))

@@ -1,0 +1,115 @@
+"""Unit tests for GFA and FASTQ interchange."""
+
+import io
+
+import pytest
+
+from repro.graph.gfa import read_gfa, read_gfa_file, write_gfa, write_gfa_file
+from repro.workloads.fastq import (
+    read_fastq,
+    read_fastq_file,
+    write_fastq,
+    write_fastq_file,
+)
+from repro.workloads.reads import Read
+
+
+class TestGfaRoundtrip:
+    def test_roundtrip(self, tiny_graph):
+        buffer = io.StringIO()
+        write_gfa(tiny_graph, buffer)
+        buffer.seek(0)
+        restored = read_gfa(buffer)
+        restored.validate()
+        assert restored.node_count() == tiny_graph.node_count()
+        assert restored.edge_count() == tiny_graph.edge_count()
+        assert set(restored.paths) == set(tiny_graph.paths)
+        for name in tiny_graph.paths:
+            assert restored.path_sequence(name) == tiny_graph.path_sequence(name)
+
+    def test_file_roundtrip(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "graph.gfa")
+        write_gfa_file(tiny_graph, path)
+        restored = read_gfa_file(path)
+        assert restored.node_count() == tiny_graph.node_count()
+
+    def test_output_shape(self, tiny_graph):
+        buffer = io.StringIO()
+        write_gfa(tiny_graph, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("H\t")
+        kinds = {line[0] for line in lines}
+        assert kinds == {"H", "S", "L", "P"}
+        s_lines = [l for l in lines if l[0] == "S"]
+        assert len(s_lines) == tiny_graph.node_count()
+
+    def test_reverse_orientation_preserved(self):
+        text = "H\tVN:Z:1.0\nS\t1\tACG\nS\t2\tTT\nL\t1\t+\t2\t-\t0M\nP\tp\t1+,2-\t*\n"
+        graph = read_gfa(io.StringIO(text))
+        assert graph.path_sequence("p") == "ACG" + "AA"
+
+    def test_unknown_lines_ignored(self):
+        text = "H\tVN:Z:1.0\nS\t1\tACG\n# comment\nW\twalk\tignored\n"
+        graph = read_gfa(io.StringIO(text))
+        assert graph.node_count() == 1
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError):
+            read_gfa(io.StringIO("S\t1\n"))
+        with pytest.raises(ValueError):
+            read_gfa(io.StringIO("S\t1\tACG\nP\tp\t1?\t*\n"))
+
+    def test_forward_references_allowed(self):
+        """Links may precede the segments they reference."""
+        text = "L\t1\t+\t2\t+\t0M\nS\t1\tAC\nS\t2\tGT\n"
+        graph = read_gfa(io.StringIO(text))
+        assert graph.edge_count() == 1
+
+
+class TestFastqRoundtrip:
+    @pytest.fixture
+    def reads(self):
+        return [
+            Read("read-1", "ACGTACGT"),
+            Read("pair-1/1", "TTTT"),
+            Read("pair-1/2", "GGGGG"),
+        ]
+
+    def test_roundtrip(self, reads):
+        buffer = io.StringIO()
+        assert write_fastq(reads, buffer) == 3
+        buffer.seek(0)
+        restored = list(read_fastq(buffer))
+        assert [(r.name, r.sequence) for r in restored] == [
+            (r.name, r.sequence) for r in reads
+        ]
+
+    def test_file_roundtrip(self, reads, tmp_path):
+        path = str(tmp_path / "reads.fastq")
+        write_fastq_file(reads, path)
+        restored = read_fastq_file(path)
+        assert len(restored) == 3
+
+    def test_quality_line_matches_length(self, reads):
+        buffer = io.StringIO()
+        write_fastq(reads, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[1] == "ACGTACGT"
+        assert lines[3] == "I" * 8
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            list(read_fastq(io.StringIO("read-1\nACGT\n+\nIIII\n")))
+
+    def test_quality_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            list(read_fastq(io.StringIO("@r\nACGT\n+\nII\n")))
+
+    def test_simulated_reads_roundtrip(self, small_reads):
+        buffer = io.StringIO()
+        write_fastq(small_reads, buffer)
+        buffer.seek(0)
+        restored = list(read_fastq(buffer))
+        assert [(r.name, r.sequence) for r in restored] == [
+            (r.name, r.sequence) for r in small_reads
+        ]

@@ -1,0 +1,55 @@
+"""Unit tests for oriented node handles."""
+
+from repro.graph.handle import (
+    flip,
+    forward,
+    is_reverse,
+    node_id,
+    pack_handle,
+    reverse,
+    reverse_complement,
+    unpack_handle,
+)
+
+
+class TestHandlePacking:
+    def test_forward(self):
+        assert forward(7) == 14
+        assert not is_reverse(forward(7))
+        assert node_id(forward(7)) == 7
+
+    def test_reverse(self):
+        assert reverse(7) == 15
+        assert is_reverse(reverse(7))
+        assert node_id(reverse(7)) == 7
+
+    def test_flip_involution(self):
+        for handle in (forward(3), reverse(3), forward(1000)):
+            assert flip(flip(handle)) == handle
+            assert flip(handle) != handle
+
+    def test_pack_unpack_roundtrip(self):
+        for nid in (1, 2, 500, 123456):
+            for rev in (False, True):
+                assert unpack_handle(pack_handle(nid, rev)) == (nid, rev)
+
+    def test_handles_distinct(self):
+        handles = {pack_handle(n, r) for n in range(1, 50) for r in (False, True)}
+        assert len(handles) == 98
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAAA") == "TTTT"
+        assert reverse_complement("GATTACA") == "TGTAATC"
+
+    def test_involution(self):
+        seq = "ACGGTTAACCGGATCG"
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    def test_empty(self):
+        assert reverse_complement("") == ""
+
+    def test_case_preserved(self):
+        assert reverse_complement("acgt") == "acgt"

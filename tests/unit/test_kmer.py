@@ -1,0 +1,82 @@
+"""Unit tests for k-mer encoding and hashing."""
+
+import pytest
+
+from repro.graph.handle import reverse_complement
+from repro.index.kmer import (
+    canonical_kmer,
+    decode_kmer,
+    encode_kmer,
+    hash_kmer,
+    invert_hash,
+    iter_kmers,
+    revcomp_encoded,
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("kmer", ["A", "ACGT", "TTTT", "GATTACA", "C" * 31])
+    def test_roundtrip(self, kmer):
+        assert decode_kmer(encode_kmer(kmer), len(kmer)) == kmer
+
+    def test_ordering(self):
+        # 2-bit encoding preserves lexicographic order for equal lengths.
+        assert encode_kmer("AAC") < encode_kmer("AAG") < encode_kmer("CAA")
+
+    def test_revcomp_encoded(self):
+        for kmer in ("ACGT", "AAAA", "GATTACA"):
+            expected = encode_kmer(reverse_complement(kmer))
+            assert revcomp_encoded(encode_kmer(kmer), len(kmer)) == expected
+
+
+class TestCanonical:
+    def test_palindrome(self):
+        encoded, is_reverse = canonical_kmer("ACGT")  # its own revcomp
+        assert not is_reverse
+        assert decode_kmer(encoded, 4) == "ACGT"
+
+    def test_picks_smaller(self):
+        # TTTT's revcomp AAAA is smaller.
+        encoded, is_reverse = canonical_kmer("TTTT")
+        assert is_reverse
+        assert decode_kmer(encoded, 4) == "AAAA"
+
+    def test_strand_agreement(self):
+        for kmer in ("GATTACA", "CCCGGG", "ATATAT"):
+            fwd = canonical_kmer(kmer)
+            rev = canonical_kmer(reverse_complement(kmer))
+            assert fwd[0] == rev[0]
+
+
+class TestHash:
+    def test_bijective(self):
+        for kmer in ("ACGT", "GGGG", "GATTACA"):
+            encoded = encode_kmer(kmer)
+            assert invert_hash(hash_kmer(encoded)) == encoded
+
+    def test_spreads_similar_kmers(self):
+        hashes = {hash_kmer(encode_kmer("AAAA")) , hash_kmer(encode_kmer("AAAC"))}
+        assert len(hashes) == 2
+
+    def test_in_64_bits(self):
+        assert 0 <= hash_kmer(encode_kmer("T" * 31)) < (1 << 64)
+
+
+class TestIterKmers:
+    def test_counts(self):
+        kmers = list(iter_kmers("ACGTACGT", 4))
+        assert len(kmers) == 5
+        assert kmers[0] == (0, "ACGT")
+        assert kmers[-1] == (4, "ACGT")
+
+    def test_skips_invalid(self):
+        kmers = list(iter_kmers("ACGNACGT", 4))
+        assert [k for _, k in kmers] == ["ACGT"]
+        assert kmers[0][0] == 4
+
+    def test_too_short(self):
+        assert list(iter_kmers("ACG", 4)) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(iter_kmers("ACGT", 0))

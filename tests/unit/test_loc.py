@@ -1,0 +1,69 @@
+"""Unit tests for LoC accounting (Table I's raw data)."""
+
+import os
+
+from repro.util.loc import count_loc, iter_python_files, loc_report
+
+
+def _write(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+class TestCountLoc:
+    def test_counts_code_lines(self, tmp_path):
+        path = tmp_path / "mod.py"
+        _write(path, "x = 1\n\n# comment\ny = 2\n")
+        assert count_loc(str(path)) == 2
+
+    def test_blank_file(self, tmp_path):
+        path = tmp_path / "empty.py"
+        _write(path, "\n\n\n")
+        assert count_loc(str(path)) == 0
+
+    def test_docstrings_count_as_code(self, tmp_path):
+        path = tmp_path / "doc.py"
+        _write(path, '"""module doc"""\n')
+        assert count_loc(str(path)) == 1
+
+
+class TestLocReport:
+    def test_walks_tree(self, tmp_path):
+        package = tmp_path / "pkg"
+        os.makedirs(package / "sub")
+        _write(package / "a.py", "a = 1\n")
+        _write(package / "sub" / "b.py", "b = 1\nc = 2\n")
+        _write(package / "notes.txt", "ignored\n")
+        summary = loc_report([str(package)])
+        assert summary.files == 2
+        assert summary.lines == 3
+
+    def test_single_file_root(self, tmp_path):
+        path = tmp_path / "one.py"
+        _write(path, "x = 1\n")
+        summary = loc_report([str(path)])
+        assert summary.files == 1
+        assert summary.lines == 1
+
+    def test_iter_sorted(self, tmp_path):
+        _write(tmp_path / "b.py", "x=1\n")
+        _write(tmp_path / "a.py", "x=1\n")
+        names = [os.path.basename(p) for p in iter_python_files(str(tmp_path))]
+        assert names == ["a.py", "b.py"]
+
+    def test_repo_proxy_much_smaller_than_parent(self):
+        """The Table I property on this very repository."""
+        import repro
+
+        root = os.path.dirname(repro.__file__)
+        proxy = loc_report(
+            [
+                os.path.join(root, "core", name)
+                for name in ("extend.py", "cluster.py", "process.py", "proxy.py")
+            ]
+        )
+        parent = loc_report(
+            [os.path.join(root, sub) for sub in ("giraffe", "graph", "gbwt", "index")]
+        )
+        assert parent.lines > 2 * proxy.lines
+        assert parent.files > proxy.files

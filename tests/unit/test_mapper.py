@@ -1,0 +1,80 @@
+"""Unit tests for the parent Giraffe-style mapper."""
+
+import pytest
+
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.giraffe.instrument import ALL_REGIONS, CRITICAL_REGIONS
+
+
+@pytest.fixture(scope="module")
+def run(small_mapper, small_reads):
+    return small_mapper.map_all(small_reads)
+
+
+class TestMapAll:
+    def test_all_reads_aligned_or_reported(self, run, small_reads):
+        assert set(run.alignments) == {r.name for r in small_reads}
+
+    def test_high_mapping_rate(self, run, small_reads):
+        """Simulated reads come from the indexed haplotypes, so nearly
+        all must map."""
+        assert run.mapped_count >= 0.9 * len(small_reads)
+
+    def test_alignments_carry_positions(self, run):
+        mapped = [a for a in run.alignments.values() if a.is_mapped]
+        for alignment in mapped[:10]:
+            assert alignment.path
+            assert alignment.score > 0
+            assert alignment.cigar
+
+    def test_critical_extensions_exported(self, run, small_reads):
+        assert set(run.critical_extensions) == {r.name for r in small_reads}
+        total = sum(len(v) for v in run.critical_extensions.values())
+        assert total > 0
+
+    def test_all_regions_instrumented(self, run):
+        totals = run.timer.totals_by_region()
+        for region in ALL_REGIONS:
+            assert region in totals, region
+
+    def test_extension_region_dominates(self, run):
+        """The paper's headline characterization: the extension region is
+        the most time-consuming instrumented region (Figure 3)."""
+        percentages = run.timer.percentages()
+        extend = percentages["process_until_threshold_c"]
+        assert extend == max(percentages.values())
+
+    def test_critical_time_below_makespan_times_threads(self, run):
+        assert 0 < run.critical_time
+
+    def test_counters(self, run):
+        assert run.counters.base_comparisons > 0
+        assert run.counters.clusters_scored > 0
+
+
+class TestCaptureRecords:
+    def test_capture_matches_reads(self, small_mapper, small_reads):
+        records = small_mapper.capture_read_records(small_reads)
+        assert len(records) == len(small_reads)
+        for read, record in zip(small_reads, records):
+            assert record.name == read.name
+            assert record.sequence == read.sequence
+
+    def test_capture_seeds_equal_seed_finder(self, small_mapper, small_reads):
+        records = small_mapper.capture_read_records(small_reads)
+        for read, record in zip(small_reads[:10], records[:10]):
+            assert record.seeds == small_mapper.seed_finder.seeds_for_read(read)
+
+
+class TestParallelDeterminism:
+    def test_threads_do_not_change_output(self, small_pangenome, small_reads):
+        serial = GiraffeMapper(
+            small_pangenome.gbz,
+            GiraffeOptions(threads=1, batch_size=8, minimizer_k=11, minimizer_w=7),
+        ).map_all(small_reads)
+        parallel = GiraffeMapper(
+            small_pangenome.gbz,
+            GiraffeOptions(threads=3, batch_size=4, minimizer_k=11, minimizer_w=7),
+        ).map_all(small_reads)
+        assert serial.critical_extensions == parallel.critical_extensions
+        assert serial.alignments == parallel.alignments

@@ -1,0 +1,101 @@
+"""Unit tests for the minimizer index."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Variant
+from repro.index.minimizer import MinimizerIndex, Seed, extract_minimizers
+from repro.workloads.synth import build_pangenome
+
+
+class TestExtractMinimizers:
+    def test_every_window_covered(self):
+        sequence = "ACGTAGGCTTAACCGGATATCGGCATTACGGACGTACGTT"
+        k, w = 5, 4
+        minimizers = extract_minimizers(sequence, k, w)
+        offsets = {m.offset for m in minimizers}
+        kmer_count = len(sequence) - k + 1
+        for window_start in range(kmer_count - w + 1):
+            window = set(range(window_start, window_start + w))
+            assert window & offsets, f"window at {window_start} uncovered"
+
+    def test_short_sequence(self):
+        assert extract_minimizers("ACG", 5, 3) == []
+
+    def test_deterministic(self):
+        seq = "ACGTAGGCTTAACCGG"
+        assert extract_minimizers(seq, 4, 3) == extract_minimizers(seq, 4, 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            extract_minimizers("ACGT", 0, 3)
+
+    def test_density_below_one(self):
+        seq = "ACGTAGGCTTAACCGGATATCGGCATTACGGA" * 4
+        minimizers = extract_minimizers(seq, 7, 10)
+        assert len(minimizers) < len(seq) - 6
+
+
+class TestMinimizerIndex:
+    @pytest.fixture(scope="class")
+    def pangenome(self):
+        return build_pangenome(seed=55, reference_length=1200, haplotype_count=4)
+
+    @pytest.fixture(scope="class")
+    def index(self, pangenome):
+        return MinimizerIndex(k=11, w=7).build(pangenome.graph)
+
+    def test_k_limit(self):
+        with pytest.raises(ValueError):
+            MinimizerIndex(k=32)
+
+    def test_index_nonempty(self, index):
+        assert len(index) > 0
+        stats = index.stats()
+        assert stats["distinct_minimizers"] == len(index)
+        assert stats["total_occurrences"] >= len(index)
+
+    def test_error_free_read_gets_seeds(self, pangenome, index):
+        name = sorted(pangenome.graph.paths)[0]
+        haplotype = pangenome.graph.path_sequence(name)
+        read = haplotype[100:180]
+        seeds = index.seeds_for_read(read)
+        assert seeds, "an exact substring must produce seeds"
+
+    def test_seeds_anchor_correct_bases(self, pangenome, index):
+        """Every seed's graph position must carry the read's base there."""
+        name = sorted(pangenome.graph.paths)[0]
+        haplotype = pangenome.graph.path_sequence(name)
+        read = haplotype[300:380]
+        for seed in index.seeds_for_read(read):
+            handle, offset = seed.position
+            assert pangenome.graph.base(handle, offset) == read[seed.read_offset]
+
+    def test_reverse_strand_read_gets_seeds(self, pangenome, index):
+        from repro.graph.handle import reverse_complement
+
+        name = sorted(pangenome.graph.paths)[0]
+        haplotype = pangenome.graph.path_sequence(name)
+        read = reverse_complement(haplotype[200:280])
+        seeds = index.seeds_for_read(read)
+        assert seeds
+        for seed in seeds:
+            handle, offset = seed.position
+            assert pangenome.graph.base(handle, offset) == read[seed.read_offset]
+
+    def test_random_read_few_seeds(self, index):
+        from repro.util.rng import SplitMix64
+        from repro.workloads.synth import random_dna
+
+        noise = random_dna(SplitMix64(99), 80)
+        # A random 80-mer almost surely shares no 11-mers with the graph.
+        assert len(index.seeds_for_read(noise)) <= 2
+
+    def test_seeds_sorted_and_unique(self, pangenome, index):
+        name = sorted(pangenome.graph.paths)[0]
+        read = pangenome.graph.path_sequence(name)[50:130]
+        seeds = index.seeds_for_read(read)
+        assert seeds == sorted(set(seeds), key=Seed.sort_key)
+
+    def test_frequent_minimizers_dropped(self, pangenome):
+        index = MinimizerIndex(k=11, w=7, max_occurrences=1).build(pangenome.graph)
+        assert index.stats()["frequent_dropped"] > 0

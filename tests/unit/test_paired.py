@@ -1,0 +1,129 @@
+"""Unit tests for paired-end mapping."""
+
+import pytest
+
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.giraffe.paired import (
+    FragmentModel,
+    PairedAlignment,
+    collect_stats,
+    split_mates,
+)
+from repro.workloads.input_sets import INPUT_SETS, materialize
+from repro.workloads.reads import FragmentSpec, ReadSimulator
+
+
+class TestSplitMates:
+    def test_basic_pairing(self):
+        names = ["p-0/1", "p-0/2", "p-1/2", "p-1/1", "single"]
+        assert split_mates(names) == [("p-0/1", "p-0/2"), ("p-1/1", "p-1/2")]
+
+    def test_orphans_dropped(self):
+        assert split_mates(["x/1", "y/2"]) == []
+
+    def test_empty(self):
+        assert split_mates([]) == []
+
+
+class TestFragmentModel:
+    def test_bounds(self):
+        model = FragmentModel(mean=300, stddev=25)
+        assert model.min_length == 200
+        assert model.max_length == 400
+        assert model.consistent(300)
+        assert model.consistent(200) and model.consistent(400)
+        assert not model.consistent(199)
+        assert not model.consistent(401)
+
+
+class TestPairedMapping:
+    @pytest.fixture(scope="class")
+    def run(self, small_pangenome):
+        sequences = {
+            name: small_pangenome.graph.path_sequence(name)
+            for name in small_pangenome.graph.paths
+        }
+        simulator = ReadSimulator(
+            sequences, read_length=80, error_rate=0.001, seed=31
+        )
+        reads = simulator.simulate_paired(
+            25, FragmentSpec(fragment_length=300, fragment_stddev=20)
+        )
+        mapper = GiraffeMapper(
+            small_pangenome.gbz,
+            GiraffeOptions(minimizer_k=11, minimizer_w=7, batch_size=16),
+        )
+        return reads, mapper.map_paired(
+            reads, fragment=FragmentModel(mean=300, stddev=20)
+        )
+
+    def test_all_pairs_present(self, run):
+        reads, result = run
+        assert len(result.pairs) == len(reads) // 2
+
+    def test_high_properly_paired_rate(self, run):
+        _, result = run
+        assert result.stats.properly_paired_rate >= 0.85
+
+    def test_fragment_lengths_near_library(self, run):
+        _, result = run
+        mean = result.stats.mean_fragment_length()
+        assert mean is not None
+        assert 220 <= mean <= 380
+
+    def test_proper_pairs_boost_mapq(self, run):
+        _, result = run
+        proper = [p for p in result.pairs.values() if p.properly_paired]
+        assert proper
+        for pair in proper[:10]:
+            assert pair.mate1.is_mapped and pair.mate2.is_mapped
+            assert pair.pair_score > 0
+
+    def test_stats_consistency(self, run):
+        _, result = run
+        stats = result.stats
+        assert stats.properly_paired <= stats.both_mapped <= stats.pairs
+        assert len(stats.fragment_lengths) == stats.properly_paired
+
+    def test_single_results_still_available(self, run):
+        reads, result = run
+        assert set(result.single.alignments) == {r.name for r in reads}
+
+
+class TestCollectStats:
+    def test_empty(self):
+        stats = collect_stats([])
+        assert stats.pairs == 0
+        assert stats.properly_paired_rate == 0.0
+        assert stats.mean_fragment_length() is None
+
+    def test_counts(self):
+        from repro.giraffe.alignment import Alignment
+
+        mapped = Alignment("a", (2, 0), (2,), 10, 60, "10=", True)
+        unmapped = Alignment.unmapped("b")
+        pairs = [
+            PairedAlignment(mapped, mapped, 300, True, 30),
+            PairedAlignment(mapped, unmapped, None, False, 10),
+        ]
+        stats = collect_stats(pairs)
+        assert stats.pairs == 2
+        assert stats.properly_paired == 1
+        assert stats.both_mapped == 1
+        assert stats.fragment_lengths == [300]
+
+
+class TestPairedEndIntegration:
+    def test_c_hprc_preset(self):
+        """The C-HPRC preset's paired workflow end to end."""
+        bundle = materialize(INPUT_SETS["C-HPRC"], scale=0.06)
+        mapper = GiraffeMapper(
+            bundle.pangenome.gbz,
+            GiraffeOptions(
+                minimizer_k=bundle.spec.minimizer_k,
+                minimizer_w=bundle.spec.minimizer_w,
+            ),
+        )
+        result = mapper.map_paired(bundle.reads)
+        assert result.stats.pairs == len(bundle.reads) // 2
+        assert result.stats.properly_paired_rate >= 0.7

@@ -1,0 +1,32 @@
+"""Unit tests for paper-scale metadata and the memory model."""
+
+from repro.sim.paper_scale import PAPER_SCALE, fits_in_memory
+
+
+class TestPaperScale:
+    def test_table3_read_counts(self):
+        assert PAPER_SCALE["A-human"].reads_millions == 1.0
+        assert PAPER_SCALE["B-yeast"].reads_millions == 24.5
+        assert PAPER_SCALE["C-HPRC"].reads_millions == 8.0
+        assert PAPER_SCALE["D-HPRC"].reads_millions == 71.1
+
+    def test_workflows(self):
+        assert PAPER_SCALE["A-human"].workflow == "single"
+        assert PAPER_SCALE["D-HPRC"].workflow == "paired"
+
+
+class TestFitsInMemory:
+    def test_d_hprc_ooms_on_chi_machines(self):
+        """Figure 5: both 256 GB servers ran out of memory on D-HPRC."""
+        assert not fits_in_memory("D-HPRC", 256)
+
+    def test_d_hprc_fits_on_local_machines(self):
+        assert fits_in_memory("D-HPRC", 768)
+
+    def test_subsampled_d_fits_everywhere(self):
+        """The tuning study's 10% subsample made D fit (paper VII-B)."""
+        assert fits_in_memory("D-HPRC", 256, subsample=0.1)
+
+    def test_small_inputs_fit_everywhere(self):
+        for name in ("A-human", "B-yeast", "C-HPRC"):
+            assert fits_in_memory(name, 256)

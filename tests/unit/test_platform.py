@@ -1,0 +1,50 @@
+"""Unit tests for the platform models (Table II)."""
+
+import pytest
+
+from repro.sim.platform import PLATFORMS, PlatformSpec
+
+
+class TestPlatformSpecs:
+    def test_all_four_machines(self):
+        assert set(PLATFORMS) == {"local-intel", "local-amd", "chi-arm", "chi-intel"}
+
+    def test_table2_thread_counts(self):
+        """The paper's tuning study thread counts: 96, 128, 64, 160."""
+        assert PLATFORMS["local-intel"].max_threads == 96
+        assert PLATFORMS["local-amd"].max_threads == 128
+        assert PLATFORMS["chi-arm"].max_threads == 64
+        assert PLATFORMS["chi-intel"].max_threads == 160
+
+    def test_table2_frequencies(self):
+        assert PLATFORMS["local-intel"].frequency_ghz == 2.4
+        assert PLATFORMS["local-amd"].frequency_ghz == 3.1
+        assert PLATFORMS["chi-arm"].frequency_ghz == 2.5
+        assert PLATFORMS["chi-intel"].frequency_ghz == 2.3
+
+    def test_table2_dram(self):
+        assert PLATFORMS["local-intel"].dram_gb == 768
+        assert PLATFORMS["chi-arm"].dram_gb == 256
+
+    def test_amd_largest_llc(self):
+        l3 = {name: spec.l3_per_socket_mb for name, spec in PLATFORMS.items()}
+        assert max(l3, key=l3.get) == "local-amd"
+
+    def test_physical_cores(self):
+        assert PLATFORMS["local-intel"].physical_cores == 48
+        assert PLATFORMS["chi-arm"].physical_cores == 64
+
+    def test_arm_no_smt(self):
+        assert PLATFORMS["chi-arm"].threads_per_core == 1
+
+
+class TestThreadSweep:
+    @pytest.mark.parametrize("name", sorted(PLATFORMS))
+    def test_sweep_covers_boundaries(self, name):
+        spec = PLATFORMS[name]
+        sweep = spec.thread_sweep()
+        assert sweep[0] == 1
+        assert spec.cores_per_socket in sweep
+        assert spec.physical_cores in sweep
+        assert sweep[-1] == spec.max_threads
+        assert sweep == sorted(set(sweep))

@@ -1,0 +1,92 @@
+"""Unit tests for the process-until-threshold driver."""
+
+import pytest
+
+from repro.core.cluster import cluster_seeds
+from repro.core.options import ExtendOptions, ProcessOptions
+from repro.core.process import process_until_threshold
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbwt import build_gbwt
+from repro.graph.builder import GraphBuilder
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import MinimizerIndex
+
+REF = "ACGTAGGCTTAACCGGATATCGGCATTACGGACGTACGTTGACCAGTAGGCATCAGG" * 2
+
+
+@pytest.fixture(scope="module")
+def world():
+    builder = GraphBuilder(REF, [], max_node_length=8)
+    builder.embed_haplotypes({"ref": []})
+    gbwt, _ = build_gbwt(builder.graph)
+    cache = CachedGBWT(gbwt, 64)
+    index = MinimizerIndex(k=9, w=5).build(builder.graph)
+    distance = DistanceIndex(builder.graph)
+    return builder.graph, cache, index, distance
+
+
+class TestProcessUntilThreshold:
+    def _clusters(self, world, read):
+        graph, cache, index, distance = world
+        seeds = index.seeds_for_read(read)
+        return cluster_seeds(distance, seeds, len(read), index.k)
+
+    def test_empty_clusters(self, world):
+        graph, cache, _, _ = world
+        assert process_until_threshold(graph, cache, "ACGT", []) == []
+
+    def test_finds_full_length_extension(self, world):
+        graph, cache, index, distance = world
+        read = REF[10:60]
+        clusters = self._clusters(world, read)
+        extensions = process_until_threshold(graph, cache, read, clusters)
+        assert extensions
+        best = extensions[0]
+        assert best.read_interval == (0, len(read))
+        assert best.score == len(read) + 10
+
+    def test_extensions_sorted_and_unique(self, world):
+        graph, cache, index, distance = world
+        read = REF[20:80]
+        extensions = process_until_threshold(
+            graph, cache, read, self._clusters(world, read)
+        )
+        scores = [e.score for e in extensions]
+        assert scores == sorted(scores, reverse=True)
+        keys = {(e.path, e.read_interval, e.start_position) for e in extensions}
+        assert len(keys) == len(extensions)
+
+    def test_max_clusters_cap(self, world):
+        graph, cache, index, distance = world
+        read = REF[10:60]
+        clusters = self._clusters(world, read)
+        few = process_until_threshold(
+            graph, cache, read, clusters,
+            process_options=ProcessOptions(max_clusters=0),
+        )
+        assert few == []
+
+    def test_score_threshold_prunes(self, world):
+        graph, cache, index, distance = world
+        read = REF[10:60]
+        clusters = self._clusters(world, read)
+        if len(clusters) > 1:
+            strict = process_until_threshold(
+                graph, cache, read, clusters,
+                process_options=ProcessOptions(score_threshold_factor=1.0),
+            )
+            loose = process_until_threshold(
+                graph, cache, read, clusters,
+                process_options=ProcessOptions(score_threshold_factor=0.0),
+            )
+            assert len(strict) <= len(loose)
+
+    def test_seeds_per_cluster_cap(self, world):
+        graph, cache, index, distance = world
+        read = REF[10:60]
+        clusters = self._clusters(world, read)
+        capped = process_until_threshold(
+            graph, cache, read, clusters,
+            extend_options=ExtendOptions(max_seeds_per_cluster=1),
+        )
+        assert capped  # still finds something from the first seed

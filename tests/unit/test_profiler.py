@@ -1,0 +1,65 @@
+"""Unit tests for the workload profiler."""
+
+import pytest
+
+from repro.sim.profiler import profile_workload
+
+
+@pytest.fixture(scope="module")
+def profile(small_pangenome, small_mapper, small_reads):
+    records = small_mapper.capture_read_records(small_reads)
+    return profile_workload(
+        small_pangenome.gbz,
+        records,
+        input_set="test-small",
+        seed_span=11,
+        distance_index=small_mapper.distance_index,
+    )
+
+
+class TestProfileWorkload:
+    def test_one_cost_per_read(self, profile, small_reads):
+        assert profile.read_count == len(small_reads)
+
+    def test_costs_positive(self, profile):
+        total = sum(c.base_comparisons for c in profile.read_costs)
+        assert total > 0
+
+    def test_record_accesses_at_least_misses(self, profile):
+        for cost in profile.read_costs:
+            assert cost.record_accesses >= cost.record_misses >= 0
+
+    def test_distinct_records_positive(self, profile):
+        assert profile.distinct_records > 0
+        assert profile.total_record_accesses >= profile.distinct_records
+
+    def test_misses_sum_to_distinct(self, profile):
+        """With one never-evicting cache, total misses == distinct records."""
+        assert sum(c.record_misses for c in profile.read_costs) == (
+            profile.distinct_records
+        )
+
+    def test_mean_cost(self, profile):
+        mean = profile.mean_cost()
+        assert mean.base_comparisons > 0
+        assert mean.record_accesses >= mean.record_misses
+
+    def test_marginal_distinct(self, profile):
+        expected = profile.distinct_records / profile.read_count
+        assert profile.marginal_distinct_per_read == pytest.approx(expected)
+
+    def test_metadata(self, profile, small_pangenome):
+        assert profile.packed_gbwt_bytes == small_pangenome.gbz.gbwt.packed_size()
+        assert profile.graph_nodes == small_pangenome.graph.node_count()
+
+    def test_deterministic(self, small_pangenome, small_mapper, small_reads):
+        records = small_mapper.capture_read_records(small_reads)
+        a = profile_workload(
+            small_pangenome.gbz, records, seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        b = profile_workload(
+            small_pangenome.gbz, records, seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        assert a.read_costs == b.read_costs

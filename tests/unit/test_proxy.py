@@ -1,0 +1,118 @@
+"""Unit tests for the MiniGiraffe proxy driver."""
+
+import pytest
+
+from repro.core.io import save_seed_file_path
+from repro.core.options import ProxyOptions
+from repro.core.proxy import MiniGiraffe
+from repro.gbwt.gbz import save_gbz_file
+
+
+@pytest.fixture(scope="module")
+def captured(small_mapper, small_reads):
+    return small_mapper.capture_read_records(small_reads)
+
+
+@pytest.fixture(scope="module")
+def proxy(small_pangenome, small_mapper):
+    return MiniGiraffe(
+        small_pangenome.gbz,
+        ProxyOptions(threads=1, batch_size=8),
+        seed_span=11,
+        distance_index=small_mapper.distance_index,
+    )
+
+
+class TestMapReads:
+    def test_all_reads_have_entries(self, proxy, captured):
+        result = proxy.map_reads(captured)
+        assert set(result.extensions) == {r.name for r in captured}
+
+    def test_most_reads_map(self, proxy, captured):
+        result = proxy.map_reads(captured)
+        assert result.mapped_reads >= 0.9 * len(captured)
+
+    def test_makespan_positive(self, proxy, captured):
+        assert proxy.map_reads(captured).makespan > 0
+
+    def test_counters_populated(self, proxy, captured):
+        result = proxy.map_reads(captured)
+        assert result.counters.base_comparisons > 0
+        assert result.counters.seeds_extended > 0
+
+    def test_cache_stats_aggregated(self, proxy, captured):
+        result = proxy.map_reads(captured)
+        assert result.cache_stats["misses"] > 0
+        assert 0 <= result.cache_stats["hit_rate"] <= 1
+
+    def test_traces_cover_all_reads(self, proxy, captured):
+        result = proxy.map_reads(captured)
+        covered = sum(t.item_count for t in result.traces)
+        assert covered == len(captured)
+
+    def test_instrumentation(self, small_pangenome, small_mapper, captured):
+        proxy = MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=8, instrument=True),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        result = proxy.map_reads(captured)
+        totals = result.timer.totals_by_region()
+        assert "cluster_seeds" in totals
+        assert "process_until_threshold_c" in totals
+
+    def test_no_instrumentation_by_default(self, proxy, captured):
+        assert proxy.map_reads(captured).timer is None
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("scheduler", ["dynamic", "static", "work_stealing"])
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_output_independent_of_schedule(
+        self, small_pangenome, small_mapper, captured, scheduler, threads
+    ):
+        proxy = MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=threads, batch_size=4, scheduler=scheduler),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        reference = MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=64),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        assert proxy.map_reads(captured).extensions == reference.map_reads(
+            captured
+        ).extensions
+
+
+class TestFileWorkflow:
+    def test_from_files_and_seed_file(
+        self, small_pangenome, captured, tmp_path, small_mapper
+    ):
+        gbz_path = str(tmp_path / "ref.gbz")
+        seeds_path = str(tmp_path / "sequence-seeds.bin")
+        save_gbz_file(small_pangenome.gbz, gbz_path)
+        save_seed_file_path(captured, seeds_path)
+        proxy = MiniGiraffe.from_files(gbz_path, seed_span=11)
+        result = proxy.map_seed_file(seeds_path)
+        in_memory = MiniGiraffe(
+            small_pangenome.gbz, seed_span=11,
+            distance_index=small_mapper.distance_index,
+        ).map_reads(captured)
+        assert result.extensions == in_memory.extensions
+
+
+class TestOptionsValidation:
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyOptions(threads=0)
+        with pytest.raises(ValueError):
+            ProxyOptions(batch_size=0)
+        with pytest.raises(ValueError):
+            ProxyOptions(cache_capacity=0)
+        with pytest.raises(ValueError):
+            ProxyOptions(scheduler="fifo")

@@ -1,0 +1,94 @@
+"""Unit tests for GBWT node records."""
+
+import pytest
+
+from repro.gbwt.records import (
+    DecompressedRecord,
+    SearchState,
+    decode_record,
+    encode_record,
+)
+
+
+@pytest.fixture
+def record():
+    # Node 10: edges to 12 and 14; body = 12,12,14,12,14,14 (as runs).
+    return DecompressedRecord(
+        node=10,
+        edges=[12, 14],
+        offsets=[3, 7],
+        runs=[(0, 2), (1, 1), (0, 1), (1, 2)],
+    )
+
+
+class TestSearchState:
+    def test_count(self):
+        assert SearchState(4, 2, 7).count == 5
+
+    def test_empty(self):
+        assert SearchState(4, 3, 3).empty
+        assert not SearchState(4, 3, 4).empty
+        assert SearchState.empty_state().count == 0
+
+    def test_negative_range_clamped(self):
+        assert SearchState(4, 5, 3).count == 0
+
+
+class TestDecompressedRecord:
+    def test_visit_count(self, record):
+        assert record.visit_count == 6
+
+    def test_outdegree(self, record):
+        assert record.outdegree == 2
+
+    def test_edge_index(self, record):
+        assert record.edge_index(12) == 0
+        assert record.edge_index(14) == 1
+        assert record.edge_index(13) is None
+
+    def test_rank(self, record):
+        # body expanded: [12, 12, 14, 12, 14, 14]
+        assert record.rank(0, 0) == 0
+        assert record.rank(0, 2) == 2
+        assert record.rank(0, 3) == 2
+        assert record.rank(0, 6) == 3
+        assert record.rank(1, 3) == 1
+        assert record.rank(1, 6) == 3
+
+    def test_successor_at(self, record):
+        expanded = [12, 12, 14, 12, 14, 14]
+        for i, succ in enumerate(expanded):
+            assert record.successor_at(i) == succ
+
+    def test_successor_out_of_range(self, record):
+        with pytest.raises(IndexError):
+            record.successor_at(6)
+
+    def test_lf(self, record):
+        # Visit 3 takes edge 12; it is the third 12-visit (rank 2).
+        assert record.lf(3, 12) == 3 + 2
+        # Visit 3 does not continue to 14.
+        assert record.lf(3, 14) is None
+        assert record.lf(0, 13) is None
+
+    def test_successor_counts(self, record):
+        assert record.successor_counts() == [(12, 3), (14, 3)]
+
+
+class TestEncoding:
+    def test_roundtrip(self, record):
+        restored = decode_record(encode_record(record))
+        assert restored.node == record.node
+        assert restored.edges == record.edges
+        assert restored.offsets == record.offsets
+        assert restored.runs == record.runs
+
+    def test_empty_record_roundtrip(self):
+        empty = DecompressedRecord(0, [], [], [])
+        restored = decode_record(encode_record(empty))
+        assert restored.visit_count == 0
+        assert restored.edges == []
+
+    def test_encoding_compact(self, record):
+        # 2 edges + 4 runs of small ints should pack into a few bytes.
+        assert len(encode_record(record)) < 20

@@ -1,0 +1,117 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.util.rng import SplitMix64, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "reads") == derive_seed(42, "reads")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "reads") != derive_seed(42, "variants")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_multiple_labels(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(7, "anything") < (1 << 64)
+
+
+class TestSplitMix64:
+    def test_same_seed_same_stream(self):
+        a = SplitMix64(99)
+        b = SplitMix64(99)
+        assert [a.next_u64() for _ in range(20)] == [
+            b.next_u64() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert SplitMix64(1).next_u64() != SplitMix64(2).next_u64()
+
+    def test_random_in_unit_interval(self):
+        rng = SplitMix64(5)
+        for _ in range(1000):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_randint_bounds(self):
+        rng = SplitMix64(5)
+        for _ in range(1000):
+            assert 3 <= rng.randint(3, 9) <= 9
+
+    def test_randint_single_value(self):
+        rng = SplitMix64(5)
+        assert rng.randint(4, 4) == 4
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).randint(5, 4)
+
+    def test_randint_covers_range(self):
+        rng = SplitMix64(11)
+        seen = {rng.randint(0, 3) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_choice(self):
+        rng = SplitMix64(1)
+        items = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(items) in items
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            SplitMix64(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(8)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely for 50 items
+
+    def test_sample_indices_distinct(self):
+        rng = SplitMix64(3)
+        sample = rng.sample_indices(1000, 50)
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+        assert all(0 <= i < 1000 for i in sample)
+
+    def test_sample_indices_full_population(self):
+        rng = SplitMix64(3)
+        sample = rng.sample_indices(10, 10)
+        assert sorted(sample) == list(range(10))
+
+    def test_sample_indices_too_many_raises(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).sample_indices(5, 6)
+
+    def test_geometric_validity(self):
+        rng = SplitMix64(4)
+        values = [rng.geometric(0.5) for _ in range(500)]
+        assert all(v >= 0 for v in values)
+        # Mean of Geometric(0.5) failures-before-success is 1.
+        assert 0.6 < sum(values) / len(values) < 1.5
+
+    def test_geometric_p_one(self):
+        assert SplitMix64(1).geometric(1.0) == 0
+
+    def test_geometric_invalid_p(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).geometric(0.0)
+        with pytest.raises(ValueError):
+            SplitMix64(1).geometric(1.5)
+
+    def test_fork_independent(self):
+        rng = SplitMix64(10)
+        child_a = rng.fork("a")
+        child_b = rng.fork("b")
+        assert child_a.next_u64() != child_b.next_u64()
+
+    def test_fork_deterministic(self):
+        assert SplitMix64(10).fork("x").next_u64() == SplitMix64(10).fork("x").next_u64()

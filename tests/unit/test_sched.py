@@ -1,0 +1,127 @@
+"""Unit tests for the three proxy schedulers."""
+
+import threading
+
+import pytest
+
+from repro.sched import (
+    DynamicScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+
+ALL = [DynamicScheduler, StaticScheduler, WorkStealingScheduler]
+
+
+def run_and_collect(scheduler, item_count, threads, batch_size):
+    """Run a scheduler over a counter workload; returns per-item counts."""
+    counts = [0] * item_count
+    lock = threading.Lock()
+
+    def process(first, last, thread_id):
+        with lock:
+            for i in range(first, last):
+                counts[i] += 1
+
+    traces = scheduler.run(item_count, process, threads, batch_size)
+    return counts, traces
+
+
+class TestAllSchedulers:
+    @pytest.mark.parametrize("cls", ALL)
+    @pytest.mark.parametrize("threads", [1, 2, 5])
+    @pytest.mark.parametrize("items,batch", [(0, 4), (1, 4), (37, 4), (64, 64), (10, 100)])
+    def test_each_item_exactly_once(self, cls, threads, items, batch):
+        counts, _ = run_and_collect(cls(), items, threads, batch)
+        assert counts == [1] * items
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_traces_cover_items(self, cls):
+        counts, traces = run_and_collect(cls(), 50, 3, 7)
+        assert sum(t.item_count for t in traces) == 50
+        covered = set()
+        for trace in traces:
+            span = set(range(trace.first_item, trace.first_item + trace.item_count))
+            assert not span & covered  # batches never overlap
+            covered |= span
+        assert covered == set(range(50))
+
+    @pytest.mark.parametrize("cls", [DynamicScheduler, StaticScheduler])
+    def test_shared_range_batch_boundaries(self, cls):
+        """Dynamic and static carve one shared range at batch multiples
+        (work stealing pre-splits per-thread regions instead)."""
+        _, traces = run_and_collect(cls(), 50, 3, 7)
+        assert sorted(t.first_item for t in traces) == list(range(0, 50, 7))
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_batch_sizes_respected(self, cls):
+        _, traces = run_and_collect(cls(), 50, 2, 8)
+        assert all(t.item_count <= 8 for t in traces)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_invalid_args(self, cls):
+        with pytest.raises(ValueError):
+            cls().run(10, lambda f, l, t: None, 0, 4)
+        with pytest.raises(ValueError):
+            cls().run(10, lambda f, l, t: None, 2, 0)
+        with pytest.raises(ValueError):
+            cls().run(-1, lambda f, l, t: None, 2, 4)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_reusable(self, cls):
+        scheduler = cls()
+        for _ in range(2):
+            counts, _ = run_and_collect(scheduler, 20, 2, 4)
+            assert counts == [1] * 20
+
+
+class TestStatic:
+    def test_round_robin_assignment(self):
+        assignments = {}
+
+        def process(first, last, thread_id):
+            assignments[first // 4] = thread_id
+
+        StaticScheduler().run(20, process, 2, 4)
+        assert assignments == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+
+
+class TestWorkStealing:
+    def test_steals_on_imbalance(self):
+        """A slow thread's region gets raided by the fast one."""
+        import time
+
+        scheduler = WorkStealingScheduler()
+        thread_for_item = {}
+        lock = threading.Lock()
+
+        def process(first, last, thread_id):
+            with lock:
+                for i in range(first, last):
+                    thread_for_item[i] = thread_id
+            if thread_id == 0 and first < 2:
+                time.sleep(0.08)  # thread 0 stalls on its first batch
+
+        scheduler.run(40, process, 2, 2)
+        assert len(thread_for_item) == 40
+        # Thread 1 must have stolen items from thread 0's region [0, 20).
+        stolen = [i for i in range(20) if thread_for_item[i] == 1]
+        assert stolen
+        assert scheduler.steals > 0
+
+    def test_no_steals_single_thread(self):
+        scheduler = WorkStealingScheduler()
+        run_and_collect(scheduler, 20, 1, 4)
+        assert scheduler.steals == 0
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("dynamic"), DynamicScheduler)
+        assert isinstance(make_scheduler("static"), StaticScheduler)
+        assert isinstance(make_scheduler("work_stealing"), WorkStealingScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lifo")

@@ -1,0 +1,36 @@
+"""Unit tests for extension scoring."""
+
+import pytest
+
+from repro.core.scoring import ScoringParams, extension_score
+
+
+class TestScoringParams:
+    def test_defaults_match_vg(self):
+        params = ScoringParams()
+        assert (params.match, params.mismatch, params.full_length_bonus) == (1, 4, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringParams(match=-1)
+
+
+class TestExtensionScore:
+    def test_pure_matches(self):
+        assert extension_score(ScoringParams(), 10, 0, False, False) == 10
+
+    def test_mismatch_penalty(self):
+        assert extension_score(ScoringParams(), 10, 2, False, False) == 2
+
+    def test_full_length_bonuses(self):
+        params = ScoringParams()
+        assert extension_score(params, 10, 0, True, False) == 15
+        assert extension_score(params, 10, 0, False, True) == 15
+        assert extension_score(params, 10, 0, True, True) == 20
+
+    def test_can_be_negative(self):
+        assert extension_score(ScoringParams(), 1, 2, False, False) == -7
+
+    def test_custom_params(self):
+        params = ScoringParams(match=2, mismatch=3, full_length_bonus=1)
+        assert extension_score(params, 5, 1, True, True) == 2 * 5 - 3 + 2

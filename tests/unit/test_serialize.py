@@ -1,0 +1,73 @@
+"""Unit tests for graph serialization primitives."""
+
+import io
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.serialize import (
+    graph_from_bytes,
+    graph_to_bytes,
+    load_graph,
+    pack_dna,
+    read_varint,
+    unpack_dna,
+    write_varint,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 16384, 2**32, 2**63 - 1]
+    )
+    def test_roundtrip(self, value):
+        buffer = io.BytesIO()
+        write_varint(buffer, value)
+        buffer.seek(0)
+        assert read_varint(buffer) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(io.BytesIO(), -1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(EOFError):
+            read_varint(io.BytesIO(b"\x80"))
+
+    def test_small_values_one_byte(self):
+        buffer = io.BytesIO()
+        write_varint(buffer, 100)
+        assert len(buffer.getvalue()) == 1
+
+
+class TestPackDna:
+    @pytest.mark.parametrize("seq", ["", "A", "ACGT", "ACGTACG", "T" * 33])
+    def test_roundtrip(self, seq):
+        assert unpack_dna(pack_dna(seq), len(seq)) == seq
+
+    def test_density(self):
+        assert len(pack_dna("ACGTACGT")) == 2  # 4 bases per byte
+
+
+class TestGraphRoundtrip:
+    def test_full_roundtrip(self):
+        ref = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGC"
+        builder = GraphBuilder(ref, [Variant(5, "C", "T"), Variant(13, "GC", "")])
+        builder.embed_haplotypes({"h0": [], "h1": [0, 1]})
+        original = builder.graph
+        restored = graph_from_bytes(graph_to_bytes(original))
+        restored.validate()
+        assert restored.node_count() == original.node_count()
+        assert restored.edge_count() == original.edge_count()
+        assert set(restored.paths) == set(original.paths)
+        for name in original.paths:
+            assert restored.path_sequence(name) == original.path_sequence(name)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_graph(io.BytesIO(b"XXXX" + b"\x00" * 10))
+
+    def test_deterministic_bytes(self):
+        builder = GraphBuilder("ACGTACGTAC", [Variant(3, "T", "G")])
+        builder.embed_haplotypes({"h": [0]})
+        assert graph_to_bytes(builder.graph) == graph_to_bytes(builder.graph)

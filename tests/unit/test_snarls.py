@@ -1,0 +1,101 @@
+"""Unit tests for superbubble decomposition."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Variant
+from repro.graph.snarls import SnarlStatistics, decompose, find_superbubble
+from repro.graph.variation_graph import VariationGraph
+from repro.graph.handle import forward
+
+REF = "ACGTACGTAGCTAGCTAGGATCGATCGTTAGCCATGGTACCGATTTGACCAGTAGG"
+
+
+class TestFindSuperbubble:
+    def test_simple_diamond(self):
+        graph = VariationGraph()
+        s = graph.add_node("AA")
+        a = graph.add_node("C")
+        b = graph.add_node("G")
+        t = graph.add_node("TT")
+        graph.add_edge(forward(s), forward(a))
+        graph.add_edge(forward(s), forward(b))
+        graph.add_edge(forward(a), forward(t))
+        graph.add_edge(forward(b), forward(t))
+        bubble = find_superbubble(graph, s)
+        assert bubble is not None
+        assert bubble.source == s and bubble.sink == t
+        assert bubble.interior == {a, b}
+        assert bubble.size == 2
+
+    def test_linear_node_is_not_a_source(self):
+        builder = GraphBuilder(REF, [], max_node_length=8)
+        for nid in builder.graph.node_ids():
+            assert find_superbubble(builder.graph, nid) is None
+
+    def test_tip_inside_rejected(self):
+        graph = VariationGraph()
+        s = graph.add_node("AA")
+        a = graph.add_node("C")
+        dead = graph.add_node("G")
+        t = graph.add_node("TT")
+        graph.add_edge(forward(s), forward(a))
+        graph.add_edge(forward(s), forward(dead))  # dead end
+        graph.add_edge(forward(a), forward(t))
+        assert find_superbubble(graph, s) is None
+
+
+class TestDecompose:
+    def test_one_bubble_per_snp(self):
+        variants = [Variant(5, REF[5], "T" if REF[5] != "T" else "A"),
+                    Variant(20, REF[20], "G" if REF[20] != "G" else "C"),
+                    Variant(40, REF[40], "A" if REF[40] != "A" else "T")]
+        builder = GraphBuilder(REF, variants, max_node_length=8)
+        bubbles = decompose(builder.graph)
+        assert len(bubbles) == 3
+        # SNP bubbles have a two-node interior (ref base + alt base).
+        assert all(b.size == 2 for b in bubbles)
+
+    def test_deletion_bubble(self):
+        builder = GraphBuilder(REF, [Variant(10, REF[10:14], "")],
+                               max_node_length=30)
+        bubbles = decompose(builder.graph)
+        assert len(bubbles) == 1
+        # Deletion interior: only the skippable reference segment.
+        assert bubbles[0].size == 1
+
+    def test_insertion_bubble(self):
+        builder = GraphBuilder(REF, [Variant(10, "", "GGG")],
+                               max_node_length=30)
+        bubbles = decompose(builder.graph)
+        assert len(bubbles) == 1
+
+    def test_bubbles_in_topological_order(self):
+        variants = [Variant(5, REF[5], "T" if REF[5] != "T" else "A"),
+                    Variant(30, REF[30], "G" if REF[30] != "G" else "C")]
+        builder = GraphBuilder(REF, variants, max_node_length=8)
+        bubbles = decompose(builder.graph)
+        order = builder.graph.topological_order()
+        positions = [order.index(b.source) for b in bubbles]
+        assert positions == sorted(positions)
+
+    def test_synthetic_pangenome_bubble_count(self):
+        """On isolated-variant synthetic graphs, one bubble per variant."""
+        from repro.workloads.synth import build_pangenome
+
+        pangenome = build_pangenome(
+            seed=77, reference_length=1500, haplotype_count=3,
+            snp_rate=0.01, indel_rate=0.002, sv_rate=0.0,
+        )
+        bubbles = decompose(pangenome.graph)
+        assert len(bubbles) == len(pangenome.variants)
+
+
+class TestStatistics:
+    def test_stats_shape(self):
+        variants = [Variant(5, REF[5], "T" if REF[5] != "T" else "A")]
+        builder = GraphBuilder(REF, variants, max_node_length=8)
+        stats = SnarlStatistics.from_graph(builder.graph)
+        assert stats.bubble_count == 1
+        assert stats.total_interior_nodes == 2
+        assert stats.max_interior == 2
+        assert stats.backbone_nodes == builder.graph.node_count() - 2

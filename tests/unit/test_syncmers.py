@@ -1,0 +1,129 @@
+"""Unit tests for closed-syncmer seeding."""
+
+import pytest
+
+from repro.graph.handle import reverse_complement
+from repro.index.kmer import canonical_kmer, hash_kmer
+from repro.index.syncmers import SyncmerIndex, extract_syncmers
+from repro.util.rng import SplitMix64
+from repro.workloads.synth import build_pangenome, random_dna
+
+
+class TestExtractSyncmers:
+    def test_selection_is_context_free(self):
+        """A k-mer's syncmer status must not depend on its neighbours —
+        the property that distinguishes syncmers from minimizers."""
+        sequence = random_dna(SplitMix64(3), 200)
+        k, s = 11, 6
+        selected = {
+            sequence[m.offset : m.offset + k]
+            for m in extract_syncmers(sequence, k, s)
+        }
+        all_kmers = {
+            sequence[i : i + k] for i in range(len(sequence) - k + 1)
+        }
+        rejected = all_kmers - selected
+        # Embed kmers in a different context; status must be unchanged.
+        for kmer in list(selected)[:5]:
+            embedded = "A" * 20 + kmer + "T" * 20
+            hits = {
+                embedded[m.offset : m.offset + k]
+                for m in extract_syncmers(embedded, k, s)
+            }
+            assert kmer in hits
+        for kmer in list(rejected)[:5]:
+            embedded = "A" * 20 + kmer + "T" * 20
+            hits = {
+                m.offset for m in extract_syncmers(embedded, k, s)
+            }
+            assert 20 not in hits
+
+    def test_boundary_definition(self):
+        """Every selected k-mer has its minimal s-mer at a boundary."""
+        sequence = random_dna(SplitMix64(4), 300)
+        k, s = 11, 6
+        for m in extract_syncmers(sequence, k, s):
+            kmer = sequence[m.offset : m.offset + k]
+            hashes = [
+                hash_kmer(canonical_kmer(kmer[i : i + s])[0])
+                for i in range(k - s + 1)
+            ]
+            minimum = min(hashes)
+            assert hashes[0] == minimum or hashes[-1] == minimum
+
+    def test_density_near_expectation(self):
+        """Closed syncmer density is ~2/(k-s+1)."""
+        sequence = random_dna(SplitMix64(5), 5000)
+        k, s = 13, 8
+        count = len(extract_syncmers(sequence, k, s))
+        total = len(sequence) - k + 1
+        expected = 2.0 / (k - s + 1)
+        assert 0.6 * expected <= count / total <= 1.5 * expected
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            extract_syncmers("ACGTACGT", 5, 5)
+        with pytest.raises(ValueError):
+            extract_syncmers("ACGTACGT", 5, 0)
+
+    def test_short_sequence(self):
+        assert extract_syncmers("ACG", 5, 3) == []
+
+
+class TestSyncmerIndex:
+    @pytest.fixture(scope="class")
+    def pangenome(self):
+        return build_pangenome(seed=66, reference_length=1200, haplotype_count=4)
+
+    @pytest.fixture(scope="class")
+    def index(self, pangenome):
+        return SyncmerIndex(k=11, s=7).build(pangenome.graph)
+
+    def test_stats_scheme(self, index):
+        stats = index.stats()
+        assert stats["scheme"] == "closed-syncmer"
+        assert stats["s"] == 7
+
+    def test_error_free_read_gets_seeds(self, pangenome, index):
+        name = sorted(pangenome.graph.paths)[0]
+        read = pangenome.graph.path_sequence(name)[100:180]
+        assert index.seeds_for_read(read)
+
+    def test_seeds_anchor_correct_bases(self, pangenome, index):
+        name = sorted(pangenome.graph.paths)[0]
+        read = pangenome.graph.path_sequence(name)[250:330]
+        for seed in index.seeds_for_read(read):
+            handle, offset = seed.position
+            assert pangenome.graph.base(handle, offset) == read[seed.read_offset]
+
+    def test_reverse_strand(self, pangenome, index):
+        name = sorted(pangenome.graph.paths)[0]
+        read = reverse_complement(pangenome.graph.path_sequence(name)[200:280])
+        seeds = index.seeds_for_read(read)
+        assert seeds
+        for seed in seeds:
+            handle, offset = seed.position
+            assert pangenome.graph.base(handle, offset) == read[seed.read_offset]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SyncmerIndex(k=11, s=11)
+
+    def test_usable_by_full_pipeline(self, pangenome, index):
+        """A SeedFinder built over a syncmer index maps reads end-to-end."""
+        from repro.giraffe import GiraffeMapper, GiraffeOptions
+        from repro.giraffe.seeding import SeedFinder
+        from repro.workloads.reads import ReadSimulator
+
+        mapper = GiraffeMapper(
+            pangenome.gbz, GiraffeOptions(minimizer_k=11, minimizer_w=7)
+        )
+        mapper.seed_finder = SeedFinder(pangenome.graph, index=index)
+        sequences = {
+            n: pangenome.graph.path_sequence(n) for n in pangenome.graph.paths
+        }
+        reads = ReadSimulator(
+            sequences, read_length=80, error_rate=0.002, seed=12
+        ).simulate_single(15)
+        run = mapper.map_all(reads)
+        assert run.mapped_count >= 0.8 * len(reads)

@@ -1,0 +1,69 @@
+"""Unit tests for batch-trace utilization analysis."""
+
+import pytest
+
+from repro.analysis.threads import analyze_traces
+from repro.sched.base import BatchTrace
+
+
+def trace(thread, first, count, start, end):
+    return BatchTrace(thread, first, count, start, end)
+
+
+class TestAnalyzeTraces:
+    def test_empty(self):
+        report = analyze_traces([])
+        assert report.thread_count == 0
+        assert report.imbalance == 1.0
+        assert report.mean_utilization == 0.0
+
+    def test_single_thread(self):
+        report = analyze_traces([trace(0, 0, 4, 0.0, 1.0), trace(0, 4, 4, 1.0, 2.0)])
+        assert report.thread_count == 1
+        assert report.total_busy == pytest.approx(2.0)
+        assert report.span == pytest.approx(2.0)
+        assert report.mean_utilization == pytest.approx(1.0)
+        assert report.threads[0].batches == 2
+        assert report.threads[0].items == 8
+
+    def test_balanced_two_threads(self):
+        report = analyze_traces(
+            [trace(0, 0, 4, 0.0, 1.0), trace(1, 4, 4, 0.0, 1.0)]
+        )
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.mean_utilization == pytest.approx(1.0)
+        assert report.late_start == pytest.approx(0.0)
+
+    def test_imbalanced(self):
+        report = analyze_traces(
+            [trace(0, 0, 4, 0.0, 3.0), trace(1, 4, 4, 0.0, 1.0)]
+        )
+        assert report.imbalance == pytest.approx(1.5)
+        assert report.mean_utilization < 1.0
+
+    def test_late_start(self):
+        report = analyze_traces(
+            [trace(0, 0, 4, 0.5, 1.0), trace(1, 4, 4, 0.0, 1.0)]
+        )
+        assert report.late_start == pytest.approx(0.5)
+
+    def test_rows(self):
+        report = analyze_traces([trace(2, 0, 4, 0.0, 1.0)])
+        assert report.rows() == [[2, 1.0, 1, 4]]
+
+    def test_from_real_proxy_run(self, small_pangenome, small_mapper, small_reads):
+        from repro.core import MiniGiraffe, ProxyOptions
+
+        records = small_mapper.capture_read_records(small_reads)
+        proxy = MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=3, batch_size=4),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        result = proxy.map_reads(records)
+        report = analyze_traces(result.traces)
+        assert report.thread_count >= 1
+        assert sum(t.items for t in report.threads) == len(records)
+        assert report.span > 0
+        assert report.imbalance >= 1.0

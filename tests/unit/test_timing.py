@@ -1,0 +1,107 @@
+"""Unit tests for the region timer and stopwatch."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.timing import RegionTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.009
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.004
+
+    def test_restartable(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.003)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.003)
+        assert watch.elapsed > first
+
+
+class TestRegionTimer:
+    def test_records_durations(self):
+        timer = RegionTimer()
+        with timer.region("work"):
+            time.sleep(0.005)
+        totals = timer.totals_by_region()
+        assert totals["work"] >= 0.004
+
+    def test_multiple_entries_accumulate(self):
+        timer = RegionTimer()
+        for _ in range(3):
+            with timer.region("loop"):
+                time.sleep(0.002)
+        samples = timer.samples()
+        assert len(samples) == 3
+        assert timer.totals_by_region()["loop"] >= 0.005
+
+    def test_disabled_records_nothing(self):
+        timer = RegionTimer(enabled=False)
+        with timer.region("ignored"):
+            pass
+        assert timer.samples() == []
+
+    def test_percentages_sum_to_100(self):
+        timer = RegionTimer()
+        with timer.region("a"):
+            time.sleep(0.004)
+        with timer.region("b"):
+            time.sleep(0.002)
+        percentages = timer.percentages()
+        assert abs(sum(percentages.values()) - 100.0) < 1e-9
+        assert percentages["a"] > percentages["b"]
+
+    def test_threads_tracked_separately(self):
+        timer = RegionTimer()
+
+        def worker():
+            with timer.region("shared"):
+                time.sleep(0.003)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with timer.region("shared"):
+            pass
+        by_thread = timer.totals_by_thread()
+        thread_ids = {thread for thread, _ in by_thread}
+        assert len(thread_ids) == 4  # 3 workers + main
+
+    def test_samples_sorted_by_start(self):
+        timer = RegionTimer()
+        with timer.region("first"):
+            pass
+        with timer.region("second"):
+            pass
+        samples = timer.samples()
+        assert [s.region for s in samples] == ["first", "second"]
+        assert samples[0].start <= samples[1].start
+
+    def test_clear(self):
+        timer = RegionTimer()
+        with timer.region("x"):
+            pass
+        timer.clear()
+        assert timer.samples() == []
+
+    def test_empty_percentages(self):
+        assert RegionTimer().percentages() == {}

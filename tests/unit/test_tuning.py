@@ -1,0 +1,145 @@
+"""Unit tests for the autotuning harness."""
+
+import pytest
+
+from repro.sim.exec_model import ExecutionModel, TuningConfig
+from repro.sim.platform import PLATFORMS
+from repro.tuning import GridSearch, ResultStore, geometric_mean
+from repro.tuning.anova import anova_by_factor
+from repro.tuning.search import TuningResult
+from tests.unit.test_exec_model import synthetic_profile
+
+
+@pytest.fixture(scope="module")
+def grid():
+    model = ExecutionModel(synthetic_profile(), PLATFORMS["local-intel"])
+    search = GridSearch(model, subsample=0.1)
+    results = search.run(
+        schedulers=("dynamic", "work_stealing"),
+        batch_sizes=(128, 512),
+        capacities=(256, 4096),
+        threads=16,
+    )
+    default = search.default_result(threads=16)
+    return search, results, default
+
+
+class TestGridSearch:
+    def test_full_cross_product(self, grid):
+        _, results, _ = grid
+        assert len(results) == 2 * 2 * 2
+        labels = {r.config.label() for r in results}
+        assert len(labels) == 8
+
+    def test_all_makespans_positive(self, grid):
+        _, results, _ = grid
+        assert all(r.makespan > 0 for r in results)
+
+    def test_best_is_minimum(self, grid):
+        search, results, _ = grid
+        best = search.best(results)
+        assert best.makespan == min(r.makespan for r in results)
+
+    def test_best_of_empty_rejected(self, grid):
+        search, _, _ = grid
+        with pytest.raises(ValueError):
+            search.best([])
+
+    def test_default_uses_paper_defaults(self, grid):
+        _, _, default = grid
+        assert default.config.scheduler == "dynamic"
+        assert default.config.batch_size == 512
+        assert default.config.cache_capacity == 256
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestResultStore:
+    def test_best_and_speedup(self, grid):
+        _, results, default = grid
+        store = ResultStore()
+        store.add_results(results)
+        store.add_default(default)
+        pair = store.pairs()[0]
+        best = store.best_for(*pair)
+        assert best.makespan <= default.makespan
+        assert store.speedup_for(*pair) >= 1.0
+
+    def test_geomean_and_max(self, grid):
+        _, results, default = grid
+        store = ResultStore()
+        store.add_results(results)
+        store.add_default(default)
+        geomeans = store.geomean_speedup_by_input()
+        assert set(geomeans) == {"A-human"}
+        overall = store.overall_geomean_speedup()
+        top, input_set, platform = store.max_speedup()
+        assert top >= overall >= 1.0
+        assert (input_set, platform) == ("A-human", "local-intel")
+
+    def test_missing_pair_raises(self):
+        store = ResultStore()
+        with pytest.raises(KeyError):
+            store.best_for("X", "Y")
+
+    def test_csv_roundtrip(self, grid, tmp_path):
+        _, results, _ = grid
+        store = ResultStore()
+        store.add_results(results)
+        path = str(tmp_path / "grid.csv")
+        store.write_csv(path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert len(lines) == 1 + len(results)
+        assert lines[0].startswith("input_set,platform,scheduler")
+
+
+class TestAnova:
+    def test_detects_dominant_factor(self):
+        """Construct a grid where only cache capacity moves makespan."""
+        results = []
+        for scheduler in ("dynamic", "work_stealing"):
+            for batch in (128, 512):
+                for capacity, cost in ((256, 10.0), (4096, 5.0)):
+                    results.append(
+                        TuningResult(
+                            "X", "Y",
+                            TuningConfig(scheduler, batch, capacity, 8),
+                            cost + 0.01 * batch / 512,
+                        )
+                    )
+        report = anova_by_factor(results)
+        assert report.most_impactful().factor == "cache_capacity"
+        assert report.factors["cache_capacity"].significant
+        assert not report.factors["scheduler"].significant
+
+    def test_mixed_pairs_rejected(self):
+        results = [
+            TuningResult("A", "p", TuningConfig(threads=1), 1.0),
+            TuningResult("B", "p", TuningConfig(threads=1), 1.0),
+        ]
+        with pytest.raises(ValueError):
+            anova_by_factor(results)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anova_by_factor([])
+
+    def test_summary_text(self, grid):
+        _, results, _ = grid
+        report = anova_by_factor(results)
+        assert "ANOVA[A-human @ local-intel]" in report.summary()

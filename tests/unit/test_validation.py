@@ -1,0 +1,85 @@
+"""Unit tests for functional validation and cosine similarity."""
+
+import math
+
+import pytest
+
+from repro.core.extend import GaplessExtension
+from repro.core.validation import (
+    compare_outputs,
+    cosine_similarity,
+    counter_vector,
+)
+
+
+def _ext(score, interval=(0, 10)):
+    return GaplessExtension(
+        path=(2, 4), read_interval=interval, start_position=(2, 0),
+        mismatches=(), score=score, left_full=True, right_full=True,
+    )
+
+
+class TestCompareOutputs:
+    def test_perfect_match(self):
+        expected = {"r1": [_ext(5)], "r2": []}
+        report = compare_outputs(expected, {"r1": [_ext(5)], "r2": []})
+        assert report.perfect
+        assert report.match_rate == 1.0
+        assert "100% match" in report.summary()
+
+    def test_missing_detected(self):
+        report = compare_outputs({"r1": [_ext(5)]}, {"r1": []})
+        assert not report.perfect
+        assert len(report.missing) == 1
+        assert report.match_rate == 0.0
+
+    def test_extra_detected(self):
+        report = compare_outputs({"r1": []}, {"r1": [_ext(5)]})
+        assert not report.perfect
+        assert len(report.extra) == 1
+
+    def test_score_difference_is_mismatch(self):
+        report = compare_outputs({"r1": [_ext(5)]}, {"r1": [_ext(6)]})
+        assert len(report.missing) == 1 and len(report.extra) == 1
+
+    def test_order_insensitive(self):
+        a, b = _ext(5, (0, 10)), _ext(7, (2, 12))
+        report = compare_outputs({"r": [a, b]}, {"r": [b, a]})
+        assert report.perfect
+
+    def test_read_name_union(self):
+        report = compare_outputs({"only-expected": [_ext(1)]}, {"only-actual": [_ext(1)]})
+        assert report.reads_compared == 2
+        assert len(report.missing) == 1 and len(report.extra) == 1
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_scaled_vectors(self):
+        assert cosine_similarity([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_nearly_identical_hardware_vectors(self):
+        """The paper's use case: two counter vectors differing slightly
+        should score very close to 1 (they report 0.9996)."""
+        giraffe = [3.87e11, 0.9, 3.87e11, 4.3e9, 1.1e9, 6.1e8]
+        mini = [4.19e11, 1.0, 4.19e11, 1.7e9, 0.9e9, 6.0e8]
+        assert cosine_similarity(giraffe, mini) > 0.99
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1], [1, 2])
+
+    def test_zero_vector(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([0, 0], [1, 2])
+
+
+class TestCounterVector:
+    def test_projection(self):
+        counters = {"a": 1.0, "b": 2.0}
+        assert counter_vector(counters, ["b", "a", "c"]) == [2.0, 1.0, 0.0]

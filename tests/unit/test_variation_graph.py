@@ -1,0 +1,151 @@
+"""Unit tests for the bidirected variation graph."""
+
+import pytest
+
+from repro.graph.handle import flip, forward, reverse
+from repro.graph.variation_graph import VariationGraph
+
+
+@pytest.fixture
+def diamond():
+    """ref: A -> (C | G) -> T   (a single SNP bubble)."""
+    graph = VariationGraph()
+    a = graph.add_node("AAA")
+    c = graph.add_node("C")
+    g = graph.add_node("G")
+    t = graph.add_node("TTT")
+    graph.add_edge(forward(a), forward(c))
+    graph.add_edge(forward(a), forward(g))
+    graph.add_edge(forward(c), forward(t))
+    graph.add_edge(forward(g), forward(t))
+    return graph, (a, c, g, t)
+
+
+class TestNodes:
+    def test_add_and_query(self):
+        graph = VariationGraph()
+        nid = graph.add_node("ACGT")
+        assert graph.has_node(nid)
+        assert graph.node_length(nid) == 4
+        assert graph.node_count() == 1
+
+    def test_explicit_id(self):
+        graph = VariationGraph()
+        assert graph.add_node("A", nid=10) == 10
+        assert graph.add_node("C") == 11  # next id advances past explicit ids
+
+    def test_duplicate_id_rejected(self):
+        graph = VariationGraph()
+        graph.add_node("A", nid=1)
+        with pytest.raises(ValueError):
+            graph.add_node("C", nid=1)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            VariationGraph().add_node("")
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError):
+            VariationGraph().add_node("ACGN")
+
+    def test_sequence_orientation(self):
+        graph = VariationGraph()
+        nid = graph.add_node("ACG")
+        assert graph.sequence(forward(nid)) == "ACG"
+        assert graph.sequence(reverse(nid)) == "CGT"
+
+    def test_base_matches_sequence(self):
+        graph = VariationGraph()
+        nid = graph.add_node("ACGGT")
+        for handle in (forward(nid), reverse(nid)):
+            seq = graph.sequence(handle)
+            for i in range(5):
+                assert graph.base(handle, i) == seq[i]
+
+
+class TestEdges:
+    def test_twin_symmetry(self, diamond):
+        graph, (a, c, g, t) = diamond
+        assert graph.has_edge(forward(a), forward(c))
+        assert graph.has_edge(reverse(c), reverse(a))
+
+    def test_successors_predecessors(self, diamond):
+        graph, (a, c, g, t) = diamond
+        succ = set(graph.successors(forward(a)))
+        assert succ == {forward(c), forward(g)}
+        preds = set(graph.predecessors(forward(t)))
+        assert preds == {forward(c), forward(g)}
+
+    def test_edge_count_unique(self, diamond):
+        graph, _ = diamond
+        assert graph.edge_count() == 4
+
+    def test_edges_iterated_once(self, diamond):
+        graph, _ = diamond
+        assert len(list(graph.edges())) == 4
+
+    def test_edge_to_missing_node_rejected(self):
+        graph = VariationGraph()
+        nid = graph.add_node("A")
+        with pytest.raises(ValueError):
+            graph.add_edge(forward(nid), forward(99))
+
+    def test_duplicate_edge_ignored(self, diamond):
+        graph, (a, c, _, _) = diamond
+        graph.add_edge(forward(a), forward(c))
+        assert graph.edge_count() == 4
+
+
+class TestPaths:
+    def test_add_path_and_sequence(self, diamond):
+        graph, (a, c, g, t) = diamond
+        graph.add_path("ref", [forward(a), forward(c), forward(t)])
+        assert graph.path_sequence("ref") == "AAACTTT"
+        assert graph.path_length("ref") == 7
+
+    def test_disconnected_path_rejected(self, diamond):
+        graph, (a, c, g, t) = diamond
+        with pytest.raises(ValueError):
+            graph.add_path("bad", [forward(a), forward(t)])
+
+    def test_duplicate_name_rejected(self, diamond):
+        graph, (a, c, g, t) = diamond
+        graph.add_path("p", [forward(a), forward(c)])
+        with pytest.raises(ValueError):
+            graph.add_path("p", [forward(a), forward(g)])
+
+    def test_path_with_missing_node_rejected(self, diamond):
+        graph, _ = diamond
+        with pytest.raises(ValueError):
+            graph.add_path("ghost", [forward(42)])
+
+
+class TestWholeGraph:
+    def test_total_sequence_length(self, diamond):
+        graph, _ = diamond
+        assert graph.total_sequence_length() == 8
+
+    def test_topological_order(self, diamond):
+        graph, (a, c, g, t) = diamond
+        order = graph.topological_order()
+        assert order.index(a) < order.index(c)
+        assert order.index(a) < order.index(g)
+        assert order.index(c) < order.index(t)
+
+    def test_topological_cycle_raises(self):
+        graph = VariationGraph()
+        x = graph.add_node("A")
+        y = graph.add_node("C")
+        graph.add_edge(forward(x), forward(y))
+        graph.add_edge(forward(y), forward(x))
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_validate_passes(self, diamond):
+        graph, _ = diamond
+        graph.validate()
+
+    def test_describe(self, diamond):
+        graph, _ = diamond
+        text = graph.describe()
+        assert "nodes=4" in text and "edges=4" in text

@@ -1,0 +1,67 @@
+"""Unit tests for the VG-style batch scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.giraffe.scheduler import VGBatchScheduler
+
+
+def run_and_collect(item_count, threads, batch_size, delay=0.0):
+    counts = [0] * item_count
+    lock = threading.Lock()
+
+    def process(first, last, thread_id):
+        with lock:
+            for i in range(first, last):
+                counts[i] += 1
+        if delay:
+            time.sleep(delay)
+
+    traces = VGBatchScheduler().run(item_count, process, threads, batch_size)
+    return counts, traces
+
+
+class TestVGBatchScheduler:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("items,batch", [(0, 4), (1, 4), (33, 4), (16, 16)])
+    def test_each_item_exactly_once(self, threads, items, batch):
+        counts, _ = run_and_collect(items, threads, batch)
+        assert counts == [1] * items
+
+    def test_traces_cover_items(self):
+        counts, traces = run_and_collect(40, 3, 8)
+        assert sum(t.item_count for t in traces) == 40
+
+    def test_workers_do_most_work_when_fast(self):
+        """With free workers, the dispatching main thread maps little."""
+        _, traces = run_and_collect(400, 4, 4, delay=0.0005)
+        by_thread = {}
+        for trace in traces:
+            by_thread[trace.thread] = by_thread.get(trace.thread, 0) + trace.item_count
+        worker_items = sum(v for t, v in by_thread.items() if t != 0)
+        assert worker_items > by_thread.get(0, 0)
+
+    def test_main_helps_under_backpressure(self):
+        """When workers are saturated, thread 0 processes batches itself
+        (the paper's description of VG's scheduler)."""
+        _, traces = run_and_collect(200, 2, 2, delay=0.002)
+        main_batches = [t for t in traces if t.thread == 0]
+        assert main_batches
+
+    def test_main_maps_minority_of_batches(self):
+        """The dispatching thread only maps under backpressure, so it
+        handles fewer batches than the workers combined (the wall-clock
+        flavour of Figure 2's late-starting thread 0; the deterministic
+        version lives in the DES tests)."""
+        _, traces = run_and_collect(200, 3, 2, delay=0.002)
+        main = sum(1 for t in traces if t.thread == 0)
+        workers = sum(1 for t in traces if t.thread != 0)
+        assert workers > main
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            VGBatchScheduler().run(10, lambda f, l, t: None, 0, 4)
+        with pytest.raises(ValueError):
+            VGBatchScheduler(queue_depth_per_thread=0)

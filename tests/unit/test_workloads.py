@@ -1,0 +1,180 @@
+"""Unit tests for synthetic workload generation."""
+
+import pytest
+
+from repro.graph.handle import reverse_complement
+from repro.util.rng import SplitMix64
+from repro.workloads.input_sets import INPUT_SETS, materialize, materialize_by_name
+from repro.workloads.reads import FragmentSpec, ReadSimulator
+from repro.workloads.synth import (
+    build_pangenome,
+    generate_variants,
+    random_dna,
+    sample_haplotype_selections,
+)
+
+
+class TestRandomDna:
+    def test_length_and_alphabet(self):
+        seq = random_dna(SplitMix64(1), 500)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+
+    def test_deterministic(self):
+        assert random_dna(SplitMix64(7), 100) == random_dna(SplitMix64(7), 100)
+
+
+class TestGenerateVariants:
+    @pytest.fixture(scope="class")
+    def variants(self):
+        reference = random_dna(SplitMix64(2), 5000)
+        return reference, generate_variants(
+            SplitMix64(3), reference, snp_rate=0.02, indel_rate=0.005, sv_rate=0.001
+        )
+
+    def test_nonempty(self, variants):
+        _, variant_list = variants
+        assert len(variant_list) > 20
+
+    def test_sorted_non_overlapping(self, variants):
+        _, variant_list = variants
+        previous_end = -1
+        for variant in variant_list:
+            assert variant.position >= previous_end
+            previous_end = max(previous_end, variant.end)
+
+    def test_ref_alleles_match(self, variants):
+        reference, variant_list = variants
+        for variant in variant_list:
+            assert reference[variant.position : variant.end] == variant.ref
+
+    def test_mix_of_kinds(self, variants):
+        _, variant_list = variants
+        kinds = {v.kind for v in variant_list}
+        assert "snp" in kinds
+        assert kinds & {"insertion", "deletion"}
+
+
+class TestHaplotypeSelections:
+    def test_reference_haplotype_first(self):
+        selections = sample_haplotype_selections(SplitMix64(4), 20, 5)
+        assert selections["haplotype-0000"] == []
+        assert len(selections) == 5
+
+    def test_indices_valid(self):
+        selections = sample_haplotype_selections(SplitMix64(4), 20, 8)
+        for chosen in selections.values():
+            assert all(0 <= v < 20 for v in chosen)
+            assert chosen == sorted(chosen)
+
+
+class TestBuildPangenome:
+    @pytest.fixture(scope="class")
+    def pangenome(self):
+        return build_pangenome(seed=9, reference_length=2000, haplotype_count=5)
+
+    def test_graph_valid(self, pangenome):
+        pangenome.graph.validate()
+
+    def test_haplotypes_embedded(self, pangenome):
+        assert len(pangenome.graph.paths) == 5
+
+    def test_reference_haplotype_spells_reference(self, pangenome):
+        assert pangenome.haplotype_sequence("haplotype-0000") == pangenome.reference
+
+    def test_gbwt_covers_paths(self, pangenome):
+        for path in pangenome.graph.paths.values():
+            assert pangenome.gbwt.count_haplotypes(path.handles) >= 1
+
+    def test_deterministic(self):
+        a = build_pangenome(seed=9, reference_length=800, haplotype_count=3)
+        b = build_pangenome(seed=9, reference_length=800, haplotype_count=3)
+        assert a.reference == b.reference
+        assert a.selections == b.selections
+
+    def test_zero_haplotypes_rejected(self):
+        with pytest.raises(ValueError):
+            build_pangenome(seed=1, reference_length=100, haplotype_count=0)
+
+
+class TestReadSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        sequences = {"h1": random_dna(SplitMix64(5), 2000),
+                     "h2": random_dna(SplitMix64(6), 2000)}
+        return sequences, ReadSimulator(sequences, read_length=100, error_rate=0.0, seed=1)
+
+    def test_single_end_shape(self, simulator):
+        _, sim = simulator
+        reads = sim.simulate_single(20)
+        assert len(reads) == 20
+        assert all(len(r.sequence) == 100 for r in reads)
+        assert len({r.name for r in reads}) == 20
+
+    def test_error_free_reads_are_substrings(self, simulator):
+        sequences, sim = simulator
+        for read in sim.simulate_single(20):
+            source = sequences[read.haplotype]
+            fragment = source[read.origin : read.origin + 100]
+            expected = reverse_complement(fragment) if read.is_reverse else fragment
+            assert read.sequence == expected
+
+    def test_paired_end_geometry(self, simulator):
+        _, sim = simulator
+        reads = sim.simulate_paired(10, FragmentSpec(fragment_length=300))
+        assert len(reads) == 20
+        for r1, r2 in zip(reads[0::2], reads[1::2]):
+            assert r1.name.endswith("/1") and r2.name.endswith("/2")
+            assert r1.haplotype == r2.haplotype
+            assert not r1.is_reverse and r2.is_reverse
+            assert r2.origin >= r1.origin
+
+    def test_errors_injected(self):
+        sequences = {"h": random_dna(SplitMix64(8), 3000)}
+        noisy = ReadSimulator(sequences, read_length=100, error_rate=0.05, seed=2)
+        reads = noisy.simulate_single(20)
+        mismatching = 0
+        for read in reads:
+            source = sequences["h"][read.origin : read.origin + 100]
+            expected = reverse_complement(source) if read.is_reverse else source
+            mismatching += sum(1 for a, b in zip(read.sequence, expected) if a != b)
+        assert mismatching > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadSimulator({}, read_length=10)
+        with pytest.raises(ValueError):
+            ReadSimulator({"h": "ACGT"}, read_length=10)
+
+
+class TestInputSets:
+    def test_presets_match_table3_shapes(self):
+        assert set(INPUT_SETS) == {"A-human", "B-yeast", "C-HPRC", "D-HPRC"}
+        assert INPUT_SETS["A-human"].workflow == "single"
+        assert INPUT_SETS["C-HPRC"].workflow == "paired"
+        # D is the largest; B has the most reads of the single-end pair.
+        assert INPUT_SETS["D-HPRC"].reference_length > INPUT_SETS["C-HPRC"].reference_length
+        assert INPUT_SETS["B-yeast"].reads > INPUT_SETS["A-human"].reads
+
+    def test_materialize_scales_reads_only(self):
+        full = materialize(INPUT_SETS["B-yeast"], scale=0.02)
+        half = materialize(INPUT_SETS["B-yeast"], scale=0.01)
+        assert full.pangenome.reference == half.pangenome.reference
+        assert full.read_count == 2 * half.read_count
+
+    def test_paired_sets_have_mates(self):
+        bundle = materialize(INPUT_SETS["C-HPRC"], scale=0.02)
+        names = [r.name for r in bundle.reads]
+        assert all(n.endswith(("/1", "/2")) for n in names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            materialize_by_name("E-corn")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            materialize(INPUT_SETS["A-human"], scale=0.0)
+
+    def test_describe(self):
+        bundle = materialize(INPUT_SETS["A-human"], scale=0.02)
+        assert "A-human" in bundle.describe()
