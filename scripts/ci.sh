@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
+#
+# Usage: ./scripts/ci.sh
+# Extra pytest arguments are passed through, e.g.:
+#   ./scripts/ci.sh -k obs
+#
+# Benchmarks (paper regeneration) are intentionally excluded — run them
+# separately with: PYTHONPATH=src python -m pytest benchmarks/ -q
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+echo "== docstring coverage (repro.obs, repro.sched) =="
+python -m repro.util.doccheck src/repro/obs src/repro/sched

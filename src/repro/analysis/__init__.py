@@ -16,8 +16,16 @@ from repro.analysis.figures import (
 from repro.analysis.report import speedup_series, percent_diff
 from repro.analysis.threads import UtilizationReport, analyze_traces
 from repro.analysis.fidelity import Comparison, FidelityReport
+from repro.analysis.tracereport import (
+    region_breakdown,
+    render_region_table,
+    render_trace_report,
+)
 
 __all__ = [
+    "region_breakdown",
+    "render_region_table",
+    "render_trace_report",
     "UtilizationReport",
     "analyze_traces",
     "Comparison",

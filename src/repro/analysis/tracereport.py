@@ -1,0 +1,166 @@
+"""Per-region breakdown reports from structured trace spans.
+
+Turns the JSONL span stream of :mod:`repro.obs.trace` into the table
+the paper's Figure 3 (percentage of runtime per region) and Table IV
+(per-region contributions feeding the top-down analysis) are built
+from: for each region, the span count, total wall-clock time, mean
+time, cumulative CPU time, and the share of total instrumented time.
+
+Span-name convention: *structural* spans are namespaced with a dot
+(``proxy.batch``, ``sched.dynamic``, ``giraffe.map_all``) and are
+excluded from the breakdown so enclosing wrappers don't double-count
+their children; bare names (``cluster_seeds``,
+``process_until_threshold_c``) are measurement regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.obs.trace import SpanEvent, load_spans_jsonl
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Aggregate statistics for one instrumented region."""
+
+    region: str
+    spans: int
+    total: float
+    cpu: float
+    percent: float
+
+    @property
+    def mean(self) -> float:
+        """Mean wall-clock seconds per span."""
+        return self.total / self.spans if self.spans else 0.0
+
+
+def is_region_span(span: SpanEvent) -> bool:
+    """True for measurement regions (bare names, no ``.`` namespace)."""
+    return "." not in span.name
+
+
+def region_breakdown(
+    spans: Iterable[SpanEvent],
+    regions: Optional[Sequence[str]] = None,
+) -> List[RegionStats]:
+    """Aggregate spans into per-region statistics, largest share first.
+
+    ``regions`` restricts the breakdown to the named regions; by default
+    every non-structural span (see :func:`is_region_span`) contributes.
+    Percentages are of the total *included* wall-clock time, matching
+    how Figure 3 normalizes per-region shares.
+    """
+    wanted = set(regions) if regions is not None else None
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        if wanted is not None:
+            if span.name not in wanted:
+                continue
+        elif not is_region_span(span):
+            continue
+        entry = totals.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+        entry[2] += span.cpu
+    grand = sum(entry[1] for entry in totals.values())
+    stats = [
+        RegionStats(
+            region=name,
+            spans=int(entry[0]),
+            total=entry[1],
+            cpu=entry[2],
+            percent=(100.0 * entry[1] / grand) if grand else 0.0,
+        )
+        for name, entry in totals.items()
+    ]
+    stats.sort(key=lambda s: (-s.total, s.region))
+    return stats
+
+
+def render_region_table(
+    spans: Iterable[SpanEvent],
+    title: str = "Per-region breakdown (Figure 3 shape)",
+    regions: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the per-region breakdown as an aligned text table."""
+    rows = [
+        [
+            stats.region,
+            stats.spans,
+            f"{stats.total:.4f}",
+            f"{stats.mean * 1e3:.3f}",
+            f"{stats.cpu:.4f}",
+            f"{stats.percent:.1f}",
+        ]
+        for stats in region_breakdown(spans, regions=regions)
+    ]
+    return format_table(
+        title,
+        ["region", "spans", "total_s", "mean_ms", "cpu_s", "percent"],
+        rows,
+    )
+
+
+def render_worker_table(
+    spans: Iterable[SpanEvent],
+    title: str = "Per-worker batch activity",
+) -> str:
+    """Render per-worker span counts and busy time (``proxy.batch`` etc.)."""
+    per_worker: Dict[int, List[float]] = {}
+    for span in spans:
+        if is_region_span(span) or span.worker is None:
+            continue
+        entry = per_worker.setdefault(span.worker, [0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+    rows = [
+        [worker, int(entry[0]), f"{entry[1]:.4f}"]
+        for worker, entry in sorted(per_worker.items())
+    ]
+    return format_table(title, ["worker", "batches", "busy_s"], rows)
+
+
+def render_trace_report(
+    spans: Iterable[SpanEvent],
+    registry=None,
+    metric_prefixes: Sequence[str] = ("gbwt_cache_", "sched_", "proxy_"),
+) -> str:
+    """The full text report: region table, worker table, key metrics.
+
+    ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`; only
+    metrics whose names start with one of ``metric_prefixes`` are
+    included (histogram detail is elided to its ``_sum``/``_count``).
+    """
+    spans = list(spans)
+    sections = [render_region_table(spans)]
+    worker_table = render_worker_table(spans)
+    if worker_table.count("\n") > 3:
+        sections.append(worker_table)
+    if registry is not None:
+        lines = [
+            line
+            for line in registry.dump().splitlines()
+            if not line.startswith("#")
+            and line.startswith(tuple(metric_prefixes))
+            and "_bucket{" not in line
+        ]
+        if lines:
+            sections.append("Key metrics:\n" + "\n".join(
+                f"  {line}" for line in lines
+            ))
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "RegionStats",
+    "is_region_span",
+    "load_spans_jsonl",
+    "region_breakdown",
+    "render_region_table",
+    "render_worker_table",
+    "render_trace_report",
+]

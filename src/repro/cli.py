@@ -10,6 +10,9 @@ the surrounding workflow the artifact scripts drive:
 * ``map`` — run the proxy over a GBZ + seed file (the miniGiraffe
   binary itself), writing extensions and optional GAM output;
 * ``validate`` — compare two extension files (paper Section VI-a);
+* ``trace`` — run the proxy with the observability layer enabled:
+  structured spans to JSONL, metrics to a Prometheus-style dump, and a
+  Figure 3-style per-region breakdown on stdout;
 * ``tune`` — the autotuning sweep on a machine model, CSV out;
 * ``scale`` — the Figure 5 scaling prediction for one input set.
 
@@ -78,6 +81,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--expected", required=True)
     validate.add_argument("--actual", required=True)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run the proxy with tracing on; emit spans (JSONL) + metrics",
+    )
+    source = trace.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--input-set", choices=sorted(INPUT_SETS),
+        help="materialize this preset in memory instead of reading files",
+    )
+    source.add_argument("--gbz", help="pangenome file (pairs with --seeds)")
+    trace.add_argument("--seeds", help="captured sequence-seeds.bin")
+    trace.add_argument("--scale", type=float, default=0.1,
+                       help="input-set scale when using --input-set")
+    trace.add_argument("--seed-span", type=int, default=13)
+    trace.add_argument("--threads", type=int, default=2)
+    trace.add_argument("--batch-size", type=int, default=64)
+    trace.add_argument("--cache-capacity", type=int, default=256)
+    trace.add_argument(
+        "--scheduler", choices=("dynamic", "static", "work_stealing"),
+        default="work_stealing",
+        help="work_stealing by default so steal metrics are exercised",
+    )
+    trace.add_argument("--out", default="trace.jsonl",
+                       help="span JSONL output path")
+    trace.add_argument("--metrics-out",
+                       help="also write the Prometheus-style metrics dump here")
+    trace.add_argument("--ring-capacity", type=int, default=1 << 16,
+                       help="span ring-buffer capacity (oldest spans evicted)")
 
     tune = commands.add_parser(
         "tune", help="exhaustive parameter sweep on a machine model"
@@ -173,6 +205,50 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.analysis.tracereport import render_trace_report
+    from repro.obs import MetricsRegistry, Tracer
+
+    if args.gbz and not args.seeds:
+        print("error: --gbz requires --seeds", file=sys.stderr)
+        return 2
+    options = ProxyOptions(
+        threads=args.threads,
+        batch_size=args.batch_size,
+        cache_capacity=args.cache_capacity,
+        scheduler=args.scheduler,
+    )
+    if args.input_set:
+        bundle, mapper = _materialize_with_mapper(args.input_set, args.scale)
+        records = mapper.capture_read_records(bundle.reads)
+        proxy = MiniGiraffe(
+            bundle.pangenome.gbz,
+            options,
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=mapper.distance_index,
+        )
+        print(f"traced input: {bundle.describe()}")
+    else:
+        proxy = MiniGiraffe.from_files(
+            args.gbz, options, seed_span=args.seed_span
+        )
+        records = load_seed_file_path(args.seeds)
+    tracer = Tracer(capacity=args.ring_capacity)
+    registry = MetricsRegistry()
+    result = proxy.map_reads(records, tracer=tracer, metrics=registry)
+    span_count = tracer.export_jsonl(args.out)
+    print(f"mapped {result.mapped_reads}/{len(records)} reads "
+          f"in {result.makespan:.3f}s")
+    print(f"wrote {span_count} spans to {args.out}"
+          + (f" ({tracer.ring.dropped} dropped)" if tracer.ring.dropped else ""))
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"wrote metrics dump to {args.metrics_out}")
+    print()
+    print(render_trace_report(tracer.spans(), registry))
+    return 0
+
+
 def _cmd_validate(args) -> int:
     expected = load_extensions_path(args.expected)
     actual = load_extensions_path(args.actual)
@@ -246,6 +322,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "map": _cmd_map,
     "validate": _cmd_validate,
+    "trace": _cmd_trace,
     "tune": _cmd_tune,
     "scale": _cmd_scale,
 }

@@ -25,6 +25,8 @@ from repro.core.scoring import ScoringParams
 from repro.gbwt.cache import CachedGBWT
 from repro.gbwt.gbz import GBZ, load_gbz_file
 from repro.index.distance import DistanceIndex
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sched.base import BatchTrace
 from repro.sched import make_scheduler
 from repro.util.timing import RegionTimer
@@ -94,8 +96,28 @@ class MiniGiraffe:
         """Load the pangenome from a ``.gbz`` file."""
         return cls(load_gbz_file(gbz_path), options=options, seed_span=seed_span)
 
-    def map_reads(self, records: Sequence[ReadRecord]) -> MappingResult:
-        """Run the critical kernels over all reads; the headline entry point."""
+    def map_reads(
+        self,
+        records: Sequence[ReadRecord],
+        tracer=None,
+        metrics=None,
+    ) -> MappingResult:
+        """Run the critical kernels over all reads; the headline entry point.
+
+        ``tracer`` / ``metrics`` override the process-wide observability
+        sinks (:func:`repro.obs.get_tracer` / :func:`repro.obs.get_metrics`)
+        for this run — they are installed for the run's dynamic extent so
+        the scheduler and cache hooks report to the same place.  With the
+        defaults (no tracer installed) every hook is a no-op.
+        """
+        if tracer is not None or metrics is not None:
+            # Explicit None checks: an empty MetricsRegistry is falsy.
+            if tracer is None:
+                tracer = obs_trace.get_tracer()
+            if metrics is None:
+                metrics = obs_metrics.get_metrics()
+            with obs_trace.use_tracer(tracer), obs_metrics.use_metrics(metrics):
+                return self.map_reads(records)
         options = self.options
         graph = self.gbz.graph
         results: List[Optional[List[GaplessExtension]]] = [None] * len(records)
@@ -113,33 +135,52 @@ class MiniGiraffe:
                     counters[thread_id] = KernelCounters()
                 return caches[thread_id], counters[thread_id]
 
+        tracer = obs_trace.get_tracer()
+
         def process_batch(first: int, last: int, thread_id: int) -> None:
             cache, thread_counters = thread_context(thread_id)
             if options.cache_lifetime == "batch":
                 cache.clear()
-            for index in range(first, last):
-                record = records[index]
-                with timer.region("cluster_seeds"):
-                    clusters = cluster_seeds(
-                        self.distance_index,
-                        record.seeds,
-                        len(record.sequence),
-                        self.seed_span,
-                        options=options.process,
-                        counters=thread_counters,
+            counters_before = (
+                thread_counters.as_dict() if tracer.enabled else None
+            )
+            with tracer.span(
+                "proxy.batch", worker=thread_id, first=first, count=last - first
+            ) as batch_span:
+                for index in range(first, last):
+                    record = records[index]
+                    with timer.region("cluster_seeds"), tracer.span(
+                        "cluster_seeds", worker=thread_id, read=record.name
+                    ):
+                        clusters = cluster_seeds(
+                            self.distance_index,
+                            record.seeds,
+                            len(record.sequence),
+                            self.seed_span,
+                            options=options.process,
+                            counters=thread_counters,
+                        )
+                    with timer.region("process_until_threshold_c"), tracer.span(
+                        "process_until_threshold_c",
+                        worker=thread_id,
+                        read=record.name,
+                    ):
+                        extensions = process_until_threshold(
+                            graph,
+                            cache,
+                            record.sequence,
+                            clusters,
+                            process_options=options.process,
+                            extend_options=options.extend,
+                            scoring=self.scoring,
+                            counters=thread_counters,
+                        )
+                    results[index] = extensions
+                if counters_before is not None:
+                    after = thread_counters.as_dict()
+                    batch_span.set(
+                        **{k: after[k] - counters_before[k] for k in after}
                     )
-                with timer.region("process_until_threshold_c"):
-                    extensions = process_until_threshold(
-                        graph,
-                        cache,
-                        record.sequence,
-                        clusters,
-                        process_options=options.process,
-                        extend_options=options.extend,
-                        scoring=self.scoring,
-                        counters=thread_counters,
-                    )
-                results[index] = extensions
 
         scheduler = make_scheduler(options.scheduler)
         start = time.perf_counter()
@@ -161,6 +202,22 @@ class MiniGiraffe:
         cache_stats["hit_rate"] = (
             cache_stats.get("hits", 0) / accesses if accesses else 0.0
         )
+        registry = obs_metrics.get_metrics()
+        for thread_id, cache in caches.items():
+            cache.publish_metrics(
+                registry, component="proxy", worker=str(thread_id)
+            )
+        kernel_ops = registry.counter(
+            "proxy_kernel_ops_total", "kernel operation counts, by class"
+        )
+        for op, count in merged_counters.as_dict().items():
+            kernel_ops.inc(count, op=op)
+        registry.counter(
+            "proxy_reads_total", "reads mapped by the proxy"
+        ).inc(len(records))
+        registry.gauge(
+            "proxy_makespan_seconds", "makespan of the most recent proxy run"
+        ).set(makespan)
         return MappingResult(
             extensions={
                 record.name: result if result is not None else []

@@ -174,6 +174,37 @@ class CachedGBWT:
             "slot_bytes": self.slot_bytes,
         }
 
+    def publish_metrics(self, registry, **labels) -> None:
+        """Export this cache's statistics into a metrics registry.
+
+        Counts stay plain attributes on the hot path (``record`` runs
+        per GBWT node visit); this publishes the aggregates once, at
+        end of run, labeled by whatever the caller supplies (typically
+        ``worker=<thread id>`` and ``component="proxy"|"giraffe"``).
+        """
+        stats = self.stats()
+        registry.counter(
+            "gbwt_cache_hits_total", "CachedGBWT record hits"
+        ).inc(stats["hits"], **labels)
+        registry.counter(
+            "gbwt_cache_misses_total", "CachedGBWT record misses (decodes)"
+        ).inc(stats["misses"], **labels)
+        registry.counter(
+            "gbwt_cache_rehashes_total", "CachedGBWT table growths"
+        ).inc(stats["rehashes"], **labels)
+        registry.counter(
+            "gbwt_cache_probe_steps_total", "open-addressing probe steps"
+        ).inc(stats["probe_steps"], **labels)
+        registry.gauge(
+            "gbwt_cache_hit_rate", "hits / (hits + misses) at publish time"
+        ).set(stats["hit_rate"], **labels)
+        registry.gauge(
+            "gbwt_cache_size", "records currently cached"
+        ).set(stats["size"], **labels)
+        registry.gauge(
+            "gbwt_cache_capacity", "slot count (power of two)"
+        ).set(stats["capacity"], **labels)
+
 
 class BoundedLRUCache:
     """Alternative eviction policy: a hard-capacity LRU record cache.
@@ -248,6 +279,7 @@ class BoundedLRUCache:
         return state.count
 
     def stats(self) -> dict:
+        """Snapshot of cache statistics (includes the eviction count)."""
         total = self.hits + self.misses
         return {
             "hits": self.hits,
@@ -257,3 +289,25 @@ class BoundedLRUCache:
             "size": self.size,
             "capacity": self.capacity,
         }
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Export statistics, including the LRU eviction counter."""
+        stats = self.stats()
+        registry.counter(
+            "gbwt_cache_hits_total", "CachedGBWT record hits"
+        ).inc(stats["hits"], **labels)
+        registry.counter(
+            "gbwt_cache_misses_total", "CachedGBWT record misses (decodes)"
+        ).inc(stats["misses"], **labels)
+        registry.counter(
+            "gbwt_cache_evictions_total", "LRU evictions"
+        ).inc(stats["evictions"], **labels)
+        registry.gauge(
+            "gbwt_cache_hit_rate", "hits / (hits + misses) at publish time"
+        ).set(stats["hit_rate"], **labels)
+        registry.gauge(
+            "gbwt_cache_size", "records currently cached"
+        ).set(stats["size"], **labels)
+        registry.gauge(
+            "gbwt_cache_capacity", "hard record capacity"
+        ).set(stats["capacity"], **labels)

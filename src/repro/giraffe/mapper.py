@@ -39,6 +39,8 @@ from repro.giraffe.scheduler import VGBatchScheduler
 from repro.giraffe.seeding import SeedFinder
 from repro.index.distance import DistanceIndex
 from repro.index.minimizer import Seed
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sched.base import BatchTrace
 from repro.util.timing import RegionTimer
 from repro.workloads.reads import Read
@@ -106,19 +108,33 @@ class GiraffeMapper:
         cache: CachedGBWT,
         timer: RegionTimer,
         counters: KernelCounters,
+        tracer=None,
+        worker: Optional[int] = None,
     ) -> tuple:
         """One read through the whole pipeline.
 
+        Every stage reports to both sinks: the aggregate-only
+        :class:`RegionTimer` (what ``GiraffeRunResult.timer`` and the
+        Figure 2/3 benchmarks consume) and the structured span tracer
+        (:mod:`repro.obs.trace`, a no-op unless one is installed).
+
         Returns ``(alignment, critical_extensions)``.
         """
-        with timer.region(REGION_MINIMIZER):
+        tracer = tracer if tracer is not None else obs_trace.get_tracer()
+        with timer.region(REGION_MINIMIZER), tracer.span(
+            REGION_MINIMIZER, worker=worker, read=read.name
+        ):
             # Minimizer extraction happens inside seeds_for_read; the two
             # regions are split the way the paper's annotations split them
             # (lookup vs seed materialization).
             seeds: List[Seed] = self.seed_finder.seeds_for_read(read)
-        with timer.region(REGION_SEED):
+        with timer.region(REGION_SEED), tracer.span(
+            REGION_SEED, worker=worker, read=read.name
+        ):
             seeds.sort(key=Seed.sort_key)
-        with timer.region(REGION_CLUSTER):
+        with timer.region(REGION_CLUSTER), tracer.span(
+            REGION_CLUSTER, worker=worker, read=read.name
+        ):
             clusters = cluster_seeds(
                 self.distance_index,
                 seeds,
@@ -127,7 +143,9 @@ class GiraffeMapper:
                 options=self.options.process,
                 counters=counters,
             )
-        with timer.region(REGION_EXTEND):
+        with timer.region(REGION_EXTEND), tracer.span(
+            REGION_EXTEND, worker=worker, read=read.name
+        ):
             extensions = process_until_threshold(
                 self.gbz.graph,
                 cache,
@@ -138,7 +156,9 @@ class GiraffeMapper:
                 scoring=self.scoring,
                 counters=counters,
             )
-        with timer.region(REGION_SCORE):
+        with timer.region(REGION_SCORE), tracer.span(
+            REGION_SCORE, worker=worker, read=read.name
+        ):
             # Post-processing: drop clearly dominated extensions before
             # alignment (the proxy stops before this step).
             kept = [
@@ -146,7 +166,9 @@ class GiraffeMapper:
                 for ext in extensions
                 if not extensions or ext.score * 2 >= extensions[0].score
             ]
-        with timer.region(REGION_ALIGN):
+        with timer.region(REGION_ALIGN), tracer.span(
+            REGION_ALIGN, worker=worker, read=read.name
+        ):
             alignment = alignments_from_extensions(read.name, kept)
         return alignment, extensions
 
@@ -171,14 +193,21 @@ class GiraffeMapper:
                     counters[thread_id] = KernelCounters()
                 return caches[thread_id], counters[thread_id]
 
+        tracer = obs_trace.get_tracer()
+
         def process_batch(first: int, last: int, thread_id: int) -> None:
             cache, thread_counters = thread_context(thread_id)
-            for index in range(first, last):
-                alignment, exts = self._map_one(
-                    reads[index], cache, timer, thread_counters
-                )
-                alignments[index] = alignment
-                extensions[index] = exts
+            with tracer.span(
+                "giraffe.batch", worker=thread_id, first=first,
+                count=last - first,
+            ):
+                for index in range(first, last):
+                    alignment, exts = self._map_one(
+                        reads[index], cache, timer, thread_counters,
+                        tracer=tracer, worker=thread_id,
+                    )
+                    alignments[index] = alignment
+                    extensions[index] = exts
 
         scheduler = VGBatchScheduler()
         start = time.perf_counter()
@@ -189,6 +218,14 @@ class GiraffeMapper:
         merged = KernelCounters()
         for thread_counters in counters.values():
             merged.merge(thread_counters)
+        registry = obs_metrics.get_metrics()
+        for thread_id, cache in caches.items():
+            cache.publish_metrics(
+                registry, component="giraffe", worker=str(thread_id)
+            )
+        registry.counter(
+            "giraffe_reads_total", "reads mapped by the parent mapper"
+        ).inc(len(reads))
         return GiraffeRunResult(
             alignments={
                 read.name: alignment

@@ -1,0 +1,69 @@
+"""Unified observability: tracing, metrics, and profiling hooks.
+
+The paper's contribution is workload *characterization* — per-region
+timers, hardware counters, and top-down analysis are what validated
+miniGiraffe against Giraffe.  This package makes that characterization a
+first-class, always-available subsystem instead of ad-hoc fragments:
+
+* :mod:`repro.obs.trace` — structured span events (region, batch,
+  worker, wall/CPU time, kernel-counter deltas) with nesting, a
+  thread-safe ring buffer, and JSONL export;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  labeled series and a Prometheus-style text dump.
+
+Hooks are wired into the hot paths (``repro.sched``, ``repro.core.proxy``,
+``repro.gbwt.cache``, ``repro.giraffe.mapper``) against the *currently
+installed* tracer and registry.  The default tracer is the no-op
+:data:`~repro.obs.trace.NULL_TRACER`, so instrumentation is zero-cost
+until someone opts in::
+
+    from repro.obs import Tracer, MetricsRegistry, use_tracer, use_metrics
+
+    with use_tracer(Tracer()) as tracer, use_metrics(MetricsRegistry()) as reg:
+        proxy.map_reads(records)
+    tracer.export_jsonl("trace.jsonl")
+    print(reg.dump())
+
+The ``repro trace`` CLI subcommand packages exactly this workflow; see
+``docs/OBSERVABILITY.md`` for the API reference and span schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    SpanRingBuffer,
+    Tracer,
+    get_tracer,
+    load_spans_jsonl,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanEvent",
+    "SpanRingBuffer",
+    "Tracer",
+    "get_tracer",
+    "load_spans_jsonl",
+    "set_tracer",
+    "use_tracer",
+]

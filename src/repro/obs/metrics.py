@@ -1,0 +1,320 @@
+"""Counters, gauges, and histograms with labeled series.
+
+The tracing side of :mod:`repro.obs` answers "where did the time go";
+this module answers "how often did each thing happen" — steal counts,
+cache hits and misses, rehashes, reads mapped.  The model is a small
+subset of Prometheus: a :class:`MetricsRegistry` owns named metrics,
+each metric owns one series per distinct label set, and
+:meth:`MetricsRegistry.dump` renders the whole registry in the
+Prometheus text exposition format so the output can be diffed, grepped,
+or scraped.
+
+All mutation is thread-safe (one lock per metric); reads take snapshots.
+Instrumented code should publish *aggregates* outside per-read hot loops
+(see how :class:`repro.gbwt.cache.CachedGBWT` counts locally and
+publishes once per run) so the registry never perturbs the measurement.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: A label set in canonical form: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (powers of four, unitless).
+DEFAULT_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared plumbing: name, help text, per-series storage, a lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _header_lines(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the labeled series (0 if never incremented)."""
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        """Snapshot of all series."""
+        with self._lock:
+            return dict(self._series)
+
+    def render(self) -> List[str]:
+        """Prometheus text lines for this metric."""
+        lines = self._header_lines()
+        for key, value in sorted(self.series().items()):
+            lines.append(f"{self.name}{_format_labels(key)} {value:g}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (sizes, rates, capacities)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labeled series to ``value``."""
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels) -> None:
+        """Adjust the labeled series by ``amount`` (either sign)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the labeled series (0 if never set)."""
+        return self._series.get(_label_key(labels), 0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        """Snapshot of all series."""
+        with self._lock:
+            return dict(self._series)
+
+    def render(self) -> List[str]:
+        """Prometheus text lines for this metric."""
+        lines = self._header_lines()
+        for key, value in sorted(self.series().items()):
+            lines.append(f"{self.name}{_format_labels(key)} {value:g}")
+        return lines
+
+
+class _HistogramSeries:
+    """Bucket counts + sum + count for one label set."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, bucket_count: int):
+        self.bucket_counts = [0] * bucket_count
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Distribution of observed values in cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labeled series."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.bounds))
+            index = bisect_left(self.bounds, value)
+            if index < len(series.bucket_counts):
+                series.bucket_counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels) -> int:
+        """Observation count for the labeled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        """Sum of observations for the labeled series."""
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def render(self) -> List[str]:
+        """Prometheus text lines (cumulative ``_bucket`` + ``_sum``/``_count``)."""
+        lines = self._header_lines()
+        with self._lock:
+            snapshot = {
+                key: (list(s.bucket_counts), s.total, s.count)
+                for key, s in self._series.items()
+            }
+        for key, (counts, total, count) in sorted(snapshot.items()):
+            cumulative = 0
+            for bound, bucket in zip(self.bounds, counts):
+                cumulative += bucket
+                labels = _format_labels(key, [("le", f"{bound:g}")])
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _format_labels(key, [("le", "+Inf")])
+            lines.append(f"{self.name}_bucket{labels} {count}")
+            lines.append(f"{self.name}_sum{_format_labels(key)} {total:g}")
+            lines.append(f"{self.name}_count{_format_labels(key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A namespace of metrics with get-or-create registration.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name is already registered (asserting the kind matches), so
+    independent call sites can share a series without coordination.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the named :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The named metric, or None if never registered."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def dump(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in self.names():
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> None:
+        """Write :meth:`dump` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump())
+
+    def clear(self) -> None:
+        """Forget every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_current_metrics = MetricsRegistry()
+_current_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The currently installed process-wide registry."""
+    return _current_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _current_metrics
+    with _current_lock:
+        previous = _current_metrics
+        _current_metrics = registry
+    return previous
+
+
+class use_metrics:
+    """Context manager installing a registry for the dynamic extent::
+
+        with use_metrics(MetricsRegistry()) as registry:
+            proxy.map_reads(records)
+        print(registry.dump())
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_metrics(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc) -> None:
+        set_metrics(self._previous)

@@ -1,0 +1,424 @@
+"""Structured span tracing: the paper's timestamp collector, grown up.
+
+The paper instruments Giraffe with a lightweight header that collects
+(region, thread, start, end) timestamps and defers all aggregation to
+the end of the run (Section III).  :class:`repro.util.timing.RegionTimer`
+reproduces exactly that; this module is its structured successor: spans
+carry a region name, a stable thread index, the scheduler worker id,
+wall *and* CPU time, nesting depth and parent region, and arbitrary
+key/value attributes (batch bounds, kernel-counter deltas, read names).
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  The process-wide default tracer is
+   :data:`NULL_TRACER`, whose :meth:`NullTracer.span` returns a shared
+   no-op context manager — no allocation, no clock reads.  Hot paths can
+   therefore call ``tracer.span(...)`` unconditionally.
+2. **Bounded memory.**  Finished spans land in a thread-safe ring
+   buffer (:class:`SpanRingBuffer`); once ``capacity`` spans are held,
+   the oldest are overwritten.  A multi-hour run can leave tracing on.
+3. **Exportable.**  :meth:`Tracer.export_jsonl` writes one JSON object
+   per span; :func:`load_spans_jsonl` reads them back losslessly, so
+   reports (:mod:`repro.analysis.tracereport`) work offline.
+
+See ``docs/OBSERVABILITY.md`` for the span schema and worked examples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanEvent",
+    "SpanRingBuffer",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "load_spans_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One finished span: a named interval on one thread.
+
+    ``thread`` is a small stable index assigned in first-seen order (not
+    the raw OS ident), ``worker`` is the scheduler's logical worker id
+    when the instrumented code provided one.  ``cpu`` is the CPU time
+    the owning thread consumed inside the span (``time.thread_time``),
+    which exposes GIL waits: a span with ``duration >> cpu`` was mostly
+    waiting, not computing.
+    """
+
+    name: str
+    thread: int
+    start: float
+    end: float
+    cpu: float = 0.0
+    worker: Optional[int] = None
+    depth: int = 0
+    parent: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the JSONL schema, one span/line)."""
+        return {
+            "name": self.name,
+            "thread": self.thread,
+            "worker": self.worker,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.duration,
+            "cpu": self.cpu,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanEvent":
+        """Inverse of :meth:`to_dict` (``dur`` is derived, not stored)."""
+        return cls(
+            name=payload["name"],
+            thread=payload["thread"],
+            worker=payload.get("worker"),
+            start=payload["start"],
+            end=payload["end"],
+            cpu=payload.get("cpu", 0.0),
+            depth=payload.get("depth", 0),
+            parent=payload.get("parent"),
+            attrs=payload.get("attrs") or {},
+        )
+
+
+class SpanRingBuffer:
+    """A fixed-capacity, thread-safe ring of finished spans.
+
+    Appends are O(1) and overwrite the oldest entry once full, so memory
+    stays bounded no matter how long tracing stays enabled.  ``snapshot``
+    returns the retained spans oldest-first.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Optional[SpanEvent]] = [None] * capacity
+        self._next = 0
+        self._count = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, span: SpanEvent) -> None:
+        """Add one span, evicting the oldest when at capacity."""
+        with self._lock:
+            if self._count == self.capacity:
+                self.dropped += 1
+            else:
+                self._count += 1
+            self._slots[self._next] = span
+            self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def snapshot(self) -> List[SpanEvent]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            if self._count < self.capacity:
+                return [s for s in self._slots[: self._count] if s is not None]
+            tail = self._slots[self._next:] + self._slots[: self._next]
+            return [s for s in tail if s is not None]
+
+    def clear(self) -> None:
+        """Drop every retained span and reset the drop counter."""
+        with self._lock:
+            self._slots = [None] * self.capacity
+            self._next = 0
+            self._count = 0
+            self.dropped = 0
+
+
+class _NullSpan:
+    """The shared no-op span context: every method does nothing.
+
+    A single module-level instance backs every disabled ``span()`` call,
+    so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attributes (the enabled counterpart records them)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span: records clocks on entry, emits a SpanEvent on exit."""
+
+    __slots__ = ("_tracer", "_name", "_worker", "_attrs", "_start", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, worker: Optional[int],
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._worker = worker
+        self._attrs = attrs
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. counter deltas)."""
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        cpu = time.thread_time() - self._cpu0
+        tracer = self._tracer
+        stack = tracer._stack()
+        stack.pop()
+        tracer._emit(
+            SpanEvent(
+                name=self._name,
+                thread=tracer._thread_index(),
+                start=self._start,
+                end=end,
+                cpu=cpu,
+                worker=self._worker,
+                depth=len(stack),
+                parent=stack[-1] if stack else None,
+                attrs=self._attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects nested :class:`SpanEvent` records into a ring buffer.
+
+    Thread-safe: span nesting state is thread-local, thread indices are
+    assigned under a lock, and the ring buffer serializes appends.
+    Aggregation helpers (:meth:`totals_by_region`, :meth:`percentages`)
+    mirror :class:`repro.util.timing.RegionTimer` so existing reporting
+    code ports over directly.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 16):
+        self.ring = SpanRingBuffer(capacity)
+        self._local = threading.local()
+        self._thread_ids: Dict[int, int] = {}
+        self._ids_lock = threading.Lock()
+        self._sinks: List[Callable[[SpanEvent], None]] = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _thread_index(self) -> int:
+        ident = threading.get_ident()
+        index = self._thread_ids.get(ident)
+        if index is None:
+            with self._ids_lock:
+                index = self._thread_ids.setdefault(ident, len(self._thread_ids))
+        return index
+
+    def _emit(self, span: SpanEvent) -> None:
+        self.ring.append(span)
+        for sink in self._sinks:
+            sink(span)
+
+    # -- recording API -----------------------------------------------------
+
+    def span(self, name: str, worker: Optional[int] = None, **attrs) -> _Span:
+        """Open a span; use as ``with tracer.span("cluster_seeds"): ...``."""
+        return _Span(self, name, worker, attrs)
+
+    def event(self, name: str, worker: Optional[int] = None, **attrs) -> None:
+        """Record a zero-duration point event (e.g. a cache rehash)."""
+        now = time.perf_counter()
+        stack = self._stack()
+        self._emit(
+            SpanEvent(
+                name=name,
+                thread=self._thread_index(),
+                start=now,
+                end=now,
+                cpu=0.0,
+                worker=worker,
+                depth=len(stack),
+                parent=stack[-1] if stack else None,
+                attrs=attrs,
+            )
+        )
+
+    def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
+        """Also deliver every finished span to ``sink`` (e.g. live export)."""
+        self._sinks.append(sink)
+
+    # -- inspection --------------------------------------------------------
+
+    def spans(self) -> List[SpanEvent]:
+        """Retained spans, oldest first."""
+        return self.ring.snapshot()
+
+    def __iter__(self) -> Iterator[SpanEvent]:
+        return iter(self.spans())
+
+    def totals_by_region(self) -> Dict[str, float]:
+        """Aggregate wall-clock duration per span name."""
+        totals: Dict[str, float] = {}
+        for span in self.spans():
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def percentages(self) -> Dict[str, float]:
+        """Share of total traced time per span name, in percent."""
+        totals = self.totals_by_region()
+        grand = sum(totals.values())
+        if grand == 0:
+            return {name: 0.0 for name in totals}
+        return {name: 100.0 * t / grand for name, t in totals.items()}
+
+    def clear(self) -> None:
+        """Drop all retained spans."""
+        self.ring.clear()
+
+    # -- persistence -------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write retained spans as JSON-lines; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(spans)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    This is the process default, so instrumented hot paths pay only a
+    method call returning a shared singleton context manager.
+    """
+
+    enabled = False
+
+    def span(self, name: str, worker: Optional[int] = None, **attrs) -> _NullSpan:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+    def event(self, name: str, worker: Optional[int] = None, **attrs) -> None:
+        """Discard the event."""
+
+    def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
+        """Discard the sink (nothing will ever be emitted)."""
+
+    def spans(self) -> List[SpanEvent]:
+        """Always empty."""
+        return []
+
+    def __iter__(self) -> Iterator[SpanEvent]:
+        return iter(())
+
+    def totals_by_region(self) -> Dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def percentages(self) -> Dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def clear(self) -> None:
+        """Nothing to drop."""
+
+    def export_jsonl(self, path: str) -> int:
+        """Write an empty file; returns 0."""
+        with open(path, "w", encoding="utf-8"):
+            pass
+        return 0
+
+
+#: The process-wide disabled tracer (the default "off switch").
+NULL_TRACER = NullTracer()
+
+_current_tracer = NULL_TRACER
+_current_lock = threading.Lock()
+
+
+def get_tracer():
+    """The currently installed tracer (:data:`NULL_TRACER` by default)."""
+    return _current_tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _current_tracer
+    with _current_lock:
+        previous = _current_tracer
+        _current_tracer = tracer
+    return previous
+
+
+class use_tracer:
+    """Context manager installing a tracer for the dynamic extent::
+
+        with use_tracer(Tracer()) as tracer:
+            proxy.map_reads(records)
+        tracer.export_jsonl("trace.jsonl")
+    """
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        set_tracer(self._previous)
+
+
+def load_spans_jsonl(path: str) -> List[SpanEvent]:
+    """Read spans written by :meth:`Tracer.export_jsonl` (blank-line safe)."""
+    spans: List[SpanEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(SpanEvent.from_dict(json.loads(line)))
+    return spans

@@ -8,6 +8,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, List
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 #: A batch processor: ``process_batch(first_item, last_item, thread_id)``
 #: handles items ``[first_item, last_item)``.
 BatchFn = Callable[[int, int, int], None]
@@ -25,6 +28,7 @@ class BatchTrace:
 
     @property
     def duration(self) -> float:
+        """Wall-clock seconds the batch took."""
         return self.end - self.start
 
 
@@ -62,6 +66,24 @@ class Scheduler(ABC):
             raise ValueError("item_count must be non-negative")
         if threads < 1 or batch_size < 1:
             raise ValueError("threads and batch_size must be positive")
+        with obs_trace.get_tracer().span(
+            f"sched.{self.name}", items=item_count, threads=threads,
+            batch_size=batch_size,
+        ):
+            merged = self._run_inner(item_count, process_batch, threads, batch_size)
+        self._publish_metrics(
+            obs_metrics.get_metrics(), merged, threads, batch_size
+        )
+        return merged
+
+    def _run_inner(
+        self,
+        item_count: int,
+        process_batch: BatchFn,
+        threads: int,
+        batch_size: int,
+    ) -> List[BatchTrace]:
+        """Validated body of :meth:`run`: spawn, join, merge traces."""
         self._prepare(item_count, threads, batch_size)
         per_thread_traces: List[List[BatchTrace]] = [[] for _ in range(threads)]
         if threads == 1:
@@ -94,6 +116,32 @@ class Scheduler(ABC):
 
     def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
         """Reset per-run shared state; subclasses override as needed."""
+
+    def _publish_metrics(
+        self,
+        registry: "obs_metrics.MetricsRegistry",
+        traces: List[BatchTrace],
+        threads: int,
+        batch_size: int,
+    ) -> None:
+        """Export run-level counters to the metrics registry.
+
+        Called once per :meth:`run` (never on the per-batch hot path).
+        Subclasses extend this with policy-specific series — steal
+        counts, claim counts, queue depths.
+        """
+        registry.counter(
+            "sched_batches_total", "batches executed by the scheduler"
+        ).inc(len(traces), policy=self.name)
+        registry.counter(
+            "sched_items_total", "work items executed by the scheduler"
+        ).inc(sum(t.item_count for t in traces), policy=self.name)
+        registry.gauge(
+            "sched_threads", "thread count of the most recent run"
+        ).set(threads, policy=self.name)
+        registry.gauge(
+            "sched_batch_size", "batch size of the most recent run"
+        ).set(batch_size, policy=self.name)
 
     @staticmethod
     def _record(

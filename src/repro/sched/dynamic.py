@@ -20,9 +20,12 @@ class DynamicScheduler(Scheduler):
     def __init__(self):
         self._cursor = 0
         self._lock = threading.Lock()
+        self.claims = 0
 
     def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
+        """Rewind the shared cursor and the claim counter."""
         self._cursor = 0
+        self.claims = 0
 
     def _claim(self, item_count: int, batch_size: int):
         """Atomically claim the next batch; None when work is exhausted."""
@@ -31,7 +34,15 @@ class DynamicScheduler(Scheduler):
                 return None
             first = self._cursor
             self._cursor = min(item_count, first + batch_size)
+            self.claims += 1
             return first, self._cursor
+
+    def _publish_metrics(self, registry, traces, threads, batch_size) -> None:
+        """Base series plus the shared-cursor claim count."""
+        super()._publish_metrics(registry, traces, threads, batch_size)
+        registry.counter(
+            "sched_claims_total", "successful claims on the shared cursor"
+        ).inc(self.claims, policy=self.name)
 
     def _thread_body(
         self,

@@ -63,10 +63,15 @@ class WorkStealingScheduler(Scheduler):
         self.steal_half = steal_half
         self._regions: List[_Region] = []
         self.steals = 0
+        self.steal_attempts = 0
+        self._victim_depths: List[int] = []
         self._steal_lock = threading.Lock()
 
     def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
+        """Reset steal statistics and split the range into regions."""
         self.steals = 0
+        self.steal_attempts = 0
+        self._victim_depths = []
         self._regions = []
         base = item_count // threads
         extra = item_count % threads
@@ -98,15 +103,40 @@ class WorkStealingScheduler(Scheduler):
         for step in range(1, threads):
             victim = self._regions[(thread_id + step) % threads]
             while True:
+                depth = victim.limit - victim.cursor
                 if self.steal_half:
                     claim = victim.claim_half(batch_size)
                 else:
                     claim = victim.claim(batch_size)
+                with self._steal_lock:
+                    self.steal_attempts += 1
+                    if claim is not None:
+                        self.steals += 1
+                        self._victim_depths.append(max(depth, 0))
                 if claim is None:
                     break
-                with self._steal_lock:
-                    self.steals += 1
                 first, last = claim
                 start = time.perf_counter()
                 process_batch(first, last, thread_id)
                 self._record(traces, thread_id, first, last, start)
+
+    def _publish_metrics(self, registry, traces, threads, batch_size) -> None:
+        """Base series plus steal attempts/successes and victim depths.
+
+        ``sched_steal_victim_depth`` is a histogram of how many items
+        the victim region still held when a steal succeeded — the queue
+        depth the thief saw, in units of items.
+        """
+        super()._publish_metrics(registry, traces, threads, batch_size)
+        registry.counter(
+            "sched_steal_attempts_total", "steal probes (successful or not)"
+        ).inc(self.steal_attempts, policy=self.name)
+        registry.counter(
+            "sched_steals_total", "successful cross-region steals"
+        ).inc(self.steals, policy=self.name)
+        depth_hist = registry.histogram(
+            "sched_steal_victim_depth",
+            "items remaining in the victim region at steal time",
+        )
+        for depth in self._victim_depths:
+            depth_hist.observe(depth, policy=self.name)

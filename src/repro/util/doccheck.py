@@ -1,0 +1,110 @@
+"""Docstring-coverage gate for the public API surface.
+
+The observability layer (:mod:`repro.obs`) and the schedulers
+(:mod:`repro.sched`) are documented API — ``docs/OBSERVABILITY.md``
+links straight into their docstrings — so missing docstrings there are
+treated as failures.  The checker is AST-based (no imports, so it can't
+be fooled by import-time side effects) and is run two ways:
+
+* as a unit test: ``tests/unit/test_docstrings.py``;
+* as a command: ``python -m repro.util.doccheck src/repro/obs src/repro/sched``
+  (exit code 1 when anything public is undocumented — see
+  ``scripts/ci.sh``).
+
+What counts as *public*: the module itself, plus every top-level class,
+function, and method of a public class whose name does not start with
+an underscore.  Dunder methods are exempt (their contracts are
+language-defined); so is everything inside private (``_``-prefixed)
+classes and nested scopes.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.util.loc import iter_python_files
+
+
+@dataclass(frozen=True)
+class DocIssue:
+    """One undocumented public object."""
+
+    path: str
+    qualname: str
+    kind: str
+    lineno: int
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/test output."""
+        return f"{self.path}:{self.lineno}: {self.kind} {self.qualname!r} has no docstring"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_body(
+    path: str, owner: str, body: List[ast.stmt], issues: List[DocIssue]
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            qualname = f"{owner}.{node.name}" if owner else node.name
+            if ast.get_docstring(node) is None:
+                issues.append(DocIssue(path, qualname, "function", node.lineno))
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            qualname = f"{owner}.{node.name}" if owner else node.name
+            if ast.get_docstring(node) is None:
+                issues.append(DocIssue(path, qualname, "class", node.lineno))
+            _check_body(path, qualname, node.body, issues)
+
+
+def check_file(path: str) -> List[DocIssue]:
+    """Docstring issues in one Python source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    issues: List[DocIssue] = []
+    if ast.get_docstring(tree) is None:
+        issues.append(DocIssue(path, os.path.basename(path), "module", 1))
+    _check_body(path, "", tree.body, issues)
+    return issues
+
+
+def check_paths(paths: Iterable[str]) -> List[DocIssue]:
+    """Docstring issues across files and/or directory trees."""
+    issues: List[DocIssue] = []
+    for root in paths:
+        if os.path.isfile(root):
+            issues.extend(check_file(root))
+        else:
+            for path in iter_python_files(root):
+                issues.extend(check_file(path))
+    return issues
+
+
+def main(argv=None) -> int:
+    """CLI entry point: report issues, exit 1 if any were found."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.util.doccheck PATH [PATH ...]",
+              file=sys.stderr)
+        return 2
+    issues = check_paths(paths)
+    for issue in issues:
+        print(issue.describe())
+    if issues:
+        print(f"{len(issues)} public object(s) missing docstrings")
+        return 1
+    print("docstring coverage: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

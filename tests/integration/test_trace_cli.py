@@ -1,0 +1,72 @@
+"""Integration tests for ``repro trace`` (the ISSUE acceptance check).
+
+Runs the trace subcommand end-to-end on a scaled-down preset and
+asserts the acceptance criteria directly: JSONL spans on disk, a
+per-region breakdown covering both proxy kernels, and cache hit/miss
+plus steal-count metrics present in the dump.
+"""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import load_spans_jsonl
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("trace-cli")
+    spans_path = str(out_dir / "trace.jsonl")
+    metrics_path = str(out_dir / "metrics.prom")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(
+            ["trace", "--input-set", "A-human", "--scale", "0.05",
+             "--threads", "2", "--batch-size", "16",
+             "--out", spans_path, "--metrics-out", metrics_path]
+        )
+    assert code == 0
+    return spans_path, metrics_path, buffer.getvalue()
+
+
+class TestTraceArtifacts:
+    def test_jsonl_spans_written(self, traced):
+        spans_path, _, _ = traced
+        assert os.path.getsize(spans_path) > 0
+        spans = load_spans_jsonl(spans_path)
+        names = {s.name for s in spans}
+        assert "cluster_seeds" in names
+        assert "process_until_threshold_c" in names
+        assert "proxy.batch" in names
+
+    def test_jsonl_lines_are_valid_json(self, traced):
+        spans_path, _, _ = traced
+        with open(spans_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert {"name", "thread", "start", "end", "dur"} <= set(record)
+
+    def test_metrics_dump_has_cache_and_steal_series(self, traced):
+        _, metrics_path, _ = traced
+        with open(metrics_path) as handle:
+            dump = handle.read()
+        assert "gbwt_cache_hits_total" in dump
+        assert "gbwt_cache_misses_total" in dump
+        assert "sched_steal_attempts_total" in dump
+        assert "sched_steals_total" in dump
+
+    def test_report_covers_both_kernels(self, traced):
+        _, _, stdout = traced
+        assert "cluster_seeds" in stdout
+        assert "process_until_threshold_c" in stdout
+        assert "gbwt_cache_hits_total" in stdout
+
+
+class TestTraceValidation:
+    def test_gbz_without_seeds_is_rejected(self, tmp_path):
+        code = main(["trace", "--gbz", str(tmp_path / "x.gbz")])
+        assert code == 2

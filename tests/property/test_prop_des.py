@@ -52,11 +52,39 @@ def test_dynamic_work_conserved(costs, threads):
 @settings(max_examples=20, deadline=None)
 @given(costs=costs, threads=st.integers(min_value=2, max_value=8))
 def test_dynamic_never_slower_than_static_much(costs, threads):
-    """Dynamic load balancing is at worst marginally slower than static
-    (claim overhead), and often faster."""
+    """Dynamic claiming obeys Graham's list-scheduling bound vs static.
+
+    Greedy claiming is NOT universally faster than a lucky round-robin
+    pre-assignment: an adversarial cost order can make the greedy
+    schedule pay up to one straggler batch more (the classic
+    ``(2 - 1/m)``-competitive bound).  What the paper actually claims is
+    that dynamic wins *under imbalance at realistic batch counts* (see
+    ``test_dynamic_wins_under_tail_imbalance``); the universal law is
+    only ``dynamic <= static + (1 - 1/m) * max_batch`` plus claim
+    overheads, which is what we assert here.
+    """
     def batch_cost(batch, thread):
         return costs[batch]
 
     dynamic = simulate_run("dynamic", len(costs), threads, batch_cost)
     static = simulate_run("static", len(costs), threads, batch_cost)
-    assert dynamic.makespan <= static.makespan + len(costs) * 1e-5 + 1e-3
+    straggler = max(costs) * (1.0 - 1.0 / threads)
+    overhead = len(costs) * 1e-5 + 1e-3
+    assert dynamic.makespan <= static.makespan + straggler + overhead
+
+
+def test_dynamic_wins_under_tail_imbalance():
+    """The paper's actual claim: with skewed batch costs that round-robin
+    happens to pile onto one thread, dynamic claiming is much faster."""
+    threads = 4
+    # Every 4th batch is 100x heavier -> static round-robin gives all the
+    # heavy batches to thread 0 while threads 1-3 idle.
+    costs = [0.01 if i % threads == 0 else 0.0001 for i in range(40)]
+
+    def batch_cost(batch, thread):
+        return costs[batch]
+
+    dynamic = simulate_run("dynamic", len(costs), threads, batch_cost)
+    static = simulate_run("static", len(costs), threads, batch_cost)
+    assert dynamic.makespan < 0.6 * static.makespan
+    assert dynamic.imbalance < static.imbalance

@@ -1,0 +1,66 @@
+"""The docstring-coverage gate (ISSUE 1 satellite).
+
+Every public module/class/function in ``repro.obs`` and ``repro.sched``
+must carry a docstring — these packages are the documented API surface
+``docs/OBSERVABILITY.md`` references.  The same check runs standalone
+in CI via ``python -m repro.util.doccheck`` (see ``scripts/ci.sh``).
+"""
+
+import os
+
+import pytest
+
+from repro.util.doccheck import DocIssue, check_file, check_paths
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+    "repro",
+)
+
+GATED_PACKAGES = ["obs", "sched"]
+
+
+@pytest.mark.parametrize("package", GATED_PACKAGES)
+def test_gated_packages_fully_documented(package):
+    root = os.path.join(SRC_ROOT, package)
+    assert os.path.isdir(root), f"gated package missing: {root}"
+    issues = check_paths([root])
+    details = "\n".join(issue.describe() for issue in issues)
+    assert not issues, f"undocumented public API in repro.{package}:\n{details}"
+
+
+def test_checker_flags_missing_docstrings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "class Thing:\n"
+        "    def visible(self):\n"
+        "        pass\n"
+        "    def _hidden(self):\n"
+        "        pass\n"
+    )
+    issues = check_file(str(bad))
+    kinds = {(i.kind, i.qualname) for i in issues}
+    assert ("module", "bad.py") in kinds
+    assert ("class", "Thing") in kinds
+    assert ("function", "Thing.visible") in kinds
+    assert all("_hidden" not in i.qualname for i in issues)
+
+
+def test_checker_accepts_documented_file(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        '"""Module docs."""\n'
+        "class Thing:\n"
+        '    """Class docs."""\n'
+        "    def visible(self):\n"
+        '        """Method docs."""\n'
+        "_private = 1\n"
+    )
+    assert check_file(str(good)) == []
+
+
+def test_issue_describe_mentions_location():
+    issue = DocIssue("a/b.py", "Thing.run", "function", 12)
+    text = issue.describe()
+    assert "a/b.py:12" in text and "Thing.run" in text

@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        counter = Counter("hits_total")
+        counter.inc(2, worker="0")
+        counter.inc(worker="0")
+        counter.inc(5, worker="1")
+        assert counter.value(worker="0") == 3
+        assert counter.value(worker="1") == 5
+        assert counter.total() == 8
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("c")
+        counter.inc(1, a="x", b="y")
+        assert counter.value(b="y", a="x") == 1
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_render_prometheus_lines(self):
+        counter = Counter("reads_total", "reads mapped")
+        counter.inc(7, policy="dynamic")
+        lines = counter.render()
+        assert "# HELP reads_total reads mapped" in lines
+        assert "# TYPE reads_total counter" in lines
+        assert 'reads_total{policy="dynamic"} 7' in lines
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        gauge = Gauge("depth")
+        gauge.set(10, queue="a")
+        gauge.add(-3, queue="a")
+        assert gauge.value(queue="a") == 7
+
+    def test_unlabeled_series(self):
+        gauge = Gauge("makespan_seconds")
+        gauge.set(1.5)
+        assert gauge.value() == 1.5
+        assert "makespan_seconds 1.5" in gauge.render()
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        hist = Histogram("depth", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            hist.observe(value, policy="ws")
+        assert hist.count(policy="ws") == 4
+        assert hist.sum(policy="ws") == pytest.approx(555.5)
+
+    def test_cumulative_buckets_rendered(self):
+        hist = Histogram("d", buckets=(1, 10))
+        hist.observe(0.5)
+        hist.observe(5)
+        hist.observe(50)
+        lines = hist.render()
+        assert 'd_bucket{le="1"} 1' in lines
+        assert 'd_bucket{le="10"} 2' in lines
+        assert 'd_bucket{le="+Inf"} 3' in lines
+        assert "d_count 3" in lines
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("d", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_shares_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_dump_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge").set(1)
+        registry.counter("a_total").inc(2)
+        dump = registry.dump()
+        assert dump.index("a_total") < dump.index("b_gauge")
+        assert "# TYPE a_total counter" in dump
+        assert "# TYPE b_gauge gauge" in dump
+
+    def test_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc(1)
+        path = str(tmp_path / "metrics.prom")
+        registry.write(path)
+        with open(path) as handle:
+            assert "x_total 1" in handle.read()
+
+    def test_empty_dump_is_empty_string(self):
+        assert MetricsRegistry().dump() == ""
+
+
+class TestThreadSafetyUnderConcurrentWorkers:
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        hist = registry.histogram("depth", buckets=(10, 100, 1000))
+        workers = 8
+        per_worker = 2000
+
+        def work(worker_id):
+            for i in range(per_worker):
+                counter.inc(worker=str(worker_id % 2))
+                hist.observe(i % 50)
+
+        threads = [
+            threading.Thread(target=work, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.total() == workers * per_worker
+        assert hist.count() == workers * per_worker
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        found = []
+
+        def work():
+            found.append(registry.counter("shared_total"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(metric is found[0] for metric in found)
+
+
+class TestGlobalInstall:
+    def test_use_metrics_installs_and_restores(self):
+        registry = MetricsRegistry()
+        before = get_metrics()
+        with use_metrics(registry) as installed:
+            assert installed is registry
+            assert get_metrics() is registry
+        assert get_metrics() is before
+
+    def test_empty_registry_is_falsy_but_still_installable(self):
+        # Regression guard: MetricsRegistry defines __len__, so an empty
+        # registry is falsy — installation code must use `is None` checks.
+        registry = MetricsRegistry()
+        assert not registry
+        with use_metrics(registry):
+            assert get_metrics() is registry
+
+    def test_set_metrics_returns_previous(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            assert get_metrics() is registry
+        finally:
+            set_metrics(previous)

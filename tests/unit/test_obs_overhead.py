@@ -1,0 +1,61 @@
+"""Regression guard: disabled tracing must stay (far) under 5% overhead.
+
+The hot paths (`core.proxy`, `giraffe.mapper`) enter two tracer spans
+per read.  With the default :data:`~repro.obs.trace.NULL_TRACER`
+installed, each entry is one method call returning a shared no-op
+context manager.  Comparing two full proxy runs against each other is
+hopelessly noisy at this workload size, so instead we microbenchmark
+the per-span cost of the null tracer directly and check that the total
+cost it adds to a real small run is below the 5% budget.
+"""
+
+import time
+
+from repro.core.options import ProxyOptions
+from repro.core.proxy import MiniGiraffe
+from repro.obs.trace import NULL_TRACER, get_tracer
+
+
+def _null_span_cost(iterations=20_000):
+    """Best-of-3 per-iteration cost of entering/exiting a no-op span."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with NULL_TRACER.span("x", worker=0, read="r"):
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best / iterations
+
+
+class TestNoopOverhead:
+    def test_default_tracer_is_noop(self):
+        assert not get_tracer().enabled
+
+    def test_noop_spans_under_five_percent_of_small_run(
+        self, small_pangenome, small_mapper, small_reads
+    ):
+        proxy = MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=1, batch_size=8),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+        records = small_mapper.capture_read_records(small_reads)
+        makespans = [proxy.map_reads(records).makespan for _ in range(3)]
+        makespan = min(makespans)
+
+        # Two instrumented regions per read, plus one batch span per
+        # batch — round up to 3 spans/read for headroom.
+        spans_per_run = 3 * len(records)
+        added = spans_per_run * _null_span_cost()
+        assert added < 0.05 * makespan, (
+            f"no-op tracing would add {added * 1e6:.0f}us to a "
+            f"{makespan * 1e3:.1f}ms run (>{added / makespan:.1%})"
+        )
+
+    def test_null_span_cost_is_sub_microsecond_scale(self):
+        # Belt and braces: the shared singleton keeps per-span cost in
+        # the no-allocation regime.  10us is a very loose ceiling that
+        # holds even on heavily loaded CI machines.
+        assert _null_span_cost(iterations=5_000) < 10e-6

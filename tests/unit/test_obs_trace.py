@@ -1,0 +1,208 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    SpanRingBuffer,
+    Tracer,
+    get_tracer,
+    load_spans_jsonl,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_depth_and_parent_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].depth == 0
+        assert spans["outer"].parent is None
+        assert spans["inner"].depth == 1
+        assert spans["inner"].parent == "outer"
+
+    def test_inner_span_finishes_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["a"].parent == "outer"
+        assert spans["b"].parent == "outer"
+        assert spans["a"].depth == spans["b"].depth == 1
+
+    def test_wall_time_covers_sleep(self):
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.01)
+        (span,) = tracer.spans()
+        assert span.duration >= 0.009
+        # Sleeping burns wall clock, not CPU.
+        assert span.cpu < span.duration
+
+    def test_attrs_and_worker(self):
+        tracer = Tracer()
+        with tracer.span("batch", worker=3, first=0, count=8) as span:
+            span.set(extra="late")
+        (event,) = tracer.spans()
+        assert event.worker == 3
+        assert event.attrs == {"first": 0, "count": 8, "extra": "late"}
+
+    def test_point_events(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("rehash", capacity=512)
+        rehash = [s for s in tracer.spans() if s.name == "rehash"][0]
+        assert rehash.duration == 0.0
+        assert rehash.parent == "outer"
+        assert rehash.attrs == {"capacity": 512}
+
+
+class TestRingBuffer:
+    def test_keeps_most_recent_when_full(self):
+        ring = SpanRingBuffer(capacity=4)
+        for i in range(10):
+            ring.append(SpanEvent("s", 0, float(i), float(i)))
+        kept = [s.start for s in ring.snapshot()]
+        assert kept == [6.0, 7.0, 8.0, 9.0]
+        assert ring.dropped == 6
+        assert len(ring) == 4
+
+    def test_snapshot_before_full_is_ordered(self):
+        ring = SpanRingBuffer(capacity=8)
+        for i in range(3):
+            ring.append(SpanEvent("s", 0, float(i), float(i)))
+        assert [s.start for s in ring.snapshot()] == [0.0, 1.0, 2.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRingBuffer(capacity=0)
+
+    def test_clear(self):
+        ring = SpanRingBuffer(capacity=2)
+        ring.append(SpanEvent("s", 0, 0.0, 1.0))
+        ring.clear()
+        assert ring.snapshot() == []
+        assert len(ring) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_assign_stable_thread_indices(self):
+        tracer = Tracer()
+        # Hold all workers at a barrier so none exits before the others
+        # start — a finished thread's ident can be reused by the OS,
+        # which would legitimately collapse two workers onto one index.
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            for _ in range(50):
+                with tracer.span("w"):
+                    pass
+            barrier.wait()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == 200
+        # Thread indices are small and stable, one per worker thread.
+        assert {s.thread for s in spans} == set(range(4))
+        # Nesting state is thread-local: all spans are top-level.
+        assert all(s.depth == 0 for s in spans)
+
+
+class TestJsonlRoundTrip:
+    def test_export_then_load_is_lossless(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", worker=1, batch=2):
+            with tracer.span("inner", read="r-1"):
+                pass
+        path = str(tmp_path / "spans.jsonl")
+        count = tracer.export_jsonl(path)
+        assert count == 2
+        loaded = load_spans_jsonl(path)
+        assert loaded == tracer.spans()
+
+    def test_null_tracer_exports_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert NULL_TRACER.export_jsonl(path) == 0
+        assert load_spans_jsonl(path) == []
+
+
+class TestGlobalInstall:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+
+class TestNullTracer:
+    def test_all_operations_are_noops(self):
+        null = NullTracer()
+        with null.span("anything", worker=1, attr=2) as span:
+            span.set(more=3)
+        null.event("thing")
+        assert null.spans() == []
+        assert null.totals_by_region() == {}
+        assert null.percentages() == {}
+        assert not null.enabled
+
+    def test_span_context_is_shared(self):
+        null = NullTracer()
+        assert null.span("a") is null.span("b")
+
+
+class TestAggregation:
+    def test_totals_and_percentages(self):
+        tracer = Tracer()
+        tracer.ring.append(SpanEvent("a", 0, 0.0, 3.0))
+        tracer.ring.append(SpanEvent("b", 0, 0.0, 1.0))
+        totals = tracer.totals_by_region()
+        assert totals == {"a": 3.0, "b": 1.0}
+        percentages = tracer.percentages()
+        assert percentages["a"] == pytest.approx(75.0)
+        assert percentages["b"] == pytest.approx(25.0)
+
+    def test_sink_receives_finished_spans(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_sink(seen.append)
+        with tracer.span("watched"):
+            pass
+        assert [s.name for s in seen] == ["watched"]

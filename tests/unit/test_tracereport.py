@@ -1,0 +1,90 @@
+"""Unit tests for the trace report renderer (repro.analysis.tracereport)."""
+
+from repro.analysis.tracereport import (
+    is_region_span,
+    region_breakdown,
+    render_region_table,
+    render_trace_report,
+    render_worker_table,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanEvent
+
+
+def _span(name, start, end, worker=None, cpu=None):
+    return SpanEvent(
+        name=name, thread=0, start=start, end=end,
+        cpu=cpu if cpu is not None else (end - start), worker=worker,
+    )
+
+
+SPANS = [
+    _span("proxy.batch", 0.0, 4.0, worker=0),
+    _span("cluster_seeds", 0.0, 1.0, worker=0),
+    _span("process_until_threshold_c", 1.0, 4.0, worker=0),
+    _span("proxy.batch", 0.0, 2.0, worker=1),
+    _span("cluster_seeds", 0.0, 0.5, worker=1),
+    _span("process_until_threshold_c", 0.5, 2.0, worker=1),
+]
+
+
+class TestRegionBreakdown:
+    def test_structural_spans_excluded(self):
+        stats = region_breakdown(SPANS)
+        assert [s.region for s in stats] == [
+            "process_until_threshold_c", "cluster_seeds",
+        ]
+
+    def test_totals_and_percentages(self):
+        stats = {s.region: s for s in region_breakdown(SPANS)}
+        extend = stats["process_until_threshold_c"]
+        cluster = stats["cluster_seeds"]
+        assert extend.total == 4.5
+        assert cluster.total == 1.5
+        assert extend.percent == 75.0
+        assert cluster.percent == 25.0
+        assert extend.spans == 2
+        assert cluster.mean == 0.75
+
+    def test_explicit_region_filter(self):
+        stats = region_breakdown(SPANS, regions=["cluster_seeds"])
+        assert len(stats) == 1
+        assert stats[0].percent == 100.0
+
+    def test_empty_spans(self):
+        assert region_breakdown([]) == []
+
+    def test_is_region_span_convention(self):
+        assert is_region_span(_span("cluster_seeds", 0, 1))
+        assert not is_region_span(_span("proxy.batch", 0, 1))
+        assert not is_region_span(_span("sched.dynamic", 0, 1))
+
+
+class TestRendering:
+    def test_region_table_mentions_both_kernels(self):
+        table = render_region_table(SPANS)
+        assert "cluster_seeds" in table
+        assert "process_until_threshold_c" in table
+        assert "percent" in table
+
+    def test_worker_table_counts_batches(self):
+        table = render_worker_table(SPANS)
+        assert "worker" in table
+        lines = [l for l in table.splitlines() if "|" in l]
+        # header + two worker rows
+        assert len(lines) == 3
+
+    def test_full_report_includes_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("gbwt_cache_hits_total").inc(10, worker="0")
+        registry.counter("sched_steals_total").inc(3, policy="work_stealing")
+        registry.counter("unrelated_total").inc(1)
+        report = render_trace_report(SPANS, registry)
+        assert "gbwt_cache_hits_total" in report
+        assert "sched_steals_total" in report
+        assert "unrelated_total" not in report
+
+    def test_report_without_registry(self):
+        report = render_trace_report(SPANS)
+        assert "Key metrics" not in report
+        assert "cluster_seeds" in report
