@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
-# Usage: ./scripts/ci.sh
+# Usage: ./scripts/ci.sh [--bench-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
+#
+# --bench-smoke additionally runs the smoke benchmark suite and the
+# proxy-fidelity validation gate (ISSUE 2) after the tier-1 tests:
+#   repro bench --smoke     (regression gate against benchmarks/baseline.json)
+#   repro validate --smoke  (cosine / exec-time / bit-identical checks)
 #
 # Benchmarks (paper regeneration) are intentionally excluded — run them
 # separately with: PYTHONPATH=src python -m pytest benchmarks/ -q
@@ -12,8 +17,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q "$@"
+BENCH_SMOKE=0
+args=()
+for arg in "$@"; do
+    if [[ "$arg" == "--bench-smoke" ]]; then
+        BENCH_SMOKE=1
+    else
+        args+=("$arg")
+    fi
+done
 
-echo "== docstring coverage (repro.obs, repro.sched) =="
-python -m repro.util.doccheck src/repro/obs src/repro/sched
+echo "== tier-1 tests =="
+python -m pytest -x -q "${args[@]+"${args[@]}"}"
+
+echo "== docstring coverage (repro.obs, repro.sched, repro.analysis) =="
+python -m repro.util.doccheck src/repro/obs src/repro/sched src/repro/analysis
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+    echo "== bench smoke (regression gate) =="
+    bench_out="$(mktemp -d)"
+    trap 'rm -rf "$bench_out"' EXIT
+    python -m repro bench --smoke --out-dir "$bench_out"
+
+    echo "== validate smoke (proxy-fidelity gate) =="
+    python -m repro validate --smoke
+fi

@@ -16,6 +16,10 @@ from repro.analysis.figures import (
 from repro.analysis.report import speedup_series, percent_diff
 from repro.analysis.threads import UtilizationReport, analyze_traces
 from repro.analysis.fidelity import Comparison, FidelityReport
+from repro.analysis.benchreport import (
+    render_bench_report,
+    render_validation_report,
+)
 from repro.analysis.tracereport import (
     region_breakdown,
     render_region_table,
@@ -23,6 +27,8 @@ from repro.analysis.tracereport import (
 )
 
 __all__ = [
+    "render_bench_report",
+    "render_validation_report",
     "region_breakdown",
     "render_region_table",
     "render_trace_report",

@@ -1,0 +1,172 @@
+"""Human-readable rendering of bench reports and validation results.
+
+:mod:`repro.obs.bench` and :mod:`repro.obs.validate` produce plain
+dict/dataclass results; this module turns them into the aligned text
+tables ``repro bench`` and ``repro validate`` print — the Table V/VI
+shape for fidelity, a per-config summary plus baseline deltas for the
+bench harness.  Renderers take data, never run anything, so they work
+equally on a freshly produced report and one loaded from a
+``BENCH_*.json`` on disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.tables import format_table
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    return f"{delta:+.1%}" if delta is not None else "-"
+
+
+def render_bench_report(report: Dict[str, object], comparison=None) -> str:
+    """The full bench text report: config summary, regions, deltas.
+
+    ``comparison`` is an optional
+    :class:`repro.obs.bench.BaselineComparison`; when given, a delta
+    table and a regression verdict line are appended.
+    """
+    rows = []
+    for entry in report.get("configs", []):
+        cache = entry.get("cache", {})
+        rows.append([
+            entry["key"],
+            f"{entry['wall_time']:.4f}",
+            f"{entry['mapped_reads']}/{entry['read_count']}",
+            f"{cache.get('hit_rate', 0.0):.1%}",
+            len(entry.get("regions", {})),
+        ])
+    sections = [format_table(
+        f"Bench suite '{report.get('suite', '?')}' "
+        f"({len(rows)} configs, schema v{report.get('schema_version')})",
+        ["config", "wall_s", "mapped", "cache_hit", "regions"],
+        rows,
+    )]
+    for entry in report.get("configs", []):
+        region_rows = [
+            [
+                name,
+                int(stats.get("spans", 0)),
+                f"{stats.get('total_s', 0.0):.4f}",
+                f"{stats.get('percent', 0.0):.1f}",
+                f"{stats.get('p50_ms', 0.0):.3f}",
+                f"{stats.get('p90_ms', 0.0):.3f}",
+                f"{stats.get('p99_ms', 0.0):.3f}",
+            ]
+            for name, stats in sorted(
+                entry.get("regions", {}).items(),
+                key=lambda kv: -kv[1].get("total_s", 0.0),
+            )
+        ]
+        if region_rows:
+            sections.append(format_table(
+                f"Regions: {entry['key']}",
+                ["region", "spans", "total_s", "percent",
+                 "p50_ms", "p90_ms", "p99_ms"],
+                region_rows,
+            ))
+    if comparison is not None:
+        delta_rows = [
+            [
+                delta.key,
+                delta.status,
+                _fmt_delta(delta.wall_time_delta),
+                _fmt_delta(max(delta.ops_delta.values()))
+                if delta.ops_delta else "-",
+                "; ".join(delta.reasons) if delta.reasons else "-",
+            ]
+            for delta in comparison.deltas
+        ]
+        sections.append(format_table(
+            "Baseline comparison",
+            ["config", "status", "wall_dt", "max_ops_dt", "reasons"],
+            delta_rows,
+        ))
+        if comparison.unknown_baseline_keys:
+            sections.append(
+                "Baseline configs not in this suite (ignored): "
+                + ", ".join(comparison.unknown_baseline_keys)
+            )
+        verdict = (
+            f"REGRESSION: {len(comparison.regressions)} config(s) "
+            "crossed a threshold"
+            if comparison.has_regressions
+            else "No regressions against baseline."
+        )
+        sections.append(verdict)
+    return "\n\n".join(sections)
+
+
+def render_validation_report(result) -> str:
+    """The Table V/VI-style fidelity report for one validation run.
+
+    ``result`` is a :class:`repro.obs.validate.ValidationResult` (or
+    anything with the same attributes).
+    """
+    checks = result.checks
+    mark = lambda ok: "PASS" if ok else "FAIL"  # noqa: E731
+    gate_rows = [
+        [
+            "extensions bit-identical",
+            f"{result.functional.get('extensions_expected', 0)} expected",
+            f"{result.functional.get('missing', 0)} missing / "
+            f"{result.functional.get('extra', 0)} extra",
+            "exact",
+            mark(checks["extensions_bit_identical"]),
+        ],
+        [
+            "kernel-counter cosine",
+            "1.0",
+            f"{result.kernel_cosine:.6f}",
+            f">= {result.thresholds.cosine:g}",
+            mark(checks["kernel_cosine"]),
+        ],
+        [
+            "hw-counter cosine (sim)",
+            "0.9996 (paper)",
+            f"{result.hw_cosine:.6f}",
+            f">= {result.thresholds.hw_cosine:g}",
+            mark(checks["hw_cosine"]),
+        ],
+        [
+            "exec time |dt|",
+            "<= 8.7% (paper)",
+            f"{result.time_delta:+.1%}",
+            f"<= {result.thresholds.time:.1%}",
+            mark(checks["exec_time"]),
+        ],
+    ]
+    sections = [format_table(
+        f"Proxy fidelity: {result.input_set} (scale {result.scale:g}, "
+        f"{result.threads} thread(s), best of {result.repeats})",
+        ["gate", "reference", "measured", "threshold", "status"],
+        gate_rows,
+    )]
+    counter_rows = [
+        [
+            op,
+            f"{result.kernel_ops_parent.get(op, 0):g}",
+            f"{result.kernel_ops_proxy.get(op, 0):g}",
+        ]
+        for op in sorted(result.kernel_ops_parent)
+    ]
+    sections.append(format_table(
+        "Kernel counters (software, Table V shape)",
+        ["op", "giraffe", "miniGiraffe"],
+        counter_rows,
+    ))
+    sections.append(
+        f"Exec time: parent critical region {result.parent_critical_time:.4f}s, "
+        f"proxy makespan {result.proxy_makespan:.4f}s "
+        f"(delta {result.time_delta:+.2%}); "
+        f"hw counters simulated on {result.counter_platform}."
+    )
+    sections.append(
+        "VALIDATION PASSED" if result.passed else "VALIDATION FAILED: "
+        + ", ".join(name for name, ok in checks.items() if not ok)
+    )
+    return "\n\n".join(sections)
+
+
+__all__ = ["render_bench_report", "render_validation_report"]

@@ -46,6 +46,7 @@ class FidelityReport:
     comparisons: List[Comparison] = field(default_factory=list)
 
     def add(self, metric: str, paper: float, measured: float) -> None:
+        """Append one (metric, paper, measured) comparison."""
         self.comparisons.append(Comparison(metric, paper, measured))
 
     def __len__(self) -> int:
@@ -74,6 +75,7 @@ class FidelityReport:
         return hits / len(self.comparisons)
 
     def render(self) -> str:
+        """The ledger as an aligned text table."""
         rows = [
             [c.metric, c.paper, round(c.measured, 3), round(c.ratio, 3)]
             for c in self.comparisons

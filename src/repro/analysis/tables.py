@@ -15,6 +15,7 @@ class Table:
     rows: List[List[Any]] = field(default_factory=list)
 
     def add_row(self, *cells: Any) -> None:
+        """Append one row; cell count must match the header."""
         if len(cells) != len(self.header):
             raise ValueError(
                 f"row has {len(cells)} cells, header has {len(self.header)}"
@@ -22,6 +23,7 @@ class Table:
         self.rows.append(list(cells))
 
     def render(self) -> str:
+        """The table as aligned plain text."""
         return format_table(self.title, self.header, self.rows)
 
 

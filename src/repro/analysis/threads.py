@@ -35,10 +35,12 @@ class UtilizationReport:
 
     @property
     def thread_count(self) -> int:
+        """Number of threads that did any work."""
         return len(self.threads)
 
     @property
     def total_busy(self) -> float:
+        """Aggregate busy time across all threads, seconds."""
         return sum(t.busy_time for t in self.threads)
 
     @property

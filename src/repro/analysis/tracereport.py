@@ -133,8 +133,12 @@ def render_trace_report(
 
     ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`; only
     metrics whose names start with one of ``metric_prefixes`` are
-    included (histogram detail is elided to its ``_sum``/``_count``).
+    included.  Histogram bucket detail is elided to ``_sum``/``_count``
+    plus a p50/p90/p99 summary line per series (estimated by
+    :meth:`repro.obs.metrics.Histogram.percentiles`).
     """
+    from repro.obs.metrics import Histogram
+
     spans = list(spans)
     sections = [render_region_table(spans)]
     worker_table = render_worker_table(spans)
@@ -148,6 +152,26 @@ def render_trace_report(
             and line.startswith(tuple(metric_prefixes))
             and "_bucket{" not in line
         ]
+        for name in registry.names():
+            metric = registry.get(name)
+            if not isinstance(metric, Histogram):
+                continue
+            if not name.startswith(tuple(metric_prefixes)):
+                continue
+            for series in metric.snapshot():
+                labels = series["labels"]
+                summary = metric.percentiles(**labels)
+                if not summary:
+                    continue
+                label_text = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                )
+                body = " ".join(f"{k}={v:.3g}" for k, v in summary.items())
+                lines.append(
+                    f"{name}_quantiles"
+                    + (f"{{{label_text}}}" if label_text else "")
+                    + f" {body}"
+                )
         if lines:
             sections.append("Key metrics:\n" + "\n".join(
                 f"  {line}" for line in lines

@@ -149,7 +149,10 @@ class MiniGiraffe:
             ) as batch_span:
                 for index in range(first, last):
                     record = records[index]
-                    with timer.region("cluster_seeds"), tracer.span(
+                    # One timing path: RegionTimer records the aggregate
+                    # sample and delegates the structured span to the
+                    # installed tracer (repro.obs.trace).
+                    with timer.region(
                         "cluster_seeds", worker=thread_id, read=record.name
                     ):
                         clusters = cluster_seeds(
@@ -160,7 +163,7 @@ class MiniGiraffe:
                             options=options.process,
                             counters=thread_counters,
                         )
-                    with timer.region("process_until_threshold_c"), tracer.span(
+                    with timer.region(
                         "process_until_threshold_c",
                         worker=thread_id,
                         read=record.name,

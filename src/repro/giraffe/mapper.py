@@ -108,33 +108,27 @@ class GiraffeMapper:
         cache: CachedGBWT,
         timer: RegionTimer,
         counters: KernelCounters,
-        tracer=None,
         worker: Optional[int] = None,
     ) -> tuple:
         """One read through the whole pipeline.
 
-        Every stage reports to both sinks: the aggregate-only
-        :class:`RegionTimer` (what ``GiraffeRunResult.timer`` and the
-        Figure 2/3 benchmarks consume) and the structured span tracer
-        (:mod:`repro.obs.trace`, a no-op unless one is installed).
+        Every stage reports through the single timing path:
+        :meth:`repro.util.timing.RegionTimer.region` records the
+        aggregate sample (what ``GiraffeRunResult.timer`` and the
+        Figure 2/3 benchmarks consume) and delegates a structured span
+        to the installed tracer (:mod:`repro.obs.trace`, a no-op unless
+        one is installed).
 
         Returns ``(alignment, critical_extensions)``.
         """
-        tracer = tracer if tracer is not None else obs_trace.get_tracer()
-        with timer.region(REGION_MINIMIZER), tracer.span(
-            REGION_MINIMIZER, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_MINIMIZER, worker=worker, read=read.name):
             # Minimizer extraction happens inside seeds_for_read; the two
             # regions are split the way the paper's annotations split them
             # (lookup vs seed materialization).
             seeds: List[Seed] = self.seed_finder.seeds_for_read(read)
-        with timer.region(REGION_SEED), tracer.span(
-            REGION_SEED, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_SEED, worker=worker, read=read.name):
             seeds.sort(key=Seed.sort_key)
-        with timer.region(REGION_CLUSTER), tracer.span(
-            REGION_CLUSTER, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_CLUSTER, worker=worker, read=read.name):
             clusters = cluster_seeds(
                 self.distance_index,
                 seeds,
@@ -143,9 +137,7 @@ class GiraffeMapper:
                 options=self.options.process,
                 counters=counters,
             )
-        with timer.region(REGION_EXTEND), tracer.span(
-            REGION_EXTEND, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_EXTEND, worker=worker, read=read.name):
             extensions = process_until_threshold(
                 self.gbz.graph,
                 cache,
@@ -156,9 +148,7 @@ class GiraffeMapper:
                 scoring=self.scoring,
                 counters=counters,
             )
-        with timer.region(REGION_SCORE), tracer.span(
-            REGION_SCORE, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_SCORE, worker=worker, read=read.name):
             # Post-processing: drop clearly dominated extensions before
             # alignment (the proxy stops before this step).
             kept = [
@@ -166,9 +156,7 @@ class GiraffeMapper:
                 for ext in extensions
                 if not extensions or ext.score * 2 >= extensions[0].score
             ]
-        with timer.region(REGION_ALIGN), tracer.span(
-            REGION_ALIGN, worker=worker, read=read.name
-        ):
+        with timer.region(REGION_ALIGN, worker=worker, read=read.name):
             alignment = alignments_from_extensions(read.name, kept)
         return alignment, extensions
 
@@ -204,7 +192,7 @@ class GiraffeMapper:
                 for index in range(first, last):
                     alignment, exts = self._map_one(
                         reads[index], cache, timer, thread_counters,
-                        tracer=tracer, worker=thread_id,
+                        worker=thread_id,
                     )
                     alignments[index] = alignment
                     extensions[index] = exts

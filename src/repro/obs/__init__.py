@@ -9,7 +9,15 @@ first-class, always-available subsystem instead of ad-hoc fragments:
   worker, wall/CPU time, kernel-counter deltas) with nesting, a
   thread-safe ring buffer, and JSONL export;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms with
-  labeled series and a Prometheus-style text dump.
+  labeled series, percentile summaries, and a Prometheus-style text
+  dump;
+* :mod:`repro.obs.bench` — the continuous benchmark harness
+  (``repro bench``): a declared configuration suite, schema-versioned
+  ``BENCH_<timestamp>.json`` reports, and baseline regression gating;
+* :mod:`repro.obs.validate` — the proxy-fidelity gate
+  (``repro validate``): parent-vs-proxy counter cosine similarity,
+  execution-time delta, and the bit-identical extension check with the
+  paper's thresholds.
 
 Hooks are wired into the hot paths (``repro.sched``, ``repro.core.proxy``,
 ``repro.gbwt.cache``, ``repro.giraffe.mapper``) against the *currently
@@ -28,6 +36,15 @@ The ``repro trace`` CLI subcommand packages exactly this workflow; see
 ``docs/OBSERVABILITY.md`` for the API reference and span schema.
 """
 
+from repro.obs.bench import (
+    BenchConfig,
+    compare_to_baseline,
+    default_suite,
+    load_report,
+    run_suite,
+    smoke_suite,
+    write_report,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -36,6 +53,11 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
     use_metrics,
+)
+from repro.obs.validate import (
+    ValidationResult,
+    ValidationThresholds,
+    run_validation,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -50,6 +72,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BenchConfig",
+    "ValidationResult",
+    "ValidationThresholds",
+    "compare_to_baseline",
+    "default_suite",
+    "load_report",
+    "run_suite",
+    "run_validation",
+    "smoke_suite",
+    "write_report",
     "Counter",
     "Gauge",
     "Histogram",

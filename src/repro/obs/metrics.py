@@ -99,6 +99,13 @@ class Counter(_Metric):
         with self._lock:
             return dict(self._series)
 
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready state: one ``{"labels", "value"}`` entry per series."""
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self.series().items())
+        ]
+
     def render(self) -> List[str]:
         """Prometheus text lines for this metric."""
         lines = self._header_lines()
@@ -135,6 +142,13 @@ class Gauge(_Metric):
         """Snapshot of all series."""
         with self._lock:
             return dict(self._series)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready state: one ``{"labels", "value"}`` entry per series."""
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self.series().items())
+        ]
 
     def render(self) -> List[str]:
         """Prometheus text lines for this metric."""
@@ -191,6 +205,69 @@ class Histogram(_Metric):
         """Sum of observations for the labeled series."""
         series = self._series.get(_label_key(labels))
         return series.total if series else 0.0
+
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q`` quantile (``0 <= q <= 1``) from bucket counts.
+
+        Linear interpolation inside the bucket containing the target
+        rank, the standard Prometheus ``histogram_quantile`` estimate.
+        Observations beyond the last bound (the implicit ``+Inf``
+        bucket) clamp to the last finite bound — the histogram retains
+        no information above it.  Returns 0.0 when the series has no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            counts = list(series.bucket_counts)
+            total = series.count
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, counts):
+            if bucket:
+                if cumulative + bucket >= rank:
+                    within = max(0.0, rank - cumulative)
+                    return lower + (bound - lower) * (
+                        within / bucket if bucket else 0.0
+                    )
+                cumulative += bucket
+            lower = bound
+        return self.bounds[-1]
+
+    def percentiles(
+        self, ps: Sequence[float] = (50.0, 90.0, 99.0), **labels
+    ) -> Dict[str, float]:
+        """p50/p90/p99-style summary estimated from bucket counts.
+
+        Returns ``{"p50": ..., "p90": ..., "p99": ...}`` for the given
+        percentile points (0-100); an empty dict when the labeled
+        series has no observations.
+        """
+        if self.count(**labels) == 0:
+            return {}
+        return {
+            f"p{p:g}": self.quantile(p / 100.0, **labels) for p in ps
+        }
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready state: one entry per series with raw bucket counts."""
+        with self._lock:
+            return [
+                {
+                    "labels": dict(key),
+                    "count": s.count,
+                    "sum": s.total,
+                    "buckets": [
+                        [bound, count]
+                        for bound, count in zip(self.bounds, s.bucket_counts)
+                    ],
+                }
+                for key, s in sorted(self._series.items())
+            ]
 
     def render(self) -> List[str]:
         """Prometheus text lines (cumulative ``_bucket`` + ``_sum``/``_count``)."""
@@ -263,6 +340,21 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready state of every metric, keyed by metric name.
+
+        Each entry carries the metric ``kind`` and its per-series state
+        (see the per-metric ``snapshot`` methods); this is the hook the
+        benchmark harness (:mod:`repro.obs.bench`) embeds in
+        ``BENCH_*.json`` so runs can be diffed offline.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {
+            name: {"kind": metric.kind, "series": metric.snapshot()}
+            for name, metric in sorted(metrics.items())
+        }
 
     def dump(self) -> str:
         """The whole registry in Prometheus text exposition format."""

@@ -312,6 +312,14 @@ class Tracer:
             return {name: 0.0 for name in totals}
         return {name: 100.0 * t / grand for name, t in totals.items()}
 
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-ready dicts for every retained span, oldest first.
+
+        The hook :mod:`repro.obs.bench` uses to embed span data in
+        ``BENCH_*.json`` without going through a JSONL file on disk.
+        """
+        return [span.to_dict() for span in self.spans()]
+
     def clear(self) -> None:
         """Drop all retained spans."""
         self.ring.clear()
@@ -361,6 +369,10 @@ class NullTracer:
     def percentages(self) -> Dict[str, float]:
         """Always empty."""
         return {}
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
 
     def clear(self) -> None:
         """Nothing to drop."""

@@ -9,7 +9,7 @@ range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.sim.cache_sim import CacheHierarchy, TraceGenerator, run_trace
 from repro.sim.exec_model import CALIBRATION, compute_cycles
@@ -125,3 +125,26 @@ def measure_counters(
         llc_accesses=raw["LLC_accesses"] * scale,
         llc_misses=llc_misses,
     )
+
+
+def measure_fidelity_pair(
+    profile: WorkloadProfile,
+    platform: PlatformSpec,
+    max_reads: Optional[int] = 150,
+    cache_capacity: int = 256,
+) -> Tuple[HardwareCounters, HardwareCounters]:
+    """The Table V pair: ``(parent, proxy)`` counter vectors.
+
+    Both applications are simulated over the same measured profile on
+    the same platform, so the pair feeds directly into the cosine
+    similarity check of ``repro validate`` (paper §VI reports 0.9996).
+    """
+    parent = measure_counters(
+        profile, platform, mode="parent",
+        max_reads=max_reads, cache_capacity=cache_capacity,
+    )
+    proxy = measure_counters(
+        profile, platform, mode="proxy",
+        max_reads=max_reads, cache_capacity=cache_capacity,
+    )
+    return parent, proxy

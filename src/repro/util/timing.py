@@ -4,6 +4,13 @@ The paper instruments Giraffe with a lightweight timestamp-collecting
 header (Section III).  :class:`RegionTimer` is the Python analogue: it
 records (region, thread, start, end) tuples with negligible overhead and
 defers all aggregation to the end of the run.
+
+There is one timing path: :meth:`RegionTimer.region` *delegates* span
+emission to the process-global tracer (:func:`repro.obs.trace.get_tracer`),
+so instrumented call sites write ``timer.region(name, worker=..., **attrs)``
+once and both sinks are fed — the aggregate sample buffers here (gated
+by ``enabled``) and a structured :class:`repro.obs.trace.SpanEvent`
+whenever a tracer is installed (the default is the zero-cost no-op).
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -85,9 +94,16 @@ class RegionTimer:
                 self._thread_ids[ident] = len(self._thread_ids)
             return self._thread_ids[ident]
 
-    def region(self, name: str) -> "_RegionContext":
-        """Context manager timing one entry into region ``name``."""
-        return _RegionContext(self, name)
+    def region(self, name: str, worker: Optional[int] = None,
+               **attrs) -> "_RegionContext":
+        """Context manager timing one entry into region ``name``.
+
+        ``worker`` and ``attrs`` are forwarded to the span the installed
+        tracer receives (see the module docstring); they cost nothing
+        when no tracer is installed.  The aggregate sample is recorded
+        regardless of tracer state, but only when ``enabled`` is true.
+        """
+        return _RegionContext(self, name, worker, attrs)
 
     def record(self, name: str, start: float, end: float) -> None:
         if not self.enabled:
@@ -135,16 +151,22 @@ class RegionTimer:
 
 
 class _RegionContext:
-    __slots__ = ("_timer", "_name", "_start")
+    __slots__ = ("_timer", "_name", "_start", "_span")
 
-    def __init__(self, timer: RegionTimer, name: str):
+    def __init__(self, timer: RegionTimer, name: str,
+                 worker: Optional[int], attrs: dict):
         self._timer = timer
         self._name = name
         self._start = 0.0
+        # The no-op tracer returns a shared singleton here, so the
+        # disabled path stays allocation-free on the tracer side.
+        self._span = obs_trace.get_tracer().span(name, worker=worker, **attrs)
 
     def __enter__(self) -> "_RegionContext":
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         self._timer.record(self._name, self._start, time.perf_counter())
+        self._span.__exit__(*exc)

@@ -1,0 +1,138 @@
+"""Integration tests for ``repro bench`` / ``repro validate`` (ISSUE 2).
+
+Runs the smoke suite end-to-end and asserts the acceptance criteria
+directly: a schema-versioned ``BENCH_<timestamp>.json`` on disk, a
+non-zero exit against a doctored baseline with an injected
+above-threshold regression, and a fidelity report showing cosine
+similarity >= 0.999 with bit-identical extension output.
+"""
+
+import glob
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import BENCH_SCHEMA, BENCH_SCHEMA_VERSION, load_report
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def smoke_bench(tmp_path_factory):
+    # An explicitly absent baseline: the committed benchmarks/baseline.json
+    # would otherwise be picked up when tests run from the repo root.
+    out_dir = tmp_path_factory.mktemp("bench-cli")
+    code, stdout = run_cli(
+        ["bench", "--smoke", "--out-dir", str(out_dir),
+         "--baseline", str(out_dir / "no-such-baseline.json")]
+    )
+    (path,) = glob.glob(str(out_dir / "BENCH_*.json"))
+    return code, stdout, path
+
+
+class TestBenchSmoke:
+    def test_exit_zero_without_baseline(self, smoke_bench):
+        code, stdout, _ = smoke_bench
+        assert code == 0
+        assert "skipping regression gate" in stdout
+
+    def test_writes_schema_versioned_report(self, smoke_bench):
+        _, _, path = smoke_bench
+        report = load_report(path)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert report["suite"] == "smoke"
+        assert len(report["configs"]) == 2
+
+    def test_entries_carry_regions_ops_and_counters(self, smoke_bench):
+        _, _, path = smoke_bench
+        for entry in load_report(path)["configs"]:
+            assert entry["mapped_reads"] == entry["read_count"] > 0
+            assert {"cluster_seeds", "process_until_threshold_c"} <= set(
+                entry["regions"]
+            )
+            region = entry["regions"]["cluster_seeds"]
+            assert {"spans", "total_s", "percent", "p50_ms", "p90_ms",
+                    "p99_ms"} <= set(region)
+            assert entry["kernel_ops"]["base_comparisons"] > 0
+            assert entry["counters"]
+            assert entry["metrics"]
+
+    def test_report_stdout_has_tables(self, smoke_bench):
+        _, stdout, _ = smoke_bench
+        assert "A-human/dynamic/b16/c256/t2" in stdout
+        assert "A-human/work_stealing/b16/c256/t2" in stdout
+        assert "p99_ms" in stdout
+
+
+class TestBaselineGate:
+    def test_matching_baseline_passes(self, smoke_bench, tmp_path):
+        _, _, path = smoke_bench
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(open(path).read())
+        code, stdout = run_cli(
+            ["bench", "--smoke", "--out-dir", str(tmp_path / "run"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "No regressions" in stdout
+
+    def test_doctored_baseline_fails_nonzero(self, smoke_bench, tmp_path):
+        # Inject a >10% kernel-op regression by deflating the baseline's
+        # deterministic operation counts; the current run must gate red.
+        _, _, path = smoke_bench
+        report = load_report(path)
+        for entry in report["configs"]:
+            entry["kernel_ops"] = {
+                op: count / 2 for op, count in entry["kernel_ops"].items()
+            }
+        baseline = tmp_path / "doctored.json"
+        baseline.write_text(json.dumps(report))
+        code, stdout = run_cli(
+            ["bench", "--smoke", "--out-dir", str(tmp_path / "run"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "REGRESSION" in stdout
+        assert "base_comparisons" in stdout
+
+    def test_update_baseline_writes_and_passes(self, tmp_path):
+        baseline = tmp_path / "benchmarks" / "baseline.json"
+        code, stdout = run_cli(
+            ["bench", "--smoke", "--out-dir", str(tmp_path),
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0
+        assert os.path.exists(baseline)
+        assert load_report(str(baseline))["suite"] == "smoke"
+
+
+class TestValidateSmoke:
+    def test_fidelity_gates_pass(self, tmp_path):
+        out = tmp_path / "validation.json"
+        code, stdout = run_cli(["validate", "--smoke", "--json", str(out)])
+        assert code == 0
+        assert "VALIDATION PASSED" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["kernel_cosine"] >= 0.999
+        assert payload["hw_cosine"] >= 0.999
+        assert payload["functional"]["perfect"] is True
+        assert payload["checks"]["extensions_bit_identical"] is True
+
+    def test_mode_flags_required(self):
+        import contextlib
+
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            code, _ = run_cli(["validate"])
+        assert code == 2
+        assert "file mode" in stderr.getvalue()

@@ -1,9 +1,10 @@
-"""The docstring-coverage gate (ISSUE 1 satellite).
+"""The docstring-coverage gate (ISSUE 1 satellite, extended by ISSUE 2).
 
-Every public module/class/function in ``repro.obs`` and ``repro.sched``
-must carry a docstring — these packages are the documented API surface
-``docs/OBSERVABILITY.md`` references.  The same check runs standalone
-in CI via ``python -m repro.util.doccheck`` (see ``scripts/ci.sh``).
+Every public module/class/function in ``repro.obs``, ``repro.sched``,
+and ``repro.analysis`` must carry a docstring — these packages are the
+documented API surface ``docs/OBSERVABILITY.md`` references.  The same
+check runs standalone in CI via ``python -m repro.util.doccheck`` (see
+``scripts/ci.sh``).
 """
 
 import os
@@ -18,7 +19,7 @@ SRC_ROOT = os.path.join(
     "repro",
 )
 
-GATED_PACKAGES = ["obs", "sched"]
+GATED_PACKAGES = ["obs", "sched", "analysis"]
 
 
 @pytest.mark.parametrize("package", GATED_PACKAGES)

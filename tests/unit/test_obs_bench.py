@@ -1,0 +1,159 @@
+"""Unit tests for the benchmark harness (repro.obs.bench).
+
+Covers the BENCH_*.json schema round-trip and the regression-gate edge
+cases the ISSUE calls out: missing baseline file handling (a CLI
+concern, but load_report's strictness backs it), unknown config keys in
+the baseline, and zero-valued baseline entries that must not divide.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    compare_to_baseline,
+    default_suite,
+    load_report,
+    report_filename,
+    smoke_suite,
+    write_report,
+)
+
+
+def make_entry(key, wall_time=1.0, kernel_ops=None):
+    return {
+        "key": key,
+        "wall_time": wall_time,
+        "kernel_ops": kernel_ops if kernel_ops is not None else {"extend": 100},
+    }
+
+
+def make_report(entries):
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "test",
+        "created_unix": 1_700_000_000.0,
+        "host": {"python": "3", "platform": "test"},
+        "configs": entries,
+    }
+
+
+class TestBenchConfig:
+    def test_key_encodes_identity(self):
+        config = BenchConfig("A-human", "dynamic", 64, 256, threads=2)
+        assert config.key == "A-human/dynamic/b64/c256/t2"
+
+    def test_dict_round_trip(self):
+        config = BenchConfig("B-yeast", "static", 32, 128, threads=4,
+                             scale=0.05, repeats=3)
+        assert BenchConfig.from_dict(config.to_dict()) == config
+
+    def test_suites_have_unique_keys(self):
+        for suite in (default_suite(), smoke_suite()):
+            keys = [c.key for c in suite]
+            assert len(keys) == len(set(keys))
+
+    def test_smoke_suite_is_strict_subset_scale(self):
+        assert len(smoke_suite()) < len(default_suite())
+        assert all(c.scale <= 0.05 for c in smoke_suite())
+
+
+class TestReportRoundTrip:
+    def test_filename_is_utc_stamped(self):
+        assert report_filename(0.0) == "BENCH_19700101T000000Z.json"
+
+    def test_write_then_load(self, tmp_path):
+        report = make_report([make_entry("a/b/c")])
+        path = write_report(report, str(tmp_path))
+        assert path.endswith(".json")
+        assert load_report(path) == report
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "other/v9", "schema_version": 1}))
+        with pytest.raises(ValueError, match="not a bench report"):
+            load_report(str(path))
+
+    def test_load_rejects_version_mismatch(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA, "schema_version": BENCH_SCHEMA_VERSION + 1}
+        ))
+        with pytest.raises(ValueError, match="schema version"):
+            load_report(str(path))
+
+
+class TestBaselineComparison:
+    def test_identical_reports_have_no_regressions(self):
+        report = make_report([make_entry("k1"), make_entry("k2")])
+        comparison = compare_to_baseline(report, report)
+        assert not comparison.has_regressions
+        assert {d.status for d in comparison.deltas} == {"ok"}
+
+    def test_wall_time_regression_flags(self):
+        current = make_report([make_entry("k1", wall_time=2.0)])
+        baseline = make_report([make_entry("k1", wall_time=1.0)])
+        comparison = compare_to_baseline(current, baseline, time_threshold=0.25)
+        (delta,) = comparison.regressions
+        assert delta.key == "k1"
+        assert delta.wall_time_delta == pytest.approx(1.0)
+        assert any("wall time" in reason for reason in delta.reasons)
+
+    def test_wall_time_improvement_is_ok(self):
+        current = make_report([make_entry("k1", wall_time=0.5)])
+        baseline = make_report([make_entry("k1", wall_time=1.0)])
+        assert not compare_to_baseline(current, baseline).has_regressions
+
+    def test_kernel_ops_regression_flags(self):
+        current = make_report(
+            [make_entry("k1", kernel_ops={"extend": 150, "cluster": 10})]
+        )
+        baseline = make_report(
+            [make_entry("k1", kernel_ops={"extend": 100, "cluster": 10})]
+        )
+        comparison = compare_to_baseline(current, baseline, ops_threshold=0.10)
+        (delta,) = comparison.regressions
+        assert delta.ops_delta["extend"] == pytest.approx(0.5)
+        assert delta.ops_delta["cluster"] == pytest.approx(0.0)
+
+    def test_unknown_baseline_keys_reported_not_fatal(self):
+        current = make_report([make_entry("k1")])
+        baseline = make_report([make_entry("k1"), make_entry("gone/key")])
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison.unknown_baseline_keys == ["gone/key"]
+        assert not comparison.has_regressions
+
+    def test_config_missing_from_baseline_is_new(self):
+        current = make_report([make_entry("k1"), make_entry("k2")])
+        baseline = make_report([make_entry("k1")])
+        comparison = compare_to_baseline(current, baseline)
+        by_key = {d.key: d for d in comparison.deltas}
+        assert by_key["k2"].status == "new"
+        assert not comparison.has_regressions
+
+    def test_zero_baseline_wall_time_is_skipped(self):
+        current = make_report([make_entry("k1", wall_time=5.0)])
+        baseline = make_report([make_entry("k1", wall_time=0.0)])
+        comparison = compare_to_baseline(current, baseline)
+        (delta,) = comparison.deltas
+        assert delta.status == "ok"
+        assert delta.wall_time_delta is None
+
+    def test_zero_baseline_ops_are_skipped(self):
+        current = make_report([make_entry("k1", kernel_ops={"extend": 9})])
+        baseline = make_report([make_entry("k1", kernel_ops={"extend": 0})])
+        comparison = compare_to_baseline(current, baseline)
+        (delta,) = comparison.deltas
+        assert delta.status == "ok"
+        assert "extend" not in delta.ops_delta
+
+    def test_deltas_are_json_serializable(self):
+        current = make_report([make_entry("k1", wall_time=2.0)])
+        baseline = make_report([make_entry("k1", wall_time=1.0)])
+        comparison = compare_to_baseline(current, baseline)
+        payload = json.dumps([d.to_dict() for d in comparison.deltas])
+        assert "regression" in payload

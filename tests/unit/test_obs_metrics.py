@@ -177,3 +177,72 @@ class TestGlobalInstall:
             assert get_metrics() is registry
         finally:
             set_metrics(previous)
+
+
+class TestHistogramQuantiles:
+    def make(self):
+        histogram = Histogram("latency_ms", buckets=(1, 2, 4, 8))
+        for value in (0.5, 1.5, 3.0, 6.0):
+            histogram.observe(value, region="extend")
+        return histogram
+
+    def test_median_interpolates_within_bucket(self):
+        histogram = self.make()
+        # rank 2 of 4 lands at the top of the (1, 2] bucket.
+        assert histogram.quantile(0.5, region="extend") == pytest.approx(2.0)
+
+    def test_extremes(self):
+        histogram = self.make()
+        assert histogram.quantile(0.0, region="extend") == pytest.approx(0.0)
+        assert histogram.quantile(1.0, region="extend") == pytest.approx(8.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_series_is_zero(self):
+        assert self.make().quantile(0.5, region="nope") == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            self.make().quantile(1.5, region="extend")
+
+    def test_percentiles_summary_keys(self):
+        summary = self.make().percentiles(region="extend")
+        assert set(summary) == {"p50", "p90", "p99"}
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+    def test_percentiles_empty_series(self):
+        assert self.make().percentiles(region="nope") == {}
+
+
+class TestSnapshots:
+    def test_counter_snapshot(self):
+        counter = Counter("hits_total")
+        counter.inc(3, worker="0")
+        assert counter.snapshot() == [
+            {"labels": {"worker": "0"}, "value": 3}
+        ]
+
+    def test_histogram_snapshot_keeps_raw_buckets(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        (series,) = histogram.snapshot()
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(2.0)
+        assert series["buckets"] == [[1, 1], [2, 1]]
+
+    def test_registry_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"c", "g", "h"}
+        assert snapshot["c"]["kind"] == "counter"
+        assert snapshot["h"]["kind"] == "histogram"
+        json.dumps(snapshot)  # must not raise

@@ -1,0 +1,108 @@
+"""Unit tests for the proxy-fidelity gate (repro.obs.validate).
+
+Threshold/check logic is exercised on synthetic numbers (fast); one
+real ``run_validation`` at tiny scale proves the deterministic gates —
+bit-identical extensions and kernel-counter cosine — hold exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.validate import (
+    DEFAULT_COSINE_THRESHOLD,
+    DEFAULT_TIME_THRESHOLD,
+    SMOKE_TIME_THRESHOLD,
+    ValidationResult,
+    ValidationThresholds,
+    run_validation,
+)
+
+
+def make_result(**overrides):
+    base = dict(
+        input_set="A-human",
+        scale=0.05,
+        threads=1,
+        repeats=1,
+        thresholds=ValidationThresholds(),
+        parent_critical_time=1.0,
+        proxy_makespan=1.05,
+        kernel_cosine=1.0,
+        hw_cosine=0.9996,
+        counter_platform="local-intel",
+        functional={"perfect": True},
+    )
+    base.update(overrides)
+    return ValidationResult(**base)
+
+
+class TestThresholds:
+    def test_defaults_match_paper(self):
+        thresholds = ValidationThresholds()
+        assert thresholds.cosine == DEFAULT_COSINE_THRESHOLD == 0.999
+        assert thresholds.time == DEFAULT_TIME_THRESHOLD == 0.087
+        assert SMOKE_TIME_THRESHOLD > DEFAULT_TIME_THRESHOLD
+
+
+class TestChecks:
+    def test_all_pass_within_paper_bands(self):
+        result = make_result()
+        assert result.checks == {
+            "extensions_bit_identical": True,
+            "kernel_cosine": True,
+            "hw_cosine": True,
+            "exec_time": True,
+        }
+        assert result.passed
+
+    def test_time_delta_signed_relative(self):
+        assert make_result().time_delta == pytest.approx(0.05)
+        slow = make_result(proxy_makespan=2.0)
+        assert slow.time_delta == pytest.approx(1.0)
+        assert not slow.checks["exec_time"]
+
+    def test_faster_proxy_beyond_band_also_fails(self):
+        fast = make_result(proxy_makespan=0.5)
+        assert fast.time_delta == pytest.approx(-0.5)
+        assert not fast.checks["exec_time"]
+
+    def test_zero_parent_time_guard(self):
+        assert make_result(parent_critical_time=0.0).time_delta == 0.0
+
+    def test_low_cosine_fails(self):
+        result = make_result(kernel_cosine=0.99)
+        assert not result.checks["kernel_cosine"]
+        assert not result.passed
+
+    def test_imperfect_functional_fails(self):
+        result = make_result(functional={"perfect": False})
+        assert not result.checks["extensions_bit_identical"]
+
+    def test_to_dict_json_round_trip(self, tmp_path):
+        result = make_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["schema"] == "repro.validate/v1"
+        assert payload["passed"] is True
+        assert payload["checks"]["exec_time"] is True
+        path = tmp_path / "out.json"
+        result.write_json(str(path))
+        assert json.loads(path.read_text()) == payload
+
+
+class TestRealRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_validation(scale=0.05, repeats=1)
+
+    def test_extensions_bit_identical(self, result):
+        assert result.functional["perfect"] is True
+        assert result.functional["missing"] == 0
+        assert result.functional["extra"] == 0
+
+    def test_kernel_cosine_exact(self, result):
+        assert result.kernel_cosine == pytest.approx(1.0)
+        assert result.kernel_ops_parent == result.kernel_ops_proxy
+
+    def test_hw_cosine_above_paper_floor(self, result):
+        assert result.hw_cosine >= DEFAULT_COSINE_THRESHOLD

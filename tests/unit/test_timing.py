@@ -105,3 +105,50 @@ class TestRegionTimer:
 
     def test_empty_percentages(self):
         assert RegionTimer().percentages() == {}
+
+
+class TestRegionTimerTracerDelegation:
+    """RegionTimer regions are the single timing path: each region both
+    records an aggregate sample and emits a span through the globally
+    installed tracer (ISSUE 2 satellite)."""
+
+    def test_region_emits_span_with_worker_and_attrs(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        timer = RegionTimer()
+        with use_tracer(Tracer()) as tracer:
+            with timer.region("cluster_seeds", worker=3, read="r1"):
+                pass
+        (span,) = tracer.spans()
+        assert span.name == "cluster_seeds"
+        assert span.worker == 3
+        assert span.attrs == {"read": "r1"}
+        assert timer.totals_by_region()["cluster_seeds"] >= 0.0
+
+    def test_disabled_timer_still_emits_spans(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        timer = RegionTimer(enabled=False)
+        with use_tracer(Tracer()) as tracer:
+            with timer.region("extend"):
+                pass
+        assert timer.samples() == []
+        assert [s.name for s in tracer.spans()] == ["extend"]
+
+    def test_no_tracer_installed_is_silent(self):
+        timer = RegionTimer()
+        with timer.region("quiet"):
+            pass
+        assert timer.totals_by_region()["quiet"] >= 0.0
+
+    def test_nested_regions_nest_spans(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        timer = RegionTimer()
+        with use_tracer(Tracer()) as tracer:
+            with timer.region("outer"):
+                with timer.region("inner"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["inner"].depth == by_name["outer"].depth + 1
+        assert by_name["inner"].parent == "outer"

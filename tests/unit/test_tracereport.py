@@ -88,3 +88,15 @@ class TestRendering:
         report = render_trace_report(SPANS)
         assert "Key metrics" not in report
         assert "cluster_seeds" in report
+
+    def test_histogram_metrics_get_quantile_summary_lines(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("proxy_batch_ms", buckets=(1, 5, 10))
+        for value in (0.5, 2.0, 7.0):
+            histogram.observe(value, worker="0")
+        registry.histogram("proxy_empty_ms", buckets=(1,))  # no observations
+        report = render_trace_report(SPANS, registry)
+        (line,) = [l for l in report.splitlines() if "quantiles" in l]
+        assert 'proxy_batch_ms_quantiles{worker="0"}' in line
+        assert "p50=" in line and "p90=" in line and "p99=" in line
+        assert "proxy_empty_ms_quantiles" not in report
