@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
-# Usage: ./scripts/ci.sh [--bench-smoke]
+# Usage: ./scripts/ci.sh [--bench-smoke] [--chaos-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -9,6 +9,10 @@
 # proxy-fidelity validation gate (ISSUE 2) after the tier-1 tests:
 #   repro bench --smoke     (regression gate against benchmarks/baseline.json)
 #   repro validate --smoke  (cosine / exec-time / bit-identical checks)
+#
+# --chaos-smoke additionally runs the fault-injection gate: two seeded
+# `repro chaos` runs per scheduler must satisfy the exactly-once
+# invariant and produce byte-identical reports (determinism check).
 #
 # Benchmarks (paper regeneration) are intentionally excluded — run them
 # separately with: PYTHONPATH=src python -m pytest benchmarks/ -q
@@ -18,10 +22,13 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 args=()
 for arg in "$@"; do
     if [[ "$arg" == "--bench-smoke" ]]; then
         BENCH_SMOKE=1
+    elif [[ "$arg" == "--chaos-smoke" ]]; then
+        CHAOS_SMOKE=1
     else
         args+=("$arg")
     fi
@@ -30,8 +37,8 @@ done
 echo "== tier-1 tests =="
 python -m pytest -x -q "${args[@]+"${args[@]}"}"
 
-echo "== docstring coverage (repro.obs, repro.sched, repro.analysis) =="
-python -m repro.util.doccheck src/repro/obs src/repro/sched src/repro/analysis
+echo "== docstring coverage (repro.obs, repro.sched, repro.analysis, repro.resilience) =="
+python -m repro.util.doccheck src/repro/obs src/repro/sched src/repro/analysis src/repro/resilience
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (regression gate) =="
@@ -41,4 +48,24 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
 
     echo "== validate smoke (proxy-fidelity gate) =="
     python -m repro validate --smoke
+fi
+
+if [[ "$CHAOS_SMOKE" == "1" ]]; then
+    echo "== chaos smoke (exactly-once + determinism gate) =="
+    chaos_out="$(mktemp -d)"
+    trap 'rm -rf "${bench_out:-}" "$chaos_out"' EXIT
+    for sched in static dynamic work_stealing; do
+        echo "-- scheduler: $sched"
+        python -m repro chaos --seed 7 --scheduler "$sched" \
+            --json "$chaos_out/$sched-1.json"
+        python -m repro chaos --seed 7 --scheduler "$sched" \
+            --json "$chaos_out/$sched-2.json" > /dev/null
+        diff "$chaos_out/$sched-1.json" "$chaos_out/$sched-2.json" \
+            || { echo "chaos report not deterministic for $sched"; exit 1; }
+    done
+    echo "-- fail-fast propagation"
+    python -m repro chaos --seed 7 --policy fail_fast > /dev/null
+    echo "-- corrupt-input quarantine"
+    python -m repro chaos --seed 7 --corrupt > /dev/null
+    echo "chaos smoke OK"
 fi

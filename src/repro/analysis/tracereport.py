@@ -124,18 +124,45 @@ def render_worker_table(
     return format_table(title, ["worker", "batches", "busy_s"], rows)
 
 
+def error_summary(spans: Iterable[SpanEvent]) -> Dict[str, int]:
+    """Count error-status spans/events per name (empty on a clean run)."""
+    counts: Dict[str, int] = {}
+    for span in spans:
+        if span.is_error:
+            counts[span.name] = counts.get(span.name, 0) + 1
+    return counts
+
+
+def render_error_summary(spans: Iterable[SpanEvent]) -> str:
+    """Render error-status span counts, or an empty string when clean.
+
+    Covers the failure events the resilience layer emits
+    (``sched.quarantine``, ``sched.watchdog``, ``sched.batch_error``)
+    as well as any span whose body raised.
+    """
+    counts = error_summary(spans)
+    if not counts:
+        return ""
+    lines = [
+        f"  {name:28s} {count}"
+        for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return "Error spans:\n" + "\n".join(lines)
+
+
 def render_trace_report(
     spans: Iterable[SpanEvent],
     registry=None,
     metric_prefixes: Sequence[str] = ("gbwt_cache_", "sched_", "proxy_"),
 ) -> str:
-    """The full text report: region table, worker table, key metrics.
+    """The full text report: region table, worker table, errors, metrics.
 
     ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`; only
     metrics whose names start with one of ``metric_prefixes`` are
     included.  Histogram bucket detail is elided to ``_sum``/``_count``
     plus a p50/p90/p99 summary line per series (estimated by
-    :meth:`repro.obs.metrics.Histogram.percentiles`).
+    :meth:`repro.obs.metrics.Histogram.percentiles`).  An error-span
+    section appears only when the run recorded failures.
     """
     from repro.obs.metrics import Histogram
 
@@ -144,6 +171,9 @@ def render_trace_report(
     worker_table = render_worker_table(spans)
     if worker_table.count("\n") > 3:
         sections.append(worker_table)
+    errors = render_error_summary(spans)
+    if errors:
+        sections.append(errors)
     if registry is not None:
         lines = [
             line
@@ -181,9 +211,11 @@ def render_trace_report(
 
 __all__ = [
     "RegionStats",
+    "error_summary",
     "is_region_span",
     "load_spans_jsonl",
     "region_breakdown",
+    "render_error_summary",
     "render_region_table",
     "render_worker_table",
     "render_trace_report",

@@ -17,6 +17,10 @@ the surrounding workflow the artifact scripts drive:
 * ``trace`` — run the proxy with the observability layer enabled:
   structured spans to JSONL, metrics to a Prometheus-style dump, and a
   Figure 3-style per-region breakdown on stdout;
+* ``chaos`` — run the proxy under a seeded, deterministic fault plan
+  (injected exceptions, delays, cache-eviction storms, optional seed
+  stream corruption) with a quarantine/retry failure policy, assert the
+  exactly-once invariant, and emit a reproducible JSON report;
 * ``bench`` — the continuous benchmark harness: run the declared
   configuration suite (``--smoke`` for the CI subset), write a
   schema-versioned ``BENCH_<timestamp>.json``, and gate against
@@ -191,6 +195,45 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--ring-capacity", type=int, default=1 << 16,
                        help="span ring-buffer capacity (oldest spans evicted)")
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the proxy under a seeded fault plan; assert exactly-once",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed => same report)")
+    chaos.add_argument("--input-set", choices=sorted(INPUT_SETS),
+                       default="B-yeast")
+    chaos.add_argument("--scale", type=float, default=0.05)
+    chaos.add_argument("--threads", type=int, default=3)
+    chaos.add_argument("--batch-size", type=int, default=16)
+    chaos.add_argument(
+        "--scheduler", choices=("dynamic", "static", "work_stealing"),
+        default="dynamic",
+    )
+    chaos.add_argument(
+        "--policy", choices=("fail_fast", "quarantine", "retry"),
+        default="retry",
+        help="failure policy the scheduler runs under (default: retry)",
+    )
+    chaos.add_argument("--max-attempts", type=int, default=3)
+    chaos.add_argument("--raise-rate", type=float, default=0.2,
+                       help="per-batch probability of an injected exception")
+    chaos.add_argument("--delay-rate", type=float, default=0.1,
+                       help="per-batch probability of an injected stall")
+    chaos.add_argument("--storm-rate", type=float, default=0.1,
+                       help="per-batch probability of a cache eviction storm")
+    chaos.add_argument("--sticky-rate", type=float, default=0.5,
+                       help="probability an injected exception survives retries")
+    chaos.add_argument("--max-delay", type=float, default=0.002,
+                       help="injected stall ceiling in seconds")
+    chaos.add_argument(
+        "--corrupt", action="store_true",
+        help="also corrupt the serialized seed stream and load tolerantly",
+    )
+    chaos.add_argument("--corrupt-rate", type=float, default=0.0005,
+                       help="per-byte flip probability with --corrupt")
+    chaos.add_argument("--json", help="write the deterministic report here")
+
     tune = commands.add_parser(
         "tune", help="exhaustive parameter sweep on a machine model"
     )
@@ -327,6 +370,117 @@ def _cmd_trace(args) -> int:
     print()
     print(render_trace_report(tracer.spans(), registry))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import io as io_module
+
+    from repro.core.io import load_seed_file_tolerant, save_seed_file
+    from repro.resilience import FailurePolicy, FaultPlan
+
+    plan = FaultPlan(
+        seed=args.seed,
+        raise_rate=args.raise_rate,
+        delay_rate=args.delay_rate,
+        storm_rate=args.storm_rate,
+        sticky_rate=args.sticky_rate,
+        max_delay=args.max_delay,
+        corrupt_rate=args.corrupt_rate,
+    )
+    policy = FailurePolicy(
+        mode=args.policy, max_attempts=args.max_attempts, seed=args.seed
+    )
+    bundle, mapper = _materialize_with_mapper(args.input_set, args.scale)
+    records = mapper.capture_read_records(bundle.reads)
+    print(f"chaos input: {bundle.describe()}")
+
+    io_quarantine = None
+    if args.corrupt:
+        buffer = io_module.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        corrupted = plan.corrupt(buffer.getvalue())
+        records, quarantine = load_seed_file_tolerant(
+            io_module.BytesIO(corrupted)
+        )
+        io_quarantine = quarantine.to_dict()
+        print(f"corrupt stream: salvaged {quarantine.loaded}/"
+              f"{quarantine.expected} records "
+              f"({len(quarantine.entries)} quarantined)")
+
+    options = ProxyOptions(
+        threads=args.threads,
+        batch_size=args.batch_size,
+        scheduler=args.scheduler,
+    )
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        options,
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    names = [record.name for record in records]
+    propagated = None
+    result = None
+    with plan.install() as injector:
+        try:
+            result = proxy.map_reads(records, resilience=policy)
+        except Exception as exc:
+            if args.policy != "fail_fast":
+                raise
+            propagated = type(exc).__name__
+
+    report = {
+        "schema": 1,
+        "seed": args.seed,
+        "input_set": args.input_set,
+        "scale": args.scale,
+        "threads": args.threads,
+        "batch_size": args.batch_size,
+        "scheduler": args.scheduler,
+        "policy": args.policy,
+        "max_attempts": args.max_attempts,
+        "plan": {
+            "raise_rate": args.raise_rate,
+            "delay_rate": args.delay_rate,
+            "storm_rate": args.storm_rate,
+            "sticky_rate": args.sticky_rate,
+            "max_delay": args.max_delay,
+            "corrupt_rate": args.corrupt_rate if args.corrupt else 0.0,
+        },
+        "io_quarantine": io_quarantine,
+    }
+    if propagated is not None:
+        # Fail-fast runs are gated on propagation, not on the report:
+        # which batches ran before the fatal flag tripped is timing
+        # noise, so injection counts are deliberately omitted.
+        report["propagated"] = propagated
+        exactly_once = True
+        print(f"fail-fast propagated {propagated} to the caller (expected)")
+    else:
+        completeness = result.completeness
+        processed = set(result.extensions)
+        failed = set(completeness.failed_reads)
+        exactly_once = (
+            processed.isdisjoint(failed)
+            and processed | failed == set(names)
+            and len(names) == len(set(names))
+            and completeness.duplicates == 0
+        )
+        report["injected"] = injector.counts()
+        report["run"] = completeness.to_dict()
+        print(f"processed {completeness.processed_reads}/"
+              f"{completeness.total_reads} reads, "
+              f"{len(failed)} quarantined, "
+              f"{completeness.retries} retries, "
+              f"{report['injected']['raises']} injected raises")
+    report["exactly_once"] = exactly_once
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print("exactly-once invariant: " + ("OK" if exactly_once else "VIOLATED"))
+    return 0 if exactly_once else 1
 
 
 def _cmd_validate(args) -> int:
@@ -494,6 +648,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "validate": _cmd_validate,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "tune": _cmd_tune,
     "scale": _cmd_scale,

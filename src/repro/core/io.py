@@ -20,7 +20,23 @@ from repro.graph.serialize import pack_dna, read_varint, unpack_dna, write_varin
 from repro.index.minimizer import Seed
 
 SEED_MAGIC = b"RSEB"
+#: The framed variant: identical record payloads, but each record is
+#: preceded by its byte length, so a tolerant loader can skip a corrupt
+#: record and resynchronize at the next frame boundary.
+SEED_MAGIC_FRAMED = b"RSB2"
 EXT_MAGIC = b"REXT"
+
+#: Sanity caps a well-formed capture never exceeds; a decoded field
+#: beyond them means the stream is corrupt, and failing on the cap is
+#: what keeps one flipped length byte from triggering a giant read.
+_MAX_NAME_BYTES = 1 << 12
+_MAX_SEQ_LEN = 1 << 24
+_MAX_SEED_COUNT = 1 << 20
+_MAX_RECORD_COUNT = 1 << 30
+
+
+class CorruptRecordError(ValueError):
+    """A seed-file record failed structural validation while loading."""
 
 
 @dataclass
@@ -46,51 +62,253 @@ def _read_string(stream: BinaryIO) -> str:
     return stream.read(length).decode("utf-8")
 
 
-def save_seed_file(records: Sequence[ReadRecord], stream: BinaryIO) -> None:
-    """Write a ``sequence-seeds.bin`` stream."""
+def _write_record(stream: BinaryIO, record: ReadRecord) -> None:
+    _write_string(stream, record.name)
+    write_varint(stream, len(record.sequence))
+    stream.write(pack_dna(record.sequence))
+    write_varint(stream, len(record.seeds))
+    for seed in record.seeds:
+        write_varint(stream, seed.read_offset)
+        write_varint(stream, seed.position[0])
+        write_varint(stream, seed.position[1])
+
+
+def save_seed_file(
+    records: Sequence[ReadRecord], stream: BinaryIO, framed: bool = False
+) -> None:
+    """Write a ``sequence-seeds.bin`` stream.
+
+    ``framed=True`` writes the v2 layout (:data:`SEED_MAGIC_FRAMED`):
+    identical per-record payloads, each preceded by its byte length.
+    Framing costs 1-3 bytes per record and buys record-level damage
+    isolation — a tolerant load skips a corrupt record instead of losing
+    everything after it.
+    """
+    if framed:
+        stream.write(SEED_MAGIC_FRAMED)
+        write_varint(stream, len(records))
+        for record in records:
+            payload = io.BytesIO()
+            _write_record(payload, record)
+            encoded = payload.getvalue()
+            write_varint(stream, len(encoded))
+            stream.write(encoded)
+        return
     stream.write(SEED_MAGIC)
     write_varint(stream, len(records))
     for record in records:
-        _write_string(stream, record.name)
-        write_varint(stream, len(record.sequence))
-        stream.write(pack_dna(record.sequence))
-        write_varint(stream, len(record.seeds))
-        for seed in record.seeds:
-            write_varint(stream, seed.read_offset)
-            write_varint(stream, seed.position[0])
-            write_varint(stream, seed.position[1])
+        _write_record(stream, record)
+
+
+def _read_checked(stream: BinaryIO, count: int, what: str) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise EOFError(f"truncated {what}: wanted {count} bytes, got {len(data)}")
+    return data
+
+
+def _read_record(stream: BinaryIO) -> ReadRecord:
+    """Parse one record, validating every decoded field against the caps."""
+    name_len = read_varint(stream)
+    if name_len > _MAX_NAME_BYTES:
+        raise CorruptRecordError(f"read name of {name_len} bytes exceeds cap")
+    try:
+        name = _read_checked(stream, name_len, "read name").decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise CorruptRecordError(f"undecodable read name: {error}") from error
+    seq_len = read_varint(stream)
+    if seq_len > _MAX_SEQ_LEN:
+        raise CorruptRecordError(f"sequence of {seq_len} bases exceeds cap")
+    sequence = unpack_dna(
+        _read_checked(stream, (seq_len + 3) // 4, "sequence"), seq_len
+    )
+    seed_count = read_varint(stream)
+    if seed_count > _MAX_SEED_COUNT:
+        raise CorruptRecordError(f"{seed_count} seeds exceeds cap")
+    seeds = []
+    for _ in range(seed_count):
+        read_offset = read_varint(stream)
+        handle = read_varint(stream)
+        node_offset = read_varint(stream)
+        seeds.append(Seed(read_offset, (handle, node_offset)))
+    return ReadRecord(name, sequence, seeds)
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One malformed record skipped by the tolerant loader."""
+
+    index: int
+    offset: int
+    error: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation for chaos/quarantine reports."""
+        return {"index": self.index, "offset": self.offset, "error": self.error}
+
+
+@dataclass
+class SeedQuarantine:
+    """What the tolerant loader salvaged and what it had to skip.
+
+    ``truncated`` is set when the loader had to abandon the rest of the
+    stream (unframed v1 input, where a bad record destroys downstream
+    framing, or a torn final frame).
+    """
+
+    expected: int = 0
+    loaded: int = 0
+    entries: List[QuarantineEntry] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def skipped(self) -> int:
+        """Records present in the header count but not loaded."""
+        return self.expected - self.loaded
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was skipped or truncated."""
+        return not self.entries and not self.truncated
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-ready summary."""
+        return {
+            "expected": self.expected,
+            "loaded": self.loaded,
+            "skipped": self.skipped,
+            "truncated": self.truncated,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
 
 
 def load_seed_file(stream: BinaryIO) -> List[ReadRecord]:
-    """Read a ``sequence-seeds.bin`` stream."""
+    """Read a ``sequence-seeds.bin`` stream (v1 or framed v2), strictly.
+
+    The first malformed field raises (:class:`CorruptRecordError`,
+    :class:`EOFError`, or ``ValueError`` for a bad magic).  Use
+    :func:`load_seed_file_tolerant` to salvage what a damaged capture
+    still holds.
+    """
     magic = stream.read(4)
-    if magic != SEED_MAGIC:
+    if magic == SEED_MAGIC:
+        framed = False
+    elif magic == SEED_MAGIC_FRAMED:
+        framed = True
+    else:
         raise ValueError(f"bad seed-file magic {magic!r}")
     count = read_varint(stream)
+    if count > _MAX_RECORD_COUNT:
+        raise CorruptRecordError(f"record count {count} exceeds cap")
     records: List[ReadRecord] = []
     for _ in range(count):
-        name = _read_string(stream)
-        seq_len = read_varint(stream)
-        sequence = unpack_dna(stream.read((seq_len + 3) // 4), seq_len)
-        seed_count = read_varint(stream)
-        seeds = []
-        for _ in range(seed_count):
-            read_offset = read_varint(stream)
-            handle = read_varint(stream)
-            node_offset = read_varint(stream)
-            seeds.append(Seed(read_offset, (handle, node_offset)))
-        records.append(ReadRecord(name, sequence, seeds))
+        if framed:
+            payload_len = read_varint(stream)
+            payload = io.BytesIO(_read_checked(stream, payload_len, "record frame"))
+            record = _read_record(payload)
+            if payload.read(1):
+                raise CorruptRecordError("record frame has trailing bytes")
+            records.append(record)
+        else:
+            records.append(_read_record(stream))
     return records
 
 
-def save_seed_file_path(records: Sequence[ReadRecord], path: str) -> None:
+def load_seed_file_tolerant(
+    stream: BinaryIO,
+) -> Tuple[List[ReadRecord], SeedQuarantine]:
+    """Read a seed stream, skipping malformed records into a quarantine.
+
+    Framed (v2) input recovers per record: a corrupt payload becomes one
+    :class:`QuarantineEntry` and loading resumes at the next frame.
+    Unframed (v1) input has no record boundaries to resynchronize on, so
+    the first corrupt record ends the salvage and the remainder is
+    reported as truncated.  A bad file magic is still fatal — there is
+    nothing to salvage when the container itself is unrecognized.
+    """
+    magic = stream.read(4)
+    if magic == SEED_MAGIC:
+        framed = False
+    elif magic == SEED_MAGIC_FRAMED:
+        framed = True
+    else:
+        raise ValueError(f"bad seed-file magic {magic!r}")
+    quarantine = SeedQuarantine()
+    try:
+        count = read_varint(stream)
+    except (EOFError, ValueError) as error:
+        quarantine.truncated = True
+        quarantine.entries.append(
+            QuarantineEntry(index=0, offset=stream.tell(), error=str(error))
+        )
+        return [], quarantine
+    if count > _MAX_RECORD_COUNT:
+        quarantine.truncated = True
+        quarantine.entries.append(
+            QuarantineEntry(
+                index=0, offset=stream.tell(),
+                error=f"record count {count} exceeds cap",
+            )
+        )
+        count = 0
+    quarantine.expected = count
+    records: List[ReadRecord] = []
+    for index in range(count):
+        offset = stream.tell()
+        if framed:
+            try:
+                payload_len = read_varint(stream)
+                payload = io.BytesIO(
+                    _read_checked(stream, payload_len, "record frame")
+                )
+            except (EOFError, ValueError) as error:
+                # The frame header itself is torn: no boundary to skip to.
+                quarantine.truncated = True
+                quarantine.entries.append(
+                    QuarantineEntry(index=index, offset=offset, error=str(error))
+                )
+                break
+            try:
+                record = _read_record(payload)
+                if payload.read(1):
+                    raise CorruptRecordError("record frame has trailing bytes")
+            except (EOFError, ValueError) as error:
+                quarantine.entries.append(
+                    QuarantineEntry(index=index, offset=offset, error=str(error))
+                )
+                continue
+            records.append(record)
+        else:
+            try:
+                records.append(_read_record(stream))
+            except (EOFError, ValueError) as error:
+                quarantine.truncated = True
+                quarantine.entries.append(
+                    QuarantineEntry(index=index, offset=offset, error=str(error))
+                )
+                break
+    quarantine.loaded = len(records)
+    return records, quarantine
+
+
+def save_seed_file_path(
+    records: Sequence[ReadRecord], path: str, framed: bool = False
+) -> None:
     with open(path, "wb") as handle:
-        save_seed_file(records, handle)
+        save_seed_file(records, handle, framed=framed)
 
 
 def load_seed_file_path(path: str) -> List[ReadRecord]:
     with open(path, "rb") as handle:
         return load_seed_file(handle)
+
+
+def load_seed_file_tolerant_path(
+    path: str,
+) -> Tuple[List[ReadRecord], SeedQuarantine]:
+    """Tolerant-mode :func:`load_seed_file_tolerant` from a filesystem path."""
+    with open(path, "rb") as handle:
+        return load_seed_file_tolerant(handle)
 
 
 def save_extensions(

@@ -27,9 +27,20 @@ from repro.gbwt.gbz import GBZ, load_gbz_file
 from repro.index.distance import DistanceIndex
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.resilience import faults as _faults
+from repro.resilience.policy import CompletenessReport, FailurePolicy
 from repro.sched.base import BatchTrace
 from repro.sched import make_scheduler
 from repro.util.timing import RegionTimer
+
+
+class IncompleteRunError(RuntimeError):
+    """A proxy run left reads unprocessed without accounting for them.
+
+    Raised when the scheduler returns but some result slots were never
+    written and no quarantine/retry policy claimed them — the condition
+    the old code silently coerced into "zero extensions found".
+    """
 
 
 @dataclass
@@ -46,11 +57,21 @@ class MappingResult:
     counters: KernelCounters = field(default_factory=KernelCounters)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     timer: Optional[RegionTimer] = None
+    #: Read-level completeness: which reads were never processed
+    #: (quarantined batches), retry/attempt counts.  ``extensions`` only
+    #: holds *processed* reads, so an empty list there always means "ran
+    #: the kernels, found nothing" — never "skipped".
+    completeness: Optional[CompletenessReport] = None
 
     @property
     def mapped_reads(self) -> int:
         """Reads with at least one extension found."""
         return sum(1 for exts in self.extensions.values() if exts)
+
+    @property
+    def complete(self) -> bool:
+        """True when every input read was processed."""
+        return self.completeness is None or self.completeness.complete
 
 
 class MiniGiraffe:
@@ -101,6 +122,7 @@ class MiniGiraffe:
         records: Sequence[ReadRecord],
         tracer=None,
         metrics=None,
+        resilience: Optional[FailurePolicy] = None,
     ) -> MappingResult:
         """Run the critical kernels over all reads; the headline entry point.
 
@@ -109,6 +131,13 @@ class MiniGiraffe:
         for this run — they are installed for the run's dynamic extent so
         the scheduler and cache hooks report to the same place.  With the
         defaults (no tracer installed) every hook is a no-op.
+
+        ``resilience`` selects the failure policy for the scheduler run.
+        The default is fail-fast: a worker exception propagates out of
+        this call.  Under ``quarantine`` / ``retry`` policies the run
+        completes and unprocessed reads are reported in
+        ``MappingResult.completeness.failed_reads`` (and excluded from
+        ``extensions``) instead of masquerading as unmapped reads.
         """
         if tracer is not None or metrics is not None:
             # Explicit None checks: an empty MetricsRegistry is falsy.
@@ -117,7 +146,7 @@ class MiniGiraffe:
             if metrics is None:
                 metrics = obs_metrics.get_metrics()
             with obs_trace.use_tracer(tracer), obs_metrics.use_metrics(metrics):
-                return self.map_reads(records)
+                return self.map_reads(records, resilience=resilience)
         options = self.options
         graph = self.gbz.graph
         results: List[Optional[List[GaplessExtension]]] = [None] * len(records)
@@ -141,6 +170,9 @@ class MiniGiraffe:
             cache, thread_counters = thread_context(thread_id)
             if options.cache_lifetime == "batch":
                 cache.clear()
+            injector = _faults.active_injector()
+            if injector is not None and injector.cache_storm(first):
+                cache.storm()
             counters_before = (
                 thread_counters.as_dict() if tracer.enabled else None
             )
@@ -188,9 +220,24 @@ class MiniGiraffe:
         scheduler = make_scheduler(options.scheduler)
         start = time.perf_counter()
         traces = scheduler.run(
-            len(records), process_batch, options.threads, options.batch_size
+            len(records), process_batch, options.threads, options.batch_size,
+            resilience=resilience,
         )
         makespan = time.perf_counter() - start
+
+        missing = [index for index, r in enumerate(results) if r is None]
+        if missing and (resilience is None or resilience.mode == "fail_fast"):
+            # The scheduler claims every item was handed out, so unwritten
+            # slots here mean results were lost, not "zero extensions".
+            raise IncompleteRunError(
+                f"{len(missing)} of {len(records)} reads were never "
+                f"processed (first missing index: {missing[0]})"
+            )
+        completeness = CompletenessReport.from_run_report(
+            total_reads=len(records),
+            failed_reads=[records[index].name for index in missing],
+            report=scheduler.last_report,
+        )
 
         merged_counters = KernelCounters()
         for thread_counters in counters.values():
@@ -218,19 +265,26 @@ class MiniGiraffe:
         registry.counter(
             "proxy_reads_total", "reads mapped by the proxy"
         ).inc(len(records))
+        if missing:
+            registry.counter(
+                "proxy_read_failures_total",
+                "reads never processed (quarantined batches)",
+            ).inc(len(missing))
         registry.gauge(
             "proxy_makespan_seconds", "makespan of the most recent proxy run"
         ).set(makespan)
         return MappingResult(
             extensions={
-                record.name: result if result is not None else []
+                record.name: result
                 for record, result in zip(records, results)
+                if result is not None
             },
             makespan=makespan,
             traces=traces,
             counters=merged_counters,
             cache_stats=cache_stats,
             timer=timer if options.instrument else None,
+            completeness=completeness,
         )
 
     def map_seed_file(self, seeds_path: str) -> MappingResult:

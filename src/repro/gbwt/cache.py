@@ -51,6 +51,7 @@ class CachedGBWT:
         self.misses = 0
         self.rehashes = 0
         self.probe_steps = 0
+        self.storms = 0
 
     # -- hash table internals ----------------------------------------------
 
@@ -133,6 +134,17 @@ class CachedGBWT:
         self._values = [_EMPTY] * self._capacity
         self._size = 0
 
+    def storm(self) -> None:
+        """An eviction storm: drop every record and count the event.
+
+        The hook :mod:`repro.resilience.faults` drives to simulate a
+        worker losing its warm cache mid-run (memory pressure, restart).
+        Unlike :meth:`clear` it is an accounted *fault*: the ``storms``
+        statistic feeds ``gbwt_cache_storms_total``.
+        """
+        self.clear()
+        self.storms += 1
+
     # -- GBWT-compatible search API -------------------------------------------
 
     def full_state(self, handle: int) -> SearchState:
@@ -169,6 +181,7 @@ class CachedGBWT:
             "hit_rate": self.hits / total if total else 0.0,
             "rehashes": self.rehashes,
             "probe_steps": self.probe_steps,
+            "storms": self.storms,
             "size": self._size,
             "capacity": self._capacity,
             "slot_bytes": self.slot_bytes,
@@ -195,6 +208,11 @@ class CachedGBWT:
         registry.counter(
             "gbwt_cache_probe_steps_total", "open-addressing probe steps"
         ).inc(stats["probe_steps"], **labels)
+        if stats["storms"]:
+            registry.counter(
+                "gbwt_cache_storms_total",
+                "injected eviction storms (fault plans)",
+            ).inc(stats["storms"], **labels)
         registry.gauge(
             "gbwt_cache_hit_rate", "hits / (hits + misses) at publish time"
         ).set(stats["hit_rate"], **labels)

@@ -66,6 +66,14 @@ class SpanEvent:
     depth: int = 0
     parent: Optional[str] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: "ok" normally; "error" when the span body raised or the
+    #: instrumented code called ``span.set_error(exc)``.
+    status: str = "ok"
+
+    @property
+    def is_error(self) -> bool:
+        """True when the span finished in error status."""
+        return self.status == "error"
 
     @property
     def duration(self) -> float:
@@ -85,6 +93,7 @@ class SpanEvent:
             "depth": self.depth,
             "parent": self.parent,
             "attrs": self.attrs,
+            "status": self.status,
         }
 
     @classmethod
@@ -100,6 +109,7 @@ class SpanEvent:
             depth=payload.get("depth", 0),
             parent=payload.get("parent"),
             attrs=payload.get("attrs") or {},
+            status=payload.get("status", "ok"),
         )
 
 
@@ -170,6 +180,10 @@ class _NullSpan:
         """Ignore attributes (the enabled counterpart records them)."""
         return self
 
+    def set_error(self, exc: BaseException) -> "_NullSpan":
+        """Ignore the error (the enabled counterpart records it)."""
+        return self
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -177,7 +191,8 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """An open span: records clocks on entry, emits a SpanEvent on exit."""
 
-    __slots__ = ("_tracer", "_name", "_worker", "_attrs", "_start", "_cpu0")
+    __slots__ = ("_tracer", "_name", "_worker", "_attrs", "_start", "_cpu0",
+                 "_status")
 
     def __init__(self, tracer: "Tracer", name: str, worker: Optional[int],
                  attrs: Dict[str, Any]):
@@ -185,10 +200,23 @@ class _Span:
         self._name = name
         self._worker = worker
         self._attrs = attrs
+        self._status = "ok"
 
     def set(self, **attrs) -> "_Span":
         """Attach attributes discovered mid-span (e.g. counter deltas)."""
         self._attrs.update(attrs)
+        return self
+
+    def set_error(self, exc: BaseException) -> "_Span":
+        """Mark the span failed, recording the exception type and message.
+
+        Called automatically when the span body raises; call it
+        explicitly for handled errors that should still show up in the
+        trace (quarantined batches, retried attempts).
+        """
+        self._status = "error"
+        self._attrs.setdefault("error", type(exc).__name__)
+        self._attrs.setdefault("error_message", str(exc))
         return self
 
     def __enter__(self) -> "_Span":
@@ -198,9 +226,11 @@ class _Span:
         self._cpu0 = time.thread_time()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
         end = time.perf_counter()
         cpu = time.thread_time() - self._cpu0
+        if exc is not None:
+            self.set_error(exc)
         tracer = self._tracer
         stack = tracer._stack()
         stack.pop()
@@ -215,6 +245,7 @@ class _Span:
                 depth=len(stack),
                 parent=stack[-1] if stack else None,
                 attrs=self._attrs,
+                status=self._status,
             )
         )
 
@@ -266,8 +297,13 @@ class Tracer:
         """Open a span; use as ``with tracer.span("cluster_seeds"): ...``."""
         return _Span(self, name, worker, attrs)
 
-    def event(self, name: str, worker: Optional[int] = None, **attrs) -> None:
-        """Record a zero-duration point event (e.g. a cache rehash)."""
+    def event(self, name: str, worker: Optional[int] = None,
+              status: str = "ok", **attrs) -> None:
+        """Record a zero-duration point event (e.g. a cache rehash).
+
+        ``status="error"`` marks failure events (quarantined batches,
+        watchdog triggers) so reports can count them separately.
+        """
         now = time.perf_counter()
         stack = self._stack()
         self._emit(
@@ -281,6 +317,7 @@ class Tracer:
                 depth=len(stack),
                 parent=stack[-1] if stack else None,
                 attrs=attrs,
+                status=status,
             )
         )
 
@@ -296,6 +333,10 @@ class Tracer:
 
     def __iter__(self) -> Iterator[SpanEvent]:
         return iter(self.spans())
+
+    def error_spans(self) -> List[SpanEvent]:
+        """Retained spans that finished in error status, oldest first."""
+        return [span for span in self.spans() if span.is_error]
 
     def totals_by_region(self) -> Dict[str, float]:
         """Aggregate wall-clock duration per span name."""
@@ -349,13 +390,18 @@ class NullTracer:
         """Return the shared no-op context manager."""
         return _NULL_SPAN
 
-    def event(self, name: str, worker: Optional[int] = None, **attrs) -> None:
+    def event(self, name: str, worker: Optional[int] = None,
+              status: str = "ok", **attrs) -> None:
         """Discard the event."""
 
     def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
         """Discard the sink (nothing will ever be emitted)."""
 
     def spans(self) -> List[SpanEvent]:
+        """Always empty."""
+        return []
+
+    def error_spans(self) -> List[SpanEvent]:
         """Always empty."""
         return []
 

@@ -1,0 +1,67 @@
+"""Fault-tolerant execution: failure policies, fault injection, watchdogs.
+
+The proxy must survive what production workloads throw at it — a worker
+thread dying mid-batch, a corrupt record in a 71M-read seed capture, a
+machine stalling under memory pressure.  This package makes failure a
+first-class, *testable* concern:
+
+* :mod:`repro.resilience.policy` — :class:`FailurePolicy` (``fail_fast``
+  | ``quarantine`` | ``retry`` with bounded, jittered backoff), the
+  thread-safe :class:`RunReport` the scheduler fills in, and the
+  :class:`CompletenessReport` attached to every
+  :class:`repro.core.proxy.MappingResult` so unprocessed reads are never
+  silently coerced to "no extensions found";
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection: a :class:`FaultPlan` (exceptions, delays, cache-eviction
+  storms, byte corruption) driven by :mod:`repro.util.rng` and installed
+  with a context manager, so chaos runs replay bit-for-bit;
+* :mod:`repro.resilience.harness` — the :class:`BatchHarness` the
+  schedulers wrap around ``process_batch`` (retry / quarantine / requeue
+  bookkeeping) and the :class:`Watchdog` thread that flags batches
+  blowing past a rolling soft deadline.
+
+All failure events flow into the installed :mod:`repro.obs` tracer
+(span/event error status) and metrics registry
+(``proxy_read_failures_total``, ``sched_batch_retries_total``,
+``sched_batches_quarantined_total``, ``sched_watchdog_triggers_total``).
+With no policy configured and no fault plan installed the schedulers
+take their original zero-overhead path — resilience costs nothing until
+something goes wrong or someone opts in.
+
+The ``repro chaos`` CLI subcommand packages the workflow end to end:
+run the proxy under a seeded fault plan and assert the exactly-once
+invariant.  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.policy import (
+    BatchFailure,
+    CompletenessReport,
+    FailurePolicy,
+    RunReport,
+    WatchdogConfig,
+    WatchdogEvent,
+)
+from repro.resilience.faults import (
+    BatchFaults,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    active_injector,
+)
+from repro.resilience.harness import BatchHarness, Watchdog
+
+__all__ = [
+    "BatchFailure",
+    "BatchFaults",
+    "BatchHarness",
+    "CompletenessReport",
+    "FailurePolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "RunReport",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogEvent",
+    "active_injector",
+]

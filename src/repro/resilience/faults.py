@@ -1,0 +1,228 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultPlan` decides — purely as a function of ``(seed, batch
+first-item index)`` via :func:`repro.util.rng.derive_seed` — which
+batches raise, which stall, and which suffer a cache-eviction storm.
+Because the decision keys on the batch's first item index rather than
+on execution order, the same plan fires on the same batches no matter
+which thread claims them or how claims interleave, so chaos runs are
+reproducible across schedulers and across machines.
+
+Install a plan for a dynamic extent with::
+
+    plan = FaultPlan(seed=7, raise_rate=0.2, delay_rate=0.1)
+    with plan.install() as injector:
+        proxy.map_reads(records, resilience=FailurePolicy.retry())
+    print(injector.injected_raises, injector.injected_delays)
+
+The hooks are consulted by :class:`repro.resilience.harness.BatchHarness`
+(raise/delay, at batch start) and by ``MiniGiraffe.map_reads``
+(cache storms, per batch).  When no plan is installed the hook is a
+single module-global ``is None`` check — nothing on the hot path.
+
+Non-sticky faults fire only on a batch's *first* attempt, so a
+``retry`` policy recovers them; sticky faults fire on every attempt and
+end up quarantined.  :meth:`FaultPlan.corrupt` deterministically flips
+bytes in a serialized seed stream, pairing with the tolerant loading
+mode of :mod:`repro.core.io`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.rng import SplitMix64, derive_seed
+
+
+class InjectedFault(RuntimeError):
+    """The exception a fault plan raises inside a worker batch."""
+
+
+@dataclass(frozen=True)
+class BatchFaults:
+    """The plan's verdict for one batch (keyed by its first item)."""
+
+    raise_fault: bool = False
+    sticky: bool = False
+    delay: float = 0.0
+    storm: bool = False
+
+    @property
+    def any(self) -> bool:
+        """True when at least one fault fires for this batch."""
+        return self.raise_fault or self.storm or self.delay > 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded recipe of faults, independent of execution order.
+
+    Rates are per-batch probabilities in [0, 1].  ``sticky_rate`` is the
+    conditional probability that an injected exception re-fires on every
+    retry (making the batch unrecoverable); ``max_delay`` bounds the
+    injected stall in seconds.  ``corrupt_rate`` is a per-byte flip
+    probability used by :meth:`corrupt`.
+    """
+
+    seed: int = 0
+    raise_rate: float = 0.0
+    delay_rate: float = 0.0
+    storm_rate: float = 0.0
+    sticky_rate: float = 0.5
+    max_delay: float = 0.005
+    corrupt_rate: float = 0.001
+
+    def __post_init__(self):
+        for name in ("raise_rate", "delay_rate", "storm_rate",
+                     "sticky_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+
+    def decide(self, first: int) -> BatchFaults:
+        """The faults this plan injects into the batch starting at ``first``.
+
+        Deterministic: the verdict is a pure function of the plan and
+        ``first``, so every scheduler and every interleaving sees the
+        same faults.
+        """
+        rng = SplitMix64(derive_seed(self.seed, "batch", first))
+        raise_fault = rng.random() < self.raise_rate
+        sticky = raise_fault and rng.random() < self.sticky_rate
+        delay = self.max_delay * rng.random() if rng.random() < self.delay_rate else 0.0
+        storm = rng.random() < self.storm_rate
+        return BatchFaults(
+            raise_fault=raise_fault, sticky=sticky, delay=delay, storm=storm
+        )
+
+    def corrupt(self, data: bytes, label: str = "seeds") -> bytes:
+        """Deterministically flip bytes in ``data`` (seed-file corruption).
+
+        Flips each byte with probability ``corrupt_rate``; when the rate
+        is positive and the payload non-empty, at least one byte beyond
+        the 4-byte magic is always flipped so corruption is guaranteed.
+        The magic itself is never touched — the point is record-level
+        corruption, not a bad-magic abort.
+        """
+        if not data or self.corrupt_rate <= 0:
+            return data
+        rng = SplitMix64(derive_seed(self.seed, "corrupt", label))
+        mutated = bytearray(data)
+        start = min(4, len(data) - 1)
+        flipped = 0
+        for index in range(start, len(mutated)):
+            if rng.random() < self.corrupt_rate:
+                mutated[index] ^= 1 + (rng.next_u64() % 255)
+                flipped += 1
+        if not flipped:
+            index = rng.randint(start, len(mutated) - 1)
+            mutated[index] ^= 1 + (rng.next_u64() % 255)
+        return bytes(mutated)
+
+    def install(self) -> "FaultInjector":
+        """Context manager installing this plan process-wide::
+
+            with plan.install() as injector:
+                ...
+        """
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """An installed :class:`FaultPlan` plus its injection bookkeeping.
+
+    Tracks per-batch attempt counts (so non-sticky faults fire once) and
+    counts every injected event.  Also usable as a context manager that
+    installs itself as the process-wide active injector.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._attempts: Dict[int, int] = {}
+        self.injected_raises = 0
+        self.injected_delays = 0
+        self.injected_storms = 0
+
+    def _bump_attempt(self, first: int) -> int:
+        with self._lock:
+            attempt = self._attempts.get(first, 0) + 1
+            self._attempts[first] = attempt
+            return attempt
+
+    def on_batch_start(self, first: int, last: int, thread_id: int) -> None:
+        """Injection point at the top of every batch execution.
+
+        Sleeps for the planned delay (first attempt only), then raises
+        :class:`InjectedFault` when the plan says so — on the first
+        attempt for transient faults, on every attempt for sticky ones.
+        """
+        verdict = self.plan.decide(first)
+        if not verdict.any:
+            self._bump_attempt(first)
+            return
+        attempt = self._bump_attempt(first)
+        if verdict.delay > 0.0 and attempt == 1:
+            with self._lock:
+                self.injected_delays += 1
+            time.sleep(verdict.delay)
+        if verdict.raise_fault and (verdict.sticky or attempt == 1):
+            with self._lock:
+                self.injected_raises += 1
+            # The message must not name the worker: which thread claims
+            # a batch is scheduling noise, and quarantine reports have
+            # to serialize identically across runs of the same seed.
+            raise InjectedFault(
+                f"injected fault in batch [{first}, {last}) (attempt {attempt})"
+            )
+
+    def cache_storm(self, first: int) -> bool:
+        """True when the plan evicts the worker's GBWT cache this batch."""
+        if self.plan.decide(first).storm:
+            with self._lock:
+                self.injected_storms += 1
+            return True
+        return False
+
+    def counts(self) -> Dict[str, int]:
+        """Deterministic injection totals for the chaos report."""
+        with self._lock:
+            return {
+                "raises": self.injected_raises,
+                "delays": self.injected_delays,
+                "storms": self.injected_storms,
+            }
+
+    # -- installation ------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        _install(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _uninstall(self)
+
+
+_active_lock = threading.Lock()
+_active_stack: List[FaultInjector] = []
+
+
+def _install(injector: FaultInjector) -> None:
+    with _active_lock:
+        _active_stack.append(injector)
+
+
+def _uninstall(injector: FaultInjector) -> None:
+    with _active_lock:
+        if injector in _active_stack:
+            _active_stack.remove(injector)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The innermost installed injector, or None (the common case)."""
+    return _active_stack[-1] if _active_stack else None

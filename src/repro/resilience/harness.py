@@ -1,0 +1,262 @@
+"""The batch execution harness and the hung-batch watchdog.
+
+:class:`BatchHarness` is what a scheduler actually calls instead of the
+raw ``process_batch`` when a :class:`~repro.resilience.policy.FailurePolicy`
+is in force or a fault plan is installed.  It owns every per-run piece
+of failure bookkeeping:
+
+* fault injection (via the installed
+  :class:`~repro.resilience.faults.FaultInjector`, if any);
+* retry loops with bounded jittered backoff, quarantine records, and
+  fail-fast fatal flagging (so surviving workers stop claiming batches
+  once the run is doomed);
+* the in-flight table and rolling batch-duration estimate the
+  :class:`Watchdog` polls, plus the requeue queue abandoned batches
+  land in;
+* exactly-once accounting: completed batches are remembered so a
+  duplicate execution (requeue racing the original worker) is recorded
+  in the :class:`~repro.resilience.policy.RunReport`, never hidden.
+
+The harness is deliberately scheduler-agnostic: it sees only
+``(first, last, thread_id)`` batch calls, so the same machinery serves
+``static``, ``dynamic``, and ``work_stealing`` unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.obs import trace as obs_trace
+from repro.resilience import faults as faults_mod
+from repro.resilience.policy import (
+    BatchFailure,
+    FailurePolicy,
+    RunReport,
+    WatchdogEvent,
+)
+from repro.util.rng import SplitMix64, derive_seed
+
+
+class _InFlight:
+    """One batch currently executing on a worker (watchdog bookkeeping)."""
+
+    __slots__ = ("first", "last", "start", "warned")
+
+    def __init__(self, first: int, last: int, start: float):
+        self.first = first
+        self.last = last
+        self.start = start
+        self.warned = False
+
+
+class BatchHarness:
+    """Wraps ``process_batch`` with the failure policy's behaviour.
+
+    Construct one per ``run()`` and hand it to the scheduler in place of
+    the raw batch function; read the filled-in :class:`RunReport`
+    afterwards.  All state is thread-safe.
+    """
+
+    def __init__(self, process_batch: Callable[[int, int, int], None],
+                 policy: FailurePolicy, report: Optional[RunReport] = None):
+        self._inner = process_batch
+        self.policy = policy
+        self.report = report if report is not None else RunReport()
+        self._injector = faults_mod.active_injector()
+        self._tracer = obs_trace.get_tracer()
+        self._lock = threading.Lock()
+        self._rng = SplitMix64(derive_seed(policy.seed, "backoff"))
+        self._inflight: dict = {}
+        self._dur_count = 0
+        self._dur_total = 0.0
+        self._completed: set = set()
+        self._requeued: set = set()
+        self._requeue_queue: Deque[Tuple[int, int]] = deque()
+        self._fatal = threading.Event()
+
+    # -- execution ---------------------------------------------------------
+
+    def __call__(self, first: int, last: int, thread_id: int) -> None:
+        """Execute one batch under the policy (the ``BatchFn`` surface)."""
+        if self._fatal.is_set():
+            return  # the run is already doomed; stop burning work
+        attempt = 0
+        while True:
+            attempt += 1
+            self.report.record_attempt()
+            self._begin(thread_id, first, last)
+            try:
+                if self._injector is not None:
+                    self._injector.on_batch_start(first, last, thread_id)
+                self._inner(first, last, thread_id)
+            except Exception as exc:
+                self._end(thread_id, success=False)
+                if self.policy.mode == "fail_fast":
+                    self._fatal.set()
+                    self._tracer.event(
+                        "sched.batch_error", worker=thread_id, status="error",
+                        first=first, count=last - first,
+                        error=type(exc).__name__,
+                    )
+                    raise
+                if (self.policy.mode == "retry"
+                        and attempt < self.policy.max_attempts):
+                    self.report.record_retry()
+                    with self._lock:
+                        delay = self.policy.backoff_delay(attempt, self._rng)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                self._quarantine(first, last, thread_id, attempt, exc)
+                return
+            else:
+                self._end(thread_id, success=True)
+                self._mark_complete(first, last)
+                return
+
+    def _quarantine(self, first: int, last: int, thread_id: int,
+                    attempts: int, exc: Exception) -> None:
+        failure = BatchFailure(
+            first=first, last=last, thread=thread_id, attempts=attempts,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self.report.record_quarantine(failure)
+        self._tracer.event(
+            "sched.quarantine", worker=thread_id, status="error", first=first,
+            count=last - first, attempts=attempts, error=type(exc).__name__,
+        )
+
+    # -- watchdog bookkeeping ----------------------------------------------
+
+    def _begin(self, thread_id: int, first: int, last: int) -> None:
+        with self._lock:
+            self._inflight[thread_id] = _InFlight(
+                first, last, time.perf_counter()
+            )
+
+    def _end(self, thread_id: int, success: bool) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            entry = self._inflight.pop(thread_id, None)
+            if success and entry is not None:
+                self._dur_count += 1
+                self._dur_total += now - entry.start
+
+    def deadline(self) -> float:
+        """Current soft deadline: ``factor`` x rolling mean duration.
+
+        Floored at the configured ``min_deadline``; before any batch has
+        completed the floor is the whole deadline.
+        """
+        config = self.policy.watchdog
+        if config is None:
+            return float("inf")
+        with self._lock:
+            mean = (self._dur_total / self._dur_count
+                    if self._dur_count else 0.0)
+        return max(config.min_deadline, config.factor * mean)
+
+    def overdue(self, now: float, deadline: float) -> List[Tuple[int, _InFlight]]:
+        """In-flight batches past ``deadline``, each flagged only once."""
+        flagged = []
+        with self._lock:
+            for thread_id, entry in self._inflight.items():
+                if not entry.warned and now - entry.start > deadline:
+                    entry.warned = True
+                    flagged.append((thread_id, entry))
+        return flagged
+
+    # -- requeue / exactly-once accounting ---------------------------------
+
+    def _mark_complete(self, first: int, last: int) -> None:
+        with self._lock:
+            if first in self._completed:
+                self.report.record_duplicate(first, last)
+            else:
+                self._completed.add(first)
+
+    def requeue(self, first: int, last: int) -> bool:
+        """Abandon a batch to the requeue queue (at most once per batch)."""
+        with self._lock:
+            if first in self._completed or first in self._requeued:
+                return False
+            self._requeued.add(first)
+            self._requeue_queue.append((first, last))
+            return True
+
+    def drain_requeued(
+        self, thread_id: int,
+        record: Callable[[int, int, int, float], None],
+    ) -> None:
+        """Execute abandoned batches on a worker that ran out of work.
+
+        ``record(first, last, thread_id, start)`` is the scheduler's
+        trace hook, called after each requeued batch executes.
+        """
+        while True:
+            with self._lock:
+                if not self._requeue_queue:
+                    return
+                first, last = self._requeue_queue.popleft()
+            start = time.perf_counter()
+            self(first, last, thread_id)
+            record(first, last, thread_id, start)
+
+
+class Watchdog:
+    """A poller that flags batches exceeding the harness's soft deadline.
+
+    Runs on its own daemon thread for the duration of one ``run()``.
+    Each overdue batch is flagged once: a ``sched.watchdog`` trace event
+    is emitted, a :class:`WatchdogEvent` lands in the run report, and —
+    when the config says so — the batch is abandoned to the requeue
+    queue for surviving workers.
+    """
+
+    def __init__(self, harness: BatchHarness):
+        if harness.policy.watchdog is None:
+            raise ValueError("harness has no watchdog config")
+        self.harness = harness
+        self.config = harness.policy.watchdog
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="sched-watchdog", daemon=True
+        )
+
+    def start(self) -> None:
+        """Begin polling."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop polling and join the watchdog thread."""
+        self._stop.set()
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.poll_interval):
+            self.scan()
+
+    def scan(self) -> None:
+        """One poll: flag every in-flight batch past the deadline."""
+        now = time.perf_counter()
+        deadline = self.harness.deadline()
+        for thread_id, entry in self.harness.overdue(now, deadline):
+            requeued = False
+            if self.config.requeue:
+                requeued = self.harness.requeue(entry.first, entry.last)
+            self.harness.report.record_watchdog(
+                WatchdogEvent(
+                    thread=thread_id, first=entry.first, last=entry.last,
+                    elapsed=now - entry.start, deadline=deadline,
+                    requeued=requeued,
+                )
+            )
+            self.harness._tracer.event(
+                "sched.watchdog", worker=thread_id, status="error",
+                first=entry.first, count=entry.last - entry.first,
+                elapsed=now - entry.start, deadline=deadline,
+                requeued=requeued,
+            )

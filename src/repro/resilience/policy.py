@@ -1,0 +1,289 @@
+"""Failure policies and the reports they produce.
+
+A :class:`FailurePolicy` tells the scheduler what to do when
+``process_batch`` raises: propagate immediately (``fail_fast``, the
+default everywhere), swallow the batch into a quarantine report and keep
+going (``quarantine``), or re-execute it with bounded, jittered backoff
+before quarantining (``retry``).  The policy also optionally carries a
+:class:`WatchdogConfig` for hung-batch detection.
+
+Everything the run learns about its own failures lands in a
+:class:`RunReport` (scheduler-level, item ranges) which the proxy folds
+into a :class:`CompletenessReport` (read-level, names) on
+:class:`repro.core.proxy.MappingResult`.  Both are plain data: the
+chaos CLI serializes them deterministically, so two runs with the same
+fault-plan seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import SplitMix64
+
+#: The three recognised policy modes.
+MODES = ("fail_fast", "quarantine", "retry")
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Soft-deadline detection of hung batches.
+
+    The deadline for an in-flight batch is ``factor`` times the rolling
+    mean duration of completed batches, floored at ``min_deadline``
+    seconds (the floor is all that applies until the first batch
+    completes).  ``requeue=True`` additionally abandons a flagged batch
+    to the requeue queue, where surviving workers pick it up after
+    draining their own work — the original worker may still finish it,
+    in which case the duplicate execution is recorded in the report
+    rather than hidden.
+    """
+
+    factor: float = 4.0
+    min_deadline: float = 0.05
+    poll_interval: float = 0.01
+    requeue: bool = False
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ValueError("watchdog factor must be positive")
+        if self.min_deadline <= 0 or self.poll_interval <= 0:
+            raise ValueError("watchdog deadlines must be positive")
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What the scheduler does when a batch raises.
+
+    ``mode`` is one of ``"fail_fast"`` (re-raise to the ``run()``
+    caller), ``"quarantine"`` (record the batch as failed, continue), or
+    ``"retry"`` (re-execute up to ``max_attempts`` times with bounded
+    exponential backoff, then quarantine).  Backoff for attempt ``n`` is
+    ``min(backoff_cap, backoff_base * 2**(n-1))`` scaled down by up to
+    ``backoff_jitter`` (a fraction in [0, 1]) using a :class:`SplitMix64`
+    stream seeded from ``seed`` — deterministic and bounded above by
+    ``backoff_cap``.
+    """
+
+    mode: str = "fail_fast"
+    max_attempts: int = 3
+    backoff_base: float = 0.002
+    backoff_cap: float = 0.05
+    backoff_jitter: float = 0.5
+    seed: int = 0
+    watchdog: Optional[WatchdogConfig] = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown failure mode {self.mode!r}; choose from {MODES}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+
+    @classmethod
+    def fail_fast(cls, **kwargs) -> "FailurePolicy":
+        """The default: propagate the first worker exception."""
+        return cls(mode="fail_fast", **kwargs)
+
+    @classmethod
+    def quarantine(cls, **kwargs) -> "FailurePolicy":
+        """Swallow failing batches into the report; never retry."""
+        return cls(mode="quarantine", **kwargs)
+
+    @classmethod
+    def retry(cls, **kwargs) -> "FailurePolicy":
+        """Retry failing batches with backoff, then quarantine."""
+        return cls(mode="retry", **kwargs)
+
+    def backoff_delay(self, attempt: int, rng: SplitMix64) -> float:
+        """Seconds to sleep before re-attempting after failure ``attempt``.
+
+        Always in ``[0, backoff_cap]``: the exponential term is capped
+        first, then jitter only ever *shrinks* the delay (full jitter
+        toward zero), so no draw can exceed the cap.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        raw = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return raw * (1.0 - self.backoff_jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One batch that exhausted its policy: item range, thread, error."""
+
+    first: int
+    last: int
+    thread: int
+    attempts: int
+    error: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the chaos report).
+
+        Excludes ``thread``: which worker claimed the batch is
+        scheduling noise, and the chaos gate requires identical reports
+        across runs of the same fault-plan seed.
+        """
+        return {
+            "first": self.first,
+            "last": self.last,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class WatchdogEvent:
+    """One soft-deadline violation observed by the watchdog."""
+
+    thread: int
+    first: int
+    last: int
+    elapsed: float
+    deadline: float
+    requeued: bool
+
+
+class RunReport:
+    """Thread-safe account of everything that went wrong in one run.
+
+    Filled in by :class:`repro.resilience.harness.BatchHarness` while
+    worker threads execute; read (single-threaded) after ``run()``
+    returns.  ``attempts`` counts every batch execution including
+    retries, so a clean run has ``attempts == batches``.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.failures: List[BatchFailure] = []
+        self.retries = 0
+        self.attempts = 0
+        self.duplicates: List[Tuple[int, int]] = []
+        self.watchdog_events: List[WatchdogEvent] = []
+
+    def record_attempt(self) -> None:
+        """Count one batch execution (first try or retry)."""
+        with self._lock:
+            self.attempts += 1
+
+    def record_retry(self) -> None:
+        """Count one re-execution decision after a failed attempt."""
+        with self._lock:
+            self.retries += 1
+
+    def record_quarantine(self, failure: BatchFailure) -> None:
+        """Record a batch that exhausted its policy."""
+        with self._lock:
+            self.failures.append(failure)
+
+    def record_duplicate(self, first: int, last: int) -> None:
+        """Record a batch executed more than once (requeue overlap)."""
+        with self._lock:
+            self.duplicates.append((first, last))
+
+    def record_watchdog(self, event: WatchdogEvent) -> None:
+        """Record one watchdog soft-deadline violation."""
+        with self._lock:
+            self.watchdog_events.append(event)
+
+    @property
+    def quarantined_items(self) -> int:
+        """Total items inside quarantined batches."""
+        with self._lock:
+            return sum(f.last - f.first for f in self.failures)
+
+    def failed_ranges(self) -> List[Tuple[int, int]]:
+        """Sorted ``(first, last)`` item ranges that were quarantined."""
+        with self._lock:
+            return sorted((f.first, f.last) for f in self.failures)
+
+    def failed_indices(self) -> List[int]:
+        """Every quarantined item index, sorted and deduplicated."""
+        indices = set()
+        for first, last in self.failed_ranges():
+            indices.update(range(first, last))
+        return sorted(indices)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-ready summary (no wall-clock content).
+
+        Quarantined batches are sorted by item range and watchdog events
+        are reduced to a count, so two runs under the same fault-plan
+        seed serialize identically regardless of thread interleaving.
+        """
+        with self._lock:
+            failures = sorted(self.failures, key=lambda f: (f.first, f.last))
+            return {
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "quarantined_batches": [f.to_dict() for f in failures],
+                "quarantined_items": sum(f.last - f.first for f in failures),
+                "duplicates": sorted(self.duplicates),
+                "watchdog_events": len(self.watchdog_events),
+            }
+
+
+@dataclass
+class CompletenessReport:
+    """Read-level completeness of one proxy run.
+
+    Distinguishes "no extensions found" (the read is in
+    ``MappingResult.extensions`` with an empty list) from "never
+    processed" (the read's name is in ``failed_reads``).  ``attempts``
+    and ``retries`` mirror the scheduler's :class:`RunReport`.
+    """
+
+    total_reads: int
+    failed_reads: List[str] = field(default_factory=list)
+    quarantined_batches: int = 0
+    retries: int = 0
+    attempts: int = 0
+    duplicates: int = 0
+    watchdog_events: int = 0
+
+    @property
+    def processed_reads(self) -> int:
+        """Reads that completed the kernels (mapped or not)."""
+        return self.total_reads - len(self.failed_reads)
+
+    @property
+    def complete(self) -> bool:
+        """True when every read was processed."""
+        return not self.failed_reads
+
+    @classmethod
+    def from_run_report(
+        cls, total_reads: int, failed_reads: List[str],
+        report: Optional[RunReport],
+    ) -> "CompletenessReport":
+        """Fold a scheduler :class:`RunReport` into read-level terms."""
+        if report is None:
+            return cls(total_reads=total_reads, failed_reads=failed_reads)
+        return cls(
+            total_reads=total_reads,
+            failed_reads=failed_reads,
+            quarantined_batches=len(report.failures),
+            retries=report.retries,
+            attempts=report.attempts,
+            duplicates=len(report.duplicates),
+            watchdog_events=len(report.watchdog_events),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-ready summary (sorted read names)."""
+        return {
+            "total_reads": self.total_reads,
+            "processed_reads": self.processed_reads,
+            "failed_reads": sorted(self.failed_reads),
+            "quarantined_batches": self.quarantined_batches,
+            "retries": self.retries,
+            "attempts": self.attempts,
+            "duplicates": self.duplicates,
+            "complete": self.complete,
+        }

@@ -1,4 +1,15 @@
-"""Scheduler interface and shared runner machinery."""
+"""Scheduler interface and shared runner machinery.
+
+Failure semantics: an exception raised inside any worker thread is
+collected and re-raised to the ``run()`` caller after every worker has
+joined — worker deaths are never silent.  Passing a
+:class:`repro.resilience.FailurePolicy` (or installing a
+:class:`repro.resilience.FaultPlan`) upgrades the bare fail-fast
+behaviour to per-batch retry/quarantine handling plus an optional
+hung-batch watchdog; the filled-in :class:`repro.resilience.RunReport`
+is left on :attr:`Scheduler.last_report`.  With neither in force the
+original zero-coordination fast path runs unchanged.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +17,13 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.resilience import faults as _faults
+from repro.resilience.harness import BatchHarness, Watchdog
+from repro.resilience.policy import FailurePolicy, RunReport
 
 #: A batch processor: ``process_batch(first_item, last_item, thread_id)``
 #: handles items ``[first_item, last_item)``.
@@ -37,6 +51,11 @@ class Scheduler(ABC):
 
     name = "abstract"
 
+    #: The :class:`repro.resilience.RunReport` of the most recent
+    #: :meth:`run` under a failure policy or fault plan; None after a
+    #: plain fast-path run.
+    last_report: Optional[RunReport] = None
+
     @abstractmethod
     def _thread_body(
         self,
@@ -55,12 +74,19 @@ class Scheduler(ABC):
         process_batch: BatchFn,
         threads: int,
         batch_size: int,
+        resilience: Optional[FailurePolicy] = None,
     ) -> List[BatchTrace]:
         """Process ``item_count`` items and return the merged batch traces.
 
-        Every item is processed exactly once; traces are sorted by start
-        time.  With ``threads == 1`` the calling thread does the work
-        (no thread spawn overhead for sequential baselines).
+        Every item is processed exactly once (or, under a quarantine /
+        retry ``resilience`` policy, reported failed in
+        :attr:`last_report` — never silently lost); traces are sorted by
+        start time.  With ``threads == 1`` the calling thread does the
+        work (no thread spawn overhead for sequential baselines).
+
+        A worker exception is re-raised here, in the caller, after all
+        workers have joined; ``resilience`` selects quarantine or retry
+        handling instead of that fail-fast default.
         """
         if item_count < 0:
             raise ValueError("item_count must be non-negative")
@@ -69,8 +95,17 @@ class Scheduler(ABC):
         with obs_trace.get_tracer().span(
             f"sched.{self.name}", items=item_count, threads=threads,
             batch_size=batch_size,
-        ):
-            merged = self._run_inner(item_count, process_batch, threads, batch_size)
+        ) as span:
+            try:
+                merged = self._run_inner(
+                    item_count, process_batch, threads, batch_size, resilience
+                )
+            except Exception as exc:
+                span.set_error(exc)
+                self._publish_metrics(
+                    obs_metrics.get_metrics(), [], threads, batch_size
+                )
+                raise
         self._publish_metrics(
             obs_metrics.get_metrics(), merged, threads, batch_size
         )
@@ -82,34 +117,71 @@ class Scheduler(ABC):
         process_batch: BatchFn,
         threads: int,
         batch_size: int,
+        resilience: Optional[FailurePolicy] = None,
     ) -> List[BatchTrace]:
-        """Validated body of :meth:`run`: spawn, join, merge traces."""
+        """Validated body of :meth:`run`: spawn, join, merge traces.
+
+        Wraps ``process_batch`` in a :class:`BatchHarness` when a
+        failure policy is supplied or a fault plan is installed; with
+        neither, the original direct-call fast path runs (plus worker
+        exception propagation, which costs one try/except per thread).
+        """
         self._prepare(item_count, threads, batch_size)
-        per_thread_traces: List[List[BatchTrace]] = [[] for _ in range(threads)]
-        if threads == 1:
-            self._thread_body(
-                0, item_count, batch_size, 1, process_batch, per_thread_traces[0]
+        self.last_report = None
+        harness: Optional[BatchHarness] = None
+        watchdog: Optional[Watchdog] = None
+        if resilience is not None or _faults.active_injector() is not None:
+            harness = BatchHarness(
+                process_batch, resilience or FailurePolicy.fail_fast()
             )
-        else:
-            workers = [
-                threading.Thread(
-                    target=self._thread_body,
-                    args=(
-                        tid,
-                        item_count,
-                        batch_size,
-                        threads,
-                        process_batch,
-                        per_thread_traces[tid],
-                    ),
-                    name=f"{self.name}-worker-{tid}",
+            self.last_report = harness.report
+            process_batch = harness
+            if harness.policy.watchdog is not None:
+                watchdog = Watchdog(harness)
+        per_thread_traces: List[List[BatchTrace]] = [[] for _ in range(threads)]
+        errors: List[Optional[BaseException]] = [None] * threads
+
+        def worker_body(tid: int) -> None:
+            try:
+                self._thread_body(
+                    tid, item_count, batch_size, threads, process_batch,
+                    per_thread_traces[tid],
                 )
-                for tid in range(threads)
-            ]
-            for worker in workers:
-                worker.start()
-            for worker in workers:
-                worker.join()
+                if harness is not None:
+                    harness.drain_requeued(
+                        tid,
+                        lambda first, last, thread_id, start: self._record(
+                            per_thread_traces[thread_id], thread_id,
+                            first, last, start,
+                        ),
+                    )
+            except BaseException as exc:  # collected, re-raised after join
+                errors[tid] = exc
+
+        if watchdog is not None:
+            watchdog.start()
+        try:
+            if threads == 1:
+                worker_body(0)
+            else:
+                workers = [
+                    threading.Thread(
+                        target=worker_body,
+                        args=(tid,),
+                        name=f"{self.name}-worker-{tid}",
+                    )
+                    for tid in range(threads)
+                ]
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join()
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+        for error in errors:
+            if error is not None:
+                raise error
         merged = [trace for traces in per_thread_traces for trace in traces]
         merged.sort(key=lambda t: (t.start, t.thread))
         return merged
@@ -142,6 +214,20 @@ class Scheduler(ABC):
         registry.gauge(
             "sched_batch_size", "batch size of the most recent run"
         ).set(batch_size, policy=self.name)
+        report = self.last_report
+        if report is not None:
+            registry.counter(
+                "sched_batch_retries_total",
+                "batch re-executions under a retry failure policy",
+            ).inc(report.retries, policy=self.name)
+            registry.counter(
+                "sched_batches_quarantined_total",
+                "batches that exhausted their failure policy",
+            ).inc(len(report.failures), policy=self.name)
+            registry.counter(
+                "sched_watchdog_triggers_total",
+                "batches flagged past the watchdog soft deadline",
+            ).inc(len(report.watchdog_events), policy=self.name)
 
     @staticmethod
     def _record(

@@ -1,0 +1,73 @@
+"""Integration tests for the ``repro chaos`` fault-injection gate.
+
+The acceptance contract: a chaos run with a given seed is fully
+deterministic — identical fault plans and identical quarantine/retry
+reports across runs — and the exactly-once invariant holds under every
+policy.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["chaos", "--input-set", "B-yeast", "--scale", "0.05", "--seed", "7"]
+
+
+def _run(tmp_path, name, extra=()):
+    path = str(tmp_path / name)
+    code = main(BASE + list(extra) + ["--json", path])
+    with open(path, encoding="utf-8") as handle:
+        return code, json.load(handle)
+
+
+class TestChaosDeterminism:
+    def test_same_seed_byte_identical_reports(self, tmp_path):
+        code_a, report_a = _run(tmp_path, "a.json")
+        code_b, report_b = _run(tmp_path, "b.json")
+        assert code_a == code_b == 0
+        assert report_a == report_b
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    @pytest.mark.parametrize("scheduler", ["static", "work_stealing"])
+    def test_other_schedulers_deterministic(self, tmp_path, scheduler):
+        extra = ["--scheduler", scheduler]
+        code_a, report_a = _run(tmp_path, "a.json", extra)
+        code_b, report_b = _run(tmp_path, "b.json", extra)
+        assert code_a == code_b == 0
+        assert report_a == report_b
+
+
+class TestChaosInvariants:
+    def test_retry_report_shape(self, tmp_path):
+        code, report = _run(tmp_path, "retry.json")
+        assert code == 0
+        assert report["exactly_once"] is True
+        assert report["policy"] == "retry"
+        run = report["run"]
+        assert run["total_reads"] == run["processed_reads"] + len(
+            run["failed_reads"]
+        )
+        assert run["duplicates"] == 0
+        assert report["injected"]["raises"] >= len(
+            run["failed_reads"]
+        ) // report["batch_size"]
+
+    def test_fail_fast_propagates(self, tmp_path, capsys):
+        code, report = _run(tmp_path, "ff.json", ["--policy", "fail_fast"])
+        assert code == 0
+        assert report["propagated"] == "InjectedFault"
+        # Timing-dependent fields are deliberately absent in this mode.
+        assert "injected" not in report
+        assert "propagated" in capsys.readouterr().out
+
+    def test_corrupt_input_quarantines_records(self, tmp_path):
+        code, report = _run(tmp_path, "c.json", ["--corrupt"])
+        assert code == 0
+        quarantine = report["io_quarantine"]
+        assert quarantine["expected"] > quarantine["loaded"]
+        assert quarantine["entries"]
+        assert report["exactly_once"] is True

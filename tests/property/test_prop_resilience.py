@@ -1,0 +1,132 @@
+"""Property test: the exactly-once guarantee under injected faults.
+
+The resilience layer's contract: for every scheduler and every seeded
+fault plan, each work item is either processed exactly once or reported
+failed in the run report — never silently lost, never double-counted.
+Fail-fast runs instead propagate the worker exception to the ``run()``
+caller, and quarantine/retry reports serialize identically across runs
+of the same seed.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import FailurePolicy, FaultPlan, InjectedFault
+from repro.sched import make_scheduler
+
+SCHEDULERS = ["static", "dynamic", "work_stealing"]
+
+
+def run_under_faults(
+    scheduler_name, policy, plan, items=60, threads=3, batch=7
+):
+    """Run a counting workload under an installed fault plan.
+
+    Returns per-item execution counts and the scheduler's run report.
+    """
+    scheduler = make_scheduler(scheduler_name)
+    counts = [0] * items
+    lock = threading.Lock()
+
+    def process(first, last, thread_id):
+        with lock:
+            for i in range(first, last):
+                counts[i] += 1
+
+    with plan.install():
+        scheduler.run(items, process, threads, batch, resilience=policy)
+    return counts, scheduler.last_report
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    scheduler=st.sampled_from(SCHEDULERS),
+    mode=st.sampled_from(["quarantine", "retry"]),
+    threads=st.integers(min_value=1, max_value=4),
+    batch=st.sampled_from([3, 7, 16]),
+)
+def test_exactly_once_or_reported_failed(seed, scheduler, mode, threads, batch):
+    plan = FaultPlan(
+        seed=seed, raise_rate=0.3, delay_rate=0.15, storm_rate=0.1,
+        max_delay=0.001,
+    )
+    policy = FailurePolicy(mode=mode, max_attempts=3, seed=seed)
+    counts, report = run_under_faults(
+        scheduler, policy, plan, threads=threads, batch=batch
+    )
+    failed = set(report.failed_indices())
+    for index, count in enumerate(counts):
+        if index in failed:
+            assert count == 0, f"item {index} failed AND executed"
+        else:
+            assert count == 1, f"item {index} executed {count} times"
+    assert not report.duplicates
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_fail_fast_propagates_injected_fault(scheduler):
+    """Every scheduler re-raises a worker exception to the run() caller."""
+    plan = FaultPlan(seed=1, raise_rate=1.0)
+    with pytest.raises(InjectedFault):
+        run_under_faults(scheduler, FailurePolicy.fail_fast(), plan)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_fail_fast_is_the_default_policy(scheduler):
+    """An installed plan with no explicit policy still propagates."""
+    plan = FaultPlan(seed=1, raise_rate=1.0)
+    with pytest.raises(InjectedFault):
+        run_under_faults(scheduler, None, plan)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_retry_recovers_every_transient_fault(scheduler):
+    """Non-sticky faults fire on attempt 1 only, so retry clears them."""
+    plan = FaultPlan(seed=9, raise_rate=1.0, sticky_rate=0.0)
+    policy = FailurePolicy.retry(max_attempts=3, backoff_base=0.0)
+    counts, report = run_under_faults(scheduler, policy, plan)
+    assert counts == [1] * len(counts)
+    assert not report.failures
+    # Every batch raised once, so every batch retried at least once.
+    assert report.retries > 0
+    assert report.attempts > report.retries
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_quarantine_reports_every_item_of_a_failing_run(scheduler):
+    """raise_rate=1.0 under quarantine: nothing runs, everything reported."""
+    plan = FaultPlan(seed=2, raise_rate=1.0)
+    counts, report = run_under_faults(
+        scheduler, FailurePolicy.quarantine(), plan
+    )
+    assert counts == [0] * len(counts)
+    assert report.failed_indices() == list(range(len(counts)))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    scheduler=st.sampled_from(SCHEDULERS),
+    mode=st.sampled_from(["quarantine", "retry"]),
+)
+def test_report_is_deterministic_across_runs(seed, scheduler, mode):
+    """Same plan seed, same scheduler: byte-identical report dicts."""
+    plan = FaultPlan(seed=seed, raise_rate=0.4, sticky_rate=0.6)
+    policy = FailurePolicy(mode=mode, max_attempts=2, backoff_base=0.0)
+    _, first_report = run_under_faults(scheduler, policy, plan)
+    _, second_report = run_under_faults(scheduler, policy, plan)
+    assert first_report.to_dict() == second_report.to_dict()
+
+
+@settings(max_examples=10, deadline=None)
+@given(first=st.integers(min_value=0, max_value=10_000))
+def test_fault_verdict_is_a_pure_function_of_seed_and_batch(first):
+    """decide() ignores call order, thread, and plan object identity."""
+    plan_a = FaultPlan(seed=33, raise_rate=0.5, delay_rate=0.5, storm_rate=0.5)
+    plan_b = FaultPlan(seed=33, raise_rate=0.5, delay_rate=0.5, storm_rate=0.5)
+    assert plan_a.decide(first) == plan_b.decide(first)
+    assert plan_a.decide(first) == plan_a.decide(first)

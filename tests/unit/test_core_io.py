@@ -6,13 +6,16 @@ import pytest
 
 from repro.core.extend import GaplessExtension
 from repro.core.io import (
+    CorruptRecordError,
     ReadRecord,
     load_extensions,
     load_seed_file,
+    load_seed_file_path,
+    load_seed_file_tolerant,
+    load_seed_file_tolerant_path,
     save_extensions,
     save_seed_file,
     save_seed_file_path,
-    load_seed_file_path,
 )
 from repro.index.minimizer import Seed
 
@@ -74,6 +77,135 @@ class TestSeedFile:
 
     def test_read_len(self, records):
         assert len(records[0]) == 8
+
+
+def _frame_offsets(data):
+    """(header_offset, payload_offset, payload_len) per framed record."""
+    from repro.graph.serialize import read_varint
+
+    stream = io.BytesIO(data)
+    stream.read(4)  # magic
+    count = read_varint(stream)
+    frames = []
+    for _ in range(count):
+        header = stream.tell()
+        length = read_varint(stream)
+        start = stream.tell()
+        stream.read(length)
+        frames.append((header, start, length))
+    return frames
+
+
+class TestFramedSeedFile:
+    def test_strict_roundtrip(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        buffer.seek(0)
+        restored = load_seed_file(buffer)
+        assert [r.name for r in restored] == [r.name for r in records]
+        assert [r.seeds for r in restored] == [r.seeds for r in records]
+
+    def test_framed_path_roundtrip(self, records, tmp_path):
+        path = str(tmp_path / "framed.bin")
+        save_seed_file_path(records, path, framed=True)
+        assert [r.name for r in load_seed_file_path(path)] == [
+            r.name for r in records
+        ]
+
+    def test_strict_rejects_trailing_frame_bytes(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records[:1], buffer, framed=True)
+        data = bytearray(buffer.getvalue())
+        (header, start, length) = _frame_offsets(bytes(data))[0]
+        assert data[header] == length  # single-byte varint for small frames
+        data[header] = length + 1
+        data.insert(start + length, 0)
+        with pytest.raises(CorruptRecordError, match="trailing"):
+            load_seed_file(io.BytesIO(bytes(data)))
+
+    def test_strict_caps_runaway_name_length(self):
+        # v1 stream whose first record claims a multi-megabyte read name.
+        data = b"RSEB" + b"\x01" + b"\xff\xff\xff\x7f"
+        with pytest.raises(CorruptRecordError, match="name"):
+            load_seed_file(io.BytesIO(data))
+
+
+class TestTolerantLoading:
+    def test_clean_stream_is_clean(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        buffer.seek(0)
+        restored, quarantine = load_seed_file_tolerant(buffer)
+        assert len(restored) == len(records)
+        assert quarantine.clean
+        assert quarantine.skipped == 0
+
+    def test_framed_skips_corrupt_record_and_resumes(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        data = bytearray(buffer.getvalue())
+        _, start, length = _frame_offsets(bytes(data))[1]
+        data[start:start + length] = b"\xff" * length  # trash record 1
+        restored, quarantine = load_seed_file_tolerant(
+            io.BytesIO(bytes(data))
+        )
+        assert [r.name for r in restored] == [records[0].name, records[2].name]
+        assert quarantine.expected == 3
+        assert quarantine.loaded == 2
+        assert not quarantine.truncated
+        (entry,) = quarantine.entries
+        assert entry.index == 1
+
+    def test_framed_torn_final_frame_truncates(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        data = buffer.getvalue()
+        _, start, _ = _frame_offsets(data)[2]
+        restored, quarantine = load_seed_file_tolerant(
+            io.BytesIO(data[:start + 1])
+        )
+        assert len(restored) == 2
+        assert quarantine.truncated
+        assert quarantine.skipped == 1
+
+    def test_unframed_salvages_prefix_then_truncates(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer)
+        data = buffer.getvalue()
+        restored, quarantine = load_seed_file_tolerant(
+            io.BytesIO(data[:len(data) - 4])
+        )
+        # No frame boundaries to resynchronize on: the damage point ends
+        # the salvage, but everything before it survives.
+        assert [r.name for r in restored] == [r.name for r in records[:2]]
+        assert quarantine.truncated
+
+    def test_bad_magic_is_still_fatal(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_seed_file_tolerant(io.BytesIO(b"XXXX\x00"))
+
+    def test_empty_stream_after_magic(self):
+        restored, quarantine = load_seed_file_tolerant(io.BytesIO(b"RSB2"))
+        assert restored == []
+        assert quarantine.truncated
+
+    def test_tolerant_path_helper(self, records, tmp_path):
+        path = str(tmp_path / "damaged.bin")
+        save_seed_file_path(records, path, framed=True)
+        restored, quarantine = load_seed_file_tolerant_path(path)
+        assert len(restored) == len(records)
+        assert quarantine.clean
+
+    def test_quarantine_to_dict_shape(self, records):
+        buffer = io.BytesIO()
+        save_seed_file(records, buffer, framed=True)
+        buffer.seek(0)
+        _, quarantine = load_seed_file_tolerant(buffer)
+        summary = quarantine.to_dict()
+        assert summary == {
+            "expected": 3, "loaded": 3, "skipped": 0,
+            "truncated": False, "entries": [],
+        }
 
 
 class TestExtensionsFile:

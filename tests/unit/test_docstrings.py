@@ -19,7 +19,7 @@ SRC_ROOT = os.path.join(
     "repro",
 )
 
-GATED_PACKAGES = ["obs", "sched", "analysis"]
+GATED_PACKAGES = ["obs", "sched", "analysis", "resilience"]
 
 
 @pytest.mark.parametrize("package", GATED_PACKAGES)

@@ -188,6 +188,61 @@ class TestNullTracer:
         assert null.span("a") is null.span("b")
 
 
+class TestErrorStatus:
+    def test_spans_default_to_ok(self):
+        tracer = Tracer()
+        with tracer.span("clean"):
+            pass
+        (span,) = tracer.spans()
+        assert span.status == "ok"
+        assert not span.is_error
+
+    def test_set_error_marks_span_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("risky") as span:
+            span.set_error(ValueError("bad input"))
+        (event,) = tracer.spans()
+        assert event.status == "error"
+        assert event.is_error
+        assert event.attrs["error"] == "ValueError"
+        assert event.attrs["error_message"] == "bad input"
+
+    def test_raising_body_marks_span_automatically(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("kernel died")
+        (event,) = tracer.spans()
+        assert event.status == "error"
+        assert event.attrs["error"] == "RuntimeError"
+
+    def test_error_events(self):
+        tracer = Tracer()
+        tracer.event("sched.quarantine", status="error", first=0)
+        tracer.event("rehash")
+        assert [s.name for s in tracer.error_spans()] == ["sched.quarantine"]
+
+    def test_status_survives_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("ok"):
+            pass
+        tracer.event("bad", status="error")
+        path = str(tmp_path / "spans.jsonl")
+        tracer.export_jsonl(path)
+        loaded = load_spans_jsonl(path)
+        assert loaded == tracer.spans()
+        assert {s.name: s.status for s in loaded} == {
+            "ok": "ok", "bad": "error"
+        }
+
+    def test_null_tracer_error_surface_is_noop(self):
+        null = NullTracer()
+        with null.span("x") as span:
+            span.set_error(ValueError("ignored"))
+        null.event("y", status="error")
+        assert null.error_spans() == []
+
+
 class TestAggregation:
     def test_totals_and_percentages(self):
         tracer = Tracer()

@@ -1,0 +1,415 @@
+"""Unit tests for the repro.resilience fault-tolerance layer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.options import ProxyOptions
+from repro.core.proxy import IncompleteRunError, MiniGiraffe
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import (
+    BatchHarness,
+    FailurePolicy,
+    FaultPlan,
+    InjectedFault,
+    Watchdog,
+    WatchdogConfig,
+    active_injector,
+)
+from repro.sched import DynamicScheduler
+from repro.util.rng import SplitMix64
+
+
+class TestFailurePolicy:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure mode"):
+            FailurePolicy(mode="crash_only")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            FailurePolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            FailurePolicy(backoff_base=-0.1)
+
+    def test_classmethod_constructors(self):
+        assert FailurePolicy.fail_fast().mode == "fail_fast"
+        assert FailurePolicy.quarantine().mode == "quarantine"
+        assert FailurePolicy.retry().mode == "retry"
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.5, 1.0])
+    def test_backoff_always_within_cap(self, jitter):
+        policy = FailurePolicy.retry(
+            backoff_base=0.01, backoff_cap=0.05, backoff_jitter=jitter
+        )
+        rng = SplitMix64(3)
+        for attempt in range(1, 13):
+            delay = policy.backoff_delay(attempt, rng)
+            assert 0.0 <= delay <= policy.backoff_cap
+
+    def test_backoff_without_jitter_is_capped_exponential(self):
+        policy = FailurePolicy.retry(
+            backoff_base=0.01, backoff_cap=0.05, backoff_jitter=0.0
+        )
+        rng = SplitMix64(0)
+        delays = [policy.backoff_delay(n, rng) for n in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_backoff_rejects_attempt_zero(self):
+        with pytest.raises(ValueError):
+            FailurePolicy.retry().backoff_delay(0, SplitMix64(0))
+
+
+class TestWatchdogConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(factor=0.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(min_deadline=0.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(poll_interval=-1.0)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(raise_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_delay=-1.0)
+
+    def test_corrupt_is_deterministic_and_spares_the_magic(self):
+        plan = FaultPlan(seed=5, corrupt_rate=0.01)
+        data = b"RSB2" + bytes(range(200))
+        mutated = plan.corrupt(data)
+        assert mutated == plan.corrupt(data)
+        assert mutated[:4] == data[:4]
+        assert mutated != data
+
+    def test_corrupt_guarantees_at_least_one_flip(self):
+        # A rate this low would usually flip nothing in 20 bytes; the
+        # fallback flip keeps "corrupt" from meaning "maybe corrupt".
+        plan = FaultPlan(seed=5, corrupt_rate=1e-9)
+        data = b"RSB2" + bytes(20)
+        assert plan.corrupt(data) != data
+
+    def test_corrupt_noop_cases(self):
+        assert FaultPlan(seed=1, corrupt_rate=0.5).corrupt(b"") == b""
+        data = b"RSB2" + bytes(10)
+        assert FaultPlan(seed=1, corrupt_rate=0.0).corrupt(data) == data
+
+
+class TestFaultInjector:
+    def test_transient_fault_fires_on_first_attempt_only(self):
+        plan = FaultPlan(seed=1, raise_rate=1.0, sticky_rate=0.0)
+        injector = plan.install()
+        with pytest.raises(InjectedFault):
+            injector.on_batch_start(0, 4, 0)
+        injector.on_batch_start(0, 4, 0)  # attempt 2: recovered
+        assert injector.counts()["raises"] == 1
+
+    def test_sticky_fault_fires_on_every_attempt(self):
+        plan = FaultPlan(seed=1, raise_rate=1.0, sticky_rate=1.0)
+        injector = plan.install()
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                injector.on_batch_start(0, 4, 0)
+        assert injector.counts()["raises"] == 3
+
+    def test_fault_message_never_names_the_worker(self):
+        plan = FaultPlan(seed=1, raise_rate=1.0)
+        injector = plan.install()
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.on_batch_start(8, 16, 3)
+        assert str(excinfo.value) == "injected fault in batch [8, 16) (attempt 1)"
+
+    def test_cache_storm_counts(self):
+        injector = FaultPlan(seed=1, storm_rate=1.0).install()
+        assert injector.cache_storm(0)
+        assert injector.counts()["storms"] == 1
+        assert not FaultPlan(seed=1, storm_rate=0.0).install().cache_storm(0)
+
+    def test_install_stack_nests(self):
+        assert active_injector() is None
+        outer = FaultPlan(seed=1).install()
+        inner = FaultPlan(seed=2).install()
+        with outer:
+            assert active_injector() is outer
+            with inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+
+class TestBatchHarness:
+    def test_quarantine_records_the_failure(self):
+        def explode(first, last, thread_id):
+            raise RuntimeError("kernel died")
+
+        harness = BatchHarness(explode, FailurePolicy.quarantine())
+        harness(0, 8, 1)
+        (failure,) = harness.report.failures
+        assert (failure.first, failure.last) == (0, 8)
+        assert failure.attempts == 1
+        assert failure.error == "RuntimeError: kernel died"
+        assert harness.report.failed_indices() == list(range(8))
+        # Which worker hit it is scheduling noise: not serialized.
+        assert "thread" not in failure.to_dict()
+
+    def test_retry_recovers_then_counts(self):
+        calls = []
+
+        def flaky(first, last, thread_id):
+            calls.append(first)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+
+        policy = FailurePolicy.retry(max_attempts=4, backoff_base=0.0)
+        harness = BatchHarness(flaky, policy)
+        harness(0, 4, 0)
+        assert len(calls) == 3
+        assert harness.report.retries == 2
+        assert harness.report.attempts == 3
+        assert not harness.report.failures
+
+    def test_retry_exhaustion_quarantines(self):
+        def always(first, last, thread_id):
+            raise RuntimeError("permanent")
+
+        policy = FailurePolicy.retry(max_attempts=2, backoff_base=0.0)
+        harness = BatchHarness(always, policy)
+        harness(0, 4, 0)
+        (failure,) = harness.report.failures
+        assert failure.attempts == 2
+        assert harness.report.retries == 1
+
+    def test_fail_fast_stops_subsequent_batches(self):
+        executed = []
+
+        def body(first, last, thread_id):
+            executed.append(first)
+            if first == 0:
+                raise RuntimeError("fatal")
+
+        harness = BatchHarness(body, FailurePolicy.fail_fast())
+        with pytest.raises(RuntimeError):
+            harness(0, 4, 0)
+        harness(4, 8, 1)  # run is doomed: skipped, not executed
+        assert executed == [0]
+
+    def test_duplicate_execution_is_recorded_not_hidden(self):
+        harness = BatchHarness(
+            lambda f, l, t: None, FailurePolicy.quarantine()
+        )
+        harness(0, 4, 0)
+        harness(0, 4, 1)
+        assert harness.report.duplicates == [(0, 4)]
+
+
+class TestWatchdog:
+    def _slow_policy(self, requeue=False):
+        return FailurePolicy.fail_fast(
+            watchdog=WatchdogConfig(
+                min_deadline=0.02, poll_interval=0.005, requeue=requeue
+            )
+        )
+
+    def test_overdue_batch_flagged_exactly_once(self):
+        harness = BatchHarness(
+            lambda f, l, t: time.sleep(0.08), self._slow_policy()
+        )
+        watchdog = Watchdog(harness)
+        worker = threading.Thread(target=harness, args=(0, 4, 0))
+        worker.start()
+        time.sleep(0.05)
+        watchdog.scan()
+        watchdog.scan()  # second scan: already warned, no new event
+        worker.join()
+        (event,) = harness.report.watchdog_events
+        assert (event.first, event.last) == (0, 4)
+        assert event.elapsed > event.deadline
+        assert not event.requeued
+
+    def test_requeue_produces_a_recorded_duplicate(self):
+        harness = BatchHarness(
+            lambda f, l, t: time.sleep(0.05), self._slow_policy(requeue=True)
+        )
+        watchdog = Watchdog(harness)
+        worker = threading.Thread(target=harness, args=(0, 4, 0))
+        worker.start()
+        time.sleep(0.03)
+        watchdog.scan()
+        (event,) = harness.report.watchdog_events
+        assert event.requeued
+        # A surviving worker drains the abandoned batch; the original
+        # worker still finishes it, so one execution is a duplicate.
+        harness.drain_requeued(1, lambda first, last, tid, start: None)
+        worker.join()
+        assert harness.report.duplicates == [(0, 4)]
+
+    def test_watchdog_requires_config(self):
+        harness = BatchHarness(lambda f, l, t: None, FailurePolicy.fail_fast())
+        with pytest.raises(ValueError):
+            Watchdog(harness)
+
+    def test_scheduler_run_flags_hung_batch(self):
+        """End-to-end: a stalling batch trips the watchdog inside run()."""
+        scheduler = DynamicScheduler()
+        done = [0]
+        lock = threading.Lock()
+
+        def process(first, last, thread_id):
+            if first == 0:
+                time.sleep(0.08)
+            with lock:
+                done[0] += last - first
+
+        scheduler.run(
+            24, process, 2, 4, resilience=self._slow_policy()
+        )
+        assert done[0] == 24
+        assert scheduler.last_report.watchdog_events
+        assert not scheduler.last_report.failures
+
+
+class TestSchedulerReportLifecycle:
+    def test_plain_run_leaves_no_report(self):
+        scheduler = DynamicScheduler()
+        scheduler.run(10, lambda f, l, t: None, 2, 4)
+        assert scheduler.last_report is None
+
+    def test_report_resets_between_runs(self):
+        scheduler = DynamicScheduler()
+        scheduler.run(
+            10, lambda f, l, t: None, 2, 4,
+            resilience=FailurePolicy.quarantine(),
+        )
+        assert scheduler.last_report is not None
+        scheduler.run(10, lambda f, l, t: None, 2, 4)
+        assert scheduler.last_report is None
+
+    def test_worker_exception_propagates_without_policy(self):
+        """The satellite fix: worker deaths are never silent."""
+        scheduler = DynamicScheduler()
+
+        def explode(first, last, thread_id):
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            scheduler.run(10, explode, 3, 2)
+
+    def test_report_to_dict_is_sorted_and_clockless(self):
+        scheduler = DynamicScheduler()
+        plan = FaultPlan(seed=4, raise_rate=1.0)
+        with plan.install():
+            scheduler.run(
+                12, lambda f, l, t: None, 3, 4,
+                resilience=FailurePolicy.quarantine(),
+            )
+        report = scheduler.last_report.to_dict()
+        firsts = [entry["first"] for entry in report["quarantined_batches"]]
+        assert firsts == sorted(firsts)
+        assert isinstance(report["watchdog_events"], int)
+
+
+def _mixed_sticky_plan(batch_firsts):
+    """A plan whose sticky faults hit some of ``batch_firsts``, not all.
+
+    ``decide`` is a pure function, so scanning seeds here is
+    deterministic — the same seed wins on every run.
+    """
+    for seed in range(500):
+        plan = FaultPlan(seed=seed, raise_rate=0.5, sticky_rate=1.0)
+        verdicts = [plan.decide(first).raise_fault for first in batch_firsts]
+        if any(verdicts) and not all(verdicts):
+            return plan
+    raise AssertionError("no mixed-verdict seed in range")
+
+
+class TestProxyCompleteness:
+    @pytest.fixture(scope="class")
+    def captured(self, small_mapper, small_reads):
+        return small_mapper.capture_read_records(small_reads)
+
+    def _proxy(self, small_pangenome, small_mapper, batch_size=8):
+        return MiniGiraffe(
+            small_pangenome.gbz,
+            ProxyOptions(threads=2, batch_size=batch_size),
+            seed_span=11,
+            distance_index=small_mapper.distance_index,
+        )
+
+    def test_clean_run_is_complete(
+        self, small_pangenome, small_mapper, captured
+    ):
+        result = self._proxy(small_pangenome, small_mapper).map_reads(captured)
+        assert result.complete
+        assert result.completeness is not None
+        assert result.completeness.failed_reads == []
+        assert result.completeness.total_reads == len(captured)
+
+    def test_quarantined_reads_are_reported_not_masked(
+        self, small_pangenome, small_mapper, captured
+    ):
+        """The satellite fix: a skipped read is never "zero extensions"."""
+        batch_firsts = list(range(0, len(captured), 8))
+        plan = _mixed_sticky_plan(batch_firsts)
+        registry = MetricsRegistry()
+        proxy = self._proxy(small_pangenome, small_mapper)
+        with plan.install():
+            result = proxy.map_reads(
+                captured, metrics=registry,
+                resilience=FailurePolicy.quarantine(),
+            )
+        expected_failed = {
+            captured[index].name
+            for first in batch_firsts if plan.decide(first).raise_fault
+            for index in range(first, min(first + 8, len(captured)))
+        }
+        assert expected_failed
+        assert set(result.completeness.failed_reads) == expected_failed
+        assert set(result.extensions) == {
+            r.name for r in captured
+        } - expected_failed
+        assert not result.complete
+        assert result.completeness.processed_reads == len(captured) - len(
+            expected_failed
+        )
+        failures = registry.counter("proxy_read_failures_total")
+        assert failures.value() == len(expected_failed)
+
+    def test_fail_fast_propagates_from_map_reads(
+        self, small_pangenome, small_mapper, captured
+    ):
+        plan = FaultPlan(seed=1, raise_rate=1.0)
+        proxy = self._proxy(small_pangenome, small_mapper)
+        with plan.install():
+            with pytest.raises(InjectedFault):
+                proxy.map_reads(captured)
+
+    def test_lost_results_raise_incomplete_run(
+        self, small_pangenome, small_mapper, captured, monkeypatch
+    ):
+        """A scheduler that silently drops work can no longer hide it."""
+        import repro.core.proxy as proxy_mod
+
+        class LossyScheduler:
+            last_report = None
+
+            def run(self, item_count, process_batch, threads, batch_size,
+                    resilience=None):
+                # Process everything except the final batch, then return
+                # as if nothing happened — the old coercion bug's shape.
+                for first in range(0, item_count - batch_size, batch_size):
+                    process_batch(
+                        first, min(first + batch_size, item_count), 0
+                    )
+                return []
+
+        monkeypatch.setattr(
+            proxy_mod, "make_scheduler", lambda name: LossyScheduler()
+        )
+        proxy = self._proxy(small_pangenome, small_mapper)
+        with pytest.raises(IncompleteRunError, match="never"):
+            proxy.map_reads(captured)

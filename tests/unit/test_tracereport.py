@@ -1,8 +1,10 @@
 """Unit tests for the trace report renderer (repro.analysis.tracereport)."""
 
 from repro.analysis.tracereport import (
+    error_summary,
     is_region_span,
     region_breakdown,
+    render_error_summary,
     render_region_table,
     render_trace_report,
     render_worker_table,
@@ -100,3 +102,29 @@ class TestRendering:
         assert 'proxy_batch_ms_quantiles{worker="0"}' in line
         assert "p50=" in line and "p90=" in line and "p99=" in line
         assert "proxy_empty_ms_quantiles" not in report
+
+
+class TestErrorSummary:
+    ERROR_SPANS = SPANS + [
+        SpanEvent("sched.quarantine", 0, 4.0, 4.0, worker=0, status="error"),
+        SpanEvent("sched.quarantine", 0, 4.1, 4.1, worker=1, status="error"),
+        SpanEvent("sched.watchdog", 0, 4.2, 4.2, worker=0, status="error"),
+    ]
+
+    def test_counts_error_spans_by_name(self):
+        assert error_summary(self.ERROR_SPANS) == {
+            "sched.quarantine": 2,
+            "sched.watchdog": 1,
+        }
+
+    def test_clean_run_renders_nothing(self):
+        assert error_summary(SPANS) == {}
+        assert render_error_summary(SPANS) == ""
+        assert "Error spans" not in render_trace_report(SPANS)
+
+    def test_report_includes_error_section_when_present(self):
+        rendered = render_error_summary(self.ERROR_SPANS)
+        assert rendered.startswith("Error spans:")
+        assert "sched.quarantine" in rendered
+        report = render_trace_report(self.ERROR_SPANS)
+        assert "Error spans:" in report
