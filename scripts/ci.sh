@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
-# Usage: ./scripts/ci.sh [--bench-smoke] [--chaos-smoke]
+# Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--chaos-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
+#
+# --lint additionally runs the full static/dynamic analysis gate
+# (ISSUE 4): `repro lint` over src/repro and tests/ frozen against the
+# committed baseline (qa/lint_baseline.json — new findings AND stale
+# baseline entries both fail), the race-detector self-check
+# (`repro races --demo-racy` must flag the racy fixture), and the
+# lockset audits over the three schedulers, the chaos harness, and the
+# proxy's CachedGBWT (`repro races` must report CLEAN).
 #
 # --bench-smoke additionally runs the smoke benchmark suite and the
 # proxy-fidelity validation gate (ISSUE 2) after the tier-1 tests:
@@ -21,11 +29,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+LINT=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 args=()
 for arg in "$@"; do
-    if [[ "$arg" == "--bench-smoke" ]]; then
+    if [[ "$arg" == "--lint" ]]; then
+        LINT=1
+    elif [[ "$arg" == "--bench-smoke" ]]; then
         BENCH_SMOKE=1
     elif [[ "$arg" == "--chaos-smoke" ]]; then
         CHAOS_SMOKE=1
@@ -37,8 +48,23 @@ done
 echo "== tier-1 tests =="
 python -m pytest -x -q "${args[@]+"${args[@]}"}"
 
-echo "== docstring coverage (repro.obs, repro.sched, repro.analysis, repro.resilience) =="
-python -m repro.util.doccheck src/repro/obs src/repro/sched src/repro/analysis src/repro/resilience
+# Docstring coverage is now a lint rule (missing-docstring) behind the
+# unified entry point; this always-on step replaces the old standalone
+# `python -m repro.util.doccheck` invocation and gates the same packages
+# (plus repro.qa itself — see DOC_DIRS in src/repro/qa/rules.py).
+echo "== docstring coverage (missing-docstring rule via repro lint) =="
+python -m repro lint --rules missing-docstring --no-baseline src/repro
+
+if [[ "$LINT" == "1" ]]; then
+    echo "== lint (full rule set, baseline-frozen) =="
+    python -m repro lint
+
+    echo "== race detector self-check (racy fixture must be flagged) =="
+    python -m repro races --demo-racy
+
+    echo "== lockset audits (schedulers + chaos + proxy must be clean) =="
+    python -m repro races
+fi
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (regression gate) =="

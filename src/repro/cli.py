@@ -58,6 +58,13 @@ from repro.tuning import GridSearch, ResultStore
 from repro.workloads.input_sets import INPUT_SETS, materialize
 
 
+#: The canned race audits ``repro races`` offers.  Kept as a literal so
+#: building the parser never imports the analysis stack; the dispatch in
+#: ``_cmd_races`` resolves the names against ``repro.qa.audits.AUDITS``
+#: (a unit test asserts the two stay in sync).
+AUDIT_NAMES = ("chaos", "proxy", "schedulers")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +260,46 @@ def _build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--platform", choices=sorted(PLATFORMS) + ["all"], default="all"
     )
+
+    lint = commands.add_parser(
+        "lint", help="run the repro.qa static analysis rules"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/repro tests)",
+    )
+    lint.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    lint.add_argument(
+        "--baseline", default=os.path.join("qa", "lint_baseline.json"),
+        help="baseline file for accepted pre-existing findings",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely (report every finding)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept the current findings as the new baseline",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+    races = commands.add_parser(
+        "races", help="run the lockset race-detector audits"
+    )
+    races.add_argument(
+        "--audit", action="append", choices=sorted(AUDIT_NAMES),
+        help="audit(s) to run (default: all)",
+    )
+    races.add_argument(
+        "--demo-racy", action="store_true",
+        help="run the deliberately racy fixture instead of the audits "
+        "(exit 0 when the race IS detected — the detector self-test)",
+    )
     return parser
 
 
@@ -376,7 +423,7 @@ def _cmd_chaos(args) -> int:
     import io as io_module
 
     from repro.core.io import load_seed_file_tolerant, save_seed_file
-    from repro.resilience import FailurePolicy, FaultPlan
+    from repro.resilience import FailurePolicy, FaultPlan, InjectedFault
 
     plan = FaultPlan(
         seed=args.seed,
@@ -424,7 +471,10 @@ def _cmd_chaos(args) -> int:
     with plan.install() as injector:
         try:
             result = proxy.map_reads(records, resilience=policy)
-        except Exception as exc:
+        except InjectedFault as exc:
+            # Only the injected fault class is expected to escape, and
+            # only under fail-fast; anything else is a real bug and
+            # propagates to the operator unchanged.
             if args.policy != "fail_fast":
                 raise
             propagated = type(exc).__name__
@@ -643,6 +693,96 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.qa.lint import Baseline, lint_paths
+    from repro.qa.rules import DEFAULT_RULES, all_rule_ids, rules_by_id
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.id:24s} [{rule.severity}] {rule.description}")
+        print(f"{'unused-suppression':24s} [error] "
+              "qa: ignore comment that silences nothing (engine built-in)")
+        print(f"{'parse-error':24s} [error] "
+              "file does not parse (engine built-in)")
+        return 0
+
+    paths = args.paths or ["src/repro", "tests"]
+    known = all_rule_ids()
+    if args.rules:
+        selected_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        try:
+            rules = rules_by_id(selected_ids)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        active_ids = {rule.id for rule in rules} | {
+            "unused-suppression", "parse-error"
+        }
+    else:
+        rules = list(DEFAULT_RULES)
+        active_ids = None  # all baseline entries are in scope
+
+    result = lint_paths(paths, rules, known_rule_ids=known)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(f"baseline updated: {len(result.findings)} finding(s) "
+              f"accepted into {args.baseline}")
+        return 0
+
+    if args.no_baseline:
+        new, stale = result.findings, []
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        delta = baseline.delta(result.findings, rule_ids=active_ids)
+        new, stale = delta.new, delta.stale
+
+    for finding in new:
+        print(finding.describe())
+    for entry in stale:
+        print(f"{entry.get('path')}: [stale-baseline] baseline entry for "
+              f"[{entry.get('rule')}] {entry.get('message')!r} matches no "
+              "current finding — the fix landed, remove the entry "
+              "(repro lint --update-baseline)")
+    baselined = len(result.findings) - len(new)
+    print(f"linted {result.files} file(s): {len(new)} new finding(s), "
+          f"{baselined} baselined, {len(stale)} stale baseline entr(ies), "
+          f"{result.suppressed} suppressed inline")
+    return 1 if (new or stale) else 0
+
+
+def _cmd_races(args) -> int:
+    from repro.qa.audits import AUDITS
+    from repro.qa.races import run_racy_fixture
+
+    if args.demo_racy:
+        races = run_racy_fixture()
+        for race in races:
+            print(race.describe())
+        if races:
+            print("demo fixture: race detected (detector works)")
+            return 0
+        print("demo fixture: NO race detected — the detector is broken",
+              file=sys.stderr)
+        return 1
+
+    names = args.audit or sorted(AUDITS)
+    failures = 0
+    for name in names:
+        detector = AUDITS[name]()
+        verdict = ("CLEAN" if not detector.races
+                   else f"{len(detector.races)} race(s)")
+        print(f"audit {name}: {verdict}")
+        for race in detector.races:
+            print(f"  {race.describe()}")
+            failures += 1
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "map": _cmd_map,
@@ -652,6 +792,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "tune": _cmd_tune,
     "scale": _cmd_scale,
+    "lint": _cmd_lint,
+    "races": _cmd_races,
 }
 
 

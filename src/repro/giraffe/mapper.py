@@ -13,7 +13,6 @@ proxy wraps — which is what makes functional validation meaningful.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +42,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.sched.base import BatchTrace
 from repro.util.timing import RegionTimer
+from repro.util import timing
 from repro.workloads.reads import Read
 
 
@@ -198,11 +198,11 @@ class GiraffeMapper:
                     extensions[index] = exts
 
         scheduler = VGBatchScheduler()
-        start = time.perf_counter()
+        start = timing.now()
         traces = scheduler.run(
             len(reads), process_batch, options.threads, options.batch_size
         )
-        makespan = time.perf_counter() - start
+        makespan = timing.now() - start
         merged = KernelCounters()
         for thread_counters in counters.values():
             merged.merge(thread_counters)

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from typing import List, Optional, Tuple
 
 from repro.sched.base import BatchFn, BatchTrace
+from repro.util import timing
 
 
 class VGBatchScheduler:
@@ -49,10 +49,10 @@ class VGBatchScheduler:
 
         if threads == 1:
             for first, last in batches:
-                start = time.perf_counter()
+                start = timing.now()
                 process_batch(first, last, 0)
                 per_thread_traces[0].append(
-                    BatchTrace(0, first, last - first, start, time.perf_counter())
+                    BatchTrace(0, first, last - first, start, timing.now())
                 )
             return per_thread_traces[0]
 
@@ -67,11 +67,11 @@ class VGBatchScheduler:
                 if batch is None:
                     return
                 first, last = batch
-                start = time.perf_counter()
+                start = timing.now()
                 process_batch(first, last, thread_id)
                 per_thread_traces[thread_id].append(
                     BatchTrace(
-                        thread_id, first, last - first, start, time.perf_counter()
+                        thread_id, first, last - first, start, timing.now()
                     )
                 )
 
@@ -87,10 +87,10 @@ class VGBatchScheduler:
                 work.put((first, last), block=False)
             except queue.Full:
                 # ...otherwise all workers are busy: main processes it.
-                start = time.perf_counter()
+                start = timing.now()
                 process_batch(first, last, 0)
                 per_thread_traces[0].append(
-                    BatchTrace(0, first, last - first, start, time.perf_counter())
+                    BatchTrace(0, first, last - first, start, timing.now())
                 )
         for _ in workers:
             work.put(None)

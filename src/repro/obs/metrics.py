@@ -75,7 +75,7 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help_text: str = ""):
         super().__init__(name, help_text)
-        self._series: Dict[LabelKey, float] = {}
+        self._series: Dict[LabelKey, float] = {}  # qa: guarded-by(self._lock)
 
     def inc(self, amount: float = 1, **labels) -> None:
         """Add ``amount`` (must be >= 0) to the labeled series."""
@@ -121,7 +121,7 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, help_text: str = ""):
         super().__init__(name, help_text)
-        self._series: Dict[LabelKey, float] = {}
+        self._series: Dict[LabelKey, float] = {}  # qa: guarded-by(self._lock)
 
     def set(self, value: float, **labels) -> None:
         """Set the labeled series to ``value``."""
@@ -181,7 +181,7 @@ class Histogram(_Metric):
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.bounds = bounds
-        self._series: Dict[LabelKey, _HistogramSeries] = {}
+        self._series: Dict[LabelKey, _HistogramSeries] = {}  # qa: guarded-by(self._lock)
 
     def observe(self, value: float, **labels) -> None:
         """Record one observation into the labeled series."""
@@ -299,7 +299,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._metrics: Dict[str, _Metric] = {}
+        self._metrics: Dict[str, _Metric] = {}  # qa: guarded-by(self._lock)
         self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, help_text: str, **kwargs):

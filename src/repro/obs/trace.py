@@ -125,10 +125,10 @@ class SpanRingBuffer:
         if capacity < 1:
             raise ValueError("ring capacity must be positive")
         self.capacity = capacity
-        self._slots: List[Optional[SpanEvent]] = [None] * capacity
-        self._next = 0
-        self._count = 0
-        self.dropped = 0
+        self._slots: List[Optional[SpanEvent]] = [None] * capacity  # qa: guarded-by(self._lock)
+        self._next = 0  # qa: guarded-by(self._lock)
+        self._count = 0  # qa: guarded-by(self._lock)
+        self.dropped = 0  # qa: guarded-by(self._lock)
         self._lock = threading.Lock()
 
     def append(self, span: SpanEvent) -> None:
@@ -265,7 +265,7 @@ class Tracer:
     def __init__(self, capacity: int = 1 << 16):
         self.ring = SpanRingBuffer(capacity)
         self._local = threading.local()
-        self._thread_ids: Dict[int, int] = {}
+        self._thread_ids: Dict[int, int] = {}  # qa: guarded-by(self._ids_lock)
         self._ids_lock = threading.Lock()
         self._sinks: List[Callable[[SpanEvent], None]] = []
 

@@ -1,0 +1,55 @@
+"""repro.qa: static and dynamic analysis for the proxy's invariants.
+
+The proxy is validated by *bit-identical* extension output, deterministic
+kernel-operation counts, and byte-identical chaos reports per seed —
+invariants that an unseeded RNG, a wall-clock read on a kernel path, or
+a data race in a scheduler destroys silently.  This package turns those
+rules from review lore into machine-checked gates:
+
+* :mod:`repro.qa.lint` — a rule engine over :mod:`ast` with inline
+  ``# qa: ignore[rule-id]`` suppressions and a committed baseline file;
+* :mod:`repro.qa.rules` — the repo-specific rules (unseeded RNG,
+  wall clock in kernel paths, broad excepts, mutable default args,
+  lock-guard violations, swallowed worker errors, docstring coverage);
+* :mod:`repro.qa.races` — an Eraser-style lockset race detector built
+  from an instrumented ``threading.Lock`` and a class attribute tracer;
+* :mod:`repro.qa.audits` — canned race audits over the three schedulers
+  and the proxy (CachedGBWT) that CI and the tests drive.
+
+Entry points: ``repro lint`` and ``repro races`` (see
+``docs/STATIC_ANALYSIS.md``), both wired into ``scripts/ci.sh --lint``.
+"""
+
+from repro.qa.audits import AUDITS, run_audits
+from repro.qa.lint import (
+    Baseline,
+    BaselineDelta,
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    lint_paths,
+    lint_source,
+)
+from repro.qa.races import RaceDetector, Race, TracedLock, run_racy_fixture
+from repro.qa.rules import DEFAULT_RULES, all_rule_ids, rules_by_id
+
+__all__ = [
+    "AUDITS",
+    "Baseline",
+    "BaselineDelta",
+    "DEFAULT_RULES",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Race",
+    "RaceDetector",
+    "Rule",
+    "TracedLock",
+    "all_rule_ids",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+    "run_audits",
+    "run_racy_fixture",
+]

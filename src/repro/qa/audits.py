@@ -1,0 +1,178 @@
+"""Canned lockset audits over the subsystems that share state.
+
+Each audit builds a :class:`repro.qa.races.RaceDetector`, watches the
+shared fields of one subsystem, drives a small multi-threaded workload
+through it, and returns the detector for inspection.  CI runs them via
+``repro races``; the test suite asserts they come back clean (and that
+the deliberately racy fixture does not).
+
+The workloads are intentionally tiny — the lockset discipline does not
+need a racy interleaving to fire, only two threads touching a field —
+so the audits finish in seconds while still covering the real claim,
+steal, retry, watchdog, and cache paths.
+
+Imports of the audited subsystems live inside the audit functions so
+importing :mod:`repro.qa` stays cheap and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.qa.races import RaceDetector
+
+
+def _busy_batch(first: int, last: int, thread_id: int) -> None:
+    """A synthetic batch whose cost grows with the item index.
+
+    The skew makes early workers finish first and go stealing, so the
+    cross-thread claim paths of the work-stealing scheduler actually
+    execute under the audit.
+    """
+    sink = 0
+    for item in range(first, last):
+        for step in range(40 * (item + 1)):
+            sink += step
+    del sink
+
+
+def audit_schedulers(threads: int = 4, items: int = 192,
+                     batch_size: int = 4) -> RaceDetector:
+    """Lockset-audit the three scheduling policies.
+
+    Watches the shared claim/steal state of the dynamic and
+    work-stealing schedulers (the static policy shares nothing by
+    construction, but runs under the detector anyway) and drives one
+    skew-loaded run of each.
+    """
+    from repro.sched.dynamic import DynamicScheduler
+    from repro.sched.static import StaticScheduler
+    from repro.sched.work_stealing import WorkStealingScheduler, _Region
+
+    detector = RaceDetector()
+    detector.watch(DynamicScheduler, "_cursor", "claims")
+    detector.watch(
+        WorkStealingScheduler, "steals", "steal_attempts", "_victim_depths"
+    )
+    detector.watch(_Region, "cursor")
+    with detector:
+        for factory in (StaticScheduler, DynamicScheduler,
+                        WorkStealingScheduler):
+            # Fresh instance per run: the detector models the initial
+            # construction handoff but not repeated fork/join epochs.
+            factory().run(items, _busy_batch, threads, batch_size)
+    return detector
+
+
+def audit_chaos(threads: int = 4, items: int = 128, batch_size: int = 4,
+                seed: int = 7) -> RaceDetector:
+    """Lockset-audit the resilience layer under fault injection.
+
+    Runs the dynamic scheduler with a seeded fault plan and a retry
+    policy whose watchdog polls aggressively, so the batch harness's
+    in-flight table, duration estimate, and requeue queue are hit
+    concurrently by the workers *and* the watchdog thread.
+    """
+    from repro.resilience.faults import FaultInjector, FaultPlan
+    from repro.resilience.harness import BatchHarness
+    from repro.resilience.policy import FailurePolicy, WatchdogConfig
+    from repro.sched.dynamic import DynamicScheduler
+
+    detector = RaceDetector()
+    detector.watch(
+        BatchHarness, "_inflight", "_dur_count", "_dur_total",
+        "_completed", "_requeued", "_requeue_queue",
+    )
+    detector.watch(
+        FaultInjector, "_attempts", "injected_raises", "injected_delays",
+        "injected_storms",
+    )
+    plan = FaultPlan(
+        seed=seed, raise_rate=0.15, delay_rate=0.2, max_delay=0.002,
+        storm_rate=0.1,
+    )
+    policy = FailurePolicy.retry(
+        max_attempts=3, seed=seed,
+        watchdog=WatchdogConfig(poll_interval=0.002, min_deadline=0.05,
+                                requeue=True),
+    )
+    with detector:
+        with plan.install():
+            DynamicScheduler().run(
+                items, _busy_batch, threads, batch_size, resilience=policy
+            )
+    return detector
+
+
+def audit_proxy(threads: int = 3, reads: int = 18,
+                batch_size: int = 2) -> RaceDetector:
+    """Lockset-audit CachedGBWT under real proxy runs.
+
+    Maps a tiny synthetic read set once per scheduling policy with the
+    cache's hash-table internals and statistics counters watched.  The
+    caches are created per-worker (inside the worker thread, under the
+    setup lock), so the expected verdict is "exclusively accessed":
+    any cross-thread write the instrumentation sees is a regression.
+    """
+    from repro.core.options import ProxyOptions
+    from repro.core.proxy import MiniGiraffe
+    from repro.gbwt.cache import CachedGBWT
+    from repro.giraffe import GiraffeMapper, GiraffeOptions
+    from repro.workloads import build_pangenome
+    from repro.workloads.reads import ReadSimulator
+
+    pangenome = build_pangenome(
+        seed=99, reference_length=800, haplotype_count=4
+    )
+    sequences = {
+        name: pangenome.graph.path_sequence(name)
+        for name in pangenome.graph.paths
+    }
+    simulator = ReadSimulator(
+        sequences, read_length=60, error_rate=0.0, seed=11
+    )
+    read_set = simulator.simulate_single(reads)
+    mapper = GiraffeMapper(
+        pangenome.gbz, GiraffeOptions(minimizer_k=11, minimizer_w=7)
+    )
+    records = mapper.capture_read_records(read_set)
+
+    detector = RaceDetector()
+    detector.watch(
+        CachedGBWT, "hits", "misses", "rehashes", "probe_steps", "storms",
+        "_size", "_keys", "_values", "_capacity",
+    )
+    with detector:
+        for scheduler in ("static", "dynamic", "work_stealing"):
+            proxy = MiniGiraffe(
+                pangenome.gbz,
+                ProxyOptions(threads=threads, batch_size=batch_size,
+                             scheduler=scheduler),
+                seed_span=11,
+                distance_index=mapper.distance_index,
+            )
+            proxy.map_reads(records)
+    return detector
+
+
+#: The canned audits, in the order ``repro races`` runs them.
+AUDITS: Dict[str, Callable[[], RaceDetector]] = {
+    "schedulers": audit_schedulers,
+    "chaos": audit_chaos,
+    "proxy": audit_proxy,
+}
+
+
+def run_audits(
+    names: Optional[Iterable[str]] = None,
+) -> Dict[str, RaceDetector]:
+    """Run the named audits (default: all) and return their detectors."""
+    selected = list(names) if names is not None else list(AUDITS)
+    results: Dict[str, RaceDetector] = {}
+    for name in selected:
+        if name not in AUDITS:
+            raise KeyError(
+                f"unknown audit {name!r}; choose from {sorted(AUDITS)}"
+            )
+        results[name] = AUDITS[name]()
+    return results

@@ -1,0 +1,347 @@
+"""The lint rule engine: contexts, suppressions, baselines, the runner.
+
+A :class:`Rule` inspects one parsed file (a :class:`FileContext`) and
+yields :class:`Finding` records.  The engine owns everything around the
+rules:
+
+* **Inline suppressions** — a ``# qa: ignore[rule-id]`` comment on the
+  offending line silences that rule there (comma-separate several ids).
+  A suppression that silences nothing is itself reported as an
+  ``unused-suppression`` finding, so stale ignores cannot accumulate.
+* **Baseline** — pre-existing findings can be committed to a baseline
+  file (``repro lint --update-baseline``).  The gate then fails only on
+  *new* findings — and on *stale* baseline entries whose finding has
+  been fixed, so the baseline can only ever shrink.
+* **Fingerprints** — baseline matching keys on
+  ``(path, rule, source line text)``, not on line numbers, so findings
+  survive unrelated edits above them.
+
+The repo-specific rules live in :mod:`repro.qa.rules`; the CLI surface
+is ``repro lint`` (:mod:`repro.cli`).  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.util.loc import iter_python_files
+
+#: Recognised severities, strongest first.  Severity is informational —
+#: the gate fails on any non-baselined finding regardless of severity.
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(r"#\s*qa:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    #: The stripped source line, used for line-number-independent
+    #: baseline fingerprints.
+    snippet: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/test output."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (path, rule, snippet)."""
+        payload = "|".join((_norm_path(self.path), self.rule, self.snippet))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the baseline entry schema)."""
+        return {
+            "fingerprint": self.fingerprint(),
+            "rule": self.rule,
+            "path": _norm_path(self.path),
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def _norm_path(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+class FileContext:
+    """One parsed source file plus its suppression comments.
+
+    Rules receive this instead of raw source so each file is read and
+    parsed exactly once per run regardless of how many rules inspect it.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.norm_path = _norm_path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: line -> text of the ``#`` comment on that line (real comment
+        #: tokens only — a ``# qa:`` marker quoted inside a docstring is
+        #: documentation, not a directive).
+        self.comments: Dict[int, str] = {}
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    self.comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, IndentationError):
+            pass  # ast.parse accepted it; comments stay best-effort
+        #: line -> rule ids suppressed on that line.
+        self.suppressions: Dict[int, Set[str]] = {}
+        self._used: Dict[int, Set[str]] = {}
+        for lineno, text in self.comments.items():
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                ids = {p.strip() for p in match.group(1).split(",") if p.strip()}
+                if ids:
+                    self.suppressions[lineno] = ids
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of 1-indexed line ``lineno``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppresses(self, rule_id: str, lineno: int) -> bool:
+        """True when ``rule_id`` is ignored on ``lineno`` (marks it used)."""
+        ids = self.suppressions.get(lineno)
+        if ids is None or rule_id not in ids:
+            return False
+        self._used.setdefault(lineno, set()).add(rule_id)
+        return True
+
+    def unused_suppressions(self, active_rule_ids: Set[str],
+                            known_rule_ids: Set[str]) -> List[Finding]:
+        """Suppressions that silenced nothing this run.
+
+        Only reported for rules that actually ran (so a ``--rules``
+        subset never flags ignores belonging to skipped rules) — except
+        for ids no registered rule owns, which are always reported as
+        typos.
+        """
+        findings: List[Finding] = []
+        for lineno in sorted(self.suppressions):
+            used = self._used.get(lineno, set())
+            for rule_id in sorted(self.suppressions[lineno] - used):
+                if rule_id in known_rule_ids and rule_id not in active_rule_ids:
+                    continue
+                detail = ("no such rule"
+                          if rule_id not in known_rule_ids
+                          else "matches no finding on this line")
+                findings.append(Finding(
+                    rule="unused-suppression",
+                    path=self.path,
+                    line=lineno,
+                    message=f"suppression for {rule_id!r} is stale ({detail})",
+                    snippet=self.line_text(lineno),
+                ))
+        return findings
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id`, :attr:`severity`, :attr:`description`,
+    optionally narrow :meth:`applies`, and implement :meth:`check`.
+    """
+
+    id = "abstract"
+    severity = "error"
+    description = ""
+
+    def applies(self, norm_path: str) -> bool:
+        """Whether this rule inspects the file at ``norm_path``."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file (no suppression filtering here)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, lineno: int, message: str) -> Finding:
+        """Build a finding at ``lineno`` with the line snippet filled in."""
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=lineno,
+            message=message,
+            severity=self.severity,
+            snippet=ctx.line_text(lineno),
+        )
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    def by_rule(self) -> Dict[str, int]:
+        """Finding counts keyed by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def lint_source(path: str, source: str, rules: Sequence[Rule],
+                known_rule_ids: Optional[Set[str]] = None) -> LintResult:
+    """Lint one in-memory source file with ``rules``.
+
+    A file that fails to parse yields a single ``parse-error`` finding
+    instead of crashing the run.
+    """
+    result = LintResult(files=1)
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            rule="parse-error",
+            path=path,
+            line=exc.lineno or 1,
+            message=f"file does not parse: {exc.msg}",
+        ))
+        return result
+    active_ids = set()
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx.norm_path):
+            active_ids.add(rule.id)
+            raw.extend(rule.check(ctx))
+    for finding in raw:
+        if ctx.suppresses(finding.rule, finding.line):
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+    known = known_rule_ids if known_rule_ids is not None else active_ids
+    result.findings.extend(ctx.unused_suppressions(active_ids, known))
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule],
+               known_rule_ids: Optional[Set[str]] = None) -> LintResult:
+    """Lint files and/or directory trees; aggregates per-file results."""
+    result = LintResult()
+    for root in paths:
+        files = [root] if os.path.isfile(root) else list(iter_python_files(root))
+        for path in files:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            part = lint_source(path, source, rules, known_rule_ids)
+            result.findings.extend(part.findings)
+            result.files += part.files
+            result.suppressed += part.suppressed
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result
+
+
+# -- baseline --------------------------------------------------------------
+
+
+@dataclass
+class BaselineDelta:
+    """The gate's verdict: what is new, what is stale."""
+
+    new: List[Finding] = field(default_factory=list)
+    #: Baseline entries whose finding no longer exists — the finding was
+    #: fixed, so the entry must be removed (the baseline only shrinks).
+    stale: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the run matches the baseline exactly."""
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """A committed snapshot of accepted pre-existing findings."""
+
+    SCHEMA = 1
+
+    def __init__(self, entries: Optional[List[Dict[str, object]]] = None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {payload.get('schema')!r} "
+                f"in {path} (expected {cls.SCHEMA})"
+            )
+        return cls(payload.get("entries", []))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Snapshot current findings as the new accepted baseline."""
+        return cls([f.to_dict() for f in findings])
+
+    def save(self, path: str) -> None:
+        """Write the baseline file (sorted, newline-terminated JSON)."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = {
+            "schema": self.SCHEMA,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (str(e.get("path")), str(e.get("fingerprint"))),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def delta(self, findings: Sequence[Finding],
+              rule_ids: Optional[Set[str]] = None) -> BaselineDelta:
+        """Compare current ``findings`` against this baseline.
+
+        Matching is a multiset comparison on fingerprints.  With
+        ``rule_ids`` given, baseline entries for other rules are ignored
+        (so a ``--rules`` subset run cannot mark them stale).
+        """
+        remaining: Dict[str, int] = {}
+        considered: List[Dict[str, object]] = []
+        for entry in self.entries:
+            if rule_ids is not None and entry.get("rule") not in rule_ids:
+                continue
+            considered.append(entry)
+            fp = str(entry.get("fingerprint"))
+            remaining[fp] = remaining.get(fp, 0) + 1
+        delta = BaselineDelta()
+        matched: Dict[str, int] = {}
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                matched[fp] = matched.get(fp, 0) + 1
+            else:
+                delta.new.append(finding)
+        for entry in considered:
+            fp = str(entry.get("fingerprint"))
+            if matched.get(fp, 0) > 0:
+                matched[fp] -= 1
+            else:
+                delta.stale.append(entry)
+        return delta

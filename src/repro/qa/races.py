@@ -1,0 +1,325 @@
+"""Eraser-style lockset race detection for the proxy's shared state.
+
+The static ``missing-lock-guard`` rule only sees mutations of fields the
+author *remembered to annotate*.  This module attacks the problem from
+the dynamic side: it instruments the classes under test and applies the
+classic lockset discipline (Savage et al., "Eraser") — every shared
+field must be protected by at least one lock that is held on *every*
+access.  Unlike interleaving-based race hunting, the lockset check does
+not need the race to actually manifest: it fires as soon as two threads
+touch a field and the intersection of the locks they held is empty,
+which makes it deterministic and cheap enough to run in CI.
+
+Model (and its deliberate deviations from textbook Eraser):
+
+* A field starts **exclusive** to the thread that first touches it —
+  normally the constructing (main) thread.  While exclusive, locks are
+  irrelevant: construction happens-before the handoff to workers.
+* The first access from a *second* thread ends the exclusive phase and
+  seeds the candidate lockset with that thread's held locks; every
+  later access intersects it.
+* A race is reported only on a **write** made after at least two
+  distinct threads have accessed the field post-handoff with an empty
+  intersected lockset.  Reporting on writes only keeps the common
+  read-stats-after-join pattern quiet (main reading counters after
+  ``Thread.join`` holds no lock, but nobody writes concurrently).
+
+Known false-negative limits (see ``docs/STATIC_ANALYSIS.md``): fork/join
+happens-before is not modelled beyond the initial handoff, so an object
+must not be *re-run* across generations of workers inside one watch
+session; fields never touched by two threads during the driven workload
+are vacuously clean; and only classes explicitly passed to
+:meth:`RaceDetector.watch` are observed.
+
+Instrumentation is plain class patching: ``watch()`` + the context
+manager replace ``__setattr__`` / ``__getattribute__`` on the watched
+classes, and any raw ``threading.Lock``/``RLock`` assigned to a watched
+instance is transparently wrapped in :class:`TracedLock` so locks
+created mid-run (e.g. per-region locks in the work-stealing scheduler)
+are tracked too.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Type
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+class TracedLock:
+    """A lock wrapper that reports acquire/release to a detector.
+
+    Behaves like ``threading.Lock`` (context manager, ``acquire`` /
+    ``release`` / ``locked``); when attached to a
+    :class:`RaceDetector` it maintains the per-thread held-lock set the
+    lockset algorithm intersects.  Safe to keep using after the
+    detector is uninstalled.
+    """
+
+    def __init__(self, inner: Optional[Any] = None,
+                 detector: Optional["RaceDetector"] = None):
+        self._inner = inner if inner is not None else threading.Lock()
+        self._detector = detector
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the wrapped lock; on success record it as held."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and self._detector is not None:
+            self._detector._lock_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Record the lock as no longer held, then release it."""
+        if self._detector is not None:
+            self._detector._lock_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the wrapped lock is currently held by any thread."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        """Context-manager acquire (mirrors ``threading.Lock``)."""
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        """Context-manager release."""
+        self.release()
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected unsynchronized shared write."""
+
+    cls: str
+    field: str
+    threads: int
+    site: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/test output."""
+        return (f"{self.cls}.{self.field}: write with empty lockset after "
+                f"{self.threads} threads accessed it (at {self.site})")
+
+
+@dataclass
+class _FieldState:
+    """Lockset bookkeeping for one (instance, field) pair.
+
+    Holds a strong reference to the instance so ``id()`` keys cannot be
+    recycled mid-session.
+    """
+
+    owner: int
+    obj: Any
+    cls: str
+    field: str
+    exclusive: bool = True
+    lockset: Set[int] = field(default_factory=set)
+    threads: Set[int] = field(default_factory=set)
+    reported: bool = False
+
+
+class RaceDetector:
+    """Instrument classes and apply the lockset discipline.
+
+    Usage::
+
+        detector = RaceDetector()
+        detector.watch(DynamicScheduler, "_cursor", "claims")
+        with detector:
+            run_workload()
+        assert not detector.races
+
+    ``watch`` may be called repeatedly before entering the context; the
+    context manager installs the instrumentation on ``__enter__`` and
+    restores the original classes on ``__exit__``.
+    """
+
+    def __init__(self) -> None:
+        self.races: List[Race] = []
+        self._watched: Dict[Type[Any], Set[str]] = {}
+        self._saved: List[Tuple[Type[Any], str, bool, Any]] = []
+        self._states: Dict[Tuple[int, str], _FieldState] = {}
+        self._state_lock = threading.Lock()
+        self._held = threading.local()
+        self._installed = False
+
+    # -- public surface ----------------------------------------------------
+
+    def watch(self, cls: Type[Any], *fields: str) -> "RaceDetector":
+        """Track ``fields`` on every instance of ``cls`` (chainable)."""
+        self._watched.setdefault(cls, set()).update(fields)
+        return self
+
+    def install(self) -> None:
+        """Patch the watched classes; idempotent."""
+        if self._installed:
+            return
+        for cls, fields in self._watched.items():
+            self._patch(cls, frozenset(fields))
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore every patched class to its pre-install shape."""
+        while self._saved:
+            cls, name, was_own, original = self._saved.pop()
+            if was_own:
+                setattr(cls, name, original)
+            else:
+                delattr(cls, name)
+        self._installed = False
+
+    def __enter__(self) -> "RaceDetector":
+        """Install the instrumentation."""
+        self.install()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Uninstall the instrumentation (races remain recorded)."""
+        self.uninstall()
+
+    def summary(self) -> str:
+        """Multi-line report of every recorded race (or a clean notice)."""
+        if not self.races:
+            return "no races detected"
+        return "\n".join(race.describe() for race in self.races)
+
+    # -- instrumentation ---------------------------------------------------
+
+    def _patch(self, cls: Type[Any], fields: frozenset) -> None:
+        detector = self
+        orig_set = cls.__setattr__
+        orig_get = cls.__getattribute__
+        for name in ("__setattr__", "__getattribute__"):
+            self._saved.append(
+                (cls, name, name in cls.__dict__, cls.__dict__.get(name))
+            )
+
+        def traced_setattr(obj: Any, name: str, value: Any) -> None:
+            if isinstance(value, _LOCK_TYPES):
+                value = TracedLock(value, detector)
+            if name in fields:
+                detector._record(obj, cls, name, write=True)
+            orig_set(obj, name, value)
+
+        def traced_getattribute(obj: Any, name: str) -> Any:
+            if name in fields:
+                detector._record(obj, cls, name, write=False)
+            return orig_get(obj, name)
+
+        cls.__setattr__ = traced_setattr
+        cls.__getattribute__ = traced_getattribute
+
+    def _held_ids(self) -> Set[int]:
+        return set(getattr(self._held, "ids", ()))
+
+    def _lock_acquired(self, lock: TracedLock) -> None:
+        ids = getattr(self._held, "ids", None)
+        if ids is None:
+            ids = self._held.ids = []
+        ids.append(id(lock))
+
+    def _lock_released(self, lock: TracedLock) -> None:
+        ids = getattr(self._held, "ids", None)
+        if ids and id(lock) in ids:
+            ids.remove(id(lock))
+
+    def _record(self, obj: Any, cls: Type[Any], name: str,
+                write: bool) -> None:
+        tid = threading.get_ident()
+        held = self._held_ids()
+        key = (id(obj), name)
+        with self._state_lock:
+            state = self._states.get(key)
+            if state is None:
+                self._states[key] = _FieldState(
+                    owner=tid, obj=obj, cls=cls.__name__, field=name,
+                )
+                return
+            if state.exclusive:
+                if tid == state.owner:
+                    return
+                state.exclusive = False
+                state.lockset = set(held)
+            state.threads.add(tid)
+            state.lockset &= held
+            if (write and not state.reported and not state.lockset
+                    and len(state.threads) >= 2):
+                state.reported = True
+                self.races.append(Race(
+                    cls=state.cls,
+                    field=name,
+                    threads=len(state.threads),
+                    site=_caller_site(),
+                ))
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest stack frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+# -- fixtures --------------------------------------------------------------
+
+
+class RacyCounter:
+    """Deliberately broken fixture: unsynchronized shared increments."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def increment(self) -> None:
+        """Read-modify-write ``value`` with no lock held (the bug)."""
+        self.value += 1
+
+
+class GuardedCounter:
+    """Correct counterpart of :class:`RacyCounter`: increments hold a lock."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def increment(self) -> None:
+        """Increment ``value`` under ``lock``."""
+        with self.lock:
+            self.value += 1
+
+
+def run_racy_fixture(threads: int = 2, increments: int = 128,
+                     detector: Optional[RaceDetector] = None) -> List[Race]:
+    """Drive :class:`RacyCounter` under a detector and return the races.
+
+    The lockset check is deterministic here: regardless of how the
+    threads interleave, both write ``value`` holding no lock, so the
+    intersected lockset is empty by the second thread's first write.
+    Used by ``repro races --demo-racy`` and the test suite to prove the
+    detector fires.
+    """
+    detector = detector if detector is not None else RaceDetector()
+    detector.watch(RacyCounter, "value")
+    with detector:
+        counter = RacyCounter()
+        barrier = threading.Barrier(threads)
+
+        def body() -> None:
+            barrier.wait()
+            for _ in range(increments):
+                counter.increment()
+
+        workers = [threading.Thread(target=body, name=f"racy-{i}")
+                   for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    return detector.races

@@ -1,0 +1,525 @@
+"""The repo-specific lint rules.
+
+Each rule encodes one invariant the proxy's validation story depends on
+(see the module docstring of :mod:`repro.qa`).  Rules are pure AST
+inspection — nothing here imports the code under analysis, so the lint
+can never be fooled by import-time side effects and can safely run over
+deliberately broken fixture files.
+
+Path scoping uses ``/``-normalised substring matching: a rule such as
+``wallclock-in-kernel`` applies only to files under the kernel packages
+(:data:`KERNEL_DIRS`), while ``missing-docstring`` covers the documented
+API surface (:data:`DOC_DIRS`) — the same set the standalone
+``repro.util.doccheck`` command gates, which this rule wraps so there is
+one analysis entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.lint import FileContext, Finding, Rule
+from repro.util import doccheck
+
+#: Packages whose hot paths must stay deterministic and wall-clock free.
+KERNEL_DIRS = ("repro/giraffe/", "repro/gbwt/", "repro/sched/")
+
+#: Packages forming the documented API surface (docstring-gated).
+DOC_DIRS = (
+    "repro/obs/",
+    "repro/sched/",
+    "repro/analysis/",
+    "repro/resilience/",
+    "repro/qa/",
+)
+
+_GUARDED_RE = re.compile(r"#\s*qa:\s*guarded-by\(([^)]+)\)")
+
+
+def _in_any(norm_path: str, fragments: Sequence[str]) -> bool:
+    return any(fragment in norm_path for fragment in fragments)
+
+
+def _is_self_attr(node: ast.AST, fields: Set[str]) -> Optional[str]:
+    """The field name when ``node`` is ``self.<field>`` for a watched field."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in fields):
+        return node.attr
+    return None
+
+
+class UnseededRngRule(Rule):
+    """Forbid ambient randomness outside :mod:`repro.util.rng`.
+
+    Flags ``import random`` / ``from random import ...`` (and
+    ``numpy.random``) anywhere in ``src/repro`` except ``util/rng.py``,
+    plus seeds derived from the wall clock (``seed=time.time()`` or a
+    ``SplitMix64``/``derive_seed`` call fed a clock read): both destroy
+    the bit-identical-output and byte-identical-chaos-report invariants.
+    """
+
+    id = "unseeded-rng"
+    description = ("ambient random module or wall-clock-derived seed "
+                   "outside util.rng")
+
+    _CLOCKS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter"}
+
+    def applies(self, norm_path: str) -> bool:
+        """Everywhere in src/repro except the sanctioned RNG module."""
+        return ("src/repro/" in norm_path
+                and not norm_path.endswith("repro/util/rng.py"))
+
+    def _mentions_clock(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id in ("time", "datetime")
+                    and sub.attr in self._CLOCKS | {"now", "utcnow"}):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag random imports and clock-derived seed expressions."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random" or alias.name == "numpy.random":
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"import of {alias.name!r}: use "
+                            "repro.util.rng.SplitMix64 (seeded, forkable)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("numpy.random"):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"import from {module!r}: use "
+                        "repro.util.rng.SplitMix64 (seeded, forkable)",
+                    )
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                name = None
+                if isinstance(callee, ast.Name):
+                    name = callee.id
+                elif isinstance(callee, ast.Attribute):
+                    name = callee.attr
+                seed_args: List[ast.AST] = []
+                if name in ("SplitMix64", "derive_seed", "seed"):
+                    seed_args.extend(node.args)
+                seed_args.extend(
+                    kw.value for kw in node.keywords if kw.arg == "seed"
+                )
+                for arg in seed_args:
+                    if self._mentions_clock(arg):
+                        yield self.finding(
+                            ctx, node.lineno,
+                            "seed derived from a clock: seeds must be "
+                            "explicit so runs are reproducible",
+                        )
+                        break
+
+
+class WallclockInKernelRule(Rule):
+    """Forbid wall clocks (and ad-hoc timers) on kernel hot paths.
+
+    Inside :data:`KERNEL_DIRS`, calls such as ``time.time`` or
+    ``datetime.now`` make kernel behaviour time-dependent and break
+    deterministic operation counts; even ``time.perf_counter`` must be
+    routed through :func:`repro.util.timing.now` so instrumentation has
+    a single clock to virtualise.
+    """
+
+    id = "wallclock-in-kernel"
+    description = "wall-clock or raw perf_counter read on a kernel path"
+
+    _WALL = {"time", "time_ns", "ctime", "localtime", "gmtime", "strftime",
+             "asctime"}
+    _RAW_TIMERS = {"perf_counter", "perf_counter_ns", "monotonic",
+                   "monotonic_ns", "process_time", "thread_time"}
+    _DATETIME = {"now", "utcnow", "today", "fromtimestamp"}
+
+    def applies(self, norm_path: str) -> bool:
+        """Kernel packages only (giraffe/, gbwt/, sched/)."""
+        return _in_any(norm_path, KERNEL_DIRS)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag wall-clock and raw-timer reads plus their imports."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                base, attr = node.value.id, node.attr
+                if base == "time" and attr in self._WALL:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"wall clock time.{attr} on a kernel path breaks "
+                        "deterministic operation counts",
+                    )
+                elif base == "time" and attr in self._RAW_TIMERS:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"raw time.{attr} on a kernel path: use "
+                        "repro.util.timing.now() (the one sanctioned clock)",
+                    )
+                elif base in ("datetime", "date") and attr in self._DATETIME:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"wall clock {base}.{attr} on a kernel path breaks "
+                        "deterministic operation counts",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "time":
+                    banned = {a.name for a in node.names} & (
+                        self._WALL | self._RAW_TIMERS
+                    )
+                    if banned:
+                        names = ", ".join(sorted(banned))
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"importing {names} from time on a kernel path: "
+                            "use repro.util.timing.now()",
+                        )
+                elif module == "datetime":
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "datetime on a kernel path breaks deterministic "
+                        "operation counts",
+                    )
+
+
+class BroadExceptRule(Rule):
+    """Flag bare/broad exception handlers that can swallow failures.
+
+    ``except:``, ``except Exception`` and ``except BaseException`` are
+    allowed only when the handler visibly propagates the failure — a
+    ``raise`` statement somewhere in the handler, or a ``set_error``
+    call marking the surrounding span failed.  Anything else is the bug
+    class PR 3 fixed: a worker dies and the run silently reports
+    success.
+    """
+
+    id = "broad-except"
+    description = "bare/broad except without re-raise or span set_error"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        node = handler.type
+        if node is None:
+            return True
+        types = node.elts if isinstance(node, ast.Tuple) else [node]
+        for entry in types:
+            if isinstance(entry, ast.Name) and entry.id in self._BROAD:
+                return True
+            if isinstance(entry, ast.Attribute) and entry.attr in self._BROAD:
+                return True
+        return False
+
+    @staticmethod
+    def _handler_propagates(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_error"):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag broad handlers whose body neither raises nor set_errors."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and self._is_broad(node):
+                if not self._handler_propagates(node):
+                    caught = ("bare except" if node.type is None
+                              else f"except {ast.unparse(node.type)}")
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"{caught} without re-raise or set_error can hide "
+                        "failures; narrow the type or propagate",
+                    )
+
+
+class MutableDefaultArgRule(Rule):
+    """Flag mutable default argument values (shared across calls)."""
+
+    id = "mutable-default-arg"
+    description = "mutable default argument value"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "deque"}
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.id if isinstance(callee, ast.Name) else (
+                callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag list/dict/set (literals or constructors) used as defaults."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.finding(
+                            ctx, default.lineno,
+                            f"mutable default argument in {node.name}(): "
+                            "one instance is shared across every call",
+                        )
+
+
+class MissingLockGuardRule(Rule):
+    """Enforce ``# qa: guarded-by(<lock>)`` annotations.
+
+    A field declared shared via an inline annotation on its assignment::
+
+        self.claims = 0  # qa: guarded-by(self._lock)
+
+    must only be mutated inside a ``with <lock>:`` block anywhere else
+    in the class.  ``__init__`` is exempt (construction happens-before
+    publication to other threads); single-threaded reset paths that run
+    before workers spawn carry an explicit ``# qa: ignore`` instead, so
+    the exemption stays visible in the source.
+
+    Mutations tracked: assignments and augmented assignments to
+    ``self.field`` or ``self.field[...]``, and calls to mutating
+    container methods (``append``, ``pop``, ``update``, ...).  Reads are
+    not checked — that is the race detector's job
+    (:mod:`repro.qa.races`).
+    """
+
+    id = "missing-lock-guard"
+    description = "guarded field mutated outside its declared lock"
+
+    _MUTATORS = {"append", "appendleft", "add", "remove", "discard", "pop",
+                 "popleft", "popitem", "clear", "update", "setdefault",
+                 "extend", "insert", "sort", "reverse"}
+
+    def _guarded_fields(self, ctx: FileContext,
+                        cls: ast.ClassDef) -> Dict[str, str]:
+        guarded: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            match = _GUARDED_RE.search(ctx.comments.get(node.lineno, ""))
+            if not match:
+                continue
+            lock = match.group(1).replace(" ", "")
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    guarded[target.attr] = lock
+        return guarded
+
+    def _mutations(self, node: ast.AST,
+                   fields: Set[str]) -> Iterable[Tuple[int, str]]:
+        """Yield ``(lineno, field)`` for guarded-field mutations in ``node``."""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                base = target
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                name = _is_self_attr(base, fields)
+                if name is not None:
+                    yield node.lineno, name
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            if (isinstance(callee, ast.Attribute)
+                    and callee.attr in self._MUTATORS):
+                name = _is_self_attr(callee.value, fields)
+                if name is not None:
+                    yield node.lineno, name
+
+    def _walk_body(self, ctx: FileContext, body: List[ast.stmt],
+                   guarded: Dict[str, str], held: Set[str],
+                   out: List[Finding]) -> None:
+        fields = set(guarded)
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                acquired = {
+                    ast.unparse(item.context_expr).replace(" ", "")
+                    for item in stmt.items
+                }
+                self._walk_body(ctx, stmt.body, guarded, held | acquired, out)
+                continue
+            for lineno, name in self._mutations(stmt, fields):
+                if guarded[name] not in held:
+                    out.append(self.finding(
+                        ctx, lineno,
+                        f"write to {name!r} outside "
+                        f"`with {guarded[name]}:` "
+                        f"(declared qa: guarded-by({guarded[name]}))",
+                    ))
+            for child_body in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+                getattr(stmt, "finalbody", None),
+            ):
+                if child_body:
+                    self._walk_body(ctx, child_body, guarded, held, out)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._walk_body(ctx, handler.body, guarded, held, out)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag guarded-field mutations outside their declared lock."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guarded = self._guarded_fields(ctx, node)
+            if not guarded:
+                continue
+            out: List[Finding] = []
+            for item in node.body:
+                if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name != "__init__"):
+                    self._walk_body(ctx, item.body, guarded, set(), out)
+            yield from out
+
+
+class SwallowedWorkerErrorRule(Rule):
+    """Flag thread-body exception handlers that drop the error.
+
+    For any function used as a ``threading.Thread(target=...)`` or
+    ``executor.submit(...)`` callee in the same file, an exception
+    handler must re-raise, call ``set_error``, or at minimum *store* the
+    caught exception (the collect-and-re-raise-after-join pattern).  A
+    handler that ignores the bound exception is exactly the PR 3 bug:
+    the worker dies and the scheduler reports success.
+    """
+
+    id = "swallowed-worker-error"
+    description = "thread-target exception handler drops the error"
+
+    def _thread_targets(self, tree: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            is_thread = (
+                (isinstance(callee, ast.Attribute) and callee.attr == "Thread")
+                or (isinstance(callee, ast.Name) and callee.id == "Thread")
+            )
+            is_submit = (isinstance(callee, ast.Attribute)
+                         and callee.attr == "submit")
+            candidates: List[ast.AST] = []
+            if is_thread:
+                candidates.extend(
+                    kw.value for kw in node.keywords if kw.arg == "target"
+                )
+            if is_submit and node.args:
+                candidates.append(node.args[0])
+            for cand in candidates:
+                if isinstance(cand, ast.Name):
+                    names.add(cand.id)
+                elif isinstance(cand, ast.Attribute):
+                    names.add(cand.attr)
+        return names
+
+    @staticmethod
+    def _handler_keeps_error(handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_error"):
+                return True
+            if (bound is not None and isinstance(node, ast.Name)
+                    and node.id == bound):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag error-dropping handlers inside thread-target functions."""
+        targets = self._thread_targets(ctx.tree)
+        if not targets:
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in targets):
+                for sub in ast.walk(node):
+                    if (isinstance(sub, ast.ExceptHandler)
+                            and not self._handler_keeps_error(sub)):
+                        yield self.finding(
+                            ctx, sub.lineno,
+                            f"handler in thread target {node.name}() drops "
+                            "the exception: re-raise, set_error, or store "
+                            "it for the joining thread",
+                        )
+
+
+class MissingDocstringRule(Rule):
+    """Docstring coverage for the documented API surface.
+
+    Wraps :mod:`repro.util.doccheck` (the former standalone gate) as a
+    lint rule so one command reports everything; scope is
+    :data:`DOC_DIRS`.
+    """
+
+    id = "missing-docstring"
+    description = "public API object without a docstring"
+
+    def applies(self, norm_path: str) -> bool:
+        """The docstring-gated packages (DOC_DIRS)."""
+        return "src/repro/" in norm_path and _in_any(norm_path, DOC_DIRS)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Report each doccheck issue as a lint finding."""
+        for issue in doccheck.check_tree(ctx.path, ctx.tree):
+            yield self.finding(
+                ctx, issue.lineno,
+                f"{issue.kind} {issue.qualname!r} has no docstring",
+            )
+
+
+#: The shipped rule set, in reporting order.
+DEFAULT_RULES = (
+    UnseededRngRule(),
+    WallclockInKernelRule(),
+    BroadExceptRule(),
+    MutableDefaultArgRule(),
+    MissingLockGuardRule(),
+    SwallowedWorkerErrorRule(),
+    MissingDocstringRule(),
+)
+
+
+def all_rule_ids() -> Set[str]:
+    """Ids of every registered rule (plus the engine's synthetic ones)."""
+    return {rule.id for rule in DEFAULT_RULES} | {
+        "unused-suppression", "parse-error"
+    }
+
+
+def rules_by_id(ids: Iterable[str]) -> List[Rule]:
+    """Resolve rule ids to instances; raises on unknown ids."""
+    registry = {rule.id: rule for rule in DEFAULT_RULES}
+    selected: List[Rule] = []
+    for rule_id in ids:
+        if rule_id not in registry:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known: {sorted(registry)}"
+            )
+        selected.append(registry[rule_id])
+    return selected

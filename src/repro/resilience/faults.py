@@ -144,10 +144,10 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._lock = threading.Lock()
-        self._attempts: Dict[int, int] = {}
-        self.injected_raises = 0
-        self.injected_delays = 0
-        self.injected_storms = 0
+        self._attempts: Dict[int, int] = {}  # qa: guarded-by(self._lock)
+        self.injected_raises = 0  # qa: guarded-by(self._lock)
+        self.injected_delays = 0  # qa: guarded-by(self._lock)
+        self.injected_storms = 0  # qa: guarded-by(self._lock)
 
     def _bump_attempt(self, first: int) -> int:
         with self._lock:

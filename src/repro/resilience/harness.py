@@ -69,12 +69,12 @@ class BatchHarness:
         self._tracer = obs_trace.get_tracer()
         self._lock = threading.Lock()
         self._rng = SplitMix64(derive_seed(policy.seed, "backoff"))
-        self._inflight: dict = {}
-        self._dur_count = 0
-        self._dur_total = 0.0
-        self._completed: set = set()
-        self._requeued: set = set()
-        self._requeue_queue: Deque[Tuple[int, int]] = deque()
+        self._inflight: dict = {}  # qa: guarded-by(self._lock)
+        self._dur_count = 0  # qa: guarded-by(self._lock)
+        self._dur_total = 0.0  # qa: guarded-by(self._lock)
+        self._completed: set = set()  # qa: guarded-by(self._lock)
+        self._requeued: set = set()  # qa: guarded-by(self._lock)
+        self._requeue_queue: Deque[Tuple[int, int]] = deque()  # qa: guarded-by(self._lock)
         self._fatal = threading.Event()
 
     # -- execution ---------------------------------------------------------

@@ -14,7 +14,6 @@ original zero-coordination fast path runs unchanged.
 from __future__ import annotations
 
 import threading
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, List, Optional
@@ -24,6 +23,7 @@ from repro.obs import trace as obs_trace
 from repro.resilience import faults as _faults
 from repro.resilience.harness import BatchHarness, Watchdog
 from repro.resilience.policy import FailurePolicy, RunReport
+from repro.util import timing
 
 #: A batch processor: ``process_batch(first_item, last_item, thread_id)``
 #: handles items ``[first_item, last_item)``.
@@ -155,7 +155,7 @@ class Scheduler(ABC):
                             first, last, start,
                         ),
                     )
-            except BaseException as exc:  # collected, re-raised after join
+            except BaseException as exc:  # qa: ignore[broad-except] — collected, re-raised after join
                 errors[tid] = exc
 
         if watchdog is not None:
@@ -238,7 +238,7 @@ class Scheduler(ABC):
         start: float,
     ) -> None:
         traces.append(
-            BatchTrace(thread_id, first, last - first, start, time.perf_counter())
+            BatchTrace(thread_id, first, last - first, start, timing.now())
         )
 
 

@@ -6,10 +6,10 @@ while other threads idle)."""
 
 from __future__ import annotations
 
-import time
 from typing import List
 
 from repro.sched.base import BatchFn, BatchTrace, Scheduler
+from repro.util import timing
 
 
 class StaticScheduler(Scheduler):
@@ -30,6 +30,6 @@ class StaticScheduler(Scheduler):
         for batch_index in range(thread_id, batch_count, threads):
             first = batch_index * batch_size
             last = min(item_count, first + batch_size)
-            start = time.perf_counter()
+            start = timing.now()
             process_batch(first, last, thread_id)
             self._record(traces, thread_id, first, last, start)

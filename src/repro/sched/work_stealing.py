@@ -13,10 +13,10 @@ remains local.
 from __future__ import annotations
 
 import threading
-import time
 from typing import List, Optional, Tuple
 
 from repro.sched.base import BatchFn, BatchTrace, Scheduler
+from repro.util import timing
 
 
 class _Region:
@@ -25,7 +25,7 @@ class _Region:
     __slots__ = ("cursor", "limit", "lock")
 
     def __init__(self, first: int, last: int):
-        self.cursor = first
+        self.cursor = first  # qa: guarded-by(self.lock)
         self.limit = last
         self.lock = threading.Lock()
 
@@ -48,6 +48,16 @@ class _Region:
             self.cursor = min(self.limit, first + take)
             return first, self.cursor
 
+    def remaining(self) -> int:
+        """Items not yet claimed, read under the region lock.
+
+        Thieves probe this before stealing; reading the cursor under the
+        lock keeps the region free of unsynchronized accesses (the
+        lockset audit in repro.qa.races flagged the previous bare read).
+        """
+        with self.lock:
+            return self.limit - self.cursor
+
 
 class WorkStealingScheduler(Scheduler):
     """Pre-split regions with round-robin batch stealing.
@@ -62,16 +72,18 @@ class WorkStealingScheduler(Scheduler):
     def __init__(self, steal_half: bool = False):
         self.steal_half = steal_half
         self._regions: List[_Region] = []
-        self.steals = 0
-        self.steal_attempts = 0
-        self._victim_depths: List[int] = []
+        self.steals = 0  # qa: guarded-by(self._steal_lock)
+        self.steal_attempts = 0  # qa: guarded-by(self._steal_lock)
+        self._victim_depths: List[int] = []  # qa: guarded-by(self._steal_lock)
         self._steal_lock = threading.Lock()
 
     def _prepare(self, item_count: int, threads: int, batch_size: int) -> None:
         """Reset steal statistics and split the range into regions."""
-        self.steals = 0
-        self.steal_attempts = 0
-        self._victim_depths = []
+        # Single-threaded reset: _prepare runs on the caller before any
+        # worker is spawned, so the lock is deliberately not taken.
+        self.steals = 0  # qa: ignore[missing-lock-guard]
+        self.steal_attempts = 0  # qa: ignore[missing-lock-guard]
+        self._victim_depths = []  # qa: ignore[missing-lock-guard]
         self._regions = []
         base = item_count // threads
         extra = item_count % threads
@@ -96,14 +108,14 @@ class WorkStealingScheduler(Scheduler):
             if claim is None:
                 break
             first, last = claim
-            start = time.perf_counter()
+            start = timing.now()
             process_batch(first, last, thread_id)
             self._record(traces, thread_id, first, last, start)
         # Own region exhausted: steal round-robin from the neighbours.
         for step in range(1, threads):
             victim = self._regions[(thread_id + step) % threads]
             while True:
-                depth = victim.limit - victim.cursor
+                depth = victim.remaining()
                 if self.steal_half:
                     claim = victim.claim_half(batch_size)
                 else:
@@ -116,7 +128,7 @@ class WorkStealingScheduler(Scheduler):
                 if claim is None:
                     break
                 first, last = claim
-                start = time.perf_counter()
+                start = timing.now()
                 process_batch(first, last, thread_id)
                 self._record(traces, thread_id, first, last, start)
 

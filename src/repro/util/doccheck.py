@@ -66,15 +66,25 @@ def _check_body(
             _check_body(path, qualname, node.body, issues)
 
 
-def check_file(path: str) -> List[DocIssue]:
-    """Docstring issues in one Python source file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        tree = ast.parse(handle.read(), filename=path)
+def check_tree(path: str, tree: ast.Module) -> List[DocIssue]:
+    """Docstring issues in an already-parsed module.
+
+    The seam the unified lint front end uses (the ``missing-docstring``
+    rule in :mod:`repro.qa.rules` parses each file once and hands the
+    tree to every rule); :func:`check_file` wraps it for standalone use.
+    """
     issues: List[DocIssue] = []
     if ast.get_docstring(tree) is None:
         issues.append(DocIssue(path, os.path.basename(path), "module", 1))
     _check_body(path, "", tree.body, issues)
     return issues
+
+
+def check_file(path: str) -> List[DocIssue]:
+    """Docstring issues in one Python source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return check_tree(path, tree)
 
 
 def check_paths(paths: Iterable[str]) -> List[DocIssue]:

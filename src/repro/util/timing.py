@@ -23,6 +23,13 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import trace as obs_trace
 
+#: The one sanctioned monotonic clock for kernel and scheduler code.
+#: Kernel paths (``giraffe/``, ``gbwt/``, ``sched/``) must call
+#: ``timing.now()`` instead of ``time.perf_counter`` directly — the
+#: ``wallclock-in-kernel`` lint rule enforces it — so instrumentation
+#: has a single seam to virtualise or stub the clock through.
+now = time.perf_counter
+
 
 @dataclass(frozen=True)
 class RegionSample:

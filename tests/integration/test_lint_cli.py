@@ -1,0 +1,129 @@
+"""Integration tests for ``repro lint`` and ``repro races`` (ISSUE 4).
+
+The acceptance criteria from the issue, driven through the real CLI:
+the shipped tree lints clean against the committed baseline, a seeded
+violation fails the gate, a fixed-but-still-baselined finding fails the
+gate (stale entry), and the race-detector demo fixture is flagged.
+"""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+BAD_SOURCE = textwrap.dedent("""\
+    def gather(items=[]):
+        try:
+            items.append(1)
+        except Exception:
+            pass
+        return items
+""")
+
+CLEAN_SOURCE = textwrap.dedent("""\
+    def gather(items=None):
+        return list(items or ())
+""")
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_SOURCE)
+    return str(path)
+
+
+class TestLint:
+    def test_shipped_tree_is_clean(self, monkeypatch, capsys):
+        # The dogfood gate: src/repro + tests against the committed
+        # baseline, exactly as `scripts/ci.sh --lint` runs it.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert "0 stale baseline entr(ies)" in out
+
+    def test_committed_baseline_is_empty(self):
+        import json
+
+        with open(os.path.join(REPO_ROOT, "qa", "lint_baseline.json")) as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == 1
+        assert payload["entries"] == []
+
+    def test_seeded_violation_fails(self, bad_file, capsys):
+        assert main(["lint", "--no-baseline", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "mutable-default-arg" in out
+        assert "broad-except" in out
+
+    def test_baseline_accepts_then_freezes(self, bad_file, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--baseline", baseline, "--update-baseline",
+                     bad_file]) == 0
+        assert main(["lint", "--baseline", baseline, bad_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 baselined" in out
+
+    def test_stale_baseline_entry_fails(self, bad_file, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--baseline", baseline, "--update-baseline",
+                     bad_file]) == 0
+        # The fix lands but the baseline entry stays: the gate must fail
+        # so the baseline can only ever shrink.
+        with open(bad_file, "w") as fh:
+            fh.write(CLEAN_SOURCE)
+        assert main(["lint", "--baseline", baseline, bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "stale-baseline" in out
+
+    def test_rules_subset_runs(self, bad_file, capsys):
+        assert main(["lint", "--no-baseline", "--rules", "broad-except",
+                     bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "broad-except" in out
+        assert "mutable-default-arg" not in out
+
+    def test_unknown_rule_rejected(self, bad_file, capsys):
+        assert main(["lint", "--no-baseline", "--rules", "no-such-rule",
+                     bad_file]) == 2
+
+    def test_bad_baseline_schema_rejected(self, bad_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"schema": 99, "entries": []}')
+        assert main(["lint", "--baseline", str(baseline), bad_file]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("unseeded-rng", "wallclock-in-kernel", "broad-except",
+                        "mutable-default-arg", "missing-lock-guard",
+                        "swallowed-worker-error", "missing-docstring",
+                        "unused-suppression", "parse-error"):
+            assert rule_id in out
+
+    def test_doccheck_step_via_unified_entry_point(self, monkeypatch, capsys):
+        # The always-on ci.sh step that replaced the standalone
+        # `python -m repro.util.doccheck` invocation.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--rules", "missing-docstring", "--no-baseline",
+                     "src/repro"]) == 0
+
+
+class TestRaces:
+    def test_demo_racy_fixture_detected(self, capsys):
+        assert main(["races", "--demo-racy"]) == 0
+        out = capsys.readouterr().out
+        assert "RacyCounter.value" in out
+        assert "race detected" in out
+
+    def test_scheduler_audit_clean(self, capsys):
+        assert main(["races", "--audit", "schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "audit schedulers: CLEAN" in out

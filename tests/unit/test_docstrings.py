@@ -1,10 +1,11 @@
-"""The docstring-coverage gate (ISSUE 1 satellite, extended by ISSUE 2).
+"""The docstring-coverage gate (ISSUE 1 satellite, extended since).
 
-Every public module/class/function in ``repro.obs``, ``repro.sched``,
-and ``repro.analysis`` must carry a docstring — these packages are the
-documented API surface ``docs/OBSERVABILITY.md`` references.  The same
-check runs standalone in CI via ``python -m repro.util.doccheck`` (see
-``scripts/ci.sh``).
+Every public module/class/function in the gated packages must carry a
+docstring — they form the documented API surface the ``docs/`` guides
+reference.  The same check runs in CI through the unified lint entry
+point (``repro lint --rules missing-docstring``, see ``scripts/ci.sh``
+and :mod:`repro.qa.rules`); :mod:`repro.util.doccheck` remains the
+shared implementation both front ends call.
 """
 
 import os
@@ -19,7 +20,7 @@ SRC_ROOT = os.path.join(
     "repro",
 )
 
-GATED_PACKAGES = ["obs", "sched", "analysis", "resilience"]
+GATED_PACKAGES = ["obs", "sched", "analysis", "resilience", "qa"]
 
 
 @pytest.mark.parametrize("package", GATED_PACKAGES)

@@ -1,0 +1,461 @@
+"""Unit tests for the lint engine and the repo-specific rules (ISSUE 4).
+
+Each rule gets a fire/clean fixture pair driven through
+:func:`repro.qa.lint.lint_source` with a synthetic path chosen to hit
+the rule's ``applies`` scope.  Engine behaviour — suppressions,
+unused-suppression reporting, parse errors, baselines — is covered
+separately.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.qa.lint import Baseline, Finding, lint_source
+from repro.qa.rules import (
+    DEFAULT_RULES,
+    all_rule_ids,
+    rules_by_id,
+)
+
+KERNEL_PATH = "src/repro/sched/fake.py"
+GENERIC_PATH = "src/repro/fake.py"
+
+
+def _run(path, source, rule_ids):
+    rules = rules_by_id(rule_ids)
+    return lint_source(path, textwrap.dedent(source), rules,
+                       known_rule_ids=all_rule_ids())
+
+
+def _rule_hits(result, rule_id):
+    return [f for f in result.findings if f.rule == rule_id]
+
+
+class TestUnseededRng:
+    def test_import_random_fires(self):
+        result = _run(GENERIC_PATH, "import random\n", ["unseeded-rng"])
+        assert len(_rule_hits(result, "unseeded-rng")) == 1
+
+    def test_from_numpy_random_fires(self):
+        result = _run(GENERIC_PATH, "from numpy.random import default_rng\n",
+                      ["unseeded-rng"])
+        assert _rule_hits(result, "unseeded-rng")
+
+    def test_clock_derived_seed_fires(self):
+        source = """\
+        import time
+        rng = SplitMix64(int(time.time()))
+        """
+        result = _run(GENERIC_PATH, source, ["unseeded-rng"])
+        assert _rule_hits(result, "unseeded-rng")
+
+    def test_clock_seed_kwarg_fires(self):
+        source = """\
+        import time
+        sim = ReadSimulator(refs, seed=time.time_ns())
+        """
+        result = _run(GENERIC_PATH, source, ["unseeded-rng"])
+        assert _rule_hits(result, "unseeded-rng")
+
+    def test_explicit_seed_clean(self):
+        result = _run(GENERIC_PATH, "rng = SplitMix64(1234)\n",
+                      ["unseeded-rng"])
+        assert not result.findings
+
+    def test_rng_module_itself_exempt(self):
+        result = _run("src/repro/util/rng.py", "import random\n",
+                      ["unseeded-rng"])
+        assert not result.findings
+
+    def test_outside_src_repro_exempt(self):
+        result = _run("tests/unit/fake.py", "import random\n",
+                      ["unseeded-rng"])
+        assert not result.findings
+
+
+class TestWallclockInKernel:
+    def test_time_time_fires(self):
+        result = _run(KERNEL_PATH, "import time\nstart = time.time()\n",
+                      ["wallclock-in-kernel"])
+        assert _rule_hits(result, "wallclock-in-kernel")
+
+    def test_raw_perf_counter_fires(self):
+        result = _run(KERNEL_PATH,
+                      "import time\nstart = time.perf_counter()\n",
+                      ["wallclock-in-kernel"])
+        hits = _rule_hits(result, "wallclock-in-kernel")
+        assert hits and "timing.now" in hits[0].message
+
+    def test_datetime_now_fires(self):
+        result = _run(KERNEL_PATH,
+                      "import datetime\nstamp = datetime.now()\n",
+                      ["wallclock-in-kernel"])
+        assert _rule_hits(result, "wallclock-in-kernel")
+
+    def test_from_time_import_fires(self):
+        result = _run(KERNEL_PATH, "from time import perf_counter\n",
+                      ["wallclock-in-kernel"])
+        assert _rule_hits(result, "wallclock-in-kernel")
+
+    def test_timing_now_clean(self):
+        source = """\
+        from repro.util import timing
+        start = timing.now()
+        """
+        result = _run(KERNEL_PATH, source, ["wallclock-in-kernel"])
+        assert not result.findings
+
+    def test_non_kernel_path_exempt(self):
+        result = _run("src/repro/obs/fake.py",
+                      "import time\nstart = time.time()\n",
+                      ["wallclock-in-kernel"])
+        assert not result.findings
+
+
+class TestBroadExcept:
+    def test_swallowing_handler_fires(self):
+        source = """\
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert _rule_hits(result, "broad-except")
+
+    def test_bare_except_fires(self):
+        source = """\
+        try:
+            work()
+        except:
+            cleanup()
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert _rule_hits(result, "broad-except")
+
+    def test_reraising_handler_clean(self):
+        source = """\
+        try:
+            work()
+        except Exception:
+            cleanup()
+            raise
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+
+    def test_set_error_handler_clean(self):
+        source = """\
+        try:
+            work()
+        except Exception as exc:
+            span.set_error(exc)
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+
+    def test_narrow_handler_clean(self):
+        source = """\
+        try:
+            work()
+        except ValueError:
+            pass
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+
+
+class TestMutableDefaultArg:
+    def test_list_literal_fires(self):
+        result = _run(GENERIC_PATH, "def f(items=[]):\n    return items\n",
+                      ["mutable-default-arg"])
+        assert _rule_hits(result, "mutable-default-arg")
+
+    def test_dict_constructor_fires(self):
+        result = _run(GENERIC_PATH, "def f(opts=dict()):\n    return opts\n",
+                      ["mutable-default-arg"])
+        assert _rule_hits(result, "mutable-default-arg")
+
+    def test_kwonly_default_fires(self):
+        result = _run(GENERIC_PATH, "def f(*, opts={}):\n    return opts\n",
+                      ["mutable-default-arg"])
+        assert _rule_hits(result, "mutable-default-arg")
+
+    def test_none_default_clean(self):
+        result = _run(GENERIC_PATH, "def f(items=None):\n    return items\n",
+                      ["mutable-default-arg"])
+        assert not result.findings
+
+
+def _tally_class(method_source=""):
+    """A class with two guarded fields plus an optional extra method."""
+    header = textwrap.dedent("""\
+        import threading
+
+        class Tally:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0  # qa: guarded-by(self._lock)
+                self.items = []  # qa: guarded-by(self._lock)
+    """)
+    if not method_source:
+        return header
+    body = textwrap.indent(textwrap.dedent(method_source), "    ")
+    return header + "\n" + body
+
+
+class TestMissingLockGuard:
+    def test_unlocked_write_fires(self):
+        source = _tally_class("""\
+        def bump(self):
+            self.count += 1
+        """)
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        hits = _rule_hits(result, "missing-lock-guard")
+        assert hits and "'count'" in hits[0].message
+
+    def test_unlocked_mutator_call_fires(self):
+        source = _tally_class("""\
+        def push(self, item):
+            self.items.append(item)
+        """)
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        assert _rule_hits(result, "missing-lock-guard")
+
+    def test_unlocked_subscript_write_fires(self):
+        source = _tally_class("""\
+        def poke(self, i, value):
+            self.items[i] = value
+        """)
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        assert _rule_hits(result, "missing-lock-guard")
+
+    def test_locked_write_clean(self):
+        source = _tally_class("""\
+        def bump(self):
+            with self._lock:
+                self.count += 1
+                self.items.append(self.count)
+        """)
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        assert not result.findings
+
+    def test_init_is_exempt(self):
+        result = _run(GENERIC_PATH, _tally_class(), ["missing-lock-guard"])
+        assert not result.findings
+
+    def test_wrong_lock_fires(self):
+        source = _tally_class("""\
+        def bump(self):
+            with self._other_lock:
+                self.count += 1
+        """)
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        assert _rule_hits(result, "missing-lock-guard")
+
+    def test_unannotated_fields_ignored(self):
+        source = """\
+        class Plain:
+            def __init__(self):
+                self.count = 0
+
+            def bump(self):
+                self.count += 1
+        """
+        result = _run(GENERIC_PATH, source, ["missing-lock-guard"])
+        assert not result.findings
+
+
+class TestSwallowedWorkerError:
+    def test_dropping_handler_in_thread_target_fires(self):
+        source = """\
+        import threading
+
+        def worker():
+            try:
+                work()
+            except ValueError:
+                pass
+
+        def run():
+            t = threading.Thread(target=worker)
+            t.start()
+        """
+        result = _run(GENERIC_PATH, source, ["swallowed-worker-error"])
+        assert _rule_hits(result, "swallowed-worker-error")
+
+    def test_storing_handler_clean(self):
+        source = """\
+        import threading
+
+        def worker(errors):
+            try:
+                work()
+            except ValueError as exc:
+                errors.append(exc)
+
+        def run(errors):
+            t = threading.Thread(target=worker)
+            t.start()
+        """
+        result = _run(GENERIC_PATH, source, ["swallowed-worker-error"])
+        assert not result.findings
+
+    def test_submit_callee_fires(self):
+        source = """\
+        def worker():
+            try:
+                work()
+            except ValueError:
+                pass
+
+        def run(pool):
+            pool.submit(worker)
+        """
+        result = _run(GENERIC_PATH, source, ["swallowed-worker-error"])
+        assert _rule_hits(result, "swallowed-worker-error")
+
+    def test_non_target_function_exempt(self):
+        source = """\
+        def helper():
+            try:
+                work()
+            except ValueError:
+                pass
+        """
+        result = _run(GENERIC_PATH, source, ["swallowed-worker-error"])
+        assert not result.findings
+
+
+class TestMissingDocstring:
+    def test_undocumented_module_fires(self):
+        result = _run("src/repro/qa/fake.py", "def visible():\n    pass\n",
+                      ["missing-docstring"])
+        ids = {f.rule for f in result.findings}
+        assert ids == {"missing-docstring"}
+        assert len(result.findings) == 2  # module + function
+
+    def test_outside_doc_dirs_exempt(self):
+        result = _run("src/repro/graph/fake.py", "def visible():\n    pass\n",
+                      ["missing-docstring"])
+        assert not result.findings
+
+
+class TestEngine:
+    def test_inline_suppression_silences_finding(self):
+        source = """\
+        try:
+            work()
+        except Exception:  # qa: ignore[broad-except]
+            pass
+        """
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+        assert result.suppressed == 1
+
+    def test_unused_suppression_reported(self):
+        source = "x = 1  # qa: ignore[broad-except]\n"
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        hits = _rule_hits(result, "unused-suppression")
+        assert hits and "broad-except" in hits[0].message
+
+    def test_unknown_rule_id_suppression_reported_as_typo(self):
+        source = "x = 1  # qa: ignore[no-such-rule]\n"
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        hits = _rule_hits(result, "unused-suppression")
+        assert hits and "no such rule" in hits[0].message
+
+    def test_inactive_rule_suppression_not_flagged(self):
+        # A --rules subset run must not flag ignores owned by skipped
+        # rules (here: a mutable-default-arg ignore while only
+        # broad-except runs).
+        source = "def f(items=[]):  # qa: ignore[mutable-default-arg]\n    return items\n"
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+
+    def test_docstring_text_is_not_a_directive(self):
+        source = '''\
+        """Docs quoting the ``# qa: ignore[broad-except]`` syntax."""
+        x = 1
+        '''
+        result = _run(GENERIC_PATH, source, ["broad-except"])
+        assert not result.findings
+
+    def test_parse_error_is_a_finding(self):
+        result = _run(GENERIC_PATH, "def broken(:\n", ["broad-except"])
+        assert [f.rule for f in result.findings] == ["parse-error"]
+
+    def test_rules_by_id_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            rules_by_id(["definitely-not-a-rule"])
+
+    def test_all_rule_ids_includes_builtins(self):
+        ids = all_rule_ids()
+        assert "unused-suppression" in ids and "parse-error" in ids
+        assert {rule.id for rule in DEFAULT_RULES} <= ids
+
+
+class TestBaseline:
+    BAD = "try:\n    work()\nexcept Exception:\n    pass\n"
+
+    def _findings(self, path=GENERIC_PATH, source=None):
+        return _run(path, source or self.BAD, ["broad-except"]).findings
+
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding("broad-except", GENERIC_PATH, 3, "m", snippet="except Exception:")
+        b = Finding("broad-except", GENERIC_PATH, 30, "m", snippet="except Exception:")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_keys_on_path_rule_snippet(self):
+        a = Finding("broad-except", GENERIC_PATH, 3, "m", snippet="except Exception:")
+        b = Finding("broad-except", "src/repro/other.py", 3, "m",
+                    snippet="except Exception:")
+        c = Finding("mutable-default-arg", GENERIC_PATH, 3, "m",
+                    snippet="except Exception:")
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_roundtrip_and_clean_delta(self, tmp_path):
+        findings = self._findings()
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(findings).save(path)
+        delta = Baseline.load(path).delta(findings)
+        assert delta.clean
+
+    def test_new_finding_detected(self):
+        baseline = Baseline.from_findings([])
+        delta = baseline.delta(self._findings())
+        assert delta.new and not delta.stale
+
+    def test_fixed_finding_goes_stale(self):
+        baseline = Baseline.from_findings(self._findings())
+        delta = baseline.delta([])
+        assert delta.stale and not delta.new
+
+    def test_duplicate_findings_match_as_multiset(self):
+        one = self._findings()
+        # The same snippet twice in one file: one baselined occurrence
+        # must not absorb both.
+        twice = _run(GENERIC_PATH, self.BAD + self.BAD,
+                     ["broad-except"]).findings
+        assert len(twice) == 2
+        baseline = Baseline.from_findings(one)
+        delta = baseline.delta(twice)
+        assert len(delta.new) == 1 and not delta.stale
+
+    def test_rules_subset_ignores_other_entries(self):
+        baseline = Baseline.from_findings(self._findings())
+        # A run restricted to another rule sees zero findings, but the
+        # broad-except baseline entry must not be declared stale.
+        delta = baseline.delta([], rule_ids={"mutable-default-arg"})
+        assert delta.clean
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.json"))
+        assert baseline.entries == []
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))

@@ -1,0 +1,149 @@
+"""Unit tests for the lockset race detector (ISSUE 4).
+
+The acceptance pair: the deliberately racy fixture must be flagged, and
+the correctly locked code (the guarded fixture, the real schedulers)
+must come back clean.  The handoff / write-only subtleties of the model
+get their own tests because they are exactly where naive lockset
+implementations false-positive.
+"""
+
+import threading
+
+import pytest
+
+from repro.qa.audits import AUDITS, audit_schedulers
+from repro.qa.races import (
+    GuardedCounter,
+    RaceDetector,
+    RacyCounter,
+    TracedLock,
+    run_racy_fixture,
+)
+
+
+def _drive(counter, threads=2, increments=64):
+    barrier = threading.Barrier(threads)
+
+    def body():
+        barrier.wait()
+        for _ in range(increments):
+            counter.increment()
+
+    workers = [threading.Thread(target=body) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+class TestTracedLock:
+    def test_behaves_like_a_lock(self):
+        lock = TracedLock()
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_tracks_held_set_on_detector(self):
+        detector = RaceDetector()
+        lock = TracedLock(detector=detector)
+        assert detector._held_ids() == set()
+        with lock:
+            assert detector._held_ids() == {id(lock)}
+        assert detector._held_ids() == set()
+
+    def test_wraps_existing_lock(self):
+        inner = threading.Lock()
+        lock = TracedLock(inner)
+        with lock:
+            assert inner.locked()
+        assert not inner.locked()
+
+
+class TestDetector:
+    def test_racy_fixture_is_flagged(self):
+        races = run_racy_fixture(threads=2, increments=32)
+        assert races
+        race = races[0]
+        assert race.cls == "RacyCounter" and race.field == "value"
+        assert race.threads >= 2
+        assert "empty lockset" in race.describe()
+
+    def test_guarded_fixture_is_clean(self):
+        detector = RaceDetector().watch(GuardedCounter, "value")
+        with detector:
+            counter = GuardedCounter()
+            _drive(counter, threads=2, increments=64)
+        assert detector.races == []
+        assert detector.summary() == "no races detected"
+
+    def test_single_worker_handoff_is_clean(self):
+        # Construction on the main thread then a handoff to ONE worker
+        # is the exclusive -> second-thread transition; with only one
+        # post-handoff thread there is no race to report.
+        detector = RaceDetector().watch(RacyCounter, "value")
+        with detector:
+            counter = RacyCounter()
+            _drive(counter, threads=1, increments=64)
+        assert detector.races == []
+
+    def test_post_join_read_is_clean(self):
+        # Reading stats after join holds no lock but races with nobody:
+        # write-only reporting must keep it quiet.
+        detector = RaceDetector().watch(RacyCounter, "value")
+        with detector:
+            counter = RacyCounter()
+            _drive(counter, threads=1, increments=64)
+            observed = counter.value
+        assert observed == 64
+        assert detector.races == []
+
+    def test_one_report_per_field(self):
+        races = run_racy_fixture(threads=4, increments=64)
+        assert len(races) == 1
+
+    def test_uninstall_restores_class(self):
+        assert "__setattr__" not in RacyCounter.__dict__
+        detector = RaceDetector().watch(RacyCounter, "value")
+        with detector:
+            assert "__setattr__" in RacyCounter.__dict__
+            assert "__getattribute__" in RacyCounter.__dict__
+        assert "__setattr__" not in RacyCounter.__dict__
+        assert "__getattribute__" not in RacyCounter.__dict__
+
+    def test_detector_usable_via_explicit_install(self):
+        detector = RaceDetector().watch(RacyCounter, "value")
+        detector.install()
+        detector.install()  # idempotent
+        try:
+            counter = RacyCounter()
+            _drive(counter, threads=2, increments=32)
+        finally:
+            detector.uninstall()
+        assert detector.races
+
+    def test_raw_lock_assignment_gets_wrapped(self):
+        detector = RaceDetector().watch(GuardedCounter, "value")
+        with detector:
+            counter = GuardedCounter()
+            assert isinstance(counter.lock, TracedLock)
+
+
+class TestAudits:
+    def test_scheduler_audit_clean_small(self):
+        detector = audit_schedulers(threads=2, items=24, batch_size=4)
+        assert detector.races == [], detector.summary()
+
+    def test_registry_names(self):
+        assert set(AUDITS) == {"schedulers", "chaos", "proxy"}
+
+    def test_cli_audit_names_stay_in_sync(self):
+        from repro.cli import AUDIT_NAMES
+
+        assert tuple(sorted(AUDITS)) == tuple(sorted(AUDIT_NAMES))
+
+    def test_unknown_audit_rejected(self):
+        from repro.qa.audits import run_audits
+
+        with pytest.raises(KeyError):
+            run_audits(["nonexistent"])
