@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
-# Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--chaos-smoke]
+# Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke] [--chaos-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -18,6 +18,11 @@
 #   repro bench --smoke     (regression gate against benchmarks/baseline.json)
 #   repro validate --smoke  (cosine / exec-time / bit-identical checks)
 #
+# --tune-smoke additionally runs the measured autotuner on its 2x2x2
+# mini-grid (ISSUE 5): `repro tune --measured --smoke` must complete and
+# print the Table VIII-style best-config report, keeping the sweep
+# machinery exercised on every CI run that asks for it.
+#
 # --chaos-smoke additionally runs the fault-injection gate: two seeded
 # `repro chaos` runs per scheduler must satisfy the exactly-once
 # invariant and produce byte-identical reports (determinism check).
@@ -31,6 +36,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 LINT=0
 BENCH_SMOKE=0
+TUNE_SMOKE=0
 CHAOS_SMOKE=0
 args=()
 for arg in "$@"; do
@@ -38,12 +44,20 @@ for arg in "$@"; do
         LINT=1
     elif [[ "$arg" == "--bench-smoke" ]]; then
         BENCH_SMOKE=1
+    elif [[ "$arg" == "--tune-smoke" ]]; then
+        TUNE_SMOKE=1
     elif [[ "$arg" == "--chaos-smoke" ]]; then
         CHAOS_SMOKE=1
     else
         args+=("$arg")
     fi
 done
+
+# Bench regression thresholds: wall time is machine-dependent, so the
+# smoke gate allows 50% noise; kernel operation counts are deterministic
+# and gate at 10% growth.
+BENCH_TIME_THRESHOLD=0.5
+BENCH_OPS_THRESHOLD=0.10
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "${args[@]+"${args[@]}"}"
@@ -70,10 +84,17 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (regression gate) =="
     bench_out="$(mktemp -d)"
     trap 'rm -rf "$bench_out"' EXIT
-    python -m repro bench --smoke --out-dir "$bench_out"
+    python -m repro bench --smoke --out-dir "$bench_out" \
+        --threshold "$BENCH_TIME_THRESHOLD" \
+        --ops-threshold "$BENCH_OPS_THRESHOLD"
 
     echo "== validate smoke (proxy-fidelity gate) =="
     python -m repro validate --smoke
+fi
+
+if [[ "$TUNE_SMOKE" == "1" ]]; then
+    echo "== tune smoke (2x2x2 measured mini-sweep) =="
+    python -m repro tune --input-set A-human --measured --smoke
 fi
 
 if [[ "$CHAOS_SMOKE" == "1" ]]; then

@@ -25,6 +25,7 @@ from repro.analysis.tracereport import (
     render_region_table,
     render_trace_report,
 )
+from repro.analysis.tunereport import render_tune_report
 
 __all__ = [
     "render_bench_report",
@@ -44,4 +45,5 @@ __all__ = [
     "series_to_csv",
     "speedup_series",
     "percent_diff",
+    "render_tune_report",
 ]

@@ -1,0 +1,65 @@
+"""Human-readable rendering of measured tuning sweeps (Table VIII).
+
+:func:`repro.tuning.sweep.run_sweep` produces a ``repro.tune/v1`` dict
+and :func:`repro.tuning.model.summarize_sweep` distills it; this module
+turns the summary into the aligned text report ``repro tune --measured``
+prints: the full grid ranked by wall time, the best-vs-default verdict
+line, and the clustering distance-query comparison.  Renderers take
+data, never run anything, so they work equally on a fresh sweep and one
+loaded from a JSON report on disk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tables import format_table
+from repro.tuning.model import SweepSummary
+
+
+def _fmt_reduction(reduction: Optional[float]) -> str:
+    return f"{reduction:.1%}" if reduction is not None else "n/a"
+
+
+def render_tune_report(summary: SweepSummary) -> str:
+    """The Table VIII-style text report for one measured sweep."""
+    ranked = sorted(summary.entries, key=lambda e: (e.wall_time, e.key))
+    rows = [
+        [
+            entry.label(),
+            f"{entry.wall_time:.4f}",
+            f"{summary.default.wall_time / entry.wall_time:.2f}x",
+            f"{entry.cache_hit_rate:.1%}",
+            "best" if entry is ranked[0] else "",
+        ]
+        for entry in ranked
+    ]
+    rows.append([
+        f"default: {summary.default.label()}",
+        f"{summary.default.wall_time:.4f}",
+        "1.00x",
+        f"{summary.default.cache_hit_rate:.1%}",
+        "",
+    ])
+    sections = [format_table(
+        f"Tuning sweep '{summary.input_set}' "
+        f"({len(summary.entries)} grid points)",
+        ["config", "wall_s", "speedup", "cache_hit", ""],
+        rows,
+    )]
+    lines = [
+        f"best config: {summary.best.label()} "
+        f"({summary.best.wall_time:.4f}s, {summary.speedup:.2f}x over "
+        f"default {summary.default.wall_time:.4f}s)",
+        f"grid geomean speedup vs default: {summary.geomean_speedup:.3f}x",
+    ]
+    allpairs = summary.clustering.get("distance_queries_allpairs")
+    if allpairs is not None:
+        lines.append(
+            "clustering distance queries: "
+            f"{summary.clustering.get('distance_queries', 0)} "
+            f"(all-pairs reference: {allpairs}, "
+            f"reduction {_fmt_reduction(summary.distance_query_reduction())})"
+        )
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)

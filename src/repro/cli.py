@@ -25,7 +25,11 @@ the surrounding workflow the artifact scripts drive:
   configuration suite (``--smoke`` for the CI subset), write a
   schema-versioned ``BENCH_<timestamp>.json``, and gate against
   ``benchmarks/baseline.json`` (non-zero exit on regression);
-* ``tune`` — the autotuning sweep on a machine model, CSV out;
+* ``tune`` — the autotuning sweep: by default predicted on a machine
+  model (CSV out); with ``--measured`` the real proxy runs the grid and
+  a Table VIII-style best-config report is printed (``--smoke`` for the
+  2×2×2 CI mini-sweep, ``--bench-out`` to record the sweep as a
+  ``BENCH_*.json``);
 * ``scale`` — the Figure 5 scaling prediction for one input set.
 
 Run ``python -m repro <command> --help`` for per-command flags.
@@ -242,7 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", help="write the deterministic report here")
 
     tune = commands.add_parser(
-        "tune", help="exhaustive parameter sweep on a machine model"
+        "tune", help="exhaustive parameter sweep (machine model or measured)"
     )
     tune.add_argument("--input-set", choices=sorted(INPUT_SETS), required=True)
     tune.add_argument("--profile-scale", type=float, default=0.1)
@@ -251,6 +255,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument("--subsample", type=float, default=0.1)
     tune.add_argument("--csv", help="write the full grid to this CSV")
+    tune.add_argument(
+        "--measured", action="store_true",
+        help="run the real proxy over the grid instead of the machine model",
+    )
+    tune.add_argument(
+        "--smoke", action="store_true",
+        help="with --measured: the 2x2x2 mini-sweep CI runs",
+    )
+    tune.add_argument(
+        "--schedulers", help="with --measured: comma-separated scheduler list"
+    )
+    tune.add_argument(
+        "--batch-sizes", help="with --measured: comma-separated batch sizes"
+    )
+    tune.add_argument(
+        "--capacities", help="with --measured: comma-separated cache capacities"
+    )
+    tune.add_argument(
+        "--threads", type=int, default=None,
+        help="with --measured: worker threads per grid point",
+    )
+    tune.add_argument(
+        "--repeats", type=int, default=None,
+        help="with --measured: best-of-N repeats per grid point",
+    )
+    tune.add_argument(
+        "--json", help="with --measured: write the repro.tune/v1 report here"
+    )
+    tune.add_argument(
+        "--bench-out",
+        help="with --measured: also record the sweep as a BENCH_*.json "
+             "in this directory (feeds the bench trajectory)",
+    )
 
     scale = commands.add_parser(
         "scale", help="predict strong scaling on the paper's machines"
@@ -648,7 +685,68 @@ def _profile_for(input_set: str, profile_scale: float):
     )
 
 
+def _int_list(raw: str) -> List[int]:
+    """Parse a comma-separated integer list CLI flag."""
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _cmd_tune_measured(args) -> int:
+    """The measured sweep behind ``repro tune --measured``."""
+    from repro.analysis import render_tune_report
+    from repro.obs.bench import write_report
+    from repro.tuning import (
+        SweepGrid,
+        run_sweep,
+        smoke_grid,
+        summarize_sweep,
+        sweep_to_bench_report,
+    )
+
+    if args.smoke:
+        grid = smoke_grid()
+    else:
+        grid = SweepGrid()
+    overrides = {}
+    if args.schedulers:
+        overrides["schedulers"] = tuple(
+            s.strip() for s in args.schedulers.split(",") if s.strip()
+        )
+    if args.batch_sizes:
+        overrides["batch_sizes"] = tuple(_int_list(args.batch_sizes))
+    if args.capacities:
+        overrides["capacities"] = tuple(_int_list(args.capacities))
+    if args.threads is not None:
+        overrides["threads"] = args.threads
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if overrides:
+        import dataclasses
+
+        grid = dataclasses.replace(grid, **overrides)
+
+    def progress(entry):
+        print(f"  {entry['key']}: {entry['wall_time']:.4f}s")
+
+    print(f"measured sweep: {grid.size()} grid points + default "
+          f"(input set {args.input_set}, scale {grid.scale})")
+    report = run_sweep(args.input_set, grid=grid, progress=progress)
+    summary = summarize_sweep(report)
+    print()
+    print(render_tune_report(summary))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.bench_out:
+        path = write_report(sweep_to_bench_report(report), args.bench_out)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_tune(args) -> int:
+    if args.measured:
+        return _cmd_tune_measured(args)
     profile = _profile_for(args.input_set, args.profile_scale)
     store = ResultStore()
     for name, platform in _platforms_for(args.platform).items():

@@ -1,0 +1,369 @@
+"""Frozen pre-optimisation reference kernels (bit-identity oracles).
+
+The hot-path overhaul (sorted-sweep clustering, packed-word extension,
+masked-probe CachedGBWT) is constrained to produce *byte-identical*
+output to the implementations it replaced.  This module preserves those
+original implementations verbatim so the property suite
+(``tests/property/test_prop_reference_equivalence.py``) can compare the
+optimized kernels against them across randomized workloads, forever.
+
+Nothing here is exported through :mod:`repro.core`; production code must
+never import it (the optimized kernels in :mod:`repro.core.cluster`,
+:mod:`repro.core.extend`, and :mod:`repro.gbwt.cache` are the real
+ones).  Treat this file as append-only: when a kernel is optimized
+again, its previous implementation stays here as the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.extend import (
+    GaplessExtension,
+    KernelCounters,
+    Position,
+    _better,
+    _SideResult,
+)
+from repro.core.options import ExtendOptions, ProcessOptions
+from repro.core.scoring import ScoringParams
+from repro.graph.handle import Handle, flip, node_id, reverse_complement
+from repro.graph.variation_graph import VariationGraph
+from repro.gbwt.gbwt import GBWT
+from repro.gbwt.records import DecompressedRecord, SearchState
+
+
+def reference_cluster_seeds(
+    distance_index,
+    seeds,
+    read_length: int,
+    seed_span: int,
+    options: Optional[ProcessOptions] = None,
+    counters: Optional[KernelCounters] = None,
+):
+    """The original O(n²) all-pairs ``cluster_seeds`` (pre sorted-sweep).
+
+    Every seed pair not already merged is queried against the distance
+    index; ``_coverage`` re-sorts each cluster's intervals from scratch.
+    """
+    from repro.core.cluster import Cluster, UnionFind
+    from repro.index.minimizer import Seed
+
+    options = options or ProcessOptions()
+    if not seeds:
+        return []
+    ordered = sorted(seeds, key=Seed.sort_key)
+    uf = UnionFind(len(ordered))
+    for i in range(len(ordered)):
+        for j in range(i + 1, len(ordered)):
+            if uf.find(i) == uf.find(j):
+                continue
+            if counters is not None:
+                counters.distance_queries += 1
+            if distance_index.within(
+                ordered[i].position, ordered[j].position, options.cluster_distance
+            ):
+                uf.union(i, j)
+    clusters = []
+    for group in uf.groups():
+        members = tuple(ordered[i] for i in group)
+        coverage = _reference_coverage(members, seed_span, read_length)
+        score = coverage * 4 + len(members)
+        clusters.append(Cluster(seeds=members, score=score, coverage=coverage))
+        if counters is not None:
+            counters.clusters_scored += 1
+    clusters.sort(key=Cluster.sort_key)
+    return clusters
+
+
+def _reference_coverage(seeds, seed_span: int, read_length: int) -> int:
+    """The original per-cluster-sorting ``_coverage``."""
+    covered = 0
+    intervals = sorted(
+        (s.read_offset, min(read_length, s.read_offset + seed_span)) for s in seeds
+    )
+    current_start, current_end = None, None
+    for start, end in intervals:
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        covered += current_end - current_start
+    return covered
+
+
+def _reference_extend_side(
+    graph: VariationGraph,
+    haplotypes,
+    sequence: str,
+    start_handle: Handle,
+    start_offset: int,
+    options: ExtendOptions,
+    params: ScoringParams,
+    counters: Optional[KernelCounters],
+) -> _SideResult:
+    """The original per-base string-comparison DFS side search."""
+    empty = _SideResult(
+        score=params.full_length_bonus if not sequence else 0,
+        matched=0,
+        mismatch_offsets=(),
+        consumed=0,
+        path=(start_handle,),
+        end_handle=start_handle,
+        end_offset=start_offset,
+        reached_full=not sequence,
+    )
+    best: Optional[_SideResult] = empty
+    if not sequence:
+        return empty
+
+    state0 = haplotypes.full_state(start_handle)
+    if state0.empty:
+        return empty
+    expansions = 0
+    stack: List[tuple] = [
+        (start_handle, start_offset, 0, state0, (start_handle,), (), 0)
+    ]
+    seq_len = len(sequence)
+    while stack:
+        handle, offset, seq_pos, state, path, mismatches, matched = stack.pop()
+        length = graph.node_length(node_id(handle))
+        if counters is not None:
+            counters.node_visits += 1
+        potential = (
+            (matched + (seq_len - seq_pos)) * params.match
+            - len(mismatches) * params.mismatch
+            + params.full_length_bonus
+        )
+        if best is not None and potential < best.score:
+            continue
+        dead = False
+        while offset < length and seq_pos < seq_len:
+            if counters is not None:
+                counters.base_comparisons += 1
+            if graph.base(handle, offset) == sequence[seq_pos]:
+                matched += 1
+                offset += 1
+                seq_pos += 1
+                full = seq_pos == seq_len
+                score = (
+                    matched * params.match
+                    - len(mismatches) * params.mismatch
+                    + (params.full_length_bonus if full else 0)
+                )
+                best = _better(
+                    best,
+                    _SideResult(
+                        score, matched, mismatches, seq_pos, path, handle, offset, full
+                    ),
+                )
+                continue
+            if len(mismatches) >= options.max_mismatches:
+                dead = True
+                break
+            mismatches = mismatches + (seq_pos,)
+            offset += 1
+            seq_pos += 1
+            if seq_pos == seq_len:
+                score = (
+                    matched * params.match
+                    - len(mismatches) * params.mismatch
+                    + params.full_length_bonus
+                )
+                best = _better(
+                    best,
+                    _SideResult(
+                        score, matched, mismatches, seq_pos, path, handle, offset, True
+                    ),
+                )
+        if dead or seq_pos >= seq_len:
+            continue
+        if expansions >= options.max_branches:
+            continue
+        successors = haplotypes.successors(state)
+        if counters is not None:
+            counters.branch_expansions += len(successors)
+        expansions += len(successors)
+        for succ_handle, succ_state in sorted(successors, reverse=True):
+            stack.append(
+                (succ_handle, 0, seq_pos, succ_state, path + (succ_handle,),
+                 mismatches, matched)
+            )
+    assert best is not None
+    return best
+
+
+def reference_extend_seed(
+    graph: VariationGraph,
+    haplotypes,
+    read_sequence: str,
+    read_offset: int,
+    position: Position,
+    options: Optional[ExtendOptions] = None,
+    params: Optional[ScoringParams] = None,
+    counters: Optional[KernelCounters] = None,
+) -> Optional[GaplessExtension]:
+    """The original two-sided ``extend_seed`` over the reference DFS."""
+    options = options or ExtendOptions()
+    params = params or ScoringParams()
+    handle, offset = position
+    if not 0 <= offset < graph.node_length(node_id(handle)):
+        raise ValueError(f"seed offset {offset} outside node")
+    if counters is not None:
+        counters.seeds_extended += 1
+
+    right = _reference_extend_side(
+        graph, haplotypes, read_sequence[read_offset:], handle, offset,
+        options, params, counters,
+    )
+    if right.consumed == 0 and read_offset < len(read_sequence):
+        return None
+
+    length = graph.node_length(node_id(handle))
+    left_sequence = reverse_complement(read_sequence[:read_offset])
+    left = _reference_extend_side(
+        graph, haplotypes, left_sequence, flip(handle), length - offset,
+        options, params, counters,
+    )
+
+    left_path = tuple(flip(h) for h in reversed(left.path))
+    if left.consumed > 0:
+        end_len = graph.node_length(node_id(left.end_handle))
+        start_position = (flip(left.end_handle), end_len - left.end_offset)
+        combined_path = left_path[:-1] + right.path
+    else:
+        start_position = (handle, offset)
+        combined_path = right.path
+
+    interval = (read_offset - left.consumed, read_offset + right.consumed)
+    left_mismatches = tuple(
+        read_offset - 1 - off for off in reversed(left.mismatch_offsets)
+    )
+    right_mismatches = tuple(read_offset + off for off in right.mismatch_offsets)
+    matched = left.matched + right.matched
+    mismatches = left_mismatches + right_mismatches
+    score = (
+        matched * params.match
+        - len(mismatches) * params.mismatch
+        + (params.full_length_bonus if left.reached_full else 0)
+        + (params.full_length_bonus if right.reached_full else 0)
+    )
+    return GaplessExtension(
+        path=combined_path,
+        read_interval=interval,
+        start_position=start_position,
+        mismatches=mismatches,
+        score=score,
+        left_full=left.reached_full,
+        right_full=right.reached_full,
+    )
+
+
+class ReferenceCachedGBWT:
+    """The original CachedGBWT (pre masked-probe/prefetch overhaul).
+
+    Open-addressing read-through cache with Fibonacci hashing computed
+    per probe and no bulk warm-up API; the search surface is identical
+    to :class:`repro.gbwt.cache.CachedGBWT` so the equivalence property
+    suite can drive both with the same traffic.
+    """
+
+    _MAX_LOAD = 0.75
+
+    def __init__(self, gbwt: GBWT, initial_capacity: int = 256):
+        if initial_capacity < 1:
+            raise ValueError("initial capacity must be positive")
+        self.gbwt = gbwt
+        self.initial_capacity = initial_capacity
+        capacity = 1
+        while capacity < initial_capacity:
+            capacity <<= 1
+        self._capacity = capacity
+        self._keys: List[Optional[int]] = [None] * self._capacity
+        self._values: List[Optional[DecompressedRecord]] = [None] * self._capacity
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+        self.rehashes = 0
+        self.probe_steps = 0
+
+    def _slot(self, key: int) -> int:
+        """Fibonacci-hash a key to its home slot."""
+        return ((key * 0x9E3779B97F4A7C15) >> 32) & (self._capacity - 1)
+
+    def _probe(self, key: int) -> int:
+        """Index of the slot holding ``key``, or the first empty slot."""
+        index = self._slot(key)
+        while True:
+            slot_key = self._keys[index]
+            if slot_key is None or slot_key == key:
+                return index
+            self.probe_steps += 1
+            index = (index + 1) & (self._capacity - 1)
+
+    def _grow(self) -> None:
+        """Double the table and reinsert every record."""
+        old_keys, old_values = self._keys, self._values
+        self._capacity <<= 1
+        self._keys = [None] * self._capacity
+        self._values = [None] * self._capacity
+        self._size = 0
+        self.rehashes += 1
+        for key, value in zip(old_keys, old_values):
+            if key is not None:
+                index = self._probe(key)
+                self._keys[index] = key
+                self._values[index] = value
+                self._size += 1
+
+    @property
+    def capacity(self) -> int:
+        """Current slot count (a power of two)."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Number of cached records."""
+        return self._size
+
+    def record(self, handle: int) -> DecompressedRecord:
+        """Fetch a record, decoding and caching it on first touch."""
+        index = self._probe(handle)
+        if self._keys[index] == handle:
+            self.hits += 1
+            return self._values[index]
+        self.misses += 1
+        record = self.gbwt.record(handle)
+        if (self._size + 1) / self._capacity > self._MAX_LOAD:
+            self._grow()
+            index = self._probe(handle)
+        self._keys[index] = handle
+        self._values[index] = record
+        self._size += 1
+        return record
+
+    def contains(self, handle: int) -> bool:
+        """True if the record for ``handle`` is currently cached."""
+        index = self._probe(handle)
+        return self._keys[index] == handle
+
+    def full_state(self, handle: int) -> SearchState:
+        """GBWT search-state for every haplotype visiting ``handle``."""
+        if not self.gbwt.has_node(handle):
+            return SearchState.empty_state()
+        return self.gbwt.full_state(handle, record=self.record(handle))
+
+    def extend(self, state: SearchState, successor: int) -> SearchState:
+        """Extend a search state through ``successor``."""
+        if state.empty:
+            return SearchState.empty_state()
+        return self.gbwt.extend(state, successor, record=self.record(state.node))
+
+    def successors(self, state: SearchState) -> List[Tuple[int, SearchState]]:
+        """Non-empty successor states of ``state``."""
+        if state.empty:
+            return []
+        return self.gbwt.successors(state, record=self.record(state.node))

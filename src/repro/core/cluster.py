@@ -6,6 +6,29 @@ cluster distance limit of each other are merged with a union-find; each
 cluster is scored by how much of the read its seeds cover (more coverage
 means a likelier mapping location), and the scored clusters feed the
 process-until-threshold driver.
+
+Hot-path structure (the sorted-sweep overhaul):
+
+* Seeds are projected onto the distance index's linear *chain
+  coordinates* and swept in coordinate order, so only candidate pairs
+  inside the ``cluster_distance + slack`` window ever reach the
+  distance index.  Every pair the sweep skips is exactly a pair the
+  index's own approximation test would have rejected, so the resulting
+  partition — and therefore the output — is bit-identical to the old
+  O(n²) all-pairs loop (kept as the oracle in
+  :mod:`repro.core._reference`), while ``KernelCounters.distance_queries``
+  drops to the candidate count.
+* The sweep short-circuits as soon as the union-find collapses to a
+  single component: any further query could only re-merge the one
+  component that already exists.
+* Coverage scoring sorts the seeds by read offset **once** per read and
+  buckets that order by cluster root, so :func:`_coverage` consumes
+  pre-sorted intervals instead of re-sorting per cluster.
+
+Indices without chain coordinates (anything lacking the
+``coordinate``/``slack`` surface of
+:class:`repro.index.distance.DistanceIndex`) fall back to the all-pairs
+loop, so duck-typed stand-ins keep working.
 """
 
 from __future__ import annotations
@@ -67,22 +90,99 @@ class Cluster:
 
 
 def _coverage(seeds: Sequence[Seed], seed_span: int, read_length: int) -> int:
-    """Read bases covered by the union of the seeds' k-mer spans."""
+    """Read bases covered by the union of the seeds' k-mer spans.
+
+    ``seeds`` must already be ordered by ascending ``read_offset`` —
+    :func:`cluster_seeds` sorts the read's seeds by offset once and
+    buckets that order per cluster, so this merge never re-sorts.
+    """
     covered = 0
-    intervals = sorted(
-        (s.read_offset, min(read_length, s.read_offset + seed_span)) for s in seeds
-    )
     current_start, current_end = None, None
-    for start, end in intervals:
+    for seed in seeds:
+        start = seed.read_offset
+        end = min(read_length, start + seed_span)
         if current_end is None or start > current_end:
             if current_end is not None:
                 covered += current_end - current_start
             current_start, current_end = start, end
-        else:
-            current_end = max(current_end, end)
+        elif end > current_end:
+            current_end = end
     if current_end is not None:
         covered += current_end - current_start
     return covered
+
+
+def _union_all_pairs(
+    distance_index,
+    ordered: Sequence[Seed],
+    uf: UnionFind,
+    limit: int,
+    counters: Optional[KernelCounters],
+) -> None:
+    """O(n²) pair enumeration for indexes without chain coordinates."""
+    count = len(ordered)
+    for i in range(count):
+        position_i = ordered[i].position
+        for j in range(i + 1, count):
+            if uf.find(i) == uf.find(j):
+                continue
+            if counters is not None:
+                counters.distance_queries += 1
+            if distance_index.within(position_i, ordered[j].position, limit):
+                uf.union(i, j)
+
+
+def _union_sorted_sweep(
+    distance_index,
+    ordered: Sequence[Seed],
+    uf: UnionFind,
+    limit: int,
+    counters: Optional[KernelCounters],
+) -> None:
+    """Sweep seeds in chain-coordinate order, querying only the window.
+
+    Two positions whose coordinates differ by more than
+    ``limit + slack`` are exactly the pairs
+    :meth:`repro.index.distance.DistanceIndex.min_distance` rejects by
+    its approximation test, so skipping them cannot change the
+    connected components.  The surviving candidate pairs are processed
+    in ascending coordinate-gap order: the nearest pairs are the ones
+    most likely within the limit, so the union-find collapses early and
+    the redundant same-component pairs are skipped before they are ever
+    queried (union-find components do not depend on pair order, so the
+    partition is still bit-identical to all-pairs).  The sweep stops
+    outright once every seed shares one component.
+    """
+    count = len(ordered)
+    coordinate = distance_index.coordinate
+    coords = [coordinate(seed.position) for seed in ordered]
+    # Stable sort: ties stay in canonical (Seed.sort_key) index order.
+    sweep = sorted(range(count), key=coords.__getitem__)
+    window = limit + distance_index.slack
+    pairs: List[Tuple[int, int, int]] = []
+    for a in range(count - 1):
+        i = sweep[a]
+        coord_i = coords[i]
+        for b in range(a + 1, count):
+            j = sweep[b]
+            gap = coords[j] - coord_i
+            if gap > window:
+                break
+            pairs.append((gap, i, j))
+    pairs.sort()
+    components = count
+    find = uf.find
+    within = distance_index.within
+    for _, i, j in pairs:
+        if find(i) == find(j):
+            continue
+        if counters is not None:
+            counters.distance_queries += 1
+        if within(ordered[i].position, ordered[j].position, limit):
+            uf.union(i, j)
+            components -= 1
+            if components == 1:
+                return
 
 
 def cluster_seeds(
@@ -97,27 +197,35 @@ def cluster_seeds(
 
     ``seed_span`` is the k-mer length the seeds anchor (coverage is
     computed from it).  Returns clusters sorted best-first with a
-    deterministic total order.
+    deterministic total order.  Output is bit-identical to the frozen
+    all-pairs reference (:mod:`repro.core._reference`); only the number
+    of distance queries differs.
     """
     options = options or ProcessOptions()
     if not seeds:
         return []
     ordered = sorted(seeds, key=Seed.sort_key)
-    uf = UnionFind(len(ordered))
-    for i in range(len(ordered)):
-        for j in range(i + 1, len(ordered)):
-            if uf.find(i) == uf.find(j):
-                continue
-            if counters is not None:
-                counters.distance_queries += 1
-            if distance_index.within(
-                ordered[i].position, ordered[j].position, options.cluster_distance
-            ):
-                uf.union(i, j)
+    count = len(ordered)
+    uf = UnionFind(count)
+    limit = options.cluster_distance
+    if count > 1:
+        if hasattr(distance_index, "coordinate") and hasattr(
+            distance_index, "slack"
+        ):
+            _union_sorted_sweep(distance_index, ordered, uf, limit, counters)
+        else:
+            _union_all_pairs(distance_index, ordered, uf, limit, counters)
+    # One global sort by read offset; bucketing by root preserves it per
+    # cluster, so _coverage receives pre-sorted intervals.
+    read_order_by_root = {}
+    for idx in sorted(range(count), key=lambda i: ordered[i].read_offset):
+        read_order_by_root.setdefault(uf.find(idx), []).append(ordered[idx])
     clusters: List[Cluster] = []
     for group in uf.groups():
         members = tuple(ordered[i] for i in group)
-        coverage = _coverage(members, seed_span, read_length)
+        coverage = _coverage(
+            read_order_by_root[uf.find(group[0])], seed_span, read_length
+        )
         score = coverage * 4 + len(members)
         clusters.append(Cluster(seeds=members, score=score, coverage=coverage))
         if counters is not None:

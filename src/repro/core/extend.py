@@ -13,6 +13,22 @@ explored in sorted handle order, prefixes ending after a match are
 candidate endpoints, and ties are broken by (fewer mismatches, shorter
 path, lexicographic path) so the parent application and the proxy
 produce *identical* output regardless of scheduling.
+
+Hot-path structure (the packed-word overhaul): node and read sequences
+are 2-bit packed into integers (the graph's
+:class:`~repro.graph.variation_graph.PackedSequenceTable` side table,
+built at load time and memoized per oriented handle; the read packed
+once per call via :class:`PackedRead`), so the per-base comparison loop
+collapses to one XOR per node/read overlap with the first mismatch
+located by a lowest-set-bit scan.  Candidate endpoints are emitted once
+per *match run* instead of once per matched base — provably the same
+winner under the deterministic preference order whenever the match
+bonus is positive — and the DFS bulk-``prefetch``\\ es successor GBWT
+records into the cache before expanding them.  The result is
+bit-identical to the frozen reference implementation
+(:mod:`repro.core._reference`): same extensions, same counters.  Reads
+containing anything outside uppercase ACGT, and degenerate scoring with
+``match == 0``, fall back to the original per-base loop.
 """
 
 from __future__ import annotations
@@ -21,12 +37,46 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.graph.handle import Handle, flip, node_id, reverse_complement
-from repro.graph.variation_graph import VariationGraph
+from repro.graph.variation_graph import VariationGraph, pack_sequence
 from repro.core.options import ExtendOptions
 from repro.core.scoring import ScoringParams
 
 #: A graph position: ``offset`` bases into the oriented node ``handle``.
 Position = Tuple[Handle, int]
+
+
+class PackedRead:
+    """A read and its reverse complement, 2-bit packed once per read.
+
+    Both directions of every seed extension consume slices of the same
+    read, so the driver packs it a single time and the kernel derives
+    each slice's packed form with one shift + mask:
+
+    * forward suffix ``read[k:]`` is ``fwd >> 2k``;
+    * ``reverse_complement(read[:k])`` is the length-``k`` suffix of
+      the packed reverse complement, i.e. ``rc >> 2(n - k)``.
+
+    ``valid`` is False when the read contains non-ACGT characters, in
+    which case the kernel falls back to per-character comparison.
+    """
+
+    __slots__ = ("length", "fwd", "rc", "valid")
+
+    def __init__(self, sequence: str):
+        self.length = len(sequence)
+        self.fwd = pack_sequence(sequence)
+        self.valid = self.fwd is not None
+        self.rc = (
+            pack_sequence(reverse_complement(sequence)) if self.valid else None
+        )
+
+    def suffix(self, start: int) -> int:
+        """Packed ``read[start:]``."""
+        return self.fwd >> (start << 1)
+
+    def rc_prefix(self, end: int) -> int:
+        """Packed ``reverse_complement(read[:end])``."""
+        return self.rc >> ((self.length - end) << 1)
 
 
 @dataclass
@@ -124,6 +174,7 @@ def _extend_side(
     options: ExtendOptions,
     params: ScoringParams,
     counters: Optional[KernelCounters],
+    packed_seq: Optional[int] = None,
 ) -> _SideResult:
     """Best gapless extension consuming ``sequence`` from one position.
 
@@ -132,6 +183,12 @@ def _extend_side(
     The walk may begin exactly at a node boundary
     (``start_offset == node length``), in which case it immediately
     branches to haplotype-consistent successors.
+
+    ``packed_seq`` is the 2-bit packed form of ``sequence`` when the
+    caller has one (:class:`PackedRead` slices); with it — and a
+    positive match score — the comparison loop runs word-at-a-time over
+    the graph's packed-sequence table.  Without it the original
+    per-base loop runs; both produce identical results and counters.
     """
     empty = _SideResult(
         score=params.full_length_bonus if not sequence else 0,
@@ -150,6 +207,17 @@ def _extend_side(
     state0 = haplotypes.full_state(start_handle)
     if state0.empty:
         return empty
+    # The packed fast path needs a strictly positive match score: the
+    # run-endpoint candidate only dominates its intermediate prefixes
+    # (making the per-base _better calls redundant) when every extra
+    # matched base strictly raises the score.
+    fast = packed_seq is not None and params.match > 0
+    packed_table = graph.packed_sequences() if fast else None
+    prefetch = getattr(haplotypes, "prefetch", None)
+    match_score = params.match
+    mismatch_cost = params.mismatch
+    bonus = params.full_length_bonus
+    max_mismatches = options.max_mismatches
     expansions = 0
     # Frame: (handle, offset, seq_pos, state, path, mismatches, matched)
     stack: List[tuple] = [
@@ -164,52 +232,115 @@ def _extend_side(
         # Branch-and-bound: even matching every remaining base cannot
         # beat the current best.
         potential = (
-            (matched + (seq_len - seq_pos)) * params.match
-            - len(mismatches) * params.mismatch
-            + params.full_length_bonus
+            (matched + (seq_len - seq_pos)) * match_score
+            - len(mismatches) * mismatch_cost
+            + bonus
         )
         if best is not None and potential < best.score:
             continue
         dead = False
-        while offset < length and seq_pos < seq_len:
-            if counters is not None:
-                counters.base_comparisons += 1
-            if graph.base(handle, offset) == sequence[seq_pos]:
-                matched += 1
+        if fast:
+            node_packed = packed_table.fetch(handle)
+            while offset < length and seq_pos < seq_len:
+                span = length - offset
+                remaining = seq_len - seq_pos
+                if remaining < span:
+                    span = remaining
+                diff = (
+                    (node_packed >> (offset << 1))
+                    ^ (packed_seq >> (seq_pos << 1))
+                ) & ((1 << (span << 1)) - 1)
+                # First differing base via lowest set bit; a clean XOR
+                # means the whole overlap matched.
+                run = (
+                    span if diff == 0
+                    else ((diff & -diff).bit_length() - 1) >> 1
+                )
+                if run:
+                    matched += run
+                    offset += run
+                    seq_pos += run
+                    if counters is not None:
+                        counters.base_comparisons += run
+                    full = seq_pos == seq_len
+                    score = (
+                        matched * match_score
+                        - len(mismatches) * mismatch_cost
+                        + (bonus if full else 0)
+                    )
+                    best = _better(
+                        best,
+                        _SideResult(
+                            score, matched, mismatches, seq_pos, path,
+                            handle, offset, full,
+                        ),
+                    )
+                if diff == 0:
+                    continue
+                if counters is not None:
+                    counters.base_comparisons += 1
+                if len(mismatches) >= max_mismatches:
+                    dead = True
+                    break
+                mismatches = mismatches + (seq_pos,)
                 offset += 1
                 seq_pos += 1
-                full = seq_pos == seq_len
-                score = (
-                    matched * params.match
-                    - len(mismatches) * params.mismatch
-                    + (params.full_length_bonus if full else 0)
-                )
-                best = _better(
-                    best,
-                    _SideResult(
-                        score, matched, mismatches, seq_pos, path, handle, offset, full
-                    ),
-                )
-                continue
-            if len(mismatches) >= options.max_mismatches:
-                dead = True
-                break
-            mismatches = mismatches + (seq_pos,)
-            offset += 1
-            seq_pos += 1
-            if seq_pos == seq_len:
-                # A terminal mismatch can still pay off via the bonus.
-                score = (
-                    matched * params.match
-                    - len(mismatches) * params.mismatch
-                    + params.full_length_bonus
-                )
-                best = _better(
-                    best,
-                    _SideResult(
-                        score, matched, mismatches, seq_pos, path, handle, offset, True
-                    ),
-                )
+                if seq_pos == seq_len:
+                    # A terminal mismatch can still pay off via the bonus.
+                    score = (
+                        matched * match_score
+                        - len(mismatches) * mismatch_cost
+                        + bonus
+                    )
+                    best = _better(
+                        best,
+                        _SideResult(
+                            score, matched, mismatches, seq_pos, path,
+                            handle, offset, True,
+                        ),
+                    )
+        else:
+            while offset < length and seq_pos < seq_len:
+                if counters is not None:
+                    counters.base_comparisons += 1
+                if graph.base(handle, offset) == sequence[seq_pos]:
+                    matched += 1
+                    offset += 1
+                    seq_pos += 1
+                    full = seq_pos == seq_len
+                    score = (
+                        matched * match_score
+                        - len(mismatches) * mismatch_cost
+                        + (bonus if full else 0)
+                    )
+                    best = _better(
+                        best,
+                        _SideResult(
+                            score, matched, mismatches, seq_pos, path,
+                            handle, offset, full,
+                        ),
+                    )
+                    continue
+                if len(mismatches) >= max_mismatches:
+                    dead = True
+                    break
+                mismatches = mismatches + (seq_pos,)
+                offset += 1
+                seq_pos += 1
+                if seq_pos == seq_len:
+                    # A terminal mismatch can still pay off via the bonus.
+                    score = (
+                        matched * match_score
+                        - len(mismatches) * mismatch_cost
+                        + bonus
+                    )
+                    best = _better(
+                        best,
+                        _SideResult(
+                            score, matched, mismatches, seq_pos, path,
+                            handle, offset, True,
+                        ),
+                    )
         if dead or seq_pos >= seq_len:
             continue
         # Node boundary: branch to haplotype-consistent successors.
@@ -219,6 +350,11 @@ def _extend_side(
         if counters is not None:
             counters.branch_expansions += len(successors)
         expansions += len(successors)
+        if prefetch is not None and len(successors) > 1:
+            # Warm the records the frames below will decode anyway; the
+            # single-successor case is skipped because the record is
+            # needed on the very next pop.
+            prefetch([succ_handle for succ_handle, _ in successors])
         # Push in reverse-sorted order so DFS explores ascending handles.
         for succ_handle, succ_state in sorted(successors, reverse=True):
             stack.append(
@@ -238,6 +374,7 @@ def extend_seed(
     options: Optional[ExtendOptions] = None,
     params: Optional[ScoringParams] = None,
     counters: Optional[KernelCounters] = None,
+    packed_read: Optional[PackedRead] = None,
 ) -> Optional[GaplessExtension]:
     """Best gapless extension of one seed in both directions.
 
@@ -245,6 +382,10 @@ def extend_seed(
     The two directions are searched independently: rightwards from the
     seed base, and leftwards by right-extending the reverse complement
     of the read prefix from the flipped position.
+
+    ``packed_read`` lets a driver extending many seeds of the same read
+    (:func:`repro.core.process.process_until_threshold`) pack it once;
+    when omitted it is packed here.
     """
     options = options or ExtendOptions()
     params = params or ScoringParams()
@@ -253,10 +394,14 @@ def extend_seed(
         raise ValueError(f"seed offset {offset} outside node")
     if counters is not None:
         counters.seeds_extended += 1
+    if packed_read is None:
+        packed_read = PackedRead(read_sequence)
+    packable = packed_read.valid
 
     right = _extend_side(
         graph, haplotypes, read_sequence[read_offset:], handle, offset,
         options, params, counters,
+        packed_seq=packed_read.suffix(read_offset) if packable else None,
     )
     if right.consumed == 0 and read_offset < len(read_sequence):
         # The seed base itself is off-haplotype or immediately dead.
@@ -267,6 +412,7 @@ def extend_seed(
     left = _extend_side(
         graph, haplotypes, left_sequence, flip(handle), length - offset,
         options, params, counters,
+        packed_seq=packed_read.rc_prefix(read_offset) if packable else None,
     )
 
     # Convert the flipped left walk back to read orientation.

@@ -15,6 +15,7 @@ from repro.core.cluster import Cluster
 from repro.core.extend import (
     GaplessExtension,
     KernelCounters,
+    PackedRead,
     dedupe_extensions,
     extend_seed,
 )
@@ -48,6 +49,8 @@ def process_until_threshold(
         return []
     best_score = clusters[0].score
     cutoff = best_score * process_options.score_threshold_factor
+    # Pack the read once; every seed extension slices the same words.
+    packed_read = PackedRead(read_sequence)
     extensions: List[GaplessExtension] = []
     for index, cluster in enumerate(clusters):
         if index >= process_options.max_clusters:
@@ -64,6 +67,7 @@ def process_until_threshold(
                 options=extend_options,
                 params=scoring,
                 counters=counters,
+                packed_read=packed_read,
             )
             if extension is not None and extension.length > 0:
                 extensions.append(extension)

@@ -106,6 +106,10 @@ class MiniGiraffe:
         self.seed_span = seed_span
         self.scoring = scoring or ScoringParams()
         self.distance_index = distance_index or DistanceIndex(gbz.graph)
+        # Build the packed-sequence side table during single-threaded
+        # setup so worker threads only ever read it (repro races audits
+        # this invariant).
+        gbz.graph.packed_sequences()
 
     @classmethod
     def from_files(

@@ -99,6 +99,9 @@ class GiraffeMapper:
             gbz.graph, k=self.options.minimizer_k, w=self.options.minimizer_w
         )
         self.distance_index = DistanceIndex(gbz.graph)
+        # Pack node sequences up front; the extension kernel's packed
+        # fast path reads the table from every worker thread.
+        gbz.graph.packed_sequences()
 
     # -- the per-read mapping workflow ------------------------------------
 

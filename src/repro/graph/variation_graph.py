@@ -22,6 +22,75 @@ from repro.graph.handle import (
 
 _VALID_BASES = frozenset("ACGT")
 
+#: 2-bit base codes chosen so that complementing is ``code ^ 3``
+#: (A=00 ↔ T=11, C=01 ↔ G=10) — the property the packed
+#: reverse-complement construction relies on.
+BASE_CODES = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+
+def pack_sequence(sequence: str) -> Optional[int]:
+    """2-bit-pack a DNA string into one integer (base ``i`` at bits 2i).
+
+    Returns None when the sequence contains anything outside uppercase
+    ACGT — callers fall back to per-character comparison for such
+    inputs.  The empty string packs to 0.
+    """
+    packed = 0
+    codes = BASE_CODES
+    try:
+        for ch in reversed(sequence):
+            packed = (packed << 2) | codes[ch]
+    except KeyError:
+        return None
+    return packed
+
+
+class PackedSequenceTable:
+    """Immutable 2-bit packed node sequences, keyed by oriented handle.
+
+    The extension kernel's inner loop compares read bases against node
+    bases; with both sides packed two bits per base, a whole
+    node-vs-read overlap collapses to one XOR plus a lowest-set-bit
+    scan (:mod:`repro.core.extend`).  The table is built **once, at
+    load time, by a single thread** — both orientations of every node
+    are packed eagerly — and is strictly read-only afterwards, so
+    worker threads share it without locks (``repro races`` audits the
+    proxy with this table watched; an unsynchronized post-build write
+    would be flagged).
+
+    Handles added to the graph *after* the table was built are served
+    by packing on the fly without memoizing (no post-build writes);
+    :meth:`VariationGraph.packed_sequences` rebuilds the table when it
+    notices new nodes.
+    """
+
+    def __init__(self, graph: "VariationGraph"):
+        packed: Dict[Handle, int] = {}
+        for nid in graph.node_ids():
+            fwd = forward(nid)
+            sequence = graph.sequence(fwd)
+            packed[fwd] = pack_sequence(sequence)
+            packed[flip(fwd)] = pack_sequence(reverse_complement(sequence))
+        self._graph = graph
+        self._packed = packed
+        #: Node count at build time (staleness check for rebuilds).
+        self.built_nodes = graph.node_count()
+
+    def fetch(self, handle: Handle) -> int:
+        """Packed oriented sequence of ``handle`` (memoized at build).
+
+        Unknown handles (nodes added after the build) are packed on the
+        fly and **not** cached, keeping the table write-free after
+        construction.
+        """
+        packed = self._packed.get(handle)
+        if packed is None:
+            return pack_sequence(self._graph.sequence(handle))
+        return packed
+
+    def __len__(self) -> int:
+        return len(self._packed)
+
 
 @dataclass
 class Path:
@@ -51,6 +120,23 @@ class VariationGraph:
         self._edges_out: Dict[Handle, List[Handle]] = {}
         self.paths: Dict[str, Path] = {}
         self._next_id = 1
+        self._packed_table: Optional[PackedSequenceTable] = None
+
+    def packed_sequences(self) -> PackedSequenceTable:
+        """The packed-sequence side table, (re)built when nodes changed.
+
+        Build happens lazily on first use and again whenever the node
+        count moved; callers that share a graph across worker threads
+        (the proxy, the parent mapper) invoke this once during
+        single-threaded setup so workers only ever *read* the table.
+        Concurrent first calls would each build an identical immutable
+        table and benignly race on which one is kept.
+        """
+        table = self._packed_table
+        if table is None or table.built_nodes != self.node_count():
+            table = PackedSequenceTable(self)
+            self._packed_table = table
+        return table
 
     # -- node operations ------------------------------------------------
 

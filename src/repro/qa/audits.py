@@ -106,18 +106,27 @@ def audit_chaos(threads: int = 4, items: int = 128, batch_size: int = 4,
 
 def audit_proxy(threads: int = 3, reads: int = 18,
                 batch_size: int = 2) -> RaceDetector:
-    """Lockset-audit CachedGBWT under real proxy runs.
+    """Lockset-audit CachedGBWT and the packed-sequence table under
+    real proxy runs.
 
     Maps a tiny synthetic read set once per scheduling policy with the
     cache's hash-table internals and statistics counters watched.  The
     caches are created per-worker (inside the worker thread, under the
     setup lock), so the expected verdict is "exclusively accessed":
     any cross-thread write the instrumentation sees is a regression.
+
+    The graph's :class:`~repro.graph.variation_graph.PackedSequenceTable`
+    is watched too: it is built once during single-threaded setup and
+    must be strictly read-only while worker threads share it — the
+    extension kernel's packed fast path depends on that invariant, and
+    a post-build write (e.g. someone re-introducing lazy memoization in
+    ``fetch``) would be flagged here.
     """
     from repro.core.options import ProxyOptions
     from repro.core.proxy import MiniGiraffe
     from repro.gbwt.cache import CachedGBWT
     from repro.giraffe import GiraffeMapper, GiraffeOptions
+    from repro.graph.variation_graph import PackedSequenceTable, VariationGraph
     from repro.workloads import build_pangenome
     from repro.workloads.reads import ReadSimulator
 
@@ -140,8 +149,10 @@ def audit_proxy(threads: int = 3, reads: int = 18,
     detector = RaceDetector()
     detector.watch(
         CachedGBWT, "hits", "misses", "rehashes", "probe_steps", "storms",
-        "_size", "_keys", "_values", "_capacity",
+        "prefetched", "_size", "_keys", "_values", "_capacity", "_mask",
     )
+    detector.watch(PackedSequenceTable, "_packed", "built_nodes")
+    detector.watch(VariationGraph, "_packed_table")
     with detector:
         for scheduler in ("static", "dynamic", "work_stealing"):
             proxy = MiniGiraffe(

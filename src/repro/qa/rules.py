@@ -33,6 +33,7 @@ DOC_DIRS = (
     "repro/analysis/",
     "repro/resilience/",
     "repro/qa/",
+    "repro/tuning/",
 )
 
 _GUARDED_RE = re.compile(r"#\s*qa:\s*guarded-by\(([^)]+)\)")

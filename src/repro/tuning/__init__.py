@@ -16,6 +16,20 @@ from repro.tuning.search import (
 )
 from repro.tuning.results import ResultStore, geometric_mean
 from repro.tuning.anova import anova_by_factor, AnovaReport
+from repro.tuning.sweep import (
+    SweepGrid,
+    TUNE_SCHEMA,
+    load_sweep,
+    run_sweep,
+    smoke_grid,
+    sweep_to_bench_report,
+)
+from repro.tuning.model import (
+    SweepEntry,
+    SweepSummary,
+    best_entry,
+    summarize_sweep,
+)
 
 __all__ = [
     "GridSearch",
@@ -27,4 +41,14 @@ __all__ = [
     "geometric_mean",
     "anova_by_factor",
     "AnovaReport",
+    "SweepGrid",
+    "TUNE_SCHEMA",
+    "load_sweep",
+    "run_sweep",
+    "smoke_grid",
+    "sweep_to_bench_report",
+    "SweepEntry",
+    "SweepSummary",
+    "best_entry",
+    "summarize_sweep",
 ]

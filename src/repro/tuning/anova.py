@@ -46,6 +46,7 @@ class AnovaReport:
         return min(self.factors.values(), key=lambda f: f.p_value)
 
     def summary(self) -> str:
+        """One-line F/p rundown of every factor, sorted by name."""
         parts = [
             f"{name}: F={res.f_statistic:.2f}, p={res.p_value:.3f}"
             for name, res in sorted(self.factors.items())

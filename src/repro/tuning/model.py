@@ -1,0 +1,132 @@
+"""Best-configuration selection over a measured sweep (Table VIII).
+
+Consumes the ``repro.tune/v1`` reports :func:`repro.tuning.sweep.run_sweep`
+produces and answers the paper's Table VIII questions: which grid point
+is fastest, how much faster than the defaults it is, and what the tuned
+configuration did to the kernel operation mix (most visibly the
+``distance_queries`` drop the sorted-sweep clustering delivers).
+:func:`repro.analysis.tunereport.render_tune_report` turns the summary
+into the human-readable report ``repro tune --measured`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.tuning.results import geometric_mean
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One measured grid point, distilled from its bench-shaped entry."""
+
+    key: str
+    scheduler: str
+    batch_size: int
+    cache_capacity: int
+    threads: int
+    wall_time: float
+    kernel_ops: Dict[str, int] = field(default_factory=dict)
+    cache_hit_rate: float = 0.0
+
+    @classmethod
+    def from_entry(cls, entry: Dict[str, object]) -> "SweepEntry":
+        """Distill a :func:`repro.obs.bench.run_config` result entry."""
+        config = entry["config"]
+        cache = entry.get("cache") or {}
+        hits = cache.get("hits", 0.0) or 0.0
+        misses = cache.get("misses", 0.0) or 0.0
+        total = hits + misses
+        return cls(
+            key=entry["key"],
+            scheduler=config["scheduler"],
+            batch_size=config["batch_size"],
+            cache_capacity=config["cache_capacity"],
+            threads=config["threads"],
+            wall_time=entry["wall_time"],
+            kernel_ops=dict(entry.get("kernel_ops") or {}),
+            cache_hit_rate=hits / total if total else 0.0,
+        )
+
+    def label(self) -> str:
+        """Compact configuration label (scheduler/batch/capacity)."""
+        return (
+            f"{self.scheduler}/b{self.batch_size}/c{self.cache_capacity}"
+            f"/t{self.threads}"
+        )
+
+
+@dataclass
+class SweepSummary:
+    """A sweep reduced to the Table VIII row shape."""
+
+    input_set: str
+    default: SweepEntry
+    best: SweepEntry
+    entries: List[SweepEntry]
+    #: Best-vs-default wall-clock speedup (the tuned speedup).
+    speedup: float
+    #: Geometric mean of every grid point's speedup over the default —
+    #: how much of the grid beats the defaults, not just the winner.
+    geomean_speedup: float
+    #: Workload distance-query totals: the optimized sorted-sweep count
+    #: next to the all-pairs reference count (empty for old reports).
+    clustering: Dict[str, int] = field(default_factory=dict)
+
+    def distance_query_reduction(self) -> Optional[float]:
+        """Fraction of all-pairs distance queries the sweep eliminated.
+
+        ``None`` when the report lacks the clustering comparison or the
+        all-pairs count is zero (e.g. single-seed reads throughout).
+        """
+        allpairs = self.clustering.get("distance_queries_allpairs", 0)
+        if allpairs <= 0:
+            return None
+        return 1.0 - self.clustering["distance_queries"] / allpairs
+
+    def ops_delta(self) -> Dict[str, float]:
+        """Relative kernel-op change of the best config vs the default.
+
+        Operation counts are scheduling-invariant, so for a fixed input
+        any differences come from the configuration itself; the entry
+        exists mostly to surface ``distance_queries`` when grids span
+        clustering-relevant knobs.
+        """
+        deltas: Dict[str, float] = {}
+        for op, base in sorted(self.default.kernel_ops.items()):
+            current = self.best.kernel_ops.get(op)
+            if current is None or base <= 0:
+                continue
+            deltas[op] = (current - base) / base
+        return deltas
+
+
+def best_entry(entries: Sequence[SweepEntry]) -> SweepEntry:
+    """Fastest entry, deterministic tie-break on the config key."""
+    if not entries:
+        raise ValueError("no sweep entries to pick from")
+    return min(entries, key=lambda e: (e.wall_time, e.key))
+
+
+def summarize_sweep(report: Dict[str, object]) -> SweepSummary:
+    """Reduce a ``repro.tune/v1`` report to its Table VIII summary."""
+    entries = [SweepEntry.from_entry(e) for e in report["entries"]]
+    default = SweepEntry.from_entry(report["default"])
+    best = best_entry(entries)
+    if default.wall_time <= 0 or best.wall_time <= 0:
+        raise ValueError("sweep wall times must be positive")
+    speedups = [
+        default.wall_time / entry.wall_time
+        for entry in entries
+        if entry.wall_time > 0
+    ]
+    return SweepSummary(
+        input_set=report["input_set"],
+        default=default,
+        best=best,
+        entries=entries,
+        speedup=default.wall_time / best.wall_time,
+        geomean_speedup=geometric_mean(speedups),
+        clustering=dict(report.get("clustering") or {}),
+    )

@@ -32,15 +32,18 @@ class ResultStore:
         self._defaults: Dict[Tuple[str, str], TuningResult] = {}
 
     def add_results(self, results: Iterable[TuningResult]) -> None:
+        """Append grid points to the store."""
         self._results.extend(results)
 
     def add_default(self, result: TuningResult) -> None:
+        """Record the default-parameter run for a result's (input, platform)."""
         self._defaults[(result.input_set, result.platform)] = result
 
     def __len__(self) -> int:
         return len(self._results)
 
     def results_for(self, input_set: str, platform: str) -> List[TuningResult]:
+        """Every stored grid point of one (input set, platform) pair."""
         return [
             r
             for r in self._results
@@ -48,6 +51,7 @@ class ResultStore:
         ]
 
     def default_for(self, input_set: str, platform: str) -> Optional[TuningResult]:
+        """The recorded default-parameter run, or None if absent."""
         return self._defaults.get((input_set, platform))
 
     def pairs(self) -> List[Tuple[str, str]]:
@@ -55,6 +59,7 @@ class ResultStore:
         return sorted({(r.input_set, r.platform) for r in self._results})
 
     def best_for(self, input_set: str, platform: str) -> TuningResult:
+        """Fastest grid point of one pair (deterministic tie-break)."""
         results = self.results_for(input_set, platform)
         if not results:
             raise KeyError(f"no results for ({input_set}, {platform})")

@@ -35,6 +35,7 @@ class TuningResult:
     makespan: float
 
     def row(self) -> dict:
+        """Flat CSV-ready representation of this grid point."""
         return {
             "input_set": self.input_set,
             "platform": self.platform,

@@ -1,0 +1,231 @@
+"""Measured autotuning sweep: run the real proxy over the paper's grid.
+
+The model-based :class:`repro.tuning.search.GridSearch` predicts
+makespans from a workload profile; this module complements it by
+*measuring* them — every grid point is executed through
+:func:`repro.obs.bench.run_config`, so a sweep entry carries exactly the
+same wall-time / kernel-op / cache-statistics payload a bench report
+does and can be fed straight back into the ``repro bench`` trajectory
+(``repro tune --measured --bench-out`` writes a ``BENCH_*.json``).
+
+The default grid is the paper's shape — all three schedulers crossed
+with power-of-two batch sizes and CachedGBWT capacities, on the
+10%-subsampled input — sized to stay tractable on the synthetic
+workloads; :func:`smoke_grid` is the 2×2×2 miniature CI keeps alive
+(``scripts/ci.sh --tune-smoke``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_module
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    run_config,
+)
+
+#: Versioned schema tag for sweep reports (bump on breaking change).
+TUNE_SCHEMA = "repro.tune/v1"
+TUNE_SCHEMA_VERSION = 1
+
+#: The measured grid: every scheduler the proxy implements.
+MEASURED_SCHEDULERS: Sequence[str] = ("static", "dynamic", "work_stealing")
+#: Powers of two around the proxy's defaults (paper: 128–2048, scaled to
+#: the synthetic workload sizes).
+MEASURED_BATCH_SIZES: Sequence[int] = (64, 256, 1024)
+MEASURED_CAPACITIES: Sequence[int] = (64, 256, 1024)
+
+#: The proxy's default parameters (ProxyOptions defaults: OpenMP-style
+#: dynamic scheduling, batch 512, capacity 256) — what tuned speedups
+#: are measured against, as in Table VIII.
+DEFAULT_SCHEDULER = "dynamic"
+DEFAULT_BATCH_SIZE = 512
+DEFAULT_CACHE_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The cross-product a measured sweep evaluates."""
+
+    schedulers: Sequence[str] = MEASURED_SCHEDULERS
+    batch_sizes: Sequence[int] = MEASURED_BATCH_SIZES
+    capacities: Sequence[int] = MEASURED_CAPACITIES
+    threads: int = 2
+    scale: float = 0.1
+    repeats: int = 3
+
+    def __post_init__(self):
+        if not (self.schedulers and self.batch_sizes and self.capacities):
+            raise ValueError("sweep grid must have at least one point per axis")
+
+    def size(self) -> int:
+        """Number of grid points (excluding the default run)."""
+        return len(self.schedulers) * len(self.batch_sizes) * len(self.capacities)
+
+    def configs(self, input_set: str) -> List[BenchConfig]:
+        """The grid as bench configurations, in deterministic order."""
+        return [
+            BenchConfig(
+                input_set=input_set,
+                scheduler=scheduler,
+                batch_size=batch_size,
+                cache_capacity=capacity,
+                threads=self.threads,
+                scale=self.scale,
+                repeats=self.repeats,
+            )
+            for scheduler in self.schedulers
+            for batch_size in self.batch_sizes
+            for capacity in self.capacities
+        ]
+
+    def default_config(self, input_set: str) -> BenchConfig:
+        """The proxy-default configuration at the same thread count."""
+        return BenchConfig(
+            input_set=input_set,
+            scheduler=DEFAULT_SCHEDULER,
+            batch_size=DEFAULT_BATCH_SIZE,
+            cache_capacity=DEFAULT_CACHE_CAPACITY,
+            threads=self.threads,
+            scale=self.scale,
+            repeats=self.repeats,
+        )
+
+
+def smoke_grid() -> SweepGrid:
+    """The 2×2×2 mini-sweep CI runs (``scripts/ci.sh --tune-smoke``)."""
+    return SweepGrid(
+        schedulers=("dynamic", "work_stealing"),
+        batch_sizes=(16, 64),
+        capacities=(64, 256),
+        scale=0.05,
+        repeats=1,
+    )
+
+
+def _clustering_query_counts(context, seed_span: int, distance_index) -> Dict[str, int]:
+    """Distance-query totals of the sweep's workload, optimized vs all-pairs.
+
+    Clustering is configuration-invariant, so one pass over the read
+    records with each implementation gives the Table VIII report its
+    ``distance_queries`` comparison: the optimized sorted-sweep count
+    (what every grid entry's ``kernel_ops`` shows) against what the
+    frozen all-pairs reference would have paid on the same seeds.
+    """
+    from repro.core._reference import reference_cluster_seeds
+    from repro.core.cluster import cluster_seeds
+    from repro.core.extend import KernelCounters
+
+    optimized, allpairs = KernelCounters(), KernelCounters()
+    for record in context.records:
+        cluster_seeds(
+            distance_index, record.seeds, len(record.sequence), seed_span,
+            counters=optimized,
+        )
+        reference_cluster_seeds(
+            distance_index, record.seeds, len(record.sequence), seed_span,
+            counters=allpairs,
+        )
+    return {
+        "distance_queries": optimized.distance_queries,
+        "distance_queries_allpairs": allpairs.distance_queries,
+    }
+
+
+def run_sweep(
+    input_set: str,
+    grid: Optional[SweepGrid] = None,
+    platform: str = "local-intel",
+    progress=None,
+) -> Dict[str, object]:
+    """Measure every grid point plus the default; returns the report.
+
+    The report is schema-versioned (``repro.tune/v1``) and embeds one
+    :func:`repro.obs.bench.run_config` entry per grid point under
+    ``"entries"`` plus the default-parameter run under ``"default"`` —
+    the same entry shape a bench report carries, so the sweep can be
+    replayed into the bench trajectory.  ``"clustering"`` records the
+    workload's distance-query total next to what the all-pairs
+    reference would have paid.  ``progress`` is an optional callable
+    invoked with each entry as it completes.
+    """
+    from repro.obs.bench import _WorkloadCache
+
+    grid = grid or SweepGrid()
+    workloads = _WorkloadCache()
+    entries: List[Dict[str, object]] = []
+    for config in grid.configs(input_set):
+        entry = run_config(config, workloads=workloads, platform=platform)
+        entries.append(entry)
+        if progress is not None:
+            progress(entry)
+    default_entry = run_config(
+        grid.default_config(input_set), workloads=workloads, platform=platform
+    )
+    if progress is not None:
+        progress(default_entry)
+    context = workloads.context(input_set, grid.scale)
+    clustering = _clustering_query_counts(
+        context, context.bundle.spec.minimizer_k, context.mapper.distance_index
+    )
+    return {
+        "schema": TUNE_SCHEMA,
+        "schema_version": TUNE_SCHEMA_VERSION,
+        "input_set": input_set,
+        "grid": {
+            "schedulers": list(grid.schedulers),
+            "batch_sizes": list(grid.batch_sizes),
+            "capacities": list(grid.capacities),
+            "threads": grid.threads,
+            "scale": grid.scale,
+            "repeats": grid.repeats,
+        },
+        "entries": entries,
+        "default": default_entry,
+        "clustering": clustering,
+    }
+
+
+def sweep_to_bench_report(report: Dict[str, object]) -> Dict[str, object]:
+    """Repackage a sweep report as a ``repro.bench/v1`` report.
+
+    Every grid entry (and the default run) already has the bench entry
+    shape; this wraps them with the bench schema header so
+    :func:`repro.obs.bench.write_report` can persist the sweep into the
+    ``BENCH_*.json`` trajectory, recording the tuned speedup alongside
+    the regular suites.
+    """
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": f"tune:{report['input_set']}",
+        "created_unix": time.time(),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform_module.platform(),
+        },
+        "configs": list(report["entries"]) + [report["default"]],
+    }
+
+
+def load_sweep(path: str) -> Dict[str, object]:
+    """Read a sweep report back, validating schema tag and version."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != TUNE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a tune report (schema={report.get('schema')!r})"
+        )
+    if report.get("schema_version") != TUNE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema version {report.get('schema_version')!r} "
+            f"!= supported {TUNE_SCHEMA_VERSION}"
+        )
+    return report

@@ -1,0 +1,75 @@
+"""Integration test for ``repro tune --measured`` (ISSUE 5).
+
+Drives the measured autotuner end-to-end through the CLI on a reduced
+grid and asserts the Table VIII-style report: per-config timings, a
+best-configuration verdict with the tuned speedup, and the clustering
+distance-query comparison against the all-pairs reference.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import BENCH_SCHEMA, load_report
+from repro.tuning import TUNE_SCHEMA
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def measured_tune(tmp_path_factory):
+    out = tmp_path_factory.mktemp("tune-cli")
+    json_path = out / "sweep.json"
+    code, stdout = run_cli(
+        [
+            "tune", "--input-set", "A-human", "--measured",
+            "--schedulers", "dynamic,work_stealing",
+            "--batch-sizes", "32", "--capacities", "64",
+            "--threads", "1", "--repeats", "1",
+            "--json", str(json_path),
+            "--bench-out", str(out),
+        ]
+    )
+    return code, stdout, out, json_path
+
+
+class TestTuneMeasuredCLI:
+    def test_exit_zero_and_grid_progress(self, measured_tune):
+        code, stdout, _, _ = measured_tune
+        assert code == 0
+        assert "measured sweep: 2 grid points + default" in stdout
+        # One progress line per grid point plus the default run.
+        assert stdout.count("s\n") >= 3
+
+    def test_report_names_best_config_and_speedup(self, measured_tune):
+        _, stdout, _, _ = measured_tune
+        assert "best config:" in stdout
+        assert "speedup vs default" in stdout
+        assert "distance queries" in stdout
+        assert "all-pairs reference" in stdout
+
+    def test_json_report_is_tune_schema(self, measured_tune):
+        _, _, _, json_path = measured_tune
+        report = json.loads(json_path.read_text())
+        assert report["schema"] == TUNE_SCHEMA
+        assert len(report["entries"]) == 2
+        assert (
+            report["clustering"]["distance_queries"]
+            < report["clustering"]["distance_queries_allpairs"]
+        )
+
+    def test_bench_out_feeds_bench_trajectory(self, measured_tune):
+        _, _, out, _ = measured_tune
+        (path,) = out.glob("BENCH_*.json")
+        report = load_report(str(path))
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["suite"] == "tune:A-human"
+        assert len(report["configs"]) == 3

@@ -1,0 +1,257 @@
+"""Property tests: optimized kernels vs the frozen pre-PR references.
+
+The hot-path overhaul (sorted-sweep clustering, packed-word extension,
+masked-probe CachedGBWT) must be *byte-identical* to the code it
+replaced: same clusters, same extensions, same kernel counters — only
+``distance_queries`` is allowed (required) to drop.  The oracles live in
+:mod:`repro.core._reference`; these tests drive both sides with the same
+randomized workloads, read lengths, and all three schedulers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._reference import (
+    ReferenceCachedGBWT,
+    reference_cluster_seeds,
+    reference_extend_seed,
+)
+from repro.core import MiniGiraffe, ProxyOptions
+from repro.core.cluster import cluster_seeds
+from repro.core.extend import KernelCounters, dedupe_extensions, extend_seed
+from repro.core.options import ExtendOptions, ProcessOptions
+from repro.core.scoring import ScoringParams
+from repro.gbwt.cache import CachedGBWT
+from repro.gbwt.gbwt import build_gbwt
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.graph.builder import GraphBuilder
+from repro.graph.handle import node_id
+from repro.index.distance import DistanceIndex
+from repro.index.minimizer import Seed
+from repro.util.rng import SplitMix64
+from repro.workloads.reads import ReadSimulator
+from repro.workloads.synth import build_pangenome, random_dna
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    seed_count=st.integers(min_value=1, max_value=24),
+    limit=st.integers(min_value=4, max_value=160),
+)
+def test_cluster_matches_reference(seed, seed_count, limit):
+    """Sorted-sweep clustering returns the all-pairs partition, scores,
+    coverage, and order — with no more distance queries."""
+    rng = SplitMix64(seed)
+    builder = GraphBuilder(
+        random_dna(rng.fork("ref"), 500), [], max_node_length=9
+    )
+    index = DistanceIndex(builder.graph)
+    positions = [(h, 0) for h in builder.reference_walk()]
+    draw = rng.fork("seeds")
+    seeds = [
+        Seed(draw.randint(0, 90), positions[draw.randint(0, len(positions) - 1)])
+        for _ in range(seed_count)
+    ]
+    options = ProcessOptions(cluster_distance=limit)
+
+    fast_counters, ref_counters = KernelCounters(), KernelCounters()
+    fast = cluster_seeds(
+        index, seeds, 100, 9, options=options, counters=fast_counters
+    )
+    ref = reference_cluster_seeds(
+        index, seeds, 100, 9, options=options, counters=ref_counters
+    )
+    assert fast == ref
+    assert fast_counters.distance_queries <= ref_counters.distance_queries
+    assert fast_counters.clusters_scored == ref_counters.clusters_scored
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**18),
+    read_length=st.sampled_from([24, 48, 72, 100]),
+    max_mismatches=st.integers(min_value=0, max_value=6),
+)
+def test_extension_matches_reference(seed, read_length, max_mismatches):
+    """Packed-word extension reproduces the per-base DFS exactly:
+    identical extensions AND identical kernel counters."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=400, haplotype_count=4, max_node_length=16
+    )
+    graph = pangenome.graph
+    gbwt, _ = build_gbwt(graph)
+    options = ExtendOptions(max_mismatches=max_mismatches)
+    params = ScoringParams()
+
+    sequences = {n: graph.path_sequence(n) for n in graph.paths}
+    reads = ReadSimulator(
+        sequences, read_length=read_length, error_rate=0.02, seed=seed
+    ).simulate_single(10)
+
+    fast_counters, ref_counters = KernelCounters(), KernelCounters()
+    fast_cache = CachedGBWT(gbwt, 64)
+    ref_cache = ReferenceCachedGBWT(gbwt, 64)
+    checked = 0
+    for read in reads:
+        if read.is_reverse:
+            continue
+        walk = graph.paths[read.haplotype].handles
+        target = read.origin + read_length // 3
+        cursor, position = 0, None
+        for handle in walk:
+            length = graph.node_length(node_id(handle))
+            if target < cursor + length:
+                position = (handle, target - cursor)
+                break
+            cursor += length
+        if position is None:
+            continue
+        checked += 1
+        fast = extend_seed(
+            graph, fast_cache, read.sequence, read_length // 3, position,
+            options=options, params=params, counters=fast_counters,
+        )
+        ref = reference_extend_seed(
+            graph, ref_cache, read.sequence, read_length // 3, position,
+            options=options, params=params, counters=ref_counters,
+        )
+        assert fast == ref
+    assert checked > 0
+    assert fast_counters == ref_counters
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    read_length=st.sampled_from([30, 60]),
+)
+def test_extension_matches_reference_on_non_acgt_reads(seed, read_length):
+    """Reads the packer rejects (N bases) fall back to the per-base loop
+    and still match the reference bit-for-bit."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=300, haplotype_count=2, max_node_length=12
+    )
+    graph = pangenome.graph
+    gbwt, _ = build_gbwt(graph)
+    sequences = {n: graph.path_sequence(n) for n in graph.paths}
+    reads = ReadSimulator(
+        sequences, read_length=read_length, error_rate=0.01, seed=seed
+    ).simulate_single(4)
+    fast_counters, ref_counters = KernelCounters(), KernelCounters()
+    for read in reads:
+        if read.is_reverse:
+            continue
+        walk = graph.paths[read.haplotype].handles
+        # Corrupt one base to N so pack_sequence() returns None.
+        corrupted = read.sequence[: read_length // 2] + "N" + read.sequence[
+            read_length // 2 + 1 :
+        ]
+        position = (walk[0], 0)
+        fast = extend_seed(
+            graph, CachedGBWT(gbwt, 64), corrupted, 0, position,
+            counters=fast_counters,
+        )
+        ref = reference_extend_seed(
+            graph, ReferenceCachedGBWT(gbwt, 64), corrupted, 0, position,
+            counters=ref_counters,
+        )
+        assert fast == ref
+    assert fast_counters == ref_counters
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    capacity=st.integers(min_value=1, max_value=64),
+    ops=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=150
+    ),
+)
+def test_cache_matches_reference(seed, capacity, ops):
+    """Same record traffic → identical records, hit/miss/probe/rehash
+    statistics, and table shape as the pre-overhaul cache."""
+    pangenome = build_pangenome(
+        seed=seed, reference_length=200, haplotype_count=2, max_node_length=16
+    )
+    gbwt = pangenome.gbwt
+    handles = gbwt.handles()
+    fast = CachedGBWT(gbwt, capacity)
+    ref = ReferenceCachedGBWT(gbwt, capacity)
+    for op in ops:
+        handle = handles[op % len(handles)]
+        fast_record = fast.record(handle)
+        ref_record = ref.record(handle)
+        assert fast_record.edges == ref_record.edges
+        assert fast_record.offsets == ref_record.offsets
+        assert fast_record.runs == ref_record.runs
+    assert (fast.hits, fast.misses) == (ref.hits, ref.misses)
+    assert fast.probe_steps == ref.probe_steps
+    assert fast.rehashes == ref.rehashes
+    assert (fast.size, fast.capacity) == (ref.size, ref.capacity)
+    for handle in set(handles):
+        assert fast.contains(handle) == ref.contains(handle)
+
+
+@pytest.fixture(scope="module")
+def pipeline_world():
+    """A captured workload plus its reference-kernel mapping."""
+    pangenome = build_pangenome(
+        seed=97, reference_length=1500, haplotype_count=4
+    )
+    sequences = {
+        name: pangenome.graph.path_sequence(name)
+        for name in pangenome.graph.paths
+    }
+    reads = ReadSimulator(
+        sequences, read_length=70, error_rate=0.005, seed=23
+    ).simulate_single(20)
+    mapper = GiraffeMapper(
+        pangenome.gbz, GiraffeOptions(minimizer_k=11, minimizer_w=7)
+    )
+    records = mapper.capture_read_records(reads)
+
+    # Re-run the whole per-read pipeline on the frozen reference kernels.
+    options = ProxyOptions()
+    expected = {}
+    cache = ReferenceCachedGBWT(pangenome.gbwt, options.cache_capacity)
+    for record in records:
+        clusters = reference_cluster_seeds(
+            mapper.distance_index, record.seeds, len(record.sequence), 11,
+            options=options.process,
+        )
+        extensions = []
+        if clusters:
+            cutoff = clusters[0].score * options.process.score_threshold_factor
+            for index, cluster in enumerate(clusters):
+                if index >= options.process.max_clusters:
+                    break
+                if cluster.score < cutoff:
+                    break
+                for seed in cluster.seeds[
+                    : options.extend.max_seeds_per_cluster
+                ]:
+                    extension = reference_extend_seed(
+                        pangenome.graph, cache, record.sequence,
+                        seed.read_offset, seed.position,
+                        options=options.extend,
+                    )
+                    if extension is not None and extension.length > 0:
+                        extensions.append(extension)
+        expected[record.name] = dedupe_extensions(extensions)
+    return pangenome, mapper, records, expected
+
+
+@pytest.mark.parametrize("scheduler", ["static", "dynamic", "work_stealing"])
+def test_proxy_matches_reference_pipeline(pipeline_world, scheduler):
+    """End to end, under every scheduler: the optimized proxy maps every
+    read to exactly what the pre-PR kernels produced."""
+    pangenome, mapper, records, expected = pipeline_world
+    proxy = MiniGiraffe(
+        pangenome.gbz,
+        ProxyOptions(threads=3, batch_size=4, scheduler=scheduler),
+        seed_span=11,
+        distance_index=mapper.distance_index,
+    )
+    assert proxy.map_reads(records).extensions == expected

@@ -96,3 +96,52 @@ class TestSearchAPI:
 
     def test_count_empty_walk(self, cache):
         assert cache.count_haplotypes([]) == 0
+
+
+class TestPrefetch:
+    """The bulk warm-up API the extension DFS uses before pushing."""
+
+    def test_prefetch_then_record_hits(self, cache, tiny_gbwt):
+        handles = tiny_gbwt.handles()[:2]
+        assert cache.prefetch(handles) == 2
+        assert cache.prefetched == 2
+        # Each decode is a miss; consumption later is the hit.
+        assert cache.misses == 2 and cache.hits == 0
+        for handle in handles:
+            assert cache.contains(handle)
+            assert cache.record(handle) is not None
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_prefetch_skips_cached_without_counting_hits(
+        self, cache, tiny_gbwt
+    ):
+        handle = tiny_gbwt.handles()[0]
+        cache.record(handle)
+        assert cache.prefetch([handle]) == 0
+        assert cache.prefetched == 0
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_prefetched_record_matches_gbwt(self, cache, tiny_gbwt):
+        handle = tiny_gbwt.handles()[3]
+        cache.prefetch([handle])
+        record = cache.record(handle)
+        reference = tiny_gbwt.record(handle)
+        assert record.edges == reference.edges
+        assert record.offsets == reference.offsets
+        assert record.runs == reference.runs
+
+    def test_prefetch_grows_table(self, cache, tiny_gbwt):
+        handles = tiny_gbwt.handles()[:6]
+        assert cache.capacity == 4
+        cache.prefetch(handles)
+        assert cache.capacity > 4
+        assert cache.rehashes >= 1
+        assert cache.size == 6
+        for handle in handles:
+            assert cache.contains(handle)
+
+    def test_stats_report_prefetched(self, cache, tiny_gbwt):
+        cache.prefetch(tiny_gbwt.handles()[:2])
+        stats = cache.stats()
+        assert stats["prefetched"] == 2
+        assert stats["misses"] == 2

@@ -134,3 +134,98 @@ class TestClusterSeeds:
         a = cluster_seeds(index, list(seeds), 100, 5)
         b = cluster_seeds(index, list(reversed(seeds)), 100, 5)
         assert a == b
+
+
+class TestCoverageRegression:
+    """Pins exact coverage values through the sorted-once coverage path.
+
+    ``cluster_seeds`` sorts the read's seeds by read offset once and
+    buckets that order per cluster, so ``_coverage`` receives pre-sorted
+    intervals.  These pins would catch a regression that hands it
+    unsorted seeds (the merge would undercount overlapping spans).
+    """
+
+    def test_pinned_coverage_unordered_offsets(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        # Read offsets deliberately out of order relative to the graph
+        # positions: [0,9]+[8,17] merge to 17, [37,46]+[40,49]+[44,53]
+        # merge to 16.
+        offsets = [40, 0, 37, 8, 44]
+        seeds = [Seed(off, positions[i]) for i, off in enumerate(offsets)]
+        clusters = cluster_seeds(index, seeds, 100, 9)
+        assert len(clusters) == 1
+        assert clusters[0].coverage == 33
+        assert clusters[0].score == 33 * 4 + 5
+
+    def test_pinned_coverage_multiple_clusters(self, linear):
+        builder, index = linear
+        positions = _positions(builder)
+        # Two clusters far apart in the graph; within each, the seeds
+        # arrive in descending read-offset order.
+        seeds = [
+            Seed(12, positions[1]),
+            Seed(5, positions[0]),
+            Seed(80, positions[-1]),
+            Seed(74, positions[-2]),
+        ]
+        clusters = cluster_seeds(
+            index, seeds, 100, 7, options=ProcessOptions(cluster_distance=16)
+        )
+        assert [c.coverage for c in clusters] == [14, 13]
+
+    def test_input_order_invariance(self, linear):
+        import itertools
+
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(off, positions[i]) for i, off in
+                 enumerate([22, 3, 15, 9])]
+        expected = cluster_seeds(index, seeds, 100, 9)
+        for perm in itertools.permutations(seeds):
+            assert cluster_seeds(index, list(perm), 100, 9) == expected
+
+
+class TestSortedSweep:
+    """The sorted-sweep clustering optimization (vs the frozen reference)."""
+
+    def test_fewer_distance_queries_than_allpairs(self, linear):
+        from repro.core._reference import reference_cluster_seeds
+
+        builder, index = linear
+        positions = _positions(builder)
+        # Several well-separated groups: all-pairs pays for every
+        # cross-group pair, the windowed sweep skips them.
+        seeds = [Seed((g * 5 + i) % 90, positions[g * 7 + i])
+                 for g in range(3) for i in range(4)]
+        options = ProcessOptions(cluster_distance=16)
+        sweep, allpairs = KernelCounters(), KernelCounters()
+        a = cluster_seeds(index, seeds, 100, 5, options=options,
+                          counters=sweep)
+        b = reference_cluster_seeds(index, seeds, 100, 5, options=options,
+                                    counters=allpairs)
+        assert a == b
+        assert 0 < sweep.distance_queries < allpairs.distance_queries
+        # The non-query counters stay identical.
+        assert sweep.clusters_scored == allpairs.clusters_scored
+
+    def test_duck_typed_index_falls_back(self, linear):
+        """Indexes without chain coordinates use the all-pairs loop."""
+
+        class WithinOnly:
+            def __init__(self, inner):
+                self._inner = inner
+                self.calls = 0
+
+            def within(self, a, b, limit):
+                self.calls += 1
+                return self._inner.within(a, b, limit)
+
+        builder, index = linear
+        positions = _positions(builder)
+        seeds = [Seed(i * 4, positions[i * 3]) for i in range(5)]
+        stand_in = WithinOnly(index)
+        counters = KernelCounters()
+        clusters = cluster_seeds(stand_in, seeds, 100, 5, counters=counters)
+        assert clusters == cluster_seeds(index, seeds, 100, 5)
+        assert stand_in.calls == counters.distance_queries > 0

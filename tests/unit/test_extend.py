@@ -201,3 +201,42 @@ class TestDedupe:
 
     def test_empty(self):
         assert dedupe_extensions([]) == []
+
+
+class TestPackedRead:
+    """PackedRead: one packing per read, slices by shift."""
+
+    def test_suffix_matches_packed_slice(self):
+        from repro.core.extend import PackedRead
+        from repro.graph.variation_graph import pack_sequence
+
+        sequence = "ACGTTGCAAGTCC"
+        packed = PackedRead(sequence)
+        assert packed.valid and packed.length == len(sequence)
+        for start in range(len(sequence) + 1):
+            assert packed.suffix(start) == pack_sequence(sequence[start:])
+
+    def test_rc_prefix_matches_packed_rc(self):
+        from repro.core.extend import PackedRead
+        from repro.graph.variation_graph import pack_sequence
+
+        sequence = "ACGTTGCAAGTCC"
+        packed = PackedRead(sequence)
+        for end in range(len(sequence) + 1):
+            assert packed.rc_prefix(end) == pack_sequence(
+                reverse_complement(sequence[:end])
+            )
+
+    def test_non_acgt_read_invalid(self):
+        from repro.core.extend import PackedRead
+
+        packed = PackedRead("ACGNACGT")
+        assert not packed.valid
+        assert packed.fwd is None and packed.rc is None
+
+    def test_empty_read(self):
+        from repro.core.extend import PackedRead
+
+        packed = PackedRead("")
+        assert packed.valid and packed.length == 0
+        assert packed.suffix(0) == 0 and packed.rc_prefix(0) == 0

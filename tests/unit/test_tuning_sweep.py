@@ -1,0 +1,211 @@
+"""Unit tests for the measured autotuning sweep (repro.tuning.sweep/model)."""
+
+import json
+
+import pytest
+
+from repro.analysis import render_tune_report
+from repro.obs.bench import BENCH_SCHEMA, BENCH_SCHEMA_VERSION
+from repro.tuning import (
+    SweepGrid,
+    TUNE_SCHEMA,
+    load_sweep,
+    run_sweep,
+    smoke_grid,
+    summarize_sweep,
+    sweep_to_bench_report,
+)
+from repro.tuning.model import SweepEntry, best_entry
+from repro.tuning.sweep import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_SCHEDULER,
+    TUNE_SCHEMA_VERSION,
+)
+
+
+def _entry(key, scheduler, batch, capacity, wall, ops=None, hits=8, misses=2):
+    return {
+        "key": key,
+        "config": {
+            "scheduler": scheduler,
+            "batch_size": batch,
+            "cache_capacity": capacity,
+            "threads": 2,
+        },
+        "wall_time": wall,
+        "kernel_ops": ops or {"base_comparisons": 100, "distance_queries": 10},
+        "cache": {"hits": hits, "misses": misses},
+    }
+
+
+@pytest.fixture
+def synthetic_report():
+    return {
+        "schema": TUNE_SCHEMA,
+        "schema_version": TUNE_SCHEMA_VERSION,
+        "input_set": "A-human",
+        "grid": {},
+        "entries": [
+            _entry("a", "static", 64, 64, 4.0),
+            _entry("b", "dynamic", 256, 256, 2.0,
+                   ops={"base_comparisons": 100, "distance_queries": 8}),
+            _entry("c", "work_stealing", 1024, 1024, 8.0),
+        ],
+        "default": _entry("d", "dynamic", 512, 256, 4.0),
+        "clustering": {
+            "distance_queries": 40,
+            "distance_queries_allpairs": 100,
+        },
+    }
+
+
+class TestSweepGrid:
+    def test_size_and_config_cross_product(self):
+        grid = SweepGrid(
+            schedulers=("static", "dynamic"),
+            batch_sizes=(16, 64),
+            capacities=(32,),
+        )
+        configs = grid.configs("A-human")
+        assert grid.size() == len(configs) == 4
+        assert [
+            (c.scheduler, c.batch_size, c.cache_capacity) for c in configs
+        ] == [
+            ("static", 16, 32),
+            ("static", 64, 32),
+            ("dynamic", 16, 32),
+            ("dynamic", 64, 32),
+        ]
+        assert all(c.input_set == "A-human" for c in configs)
+
+    def test_default_config_uses_proxy_defaults(self):
+        config = SweepGrid().default_config("B-yeast")
+        assert config.scheduler == DEFAULT_SCHEDULER
+        assert config.batch_size == DEFAULT_BATCH_SIZE
+        assert config.cache_capacity == DEFAULT_CACHE_CAPACITY
+        assert config.input_set == "B-yeast"
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(schedulers=())
+
+    def test_smoke_grid_is_2x2x2_single_repeat(self):
+        grid = smoke_grid()
+        assert grid.size() == 8
+        assert grid.repeats == 1
+        assert grid.scale < 0.1
+
+
+class TestSummarize:
+    def test_best_and_speedups(self, synthetic_report):
+        summary = summarize_sweep(synthetic_report)
+        assert summary.best.key == "b"
+        assert summary.speedup == pytest.approx(2.0)
+        # Geomean over speedups 1.0, 2.0, 0.5 is exactly 1.0.
+        assert summary.geomean_speedup == pytest.approx(1.0)
+        assert summary.default.key == "d"
+        assert len(summary.entries) == 3
+
+    def test_distance_query_reduction(self, synthetic_report):
+        summary = summarize_sweep(synthetic_report)
+        assert summary.distance_query_reduction() == pytest.approx(0.6)
+        synthetic_report["clustering"] = {}
+        assert summarize_sweep(synthetic_report).distance_query_reduction() is None
+
+    def test_ops_delta(self, synthetic_report):
+        summary = summarize_sweep(synthetic_report)
+        deltas = summary.ops_delta()
+        assert deltas["base_comparisons"] == pytest.approx(0.0)
+        assert deltas["distance_queries"] == pytest.approx(-0.2)
+
+    def test_best_entry_tie_break_on_key(self):
+        entries = [
+            SweepEntry.from_entry(_entry("z", "static", 1, 1, 1.0)),
+            SweepEntry.from_entry(_entry("a", "dynamic", 2, 2, 1.0)),
+        ]
+        assert best_entry(entries).key == "a"
+        with pytest.raises(ValueError):
+            best_entry([])
+
+    def test_render_tune_report_contents(self, synthetic_report):
+        text = render_tune_report(summarize_sweep(synthetic_report))
+        assert "dynamic/b256/c256/t2" in text
+        assert "2.00x" in text
+        assert "distance queries" in text
+        assert "40" in text and "100" in text
+
+
+class TestReportRoundtrip:
+    def test_sweep_to_bench_report_shape(self, synthetic_report):
+        bench = sweep_to_bench_report(synthetic_report)
+        assert bench["schema"] == BENCH_SCHEMA
+        assert bench["schema_version"] == BENCH_SCHEMA_VERSION
+        assert bench["suite"] == "tune:A-human"
+        # Every grid entry plus the default run ride along unchanged.
+        assert len(bench["configs"]) == 4
+        assert bench["configs"][-1]["key"] == "d"
+
+    def test_load_sweep_roundtrip_and_errors(self, synthetic_report, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(synthetic_report))
+        assert load_sweep(str(path))["input_set"] == "A-human"
+
+        bad = dict(synthetic_report, schema="repro.bench/v1")
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="not a tune report"):
+            load_sweep(str(path))
+
+        bad = dict(synthetic_report, schema_version=99)
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="schema version"):
+            load_sweep(str(path))
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        grid = SweepGrid(
+            schedulers=("dynamic",),
+            batch_sizes=(32,),
+            capacities=(64,),
+            threads=1,
+            scale=0.05,
+            repeats=1,
+        )
+        seen = []
+        report = run_sweep("A-human", grid=grid, progress=seen.append)
+        return report, seen
+
+    def test_report_schema_and_shape(self, tiny_sweep):
+        report, seen = tiny_sweep
+        assert report["schema"] == TUNE_SCHEMA
+        assert report["schema_version"] == TUNE_SCHEMA_VERSION
+        assert report["input_set"] == "A-human"
+        assert len(report["entries"]) == 1
+        # Progress saw every grid point plus the default run.
+        assert len(seen) == 2
+
+    def test_entries_are_bench_shaped(self, tiny_sweep):
+        report, _ = tiny_sweep
+        for entry in report["entries"] + [report["default"]]:
+            assert entry["wall_time"] > 0
+            assert entry["kernel_ops"]["base_comparisons"] > 0
+            assert "key" in entry and "config" in entry
+
+    def test_clustering_counts_show_reduction(self, tiny_sweep):
+        report, _ = tiny_sweep
+        clustering = report["clustering"]
+        assert clustering["distance_queries_allpairs"] > 0
+        assert (
+            0
+            < clustering["distance_queries"]
+            < clustering["distance_queries_allpairs"]
+        )
+
+    def test_summary_of_measured_sweep(self, tiny_sweep):
+        report, _ = tiny_sweep
+        summary = summarize_sweep(report)
+        assert summary.best.key == report["entries"][0]["key"]
+        reduction = summary.distance_query_reduction()
+        assert reduction is not None and reduction > 0

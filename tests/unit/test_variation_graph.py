@@ -149,3 +149,84 @@ class TestWholeGraph:
         graph, _ = diamond
         text = graph.describe()
         assert "nodes=4" in text and "edges=4" in text
+
+
+class TestSequencePacking:
+    """pack_sequence: the 2-bit encoding the extension kernel XORs."""
+
+    def test_codes_and_bit_layout(self):
+        from repro.graph.variation_graph import pack_sequence
+
+        assert pack_sequence("") == 0
+        assert pack_sequence("A") == 0
+        assert pack_sequence("C") == 1
+        assert pack_sequence("G") == 2
+        assert pack_sequence("T") == 3
+        # Base i lives at bits [2i, 2i+1]: "CT" = T<<2 | C.
+        assert pack_sequence("CT") == (3 << 2) | 1
+
+    def test_non_acgt_returns_none(self):
+        from repro.graph.variation_graph import pack_sequence
+
+        assert pack_sequence("ACGN") is None
+        assert pack_sequence("acgt") is None
+
+    def test_roundtrip(self):
+        from repro.graph.variation_graph import pack_sequence
+
+        sequence = "ACGTTGCAAGTCCGATA"
+        packed = pack_sequence(sequence)
+        decoded = "".join(
+            "ACGT"[(packed >> (2 * i)) & 3] for i in range(len(sequence))
+        )
+        assert decoded == sequence
+
+    def test_complement_is_xor_3(self):
+        from repro.graph.handle import reverse_complement
+        from repro.graph.variation_graph import pack_sequence
+
+        sequence = "ACGTGGTC"
+        packed = pack_sequence(sequence)
+        # Per-base: complement of code c is c ^ 3.
+        for i, ch in enumerate(sequence):
+            code = (packed >> (2 * i)) & 3
+            comp = pack_sequence(reverse_complement(ch))
+            assert comp == code ^ 3
+
+
+class TestPackedSequenceTable:
+    """The eagerly-built, read-only packed side table."""
+
+    def test_both_orientations_prepacked(self, diamond):
+        from repro.graph.variation_graph import pack_sequence
+
+        graph, node_ids = diamond
+        table = graph.packed_sequences()
+        assert len(table) == 2 * graph.node_count()
+        for nid in node_ids:
+            for handle in (forward(nid), reverse(nid)):
+                assert table.fetch(handle) == pack_sequence(
+                    graph.sequence(handle)
+                )
+
+    def test_fetch_unknown_handle_packs_without_caching(self, diamond):
+        from repro.graph.variation_graph import pack_sequence
+
+        graph, _ = diamond
+        table = graph.packed_sequences()
+        before = len(table)
+        new = graph.add_node("ACCA")
+        # Served correctly, but never written back: the table stays
+        # write-free after its single-threaded build (races audit).
+        assert table.fetch(forward(new)) == pack_sequence("ACCA")
+        assert len(table) == before
+
+    def test_memoized_until_nodes_change(self, diamond):
+        graph, _ = diamond
+        table = graph.packed_sequences()
+        assert graph.packed_sequences() is table
+        graph.add_node("GG")
+        rebuilt = graph.packed_sequences()
+        assert rebuilt is not table
+        assert rebuilt.built_nodes == graph.node_count()
+        assert len(rebuilt) == 2 * graph.node_count()
