@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
-# Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke] [--chaos-smoke]
+# Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke]
+#                        [--chaos-smoke] [--serve-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -27,6 +28,13 @@
 # `repro chaos` runs per scheduler must satisfy the exactly-once
 # invariant and produce byte-identical reports (determinism check).
 #
+# --serve-smoke additionally runs the service gate (ISSUE 6): a live
+# `repro serve` instance on an ephemeral port must map a streamed
+# two-tenant workload exactly-once (every `repro submit` completeness
+# report clean), emit an SLO report with per-tenant p50/p99 latency
+# percentiles, and survive a `repro chaos --serve` fault soak with
+# quarantined requests parked in the dead-letter queue.
+#
 # Benchmarks (paper regeneration) are intentionally excluded — run them
 # separately with: PYTHONPATH=src python -m pytest benchmarks/ -q
 set -euo pipefail
@@ -38,6 +46,7 @@ LINT=0
 BENCH_SMOKE=0
 TUNE_SMOKE=0
 CHAOS_SMOKE=0
+SERVE_SMOKE=0
 args=()
 for arg in "$@"; do
     if [[ "$arg" == "--lint" ]]; then
@@ -48,6 +57,8 @@ for arg in "$@"; do
         TUNE_SMOKE=1
     elif [[ "$arg" == "--chaos-smoke" ]]; then
         CHAOS_SMOKE=1
+    elif [[ "$arg" == "--serve-smoke" ]]; then
+        SERVE_SMOKE=1
     else
         args+=("$arg")
     fi
@@ -78,6 +89,9 @@ if [[ "$LINT" == "1" ]]; then
 
     echo "== lockset audits (schedulers + chaos + proxy must be clean) =="
     python -m repro races
+
+    echo "== docs-drift gate (CLI surface must be documented) =="
+    python -m repro docs
 fi
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
@@ -115,4 +129,45 @@ if [[ "$CHAOS_SMOKE" == "1" ]]; then
     echo "-- corrupt-input quarantine"
     python -m repro chaos --seed 7 --corrupt > /dev/null
     echo "chaos smoke OK"
+fi
+
+if [[ "$SERVE_SMOKE" == "1" ]]; then
+    echo "== serve smoke (live service: completeness + SLO gate) =="
+    serve_out="$(mktemp -d)"
+    serve_pid=""
+    cleanup_serve() {
+        [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+        rm -rf "${bench_out:-}" "${chaos_out:-}" "$serve_out"
+    }
+    trap cleanup_serve EXIT
+    python -m repro serve --input-set A-human --scale 0.05 \
+        --port 0 --port-file "$serve_out/port" --slo-interval 0 \
+        --dlq-spool "$serve_out/dead.jsonl" &
+    serve_pid=$!
+
+    echo "-- tenant alice: 4 requests, poisson open-loop"
+    python -m repro submit --port-file "$serve_out/port" --tenant alice \
+        --input-set A-human --scale 0.05 --requests 4 --batch-reads 4 \
+        --process poisson --rate 200 --seed 1
+    echo "-- tenant bob: 4 requests + SLO report"
+    python -m repro submit --port-file "$serve_out/port" --tenant bob \
+        --input-set A-human --scale 0.05 --requests 4 --batch-reads 4 \
+        --process uniform --rate 200 --seed 2 --stats \
+        | tee "$serve_out/stats.txt"
+    for field in alice bob p50 p99 rejection_rate dead_letter_rate; do
+        grep -q "$field" "$serve_out/stats.txt" \
+            || { echo "SLO report missing field: $field"; exit 1; }
+    done
+    echo "-- dead-letter queue inspectable"
+    python -m repro dlq --port-file "$serve_out/port" --inspect > /dev/null
+    echo "-- orderly shutdown"
+    python -m repro submit --port-file "$serve_out/port" --tenant bob \
+        --requests 0 --shutdown > /dev/null
+    wait "$serve_pid"
+    serve_pid=""
+
+    echo "-- chaos soak under live traffic (repro chaos --serve)"
+    python -m repro chaos --serve --input-set A-human --scale 0.05 \
+        --seed 0 --tenants 2 --requests 6 --batch-reads 4
+    echo "serve smoke OK"
 fi

@@ -30,7 +30,15 @@ the surrounding workflow the artifact scripts drive:
   a Table VIII-style best-config report is printed (``--smoke`` for the
   2×2×2 CI mini-sweep, ``--bench-out`` to record the sweep as a
   ``BENCH_*.json``);
-* ``scale`` — the Figure 5 scaling prediction for one input set.
+* ``scale`` — the Figure 5 scaling prediction for one input set;
+* ``serve`` — the long-running mapping service: a framed-socket
+  front-end with per-tenant admission control, SLO tracking, and a
+  dead-letter queue (``chaos --serve`` soaks it under injected faults);
+* ``submit`` — the bundled streaming client: open-loop traffic at a
+  running service, collecting every verdict into a completeness report;
+* ``dlq`` — inspect, drain, or replay the service's dead-letter queue;
+* ``docs`` — the docs-drift gate: every subcommand and flag above must
+  appear in the docs tree (``lint`` and ``races`` cover the code side).
 
 Run ``python -m repro <command> --help`` for per-command flags.
 """
@@ -60,6 +68,7 @@ from repro.sim.platform import PLATFORMS
 from repro.sim.profiler import profile_workload
 from repro.tuning import GridSearch, ResultStore
 from repro.workloads.input_sets import INPUT_SETS, materialize
+from repro.workloads.traffic import PROCESSES as TRAFFIC_PROCESSES
 
 
 #: The canned race audits ``repro races`` offers.  Kept as a literal so
@@ -244,6 +253,17 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--corrupt-rate", type=float, default=0.0005,
                        help="per-byte flip probability with --corrupt")
     chaos.add_argument("--json", help="write the deterministic report here")
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="soak mode: run faults under live service traffic and assert "
+             "per-connection exactly-once completeness",
+    )
+    chaos.add_argument("--tenants", type=int, default=2,
+                       help="with --serve: concurrent tenant connections")
+    chaos.add_argument("--requests", type=int, default=6,
+                       help="with --serve: requests streamed per tenant")
+    chaos.add_argument("--batch-reads", type=int, default=4,
+                       help="with --serve: reads per small request")
 
     tune = commands.add_parser(
         "tune", help="exhaustive parameter sweep (machine model or measured)"
@@ -337,6 +357,125 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the deliberately racy fixture instead of the audits "
         "(exit 0 when the race IS detected — the detector self-test)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the mapping service: a socket front-end with admission "
+             "control, SLO tracking, and a dead-letter queue",
+    )
+    serve.add_argument("--input-set", choices=sorted(INPUT_SETS),
+                       default="A-human",
+                       help="preset the service maps against (clients must "
+                            "generate from the same preset and scale)")
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free port; see "
+                            "--port-file)")
+    serve.add_argument("--port-file",
+                       help="write '<host> <port>' here once bound (the "
+                            "handshake scripts use with --port 0)")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="mapping worker threads inside the proxy")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="proxy scheduler batch size")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="request queue ceiling; submissions past it are "
+                            "rejected with reason queue_full")
+    serve.add_argument("--quota-capacity", type=float, default=10_000.0,
+                       help="per-tenant token-bucket burst budget (reads)")
+    serve.add_argument("--quota-refill", type=float, default=5_000.0,
+                       help="per-tenant sustained quota (reads/second)")
+    serve.add_argument("--request-timeout", type=float, default=5.0,
+                       help="watchdog soft deadline; a request stalled past "
+                            "it is quarantined to the dead-letter queue")
+    serve.add_argument("--slo-interval", type=float, default=10.0,
+                       help="seconds between printed SLO reports (0 "
+                            "disables the periodic report)")
+    serve.add_argument("--dlq-spool",
+                       help="append dead letters to this JSONL spool")
+    serve.add_argument("--trace-out",
+                       help="write serve.request spans here (JSONL) on exit")
+
+    submit = commands.add_parser(
+        "submit",
+        help="stream read batches at a running mapping service and "
+             "collect every verdict",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int,
+                        help="service port (or use --port-file)")
+    submit.add_argument("--port-file",
+                        help="read the service address written by "
+                             "repro serve --port-file")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name for quota accounting")
+    submit.add_argument("--input-set", choices=sorted(INPUT_SETS),
+                        default="A-human",
+                        help="preset to generate reads from (must match "
+                             "the server's)")
+    submit.add_argument("--scale", type=float, default=0.1)
+    submit.add_argument("--requests", type=int, default=8,
+                        help="number of submissions to stream")
+    submit.add_argument("--batch-reads", type=int, default=4,
+                        help="reads per submission")
+    submit.add_argument("--process", choices=sorted(TRAFFIC_PROCESSES),
+                        default="poisson",
+                        help="open-loop arrival process for the schedule")
+    submit.add_argument("--rate", type=float, default=50.0,
+                        help="average arrival rate (requests/second)")
+    submit.add_argument("--burst-size", type=int, default=8,
+                        help="arrivals per burst with --process burst")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="traffic schedule seed (same seed => same "
+                             "schedule)")
+    submit.add_argument("--max-retries", type=int, default=8,
+                        help="retries per request after REJECT verdicts")
+    submit.add_argument("--stats", action="store_true",
+                        help="also fetch and print the server's SLO report")
+    submit.add_argument("--metrics-out",
+                        help="fetch the Prometheus metrics dump to this file")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="send SHUTDOWN after the stream (or alone "
+                             "with --requests 0)")
+    submit.add_argument("--json", help="write the client report here")
+
+    dlq = commands.add_parser(
+        "dlq",
+        help="inspect, drain, or replay the service's dead-letter queue",
+    )
+    dlq_action = dlq.add_mutually_exclusive_group(required=True)
+    dlq_action.add_argument("--inspect", action="store_true",
+                            help="print the entries without removing them")
+    dlq_action.add_argument("--drain", action="store_true",
+                            help="remove and print every entry")
+    dlq_action.add_argument("--replay", action="store_true",
+                            help="drain the queue (or read --spool) and "
+                                 "resubmit each entry through the normal "
+                                 "admission path")
+    dlq.add_argument("--host", default="127.0.0.1")
+    dlq.add_argument("--port", type=int,
+                     help="service port (or use --port-file)")
+    dlq.add_argument("--port-file",
+                     help="read the service address written by "
+                          "repro serve --port-file")
+    dlq.add_argument("--spool",
+                     help="with --replay: read dead letters from this "
+                          "JSONL spool instead of draining the server")
+    dlq.add_argument("--json", help="write the entries / replay report here")
+
+    docs = commands.add_parser(
+        "docs",
+        help="check the docs tree covers every CLI subcommand and flag "
+             "(the docs-drift gate)",
+    )
+    docs.add_argument("--docs-dir", default="docs",
+                      help="directory of markdown docs to scan")
+    docs.add_argument("--readme", default="README.md",
+                      help="README path included in the corpus")
+    docs.add_argument("--list", action="store_true",
+                      help="print the full CLI surface being checked and "
+                           "exit")
     return parser
 
 
@@ -457,6 +596,8 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.serve:
+        return _cmd_chaos_serve(args)
     import io as io_module
 
     from repro.core.io import load_seed_file_tolerant, save_seed_file
@@ -881,6 +1022,235 @@ def _cmd_races(args) -> int:
     return 1 if failures else 0
 
 
+def _resolve_address(args) -> tuple:
+    """The service address from --port / --port-file (waits for the file)."""
+    if args.port_file:
+        deadline = time.monotonic() + 30.0
+        while True:
+            if os.path.exists(args.port_file):
+                with open(args.port_file, "r", encoding="utf-8") as handle:
+                    content = handle.read().split()
+                if len(content) == 2:
+                    return content[0], int(content[1])
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no service address in {args.port_file} after 30s"
+                )
+            time.sleep(0.05)
+    if args.port is None:
+        raise SystemExit("error: pass --port or --port-file")
+    return args.host, args.port
+
+
+def _cmd_serve(args) -> int:
+    from repro.obs.trace import Tracer
+    from repro.serve import MappingService, ServiceConfig, TenantQuota
+
+    bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(threads=args.threads, batch_size=args.batch_size),
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=parent.distance_index,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_queue_depth=args.max_queue_depth,
+        quota=TenantQuota(capacity=args.quota_capacity,
+                          refill_rate=args.quota_refill),
+        request_timeout=args.request_timeout,
+        slo_interval=args.slo_interval,
+        dlq_spool=args.dlq_spool,
+    )
+    tracer = Tracer() if args.trace_out else None
+    service = MappingService(proxy, config, tracer=tracer)
+    handle = service.start()
+    print(f"serving {args.input_set} (scale {args.scale}) "
+          f"on {handle.host}:{handle.port}")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as out:
+            out.write(f"{handle.host} {handle.port}\n")
+        print(f"wrote {args.port_file}")
+    try:
+        handle.join()
+    except KeyboardInterrupt:
+        handle.stop()
+        handle.join(timeout=10.0)
+    if args.trace_out:
+        count = tracer.export_jsonl(args.trace_out)
+        print(f"wrote {count} span(s) to {args.trace_out}")
+    print("service stopped")
+    print(service.slo.report().render())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import StreamingClient
+    from repro.workloads.traffic import TrafficPattern, split_batches
+
+    host, port = _resolve_address(args)
+    report = None
+    with StreamingClient(host, port, args.tenant) as client:
+        if args.requests > 0:
+            bundle, parent = _materialize_with_mapper(
+                args.input_set, args.scale
+            )
+            records = parent.capture_read_records(bundle.reads)
+            batches = split_batches(records, args.batch_reads)
+            while len(batches) < args.requests:
+                batches = batches + batches
+            batches = batches[:args.requests]
+            pattern = TrafficPattern(process=args.process, rate=args.rate,
+                                     burst_size=args.burst_size)
+            gaps = pattern.gaps(len(batches), args.seed)
+            report = client.stream(
+                batches, gaps=gaps,
+                request_prefix=f"{args.tenant}-{args.seed}",
+                max_retries=args.max_retries,
+            )
+            summary = report.to_dict()
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as out:
+                out.write(client.metrics_text())
+            print(f"wrote {args.metrics_out}")
+        if args.shutdown:
+            client.shutdown()
+            print("server acknowledged shutdown")
+    if args.json and report is not None:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump(report.to_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report is None or report.complete else 1
+
+
+def _cmd_dlq(args) -> int:
+    from repro.serve import StreamingClient
+    from repro.serve.queue import load_spool
+
+    if args.inspect or args.drain:
+        host, port = _resolve_address(args)
+        with StreamingClient(host, port, "dlq-admin") as client:
+            entries = client.dlq_dump(inspect=args.inspect)
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as out:
+                json.dump(entries, out, indent=2, sort_keys=True)
+                out.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    # --replay: collect dead letters, resubmit through admission.
+    if args.spool:
+        entries = [entry.to_dict() for entry in load_spool(args.spool)]
+    else:
+        host, port = _resolve_address(args)
+        with StreamingClient(host, port, "dlq-admin") as client:
+            entries = client.dlq_dump(inspect=False)
+    host, port = _resolve_address(args)
+    replayable = [e for e in entries if e.get("records_b64")]
+    skipped = len(entries) - len(replayable)
+    by_tenant = {}
+    for entry in replayable:
+        by_tenant.setdefault(str(entry["tenant"]), []).append(entry)
+    replay_report = {"entries": len(entries), "replayed": 0,
+                     "skipped_no_payload": skipped, "verdicts": {}}
+    from repro.serve.protocol import unpack_records
+
+    for tenant, tenant_entries in sorted(by_tenant.items()):
+        with StreamingClient(host, port, tenant) as client:
+            resubmit = {
+                str(e["request_id"]):
+                    unpack_records(str(e["records_b64"]))
+                for e in tenant_entries
+            }
+            report = client.drain_pending(
+                sorted(resubmit), resubmit=resubmit
+            )
+        for request_id in resubmit:
+            if request_id in report.results:
+                verdict = ("duplicate"
+                           if report.results[request_id].get("duplicate")
+                           else "completed")
+            elif request_id in report.dead_lettered:
+                verdict = "dead_lettered_again"
+            else:
+                verdict = "rejected"
+            replay_report["verdicts"][f"{tenant}/{request_id}"] = verdict
+            replay_report["replayed"] += 1
+    print(json.dumps(replay_report, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump(replay_report, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_docs(args) -> int:
+    from repro.qa.docs import check_docs, cli_surface
+
+    if args.list:
+        for command, flags in sorted(cli_surface().items()):
+            print(f"repro {command}: {' '.join(sorted(flags))}")
+        return 0
+    findings = check_docs(docs_dir=args.docs_dir, readme=args.readme)
+    for finding in findings:
+        print(finding)
+    status = "OK" if not findings else f"{len(findings)} item(s) undocumented"
+    print(f"docs-drift gate: {status}")
+    return 1 if findings else 0
+
+
+def _cmd_chaos_serve(args) -> int:
+    """The ``repro chaos --serve`` soak (see repro.serve.soak)."""
+    from repro.serve.soak import SoakError, run_soak
+
+    bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
+    records = parent.capture_read_records(bundle.reads)
+    print(f"soak input: {bundle.describe()}")
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(
+            threads=args.threads,
+            batch_size=args.batch_size,
+            scheduler=args.scheduler,
+        ),
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=parent.distance_index,
+    )
+    try:
+        summary = run_soak(
+            proxy, records,
+            tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            batch_reads=args.batch_reads,
+            seed=args.seed,
+        )
+    except SoakError as error:
+        print(f"soak FAILED: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    dead = sum(
+        t["dead_lettered"] for t in summary["tenants"].values()
+    )
+    completed = sum(t["completed"] for t in summary["tenants"].values())
+    print(f"soak: {args.tenants} tenant(s) x {args.requests} request(s): "
+          f"{completed} completed, {dead} dead-lettered "
+          f"({summary['dead_letter_queue']} parked in DLQ), "
+          f"{summary['injected_raises']} injected raises")
+    print("exactly-once invariant: OK")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "map": _cmd_map,
@@ -892,6 +1262,10 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "lint": _cmd_lint,
     "races": _cmd_races,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "dlq": _cmd_dlq,
+    "docs": _cmd_docs,
 }
 
 

@@ -1,0 +1,107 @@
+"""The docs-drift gate: the CLI surface must appear in the docs tree.
+
+Documentation rots in one specific, mechanical way: a flag is added to
+``repro.cli._build_parser`` and the markdown that teaches the command is
+never updated.  This module closes that gap the same way the lint rules
+close code-quality gaps — by walking the *actual* parser (not a
+hand-maintained list) and requiring every subcommand and every long
+option to appear in the documentation corpus:
+
+* every subcommand ``<name>`` must be mentioned as ``repro <name>``
+  somewhere in the corpus (README plus ``docs/*.md``);
+* every long flag of that subcommand must appear *in a file that also
+  mentions the subcommand* — a ``--json`` documented for ``repro
+  bench`` does not excuse an undocumented ``--json`` on ``repro
+  chaos``.
+
+``repro docs`` runs the check (and ``scripts/ci.sh --lint`` wires it
+into CI); a unit test runs it too, so drift fails the tier-1 suite.
+The gate is deliberately one-directional: extra prose about flags that
+no longer exist is a style problem, not a drift problem, and stays out
+of scope.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+from typing import Dict, List, Set
+
+#: Flags exempt from the per-command documentation requirement.
+#: ``--help`` is argparse-generated and universal.
+EXEMPT_FLAGS = frozenset({"--help"})
+
+
+def cli_surface() -> Dict[str, Set[str]]:
+    """Map each ``repro`` subcommand to its long option strings.
+
+    Walks the real parser, so a flag added to
+    :func:`repro.cli._build_parser` is in scope the moment it exists.
+    Short options and positionals are skipped: docs teach the long
+    spelling.
+    """
+    from repro.cli import _build_parser
+
+    surface: Dict[str, Set[str]] = {}
+    for action in _build_parser()._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for name, subparser in action.choices.items():
+            flags: Set[str] = set()
+            for sub_action in subparser._actions:
+                for option in sub_action.option_strings:
+                    if option.startswith("--") and option not in EXEMPT_FLAGS:
+                        flags.add(option)
+            surface[name] = flags
+    return surface
+
+
+def _doc_files(docs_dir: str, readme: str) -> List[str]:
+    """The markdown corpus: README plus every ``.md`` under ``docs_dir``."""
+    paths: List[str] = []
+    if os.path.exists(readme):
+        paths.append(readme)
+    paths.extend(sorted(glob.glob(os.path.join(docs_dir, "*.md"))))
+    return paths
+
+
+def check_docs(docs_dir: str = "docs",
+               readme: str = "README.md") -> List[str]:
+    """Every undocumented subcommand / flag, as human-readable findings.
+
+    Returns an empty list when the docs tree covers the full CLI
+    surface.  A subcommand is documented when any corpus file contains
+    ``repro <name>``; each of its flags must appear in at least one of
+    *those* files (flag mentions in unrelated files don't count — see
+    module docstring).
+    """
+    paths = _doc_files(docs_dir, readme)
+    if not paths:
+        return [f"docs corpus is empty ({readme!r} and {docs_dir!r}/*.md "
+                "are both missing)"]
+    contents: Dict[str, str] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            contents[path] = handle.read()
+
+    findings: List[str] = []
+    for command, flags in sorted(cli_surface().items()):
+        mention = f"repro {command}"
+        covering = [
+            path for path, text in contents.items() if mention in text
+        ]
+        if not covering:
+            findings.append(
+                f"subcommand 'repro {command}' appears nowhere in the docs "
+                f"corpus ({len(paths)} file(s) scanned)"
+            )
+            continue
+        covering_text = "\n".join(contents[path] for path in covering)
+        for flag in sorted(flags):
+            if flag not in covering_text:
+                findings.append(
+                    f"flag '{flag}' of 'repro {command}' is undocumented "
+                    f"(checked {', '.join(sorted(covering))})"
+                )
+    return findings

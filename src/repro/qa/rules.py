@@ -34,6 +34,7 @@ DOC_DIRS = (
     "repro/resilience/",
     "repro/qa/",
     "repro/tuning/",
+    "repro/serve/",
 )
 
 _GUARDED_RE = re.compile(r"#\s*qa:\s*guarded-by\(([^)]+)\)")

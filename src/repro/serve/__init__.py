@@ -1,0 +1,89 @@
+"""Mapping-as-a-service: the long-running ``repro serve`` front-end.
+
+The paper frames miniGiraffe as a proxy for the mapping workload that
+production Giraffe deployments actually run — sustained streams of read
+batches, not one-shot files.  This package turns the batch proxy into
+that service:
+
+* :mod:`repro.serve.protocol` — the framed wire format: length-prefixed
+  JSON control frames carrying base64-packed ``sequence-seeds.bin``
+  payloads (the exact capture format the proxy already reads);
+* :mod:`repro.serve.admission` — admission control: a bounded queue
+  depth plus per-tenant token-bucket quotas, decided *before* a request
+  costs any mapping work;
+* :mod:`repro.serve.queue` — the bounded request queue feeding the
+  mapping worker, and the dead-letter queue that quarantined or
+  timed-out requests land in (drainable, inspectable, replayable);
+* :mod:`repro.serve.slo` — per-tenant latency histograms and
+  rejection/dead-letter accounting on :mod:`repro.obs` metrics,
+  summarized as p50/p99 SLO reports;
+* :mod:`repro.serve.server` — the asyncio socket front-end and the
+  mapping worker thread that drives :class:`repro.core.MiniGiraffe`
+  under a quarantine :class:`repro.resilience.FailurePolicy`, so the
+  resilience layer is the service's failure domain;
+* :mod:`repro.serve.client` — the bundled streaming client behind
+  ``repro submit`` and ``repro dlq``;
+* :mod:`repro.serve.soak` — the ``repro chaos --serve`` soak: live
+  traffic under an installed fault plan, asserting the exactly-once
+  completeness invariant per connection.
+
+See ``docs/SERVICE.md`` for the protocol reference, admission and
+backpressure semantics, the SLO report fields, and the dead-letter
+workflow.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.serve.protocol import (
+    Frame,
+    FrameError,
+    FrameKind,
+    decode_frames,
+    encode_frame,
+    pack_records,
+    unpack_records,
+)
+from repro.serve.queue import (
+    DeadLetter,
+    DeadLetterQueue,
+    MappingRequest,
+    QueueFullError,
+    RequestQueue,
+    load_spool,
+)
+from repro.serve.slo import SLOReport, SLOTracker
+from repro.serve.server import MappingService, ServiceConfig, ServiceHandle
+from repro.serve.client import ClientReport, StreamingClient
+from repro.serve.soak import run_soak
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantQuota",
+    "TokenBucket",
+    "Frame",
+    "FrameError",
+    "FrameKind",
+    "decode_frames",
+    "encode_frame",
+    "pack_records",
+    "unpack_records",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "MappingRequest",
+    "QueueFullError",
+    "RequestQueue",
+    "load_spool",
+    "SLOReport",
+    "SLOTracker",
+    "MappingService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ClientReport",
+    "StreamingClient",
+    "run_soak",
+]

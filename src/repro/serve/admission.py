@@ -1,0 +1,189 @@
+"""Admission control: queue-depth backpressure and per-tenant quotas.
+
+The service decides whether to accept a submission *before* it costs
+any mapping work, in two stages:
+
+1. **Backpressure** — the bounded request queue has a depth ceiling;
+   submissions arriving while it is full are rejected with reason
+   ``"queue_full"`` (the client should back off and retry).
+2. **Quotas** — each tenant owns a :class:`TokenBucket` holding read
+   credits: a submission of *n* reads spends *n* tokens; the bucket
+   refills continuously at ``refill_rate`` tokens per second up to
+   ``capacity``.  An exhausted bucket rejects with reason ``"quota"``
+   and a ``retry_after`` hint derived from the refill rate.
+
+Both decisions are pure functions of explicit inputs — depth, cost, and
+a caller-supplied clock reading — so tests drive them with a fake clock
+and the outcomes are deterministic (the GateSeeder-style host-side
+submission queue the design follows has the same property: admission is
+decided on queue state, never on wall-clock races inside the kernel
+pipeline).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.util import timing
+
+#: Admission rejection reasons (the wire-visible vocabulary).
+REASON_QUEUE_FULL = "queue_full"
+REASON_QUOTA = "quota"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Token-bucket parameters for one tenant.
+
+    ``capacity`` is the burst budget (reads accepted back-to-back);
+    ``refill_rate`` is the sustained throughput ceiling in reads per
+    second.  A non-positive ``refill_rate`` makes the bucket
+    non-replenishing (useful in tests); capacity must be positive.
+    """
+
+    capacity: float = 10_000.0
+    refill_rate: float = 5_000.0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError("quota capacity must be positive")
+        if self.refill_rate < 0:
+            raise ValueError("quota refill_rate must be non-negative")
+
+
+class TokenBucket:
+    """A continuously refilling token bucket with an injectable clock.
+
+    All mutation happens under one lock; ``now`` readings come from the
+    supplied ``clock`` callable (default: :func:`repro.util.timing.now`)
+    so tests can drive refill deterministically.
+    """
+
+    def __init__(self, quota: TenantQuota,
+                 clock: Optional[Callable[[], float]] = None):
+        self.quota = quota
+        self._clock = clock if clock is not None else timing.now
+        self._lock = threading.Lock()
+        self._tokens = quota.capacity  # qa: guarded-by(self._lock)
+        self._updated = self._clock()  # qa: guarded-by(self._lock)
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(  # qa: ignore[missing-lock-guard] — every caller holds self._lock
+            self.quota.capacity,
+            self._tokens + elapsed * self.quota.refill_rate,
+        )
+        self._updated = now  # qa: ignore[missing-lock-guard] — every caller holds self._lock
+
+    def try_acquire(self, cost: float) -> bool:
+        """Spend ``cost`` tokens if available; False when exhausted."""
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token balance (after refill to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def retry_after(self, cost: float) -> float:
+        """Seconds until ``cost`` tokens will be available (0 if now).
+
+        ``inf`` when the bucket cannot ever satisfy the cost (cost above
+        capacity, or a non-replenishing bucket that is short).
+        """
+        with self._lock:
+            self._refill(self._clock())
+            deficit = cost - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if cost > self.quota.capacity or self.quota.refill_rate <= 0:
+                return float("inf")
+            return deficit / self.quota.refill_rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    ``accepted`` is the verdict; on rejection ``reason`` is one of
+    :data:`REASON_QUEUE_FULL` / :data:`REASON_QUOTA` and
+    ``retry_after`` is a client back-off hint in seconds (``inf`` when
+    the request can never be admitted, e.g. cost above bucket capacity).
+    """
+
+    accepted: bool
+    reason: Optional[str] = None
+    retry_after: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation for REJECT frames and reports."""
+        payload: Dict[str, object] = {"accepted": self.accepted}
+        if self.reason is not None:
+            payload["reason"] = self.reason
+            payload["retry_after"] = (
+                self.retry_after if self.retry_after != float("inf") else None
+            )
+        return payload
+
+
+class AdmissionController:
+    """Queue-depth backpressure plus per-tenant token-bucket quotas.
+
+    One instance guards one service.  ``admit`` is called with the
+    *current* queue depth (the queue itself stays the single source of
+    truth) and the request's read count; tenants get buckets lazily on
+    first submission, all sharing ``quota`` unless ``tenant_quotas``
+    pins a specific tenant to its own parameters.
+    """
+
+    def __init__(self, max_queue_depth: int,
+                 quota: Optional[TenantQuota] = None,
+                 tenant_quotas: Optional[Dict[str, TenantQuota]] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.default_quota = quota if quota is not None else TenantQuota()
+        self._tenant_quotas = dict(tenant_quotas or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}  # qa: guarded-by(self._lock)
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (created on first use)."""
+        with self._lock:
+            existing = self._buckets.get(tenant)
+            if existing is None:
+                existing = self._buckets[tenant] = TokenBucket(
+                    self._tenant_quotas.get(tenant, self.default_quota),
+                    clock=self._clock,
+                )
+            return existing
+
+    def admit(self, tenant: str, cost: float,
+              queue_depth: int) -> AdmissionDecision:
+        """Decide one submission: backpressure first, then quota.
+
+        Backpressure is checked before the bucket so a rejected-for-depth
+        request never spends tenant tokens.
+        """
+        if queue_depth >= self.max_queue_depth:
+            return AdmissionDecision(
+                accepted=False, reason=REASON_QUEUE_FULL, retry_after=0.05
+            )
+        bucket = self.bucket(tenant)
+        if bucket.try_acquire(cost):
+            return AdmissionDecision(accepted=True)
+        return AdmissionDecision(
+            accepted=False, reason=REASON_QUOTA,
+            retry_after=bucket.retry_after(cost),
+        )

@@ -1,0 +1,386 @@
+"""The bundled streaming client behind ``repro submit`` and ``repro dlq``.
+
+:class:`StreamingClient` is a deliberately simple blocking-socket
+client: it speaks the framed protocol (:mod:`repro.serve.protocol`),
+submits read batches on an open-loop schedule (inter-arrival gaps come
+from :mod:`repro.workloads.traffic`, *not* from response times — a slow
+server does not slow the offered load, which is what makes the
+backpressure path testable), and collects every terminal verdict into a
+:class:`ClientReport`.
+
+The report enforces the client half of the exactly-once contract:
+every submitted request must end in exactly one terminal verdict
+(RESULT, REJECT, or DEAD_LETTER), and every submitted read must be
+accounted mapped or failed — :attr:`ClientReport.complete` is the
+assertion the chaos soak and the CI smoke both check.
+
+REJECT frames are retried with the server's ``retry_after`` hint up to
+``max_retries`` times before counting as final rejections, so a short
+quota exhaustion heals transparently while a hard rejection still
+surfaces.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.io import ReadRecord
+from repro.serve.protocol import (
+    SCHEMA,
+    Frame,
+    FrameError,
+    FrameKind,
+    decode_frames,
+    encode_frame,
+    pack_records,
+)
+
+
+@dataclass
+class ClientReport:
+    """Every terminal verdict one submission run collected.
+
+    ``results`` / ``rejected`` / ``dead_lettered`` map request id to the
+    terminal frame payload; ``retries`` counts REJECT frames that were
+    retried (they are not terminal).  ``duplicates`` counts RESULT
+    frames the server flagged as served from its exactly-once cache.
+    """
+
+    reads_submitted: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    rejected: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    dead_lettered: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def reads_mapped(self) -> int:
+        """Reads the server completed, including the mapped portion of
+        partially dead-lettered requests (a DEAD_LETTER verdict names
+        its quarantined reads; the rest were processed normally)."""
+        whole = sum(int(r.get("read_count", 0)) for r in self.results.values())
+        partial = sum(
+            int(r.get("mapped_reads", 0))
+            for r in self.dead_lettered.values()
+        )
+        return whole + partial
+
+    @property
+    def reads_failed(self) -> int:
+        """Reads named in DEAD_LETTER verdicts (quarantined/timed out)."""
+        return sum(
+            len(r.get("failed_reads", ()))
+            for r in self.dead_lettered.values()
+        )
+
+    @property
+    def terminal_count(self) -> int:
+        """Requests that reached exactly one terminal verdict."""
+        return len(self.results) + len(self.rejected) + len(self.dead_lettered)
+
+    @property
+    def complete(self) -> bool:
+        """The exactly-once completeness invariant for this connection.
+
+        True when every accepted read is accounted either mapped or
+        dead-lettered — no read silently lost, none double-counted.
+        (Rejected requests never cost reads, so they are excluded.)
+        """
+        rejected_reads = sum(
+            int(r.get("read_count", 0)) for r in self.rejected.values()
+        )
+        accounted = self.reads_mapped + self.reads_failed + rejected_reads
+        return accounted == self.reads_submitted
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the ``repro submit`` report)."""
+        return {
+            "reads_submitted": self.reads_submitted,
+            "reads_mapped": self.reads_mapped,
+            "reads_failed": self.reads_failed,
+            "completed": len(self.results),
+            "rejected": len(self.rejected),
+            "dead_lettered": len(self.dead_lettered),
+            "retries": self.retries,
+            "duplicates": self.duplicates,
+            "complete": self.complete,
+        }
+
+
+class StreamingClient:
+    """A blocking framed-protocol client for one tenant.
+
+    Use as a context manager or call :meth:`connect` / :meth:`close`
+    explicitly.  :meth:`reconnect` drops the socket and performs a fresh
+    HELLO handshake — resubmitting an in-flight request id after a
+    reconnect re-points the server's delivery at the new connection.
+    """
+
+    def __init__(self, host: str, port: int, tenant: str,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self.welcome: Optional[Dict[str, object]] = None
+
+    def __enter__(self) -> "StreamingClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def connect(self) -> Dict[str, object]:
+        """Open the socket and perform the HELLO/WELCOME handshake."""
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._buffer = b""
+        self._send(FrameKind.HELLO, {"tenant": self.tenant, "schema": SCHEMA})
+        frame = self._recv()
+        if frame.kind != FrameKind.WELCOME:
+            raise FrameError(
+                f"expected WELCOME, got {frame.kind_name}: {frame.payload}"
+            )
+        self.welcome = frame.payload
+        return frame.payload
+
+    def reconnect(self) -> Dict[str, object]:
+        """Drop the connection and handshake again (same tenant)."""
+        self.close()
+        return self.connect()
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    # framing
+
+    def _send(self, kind: int, payload: Dict[str, object]) -> None:
+        if self._sock is None:
+            raise ConnectionError("client is not connected")
+        self._sock.sendall(encode_frame(kind, payload))
+
+    def _recv(self, timeout: Optional[float] = None) -> Frame:
+        """Block until one complete frame arrives."""
+        frame = self._try_recv(timeout if timeout is not None else self.timeout)
+        if frame is None:
+            raise TimeoutError("timed out waiting for a frame")
+        return frame
+
+    def _try_recv(self, timeout: float) -> Optional[Frame]:
+        """One frame, or None if ``timeout`` elapses first."""
+        if self._sock is None:
+            raise ConnectionError("client is not connected")
+        deadline = time.monotonic() + timeout
+        while True:
+            frames, self._buffer = decode_frames(self._buffer)
+            if frames:
+                # Push any extra frames back is unnecessary: decode is
+                # incremental, so take the first and re-encode the rest
+                # ahead of the buffer.
+                first, rest = frames[0], frames[1:]
+                if rest:
+                    self._buffer = b"".join(
+                        encode_frame(f.kind, f.payload) for f in rest
+                    ) + self._buffer
+                return first
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._sock.settimeout(min(0.1, remaining))
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                continue
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+
+    # ------------------------------------------------------------------
+    # verbs
+
+    def submit(self, request_id: str, records: Sequence[ReadRecord]) -> None:
+        """Fire one SUBMIT frame (the verdict arrives asynchronously)."""
+        self._send(FrameKind.SUBMIT, {
+            "request_id": request_id,
+            "records_b64": pack_records(records),
+        })
+
+    def submit_raw(self, request_id: str, records_b64: str) -> None:
+        """SUBMIT with an already-packed payload (dead-letter replay)."""
+        self._send(FrameKind.SUBMIT, {
+            "request_id": request_id,
+            "records_b64": records_b64,
+        })
+
+    def stats(self) -> Dict[str, object]:
+        """Fetch the server's current SLO report."""
+        self._send(FrameKind.STATS, {})
+        return self._expect(FrameKind.SLO_REPORT).payload
+
+    def metrics_text(self) -> str:
+        """Fetch the Prometheus text dump of the server's registry."""
+        self._send(FrameKind.METRICS, {})
+        return str(self._expect(FrameKind.METRICS_TEXT).payload["text"])
+
+    def dlq_dump(self, inspect: bool = False) -> List[Dict[str, object]]:
+        """Drain (or with ``inspect=True`` just view) the dead-letter queue."""
+        self._send(FrameKind.DLQ_DRAIN, {"inspect": inspect})
+        return list(self._expect(FrameKind.DLQ_DUMP).payload["entries"])
+
+    def shutdown(self) -> None:
+        """Ask the server to stop; waits for its GOODBYE."""
+        self._send(FrameKind.SHUTDOWN, {})
+        self._expect(FrameKind.GOODBYE)
+
+    def _expect(self, kind: int) -> Frame:
+        """Next frame of ``kind``; terminal frames for other requests
+        may interleave, so buffer-skip is not allowed — callers use this
+        only on connections with no submissions in flight."""
+        frame = self._recv()
+        if frame.kind == FrameKind.ERROR:
+            raise FrameError(f"server error: {frame.payload}")
+        if frame.kind != kind:
+            raise FrameError(
+                f"expected {FrameKind.name(kind)}, got {frame.kind_name}"
+            )
+        return frame
+
+    # ------------------------------------------------------------------
+    # streaming
+
+    def stream(self, batches: Sequence[Sequence[ReadRecord]],
+               gaps: Optional[Sequence[float]] = None,
+               request_prefix: str = "req",
+               max_retries: int = 8) -> ClientReport:
+        """Submit ``batches`` open-loop and collect every verdict.
+
+        ``gaps[i]`` seconds elapse before batch ``i`` is sent (open-loop:
+        the schedule never waits for responses).  REJECT verdicts are
+        retried after the server's ``retry_after`` hint, up to
+        ``max_retries`` per request; further rejections are final.
+        Returns once every request has a terminal verdict.
+        """
+        report = ClientReport()
+        pending: Dict[str, Sequence[ReadRecord]] = {}
+        attempts: Dict[str, int] = {}
+        retry_at: List[Tuple[float, str]] = []
+        to_send = [
+            (f"{request_prefix}-{index:04d}", list(batch))
+            for index, batch in enumerate(batches)
+        ]
+        for _, batch in to_send:
+            report.reads_submitted += len(batch)
+        send_at = time.monotonic()
+        cursor = 0
+        while cursor < len(to_send) or pending or retry_at:
+            now = time.monotonic()
+            if cursor < len(to_send):
+                gap = gaps[cursor] if gaps is not None else 0.0
+                if now >= send_at + gap:
+                    request_id, batch = to_send[cursor]
+                    self.submit(request_id, batch)
+                    pending[request_id] = batch
+                    attempts[request_id] = 1
+                    send_at = now
+                    cursor += 1
+            ready = [item for item in retry_at if item[0] <= now]
+            if ready:
+                retry_at = [item for item in retry_at if item[0] > now]
+                for _, request_id in ready:
+                    self.submit(request_id, pending[request_id])
+            frame = self._try_recv(0.02)
+            if frame is not None:
+                self._absorb(frame, report, pending, attempts, retry_at,
+                             max_retries)
+        return report
+
+    def drain_pending(self, pending_ids: Sequence[str],
+                      report: Optional[ClientReport] = None,
+                      resubmit: Optional[Dict[str, Sequence[ReadRecord]]] = None,
+                      max_retries: int = 8) -> ClientReport:
+        """Collect verdicts for requests submitted earlier (reconnect path).
+
+        ``resubmit`` maps request id to its records — after a reconnect
+        the server must see the id again to re-point delivery, so each
+        id in ``pending_ids`` present in ``resubmit`` is resubmitted
+        first (a completed one comes straight back as a duplicate
+        RESULT).
+        """
+        report = report if report is not None else ClientReport()
+        pending: Dict[str, Sequence[ReadRecord]] = {}
+        attempts: Dict[str, int] = {}
+        retry_at: List[Tuple[float, str]] = []
+        for request_id in pending_ids:
+            records = (resubmit or {}).get(request_id, [])
+            pending[request_id] = records
+            attempts[request_id] = 1
+            report.reads_submitted += len(records)
+            if resubmit and request_id in resubmit:
+                self.submit(request_id, records)
+        while pending or retry_at:
+            now = time.monotonic()
+            ready = [item for item in retry_at if item[0] <= now]
+            if ready:
+                retry_at = [item for item in retry_at if item[0] > now]
+                for _, request_id in ready:
+                    self.submit(request_id, pending[request_id])
+            frame = self._try_recv(0.02)
+            if frame is not None:
+                self._absorb(frame, report, pending, attempts, retry_at,
+                             max_retries)
+        return report
+
+    @staticmethod
+    def _absorb(frame: Frame, report: ClientReport,
+                pending: Dict[str, Sequence[ReadRecord]],
+                attempts: Dict[str, int],
+                retry_at: List[Tuple[float, str]],
+                max_retries: int) -> None:
+        """Fold one server frame into the report and retry state."""
+        payload = frame.payload
+        request_id = str(payload.get("request_id", ""))
+        if frame.kind == FrameKind.RESULT:
+            if payload.get("duplicate"):
+                report.duplicates += 1
+            report.results[request_id] = payload
+            pending.pop(request_id, None)
+            return
+        if frame.kind == FrameKind.DEAD_LETTER:
+            report.dead_lettered[request_id] = payload
+            pending.pop(request_id, None)
+            return
+        if frame.kind == FrameKind.REJECT:
+            if attempts.get(request_id, 1) < max_retries + 1:
+                attempts[request_id] = attempts.get(request_id, 1) + 1
+                report.retries += 1
+                hint = payload.get("retry_after")
+                delay = float(hint) if hint is not None else 0.05
+                retry_at.append((time.monotonic() + delay, request_id))
+                return
+            final = dict(payload)
+            # The server's REJECT carries no read count (it never
+            # decoded the batch); fill it in from the client side so
+            # the completeness invariant can exclude rejected reads.
+            final["read_count"] = len(pending.get(request_id, ()))
+            report.rejected[request_id] = final
+            pending.pop(request_id, None)
+            return
+        if frame.kind == FrameKind.ERROR:
+            raise FrameError(f"server error: {payload}")
+        # SLO_REPORT / METRICS_TEXT and friends never interleave with a
+        # stream from this client; anything else is a protocol breach.
+        raise FrameError(f"unexpected frame {frame.kind_name} mid-stream")

@@ -1,0 +1,161 @@
+"""The ``repro serve`` wire format: framed JSON control messages.
+
+One frame = a 1-byte kind tag, a 4-byte big-endian payload length, and
+a UTF-8 JSON payload.  Every structural message (hello, submit, result,
+reject, …) is a frame; read records travel *inside* frames as base64 of
+the exact ``sequence-seeds.bin`` byte stream (framed v2 layout) the
+proxy already reads, so the service consumes the same capture format as
+``repro map`` and the tolerant loader's corruption handling applies
+unchanged.
+
+The framing mirrors the seed-file design philosophy: length prefixes
+buy damage isolation (a decoder never reads past a declared boundary)
+and a hard payload cap (:data:`MAX_PAYLOAD`) keeps one corrupt length
+field from triggering a gigabyte-sized read.  Decoding is incremental
+(:func:`decode_frames` consumes a growing byte buffer), so the same
+code serves the asyncio server and the blocking client.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.io import ReadRecord, load_seed_file, save_seed_file
+
+#: Protocol schema tag carried in HELLO/WELCOME payloads.
+SCHEMA = "repro.serve/v1"
+
+#: Hard per-frame payload cap (bytes).  A well-formed submission never
+#: approaches this; a decoded length beyond it means the stream is
+#: corrupt or hostile, and failing on the cap bounds memory.
+MAX_PAYLOAD = 1 << 26
+
+_HEADER = struct.Struct("!BI")
+
+
+class FrameError(ValueError):
+    """A frame failed structural validation while encoding or decoding."""
+
+
+class FrameKind:
+    """The frame kind tags (one byte on the wire).
+
+    Client-to-server: HELLO, SUBMIT, STATS, METRICS, DLQ_DRAIN,
+    SHUTDOWN, GOODBYE.  Server-to-client: WELCOME, RESULT, REJECT,
+    DEAD_LETTER, SLO_REPORT, METRICS_TEXT, DLQ_DUMP, ERROR.
+    """
+
+    HELLO = 1
+    WELCOME = 2
+    SUBMIT = 3
+    RESULT = 4
+    REJECT = 5
+    DEAD_LETTER = 6
+    STATS = 7
+    SLO_REPORT = 8
+    METRICS = 9
+    METRICS_TEXT = 10
+    DLQ_DRAIN = 11
+    DLQ_DUMP = 12
+    SHUTDOWN = 13
+    GOODBYE = 14
+    ERROR = 15
+
+    #: Every known tag, for validation.
+    ALL = frozenset(range(1, 16))
+
+    #: Tags a client may treat as the terminal answer to one SUBMIT.
+    TERMINAL = frozenset({RESULT, REJECT, DEAD_LETTER})
+
+    _NAMES = {
+        1: "HELLO", 2: "WELCOME", 3: "SUBMIT", 4: "RESULT", 5: "REJECT",
+        6: "DEAD_LETTER", 7: "STATS", 8: "SLO_REPORT", 9: "METRICS",
+        10: "METRICS_TEXT", 11: "DLQ_DRAIN", 12: "DLQ_DUMP",
+        13: "SHUTDOWN", 14: "GOODBYE", 15: "ERROR",
+    }
+
+    @classmethod
+    def name(cls, kind: int) -> str:
+        """Human-readable tag name (for logs and error messages)."""
+        return cls._NAMES.get(kind, f"UNKNOWN({kind})")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: a kind tag plus its JSON payload."""
+
+    kind: int
+    payload: Dict[str, object]
+
+    @property
+    def kind_name(self) -> str:
+        """The tag's symbolic name."""
+        return FrameKind.name(self.kind)
+
+
+def encode_frame(kind: int, payload: Dict[str, object]) -> bytes:
+    """Serialize one frame: tag byte, length prefix, JSON payload."""
+    if kind not in FrameKind.ALL:
+        raise FrameError(f"unknown frame kind {kind}")
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_PAYLOAD:
+        raise FrameError(
+            f"frame payload of {len(body)} bytes exceeds cap {MAX_PAYLOAD}"
+        )
+    return _HEADER.pack(kind, len(body)) + body
+
+
+def decode_frames(buffer: bytes) -> Tuple[List[Frame], bytes]:
+    """Decode every complete frame in ``buffer``.
+
+    Returns ``(frames, remainder)`` where ``remainder`` is the trailing
+    bytes of a frame still in flight — append the next read to it and
+    call again.  Raises :class:`FrameError` on an unknown tag, an
+    over-cap length, or an undecodable payload (framing is unambiguous,
+    so any of those means the stream itself is broken).
+    """
+    frames: List[Frame] = []
+    offset = 0
+    while len(buffer) - offset >= _HEADER.size:
+        kind, length = _HEADER.unpack_from(buffer, offset)
+        if kind not in FrameKind.ALL:
+            raise FrameError(f"unknown frame kind {kind}")
+        if length > MAX_PAYLOAD:
+            raise FrameError(
+                f"frame payload of {length} bytes exceeds cap {MAX_PAYLOAD}"
+            )
+        if len(buffer) - offset - _HEADER.size < length:
+            break
+        body = buffer[offset + _HEADER.size:offset + _HEADER.size + length]
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise FrameError(f"undecodable frame payload: {error}") from error
+        if not isinstance(payload, dict):
+            raise FrameError("frame payload must be a JSON object")
+        frames.append(Frame(kind, payload))
+        offset += _HEADER.size + length
+    return frames, buffer[offset:]
+
+
+def pack_records(records: Sequence[ReadRecord]) -> str:
+    """Base64 of the framed-v2 ``sequence-seeds.bin`` byte stream."""
+    stream = io.BytesIO()
+    save_seed_file(records, stream, framed=True)
+    return base64.b64encode(stream.getvalue()).decode("ascii")
+
+
+def unpack_records(encoded: str) -> List[ReadRecord]:
+    """Decode records packed by :func:`pack_records` (strict load)."""
+    try:
+        raw = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise FrameError(f"undecodable records payload: {error}") from error
+    return load_seed_file(io.BytesIO(raw))

@@ -1,0 +1,212 @@
+"""The bounded request queue and the dead-letter queue.
+
+Accepted submissions become :class:`MappingRequest` objects and wait in
+a :class:`RequestQueue` — a small bounded FIFO whose depth ceiling *is*
+the service's backpressure signal (admission consults it before
+enqueueing; see :mod:`repro.serve.admission`).  The mapping worker pops
+requests, runs the proxy, and delivers a terminal verdict per request.
+
+Requests that fail terminally — quarantined by the failure policy,
+expired past their queue deadline, or broken in transit — land in the
+:class:`DeadLetterQueue` instead of vanishing: each
+:class:`DeadLetter` keeps the tenant, request id, reason, failed read
+names, and (when available) the original records payload, so the queue
+can be **inspected** (``repro dlq --inspect``), **drained**
+(``repro dlq --drain``), and **replayed** (``repro dlq --replay``)
+through the normal submission path.  Replay is idempotent: the server's
+exactly-once table readmits a dead-lettered request id exactly once,
+and a second replay reports duplicates instead of remapping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.io import ReadRecord
+
+
+class QueueFullError(RuntimeError):
+    """An enqueue was attempted past the queue's depth ceiling."""
+
+
+@dataclass
+class MappingRequest:
+    """One admitted submission waiting for (or undergoing) mapping.
+
+    ``deliver`` is the connection's completion callback — the server
+    re-points it when a reconnecting client resubmits the same request
+    id, so results follow the *live* connection.  ``enqueued_at`` is a
+    monotonic reading used for queue-deadline expiry and latency
+    accounting.
+    """
+
+    tenant: str
+    request_id: str
+    records: List[ReadRecord]
+    enqueued_at: float
+    deliver: Optional[Callable[[int, Dict[str, object]], None]] = None
+    records_b64: Optional[str] = None
+
+    @property
+    def key(self) -> tuple:
+        """The exactly-once identity: ``(tenant, request_id)``."""
+        return (self.tenant, self.request_id)
+
+    @property
+    def read_count(self) -> int:
+        """Number of reads in the submission (the admission cost)."""
+        return len(self.records)
+
+
+class RequestQueue:
+    """A bounded, thread-safe FIFO of :class:`MappingRequest`.
+
+    ``put`` raises :class:`QueueFullError` at the ceiling instead of
+    blocking — backpressure must surface as a REJECT frame, never as a
+    stalled reader.  ``get`` blocks with a timeout so the mapping worker
+    can wake up to observe shutdown.
+    """
+
+    def __init__(self, max_depth: int):
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self._ready = threading.Condition()
+        self._items: Deque[MappingRequest] = deque()  # qa: guarded-by(self._ready)
+
+    def depth(self) -> int:
+        """Current number of queued requests."""
+        with self._ready:
+            return len(self._items)
+
+    def put(self, request: MappingRequest) -> None:
+        """Enqueue, or raise :class:`QueueFullError` at the ceiling."""
+        with self._ready:
+            if len(self._items) >= self.max_depth:
+                raise QueueFullError(
+                    f"queue depth {len(self._items)} at ceiling "
+                    f"{self.max_depth}"
+                )
+            self._items.append(request)
+            self._ready.notify()
+
+    def get(self, timeout: float = 0.1) -> Optional[MappingRequest]:
+        """Dequeue the oldest request, or None after ``timeout`` seconds."""
+        with self._ready:
+            if not self._items:
+                self._ready.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+
+#: Dead-letter reasons (the wire-visible vocabulary).
+REASON_QUARANTINED = "quarantined"
+REASON_TIMEOUT = "timeout"
+REASON_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One terminally failed request, preserved for inspection/replay.
+
+    ``failed_reads`` names the reads the failure policy quarantined
+    (every read of the request for timeouts and transport errors);
+    ``records_b64`` carries the original submission payload when the
+    service was configured to keep it, which is what makes offline
+    replay possible.
+    """
+
+    tenant: str
+    request_id: str
+    reason: str
+    error: str
+    read_count: int
+    failed_reads: tuple
+    records_b64: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (spool lines, DLQ_DUMP frames)."""
+        payload: Dict[str, object] = {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "reason": self.reason,
+            "error": self.error,
+            "read_count": self.read_count,
+            "failed_reads": sorted(self.failed_reads),
+        }
+        if self.records_b64 is not None:
+            payload["records_b64"] = self.records_b64
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DeadLetter":
+        """Inverse of :meth:`to_dict` (spool loading)."""
+        return cls(
+            tenant=str(payload["tenant"]),
+            request_id=str(payload["request_id"]),
+            reason=str(payload["reason"]),
+            error=str(payload.get("error", "")),
+            read_count=int(payload.get("read_count", 0)),
+            failed_reads=tuple(payload.get("failed_reads", ())),
+            records_b64=payload.get("records_b64"),
+        )
+
+
+class DeadLetterQueue:
+    """Thread-safe store of :class:`DeadLetter` entries with a spool.
+
+    Entries accumulate in order; ``drain`` atomically removes and
+    returns everything (the ``repro dlq --drain`` verb).  When a spool
+    path is configured every entry is also appended to the JSONL spool
+    as it arrives, so dead letters survive a service crash and can be
+    inspected or replayed offline.
+    """
+
+    def __init__(self, spool_path: Optional[str] = None):
+        self.spool_path = spool_path
+        self._lock = threading.Lock()
+        self._entries: List[DeadLetter] = []  # qa: guarded-by(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def push(self, entry: DeadLetter) -> None:
+        """Record one dead letter (and append it to the spool, if any)."""
+        with self._lock:
+            self._entries.append(entry)
+            if self.spool_path:
+                with open(self.spool_path, "a", encoding="utf-8") as handle:
+                    json.dump(entry.to_dict(), handle, sort_keys=True)
+                    handle.write("\n")
+
+    def snapshot(self) -> List[DeadLetter]:
+        """A copy of the current entries (``--inspect``)."""
+        with self._lock:
+            return list(self._entries)
+
+    def drain(self) -> List[DeadLetter]:
+        """Atomically remove and return every entry (``--drain``)."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+            return entries
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """JSON-ready snapshot, oldest first."""
+        return [entry.to_dict() for entry in self.snapshot()]
+
+
+def load_spool(path: str) -> List[DeadLetter]:
+    """Read a dead-letter JSONL spool written by :class:`DeadLetterQueue`."""
+    entries: List[DeadLetter] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(DeadLetter.from_dict(json.loads(line)))
+    return entries

@@ -1,0 +1,484 @@
+"""The mapping service: asyncio front-end plus a mapping worker thread.
+
+:class:`MappingService` owns the full request lifecycle:
+
+* the **asyncio server** accepts framed connections
+  (:mod:`repro.serve.protocol`), answers HELLO with WELCOME, and routes
+  SUBMIT frames through the :class:`~repro.serve.admission.AdmissionController`
+  into the bounded :class:`~repro.serve.queue.RequestQueue`;
+* the **mapping worker thread** pops requests and drives
+  :class:`repro.core.MiniGiraffe` under a quarantine
+  :class:`~repro.resilience.policy.FailurePolicy` with a watchdog whose
+  soft deadline is the service's per-request timeout — the resilience
+  layer *is* the service's failure domain, so a hung or poisoned
+  request is quarantined by the watchdog, reported through
+  ``CompletenessReport.failed_reads``, and routed to the dead-letter
+  queue instead of wedging the service;
+* an **exactly-once table** keyed ``(tenant, request_id)`` makes
+  terminal verdicts idempotent: a duplicate of a completed request gets
+  the cached RESULT back (flagged ``duplicate``); resubmitting an
+  in-flight request re-points delivery at the live connection (the
+  reconnect path); a dead-lettered id may be readmitted exactly once
+  (the replay path);
+* every request is traced as a ``serve.request`` span and accounted in
+  the :class:`~repro.serve.slo.SLOTracker`, whose periodic report the
+  server prints and any client can fetch with a STATS frame.
+
+The server runs its event loop on a dedicated thread, so tests, the
+chaos soak, and the CLI all use the same in-process entry point:
+``handle = MappingService(mapper, config).start()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.proxy import MiniGiraffe
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+from repro.resilience.policy import FailurePolicy, WatchdogConfig
+from repro.serve.admission import AdmissionController, TenantQuota
+from repro.serve.protocol import (
+    SCHEMA,
+    Frame,
+    FrameError,
+    FrameKind,
+    decode_frames,
+    encode_frame,
+    unpack_records,
+)
+from repro.serve.queue import (
+    REASON_ERROR,
+    REASON_QUARANTINED,
+    DeadLetter,
+    DeadLetterQueue,
+    MappingRequest,
+    QueueFullError,
+    RequestQueue,
+)
+from repro.serve.slo import SLOTracker
+from repro.util import timing
+
+#: Exactly-once table states.
+_PENDING = "pending"
+_DONE = "done"
+_DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`MappingService`.
+
+    ``request_timeout`` becomes the watchdog's minimum soft deadline:
+    a request whose mapping stalls past it is quarantined and
+    dead-lettered rather than blocking the worker forever.
+    ``slo_interval`` > 0 prints a rendered SLO report every that many
+    seconds; 0 disables the periodic report (STATS still works).
+    ``keep_dead_records`` embeds the original records payload in each
+    dead letter so ``repro dlq --replay`` can resubmit offline.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue_depth: int = 64
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: Optional[Dict[str, TenantQuota]] = None
+    request_timeout: float = 5.0
+    watchdog_factor: float = 8.0
+    slo_interval: float = 0.0
+    dlq_spool: Optional[str] = None
+    keep_dead_records: bool = True
+    threads: int = 1
+
+
+@dataclass
+class ServiceHandle:
+    """A running service: the bound address plus stop/join controls."""
+
+    host: str
+    port: int
+    service: "MappingService"
+
+    def stop(self) -> None:
+        """Request shutdown (idempotent)."""
+        self.service.request_stop()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the server thread to exit."""
+        self.service.join(timeout)
+
+
+class MappingService:
+    """One mapping service instance (see module docstring).
+
+    The constructor wires the components; :meth:`start` binds the
+    socket, launches the event-loop thread and the mapping worker, and
+    returns a :class:`ServiceHandle` once the port is known.
+    """
+
+    def __init__(self, mapper: MiniGiraffe, config: Optional[ServiceConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 log: Optional[Callable[[str], None]] = None):
+        self.mapper = mapper
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.log = log if log is not None else print
+        self.slo = SLOTracker(self.registry)
+        self.queue = RequestQueue(self.config.max_queue_depth)
+        self.admission = AdmissionController(
+            self.config.max_queue_depth,
+            quota=self.config.quota,
+            tenant_quotas=self.config.tenant_quotas,
+        )
+        self.dlq = DeadLetterQueue(self.config.dlq_spool)
+        self._policy = FailurePolicy.quarantine(
+            watchdog=WatchdogConfig(
+                factor=self.config.watchdog_factor,
+                min_deadline=self.config.request_timeout,
+            )
+        )
+        self._state_lock = threading.Lock()
+        #: (tenant, request_id) -> {"state", "request"|None, "payload"|None}
+        self._table: Dict[Tuple[str, str], Dict[str, object]] = {}  # qa: guarded-by(self._state_lock)
+        self._stop = threading.Event()
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._bound: Tuple[str, int] = (self.config.host, self.config.port)
+        self._server_thread: Optional[threading.Thread] = None
+        self._worker_thread: Optional[threading.Thread] = None
+        self._start_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> ServiceHandle:
+        """Bind, launch the loop and worker threads, return a handle."""
+        self._server_thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-loop", daemon=True
+        )
+        self._server_thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._start_error}"
+            ) from self._start_error
+        self._worker_thread = threading.Thread(
+            target=self._worker, name="repro-serve-worker", daemon=True
+        )
+        self._worker_thread.start()
+        host, port = self._bound
+        return ServiceHandle(host=host, port=port, service=self)
+
+    def request_stop(self) -> None:
+        """Ask the loop and worker to wind down (idempotent)."""
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for both service threads to exit."""
+        if self._server_thread is not None:
+            self._server_thread.join(timeout)
+        if self._worker_thread is not None:
+            self._worker_thread.join(timeout)
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # qa: ignore[broad-except] — surfaced via _start_error to start()
+            self._start_error = error
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = server.sockets[0].getsockname()
+        self._bound = (sock[0], sock[1])
+        self._started.set()
+        reporter = None
+        if self.config.slo_interval > 0:
+            reporter = asyncio.ensure_future(self._periodic_slo())
+        async with server:
+            while not self._stop.is_set():
+                await asyncio.sleep(0.02)
+        if reporter is not None:
+            reporter.cancel()
+
+    async def _periodic_slo(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.slo_interval)
+            self.log(self.slo.report().render())
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        buffer = b""
+        tenant: Optional[str] = None
+
+        def send(kind: int, payload: Dict[str, object]) -> None:
+            if not writer.is_closing():
+                writer.write(encode_frame(kind, payload))
+
+        try:
+            while not self._stop.is_set():
+                try:
+                    chunk = await asyncio.wait_for(reader.read(65536), 0.1)
+                except asyncio.TimeoutError:
+                    continue
+                if not chunk:
+                    break
+                buffer += chunk
+                try:
+                    frames, buffer = decode_frames(buffer)
+                except FrameError as error:
+                    send(FrameKind.ERROR, {"error": str(error)})
+                    break
+                goodbye = False
+                for frame in frames:
+                    tenant, goodbye = self._dispatch(
+                        frame, tenant, send, writer
+                    )
+                    if goodbye:
+                        break
+                await writer.drain()
+                if goodbye:
+                    break
+        except ConnectionError:
+            pass  # client vanished; pending results stay cached for reconnect
+        finally:
+            writer.close()
+
+    def _dispatch(self, frame: Frame, tenant: Optional[str],
+                  send: Callable[[int, Dict[str, object]], None],
+                  writer: asyncio.StreamWriter) -> Tuple[Optional[str], bool]:
+        """Handle one frame; returns ``(tenant, connection_done)``."""
+        kind, payload = frame.kind, frame.payload
+        if kind == FrameKind.HELLO:
+            tenant = str(payload.get("tenant", "anonymous"))
+            send(FrameKind.WELCOME, {
+                "schema": SCHEMA,
+                "tenant": tenant,
+                "max_queue_depth": self.config.max_queue_depth,
+            })
+            return tenant, False
+        if kind == FrameKind.GOODBYE:
+            return tenant, True
+        if kind == FrameKind.SHUTDOWN:
+            send(FrameKind.GOODBYE, {"shutting_down": True})
+            self.request_stop()
+            return tenant, True
+        if kind == FrameKind.STATS:
+            report = self.slo.report().to_dict()
+            report["queue_depth"] = self.queue.depth()
+            report["dead_letter_queue"] = len(self.dlq)
+            send(FrameKind.SLO_REPORT, report)
+            return tenant, False
+        if kind == FrameKind.METRICS:
+            send(FrameKind.METRICS_TEXT, {"text": self.registry.dump()})
+            return tenant, False
+        if kind == FrameKind.DLQ_DRAIN:
+            inspect = bool(payload.get("inspect", False))
+            entries = self.dlq.snapshot() if inspect else self.dlq.drain()
+            send(FrameKind.DLQ_DUMP, {
+                "entries": [entry.to_dict() for entry in entries],
+                "drained": not inspect,
+            })
+            return tenant, False
+        if kind == FrameKind.SUBMIT:
+            if tenant is None:
+                send(FrameKind.ERROR, {"error": "SUBMIT before HELLO"})
+                return tenant, True
+            self._handle_submit(tenant, payload, send, writer)
+            return tenant, False
+        send(FrameKind.ERROR, {
+            "error": f"unexpected frame {FrameKind.name(kind)}"
+        })
+        return tenant, True
+
+    def _handle_submit(self, tenant: str, payload: Dict[str, object],
+                       send: Callable[[int, Dict[str, object]], None],
+                       writer: asyncio.StreamWriter) -> None:
+        request_id = str(payload.get("request_id", ""))
+        if not request_id:
+            send(FrameKind.ERROR, {"error": "SUBMIT without request_id"})
+            return
+        key = (tenant, request_id)
+        loop = self._loop
+
+        def deliver(kind: int, result_payload: Dict[str, object]) -> None:
+            # Runs on the event loop; drops silently if the connection
+            # died — the verdict stays cached for the reconnect path.
+            if not writer.is_closing():
+                writer.write(encode_frame(kind, result_payload))
+
+        def deliver_threadsafe(kind: int,
+                               result_payload: Dict[str, object]) -> None:
+            loop.call_soon_threadsafe(deliver, kind, result_payload)
+
+        with self._state_lock:
+            entry = self._table.get(key)
+            if entry is not None:
+                state = entry["state"]
+                if state == _DONE:
+                    cached = dict(entry["payload"])
+                    cached["duplicate"] = True
+                    send(FrameKind.RESULT, cached)
+                    return
+                if state == _PENDING:
+                    # Reconnect mid-stream: re-point delivery at the
+                    # live connection; the worker's verdict follows it.
+                    entry["request"].deliver = deliver_threadsafe
+                    return
+                # _DEAD: replay — fall through and readmit once.
+                del self._table[key]
+
+        try:
+            records = unpack_records(str(payload.get("records_b64", "")))
+        except FrameError as error:
+            send(FrameKind.ERROR, {
+                "request_id": request_id, "error": str(error),
+            })
+            return
+
+        decision = self.admission.admit(tenant, len(records),
+                                        self.queue.depth())
+        if not decision.accepted:
+            self.slo.record_rejected(tenant)
+            rejection = decision.to_dict()
+            rejection["request_id"] = request_id
+            send(FrameKind.REJECT, rejection)
+            return
+
+        request = MappingRequest(
+            tenant=tenant,
+            request_id=request_id,
+            records=records,
+            enqueued_at=timing.now(),
+            deliver=deliver_threadsafe,
+            records_b64=(
+                str(payload.get("records_b64"))
+                if self.config.keep_dead_records else None
+            ),
+        )
+        with self._state_lock:
+            self._table[key] = {"state": _PENDING, "request": request,
+                                "payload": None}
+        try:
+            self.queue.put(request)
+        except QueueFullError:
+            # Lost the race between the depth check and the enqueue.
+            with self._state_lock:
+                del self._table[key]
+            self.slo.record_rejected(tenant)
+            send(FrameKind.REJECT, {
+                "accepted": False, "reason": "queue_full",
+                "retry_after": 0.05, "request_id": request_id,
+            })
+            return
+        self.slo.record_accepted(tenant)
+
+    # ------------------------------------------------------------------
+    # mapping worker
+
+    def _worker(self) -> None:
+        while not (self._stop.is_set() and self.queue.depth() == 0):
+            request = self.queue.get(timeout=0.05)
+            if request is None:
+                if self._stop.is_set():
+                    break
+                continue
+            self._map_one(request)
+
+    def _map_one(self, request: MappingRequest) -> None:
+        with self.tracer.span(
+            "serve.request", tenant=request.tenant,
+            request_id=request.request_id, reads=request.read_count,
+        ) as span:
+            try:
+                result = self.mapper.map_reads(
+                    request.records, resilience=self._policy
+                )
+            except Exception as error:
+                span.set_error(error)
+                self._dead_letter(
+                    request, REASON_ERROR, str(error),
+                    failed=[record.name for record in request.records],
+                    mapped=0, extensions=0,
+                )
+                return
+            failed = (
+                list(result.completeness.failed_reads)
+                if result.completeness is not None else []
+            )
+            if failed:
+                span.set_error(RuntimeError(
+                    f"{len(failed)} reads quarantined"
+                ))
+                self._dead_letter(
+                    request, REASON_QUARANTINED,
+                    f"{len(failed)} of {request.read_count} reads quarantined",
+                    failed=failed, mapped=result.mapped_reads,
+                    extensions=len(result.extensions),
+                )
+                return
+            latency = timing.now() - request.enqueued_at
+            summary = {
+                "request_id": request.request_id,
+                "tenant": request.tenant,
+                "read_count": request.read_count,
+                "mapped_reads": result.mapped_reads,
+                "extensions": len(result.extensions),
+                "makespan": result.makespan,
+                "latency": latency,
+            }
+            # Account before delivering: a client that fires STATS the
+            # instant its last RESULT lands must see it counted.
+            self.slo.record_completed(
+                request.tenant, latency, request.read_count
+            )
+            self._settle(request, _DONE, FrameKind.RESULT, summary)
+
+    def _dead_letter(self, request: MappingRequest, reason: str, error: str,
+                     failed: List[str], mapped: int, extensions: int) -> None:
+        self.dlq.push(DeadLetter(
+            tenant=request.tenant,
+            request_id=request.request_id,
+            reason=reason,
+            error=error,
+            read_count=request.read_count,
+            failed_reads=tuple(failed),
+            records_b64=request.records_b64,
+        ))
+        verdict = {
+            "request_id": request.request_id,
+            "tenant": request.tenant,
+            "reason": reason,
+            "error": error,
+            "read_count": request.read_count,
+            "mapped_reads": mapped,
+            "extensions": extensions,
+            "failed_reads": sorted(failed),
+        }
+        self.slo.record_dead_letter(request.tenant)
+        self._settle(request, _DEAD, FrameKind.DEAD_LETTER, verdict)
+
+    def _settle(self, request: MappingRequest, state: str, kind: int,
+                payload: Dict[str, object]) -> None:
+        """Record the terminal verdict and deliver it to the live client."""
+        with self._state_lock:
+            self._table[request.key] = {
+                "state": state, "request": None, "payload": payload,
+            }
+            deliver = request.deliver
+        if deliver is not None:
+            try:
+                deliver(kind, payload)
+            except RuntimeError:
+                pass  # loop already closed during shutdown; verdict is cached

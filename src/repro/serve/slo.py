@@ -1,0 +1,197 @@
+"""Service-level objective tracking: per-tenant latency and error rates.
+
+Every terminal verdict the service issues — RESULT, REJECT, or
+DEAD_LETTER — is recorded here.  Latencies (submission arrival to
+result delivery, seconds) go into a per-tenant
+:class:`repro.obs.metrics.Histogram`, so the same registry that feeds
+``MetricsRegistry.dump()`` Prometheus text also answers quantile
+queries.  Counters track accepted / rejected / dead-lettered requests
+and reads per tenant.
+
+:meth:`SLOTracker.report` snapshots all of it into an
+:class:`SLOReport`: p50/p90/p99 mapping latency per tenant and overall,
+rejection rate, and dead-letter rate.  Empty windows are reported
+honestly — a tenant with no completed requests gets ``{}`` percentiles
+and ``None`` rates rather than fabricated zeros, mirroring how
+:meth:`Histogram.percentiles` treats an empty series.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Percentiles every SLO report carries.
+REPORT_PERCENTILES: Tuple[int, ...] = (50, 90, 99)
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One snapshot of the service's SLO posture.
+
+    ``latency_percentiles`` maps tenant name to ``{"p50": ..., "p90":
+    ..., "p99": ...}`` (empty dict when the tenant has completed no
+    requests); the ``"*"`` key aggregates across tenants.  Rates are
+    fractions of *decided* requests (``None`` when nothing has been
+    decided yet).
+    """
+
+    window_requests: int
+    accepted: int
+    rejected: int
+    dead_lettered: int
+    completed: int
+    reads_mapped: int
+    latency_percentiles: Dict[str, Dict[str, float]]
+    rejection_rate: Optional[float]
+    dead_letter_rate: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (SLO_REPORT frames, --slo-report)."""
+        return {
+            "window_requests": self.window_requests,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "dead_lettered": self.dead_lettered,
+            "completed": self.completed,
+            "reads_mapped": self.reads_mapped,
+            "latency_percentiles": self.latency_percentiles,
+            "rejection_rate": self.rejection_rate,
+            "dead_letter_rate": self.dead_letter_rate,
+        }
+
+    def render(self) -> str:
+        """Multi-line human rendering for the periodic server log."""
+        lines = [
+            "SLO report: "
+            f"{self.window_requests} requests "
+            f"({self.accepted} accepted, {self.rejected} rejected, "
+            f"{self.dead_lettered} dead-lettered, "
+            f"{self.completed} completed), "
+            f"{self.reads_mapped} reads mapped",
+        ]
+        if self.rejection_rate is not None:
+            lines.append(
+                f"  rejection_rate={self.rejection_rate:.4f} "
+                f"dead_letter_rate={self.dead_letter_rate:.4f}"
+            )
+        for tenant in sorted(self.latency_percentiles):
+            pcts = self.latency_percentiles[tenant]
+            if not pcts:
+                lines.append(f"  tenant={tenant}: no completed requests")
+                continue
+            rendered = " ".join(
+                f"{name}={pcts[name] * 1000.0:.2f}ms"
+                for name in sorted(pcts)
+            )
+            lines.append(f"  tenant={tenant}: {rendered}")
+        return "\n".join(lines)
+
+
+class SLOTracker:
+    """Accumulates per-tenant request outcomes into SLO reports.
+
+    One instance guards one service.  All counters live under a single
+    lock; latency samples additionally feed a ``serve_request_latency``
+    histogram (labelled by tenant) in the supplied
+    :class:`MetricsRegistry`, so ``repro submit --metrics`` surfaces
+    the same series in Prometheus text form.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hist: Histogram = self.registry.histogram(
+            "serve_request_latency",
+            "Mapping request latency, submission to delivery (seconds).",
+        )
+        self._lock = threading.Lock()
+        self._accepted = 0  # qa: guarded-by(self._lock)
+        self._rejected = 0  # qa: guarded-by(self._lock)
+        self._dead_lettered = 0  # qa: guarded-by(self._lock)
+        self._completed = 0  # qa: guarded-by(self._lock)
+        self._reads_mapped = 0  # qa: guarded-by(self._lock)
+        self._latencies: Dict[str, List[float]] = {}  # qa: guarded-by(self._lock)
+
+    def record_accepted(self, tenant: str) -> None:
+        """Count one admitted submission."""
+        with self._lock:
+            self._accepted += 1
+            self._latencies.setdefault(tenant, [])
+
+    def record_rejected(self, tenant: str) -> None:
+        """Count one admission rejection (backpressure or quota)."""
+        with self._lock:
+            self._rejected += 1
+            self._latencies.setdefault(tenant, [])
+        self.registry.counter(
+            "serve_rejected_total", "Requests rejected at admission."
+        ).inc(tenant=tenant)
+
+    def record_completed(self, tenant: str, latency: float,
+                         reads: int) -> None:
+        """Count one successful mapping and its end-to-end latency."""
+        with self._lock:
+            self._completed += 1
+            self._reads_mapped += reads
+            self._latencies.setdefault(tenant, []).append(latency)
+        self._hist.observe(latency, tenant=tenant)
+
+    def record_dead_letter(self, tenant: str) -> None:
+        """Count one request that terminated in the dead-letter queue."""
+        with self._lock:
+            self._dead_lettered += 1
+            self._latencies.setdefault(tenant, [])
+        self.registry.counter(
+            "serve_dead_letter_total", "Requests routed to the DLQ."
+        ).inc(tenant=tenant)
+
+    @staticmethod
+    def _percentiles(samples: List[float]) -> Dict[str, float]:
+        """p50/p90/p99 of ``samples``; ``{}`` for an empty window."""
+        if not samples:
+            return {}
+        ordered = sorted(samples)
+        out: Dict[str, float] = {}
+        for p in REPORT_PERCENTILES:
+            # Nearest-rank on the sorted window, matching
+            # Histogram.quantile so the two surfaces agree.
+            rank = max(0, min(len(ordered) - 1,
+                              round(p / 100.0 * (len(ordered) - 1))))
+            out[f"p{p}"] = ordered[rank]
+        return out
+
+    def report(self) -> SLOReport:
+        """Snapshot the current window into an :class:`SLOReport`."""
+        with self._lock:
+            decided = self._rejected + self._dead_lettered + self._completed
+            per_tenant = {
+                tenant: self._percentiles(samples)
+                for tenant, samples in self._latencies.items()
+            }
+            combined: List[float] = []
+            for samples in self._latencies.values():
+                combined.extend(samples)
+            per_tenant["*"] = self._percentiles(combined)
+            return SLOReport(
+                window_requests=self._accepted + self._rejected,
+                accepted=self._accepted,
+                rejected=self._rejected,
+                dead_lettered=self._dead_lettered,
+                completed=self._completed,
+                reads_mapped=self._reads_mapped,
+                latency_percentiles=per_tenant,
+                rejection_rate=(
+                    self._rejected / decided if decided else None
+                ),
+                dead_letter_rate=(
+                    self._dead_lettered / decided if decided else None
+                ),
+            )
+
+    def report_json(self) -> str:
+        """The current report as a compact JSON string."""
+        return json.dumps(self.report().to_dict(), sort_keys=True)

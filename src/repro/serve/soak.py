@@ -1,0 +1,216 @@
+"""The ``repro chaos --serve`` soak: faults under live service traffic.
+
+The batch-mode chaos harness proves the resilience layer keeps the
+*scheduler* honest; this soak proves the same invariant end-to-end
+through the service: with a seeded :class:`~repro.resilience.faults.FaultPlan`
+installed process-wide (so injected raises, delays, and cache storms
+fire inside the mapping worker), multiple tenants stream open-loop
+traffic at a live server and every connection's
+:class:`~repro.serve.client.ClientReport` must still satisfy the
+exactly-once completeness invariant:
+
+* every submitted request reaches exactly one terminal verdict;
+* every submitted read is accounted — mapped in a RESULT, named in a
+  DEAD_LETTER's ``failed_reads``, or part of a finally-rejected batch;
+* every DEAD_LETTER verdict has a matching entry in the server's
+  dead-letter queue (quarantined work is parked, never lost).
+
+The soak is deterministic for a fixed ``(seed, plan, pattern)`` triple:
+traffic schedules come from seeded arrival processes and the fault plan
+decides per batch index, so CI replays identical runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.io import ReadRecord
+from repro.core.proxy import MiniGiraffe
+from repro.resilience.faults import FaultPlan
+from repro.serve.client import ClientReport, StreamingClient
+from repro.serve.server import MappingService, ServiceConfig
+from repro.util.rng import derive_seed
+from repro.workloads.traffic import TrafficPattern
+
+
+class SoakError(AssertionError):
+    """The soak's exactly-once completeness invariant was violated."""
+
+
+def _tenant_worker(host: str, port: int, tenant: str,
+                   batches: Sequence[Sequence[ReadRecord]],
+                   gaps: Sequence[float],
+                   reports: Dict[str, ClientReport],
+                   errors: List[str]) -> None:
+    """One tenant's connection: stream every batch, keep the report."""
+    try:
+        with StreamingClient(host, port, tenant) as client:
+            reports[tenant] = client.stream(
+                batches, gaps=gaps, request_prefix=tenant
+            )
+    except Exception as error:  # qa: ignore[broad-except] — surfaced as a soak failure below
+        errors.append(f"tenant {tenant}: {type(error).__name__}: {error}")
+
+
+def _poison_plan(seed: int, scheduler_batch: int) -> FaultPlan:
+    """A fault plan guaranteed to quarantine multi-batch requests.
+
+    Fault decisions are a pure function of (plan seed, batch start
+    index), and every ``map_reads`` call numbers its batches from 0 —
+    so identical requests always draw identical faults.  To make the
+    soak's outcome mix deterministic, scan for a seed whose plan leaves
+    batch 0 clean but sticky-raises in the batch starting at
+    ``scheduler_batch``: single-batch requests then always complete,
+    and any request spanning a second batch always dead-letters.
+    """
+    base = derive_seed(seed, "soak", "faults")
+    for offset in range(4096):
+        plan = FaultPlan(seed=base + offset, raise_rate=0.5,
+                         delay_rate=0.2, sticky_rate=1.0, max_delay=0.002)
+        first = plan.decide(0)
+        second = plan.decide(scheduler_batch)
+        if (not first.raise_fault) and second.raise_fault and second.sticky:
+            return plan
+    # 4096 misses of a ~12.5% event is unreachable in practice; fall
+    # back to an unconditionally poisonous plan rather than crash.
+    return FaultPlan(seed=base, raise_rate=1.0, sticky_rate=1.0)
+
+
+def _cycle_reads(records: Sequence[ReadRecord], count: int) -> List[ReadRecord]:
+    """The first ``count`` reads, cycling ``records`` as needed.
+
+    Repeats are renamed (``name#2``, ``name#3``, …): both the proxy's
+    extension table and the completeness report are keyed by read name,
+    so duplicate names inside one request would silently collapse and
+    break the soak's read-conservation arithmetic.
+    """
+    out: List[ReadRecord] = []
+    cycle = 1
+    while len(out) < count:
+        for record in records[:count - len(out)]:
+            if cycle == 1:
+                out.append(record)
+            else:
+                out.append(ReadRecord(name=f"{record.name}#{cycle}",
+                                      sequence=record.sequence,
+                                      seeds=record.seeds))
+        cycle += 1
+    return out
+
+
+def run_soak(mapper: MiniGiraffe, records: Sequence[ReadRecord],
+             tenants: int = 2, requests_per_tenant: int = 8,
+             batch_reads: int = 4, seed: int = 0,
+             plan: Optional[FaultPlan] = None,
+             pattern: Optional[TrafficPattern] = None,
+             config: Optional[ServiceConfig] = None) -> Dict[str, object]:
+    """Run the chaos soak; returns a JSON-ready summary.
+
+    Starts an in-process :class:`MappingService` over ``mapper``,
+    installs ``plan`` (default: a :func:`_poison_plan` that quarantines
+    exactly the oversized requests), streams ``requests_per_tenant``
+    requests from each of ``tenants`` concurrent tenant connections on
+    ``pattern`` schedules, then checks the exactly-once invariants.
+    Every third request is oversized to span two scheduler batches, so
+    under the default plan the run produces both completed and
+    dead-lettered verdicts.  Raises :class:`SoakError` on any
+    violation (including a default-plan run that dead-letters
+    nothing); the summary's ``"ok"`` field is True otherwise.
+    """
+    scheduler_batch = mapper.options.batch_size
+    require_dead_letters = plan is None
+    if plan is None:
+        plan = _poison_plan(seed, scheduler_batch)
+    if pattern is None:
+        pattern = TrafficPattern(process="poisson", rate=200.0)
+    if config is None:
+        config = ServiceConfig(max_queue_depth=max(8, tenants * 4))
+
+    records = list(records)
+    if not records:
+        raise ValueError("soak needs at least one read")
+    small = max(1, min(batch_reads, scheduler_batch))
+    batches: List[List[ReadRecord]] = []
+    for index in range(requests_per_tenant):
+        if index % 3 == 2:
+            # Oversized: spans a second scheduler batch, which the
+            # default plan sticky-poisons — the dead-letter path.
+            batches.append(_cycle_reads(records, scheduler_batch + small))
+        else:
+            batches.append(_cycle_reads(records, small))
+
+    service = MappingService(mapper, config)
+    handle = service.start()
+    reports: Dict[str, ClientReport] = {}
+    errors: List[str] = []
+    try:
+        with plan.install() as injector:
+            threads = []
+            for index in range(tenants):
+                tenant = f"tenant-{index}"
+                gaps = pattern.gaps(
+                    len(batches), derive_seed(seed, "soak", tenant)
+                )
+                thread = threading.Thread(
+                    target=_tenant_worker,
+                    args=(handle.host, handle.port, tenant, batches, gaps,
+                          reports, errors),
+                    name=f"soak-{tenant}",
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+
+        with StreamingClient(handle.host, handle.port, "soak-control") as ctl:
+            slo = ctl.stats()
+            dlq_entries = ctl.dlq_dump(inspect=True)
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    if errors:
+        raise SoakError("; ".join(errors))
+
+    dlq_keys = {(e["tenant"], e["request_id"]) for e in dlq_entries}
+    violations: List[str] = []
+    for tenant, report in sorted(reports.items()):
+        if report.terminal_count != requests_per_tenant:
+            violations.append(
+                f"{tenant}: {report.terminal_count} terminal verdicts "
+                f"for {requests_per_tenant} requests"
+            )
+        if not report.complete:
+            violations.append(
+                f"{tenant}: reads lost — submitted {report.reads_submitted}, "
+                f"mapped {report.reads_mapped}, failed {report.reads_failed}"
+            )
+        for request_id in report.dead_lettered:
+            if (tenant, request_id) not in dlq_keys:
+                violations.append(
+                    f"{tenant}: dead-lettered {request_id} missing from DLQ"
+                )
+    total_dead = sum(len(r.dead_lettered) for r in reports.values())
+    total_completed = sum(len(r.results) for r in reports.values())
+    if require_dead_letters and total_dead == 0:
+        violations.append(
+            "default poison plan produced no dead letters — the DLQ "
+            "path went unexercised"
+        )
+    if require_dead_letters and total_completed == 0:
+        violations.append(
+            "default poison plan completed no requests — the RESULT "
+            "path went unexercised"
+        )
+    if violations:
+        raise SoakError("; ".join(violations))
+
+    return {
+        "ok": True,
+        "tenants": {t: r.to_dict() for t, r in sorted(reports.items())},
+        "injected_raises": injector.injected_raises,
+        "injected_delays": injector.injected_delays,
+        "dead_letter_queue": len(dlq_entries),
+        "slo": slo,
+    }

@@ -1,0 +1,106 @@
+"""Open-loop arrival processes for the mapping service.
+
+The service's backpressure and quota paths are only exercised when the
+offered load is independent of the service's response times — a client
+that waits for each answer before sending the next request can never
+overrun the queue.  :class:`TrafficPattern` therefore generates
+**open-loop** schedules: a list of inter-arrival gaps drawn up front
+from a seeded process, which the streaming client replays regardless of
+how the server is keeping up.
+
+Three processes cover the service-evaluation space:
+
+* ``poisson`` — memoryless arrivals at ``rate`` requests/second
+  (exponential gaps), the standard model for aggregated independent
+  clients;
+* ``uniform`` — evenly spaced arrivals at ``rate`` (the closed-form
+  best case: no burstiness at the same average load);
+* ``burst`` — ``burst_size`` back-to-back arrivals, then a long gap
+  that restores the average ``rate`` (the adversarial case that trips
+  queue-depth backpressure and token-bucket bursts).
+
+All draws come from :class:`repro.util.rng.SplitMix64`, so a
+``(seed, pattern)`` pair always yields the same schedule — the chaos
+soak and CI smoke replay identical traffic every run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.io import ReadRecord
+from repro.util.rng import SplitMix64, derive_seed
+
+#: The recognised arrival process names.
+PROCESSES = ("poisson", "uniform", "burst")
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """One open-loop arrival schedule specification.
+
+    ``rate`` is the average request arrival rate in requests/second;
+    ``process`` selects the inter-arrival law; ``burst_size`` only
+    applies to the ``burst`` process (arrivals per burst).
+    """
+
+    process: str = "poisson"
+    rate: float = 50.0
+    burst_size: int = 8
+
+    def __post_init__(self):
+        if self.process not in PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                f"expected one of {PROCESSES}"
+            )
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be positive")
+
+    def gaps(self, count: int, seed: int) -> List[float]:
+        """``count`` inter-arrival gaps (seconds), deterministic in seed.
+
+        ``gaps[i]`` is the delay *before* request ``i`` is sent; the
+        first entry is 0 so a schedule always starts immediately.
+        """
+        if count <= 0:
+            return []
+        rng = SplitMix64(derive_seed(seed, "traffic", self.process))
+        mean_gap = 1.0 / self.rate
+        out: List[float] = [0.0]
+        while len(out) < count:
+            if self.process == "uniform":
+                out.append(mean_gap)
+            elif self.process == "poisson":
+                # Inverse-CDF exponential draw; clamp the uniform away
+                # from 0 so log() stays finite.
+                u = max(rng.random(), 1e-12)
+                out.append(-math.log(u) * mean_gap)
+            else:  # burst
+                position = len(out) % self.burst_size
+                if position == 0:
+                    # The long gap restores the average rate across
+                    # one whole burst.
+                    out.append(mean_gap * self.burst_size)
+                else:
+                    out.append(0.0)
+        return out[:count]
+
+
+def split_batches(records: Sequence[ReadRecord],
+                  batch_reads: int) -> List[List[ReadRecord]]:
+    """Chop a read set into submission batches of ``batch_reads`` reads.
+
+    The final batch keeps the remainder, so every read appears in
+    exactly one batch (the exactly-once invariant starts here).
+    """
+    if batch_reads < 1:
+        raise ValueError("batch_reads must be positive")
+    return [
+        list(records[start:start + batch_reads])
+        for start in range(0, len(records), batch_reads)
+    ]

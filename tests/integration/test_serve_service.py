@@ -1,0 +1,308 @@
+"""Live-service integration: exactly-once semantics over real sockets.
+
+These tests drive a real :class:`MappingService` (asyncio loop + worker
+thread, ephemeral port) through the real :class:`StreamingClient`, but
+swap the proxy for a controllable stub mapper — the service only ever
+calls ``map_reads(records, resilience=...)`` — so failure injection,
+blocking, and quota timing are deterministic and fast.
+"""
+
+import threading
+import time
+
+from repro.core.io import ReadRecord
+from repro.serve import (
+    MappingService,
+    ServiceConfig,
+    StreamingClient,
+    TenantQuota,
+)
+from repro.serve.protocol import FrameKind, pack_records
+
+
+class _Completeness:
+    def __init__(self, failed_reads):
+        self.failed_reads = list(failed_reads)
+
+
+class _Result:
+    def __init__(self, records, failed_reads=()):
+        failed = set(failed_reads)
+        self.extensions = {
+            r.name: [] for r in records if r.name not in failed
+        }
+        self.mapped_reads = len(self.extensions)
+        self.makespan = 0.001
+        self.completeness = _Completeness(failed_reads)
+
+
+class StubMapper:
+    """Scriptable stand-in for MiniGiraffe.map_reads.
+
+    ``fail_once`` names read prefixes whose first mapping attempt
+    quarantines every read of the request (the dead-letter + replay
+    path).  ``hold`` is an optional event the mapper waits on before
+    returning (the reconnect-mid-flight path).
+    """
+
+    def __init__(self, fail_once=(), hold=None):
+        self._fail_once = set(fail_once)
+        self._hold = hold
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def map_reads(self, records, resilience=None, **_kwargs):
+        with self._lock:
+            self.calls += 1
+            trigger = next(
+                (p for p in self._fail_once
+                 if any(r.name.startswith(p) for r in records)),
+                None,
+            )
+            if trigger is not None:
+                self._fail_once.discard(trigger)
+                return _Result(records,
+                               failed_reads=[r.name for r in records])
+        if self._hold is not None:
+            assert self._hold.wait(timeout=10.0)
+        return _Result(records)
+
+
+def _reads(prefix, count=3):
+    return [ReadRecord(f"{prefix}-{i}", "ACGTACGT") for i in range(count)]
+
+
+def _start(mapper, **config_kwargs):
+    config = ServiceConfig(port=0, **config_kwargs)
+    return MappingService(mapper, config, log=lambda _line: None).start()
+
+
+def _collect_terminal(client, count, timeout=10.0):
+    frames = []
+    deadline = time.monotonic() + timeout
+    while len(frames) < count and time.monotonic() < deadline:
+        frame = client._try_recv(0.05)
+        if frame is not None and frame.kind in FrameKind.TERMINAL:
+            frames.append(frame)
+    assert len(frames) == count, f"got {len(frames)} terminal frames"
+    return frames
+
+
+def test_two_tenants_stream_to_completion():
+    handle = _start(StubMapper())
+    try:
+        reports = {}
+
+        def run(tenant):
+            with StreamingClient(handle.host, handle.port, tenant) as client:
+                batches = [_reads(f"{tenant}-{i}") for i in range(4)]
+                reports[tenant] = client.stream(
+                    batches, request_prefix=tenant
+                )
+
+        threads = [
+            threading.Thread(target=run, args=(t,))
+            for t in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for tenant in ("alice", "bob"):
+            report = reports[tenant]
+            assert report.complete
+            assert len(report.results) == 4
+            assert report.reads_submitted == 12
+            assert report.reads_mapped == 12
+
+        with StreamingClient(handle.host, handle.port, "ctl") as ctl:
+            stats = ctl.stats()
+            assert stats["completed"] == 8
+            assert stats["reads_mapped"] == 24
+            assert set(stats["latency_percentiles"]) == {"alice", "bob", "*"}
+            assert "p99" in stats["latency_percentiles"]["alice"]
+            metrics = ctl.metrics_text()
+            assert "serve_request_latency" in metrics
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_quota_exhaustion_then_refill():
+    # 6-token budget refilling at 60/s: two 3-read requests drain it,
+    # the third rejects with a retry hint, and ~50ms later it heals.
+    handle = _start(
+        StubMapper(),
+        quota=TenantQuota(capacity=6, refill_rate=60.0),
+    )
+    try:
+        with StreamingClient(handle.host, handle.port, "greedy") as client:
+            for index in range(2):
+                client.submit(f"ok-{index}", _reads(f"g{index}"))
+            _collect_terminal(client, 2)
+
+            client.submit("over", _reads("g2"))
+            frame = client._recv()
+            assert frame.kind == FrameKind.REJECT
+            assert frame.payload["reason"] == "quota"
+            retry_after = frame.payload["retry_after"]
+            assert 0 < retry_after <= 0.1
+
+            time.sleep(retry_after + 0.02)
+            client.submit("over", _reads("g2"))
+            frame = client._recv()
+            assert frame.kind == FrameKind.RESULT
+            assert frame.payload["request_id"] == "over"
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_reconnect_mid_stream_repoints_delivery():
+    hold = threading.Event()
+    handle = _start(StubMapper(hold=hold))
+    try:
+        records = _reads("r")
+        client = StreamingClient(handle.host, handle.port, "roamer")
+        client.connect()
+        client.submit("inflight", records)
+        time.sleep(0.2)          # let the worker pick it up and block
+
+        # The connection dies while the request is mid-mapping...
+        client.reconnect()
+        # ...and resubmitting the same id re-points delivery here.
+        client.submit("inflight", records)
+        time.sleep(0.3)          # let the server re-point before settling
+        hold.set()
+        frame = client._recv()
+        assert frame.kind == FrameKind.RESULT
+        assert frame.payload["request_id"] == "inflight"
+        assert not frame.payload.get("duplicate")
+        client.close()
+    finally:
+        hold.set()
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_duplicate_submit_returns_cached_result():
+    handle = _start(StubMapper())
+    try:
+        with StreamingClient(handle.host, handle.port, "dup") as client:
+            records = _reads("d")
+            client.submit("once", records)
+            first = _collect_terminal(client, 1)[0]
+            assert first.kind == FrameKind.RESULT
+
+            client.submit("once", records)
+            again = client._recv()
+            assert again.kind == FrameKind.RESULT
+            assert again.payload["duplicate"] is True
+            assert again.payload["read_count"] == first.payload["read_count"]
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_dead_letter_replay_is_idempotent(tmp_path):
+    spool = str(tmp_path / "dead.jsonl")
+    mapper = StubMapper(fail_once=("poison",))
+    handle = _start(mapper, dlq_spool=spool)
+    try:
+        with StreamingClient(handle.host, handle.port, "t") as client:
+            records = _reads("poison")
+            client.submit("doomed", records)
+            verdict = _collect_terminal(client, 1)[0]
+            assert verdict.kind == FrameKind.DEAD_LETTER
+            assert verdict.payload["reason"] == "quarantined"
+            assert sorted(verdict.payload["failed_reads"]) == sorted(
+                r.name for r in records
+            )
+
+            entries = client.dlq_dump(inspect=True)
+            assert len(entries) == 1
+            assert entries[0]["request_id"] == "doomed"
+            # keep_dead_records defaults on: the payload is replayable.
+            assert entries[0]["records_b64"] == pack_records(records)
+
+            # Replay 1: the dead id is readmitted exactly once and (the
+            # stub now healthy) completes.
+            client.submit_raw("doomed", entries[0]["records_b64"])
+            replayed = _collect_terminal(client, 1)[0]
+            assert replayed.kind == FrameKind.RESULT
+            assert not replayed.payload.get("duplicate")
+
+            # Replay 2: idempotent — the cached RESULT comes back, no
+            # third mapping run.
+            calls_before = mapper.calls
+            client.submit_raw("doomed", entries[0]["records_b64"])
+            cached = _collect_terminal(client, 1)[0]
+            assert cached.kind == FrameKind.RESULT
+            assert cached.payload["duplicate"] is True
+            assert mapper.calls == calls_before
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_submit_before_hello_is_a_protocol_error():
+    handle = _start(StubMapper())
+    try:
+        import socket as socket_module
+
+        from repro.serve.protocol import decode_frames, encode_frame
+
+        with socket_module.create_connection(
+            (handle.host, handle.port), timeout=5.0
+        ) as sock:
+            sock.sendall(encode_frame(FrameKind.SUBMIT, {
+                "request_id": "rogue", "records_b64": "",
+            }))
+            buffer = b""
+            deadline = time.monotonic() + 5.0
+            frames = []
+            while not frames and time.monotonic() < deadline:
+                try:
+                    sock.settimeout(0.2)
+                    chunk = sock.recv(65536)
+                except socket_module.timeout:
+                    continue
+                if not chunk:
+                    break
+                buffer += chunk
+                frames, buffer = decode_frames(buffer)
+            assert frames and frames[0].kind == FrameKind.ERROR
+            assert "HELLO" in frames[0].payload["error"]
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_backpressure_rejects_when_queue_is_full():
+    hold = threading.Event()
+    handle = _start(
+        StubMapper(hold=hold),
+        max_queue_depth=1,
+        quota=TenantQuota(capacity=1_000_000, refill_rate=1_000_000),
+    )
+    try:
+        with StreamingClient(handle.host, handle.port, "flood") as client:
+            # First request occupies the worker; the second fills the
+            # queue; the third must bounce with queue_full.
+            client.submit("a", _reads("a"))
+            time.sleep(0.2)
+            client.submit("b", _reads("b"))
+            time.sleep(0.1)
+            client.submit("c", _reads("c"))
+            frame = client._recv()
+            assert frame.kind == FrameKind.REJECT
+            assert frame.payload["reason"] == "queue_full"
+            assert frame.payload["request_id"] == "c"
+            hold.set()
+            remaining = _collect_terminal(client, 2)
+            assert {f.payload["request_id"] for f in remaining} == {"a", "b"}
+    finally:
+        hold.set()
+        handle.stop()
+        handle.join(timeout=10.0)

@@ -1,0 +1,85 @@
+"""The docs-drift gate (repro.qa.docs): CLI surface vs the docs tree."""
+
+import os
+
+from repro.qa.docs import EXEMPT_FLAGS, check_docs, cli_surface
+
+
+def _write(path, text):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def test_cli_surface_walks_the_real_parser():
+    surface = cli_surface()
+    # Spot-check long-lived commands and their flags.
+    assert "map" in surface and "serve" in surface and "docs" in surface
+    assert "--input-set" in surface["serve"]
+    assert "--inspect" in surface["dlq"]
+    # --help is exempt everywhere, short options are ignored.
+    for flags in surface.values():
+        assert "--help" not in flags
+        assert all(flag.startswith("--") for flag in flags)
+    assert "--help" in EXEMPT_FLAGS
+
+
+def test_missing_corpus_is_a_finding(tmp_path):
+    findings = check_docs(docs_dir=str(tmp_path / "docs"),
+                          readme=str(tmp_path / "README.md"))
+    assert len(findings) == 1
+    assert "corpus is empty" in findings[0]
+
+
+def test_undocumented_subcommand_detected(tmp_path):
+    # A corpus that documents everything except `repro docs`.
+    surface = cli_surface()
+    lines = []
+    for command, flags in surface.items():
+        if command == "docs":
+            continue
+        lines.append(f"`repro {command}` " + " ".join(sorted(flags)))
+    _write(str(tmp_path / "docs" / "ALL.md"), "\n".join(lines))
+    findings = check_docs(docs_dir=str(tmp_path / "docs"),
+                          readme=str(tmp_path / "README.md"))
+    assert findings == [
+        "subcommand 'repro docs' appears nowhere in the docs corpus "
+        "(1 file(s) scanned)"
+    ]
+
+
+def test_flag_must_appear_in_a_file_mentioning_its_command(tmp_path):
+    surface = cli_surface()
+    lines = []
+    for command, flags in surface.items():
+        kept = sorted(flags - {"--readme"} if command == "docs" else flags)
+        lines.append(f"`repro {command}` " + " ".join(kept))
+    _write(str(tmp_path / "docs" / "ALL.md"), "\n".join(lines))
+    # --readme appears in the corpus, but only in a file that never
+    # mentions `repro docs` — that must NOT count as coverage.
+    _write(str(tmp_path / "docs" / "OTHER.md"),
+           "unrelated prose mentioning --readme only")
+    findings = check_docs(docs_dir=str(tmp_path / "docs"),
+                          readme=str(tmp_path / "README.md"))
+    assert len(findings) == 1
+    assert "'--readme' of 'repro docs'" in findings[0]
+
+
+def test_complete_corpus_is_clean(tmp_path):
+    surface = cli_surface()
+    lines = [
+        f"`repro {command}` " + " ".join(sorted(flags))
+        for command, flags in surface.items()
+    ]
+    _write(str(tmp_path / "README.md"), "\n".join(lines))
+    assert check_docs(docs_dir=str(tmp_path / "docs"),
+                      readme=str(tmp_path / "README.md")) == []
+
+
+def test_repository_docs_have_no_drift():
+    # The real gate over the real corpus: a new CLI flag without docs
+    # fails tier-1 right here, not just in `scripts/ci.sh --lint`.
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    findings = check_docs(docs_dir=os.path.join(root, "docs"),
+                          readme=os.path.join(root, "README.md"))
+    assert findings == []

@@ -1,0 +1,133 @@
+"""Token-bucket and admission-controller behavior with a fake clock."""
+
+import pytest
+
+from repro.serve.admission import (
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic refill tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        TenantQuota(capacity=0)
+    with pytest.raises(ValueError):
+        TenantQuota(refill_rate=-1.0)
+
+
+def test_bucket_exhaustion_and_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(TenantQuota(capacity=10, refill_rate=5), clock=clock)
+    assert bucket.try_acquire(10)
+    assert not bucket.try_acquire(1)        # exhausted
+    clock.advance(0.2)                       # refills 1 token
+    assert bucket.try_acquire(1)
+    assert not bucket.try_acquire(1)
+
+
+def test_bucket_refill_caps_at_capacity():
+    clock = FakeClock()
+    bucket = TokenBucket(TenantQuota(capacity=4, refill_rate=100), clock=clock)
+    clock.advance(1000.0)
+    assert bucket.available() == 4.0
+
+
+def test_retry_after_hint():
+    clock = FakeClock()
+    bucket = TokenBucket(TenantQuota(capacity=10, refill_rate=2), clock=clock)
+    assert bucket.try_acquire(10)
+    assert bucket.retry_after(4) == pytest.approx(2.0)   # 4-token deficit at 2/s
+    assert bucket.retry_after(11) == float("inf")        # above capacity: never
+    clock.advance(5.0)
+    assert bucket.retry_after(4) == 0.0
+
+
+def test_non_replenishing_bucket():
+    clock = FakeClock()
+    bucket = TokenBucket(TenantQuota(capacity=3, refill_rate=0), clock=clock)
+    assert bucket.try_acquire(3)
+    clock.advance(1e6)
+    assert not bucket.try_acquire(1)
+    assert bucket.retry_after(1) == float("inf")
+
+
+def test_negative_cost_rejected():
+    bucket = TokenBucket(TenantQuota(), clock=FakeClock())
+    with pytest.raises(ValueError):
+        bucket.try_acquire(-1)
+
+
+def test_backpressure_checked_before_quota():
+    clock = FakeClock()
+    controller = AdmissionController(
+        max_queue_depth=2,
+        quota=TenantQuota(capacity=5, refill_rate=0),
+        clock=clock,
+    )
+    decision = controller.admit("alice", cost=100, queue_depth=2)
+    assert not decision.accepted
+    assert decision.reason == REASON_QUEUE_FULL
+    # The depth rejection spent no tokens, so the full budget remains.
+    assert controller.bucket("alice").available() == 5.0
+
+
+def test_quota_rejection_and_per_tenant_isolation():
+    clock = FakeClock()
+    controller = AdmissionController(
+        max_queue_depth=8,
+        quota=TenantQuota(capacity=4, refill_rate=0),
+        clock=clock,
+    )
+    assert controller.admit("alice", cost=4, queue_depth=0).accepted
+    denied = controller.admit("alice", cost=1, queue_depth=0)
+    assert not denied.accepted
+    assert denied.reason == REASON_QUOTA
+    # Bob owns a separate bucket: alice's exhaustion doesn't touch it.
+    assert controller.admit("bob", cost=4, queue_depth=0).accepted
+
+
+def test_tenant_quota_overrides():
+    clock = FakeClock()
+    controller = AdmissionController(
+        max_queue_depth=8,
+        quota=TenantQuota(capacity=1, refill_rate=0),
+        tenant_quotas={"vip": TenantQuota(capacity=100, refill_rate=0)},
+        clock=clock,
+    )
+    assert not controller.admit("basic", cost=2, queue_depth=0).accepted
+    assert controller.admit("vip", cost=50, queue_depth=0).accepted
+
+
+def test_decision_to_dict_serializes_infinity_as_none():
+    clock = FakeClock()
+    controller = AdmissionController(
+        max_queue_depth=8,
+        quota=TenantQuota(capacity=2, refill_rate=0),
+        clock=clock,
+    )
+    decision = controller.admit("t", cost=5, queue_depth=0)
+    payload = decision.to_dict()
+    assert payload["accepted"] is False
+    assert payload["reason"] == REASON_QUOTA
+    assert payload["retry_after"] is None   # inf is not JSON-portable
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue_depth=0)

@@ -1,0 +1,108 @@
+"""Framing and record-packing behavior of repro.serve.protocol."""
+
+import struct
+
+import pytest
+
+from repro.core.io import ReadRecord, Seed
+from repro.serve.protocol import (
+    MAX_PAYLOAD,
+    FrameError,
+    FrameKind,
+    decode_frames,
+    encode_frame,
+    pack_records,
+    unpack_records,
+)
+
+
+def _records():
+    return [
+        ReadRecord("read-1", "ACGTACGT", [Seed(0, (4, 2)), Seed(3, (6, 0))]),
+        ReadRecord("read-2", "TTTTACGT", []),
+    ]
+
+
+def test_encode_decode_round_trip():
+    payload = {"tenant": "alice", "n": 3, "nested": {"a": [1, 2]}}
+    wire = encode_frame(FrameKind.HELLO, payload)
+    frames, rest = decode_frames(wire)
+    assert rest == b""
+    assert len(frames) == 1
+    assert frames[0].kind == FrameKind.HELLO
+    assert frames[0].kind_name == "HELLO"
+    assert frames[0].payload == payload
+
+
+def test_decode_is_incremental():
+    wire = encode_frame(FrameKind.STATS, {}) + encode_frame(
+        FrameKind.GOODBYE, {"bye": True}
+    )
+    # Feed the stream one byte at a time; every prefix decodes cleanly.
+    buffer = b""
+    seen = []
+    for byte in wire:
+        buffer += bytes([byte])
+        frames, buffer = decode_frames(buffer)
+        seen.extend(frames)
+    assert buffer == b""
+    assert [f.kind for f in seen] == [FrameKind.STATS, FrameKind.GOODBYE]
+    assert seen[1].payload == {"bye": True}
+
+
+def test_decode_keeps_partial_remainder():
+    wire = encode_frame(FrameKind.HELLO, {"tenant": "t"})
+    frames, rest = decode_frames(wire[:-3])
+    assert frames == []
+    assert rest == wire[:-3]
+    frames, rest = decode_frames(rest + wire[-3:])
+    assert len(frames) == 1 and rest == b""
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(FrameError):
+        encode_frame(99, {})
+    bogus = struct.pack("!BI", 99, 2) + b"{}"
+    with pytest.raises(FrameError):
+        decode_frames(bogus)
+
+
+def test_oversized_length_rejected():
+    bogus = struct.pack("!BI", FrameKind.SUBMIT, MAX_PAYLOAD + 1)
+    with pytest.raises(FrameError):
+        decode_frames(bogus)
+
+
+def test_non_object_payload_rejected():
+    body = b"[1,2,3]"
+    bogus = struct.pack("!BI", FrameKind.STATS, len(body)) + body
+    with pytest.raises(FrameError):
+        decode_frames(bogus)
+
+
+def test_undecodable_payload_rejected():
+    body = b"\xff\xfe not json"
+    bogus = struct.pack("!BI", FrameKind.STATS, len(body)) + body
+    with pytest.raises(FrameError):
+        decode_frames(bogus)
+
+
+def test_pack_unpack_records_round_trip():
+    records = _records()
+    encoded = pack_records(records)
+    decoded = unpack_records(encoded)
+    assert [r.name for r in decoded] == [r.name for r in records]
+    assert [r.sequence for r in decoded] == [r.sequence for r in records]
+    assert [r.seeds for r in decoded] == [r.seeds for r in records]
+
+
+def test_unpack_records_rejects_bad_base64():
+    with pytest.raises(FrameError):
+        unpack_records("!!! not base64 !!!")
+
+
+def test_terminal_kinds():
+    assert FrameKind.TERMINAL == {
+        FrameKind.RESULT, FrameKind.REJECT, FrameKind.DEAD_LETTER
+    }
+    assert FrameKind.name(255) == "UNKNOWN(255)"

@@ -1,0 +1,105 @@
+"""Bounded request queue and dead-letter queue behavior."""
+
+import pytest
+
+from repro.core.io import ReadRecord
+from repro.serve.queue import (
+    DeadLetter,
+    DeadLetterQueue,
+    MappingRequest,
+    QueueFullError,
+    RequestQueue,
+    load_spool,
+)
+
+
+def _request(request_id="r-1", reads=2):
+    records = [ReadRecord(f"read-{i}", "ACGT") for i in range(reads)]
+    return MappingRequest(
+        tenant="t", request_id=request_id, records=records, enqueued_at=0.0
+    )
+
+
+def test_request_key_and_read_count():
+    request = _request(reads=3)
+    assert request.key == ("t", "r-1")
+    assert request.read_count == 3
+
+
+def test_queue_fifo_and_depth():
+    queue = RequestQueue(max_depth=4)
+    queue.put(_request("a"))
+    queue.put(_request("b"))
+    assert queue.depth() == 2
+    assert queue.get().request_id == "a"
+    assert queue.get().request_id == "b"
+    assert queue.depth() == 0
+
+
+def test_queue_full_raises_instead_of_blocking():
+    queue = RequestQueue(max_depth=1)
+    queue.put(_request("a"))
+    with pytest.raises(QueueFullError):
+        queue.put(_request("b"))
+
+
+def test_queue_get_times_out_with_none():
+    queue = RequestQueue(max_depth=1)
+    assert queue.get(timeout=0.01) is None
+
+
+def test_queue_validation():
+    with pytest.raises(ValueError):
+        RequestQueue(max_depth=0)
+
+
+def test_dead_letter_round_trip():
+    entry = DeadLetter(
+        tenant="t", request_id="r-9", reason="quarantined",
+        error="2 reads quarantined", read_count=4,
+        failed_reads=("read-b", "read-a"), records_b64="QUJD",
+    )
+    payload = entry.to_dict()
+    assert payload["failed_reads"] == ["read-a", "read-b"]   # sorted
+    restored = DeadLetter.from_dict(payload)
+    assert restored.tenant == "t"
+    assert restored.request_id == "r-9"
+    assert restored.records_b64 == "QUJD"
+    assert set(restored.failed_reads) == {"read-a", "read-b"}
+
+
+def test_dead_letter_omits_absent_records():
+    entry = DeadLetter(
+        tenant="t", request_id="r", reason="error", error="boom",
+        read_count=1, failed_reads=("x",),
+    )
+    assert "records_b64" not in entry.to_dict()
+    assert DeadLetter.from_dict(entry.to_dict()).records_b64 is None
+
+
+def test_dlq_snapshot_and_drain():
+    dlq = DeadLetterQueue()
+    first = DeadLetter("t", "r-1", "error", "boom", 1, ("x",))
+    second = DeadLetter("t", "r-2", "timeout", "slow", 1, ("y",))
+    dlq.push(first)
+    dlq.push(second)
+    assert len(dlq) == 2
+    assert [e.request_id for e in dlq.snapshot()] == ["r-1", "r-2"]
+    assert len(dlq) == 2                       # snapshot leaves entries parked
+    drained = dlq.drain()
+    assert [e.request_id for e in drained] == ["r-1", "r-2"]
+    assert len(dlq) == 0                       # drain removes atomically
+    assert dlq.to_dicts() == []
+
+
+def test_dlq_spool_survives_restart(tmp_path):
+    spool = str(tmp_path / "dead.jsonl")
+    dlq = DeadLetterQueue(spool_path=spool)
+    dlq.push(DeadLetter("t", "r-1", "error", "boom", 2, ("a", "b"), "QQ=="))
+    dlq.push(DeadLetter("t", "r-2", "quarantined", "poison", 1, ("c",)))
+    # A fresh process reads the spool back even after the in-memory
+    # queue is gone.
+    entries = load_spool(spool)
+    assert [e.request_id for e in entries] == ["r-1", "r-2"]
+    assert entries[0].records_b64 == "QQ=="
+    assert entries[1].reason == "quarantined"

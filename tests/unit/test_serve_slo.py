@@ -1,0 +1,101 @@
+"""SLO tracker edge cases: empty windows, percentiles, rates."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.slo import SLOTracker
+
+
+def test_empty_window_reports_no_fabricated_numbers():
+    report = SLOTracker().report()
+    assert report.window_requests == 0
+    assert report.latency_percentiles == {"*": {}}
+    assert report.rejection_rate is None       # not 0.0: nothing was decided
+    assert report.dead_letter_rate is None
+    payload = report.to_dict()
+    assert payload["rejection_rate"] is None
+    # An empty report still renders (the periodic server log path).
+    assert "0 requests" in report.render()
+
+
+def test_single_sample_percentiles_collapse():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.25, reads=4)
+    pcts = tracker.report().latency_percentiles["a"]
+    assert pcts == {"p50": 0.25, "p90": 0.25, "p99": 0.25}
+
+
+def test_percentiles_are_nearest_rank_on_the_sorted_window():
+    registry = MetricsRegistry()
+    tracker = SLOTracker(registry)
+    samples = [0.001 * i for i in range(1, 101)]
+    for latency in samples:
+        tracker.record_accepted("a")
+        tracker.record_completed("a", latency, reads=1)
+    pcts = tracker.report().latency_percentiles["a"]
+    ordered = sorted(samples)
+    for p, key in ((50, "p50"), (90, "p90"), (99, "p99")):
+        rank = round(p / 100.0 * (len(ordered) - 1))
+        assert pcts[key] == ordered[rank]
+    # The same series also lands in the registry histogram, so the
+    # Prometheus surface carries every observation.
+    hist = registry.histogram("serve_request_latency", "")
+    assert hist.count(tenant="a") == len(samples)
+
+
+def test_aggregate_row_combines_tenants():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.1, reads=1)
+    tracker.record_accepted("b")
+    tracker.record_completed("b", 0.3, reads=1)
+    report = tracker.report()
+    assert set(report.latency_percentiles) == {"a", "b", "*"}
+    combined = report.latency_percentiles["*"]
+    assert combined["p50"] in (0.1, 0.3)
+    assert combined["p99"] == 0.3
+
+
+def test_rates_over_decided_requests():
+    tracker = SLOTracker()
+    for _ in range(3):
+        tracker.record_accepted("a")
+    tracker.record_completed("a", 0.1, reads=2)
+    tracker.record_dead_letter("a")
+    tracker.record_rejected("b")
+    report = tracker.report()
+    assert report.window_requests == 4         # 3 accepted + 1 rejected
+    assert report.accepted == 3
+    assert report.rejected == 1
+    assert report.completed == 1
+    assert report.dead_lettered == 1
+    assert report.reads_mapped == 2
+    # 3 decided so far (1 completed + 1 dead-lettered + 1 rejected).
+    assert report.rejection_rate == 1 / 3
+    assert report.dead_letter_rate == 1 / 3
+    # A tenant with no completed requests renders without percentiles.
+    assert report.latency_percentiles["b"] == {}
+    assert "tenant=b: no completed requests" in report.render()
+
+
+def test_counters_reach_the_registry():
+    registry = MetricsRegistry()
+    tracker = SLOTracker(registry)
+    tracker.record_rejected("a")
+    tracker.record_dead_letter("a")
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.05, reads=1)
+    dump = registry.dump()
+    assert "serve_rejected_total" in dump
+    assert "serve_dead_letter_total" in dump
+    assert "serve_request_latency" in dump
+
+
+def test_report_json_is_valid_and_sorted():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.2, reads=1)
+    payload = json.loads(tracker.report_json())
+    assert payload["completed"] == 1
+    assert payload["latency_percentiles"]["a"]["p50"] == 0.2

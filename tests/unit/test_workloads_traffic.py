@@ -1,0 +1,64 @@
+"""Deterministic open-loop traffic schedules (repro.workloads.traffic)."""
+
+import pytest
+
+from repro.core.io import ReadRecord
+from repro.workloads.traffic import PROCESSES, TrafficPattern, split_batches
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TrafficPattern(process="lognormal")
+    with pytest.raises(ValueError):
+        TrafficPattern(rate=0)
+    with pytest.raises(ValueError):
+        TrafficPattern(burst_size=0)
+
+
+def test_gaps_deterministic_per_seed():
+    pattern = TrafficPattern(process="poisson", rate=100)
+    assert pattern.gaps(32, seed=7) == pattern.gaps(32, seed=7)
+    assert pattern.gaps(32, seed=7) != pattern.gaps(32, seed=8)
+
+
+def test_first_gap_is_zero_for_every_process():
+    for process in PROCESSES:
+        gaps = TrafficPattern(process=process, rate=50).gaps(8, seed=0)
+        assert gaps[0] == 0.0
+        assert len(gaps) == 8
+        assert all(g >= 0.0 for g in gaps)
+
+
+def test_zero_count():
+    assert TrafficPattern().gaps(0, seed=1) == []
+
+
+def test_uniform_is_evenly_spaced():
+    gaps = TrafficPattern(process="uniform", rate=20).gaps(5, seed=3)
+    assert gaps == [0.0, 0.05, 0.05, 0.05, 0.05]
+
+
+def test_poisson_mean_approximates_rate():
+    rate = 200.0
+    gaps = TrafficPattern(process="poisson", rate=rate).gaps(4000, seed=11)
+    mean = sum(gaps[1:]) / (len(gaps) - 1)
+    assert mean == pytest.approx(1.0 / rate, rel=0.1)
+
+
+def test_burst_shape():
+    pattern = TrafficPattern(process="burst", rate=100, burst_size=4)
+    gaps = pattern.gaps(9, seed=5)
+    # Within a burst the gap is 0; each burst boundary restores the
+    # average rate over the whole burst.
+    long_gap = 4 / 100.0
+    assert gaps == [0.0, 0.0, 0.0, 0.0, long_gap, 0.0, 0.0, 0.0, long_gap]
+
+
+def test_split_batches_covers_every_read_once():
+    records = [ReadRecord(f"r{i}", "ACGT") for i in range(10)]
+    batches = split_batches(records, 4)
+    assert [len(b) for b in batches] == [4, 4, 2]
+    names = [r.name for batch in batches for r in batch]
+    assert names == [r.name for r in records]
+    with pytest.raises(ValueError):
+        split_batches(records, 0)
