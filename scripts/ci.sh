@@ -2,7 +2,7 @@
 # Tier-1 CI gate: the fast test suite plus the docstring-coverage check.
 #
 # Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke]
-#                        [--chaos-smoke] [--serve-smoke]
+#                        [--chaos-smoke] [--serve-smoke] [--trace-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -35,6 +35,13 @@
 # percentiles, and survive a `repro chaos --serve` fault soak with
 # quarantined requests parked in the dead-letter queue.
 #
+# --trace-smoke additionally runs the causal-tracing gate (ISSUE 7): an
+# in-process served two-tenant workload under `repro trace --serve
+# --attribute` must reach 100% trace-join completeness (the command
+# exits non-zero below that), its JSON attribution report must parse
+# and carry per-stage percentiles, and `repro profile` must produce a
+# non-empty collapsed-stack file.
+#
 # Benchmarks (paper regeneration) are intentionally excluded — run them
 # separately with: PYTHONPATH=src python -m pytest benchmarks/ -q
 set -euo pipefail
@@ -47,6 +54,7 @@ BENCH_SMOKE=0
 TUNE_SMOKE=0
 CHAOS_SMOKE=0
 SERVE_SMOKE=0
+TRACE_SMOKE=0
 args=()
 for arg in "$@"; do
     if [[ "$arg" == "--lint" ]]; then
@@ -59,6 +67,8 @@ for arg in "$@"; do
         CHAOS_SMOKE=1
     elif [[ "$arg" == "--serve-smoke" ]]; then
         SERVE_SMOKE=1
+    elif [[ "$arg" == "--trace-smoke" ]]; then
+        TRACE_SMOKE=1
     else
         args+=("$arg")
     fi
@@ -170,4 +180,40 @@ if [[ "$SERVE_SMOKE" == "1" ]]; then
     python -m repro chaos --serve --input-set A-human --scale 0.05 \
         --seed 0 --tenants 2 --requests 6 --batch-reads 4
     echo "serve smoke OK"
+fi
+
+if [[ "$TRACE_SMOKE" == "1" ]]; then
+    echo "== trace smoke (causal tracing + attribution gate) =="
+    trace_out="$(mktemp -d)"
+    trap 'rm -rf "${bench_out:-}" "${chaos_out:-}" "${serve_out:-}" "$trace_out"' EXIT
+
+    echo "-- served two-tenant workload, 100% trace-join completeness"
+    python -m repro trace --input-set A-human --scale 0.05 --serve \
+        --attribute --tenants 2 --requests 6 --batch-reads 4 \
+        --out "$trace_out/spans.jsonl" --json "$trace_out/attribution.json"
+
+    echo "-- attribution JSON parses and carries per-stage percentiles"
+    python - "$trace_out/attribution.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["completeness"] == 1.0, report["completeness"]
+assert report["result_traces"] > 0
+for stage in ("admission", "queue", "mapping", "cluster", "extend"):
+    pcts = report["stage_percentiles"][stage]
+    assert "p50" in pcts and "p99" in pcts, (stage, pcts)
+print("attribution JSON OK "
+      f"({report['result_traces']} traces, "
+      f"completeness={report['completeness']:.2f})")
+PY
+
+    echo "-- span file re-attributes identically"
+    python -m repro trace --spans "$trace_out/spans.jsonl" --attribute \
+        > /dev/null
+
+    echo "-- sampling profiler produces collapsed stacks"
+    python -m repro profile --input-set A-human --scale 0.05 \
+        --out "$trace_out/profile.collapsed" --top 5
+    [[ -s "$trace_out/profile.collapsed" ]] \
+        || { echo "profile.collapsed is empty"; exit 1; }
+    echo "trace smoke OK"
 fi

@@ -1,0 +1,346 @@
+"""Critical-path attribution: where each request's latency actually went.
+
+:mod:`repro.analysis.tracereport` aggregates spans by *region name*;
+this module aggregates them by *request*.  Spans carrying schema-v2
+trace context (``trace_id``/``span_id``/``parent_id``; see
+:mod:`repro.obs.context`) are grouped into per-request trees, each
+span's **self time** (duration minus direct children) is assigned to a
+pipeline stage, and the per-stage distributions across requests yield
+the report the SLO story needs: "p99 requests spend X% in queue wait,
+Y% in extension".
+
+Stages
+------
+
+``admission``
+    the admission decision (``serve.admission``)
+``queue``
+    bounded-queue wait (``serve.queue_wait``)
+``mapping``
+    service/scheduler overhead around the kernels (``serve.request``,
+    ``sched.*``, ``proxy.batch`` self time)
+``cluster``
+    the seed-clustering kernel (``cluster_seeds``)
+``extend``
+    the seed-and-extend kernel (``process_until_threshold_c``), *minus*
+    GBWT decode time
+``gbwt``
+    GBWT record decode, attributed from the ``gbwt_decode_s`` counter
+    each ``proxy.batch`` span carries (per-probe spans would perturb
+    the hottest loop in the proxy; decode-time attribution is exact for
+    the expensive part and free for cache hits)
+``other``
+    client-side framing/network (``client.request`` self time) and any
+    span the mapping above does not claim
+
+Trace-join completeness
+-----------------------
+
+A trace is **joined** when its spans form a single connected tree:
+either exactly one root span (no ``parent_id``) and no dangling parent
+references, or — for server-only span files, where the client's root
+span lives in another process — every dangling reference naming the
+same missing parent.  ``completeness`` is the joined fraction of
+*result traces* (trees that contain a delivered RESULT); anything
+below 1.0 means spans were lost or context propagation broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.metrics import percentile_summary
+from repro.obs.trace import SpanEvent
+
+__all__ = [
+    "AttributionReport",
+    "TraceSummary",
+    "STAGES",
+    "attribute",
+    "stage_of",
+]
+
+#: Report ordering for the pipeline stages.
+STAGES: Tuple[str, ...] = (
+    "admission", "queue", "mapping", "cluster", "extend", "gbwt", "other",
+)
+
+#: Percentile points of the per-stage report (per acceptance: p50/p99).
+STAGE_PERCENTILES: Tuple[float, ...] = (50.0, 99.0)
+
+_STAGE_BY_NAME = {
+    "serve.admission": "admission",
+    "serve.queue_wait": "queue",
+    "cluster_seeds": "cluster",
+    "process_until_threshold_c": "extend",
+}
+
+#: Share of the slowest traces treated as "the tail" (at least one).
+_TAIL_FRACTION = 0.01
+
+
+def stage_of(name: str) -> str:
+    """Map a span name to its pipeline stage (see module docstring)."""
+    stage = _STAGE_BY_NAME.get(name)
+    if stage is not None:
+        return stage
+    if name == "serve.request" or name.startswith(("sched.", "proxy.")):
+        return "mapping"
+    return "other"
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One request's tree, reduced to joinedness + per-stage self time."""
+
+    trace_id: str
+    joined: bool
+    span_count: int
+    #: End-to-end seconds: the root span's duration when the tree has a
+    #: single root, else the sum of root durations.
+    total: float
+    #: Stage name -> self-time seconds within this trace.
+    stages: Dict[str, float]
+    #: True when the tree contains a delivered RESULT (a ``client.request``
+    #: with verdict=result, or — server-only traces — an ok
+    #: ``serve.request``).
+    is_result: bool
+    #: True when any span in the tree finished in error status.
+    has_error: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "trace_id": self.trace_id,
+            "joined": self.joined,
+            "span_count": self.span_count,
+            "total": self.total,
+            "stages": dict(self.stages),
+            "is_result": self.is_result,
+            "has_error": self.has_error,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """The cross-request attribution summary (see :func:`attribute`)."""
+
+    traces: List[TraceSummary]
+    result_traces: int
+    joined_traces: int
+    completeness: float
+    #: Stage -> {"p50": seconds, "p99": seconds} across result traces.
+    stage_percentiles: Dict[str, Dict[str, float]]
+    #: Stage -> share of total attributed time, across all result traces.
+    stage_shares: Dict[str, float]
+    #: Stage -> share of attributed time within the slowest-1% traces.
+    tail_shares: Dict[str, float]
+    #: Worst end-to-end traces: (trace_id, total seconds), slowest first.
+    exemplars: List[Tuple[str, float]] = field(default_factory=list)
+    #: Spans evicted from the ring buffer before export (corrupts
+    #: attribution when nonzero — surfaced loudly in render()).
+    dropped_spans: int = 0
+    #: Spans with no trace context (schema v1), excluded from trees.
+    orphan_spans: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``--json`` output)."""
+        return {
+            "result_traces": self.result_traces,
+            "joined_traces": self.joined_traces,
+            "completeness": self.completeness,
+            "stage_percentiles": {
+                stage: dict(pcts)
+                for stage, pcts in self.stage_percentiles.items()
+            },
+            "stage_shares": dict(self.stage_shares),
+            "tail_shares": dict(self.tail_shares),
+            "exemplars": [
+                {"trace_id": trace_id, "total": total}
+                for trace_id, total in self.exemplars
+            ],
+            "dropped_spans": self.dropped_spans,
+            "orphan_spans": self.orphan_spans,
+            "traces": [summary.to_dict() for summary in self.traces],
+        }
+
+    def render(self) -> str:
+        """The human-readable attribution report."""
+        lines: List[str] = []
+        if self.dropped_spans:
+            lines.append(
+                "!" * 66 + "\n"
+                f"!! WARNING: {self.dropped_spans} spans were dropped by the "
+                "ring buffer.\n"
+                "!! Attribution below is computed from an incomplete trace "
+                "set —\n"
+                "!! raise --ring-capacity and rerun before trusting it.\n"
+                + "!" * 66
+            )
+        lines.append(
+            f"trace-join completeness: {self.completeness * 100.0:.1f}% "
+            f"({self.joined_traces}/{self.result_traces} result traces "
+            "joined)"
+        )
+        if self.orphan_spans:
+            lines.append(
+                f"  ({self.orphan_spans} spans without trace context "
+                "excluded)"
+            )
+        lines.append("")
+        lines.append(
+            f"{'stage':<10} {'p50':>10} {'p99':>10} {'share':>7} "
+            f"{'tail share':>11}"
+        )
+        for stage in STAGES:
+            pcts = self.stage_percentiles.get(stage, {})
+            if not pcts and not self.stage_shares.get(stage):
+                continue
+            lines.append(
+                f"{stage:<10} "
+                f"{pcts.get('p50', 0.0) * 1000.0:>8.2f}ms "
+                f"{pcts.get('p99', 0.0) * 1000.0:>8.2f}ms "
+                f"{self.stage_shares.get(stage, 0.0) * 100.0:>6.1f}% "
+                f"{self.tail_shares.get(stage, 0.0) * 100.0:>10.1f}%"
+            )
+        if self.exemplars:
+            lines.append("")
+            lines.append("slowest requests:")
+            for trace_id, total in self.exemplars:
+                lines.append(f"  {total * 1000.0:>8.2f}ms  trace={trace_id}")
+        return "\n".join(lines)
+
+
+def _summarize_trace(trace_id: str, spans: List[SpanEvent]) -> TraceSummary:
+    """Reduce one trace's spans to a :class:`TraceSummary`."""
+    ids = {span.span_id for span in spans if span.span_id is not None}
+    children_dur: Dict[str, float] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in ids:
+            children_dur[span.parent_id] = (
+                children_dur.get(span.parent_id, 0.0) + span.duration
+            )
+
+    roots = [span for span in spans if span.parent_id is None]
+    dangling = {
+        span.parent_id for span in spans
+        if span.parent_id is not None and span.parent_id not in ids
+    }
+    if roots:
+        joined = len(roots) == 1 and not dangling
+        total = roots[0].duration if len(roots) == 1 else sum(
+            root.duration for root in roots
+        )
+    else:
+        # Server-only trace: the real root lives in another process.
+        # One shared missing parent still means one connected tree.
+        joined = len(dangling) == 1
+        total = sum(
+            span.duration for span in spans
+            if span.parent_id in dangling
+        )
+
+    stages: Dict[str, float] = {}
+    gbwt = 0.0
+    for span in spans:
+        self_time = span.duration
+        if span.span_id is not None:
+            self_time -= children_dur.get(span.span_id, 0.0)
+        self_time = max(0.0, self_time)
+        stage = stage_of(span.name)
+        stages[stage] = stages.get(stage, 0.0) + self_time
+        decode = span.attrs.get("gbwt_decode_s")
+        if isinstance(decode, (int, float)) and decode > 0:
+            gbwt += float(decode)
+    if gbwt > 0.0:
+        # Decode time was measured inside the extension kernel; carve it
+        # out so "extend" is pure extension work (clipped at zero — the
+        # decode counter can only exceed the extend self-time through
+        # clock granularity).
+        stages["extend"] = max(0.0, stages.get("extend", 0.0) - gbwt)
+        stages["gbwt"] = stages.get("gbwt", 0.0) + gbwt
+
+    is_result = any(
+        span.name == "client.request"
+        and span.attrs.get("verdict") == "result"
+        for span in spans
+    )
+    if not is_result and not any(
+        span.name == "client.request" for span in spans
+    ):
+        is_result = any(
+            span.name == "serve.request" and span.status == "ok"
+            for span in spans
+        )
+    return TraceSummary(
+        trace_id=trace_id,
+        joined=joined,
+        span_count=len(spans),
+        total=total,
+        stages=stages,
+        is_result=is_result,
+        has_error=any(span.is_error for span in spans),
+    )
+
+
+def attribute(spans: Iterable[SpanEvent], dropped_spans: int = 0,
+              exemplar_count: int = 5) -> AttributionReport:
+    """Build the per-request attribution report from finished spans.
+
+    ``dropped_spans`` is the ring buffer's eviction count at export
+    time; a nonzero value is surfaced as a loud warning because lost
+    spans silently skew every number below.
+    """
+    by_trace: Dict[str, List[SpanEvent]] = {}
+    orphans = 0
+    for span in spans:
+        if span.trace_id is None:
+            orphans += 1
+            continue
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    summaries = [
+        _summarize_trace(trace_id, trace_spans)
+        for trace_id, trace_spans in sorted(by_trace.items())
+    ]
+    results = [summary for summary in summaries if summary.is_result]
+    joined = [summary for summary in results if summary.joined]
+    completeness = len(joined) / len(results) if results else 0.0
+
+    stage_samples: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+    for summary in results:
+        for stage in STAGES:
+            stage_samples[stage].append(summary.stages.get(stage, 0.0))
+    stage_percentiles = {
+        stage: percentile_summary(samples, STAGE_PERCENTILES)
+        for stage, samples in stage_samples.items() if samples
+    }
+
+    def shares(of: Sequence[TraceSummary]) -> Dict[str, float]:
+        totals = {stage: 0.0 for stage in STAGES}
+        for summary in of:
+            for stage, seconds in summary.stages.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        grand = sum(totals.values())
+        if grand <= 0.0:
+            return {}
+        return {stage: seconds / grand for stage, seconds in totals.items()}
+
+    slowest = sorted(results, key=lambda summary: -summary.total)
+    tail_count = max(1, int(len(slowest) * _TAIL_FRACTION)) if slowest else 0
+    return AttributionReport(
+        traces=summaries,
+        result_traces=len(results),
+        joined_traces=len(joined),
+        completeness=completeness,
+        stage_percentiles=stage_percentiles,
+        stage_shares=shares(results),
+        tail_shares=shares(slowest[:tail_count]),
+        exemplars=[
+            (summary.trace_id, summary.total)
+            for summary in slowest[:exemplar_count]
+        ],
+        dropped_spans=dropped_spans,
+        orphan_spans=orphans,
+    )

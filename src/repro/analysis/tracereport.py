@@ -150,10 +150,30 @@ def render_error_summary(spans: Iterable[SpanEvent]) -> str:
     return "Error spans:\n" + "\n".join(lines)
 
 
+def render_dropped_warning(dropped_spans: int) -> str:
+    """The loud banner shown whenever the span ring buffer overflowed.
+
+    Dropped spans silently understate every region total and break
+    trace-join completeness, so the condition is never allowed to hide
+    in a metrics line — it headlines the report.
+    """
+    if not dropped_spans:
+        return ""
+    bar = "!" * 66
+    return "\n".join([
+        bar,
+        f"!! WARNING: {dropped_spans} spans dropped (ring buffer full).",
+        "!! Totals and trace trees below are incomplete; raise the ring",
+        "!! capacity (--ring-capacity / Tracer(capacity=...)) and rerun.",
+        bar,
+    ])
+
+
 def render_trace_report(
     spans: Iterable[SpanEvent],
     registry=None,
     metric_prefixes: Sequence[str] = ("gbwt_cache_", "sched_", "proxy_"),
+    dropped_spans: int = 0,
 ) -> str:
     """The full text report: region table, worker table, errors, metrics.
 
@@ -163,11 +183,17 @@ def render_trace_report(
     plus a p50/p90/p99 summary line per series (estimated by
     :meth:`repro.obs.metrics.Histogram.percentiles`).  An error-span
     section appears only when the run recorded failures.
+    ``dropped_spans`` (``Tracer.ring.dropped`` at export time) prepends
+    the :func:`render_dropped_warning` banner when nonzero.
     """
     from repro.obs.metrics import Histogram
 
     spans = list(spans)
-    sections = [render_region_table(spans)]
+    sections = []
+    warning = render_dropped_warning(dropped_spans)
+    if warning:
+        sections.append(warning)
+    sections.append(render_region_table(spans))
     worker_table = render_worker_table(spans)
     if worker_table.count("\n") > 3:
         sections.append(worker_table)
@@ -215,6 +241,7 @@ __all__ = [
     "is_region_span",
     "load_spans_jsonl",
     "region_breakdown",
+    "render_dropped_warning",
     "render_error_summary",
     "render_region_table",
     "render_worker_table",

@@ -16,7 +16,12 @@ the surrounding workflow the artifact scripts drive:
   delta, bit-identical extension check) with pass/fail thresholds;
 * ``trace`` — run the proxy with the observability layer enabled:
   structured spans to JSONL, metrics to a Prometheus-style dump, and a
-  Figure 3-style per-region breakdown on stdout;
+  Figure 3-style per-region breakdown on stdout; ``--attribute`` (with
+  ``--spans`` or ``--serve``) reconstructs per-request trace trees and
+  prints the critical-path latency attribution instead;
+* ``profile`` — the continuous sampling profiler: run a mapping
+  workload while sampling every thread stack on a seeded-jitter
+  interval; write flamegraph-ready collapsed stacks;
 * ``chaos`` — run the proxy under a seeded, deterministic fault plan
   (injected exceptions, delays, cache-eviction storms, optional seed
   stream corruption) with a quarantine/retry failure policy, assert the
@@ -37,6 +42,8 @@ the surrounding workflow the artifact scripts drive:
 * ``submit`` — the bundled streaming client: open-loop traffic at a
   running service, collecting every verdict into a completeness report;
 * ``dlq`` — inspect, drain, or replay the service's dead-letter queue;
+* ``top`` — live service view: per-tenant throughput, queue depth,
+  dead-letter backlog, and rolling latency percentiles;
 * ``docs`` — the docs-drift gate: every subcommand and flag above must
   appear in the docs tree (``lint`` and ``races`` cover the code side).
 
@@ -196,6 +203,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="materialize this preset in memory instead of reading files",
     )
     source.add_argument("--gbz", help="pangenome file (pairs with --seeds)")
+    source.add_argument("--spans",
+                        help="attribute an existing span JSONL instead of "
+                             "running anything (requires --attribute)")
     trace.add_argument("--seeds", help="captured sequence-seeds.bin")
     trace.add_argument("--scale", type=float, default=0.1,
                        help="input-set scale when using --input-set")
@@ -214,6 +224,53 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the Prometheus-style metrics dump here")
     trace.add_argument("--ring-capacity", type=int, default=1 << 16,
                        help="span ring-buffer capacity (oldest spans evicted)")
+    trace.add_argument("--attribute", action="store_true",
+                       help="per-request critical-path attribution: trace "
+                            "trees, per-stage p50/p99, join completeness "
+                            "(with --spans or --serve)")
+    trace.add_argument("--serve", action="store_true",
+                       help="run an in-process served workload (with "
+                            "--input-set) and attribute client-to-kernel "
+                            "trace trees; exits 1 below 100%% join "
+                            "completeness")
+    trace.add_argument("--tenants", type=int, default=2,
+                       help="with --serve: concurrent tenant connections")
+    trace.add_argument("--requests", type=int, default=6,
+                       help="with --serve: requests streamed per tenant")
+    trace.add_argument("--batch-reads", type=int, default=4,
+                       help="with --serve: reads per request")
+    trace.add_argument("--json",
+                       help="write the attribution report as JSON here")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run the proxy under the continuous sampling profiler; "
+             "write collapsed stacks (flamegraph input)",
+    )
+    profile.add_argument("--input-set", choices=sorted(INPUT_SETS),
+                         default="B-yeast",
+                         help="preset workload to profile")
+    profile.add_argument("--scale", type=float, default=0.1)
+    profile.add_argument("--threads", type=int, default=1,
+                         help="mapping threads (1 keeps the hot path on one "
+                              "stack, the easiest profile to read)")
+    profile.add_argument("--batch-size", type=int, default=64)
+    profile.add_argument("--cache-capacity", type=int, default=256)
+    profile.add_argument(
+        "--scheduler", choices=("dynamic", "static", "work_stealing"),
+        default="dynamic",
+    )
+    profile.add_argument("--interval", type=float, default=0.002,
+                         help="mean seconds between stack samples (jittered "
+                              "±25%% to dodge lockstep bias)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="jitter seed (same seed => same sample "
+                              "schedule)")
+    profile.add_argument("--out", default="profile.collapsed",
+                         help="collapsed-stack output path "
+                              "('stack;frames count' lines)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="print the N hottest leaf functions")
 
     chaos = commands.add_parser(
         "chaos",
@@ -396,6 +453,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append dead letters to this JSONL spool")
     serve.add_argument("--trace-out",
                        help="write serve.request spans here (JSONL) on exit")
+    serve.add_argument("--profile-out",
+                       help="run the sampling profiler for the service's "
+                            "lifetime; write collapsed stacks here on exit")
 
     submit = commands.add_parser(
         "submit",
@@ -433,6 +493,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="retries per request after REJECT verdicts")
     submit.add_argument("--stats", action="store_true",
                         help="also fetch and print the server's SLO report")
+    submit.add_argument("--slo", action="store_true",
+                        help="fetch the SLO report and print it in human "
+                             "form, naming the worst-latency exemplar trace "
+                             "ids per tenant")
     submit.add_argument("--metrics-out",
                         help="fetch the Prometheus metrics dump to this file")
     submit.add_argument("--shutdown", action="store_true",
@@ -463,6 +527,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="with --replay: read dead letters from this "
                           "JSONL spool instead of draining the server")
     dlq.add_argument("--json", help="write the entries / replay report here")
+
+    top = commands.add_parser(
+        "top",
+        help="live service view: per-tenant throughput, queue depth, "
+             "DLQ size, rolling latency percentiles",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int,
+                     help="service port (or use --port-file)")
+    top.add_argument("--port-file",
+                     help="read the service address written by "
+                          "repro serve --port-file")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (scripting mode)")
 
     docs = commands.add_parser(
         "docs",
@@ -551,6 +631,99 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _write_attribution(report, args) -> None:
+    """Print an attribution report; honor ``trace --json``."""
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump(report.to_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"\nwrote {args.json}")
+
+
+def _cmd_trace_serve(args) -> int:
+    """``repro trace --serve``: an in-process served workload traced
+    end-to-end (client, admission, queue, scheduler, kernels) on one
+    shared tracer, then attributed per request."""
+    import threading
+
+    from repro.analysis.attribution import attribute
+    from repro.obs.trace import Tracer, use_tracer
+    from repro.serve import MappingService, ServiceConfig, StreamingClient
+    from repro.util.rng import derive_seed
+    from repro.workloads.traffic import TrafficPattern, split_batches
+
+    bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
+    records = parent.capture_read_records(bundle.reads)
+    print(f"traced service input: {bundle.describe()}")
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(
+            threads=args.threads,
+            batch_size=args.batch_size,
+            cache_capacity=args.cache_capacity,
+            scheduler=args.scheduler,
+        ),
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=parent.distance_index,
+    )
+    batches = split_batches(records, args.batch_reads)
+    while len(batches) < args.requests:
+        batches = batches + batches
+    batches = batches[:args.requests]
+
+    tracer = Tracer(capacity=args.ring_capacity)
+    service = MappingService(proxy, ServiceConfig(port=0), tracer=tracer)
+    handle = service.start()
+    threads = []
+    try:
+        # The shared tracer must stay installed while client threads and
+        # the server's mapping worker are live: client.request spans go
+        # through the process-wide tracer, server spans through the
+        # explicit one — same ring, one tree per request.
+        with use_tracer(tracer):
+            pattern = TrafficPattern(process="poisson", rate=200.0)
+            for index in range(args.tenants):
+                tenant = f"tenant-{index}"
+
+                def _stream(tenant=tenant, index=index):
+                    with StreamingClient(handle.host, handle.port,
+                                         tenant) as client:
+                        client.stream(
+                            batches,
+                            gaps=pattern.gaps(
+                                len(batches), derive_seed(0, "trace", tenant)
+                            ),
+                            request_prefix=tenant,
+                        )
+
+                thread = threading.Thread(
+                    target=_stream, name=f"trace-{tenant}"
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    spans = tracer.spans()
+    count = tracer.export_jsonl(args.out)
+    print(f"wrote {count} spans to {args.out}"
+          + (f" ({tracer.ring.dropped} dropped)"
+             if tracer.ring.dropped else ""))
+    print()
+    report = attribute(spans, dropped_spans=tracer.ring.dropped)
+    _write_attribution(report, args)
+    if report.completeness < 1.0:
+        print(f"\ntrace-join completeness below 100% "
+              f"({report.joined_traces}/{report.result_traces})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.analysis.tracereport import render_trace_report
     from repro.obs import MetricsRegistry, Tracer
@@ -558,6 +731,24 @@ def _cmd_trace(args) -> int:
     if args.gbz and not args.seeds:
         print("error: --gbz requires --seeds", file=sys.stderr)
         return 2
+    if args.spans and not args.attribute:
+        print("error: --spans requires --attribute", file=sys.stderr)
+        return 2
+    if args.attribute and not (args.spans or args.serve):
+        print("error: --attribute needs --spans or --serve",
+              file=sys.stderr)
+        return 2
+    if args.serve:
+        if not args.input_set:
+            print("error: --serve needs --input-set", file=sys.stderr)
+            return 2
+        return _cmd_trace_serve(args)
+    if args.spans:
+        from repro.analysis.attribution import attribute
+        from repro.obs.trace import load_spans_jsonl
+
+        _write_attribution(attribute(load_spans_jsonl(args.spans)), args)
+        return 0
     options = ProxyOptions(
         threads=args.threads,
         batch_size=args.batch_size,
@@ -591,8 +782,87 @@ def _cmd_trace(args) -> int:
         registry.write(args.metrics_out)
         print(f"wrote metrics dump to {args.metrics_out}")
     print()
-    print(render_trace_report(tracer.spans(), registry))
+    print(render_trace_report(tracer.spans(), registry,
+                              dropped_spans=tracer.ring.dropped))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import SamplingProfiler
+
+    bundle, mapper = _materialize_with_mapper(args.input_set, args.scale)
+    records = mapper.capture_read_records(bundle.reads)
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(
+            threads=args.threads,
+            batch_size=args.batch_size,
+            cache_capacity=args.cache_capacity,
+            scheduler=args.scheduler,
+        ),
+        seed_span=bundle.spec.minimizer_k,
+        distance_index=mapper.distance_index,
+    )
+    print(f"profiling input: {bundle.describe()}")
+    profiler = SamplingProfiler(interval=args.interval, seed=args.seed)
+    with profiler:
+        result = proxy.map_reads(records)
+    lines = profiler.write_collapsed(args.out)
+    print(f"mapped {result.mapped_reads}/{len(records)} reads "
+          f"in {result.makespan:.3f}s")
+    print(f"wrote {lines} collapsed stack(s) to {args.out} "
+          f"({profiler.samples} samples)")
+    print()
+    print(profiler.render_top(args.top))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.serve import StreamingClient
+
+    host, port = _resolve_address(args)
+    try:
+        while True:
+            with StreamingClient(host, port, "top-admin") as client:
+                stats = client.stats()
+            print(_render_top(stats))
+            if args.once:
+                return 0
+            time.sleep(max(0.1, args.interval))
+            print()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _render_top(stats) -> str:
+    """One ``repro top`` frame from a STATS payload."""
+    lines = [
+        f"queue_depth={stats.get('queue_depth', 0)} "
+        f"dlq={stats.get('dead_letter_queue', 0)} "
+        f"accepted={stats.get('accepted', 0)} "
+        f"rejected={stats.get('rejected', 0)}",
+        f"{'tenant':<12} {'done':>6} {'rej':>5} {'dlq':>5} "
+        f"{'reads':>8} {'p50':>9} {'p99':>9}",
+    ]
+    percentiles = stats.get("latency_percentiles", {})
+    per_tenant = stats.get("per_tenant", {})
+    tenants = sorted(set(per_tenant) | set(percentiles) - {"*"})
+    for tenant in tenants:
+        counts = per_tenant.get(tenant, {})
+        pcts = percentiles.get(tenant, {})
+
+        def _ms(name):
+            value = pcts.get(name)
+            return f"{value * 1000.0:.2f}ms" if value is not None else "-"
+
+        lines.append(
+            f"{tenant:<12} {counts.get('completed', 0):>6} "
+            f"{counts.get('rejected', 0):>5} "
+            f"{counts.get('dead_lettered', 0):>5} "
+            f"{counts.get('reads_mapped', 0):>8} "
+            f"{_ms('p50'):>9} {_ms('p99'):>9}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_chaos(args) -> int:
@@ -1064,6 +1334,11 @@ def _cmd_serve(args) -> int:
         dlq_spool=args.dlq_spool,
     )
     tracer = Tracer() if args.trace_out else None
+    profiler = None
+    if args.profile_out:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
     service = MappingService(proxy, config, tracer=tracer)
     handle = service.start()
     print(f"serving {args.input_set} (scale {args.scale}) "
@@ -1080,6 +1355,11 @@ def _cmd_serve(args) -> int:
     if args.trace_out:
         count = tracer.export_jsonl(args.trace_out)
         print(f"wrote {count} span(s) to {args.trace_out}")
+    if profiler is not None:
+        profiler.stop()
+        lines = profiler.write_collapsed(args.profile_out)
+        print(f"wrote {lines} collapsed stack(s) to {args.profile_out} "
+              f"({profiler.samples} samples)")
     print("service stopped")
     print(service.slo.report().render())
     return 0
@@ -1113,6 +1393,16 @@ def _cmd_submit(args) -> int:
             print(json.dumps(summary, indent=2, sort_keys=True))
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        if args.slo:
+            from repro.serve.slo import SLOReport
+
+            payload = client.stats()
+            fields = {
+                name: payload[name]
+                for name in SLOReport.__dataclass_fields__
+                if name in payload
+            }
+            print(SLOReport(**fields).render())
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as out:
                 out.write(client.metrics_text())
@@ -1256,6 +1546,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "validate": _cmd_validate,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "tune": _cmd_tune,
@@ -1265,6 +1556,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "dlq": _cmd_dlq,
+    "top": _cmd_top,
     "docs": _cmd_docs,
 }
 

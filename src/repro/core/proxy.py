@@ -159,16 +159,20 @@ class MiniGiraffe:
         counters: Dict[int, KernelCounters] = {}
         setup_lock = threading.Lock()
 
+        tracer = obs_trace.get_tracer()
+
         def thread_context(thread_id: int) -> tuple:
             with setup_lock:
                 if thread_id not in caches:
+                    # Timed decode only when a real tracer is installed:
+                    # attribution wants the GBWT decode split, untraced
+                    # runs keep the decode path clock-free.
                     caches[thread_id] = CachedGBWT(
-                        self.gbz.gbwt, options.cache_capacity
+                        self.gbz.gbwt, options.cache_capacity,
+                        timed=tracer.enabled,
                     )
                     counters[thread_id] = KernelCounters()
                 return caches[thread_id], counters[thread_id]
-
-        tracer = obs_trace.get_tracer()
 
         def process_batch(first: int, last: int, thread_id: int) -> None:
             cache, thread_counters = thread_context(thread_id)
@@ -180,6 +184,7 @@ class MiniGiraffe:
             counters_before = (
                 thread_counters.as_dict() if tracer.enabled else None
             )
+            decode_before = cache.decode_seconds if tracer.enabled else 0.0
             with tracer.span(
                 "proxy.batch", worker=thread_id, first=first, count=last - first
             ) as batch_span:
@@ -219,6 +224,9 @@ class MiniGiraffe:
                     after = thread_counters.as_dict()
                     batch_span.set(
                         **{k: after[k] - counters_before[k] for k in after}
+                    )
+                    batch_span.set(
+                        gbwt_decode_s=cache.decode_seconds - decode_before
                     )
 
         scheduler = make_scheduler(options.scheduler)

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 from repro.gbwt.gbwt import GBWT
 from repro.gbwt.records import DecompressedRecord, SearchState
+from repro.util.timing import now as _now
 
 _EMPTY = None
 #: Grow when the table is this full.
@@ -49,7 +50,8 @@ class CachedGBWT:
     tracked.
     """
 
-    def __init__(self, gbwt: GBWT, initial_capacity: int = 256):
+    def __init__(self, gbwt: GBWT, initial_capacity: int = 256,
+                 timed: bool = False):
         if initial_capacity < 1:
             raise ValueError("initial capacity must be positive")
         self.gbwt = gbwt
@@ -65,6 +67,12 @@ class CachedGBWT:
         self.probe_steps = 0
         self.storms = 0
         self.prefetched = 0
+        #: When ``timed``, miss-path decode time accumulates here so
+        #: attribution can split GBWT decode out of extension self-time.
+        #: Hits stay clock-free — only the (already expensive) decode
+        #: pays two clock reads, and only when tracing asked for it.
+        self._timed = timed
+        self.decode_seconds = 0.0
 
     # -- hash table internals ----------------------------------------------
 
@@ -147,7 +155,12 @@ class CachedGBWT:
             self.hits += 1
             return self._values[index]
         self.misses += 1
-        record = self.gbwt.record(handle)
+        if self._timed:
+            t0 = _now()
+            record = self.gbwt.record(handle)
+            self.decode_seconds += _now() - t0
+        else:
+            record = self.gbwt.record(handle)
         if (self._size + 1) / self._capacity > _MAX_LOAD:
             self._grow()
             index = self._probe(handle)
@@ -175,7 +188,12 @@ class CachedGBWT:
             self.misses += 1
             self.prefetched += 1
             loaded += 1
-            record = self.gbwt.record(handle)
+            if self._timed:
+                t0 = _now()
+                record = self.gbwt.record(handle)
+                self.decode_seconds += _now() - t0
+            else:
+                record = self.gbwt.record(handle)
             if (self._size + 1) / self._capacity > _MAX_LOAD:
                 self._grow()
                 index = self._probe(handle)
@@ -244,6 +262,7 @@ class CachedGBWT:
             "probe_steps": self.probe_steps,
             "storms": self.storms,
             "prefetched": self.prefetched,
+            "decode_seconds": self.decode_seconds,
             "size": self._size,
             "capacity": self._capacity,
             "slot_bytes": self.slot_bytes,

@@ -8,9 +8,16 @@ first-class, always-available subsystem instead of ad-hoc fragments:
 * :mod:`repro.obs.trace` — structured span events (region, batch,
   worker, wall/CPU time, kernel-counter deltas) with nesting, a
   thread-safe ring buffer, and JSONL export;
+* :mod:`repro.obs.context` — trace-context propagation: every span
+  carries ``trace_id``/``span_id``/``parent_id`` (schema v2), contexts
+  flow across threads and — via the serve wire protocol — across
+  processes, so one request forms one causal tree;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms with
   labeled series, percentile summaries, and a Prometheus-style text
   dump;
+* :mod:`repro.obs.profile` — the continuous sampling profiler
+  (``repro profile``): stdlib-only stack sampling on a seeded-jitter
+  interval, collapsed-stack (flamegraph) export;
 * :mod:`repro.obs.bench` — the continuous benchmark harness
   (``repro bench``): a declared configuration suite, schema-versioned
   ``BENCH_<timestamp>.json`` reports, and baseline regression gating;
@@ -45,14 +52,25 @@ from repro.obs.bench import (
     smoke_suite,
     write_report,
 )
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    use_context,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
+    percentile_summary,
+    quantile_nearest_rank,
     set_metrics,
     use_metrics,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    collapse_frame,
 )
 from repro.obs.validate import (
     ValidationResult,
@@ -86,8 +104,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "TraceContext",
+    "collapse_frame",
+    "current_context",
     "get_metrics",
+    "percentile_summary",
+    "quantile_nearest_rank",
     "set_metrics",
+    "use_context",
     "use_metrics",
     "NULL_TRACER",
     "NullTracer",

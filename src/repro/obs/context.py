@@ -1,0 +1,153 @@
+"""Trace-context propagation: causal identity for spans across threads.
+
+A :class:`TraceContext` is the pair ``(trace_id, span_id)`` that makes a
+span addressable: every span opened while a context is *current* becomes
+a child of that context's span, inherits its trace id, and installs its
+own context for the spans it encloses.  One mapping request therefore
+produces one connected tree — client submit → admission decision →
+queue wait → serve worker → scheduler → batch → kernel regions — no
+matter how many threads or sockets the request crosses.
+
+Propagation has two legs:
+
+* **In-process** — the current context is thread-local; the span
+  machinery in :mod:`repro.obs.trace` pushes/pops it automatically.
+  Crossing a thread boundary (scheduler workers, the serve worker) means
+  capturing :func:`current_context` on the parent thread and installing
+  it with :func:`use_context` inside the child.
+* **On the wire** — the serve protocol v2 carries
+  ``{"trace_id", "span_id"}`` in SUBMIT frames
+  (:func:`repro.serve.protocol.pack_trace`), so server-side spans parent
+  to the client's root span even across processes.
+
+Id generation is deliberately *not* seeded: trace ids are identity, not
+measurement, so they draw from a process-unique ``os.urandom`` prefix
+plus a monotonic counter — collision-free within a process, vanishingly
+unlikely to collide across the client/server pair, and free of any
+dependency on the seeded RNG that the reproducibility gates reserve for
+measured behaviour.
+"""
+
+from __future__ import annotations
+
+import binascii
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "new_span_id",
+    "new_trace_id",
+    "use_context",
+]
+
+#: Process-unique id prefix: 4 random bytes, hex-encoded once at import.
+_PREFIX = binascii.hexlify(os.urandom(4)).decode("ascii")
+
+#: Monotonic allocation counter shared by trace and span ids.
+_COUNTER = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh trace id (``t<prefix>.<n>``), unique within the process."""
+    return f"t{_PREFIX}.{next(_COUNTER):x}"
+
+
+def new_span_id() -> str:
+    """A fresh span id (``s<prefix>.<n>``), unique within the process."""
+    return f"s{_PREFIX}.{next(_COUNTER):x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity: the trace it belongs to and its own span id.
+
+    Passing a context as a span's ``context=`` argument (or installing
+    it with :func:`use_context`) makes new spans children of
+    ``span_id`` within ``trace_id``.
+    """
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh root context: new trace id, new span id."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """A fresh context in the same trace (a child span's identity)."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id())
+
+    def to_wire(self) -> Dict[str, str]:
+        """The JSON shape SUBMIT frames carry (``pack_trace``)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: object) -> Optional["TraceContext"]:
+        """Parse the wire shape; None for missing/malformed payloads."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        return cls(trace_id=str(trace_id), span_id=str(span_id))
+
+
+_local = threading.local()
+
+
+def _stack() -> List[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context installed on this thread (None outside any span)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def push_context(context: TraceContext) -> None:
+    """Install ``context`` as current on this thread (span entry)."""
+    _stack().append(context)
+
+
+def pop_context() -> None:
+    """Remove the most recent context on this thread (span exit)."""
+    stack = _stack()
+    if stack:
+        stack.pop()
+
+
+class use_context:
+    """Install a captured context for a dynamic extent::
+
+        ctx = current_context()          # on the submitting thread
+        ...
+        with use_context(ctx):           # on the worker thread
+            tracer.span("proxy.batch")   # parents to ctx
+
+    ``use_context(None)`` is a no-op, so callers can forward whatever
+    :func:`current_context` returned without special-casing.
+    """
+
+    def __init__(self, context: Optional[TraceContext]):
+        self.context = context
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self.context is not None:
+            push_context(self.context)
+        return self.context
+
+    def __exit__(self, *exc) -> None:
+        if self.context is not None:
+            pop_context()

@@ -27,6 +27,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "percentile_summary",
+    "quantile_nearest_rank",
     "set_metrics",
     "use_metrics",
 ]
@@ -40,6 +42,43 @@ DEFAULT_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def quantile_nearest_rank(samples: Sequence[float], q: float) -> float:
+    """The ``q`` quantile (``0 <= q <= 1``) of raw samples, nearest-rank.
+
+    This is the project's one exact-quantile definition: sort, then pick
+    the sample at ``round(q * (n - 1))``.  :class:`Histogram` *estimates*
+    the same quantity from bucket counts; SLO reports
+    (:mod:`repro.serve.slo`) and attribution reports
+    (:mod:`repro.analysis.attribution`) compute it exactly from retained
+    samples via this helper, so the two never disagree by more than a
+    bucket width.  Returns 0.0 for an empty sample set.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def percentile_summary(
+    samples: Sequence[float], ps: Sequence[float] = (50.0, 90.0, 99.0)
+) -> Dict[str, float]:
+    """p50/p90/p99-style exact summary of raw samples.
+
+    Same key shape as :meth:`Histogram.percentiles` (``{"p50": ...}``)
+    but computed by :func:`quantile_nearest_rank` over the actual
+    samples; an empty dict when there are none.
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    return {
+        f"p{p:g}": quantile_nearest_rank(ordered, p / 100.0) for p in ps
+    }
 
 
 def _format_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:

@@ -1,0 +1,201 @@
+"""Continuous sampling profiler: zero-dep, stdlib-only, seeded jitter.
+
+Span tracing answers "how long did each *instrumented* region take";
+this module answers "which *code* was on-CPU", with no instrumentation
+at all.  A background thread wakes on a seeded-jitter interval, grabs
+:func:`sys._current_frames`, and folds every thread's stack into a
+counter keyed by the collapsed call chain.  The output is the
+collapsed-stack format (``frame;frame;frame count`` per line) that
+flamegraph tooling consumes directly, plus a quick top-functions table.
+
+Design points:
+
+* **Sampling, not tracing** — no ``sys.settrace``/``sys.setprofile``
+  hooks, so the profiled code runs at full speed; cost is one stack walk
+  per sample across all threads.
+* **Seeded jitter** — the sleep between samples is ``interval`` plus a
+  ±25% perturbation drawn from :class:`repro.util.rng.SplitMix64`, so
+  sampling never locks phase with a periodic workload, yet the sample
+  schedule is reproducible for a given seed.
+* **Bounded state** — stacks are capped at :data:`MAX_STACK_DEPTH`
+  frames and the aggregation is a dict of tuples, so hours of profiling
+  hold only the distinct-stack set.
+
+Used by ``repro profile`` (wrap a mapping run) and ``repro serve
+--profile-out`` (profile a live service); see docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import SplitMix64, derive_seed
+
+__all__ = [
+    "SamplingProfiler",
+    "collapse_frame",
+    "MAX_STACK_DEPTH",
+]
+
+#: Frames retained per sampled stack, innermost last.
+MAX_STACK_DEPTH = 64
+
+
+def collapse_frame(filename: str, funcname: str) -> str:
+    """One collapsed-stack frame label: ``module.function``.
+
+    Uses the file's basename without extension as the module part, so
+    labels stay stable across checkouts (no absolute paths) and read
+    like ``process.extend_seed`` or ``cache.record``.
+    """
+    base = os.path.basename(filename)
+    stem, _ext = os.path.splitext(base)
+    return f"{stem}.{funcname}"
+
+
+class SamplingProfiler:
+    """Samples all thread stacks on a seeded-jitter interval.
+
+    Usage::
+
+        profiler = SamplingProfiler(interval=0.002, seed=0)
+        with profiler:
+            mapper.map_reads(records)
+        profiler.write_collapsed("profile.folded")
+
+    ``interval`` is the mean seconds between samples; each gap is
+    jittered ±25% by a :class:`SplitMix64` stream derived from ``seed``.
+    The profiler's own sampling thread is excluded from every sample.
+    """
+
+    def __init__(self, interval: float = 0.002, seed: int = 0,
+                 max_depth: int = MAX_STACK_DEPTH):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self._rng = SplitMix64(derive_seed(seed, "obs.profile"))
+        self._counts: Dict[Tuple[str, ...], int] = {}  # qa: guarded-by(self._lock)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.samples = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=10.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _next_gap(self) -> float:
+        # Uniform in [0.75, 1.25) × interval: enough jitter to break
+        # phase lock, tight enough to keep the sample rate predictable.
+        unit = self._rng.random()
+        return self.interval * (0.75 + 0.5 * unit)
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self._next_gap()):
+            self.sample_once(skip_idents=(own_ident,))
+
+    def sample_once(self, skip_idents: Tuple[int, ...] = ()) -> int:
+        """Take one sample of every live thread stack; returns stacks kept.
+
+        Exposed for tests and for callers that want externally paced
+        sampling; the background thread calls it on the jitter schedule.
+        """
+        frames = sys._current_frames()
+        kept = 0
+        for ident, frame in frames.items():
+            if ident in skip_idents:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                stack.append(collapse_frame(code.co_filename, code.co_name))
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            stack.reverse()  # root first, leaf last (collapsed-stack order)
+            key = tuple(stack)
+            with self._lock:
+                self._counts[key] = self._counts.get(key, 0) + 1
+            kept += 1
+        self.samples += 1
+        return kept
+
+    # -- output ------------------------------------------------------------
+
+    def counts(self) -> Dict[Tuple[str, ...], int]:
+        """Snapshot of sample counts keyed by collapsed stack tuples."""
+        with self._lock:
+            return dict(self._counts)
+
+    def collapsed_lines(self) -> List[str]:
+        """Collapsed-stack lines (``root;...;leaf count``), sorted."""
+        return [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.counts().items())
+        ]
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed-stack lines to ``path``; returns line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+        return len(lines)
+
+    def top_functions(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` hottest leaf frames: (frame label, sample count).
+
+        A frame's count is the number of samples in which it was the
+        innermost frame — on-CPU self time, the flamegraph tip.
+        """
+        leaves: Dict[str, int] = {}
+        for stack, count in self.counts().items():
+            leaf = stack[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        ranked = sorted(leaves.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:n]
+
+    def render_top(self, n: int = 10) -> str:
+        """A small text table of :meth:`top_functions` for CLI output."""
+        rows = self.top_functions(n)
+        total = sum(count for _stack, count in self.counts().items()) or 1
+        lines = [f"{'samples':>8}  {'share':>6}  function"]
+        for label, count in rows:
+            lines.append(f"{count:>8}  {100.0 * count / total:>5.1f}%  {label}")
+        return "\n".join(lines)

@@ -32,6 +32,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.obs import context as obs_context
+from repro.obs import metrics as obs_metrics
+from repro.obs.context import TraceContext
+
 __all__ = [
     "SpanEvent",
     "SpanRingBuffer",
@@ -69,6 +73,12 @@ class SpanEvent:
     #: "ok" normally; "error" when the span body raised or the
     #: instrumented code called ``span.set_error(exc)``.
     status: str = "ok"
+    #: Causal identity (schema v2): which trace this span belongs to,
+    #: its own id, and its parent span's id.  None on spans recorded
+    #: outside any trace context (schema v1 spans round-trip unchanged).
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     @property
     def is_error(self) -> bool:
@@ -81,8 +91,13 @@ class SpanEvent:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready representation (the JSONL schema, one span/line)."""
-        return {
+        """JSON-ready representation (the JSONL schema, one span/line).
+
+        The v2 identity keys (``trace_id``/``span_id``/``parent_id``)
+        are emitted only when set, so v1 spans serialize byte-identically
+        to what they did before trace-context propagation existed.
+        """
+        payload = {
             "name": self.name,
             "thread": self.thread,
             "worker": self.worker,
@@ -95,6 +110,13 @@ class SpanEvent:
             "attrs": self.attrs,
             "status": self.status,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SpanEvent":
@@ -110,6 +132,9 @@ class SpanEvent:
             parent=payload.get("parent"),
             attrs=payload.get("attrs") or {},
             status=payload.get("status", "ok"),
+            trace_id=payload.get("trace_id"),
+            span_id=payload.get("span_id"),
+            parent_id=payload.get("parent_id"),
         )
 
 
@@ -131,15 +156,17 @@ class SpanRingBuffer:
         self.dropped = 0  # qa: guarded-by(self._lock)
         self._lock = threading.Lock()
 
-    def append(self, span: SpanEvent) -> None:
-        """Add one span, evicting the oldest when at capacity."""
+    def append(self, span: SpanEvent) -> bool:
+        """Add one span; returns True when an older span was evicted."""
         with self._lock:
-            if self._count == self.capacity:
+            evicted = self._count == self.capacity
+            if evicted:
                 self.dropped += 1
             else:
                 self._count += 1
             self._slots[self._next] = span
             self._next = (self._next + 1) % self.capacity
+            return evicted
 
     def __len__(self) -> int:
         return self._count
@@ -170,6 +197,9 @@ class _NullSpan:
 
     __slots__ = ()
 
+    #: Disabled spans have no identity (mirrors ``_Span.context``).
+    context = None
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -189,18 +219,33 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """An open span: records clocks on entry, emits a SpanEvent on exit."""
+    """An open span: records clocks on entry, emits a SpanEvent on exit.
+
+    On entry the span resolves its causal parent — the explicit
+    ``context=`` argument if one was passed to :meth:`Tracer.span`,
+    otherwise this thread's current context — allocates its own
+    :class:`TraceContext`, and installs it so nested spans become its
+    children.  Spans opened with no parent anywhere start a new trace.
+    """
 
     __slots__ = ("_tracer", "_name", "_worker", "_attrs", "_start", "_cpu0",
-                 "_status")
+                 "_status", "_context", "_ids", "_parent")
 
     def __init__(self, tracer: "Tracer", name: str, worker: Optional[int],
-                 attrs: Dict[str, Any]):
+                 context: Optional[TraceContext], attrs: Dict[str, Any]):
         self._tracer = tracer
         self._name = name
         self._worker = worker
         self._attrs = attrs
         self._status = "ok"
+        self._context = context
+        self._ids: Optional[TraceContext] = None
+        self._parent: Optional[TraceContext] = None
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """This span's own identity (available once entered)."""
+        return self._ids
 
     def set(self, **attrs) -> "_Span":
         """Attach attributes discovered mid-span (e.g. counter deltas)."""
@@ -220,6 +265,12 @@ class _Span:
         return self
 
     def __enter__(self) -> "_Span":
+        parent = self._context
+        if parent is None:
+            parent = obs_context.current_context()
+        self._parent = parent
+        self._ids = parent.child() if parent is not None else TraceContext.root()
+        obs_context.push_context(self._ids)
         stack = self._tracer._stack()
         stack.append(self._name)
         self._start = time.perf_counter()
@@ -234,6 +285,9 @@ class _Span:
         tracer = self._tracer
         stack = tracer._stack()
         stack.pop()
+        obs_context.pop_context()
+        ids = self._ids
+        parent = self._parent
         tracer._emit(
             SpanEvent(
                 name=self._name,
@@ -246,6 +300,9 @@ class _Span:
                 parent=stack[-1] if stack else None,
                 attrs=self._attrs,
                 status=self._status,
+                trace_id=ids.trace_id if ids is not None else None,
+                span_id=ids.span_id if ids is not None else None,
+                parent_id=parent.span_id if parent is not None else None,
             )
         )
 
@@ -287,25 +344,40 @@ class Tracer:
         return index
 
     def _emit(self, span: SpanEvent) -> None:
-        self.ring.append(span)
+        if self.ring.append(span):
+            obs_metrics.get_metrics().counter(
+                "trace_spans_dropped_total",
+                "Finished spans evicted from the trace ring buffer "
+                "before they could be exported.",
+            ).inc()
         for sink in self._sinks:
             sink(span)
 
     # -- recording API -----------------------------------------------------
 
-    def span(self, name: str, worker: Optional[int] = None, **attrs) -> _Span:
-        """Open a span; use as ``with tracer.span("cluster_seeds"): ...``."""
-        return _Span(self, name, worker, attrs)
+    def span(self, name: str, worker: Optional[int] = None,
+             context: Optional[TraceContext] = None, **attrs) -> _Span:
+        """Open a span; use as ``with tracer.span("cluster_seeds"): ...``.
+
+        ``context=`` names an explicit causal parent (a request's wire
+        context, a context captured on another thread); when omitted the
+        span parents to this thread's current context, if any.
+        """
+        return _Span(self, name, worker, context, attrs)
 
     def event(self, name: str, worker: Optional[int] = None,
-              status: str = "ok", **attrs) -> None:
+              status: str = "ok",
+              context: Optional[TraceContext] = None, **attrs) -> None:
         """Record a zero-duration point event (e.g. a cache rehash).
 
         ``status="error"`` marks failure events (quarantined batches,
         watchdog triggers) so reports can count them separately.
+        ``context=`` parents the event into a trace tree the same way
+        :meth:`span` does.
         """
         now = time.perf_counter()
         stack = self._stack()
+        parent = context if context is not None else obs_context.current_context()
         self._emit(
             SpanEvent(
                 name=name,
@@ -318,8 +390,56 @@ class Tracer:
                 parent=stack[-1] if stack else None,
                 attrs=attrs,
                 status=status,
+                trace_id=parent.trace_id if parent is not None else None,
+                span_id=obs_context.new_span_id() if parent is not None else None,
+                parent_id=parent.span_id if parent is not None else None,
             )
         )
+
+    def record_span(self, name: str, start: float, end: float, *,
+                    context: Optional[TraceContext] = None,
+                    ids: Optional[TraceContext] = None,
+                    status: str = "ok", worker: Optional[int] = None,
+                    cpu: float = 0.0, **attrs) -> TraceContext:
+        """Record a span retroactively from already-measured timestamps.
+
+        This is how intervals that cannot wrap a ``with`` block enter the
+        trace tree: queue wait (measured from ``enqueued_at`` on dequeue)
+        and the client's whole-request span (opened at submit, closed at
+        the terminal verdict, possibly on a different socket).
+
+        ``context`` is the causal parent; ``ids`` lets the caller supply
+        a pre-allocated identity for this span (the client allocates its
+        root context at submit time, ships it on the wire, then records
+        the span under those same ids at verdict time).  Returns the
+        span's identity so callers can parent further spans to it.
+        """
+        parent = context
+        if parent is None and ids is None:
+            # Explicit ids mean the caller owns this span's place in the
+            # tree — don't adopt whatever span happens to be current.
+            parent = obs_context.current_context()
+        if ids is None:
+            ids = parent.child() if parent is not None else TraceContext.root()
+        stack = self._stack()
+        self._emit(
+            SpanEvent(
+                name=name,
+                thread=self._thread_index(),
+                start=start,
+                end=end,
+                cpu=cpu,
+                worker=worker,
+                depth=len(stack),
+                parent=stack[-1] if stack else None,
+                attrs=attrs,
+                status=status,
+                trace_id=ids.trace_id,
+                span_id=ids.span_id,
+                parent_id=parent.span_id if parent is not None else None,
+            )
+        )
+        return ids
 
     def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
         """Also deliver every finished span to ``sink`` (e.g. live export)."""
@@ -386,13 +506,23 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, worker: Optional[int] = None, **attrs) -> _NullSpan:
+    def span(self, name: str, worker: Optional[int] = None,
+             context: Optional[TraceContext] = None, **attrs) -> _NullSpan:
         """Return the shared no-op context manager."""
         return _NULL_SPAN
 
     def event(self, name: str, worker: Optional[int] = None,
-              status: str = "ok", **attrs) -> None:
+              status: str = "ok",
+              context: Optional[TraceContext] = None, **attrs) -> None:
         """Discard the event."""
+
+    def record_span(self, name: str, start: float, end: float, *,
+                    context: Optional[TraceContext] = None,
+                    ids: Optional[TraceContext] = None,
+                    status: str = "ok", worker: Optional[int] = None,
+                    cpu: float = 0.0, **attrs) -> Optional[TraceContext]:
+        """Discard the span; echoes ``ids`` so caller plumbing still works."""
+        return ids
 
     def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
         """Discard the sink (nothing will ever be emitted)."""

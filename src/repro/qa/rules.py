@@ -471,6 +471,68 @@ class SwallowedWorkerErrorRule(Rule):
                         )
 
 
+class SpanParentContextRule(Rule):
+    """Request-path spans must carry explicit trace context.
+
+    In ``repro/serve/`` and ``repro/sched/`` — code that runs on pooled
+    worker threads on behalf of a specific request — a
+    ``tracer.span(...)`` / ``tracer.record_span(...)`` call without an
+    explicit ``context=`` (or pre-allocated ``ids=``) falls back to the
+    calling thread's ambient context stack.  On a pooled thread that is
+    whatever request last ran there, so span trees silently cross-link
+    between requests and trace-join completeness collapses.  Parent
+    context must be propagated explicitly on these paths.
+    """
+
+    id = "span-parent-context"
+    description = ("span created in serve/sched without propagated "
+                   "parent context")
+
+    _SPAN_METHODS = {"span", "record_span"}
+    _CONTEXT_KWARGS = {"context", "ids"}
+
+    def applies(self, norm_path: str) -> bool:
+        """The request-scoped packages (serve/, sched/)."""
+        return _in_any(norm_path, ("repro/serve/", "repro/sched/"))
+
+    @staticmethod
+    def _is_tracer(node: ast.AST) -> bool:
+        # Receivers that look like a tracer: ``tracer``, ``self.tracer``,
+        # ``get_tracer()`` / ``obs_trace.get_tracer()``.
+        if isinstance(node, ast.Name):
+            return "tracer" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "tracer" in node.attr.lower()
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return "tracer" in func.id.lower()
+            if isinstance(func, ast.Attribute):
+                return "tracer" in func.attr.lower()
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag tracer span calls missing a context=/ids= kwarg."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in self._SPAN_METHODS
+                    and self._is_tracer(func.value)):
+                continue
+            kwargs = {kw.arg for kw in node.keywords}
+            if None in kwargs:
+                continue  # a **splat may be supplying the context
+            if not (kwargs & self._CONTEXT_KWARGS):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"tracer.{func.attr}(...) without context=/ids=: the "
+                    "ambient thread-local parent on a pooled worker "
+                    "thread cross-links request trees",
+                )
+
+
 class MissingDocstringRule(Rule):
     """Docstring coverage for the documented API surface.
 
@@ -503,6 +565,7 @@ DEFAULT_RULES = (
     MutableDefaultArgRule(),
     MissingLockGuardRule(),
     SwallowedWorkerErrorRule(),
+    SpanParentContextRule(),
     MissingDocstringRule(),
 )
 

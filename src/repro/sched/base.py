@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.resilience import faults as _faults
@@ -93,8 +94,9 @@ class Scheduler(ABC):
         if threads < 1 or batch_size < 1:
             raise ValueError("threads and batch_size must be positive")
         with obs_trace.get_tracer().span(
-            f"sched.{self.name}", items=item_count, threads=threads,
-            batch_size=batch_size,
+            f"sched.{self.name}",
+            context=obs_context.current_context(),
+            items=item_count, threads=threads, batch_size=batch_size,
         ) as span:
             try:
                 merged = self._run_inner(
@@ -140,21 +142,26 @@ class Scheduler(ABC):
                 watchdog = Watchdog(harness)
         per_thread_traces: List[List[BatchTrace]] = [[] for _ in range(threads)]
         errors: List[Optional[BaseException]] = [None] * threads
+        # Captured inside the sched.* span on the submitting thread;
+        # worker threads re-install it so their proxy.batch spans join
+        # the same trace tree instead of starting orphan traces.
+        run_context = obs_context.current_context()
 
         def worker_body(tid: int) -> None:
             try:
-                self._thread_body(
-                    tid, item_count, batch_size, threads, process_batch,
-                    per_thread_traces[tid],
-                )
-                if harness is not None:
-                    harness.drain_requeued(
-                        tid,
-                        lambda first, last, thread_id, start: self._record(
-                            per_thread_traces[thread_id], thread_id,
-                            first, last, start,
-                        ),
+                with obs_context.use_context(run_context):
+                    self._thread_body(
+                        tid, item_count, batch_size, threads, process_batch,
+                        per_thread_traces[tid],
                     )
+                    if harness is not None:
+                        harness.drain_requeued(
+                            tid,
+                            lambda first, last, thread_id, start: self._record(
+                                per_thread_traces[thread_id], thread_id,
+                                first, last, start,
+                            ),
+                        )
             except BaseException as exc:  # qa: ignore[broad-except] — collected, re-raised after join
                 errors[tid] = exc
 

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.io import ReadRecord
+from repro.obs import trace as obs_trace
+from repro.obs.context import TraceContext
 from repro.serve.protocol import (
     SCHEMA,
     Frame,
@@ -36,7 +38,9 @@ from repro.serve.protocol import (
     decode_frames,
     encode_frame,
     pack_records,
+    pack_trace,
 )
+from repro.util import timing
 
 
 @dataclass
@@ -128,6 +132,12 @@ class StreamingClient:
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self.welcome: Optional[Dict[str, object]] = None
+        # request id -> (root trace context, submit timestamp).  The
+        # entry is created on first submit and *reused* on every retry
+        # and resubmission of the same id (including across reconnect),
+        # so one request is one trace no matter how many attempts it
+        # took; it is consumed when the terminal verdict is recorded.
+        self._traces: Dict[str, Tuple[TraceContext, float]] = {}
 
     def __enter__(self) -> "StreamingClient":
         self.connect()
@@ -212,11 +222,20 @@ class StreamingClient:
     # ------------------------------------------------------------------
     # verbs
 
+    def _trace_root(self, request_id: str) -> TraceContext:
+        """The request's root trace context (created on first submit)."""
+        entry = self._traces.get(request_id)
+        if entry is None:
+            entry = (TraceContext.root(), timing.now())
+            self._traces[request_id] = entry
+        return entry[0]
+
     def submit(self, request_id: str, records: Sequence[ReadRecord]) -> None:
         """Fire one SUBMIT frame (the verdict arrives asynchronously)."""
         self._send(FrameKind.SUBMIT, {
             "request_id": request_id,
             "records_b64": pack_records(records),
+            "trace": pack_trace(self._trace_root(request_id)),
         })
 
     def submit_raw(self, request_id: str, records_b64: str) -> None:
@@ -224,6 +243,7 @@ class StreamingClient:
         self._send(FrameKind.SUBMIT, {
             "request_id": request_id,
             "records_b64": records_b64,
+            "trace": pack_trace(self._trace_root(request_id)),
         })
 
     def stats(self) -> Dict[str, object]:
@@ -344,8 +364,35 @@ class StreamingClient:
                              max_retries)
         return report
 
-    @staticmethod
-    def _absorb(frame: Frame, report: ClientReport,
+    def _close_trace(self, request_id: str, status: str,
+                     payload: Dict[str, object]) -> None:
+        """Record the whole-request client span at the terminal verdict.
+
+        Recorded retroactively under the root context :meth:`submit`
+        allocated (and shipped on the wire), so every server-side span
+        for this request is already a descendant.  The server's echoed
+        ``trace_id`` is attached as an attribute: on a duplicate RESULT
+        it names the *original* request's trace (the cached verdict),
+        which is how a duplicate's client span links to the cached
+        request's tree.
+        """
+        entry = self._traces.pop(request_id, None)
+        if entry is None:
+            return
+        ids, started = entry
+        attrs: Dict[str, object] = {"verdict": status}
+        server_trace = payload.get("trace_id")
+        if server_trace is not None:
+            attrs["server_trace_id"] = server_trace
+        if payload.get("duplicate"):
+            attrs["duplicate"] = True
+        obs_trace.get_tracer().record_span(
+            "client.request", started, timing.now(), ids=ids,
+            status="error" if status == "dead_letter" else "ok",
+            tenant=self.tenant, request_id=request_id, **attrs,
+        )
+
+    def _absorb(self, frame: Frame, report: ClientReport,
                 pending: Dict[str, Sequence[ReadRecord]],
                 attempts: Dict[str, int],
                 retry_at: List[Tuple[float, str]],
@@ -358,10 +405,12 @@ class StreamingClient:
                 report.duplicates += 1
             report.results[request_id] = payload
             pending.pop(request_id, None)
+            self._close_trace(request_id, "result", payload)
             return
         if frame.kind == FrameKind.DEAD_LETTER:
             report.dead_lettered[request_id] = payload
             pending.pop(request_id, None)
+            self._close_trace(request_id, "dead_letter", payload)
             return
         if frame.kind == FrameKind.REJECT:
             if attempts.get(request_id, 1) < max_retries + 1:
@@ -378,6 +427,7 @@ class StreamingClient:
             final["read_count"] = len(pending.get(request_id, ()))
             report.rejected[request_id] = final
             pending.pop(request_id, None)
+            self._close_trace(request_id, "rejected", payload)
             return
         if frame.kind == FrameKind.ERROR:
             raise FrameError(f"server error: {payload}")

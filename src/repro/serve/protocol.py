@@ -23,12 +23,16 @@ import io
 import json
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.io import ReadRecord, load_seed_file, save_seed_file
+from repro.obs.context import TraceContext
 
-#: Protocol schema tag carried in HELLO/WELCOME payloads.
-SCHEMA = "repro.serve/v1"
+#: Protocol schema tag carried in HELLO/WELCOME payloads.  v2 adds
+#: causal trace context: SUBMIT may carry ``"trace"``
+#: (:func:`pack_trace`) and terminal verdicts echo ``"trace_id"``; v1
+#: peers simply omit both, so the protocols interoperate.
+SCHEMA = "repro.serve/v2"
 
 #: Hard per-frame payload cap (bytes).  A well-formed submission never
 #: approaches this; a decoded length beyond it means the stream is
@@ -143,6 +147,26 @@ def decode_frames(buffer: bytes) -> Tuple[List[Frame], bytes]:
         frames.append(Frame(kind, payload))
         offset += _HEADER.size + length
     return frames, buffer[offset:]
+
+
+def pack_trace(context: Optional[TraceContext]) -> Dict[str, str]:
+    """The ``"trace"`` value a SUBMIT frame carries (empty when None).
+
+    Kept as a helper (rather than inlining ``to_wire``) so the wire
+    shape has exactly one definition the client, server, and tests all
+    share.
+    """
+    return context.to_wire() if context is not None else {}
+
+
+def unpack_trace(payload: Dict[str, object]) -> Optional[TraceContext]:
+    """Parse the ``"trace"`` key of a SUBMIT payload; None when absent.
+
+    v1 clients never send the key and malformed values are treated as
+    absent — trace context is observability, never admission-relevant,
+    so a bad context must not reject a request.
+    """
+    return TraceContext.from_wire(payload.get("trace"))
 
 
 def pack_records(records: Sequence[ReadRecord]) -> str:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.io import ReadRecord
+from repro.obs.context import TraceContext
 
 
 class QueueFullError(RuntimeError):
@@ -50,6 +51,11 @@ class MappingRequest:
     enqueued_at: float
     deliver: Optional[Callable[[int, Dict[str, object]], None]] = None
     records_b64: Optional[str] = None
+    #: The client's trace context from the SUBMIT frame (protocol v2):
+    #: server-side spans for this request parent under it.  Pinned at
+    #: first admission — a reconnect re-points ``deliver`` but keeps the
+    #: original trace tree intact.
+    context: Optional[TraceContext] = None
 
     @property
     def key(self) -> tuple:

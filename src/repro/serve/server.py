@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.proxy import MiniGiraffe
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer
 from repro.resilience.policy import FailurePolicy, WatchdogConfig
@@ -49,6 +50,7 @@ from repro.serve.protocol import (
     decode_frames,
     encode_frame,
     unpack_records,
+    unpack_trace,
 )
 from repro.serve.queue import (
     REASON_ERROR,
@@ -347,12 +349,25 @@ class MappingService:
             })
             return
 
-        decision = self.admission.admit(tenant, len(records),
-                                        self.queue.depth())
+        # Protocol v2 trace context; a v1 client (or a malformed value)
+        # gets a server-allocated root so server-side spans still form
+        # one connected tree per request.
+        context = unpack_trace(payload)
+        if context is None:
+            context = TraceContext.root()
+        with self.tracer.span(
+            "serve.admission", context=context, tenant=tenant,
+            request_id=request_id, reads=len(records),
+        ) as admit_span:
+            decision = self.admission.admit(tenant, len(records),
+                                            self.queue.depth())
+            admit_span.set(accepted=decision.accepted,
+                           reason=decision.reason)
         if not decision.accepted:
             self.slo.record_rejected(tenant)
             rejection = decision.to_dict()
             rejection["request_id"] = request_id
+            rejection["trace_id"] = context.trace_id
             send(FrameKind.REJECT, rejection)
             return
 
@@ -366,6 +381,7 @@ class MappingService:
                 str(payload.get("records_b64"))
                 if self.config.keep_dead_records else None
             ),
+            context=context,
         )
         with self._state_lock:
             self._table[key] = {"state": _PENDING, "request": request,
@@ -397,8 +413,16 @@ class MappingService:
             self._map_one(request)
 
     def _map_one(self, request: MappingRequest) -> None:
+        # Queue wait ended the moment the worker picked the request up;
+        # record it retroactively from the admission-time stamp so the
+        # tree shows waiting and mapping as sibling intervals.
+        self.tracer.record_span(
+            "serve.queue_wait", request.enqueued_at, timing.now(),
+            context=request.context, tenant=request.tenant,
+            request_id=request.request_id,
+        )
         with self.tracer.span(
-            "serve.request", tenant=request.tenant,
+            "serve.request", context=request.context, tenant=request.tenant,
             request_id=request.request_id, reads=request.read_count,
         ) as span:
             try:
@@ -438,10 +462,16 @@ class MappingService:
                 "makespan": result.makespan,
                 "latency": latency,
             }
+            if request.context is not None:
+                summary["trace_id"] = request.context.trace_id
             # Account before delivering: a client that fires STATS the
             # instant its last RESULT lands must see it counted.
             self.slo.record_completed(
-                request.tenant, latency, request.read_count
+                request.tenant, latency, request.read_count,
+                trace_id=(
+                    request.context.trace_id
+                    if request.context is not None else None
+                ),
             )
             self._settle(request, _DONE, FrameKind.RESULT, summary)
 
@@ -466,6 +496,8 @@ class MappingService:
             "extensions": extensions,
             "failed_reads": sorted(failed),
         }
+        if request.context is not None:
+            verdict["trace_id"] = request.context.trace_id
         self.slo.record_dead_letter(request.tenant)
         self._settle(request, _DEAD, FrameKind.DEAD_LETTER, verdict)
 

@@ -23,10 +23,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, percentile_summary
 
 #: Percentiles every SLO report carries.
 REPORT_PERCENTILES: Tuple[int, ...] = (50, 90, 99)
+
+#: Worst-latency exemplars retained per tenant (trace ids included), so
+#: an SLO miss can name the requests to go look at.
+MAX_EXEMPLARS = 5
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,14 @@ class SLOReport:
     latency_percentiles: Dict[str, Dict[str, float]]
     rejection_rate: Optional[float]
     dead_letter_rate: Optional[float]
+    #: Per-tenant worst-latency exemplars: tenant -> list of
+    #: ``{"latency": seconds, "trace_id": id-or-None}``, worst first.
+    #: The trace ids name the requests behind the tail percentiles —
+    #: feed them to ``repro trace --attribute``.
+    exemplars: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    #: Per-tenant outcome counters (completed / rejected / dead_lettered
+    #: / reads_mapped), the feed for the ``repro top`` live view.
+    per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (SLO_REPORT frames, --slo-report)."""
@@ -62,6 +74,8 @@ class SLOReport:
             "latency_percentiles": self.latency_percentiles,
             "rejection_rate": self.rejection_rate,
             "dead_letter_rate": self.dead_letter_rate,
+            "exemplars": self.exemplars,
+            "per_tenant": self.per_tenant,
         }
 
     def render(self) -> str:
@@ -89,6 +103,12 @@ class SLOReport:
                 for name in sorted(pcts)
             )
             lines.append(f"  tenant={tenant}: {rendered}")
+            worst = self.exemplars.get(tenant) or []
+            if worst and worst[0].get("trace_id"):
+                lines.append(
+                    f"    worst: {worst[0]['latency'] * 1000.0:.2f}ms "
+                    f"trace={worst[0]['trace_id']}"
+                )
         return "\n".join(lines)
 
 
@@ -115,6 +135,18 @@ class SLOTracker:
         self._completed = 0  # qa: guarded-by(self._lock)
         self._reads_mapped = 0  # qa: guarded-by(self._lock)
         self._latencies: Dict[str, List[float]] = {}  # qa: guarded-by(self._lock)
+        self._exemplars: Dict[str, List[Dict[str, object]]] = {}  # qa: guarded-by(self._lock)
+        self._tenant_counts: Dict[str, Dict[str, int]] = {}  # qa: guarded-by(self._lock)
+
+    def _counts(self, tenant: str) -> Dict[str, int]:
+        # Callers hold self._lock.
+        counts = self._tenant_counts.get(tenant)
+        if counts is None:
+            counts = self._tenant_counts[tenant] = {  # qa: ignore[missing-lock-guard] — every caller holds self._lock
+                "completed": 0, "rejected": 0, "dead_lettered": 0,
+                "reads_mapped": 0,
+            }
+        return counts
 
     def record_accepted(self, tenant: str) -> None:
         """Count one admitted submission."""
@@ -127,17 +159,30 @@ class SLOTracker:
         with self._lock:
             self._rejected += 1
             self._latencies.setdefault(tenant, [])
+            self._counts(tenant)["rejected"] += 1
         self.registry.counter(
             "serve_rejected_total", "Requests rejected at admission."
         ).inc(tenant=tenant)
 
-    def record_completed(self, tenant: str, latency: float,
-                         reads: int) -> None:
-        """Count one successful mapping and its end-to-end latency."""
+    def record_completed(self, tenant: str, latency: float, reads: int,
+                         trace_id: Optional[str] = None) -> None:
+        """Count one successful mapping and its end-to-end latency.
+
+        ``trace_id`` (protocol v2) is retained as a worst-latency
+        exemplar so tail percentiles come with the trace ids behind
+        them.
+        """
         with self._lock:
             self._completed += 1
             self._reads_mapped += reads
             self._latencies.setdefault(tenant, []).append(latency)
+            counts = self._counts(tenant)
+            counts["completed"] += 1
+            counts["reads_mapped"] += reads
+            worst = self._exemplars.setdefault(tenant, [])
+            worst.append({"latency": latency, "trace_id": trace_id})
+            worst.sort(key=lambda entry: -float(entry["latency"]))
+            del worst[MAX_EXEMPLARS:]
         self._hist.observe(latency, tenant=tenant)
 
     def record_dead_letter(self, tenant: str) -> None:
@@ -145,24 +190,20 @@ class SLOTracker:
         with self._lock:
             self._dead_lettered += 1
             self._latencies.setdefault(tenant, [])
+            self._counts(tenant)["dead_lettered"] += 1
         self.registry.counter(
             "serve_dead_letter_total", "Requests routed to the DLQ."
         ).inc(tenant=tenant)
 
     @staticmethod
     def _percentiles(samples: List[float]) -> Dict[str, float]:
-        """p50/p90/p99 of ``samples``; ``{}`` for an empty window."""
-        if not samples:
-            return {}
-        ordered = sorted(samples)
-        out: Dict[str, float] = {}
-        for p in REPORT_PERCENTILES:
-            # Nearest-rank on the sorted window, matching
-            # Histogram.quantile so the two surfaces agree.
-            rank = max(0, min(len(ordered) - 1,
-                              round(p / 100.0 * (len(ordered) - 1))))
-            out[f"p{p}"] = ordered[rank]
-        return out
+        """p50/p90/p99 of ``samples``; ``{}`` for an empty window.
+
+        Delegates to the one shared nearest-rank implementation
+        (:func:`repro.obs.metrics.percentile_summary`) so SLO reports
+        and histogram estimates can never drift apart.
+        """
+        return percentile_summary(samples, REPORT_PERCENTILES)
 
     def report(self) -> SLOReport:
         """Snapshot the current window into an :class:`SLOReport`."""
@@ -176,6 +217,14 @@ class SLOTracker:
             for samples in self._latencies.values():
                 combined.extend(samples)
             per_tenant["*"] = self._percentiles(combined)
+            exemplars = {
+                tenant: [dict(entry) for entry in worst]
+                for tenant, worst in self._exemplars.items()
+            }
+            tenant_counts = {
+                tenant: dict(counts)
+                for tenant, counts in self._tenant_counts.items()
+            }
             return SLOReport(
                 window_requests=self._accepted + self._rejected,
                 accepted=self._accepted,
@@ -190,6 +239,8 @@ class SLOTracker:
                 dead_letter_rate=(
                     self._dead_lettered / decided if decided else None
                 ),
+                exemplars=exemplars,
+                per_tenant=tenant_counts,
             )
 
     def report_json(self) -> str:

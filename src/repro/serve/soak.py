@@ -15,6 +15,15 @@ exactly-once completeness invariant:
 * every DEAD_LETTER verdict has a matching entry in the server's
   dead-letter queue (quarantined work is parked, never lost).
 
+Since protocol v2 the soak also audits the *trace trees* under fault
+injection: the server runs with a live :class:`~repro.obs.trace.Tracer`
+and after the run every dead-lettered request must have a closed
+``serve.request`` span with ``status="error"``, every completed request
+one with ``status="ok"``, no admitted request may leak an open span
+(span counts must equal terminal verdict counts — an unclosed span is
+never emitted), every request tree must stay connected, and the ring
+buffer must not have dropped spans mid-soak.
+
 The soak is deterministic for a fixed ``(seed, plan, pattern)`` triple:
 traffic schedules come from seeded arrival processes and the fault plan
 decides per batch index, so CI replays identical runs.
@@ -25,8 +34,10 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.attribution import attribute
 from repro.core.io import ReadRecord
 from repro.core.proxy import MiniGiraffe
+from repro.obs.trace import SpanEvent, Tracer
 from repro.resilience.faults import FaultPlan
 from repro.serve.client import ClientReport, StreamingClient
 from repro.serve.server import MappingService, ServiceConfig
@@ -99,6 +110,61 @@ def _cycle_reads(records: Sequence[ReadRecord], count: int) -> List[ReadRecord]:
     return out
 
 
+def _audit_trace_trees(spans: Sequence[SpanEvent], dropped: int,
+                       reports: Dict[str, ClientReport]) -> List[str]:
+    """Check the soak's trace-tree invariants; returns violations.
+
+    Faults must not corrupt causal tracing: each terminal verdict the
+    clients saw must be mirrored by exactly one closed ``serve.request``
+    span with the matching status, trees must stay connected, and
+    nothing may leak open (open spans are never emitted, so a missing
+    span *is* the leak detector).
+    """
+    violations: List[str] = []
+    if dropped:
+        violations.append(
+            f"tracer dropped {dropped} spans mid-soak (ring overflow)"
+        )
+    request_spans: Dict[tuple, List[SpanEvent]] = {}
+    for span in spans:
+        if span.name == "serve.request":
+            key = (span.attrs.get("tenant"), span.attrs.get("request_id"))
+            request_spans.setdefault(key, []).append(span)
+
+    admitted = 0
+    for tenant, report in sorted(reports.items()):
+        for request_id, want in (
+            list((rid, "ok") for rid in report.results)
+            + list((rid, "error") for rid in report.dead_lettered)
+        ):
+            admitted += 1
+            closed = request_spans.get((tenant, request_id), [])
+            if len(closed) != 1:
+                violations.append(
+                    f"{tenant}/{request_id}: {len(closed)} closed "
+                    "serve.request spans (expected exactly 1 — "
+                    "0 means the span leaked open)"
+                )
+            elif closed[0].status != want:
+                violations.append(
+                    f"{tenant}/{request_id}: serve.request "
+                    f"status={closed[0].status!r}, expected {want!r}"
+                )
+    extra = len([s for s in spans if s.name == "serve.request"]) - admitted
+    if extra > 0:
+        violations.append(
+            f"{extra} serve.request spans beyond the terminal verdicts"
+        )
+    report = attribute(spans, dropped_spans=dropped)
+    for summary in report.traces:
+        if not summary.joined:
+            violations.append(
+                f"trace {summary.trace_id}: disconnected span tree "
+                f"({summary.span_count} spans)"
+            )
+    return violations
+
+
 def run_soak(mapper: MiniGiraffe, records: Sequence[ReadRecord],
              tenants: int = 2, requests_per_tenant: int = 8,
              batch_reads: int = 4, seed: int = 0,
@@ -140,7 +206,8 @@ def run_soak(mapper: MiniGiraffe, records: Sequence[ReadRecord],
         else:
             batches.append(_cycle_reads(records, small))
 
-    service = MappingService(mapper, config)
+    tracer = Tracer()
+    service = MappingService(mapper, config, tracer=tracer)
     handle = service.start()
     reports: Dict[str, ClientReport] = {}
     errors: List[str] = []
@@ -191,6 +258,8 @@ def run_soak(mapper: MiniGiraffe, records: Sequence[ReadRecord],
                 violations.append(
                     f"{tenant}: dead-lettered {request_id} missing from DLQ"
                 )
+    spans = tracer.spans()
+    violations.extend(_audit_trace_trees(spans, tracer.ring.dropped, reports))
     total_dead = sum(len(r.dead_lettered) for r in reports.values())
     total_completed = sum(len(r.results) for r in reports.values())
     if require_dead_letters and total_dead == 0:
@@ -213,4 +282,12 @@ def run_soak(mapper: MiniGiraffe, records: Sequence[ReadRecord],
         "injected_delays": injector.injected_delays,
         "dead_letter_queue": len(dlq_entries),
         "slo": slo,
+        "trace": {
+            "spans": len(spans),
+            "request_spans": sum(
+                1 for span in spans if span.name == "serve.request"
+            ),
+            "error_spans": sum(1 for span in spans if span.is_error),
+            "dropped_spans": tracer.ring.dropped,
+        },
     }

@@ -1,0 +1,171 @@
+"""Trace-context propagation across the serve wire protocol (ISSUE 7).
+
+Satellite S3: the exactly-once table's edge cases must not fracture
+trace trees.  A reconnect that re-points delivery keeps the original
+request's context; a duplicate submit after completion gets its own
+client span but links (via ``server_trace_id``) to the cached request's
+trace.  Both are driven over real sockets with the stub-mapper pattern
+of ``test_serve_service.py``, with one shared tracer installed so the
+client and server halves of each tree land in the same ring.
+"""
+
+import threading
+import time
+
+from repro.analysis.attribution import attribute
+from repro.core.io import ReadRecord
+from repro.obs.trace import Tracer, use_tracer
+from repro.serve import MappingService, ServiceConfig, StreamingClient
+from repro.serve.protocol import FrameKind
+
+from tests.integration.test_serve_service import StubMapper, _collect_terminal
+
+
+def _reads(prefix, count=3):
+    return [ReadRecord(f"{prefix}-{i}", "ACGTACGT") for i in range(count)]
+
+
+def _start_traced(mapper, **config_kwargs):
+    tracer = Tracer()
+    config = ServiceConfig(port=0, **config_kwargs)
+    service = MappingService(mapper, config, tracer=tracer,
+                             log=lambda _line: None)
+    return service.start(), tracer
+
+
+def _spans_named(tracer, name):
+    return [span for span in tracer.spans() if span.name == name]
+
+
+def test_request_tree_spans_client_and_server():
+    handle, tracer = _start_traced(StubMapper())
+    try:
+        with use_tracer(tracer):
+            with StreamingClient(handle.host, handle.port, "t0") as client:
+                report = client.stream([_reads("a")], request_prefix="t0")
+        assert len(report.results) == 1
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    spans = tracer.spans()
+    roots = _spans_named(tracer, "client.request")
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.parent_id is None and root.trace_id is not None
+    # Admission, queue wait, and the mapping itself are all descendants
+    # of the client root — one connected tree per request.
+    for name in ("serve.admission", "serve.queue_wait", "serve.request"):
+        matching = [s for s in spans if s.name == name]
+        assert len(matching) == 1, name
+        assert matching[0].trace_id == root.trace_id, name
+        assert matching[0].parent_id == root.span_id, name
+    report = attribute(spans)
+    assert report.result_traces == 1
+    assert report.completeness == 1.0
+
+
+def test_reconnect_repoints_delivery_but_keeps_original_trace():
+    hold = threading.Event()
+    handle, tracer = _start_traced(StubMapper(hold=hold))
+    try:
+        with use_tracer(tracer):
+            client = StreamingClient(handle.host, handle.port, "roamer")
+            client.connect()
+            client.submit("inflight", _reads("r"))
+            time.sleep(0.2)      # worker picks it up and blocks
+
+            client.reconnect()
+            client.submit("inflight", _reads("r"))
+            time.sleep(0.3)      # server re-points delivery
+            hold.set()
+            frame = client._recv()
+            assert frame.kind == FrameKind.RESULT
+            assert not frame.payload.get("duplicate")
+            result_trace = frame.payload["trace_id"]
+            client._close_trace("inflight", "result", frame.payload)
+            client.close()
+    finally:
+        hold.set()
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    spans = tracer.spans()
+    roots = _spans_named(tracer, "client.request")
+    # One terminal verdict -> one client root span, under the context
+    # allocated at the FIRST submit (the resubmission reused it).
+    assert len(roots) == 1
+    assert roots[0].trace_id == result_trace
+    # The request mapped once; its serve.request span sits in the
+    # original trace even though delivery was re-pointed.
+    request_spans = _spans_named(tracer, "serve.request")
+    assert len(request_spans) == 1
+    assert request_spans[0].trace_id == result_trace
+    assert request_spans[0].status == "ok"
+    # The resubmission hit the exactly-once table before admission, so
+    # only the first submit was admitted — and in the original trace.
+    admissions = _spans_named(tracer, "serve.admission")
+    assert len(admissions) == 1
+    assert admissions[0].trace_id == result_trace
+    report = attribute(spans)
+    assert report.completeness == 1.0
+
+
+def test_duplicate_submit_links_to_cached_request_trace():
+    handle, tracer = _start_traced(StubMapper())
+    try:
+        with use_tracer(tracer):
+            with StreamingClient(handle.host, handle.port, "dup") as client:
+                records = _reads("d")
+                client.submit("once", records)
+                first = _collect_terminal(client, 1)[0]
+                assert first.kind == FrameKind.RESULT
+                original_trace = first.payload["trace_id"]
+                client._close_trace("once", "result", first.payload)
+
+                client.submit("once", records)
+                again = client._recv()
+                assert again.kind == FrameKind.RESULT
+                assert again.payload["duplicate"] is True
+                # The cached verdict carries the ORIGINAL trace id.
+                assert again.payload["trace_id"] == original_trace
+                client._close_trace("once", "result", again.payload)
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    roots = _spans_named(tracer, "client.request")
+    assert len(roots) == 2
+    by_trace = {span.trace_id: span for span in roots}
+    # The duplicate got a fresh trace of its own...
+    assert len(by_trace) == 2
+    duplicate = next(
+        span for span in roots if span.attrs.get("duplicate")
+    )
+    # ...whose client span links back to the cached request's tree.
+    assert duplicate.trace_id != original_trace
+    assert duplicate.attrs["server_trace_id"] == original_trace
+    # The request only ever mapped once, in the original trace.
+    request_spans = _spans_named(tracer, "serve.request")
+    assert len(request_spans) == 1
+    assert request_spans[0].trace_id == original_trace
+
+
+def test_dead_letter_closes_span_with_error_status():
+    handle, tracer = _start_traced(StubMapper(fail_once=("x",)))
+    try:
+        with use_tracer(tracer):
+            with StreamingClient(handle.host, handle.port, "t1") as client:
+                report = client.stream([_reads("x")], request_prefix="x")
+        assert len(report.dead_lettered) == 1
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+    request_spans = _spans_named(tracer, "serve.request")
+    assert len(request_spans) == 1
+    assert request_spans[0].status == "error"
+    roots = _spans_named(tracer, "client.request")
+    assert len(roots) == 1
+    assert roots[0].status == "error"
+    assert roots[0].trace_id == request_spans[0].trace_id

@@ -1,0 +1,195 @@
+"""Unit tests for per-request critical-path attribution (ISSUE 7)."""
+
+import json
+
+from repro.analysis.attribution import (
+    STAGES,
+    AttributionReport,
+    attribute,
+    stage_of,
+)
+from repro.obs.trace import SpanEvent
+
+
+def _span(name, start, end, *, trace="t1", span_id=None, parent=None,
+          status="ok", **attrs):
+    return SpanEvent(
+        name=name, thread=0, start=start, end=end,
+        attrs=dict(attrs), status=status,
+        trace_id=trace, span_id=span_id, parent_id=parent,
+    )
+
+
+def _request_tree(trace="t1", queue_wait=0.3, extend=1.0, decode=0.0):
+    """A canonical joined client->server->kernel tree.
+
+    client.request [0, 10]
+      serve.admission  [0.1, 0.2]
+      serve.queue_wait [0.2, 0.2+queue_wait]
+      serve.request    [1, 9]
+        proxy.batch    [2, 8]   (gbwt_decode_s=decode)
+          cluster_seeds              [2.5, 3.0]
+          process_until_threshold_c  [3.0, 3.0+extend]
+    """
+    return [
+        _span("client.request", 0.0, 10.0, trace=trace, span_id="c",
+              verdict="result"),
+        _span("serve.admission", 0.1, 0.2, trace=trace, span_id="a",
+              parent="c"),
+        _span("serve.queue_wait", 0.2, 0.2 + queue_wait, trace=trace,
+              span_id="q", parent="c"),
+        _span("serve.request", 1.0, 9.0, trace=trace, span_id="r",
+              parent="c"),
+        _span("proxy.batch", 2.0, 8.0, trace=trace, span_id="b",
+              parent="r", gbwt_decode_s=decode),
+        _span("cluster_seeds", 2.5, 3.0, trace=trace, span_id="cl",
+              parent="b"),
+        _span("process_until_threshold_c", 3.0, 3.0 + extend, trace=trace,
+              span_id="e", parent="b"),
+    ]
+
+
+class TestStageMap:
+    def test_named_stages(self):
+        assert stage_of("serve.admission") == "admission"
+        assert stage_of("serve.queue_wait") == "queue"
+        assert stage_of("cluster_seeds") == "cluster"
+        assert stage_of("process_until_threshold_c") == "extend"
+
+    def test_structural_spans_are_mapping(self):
+        assert stage_of("serve.request") == "mapping"
+        assert stage_of("sched.dynamic") == "mapping"
+        assert stage_of("proxy.batch") == "mapping"
+
+    def test_client_and_unknown_are_other(self):
+        assert stage_of("client.request") == "other"
+        assert stage_of("sim.event") == "other"
+
+
+class TestSelfTime:
+    def test_self_time_subtracts_children(self):
+        report = attribute(_request_tree())
+        (summary,) = report.traces
+        assert summary.joined
+        assert summary.total == 10.0
+        stages = summary.stages
+        assert abs(stages["admission"] - 0.1) < 1e-9
+        assert abs(stages["queue"] - 0.3) < 1e-9
+        assert abs(stages["cluster"] - 0.5) < 1e-9
+        assert abs(stages["extend"] - 1.0) < 1e-9
+        # serve.request self (8-6) + proxy.batch self (6-1.5) = 6.5
+        assert abs(stages["mapping"] - 6.5) < 1e-9
+        # client.request self: 10 - (0.1 + 0.3 + 8) = 1.6
+        assert abs(stages["other"] - 1.6) < 1e-9
+        # Every second of the root is attributed somewhere.
+        assert abs(sum(stages.values()) - summary.total) < 1e-9
+
+    def test_gbwt_decode_carved_out_of_extend(self):
+        report = attribute(_request_tree(extend=1.0, decode=0.4))
+        (summary,) = report.traces
+        assert abs(summary.stages["gbwt"] - 0.4) < 1e-9
+        assert abs(summary.stages["extend"] - 0.6) < 1e-9
+
+    def test_decode_exceeding_extend_clips_at_zero(self):
+        report = attribute(_request_tree(extend=0.1, decode=0.5))
+        (summary,) = report.traces
+        assert summary.stages["extend"] == 0.0
+        assert abs(summary.stages["gbwt"] - 0.5) < 1e-9
+
+
+class TestCompleteness:
+    def test_joined_tree_is_complete(self):
+        report = attribute(_request_tree())
+        assert report.result_traces == 1
+        assert report.completeness == 1.0
+
+    def test_orphaned_span_breaks_join(self):
+        spans = _request_tree()
+        # A span pointing at a parent that was never recorded (lost).
+        spans.append(_span("proxy.batch", 4.0, 5.0, span_id="z",
+                           parent="missing"))
+        report = attribute(spans)
+        assert report.completeness == 0.0
+        assert not report.traces[0].joined
+
+    def test_server_only_trace_joins_via_virtual_root(self):
+        # v1 client: the server allocated the context itself, so the
+        # root span id ("c") never appears — all top spans dangle from
+        # the same missing parent.
+        spans = [s for s in _request_tree() if s.name != "client.request"]
+        report = attribute(spans)
+        (summary,) = report.traces
+        assert summary.joined
+        assert summary.is_result
+        # Total falls back to the sum of the dangling top-level spans.
+        assert abs(summary.total - (0.1 + 0.3 + 8.0)) < 1e-9
+
+    def test_spans_without_context_counted_as_orphans(self):
+        spans = _request_tree()
+        spans.append(SpanEvent(name="legacy", thread=0, start=0.0, end=1.0))
+        report = attribute(spans)
+        assert report.orphan_spans == 1
+        assert report.result_traces == 1
+
+    def test_rejected_trace_not_a_result(self):
+        spans = [
+            _span("client.request", 0.0, 1.0, span_id="c",
+                  verdict="rejected"),
+            _span("serve.admission", 0.1, 0.2, span_id="a", parent="c"),
+        ]
+        report = attribute(spans)
+        assert report.result_traces == 0
+        assert report.completeness == 0.0
+
+
+class TestReport:
+    def _multi(self):
+        return attribute(
+            _request_tree("t1", queue_wait=0.1)
+            + _request_tree("t2", queue_wait=0.9)
+        )
+
+    def test_percentiles_per_stage(self):
+        report = self._multi()
+        queue = report.stage_percentiles["queue"]
+        assert set(queue) == {"p50", "p99"}
+        assert abs(queue["p50"] - 0.1) < 1e-9
+        assert abs(queue["p99"] - 0.9) < 1e-9
+
+    def test_shares_sum_to_one(self):
+        report = self._multi()
+        assert abs(sum(report.stage_shares.values()) - 1.0) < 1e-9
+        assert abs(sum(report.tail_shares.values()) - 1.0) < 1e-9
+
+    def test_exemplars_name_slowest_traces(self):
+        report = self._multi()
+        assert report.exemplars[0][0] in ("t1", "t2")
+        totals = [total for _tid, total in report.exemplars]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_render_contains_stages_and_completeness(self):
+        rendered = self._multi().render()
+        assert "trace-join completeness: 100.0%" in rendered
+        for stage in ("admission", "queue", "mapping", "cluster", "extend"):
+            assert stage in rendered
+        assert "slowest requests:" in rendered
+
+    def test_render_warns_on_dropped_spans(self):
+        report = attribute(_request_tree(), dropped_spans=7)
+        rendered = report.render()
+        assert "WARNING" in rendered
+        assert "7 spans" in rendered
+
+    def test_to_dict_is_json_ready(self):
+        payload = json.loads(json.dumps(self._multi().to_dict()))
+        assert payload["completeness"] == 1.0
+        assert payload["result_traces"] == 2
+        assert set(payload["stage_percentiles"]) <= set(STAGES)
+        assert isinstance(payload["traces"], list)
+
+    def test_empty_input(self):
+        report = attribute([])
+        assert isinstance(report, AttributionReport)
+        assert report.result_traces == 0
+        assert report.stage_percentiles == {}
+        assert report.render()

@@ -1,0 +1,120 @@
+"""Unit tests for the span-parent-context lint rule (ISSUE 7, S5).
+
+Request-path packages (``repro/serve/``, ``repro/sched/``) run span
+creation on pooled worker threads, where falling back to the ambient
+thread-local context cross-links trees between requests.  The rule
+flags ``tracer.span(...)`` / ``tracer.record_span(...)`` calls there
+that pass neither ``context=`` nor ``ids=``.
+"""
+
+import textwrap
+
+from repro.qa.lint import lint_source
+from repro.qa.rules import all_rule_ids, rules_by_id
+
+SERVE_PATH = "src/repro/serve/fake.py"
+SCHED_PATH = "src/repro/sched/fake.py"
+OUT_OF_SCOPE_PATH = "src/repro/analysis/fake.py"
+
+RULE = "span-parent-context"
+
+
+def _run(path, source):
+    return lint_source(path, textwrap.dedent(source), rules_by_id([RULE]),
+                       known_rule_ids=all_rule_ids())
+
+
+def _hits(result):
+    return [f for f in result.findings if f.rule == RULE]
+
+
+class TestFires:
+    def test_span_without_context_in_serve(self):
+        source = """\
+        def handle(tracer):
+            with tracer.span("serve.request"):
+                pass
+        """
+        assert len(_hits(_run(SERVE_PATH, source))) == 1
+
+    def test_record_span_without_ids_in_sched(self):
+        source = """\
+        def drain(self):
+            self.tracer.record_span("serve.queue_wait", t0, t1)
+        """
+        assert len(_hits(_run(SCHED_PATH, source))) == 1
+
+    def test_get_tracer_receiver_counts(self):
+        source = """\
+        def work():
+            with get_tracer().span("sched.batch"):
+                pass
+        """
+        assert len(_hits(_run(SCHED_PATH, source))) == 1
+
+    def test_attrs_only_kwargs_still_fire(self):
+        source = """\
+        def handle(tracer):
+            with tracer.span("serve.request", tenant=tenant):
+                pass
+        """
+        assert len(_hits(_run(SERVE_PATH, source))) == 1
+
+
+class TestClean:
+    def test_explicit_context_kwarg(self):
+        source = """\
+        def handle(tracer, ctx):
+            with tracer.span("serve.request", context=ctx):
+                pass
+        """
+        assert not _hits(_run(SERVE_PATH, source))
+
+    def test_explicit_ids_kwarg(self):
+        source = """\
+        def handle(tracer, ids):
+            tracer.record_span("serve.admission", t0, t1, ids=ids)
+        """
+        assert not _hits(_run(SERVE_PATH, source))
+
+    def test_kwargs_splat_given_benefit_of_doubt(self):
+        source = """\
+        def handle(tracer, kw):
+            with tracer.span("serve.request", **kw):
+                pass
+        """
+        assert not _hits(_run(SERVE_PATH, source))
+
+    def test_non_tracer_receiver_ignored(self):
+        source = """\
+        def handle(pool):
+            pool.span("not-a-trace-span")
+        """
+        assert not _hits(_run(SERVE_PATH, source))
+
+    def test_out_of_scope_path_ignored(self):
+        source = """\
+        def replay(tracer):
+            with tracer.span("analysis.pass"):
+                pass
+        """
+        assert not _hits(_run(OUT_OF_SCOPE_PATH, source))
+
+    def test_inline_suppression_respected(self):
+        source = """\
+        def handle(tracer):
+            with tracer.span("serve.idle"):  # qa: ignore[span-parent-context] — not request-scoped
+                pass
+        """
+        assert not _hits(_run(SERVE_PATH, source))
+
+    def test_shipped_serve_and_sched_sources_are_clean(self):
+        import pathlib
+
+        for package in ("serve", "sched"):
+            root = pathlib.Path("src/repro") / package
+            for path in sorted(root.rglob("*.py")):
+                result = lint_source(str(path), path.read_text(),
+                                     rules_by_id([RULE]),
+                                     known_rule_ids=all_rule_ids())
+                assert not _hits(result), str(path)

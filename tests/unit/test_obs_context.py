@@ -1,0 +1,89 @@
+"""Unit tests for trace-context identity and propagation (ISSUE 7)."""
+
+import threading
+
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    pop_context,
+    push_context,
+    use_context,
+)
+
+
+class TestIdentity:
+    def test_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+
+    def test_root_allocates_both_ids(self):
+        ctx = TraceContext.root()
+        assert ctx.trace_id.startswith("t")
+        assert ctx.span_id.startswith("s")
+
+    def test_child_shares_trace_new_span(self):
+        parent = TraceContext.root()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        ctx = TraceContext.root()
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_from_wire_rejects_garbage(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire("nope") is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"trace_id": "t1"}) is None
+        assert TraceContext.from_wire({"span_id": "s1"}) is None
+
+    def test_from_wire_coerces_ids_to_strings(self):
+        ctx = TraceContext.from_wire({"trace_id": 7, "span_id": 8})
+        assert ctx == TraceContext(trace_id="7", span_id="8")
+
+
+class TestThreadLocalStack:
+    def test_push_pop(self):
+        assert current_context() is None
+        ctx = TraceContext.root()
+        push_context(ctx)
+        try:
+            assert current_context() == ctx
+        finally:
+            pop_context()
+        assert current_context() is None
+
+    def test_use_context_manager(self):
+        ctx = TraceContext.root()
+        with use_context(ctx):
+            assert current_context() == ctx
+        assert current_context() is None
+
+    def test_use_context_none_is_noop(self):
+        outer = TraceContext.root()
+        with use_context(outer):
+            with use_context(None):
+                assert current_context() == outer
+            assert current_context() == outer
+
+    def test_stack_is_thread_local(self):
+        ctx = TraceContext.root()
+        seen = {}
+
+        def probe():
+            seen["other"] = current_context()
+
+        with use_context(ctx):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_pop_empty_is_harmless(self):
+        pop_context()
+        assert current_context() is None

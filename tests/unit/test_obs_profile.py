@@ -1,0 +1,126 @@
+"""Unit tests for the continuous sampling profiler (ISSUE 7)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import MAX_STACK_DEPTH, SamplingProfiler, collapse_frame
+
+
+def _busy_marker_function(stop):
+    while not stop.is_set():
+        sum(range(50))
+
+
+class TestCollapseFrame:
+    def test_strips_path_and_extension(self):
+        assert collapse_frame("/a/b/process.py", "extend_seed") == \
+            "process.extend_seed"
+
+    def test_no_extension(self):
+        assert collapse_frame("script", "main") == "script.main"
+
+
+class TestValidation:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+
+class TestSampling:
+    def test_sample_once_sees_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_marker_function, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler()
+        try:
+            for _ in range(20):
+                profiler.sample_once()
+                time.sleep(0.001)
+        finally:
+            stop.set()
+            worker.join()
+        leaves = {frame for stack in profiler.counts() for frame in stack}
+        assert any("_busy_marker_function" in frame for frame in leaves)
+
+    def test_background_thread_lifecycle(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_marker_function, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(interval=0.001)
+        try:
+            with profiler:
+                time.sleep(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        assert profiler.samples > 0
+        assert profiler.counts()
+        # The sampler must not profile itself.
+        for stack in profiler.counts():
+            assert not any("profile._run" in frame for frame in stack)
+
+    def test_stack_depth_capped(self):
+        def recurse(n):
+            if n == 0:
+                profiler.sample_once()
+                return
+            recurse(n - 1)
+
+        profiler = SamplingProfiler(max_depth=5)
+        recurse(MAX_STACK_DEPTH)
+        assert profiler.counts()
+        assert all(len(stack) <= 5 for stack in profiler.counts())
+
+
+class TestOutput:
+    def _profiler_with_samples(self):
+        profiler = SamplingProfiler()
+        with profiler._lock:
+            profiler._counts[("main.run", "proxy.batch", "extend.go")] = 7
+            profiler._counts[("main.run", "cluster.find")] = 3
+        return profiler
+
+    def test_collapsed_lines_format(self):
+        lines = self._profiler_with_samples().collapsed_lines()
+        assert "main.run;proxy.batch;extend.go 7" in lines
+        assert "main.run;cluster.find 3" in lines
+
+    def test_write_collapsed(self, tmp_path):
+        path = tmp_path / "profile.collapsed"
+        count = self._profiler_with_samples().write_collapsed(str(path))
+        assert count == 2
+        content = path.read_text().splitlines()
+        assert len(content) == 2
+        for line in content:
+            stack, _, value = line.rpartition(" ")
+            assert stack and value.isdigit()
+
+    def test_top_functions_ranks_leaves(self):
+        top = self._profiler_with_samples().top_functions(2)
+        assert top == [("extend.go", 7), ("cluster.find", 3)]
+
+    def test_render_top_shows_share(self):
+        rendered = self._profiler_with_samples().render_top(2)
+        assert "extend.go" in rendered
+        assert "70.0%" in rendered
+
+
+class TestDeterministicJitter:
+    def test_same_seed_same_gaps(self):
+        profiler_a = SamplingProfiler(seed=42)
+        profiler_b = SamplingProfiler(seed=42)
+        gaps_a = [profiler_a._next_gap() for _ in range(10)]
+        gaps_b = [profiler_b._next_gap() for _ in range(10)]
+        assert gaps_a == gaps_b
+
+    def test_gaps_stay_within_jitter_band(self):
+        profiler = SamplingProfiler(interval=0.01, seed=1)
+        for _ in range(100):
+            gap = profiler._next_gap()
+            assert 0.0075 <= gap <= 0.0125

@@ -1,0 +1,112 @@
+"""Unified percentile math (ISSUE 7, satellite S2).
+
+``quantile_nearest_rank`` / ``percentile_summary`` in
+:mod:`repro.obs.metrics` are the project's single exact-quantile
+definition; SLO reports and attribution reports both delegate to them.
+:class:`Histogram` only *estimates* the same quantity from bucket
+counts, so the cross-check here asserts the two implementations never
+disagree by more than one bucket width.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    percentile_summary,
+    quantile_nearest_rank,
+)
+
+
+class TestQuantileNearestRank:
+    def test_empty_is_zero(self):
+        assert quantile_nearest_rank([], 0.5) == 0.0
+
+    def test_single_sample_any_quantile(self):
+        assert quantile_nearest_rank([7.0], 0.0) == 7.0
+        assert quantile_nearest_rank([7.0], 0.5) == 7.0
+        assert quantile_nearest_rank([7.0], 1.0) == 7.0
+
+    def test_endpoints_are_min_and_max(self):
+        samples = [5.0, 1.0, 3.0, 9.0]
+        assert quantile_nearest_rank(samples, 0.0) == 1.0
+        assert quantile_nearest_rank(samples, 1.0) == 9.0
+
+    def test_median_of_odd_count(self):
+        assert quantile_nearest_rank([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_unsorted_input_handled(self):
+        assert quantile_nearest_rank([9.0, 1.0, 5.0], 1.0) == 9.0
+
+    def test_result_is_always_a_sample(self):
+        samples = [random.Random(3).uniform(0, 100) for _ in range(37)]
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_nearest_rank(samples, q) in samples
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile_nearest_rank([1.0], 1.5)
+        with pytest.raises(ValueError):
+            quantile_nearest_rank([1.0], -0.1)
+
+
+class TestPercentileSummary:
+    def test_empty_is_empty_dict(self):
+        assert percentile_summary([]) == {}
+
+    def test_default_keys(self):
+        summary = percentile_summary([1.0, 2.0, 3.0])
+        assert set(summary) == {"p50", "p90", "p99"}
+
+    def test_custom_points(self):
+        summary = percentile_summary([1.0, 2.0, 3.0], ps=(50.0, 99.0))
+        assert set(summary) == {"p50", "p99"}
+        assert summary["p50"] == 2.0
+
+    def test_matches_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]
+        summary = percentile_summary(samples)
+        for key, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            assert summary[key] == quantile_nearest_rank(samples, q)
+
+
+class TestHistogramCrossCheck:
+    """Histogram estimates must track the exact nearest-rank values."""
+
+    BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+    def _bucket_width_at(self, value):
+        lower = 0.0
+        for bound in self.BOUNDS:
+            if value <= bound:
+                return bound - lower
+            lower = bound
+        return self.BOUNDS[-1] - lower
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_estimate_within_one_bucket_width(self, seed):
+        rng = random.Random(seed)
+        samples = [rng.uniform(0.0, 60.0) for _ in range(500)]
+        histogram = Histogram("latency", buckets=self.BOUNDS)
+        for value in samples:
+            histogram.observe(value)
+        exact = percentile_summary(samples, ps=(50.0, 90.0, 99.0))
+        estimate = histogram.percentiles(ps=(50.0, 90.0, 99.0))
+        assert set(estimate) == set(exact)
+        for key, true_value in exact.items():
+            width = self._bucket_width_at(true_value)
+            assert abs(estimate[key] - true_value) <= width, key
+
+    def test_agree_exactly_on_bucket_bounds(self):
+        histogram = Histogram("latency", buckets=self.BOUNDS)
+        samples = [1.0, 2.0, 4.0, 8.0]
+        for value in samples:
+            histogram.observe(value)
+        # The p100 of on-bound samples is the bound itself in both views.
+        assert histogram.quantile(1.0) == quantile_nearest_rank(samples, 1.0)
+
+    def test_empty_series_both_degenerate(self):
+        histogram = Histogram("latency", buckets=self.BOUNDS)
+        assert histogram.percentiles() == {}
+        assert percentile_summary([]) == {}

@@ -99,3 +99,58 @@ def test_report_json_is_valid_and_sorted():
     payload = json.loads(tracker.report_json())
     assert payload["completed"] == 1
     assert payload["latency_percentiles"]["a"]["p50"] == 0.2
+
+
+def test_exemplars_keep_worst_latencies_sorted():
+    tracker = SLOTracker()
+    latencies = [0.01, 0.5, 0.02, 0.9, 0.03, 0.04, 0.7, 0.05]
+    for index, latency in enumerate(latencies):
+        tracker.record_accepted("a")
+        tracker.record_completed("a", latency, reads=1, trace_id=f"t{index}")
+    worst = tracker.report().exemplars["a"]
+    # Capped at MAX_EXEMPLARS, worst-first, trace ids preserved.
+    assert len(worst) == 5
+    kept = [entry["latency"] for entry in worst]
+    assert kept == sorted(latencies, reverse=True)[:5]
+    assert worst[0] == {"latency": 0.9, "trace_id": "t3"}
+
+
+def test_exemplar_without_trace_id_still_recorded_but_not_rendered():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.1, reads=1)
+    report = tracker.report()
+    assert report.exemplars["a"] == [{"latency": 0.1, "trace_id": None}]
+    # render() only names an exemplar when a trace id exists.
+    assert "worst:" not in report.render()
+
+
+def test_render_names_worst_trace():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.1, reads=1, trace_id="tfast")
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.8, reads=1, trace_id="tslow")
+    rendered = tracker.report().render()
+    assert "worst: 800.00ms trace=tslow" in rendered
+    assert "tfast" not in rendered
+
+
+def test_per_tenant_counts_feed_top_view():
+    tracker = SLOTracker()
+    tracker.record_accepted("a")
+    tracker.record_completed("a", 0.1, reads=6, trace_id="t1")
+    tracker.record_rejected("a")
+    tracker.record_rejected("b")
+    tracker.record_dead_letter("b")
+    report = tracker.report()
+    assert report.per_tenant["a"] == {
+        "completed": 1, "rejected": 1, "dead_lettered": 0, "reads_mapped": 6,
+    }
+    assert report.per_tenant["b"] == {
+        "completed": 0, "rejected": 1, "dead_lettered": 1, "reads_mapped": 0,
+    }
+    # The dict round-trips (STATS frames reconstruct SLOReport from it).
+    payload = report.to_dict()
+    assert payload["per_tenant"] == report.per_tenant
+    assert payload["exemplars"] == report.exemplars

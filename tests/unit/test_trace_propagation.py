@@ -1,0 +1,121 @@
+"""Span identity wiring through the tracer (schema v2, ISSUE 7)."""
+
+import json
+
+from repro.obs.context import TraceContext, current_context, use_context
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import NullTracer, SpanEvent, Tracer
+
+
+class TestSpanTreeWiring:
+    def test_top_level_span_becomes_root(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans()
+        assert span.trace_id is not None
+        assert span.span_id is not None
+        assert span.parent_id is None
+
+    def test_nested_spans_share_trace_and_link(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_explicit_context_overrides_ambient(self):
+        tracer = Tracer()
+        foreign = TraceContext.root()
+        with tracer.span("outer"):
+            with tracer.span("inner", context=foreign):
+                pass
+        inner, _outer = tracer.spans()
+        assert inner.trace_id == foreign.trace_id
+        assert inner.parent_id == foreign.span_id
+
+    def test_span_installs_context_for_extent(self):
+        tracer = Tracer()
+        assert current_context() is None
+        with tracer.span("outer") as span:
+            assert current_context() == span.context
+        assert current_context() is None
+
+    def test_context_survives_thread_handoff(self):
+        tracer = Tracer()
+        with tracer.span("submit") as span:
+            captured = span.context
+        with use_context(captured):
+            with tracer.span("worker.batch"):
+                pass
+        worker = tracer.spans()[-1]
+        assert worker.trace_id == captured.trace_id
+        assert worker.parent_id == captured.span_id
+
+
+class TestRecordSpan:
+    def test_record_span_under_context(self):
+        tracer = Tracer()
+        parent = TraceContext.root()
+        ids = tracer.record_span("queue_wait", 1.0, 2.0, context=parent)
+        (span,) = tracer.spans()
+        assert span.trace_id == parent.trace_id
+        assert span.parent_id == parent.span_id
+        assert span.span_id == ids.span_id
+
+    def test_record_span_with_preallocated_ids_is_root(self):
+        tracer = Tracer()
+        ids = TraceContext.root()
+        with tracer.span("ambient"):
+            tracer.record_span("client.request", 1.0, 2.0, ids=ids)
+        client = tracer.spans()[0]
+        assert client.name == "client.request"
+        assert client.trace_id == ids.trace_id
+        assert client.span_id == ids.span_id
+        # Explicit ids own their place in the tree: the ambient span on
+        # this thread must NOT be adopted as the parent.
+        assert client.parent_id is None
+
+    def test_null_tracer_record_span_returns_ids(self):
+        tracer = NullTracer()
+        ids = TraceContext.root()
+        assert tracer.record_span("x", 0.0, 1.0, ids=ids) == ids
+
+
+class TestSerialization:
+    def test_v2_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        for span in tracer.spans():
+            clone = SpanEvent.from_dict(json.loads(json.dumps(span.to_dict())))
+            assert clone.trace_id == span.trace_id
+            assert clone.span_id == span.span_id
+            assert clone.parent_id == span.parent_id
+
+    def test_v1_spans_serialize_without_identity_keys(self):
+        span = SpanEvent(name="legacy", thread=0, start=0.0, end=1.0)
+        payload = span.to_dict()
+        assert "trace_id" not in payload
+        assert "span_id" not in payload
+        assert "parent_id" not in payload
+        clone = SpanEvent.from_dict(payload)
+        assert clone.trace_id is None and clone.parent_id is None
+
+
+class TestDroppedSpanMetric:
+    def test_ring_overflow_bumps_counter(self):
+        tracer = Tracer(capacity=2)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            for index in range(5):
+                with tracer.span(f"s{index}"):
+                    pass
+        assert tracer.ring.dropped == 3
+        counter = registry.get("trace_spans_dropped_total")
+        assert counter is not None
+        assert sum(s["value"] for s in counter.snapshot()) == 3
