@@ -3,6 +3,7 @@
 #
 # Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke]
 #                        [--chaos-smoke] [--serve-smoke] [--trace-smoke]
+#                        [--crash-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -35,6 +36,14 @@
 # percentiles, and survive a `repro chaos --serve` fault soak with
 # quarantined requests parked in the dead-letter queue.
 #
+# --crash-smoke additionally runs the crash-only serving gate (ISSUE 8):
+# `repro chaos --serve --crash` kills supervised workers mid-load,
+# crashes the service without draining, restarts it over the write-ahead
+# journal (with a deliberately torn tail appended), and asserts
+# exactly-once completeness, byte-identical extension digests against a
+# fault-free baseline, duplicate suppression for pre-crash completions,
+# and that an already-expired deadline is rejected finally (no retry).
+#
 # --trace-smoke additionally runs the causal-tracing gate (ISSUE 7): an
 # in-process served two-tenant workload under `repro trace --serve
 # --attribute` must reach 100% trace-join completeness (the command
@@ -55,6 +64,7 @@ TUNE_SMOKE=0
 CHAOS_SMOKE=0
 SERVE_SMOKE=0
 TRACE_SMOKE=0
+CRASH_SMOKE=0
 args=()
 for arg in "$@"; do
     if [[ "$arg" == "--lint" ]]; then
@@ -69,6 +79,8 @@ for arg in "$@"; do
         SERVE_SMOKE=1
     elif [[ "$arg" == "--trace-smoke" ]]; then
         TRACE_SMOKE=1
+    elif [[ "$arg" == "--crash-smoke" ]]; then
+        CRASH_SMOKE=1
     else
         args+=("$arg")
     fi
@@ -180,6 +192,30 @@ if [[ "$SERVE_SMOKE" == "1" ]]; then
     python -m repro chaos --serve --input-set A-human --scale 0.05 \
         --seed 0 --tenants 2 --requests 6 --batch-reads 4
     echo "serve smoke OK"
+fi
+
+if [[ "$CRASH_SMOKE" == "1" ]]; then
+    echo "== crash smoke (crash-only serving: journal recovery gate) =="
+    crash_out="$(mktemp -d)"
+    trap 'rm -rf "${bench_out:-}" "${chaos_out:-}" "${serve_out:-}" "$crash_out"' EXIT
+    python -m repro chaos --serve --crash --input-set A-human --scale 0.05 \
+        --seed 0 --requests 12 --batch-reads 4 --workers 2 \
+        --journal "$crash_out/requests.journal" \
+        --json "$crash_out/crash.json"
+    python - "$crash_out/crash.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["ok"] is True, report
+assert report["recovery"]["truncated_records"] == 1, report["recovery"]
+restarts = report["worker_restarts"]
+assert restarts["phase_a"] + restarts["phase_b"] > 0, restarts
+assert report["deadline_probe"] == "expired-final", report["deadline_probe"]
+print("crash JSON OK "
+      f"({report['requests']} requests, crashed after "
+      f"{report['crash_after']} verdicts, "
+      f"{restarts['phase_a'] + restarts['phase_b']} worker restarts)")
+PY
+    echo "crash smoke OK"
 fi
 
 if [[ "$TRACE_SMOKE" == "1" ]]; then

@@ -321,6 +321,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --serve: requests streamed per tenant")
     chaos.add_argument("--batch-reads", type=int, default=4,
                        help="with --serve: reads per small request")
+    chaos.add_argument(
+        "--crash", action="store_true",
+        help="with --serve: the crash-recovery gate — kill supervised "
+             "workers and the server itself mid-load, restart over the "
+             "request journal, and assert exactly-once completeness plus "
+             "byte-identical results against a fault-free run",
+    )
+    chaos.add_argument("--journal",
+                       help="with --crash: journal path shared by both "
+                            "service incarnations (default: a temp file)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="with --crash: supervised worker subprocesses")
 
     tune = commands.add_parser(
         "tune", help="exhaustive parameter sweep (machine model or measured)"
@@ -451,6 +463,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "disables the periodic report)")
     serve.add_argument("--dlq-spool",
                        help="append dead letters to this JSONL spool")
+    serve.add_argument("--journal",
+                       help="write-ahead request journal path: admitted "
+                            "submissions are durable before they are "
+                            "worked on, and a restart recovers them")
+    serve.add_argument("--no-recover", action="store_true",
+                       help="with --journal: skip replaying an existing "
+                            "journal on start (append-only from here)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="map on this many supervised worker "
+                            "subprocesses (crash-only: heartbeats, "
+                            "restart backoff, circuit breakers) instead "
+                            "of in-process threads")
     serve.add_argument("--trace-out",
                        help="write serve.request spans here (JSONL) on exit")
     serve.add_argument("--profile-out",
@@ -491,6 +515,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "schedule)")
     submit.add_argument("--max-retries", type=int, default=8,
                         help="retries per request after REJECT verdicts")
+    submit.add_argument("--deadline", type=float,
+                        help="per-request deadline budget in seconds "
+                             "(protocol v3): the server rejects an "
+                             "exhausted budget with reason 'expired' and "
+                             "never dispatches past it")
     submit.add_argument("--stats", action="store_true",
                         help="also fetch and print the server's SLO report")
     submit.add_argument("--slo", action="store_true",
@@ -861,6 +890,32 @@ def _render_top(stats) -> str:
             f"{counts.get('dead_lettered', 0):>5} "
             f"{counts.get('reads_mapped', 0):>8} "
             f"{_ms('p50'):>9} {_ms('p99'):>9}"
+        )
+    workers = stats.get("workers") or {}
+    if workers.get("workers") is not None:
+        cells = []
+        for worker in workers["workers"]:
+            busy = "*" if worker.get("busy") else ""
+            cells.append(
+                f"{worker.get('index')}={worker.get('state')}"
+                f"/{worker.get('breaker')}"
+                f"(r{worker.get('restarts', 0)}){busy}"
+            )
+        lines.append(
+            f"workers: {' '.join(cells)} "
+            f"restarts_total={workers.get('restarts_total', 0)}"
+        )
+    elif workers:
+        lines.append(f"workers: mode=threads x{workers.get('threads', 1)}")
+    journal = stats.get("journal")
+    if journal:
+        lines.append(
+            f"journal: appends={journal.get('appends', 0)} "
+            f"fsyncs={journal.get('fsyncs', 0)} "
+            f"lag={journal.get('lag', 0)} "
+            f"recovered={journal.get('recovered_completed', 0)}+"
+            f"{journal.get('recovered_incomplete', 0)} "
+            f"truncated={journal.get('truncated_records', 0)}"
         )
     return "\n".join(lines)
 
@@ -1314,15 +1369,32 @@ def _resolve_address(args) -> tuple:
 
 def _cmd_serve(args) -> int:
     from repro.obs.trace import Tracer
+    from repro.resilience.supervisor import HandlerSpec
     from repro.serve import MappingService, ServiceConfig, TenantQuota
 
-    bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
-    proxy = MiniGiraffe(
-        bundle.pangenome.gbz,
-        ProxyOptions(threads=args.threads, batch_size=args.batch_size),
-        seed_span=bundle.spec.minimizer_k,
-        distance_index=parent.distance_index,
-    )
+    worker_spec = None
+    if args.workers > 0:
+        # Supervised mode: each spawn child materializes its own mapper
+        # through this spec, so the parent never builds one at all.
+        proxy = None
+        worker_spec = HandlerSpec(
+            "repro.serve.workers:build_mapping_handler",
+            {
+                "input_set": args.input_set,
+                "scale": args.scale,
+                "threads": args.threads,
+                "batch_size": args.batch_size,
+                "request_timeout": args.request_timeout,
+            },
+        )
+    else:
+        bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
+        proxy = MiniGiraffe(
+            bundle.pangenome.gbz,
+            ProxyOptions(threads=args.threads, batch_size=args.batch_size),
+            seed_span=bundle.spec.minimizer_k,
+            distance_index=parent.distance_index,
+        )
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -1332,6 +1404,10 @@ def _cmd_serve(args) -> int:
         request_timeout=args.request_timeout,
         slo_interval=args.slo_interval,
         dlq_spool=args.dlq_spool,
+        journal_path=args.journal,
+        recover=not args.no_recover,
+        workers=args.workers,
+        worker_spec=worker_spec,
     )
     tracer = Tracer() if args.trace_out else None
     profiler = None
@@ -1341,6 +1417,9 @@ def _cmd_serve(args) -> int:
         profiler = SamplingProfiler().start()
     service = MappingService(proxy, config, tracer=tracer)
     handle = service.start()
+    if service.recovery is not None:
+        print("journal recovery: "
+              + json.dumps(service.recovery.to_dict(), sort_keys=True))
     print(f"serving {args.input_set} (scale {args.scale}) "
           f"on {handle.host}:{handle.port}")
     if args.port_file:
@@ -1388,6 +1467,7 @@ def _cmd_submit(args) -> int:
                 batches, gaps=gaps,
                 request_prefix=f"{args.tenant}-{args.seed}",
                 max_retries=args.max_retries,
+                deadline=args.deadline,
             )
             summary = report.to_dict()
             print(json.dumps(summary, indent=2, sort_keys=True))
@@ -1420,7 +1500,7 @@ def _cmd_submit(args) -> int:
 
 def _cmd_dlq(args) -> int:
     from repro.serve import StreamingClient
-    from repro.serve.queue import load_spool
+    from repro.serve.queue import load_spool_tolerant
 
     if args.inspect or args.drain:
         host, port = _resolve_address(args)
@@ -1435,8 +1515,14 @@ def _cmd_dlq(args) -> int:
         return 0
 
     # --replay: collect dead letters, resubmit through admission.
+    spool_skipped = 0
     if args.spool:
-        entries = [entry.to_dict() for entry in load_spool(args.spool)]
+        # Tolerant load: a spool whose final line was cut short by a
+        # crash mid-append must not block replaying the intact entries.
+        spooled, spool_skipped = load_spool_tolerant(args.spool)
+        entries = [entry.to_dict() for entry in spooled]
+        if spool_skipped:
+            print(f"spool: skipped {spool_skipped} corrupt line(s)")
     else:
         host, port = _resolve_address(args)
         with StreamingClient(host, port, "dlq-admin") as client:
@@ -1448,7 +1534,8 @@ def _cmd_dlq(args) -> int:
     for entry in replayable:
         by_tenant.setdefault(str(entry["tenant"]), []).append(entry)
     replay_report = {"entries": len(entries), "replayed": 0,
-                     "skipped_no_payload": skipped, "verdicts": {}}
+                     "skipped_no_payload": skipped,
+                     "spool_lines_skipped": spool_skipped, "verdicts": {}}
     from repro.serve.protocol import unpack_records
 
     for tenant, tenant_entries in sorted(by_tenant.items()):
@@ -1496,10 +1583,54 @@ def _cmd_docs(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_chaos_crash(args) -> int:
+    """The ``repro chaos --serve --crash`` gate (see repro.serve.crash)."""
+    import tempfile
+
+    from repro.serve.crash import CrashGateError, run_crash_gate
+
+    bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
+    records = parent.capture_read_records(bundle.reads)
+    print(f"crash-gate input: {bundle.describe()}")
+    journal_path = args.journal
+    if journal_path is None:
+        handle, journal_path = tempfile.mkstemp(suffix=".journal")
+        os.close(handle)
+        os.unlink(journal_path)  # the gate must start from no journal
+    try:
+        summary = run_crash_gate(
+            records, journal_path,
+            requests=args.requests,
+            batch_reads=args.batch_reads,
+            workers=args.workers,
+            seed=args.seed,
+        )
+    except CrashGateError as error:
+        print(f"crash gate FAILED: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    recovery = summary["recovery"]
+    print(f"crash gate: {summary['requests']} request(s), crashed after "
+          f"{summary['pre_crash_verdicts']} verdict(s); recovered "
+          f"{recovery['recovered_completed']} completed + "
+          f"{recovery['recovered_incomplete']} incomplete, truncated "
+          f"{recovery['truncated_bytes']} torn byte(s); "
+          f"{summary['worker_restarts']['phase_a']}+"
+          f"{summary['worker_restarts']['phase_b']} worker restart(s)")
+    print("exactly-once + byte-identity across crash: OK")
+    return 0
+
+
 def _cmd_chaos_serve(args) -> int:
     """The ``repro chaos --serve`` soak (see repro.serve.soak)."""
     from repro.serve.soak import SoakError, run_soak
 
+    if args.crash:
+        return _cmd_chaos_crash(args)
     bundle, parent = _materialize_with_mapper(args.input_set, args.scale)
     records = parent.capture_read_records(bundle.reads)
     print(f"soak input: {bundle.describe()}")

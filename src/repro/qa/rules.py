@@ -533,6 +533,79 @@ class SpanParentContextRule(Rule):
                 )
 
 
+class UnsupervisedSubprocessRule(Rule):
+    """Child processes in serve/resilience must be join-with-timeout'd.
+
+    In ``repro/serve/`` and ``repro/resilience/`` — the crash-only
+    serving stack — any code that creates a child process
+    (``multiprocessing`` / ``ctx.Process(...)``, ``subprocess.Popen`` /
+    ``run`` / ``check_output``) must somewhere in the same file join it
+    *with a timeout*: an unbounded ``join()`` (or none at all) is how a
+    wedged child turns a crash-only design into a hung shutdown.  The
+    check is file-scoped because supervision is structural — the spawn
+    and the bounded join legitimately live in different methods of the
+    same supervisor.
+    """
+
+    id = "unsupervised-subprocess"
+    description = ("child process created in serve/resilience without a "
+                   "join-with-timeout in the file")
+
+    _PROCESS_CTORS = {"Process", "Popen"}
+    _SUBPROCESS_FUNCS = {"run", "check_output", "check_call", "call"}
+
+    def applies(self, norm_path: str) -> bool:
+        """The crash-only serving stack (serve/, resilience/)."""
+        return _in_any(norm_path, ("repro/serve/", "repro/resilience/"))
+
+    def _spawn_sites(self, tree: ast.AST) -> List[Tuple[int, str]]:
+        sites: List[Tuple[int, str]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in self._PROCESS_CTORS:
+                sites.append((node.lineno, callee.id))
+            elif isinstance(callee, ast.Attribute):
+                if callee.attr in self._PROCESS_CTORS:
+                    sites.append((node.lineno, callee.attr))
+                elif (callee.attr in self._SUBPROCESS_FUNCS
+                      and isinstance(callee.value, ast.Name)
+                      and callee.value.id == "subprocess"):
+                    sites.append((node.lineno, f"subprocess.{callee.attr}"))
+        return sites
+
+    @staticmethod
+    def _has_bounded_join(tree: ast.AST) -> bool:
+        # A ``.join`` whose timeout is explicit: a ``timeout=`` kwarg or
+        # a numeric positional.  (``",".join(parts)`` passes a
+        # non-numeric positional and so never counts.)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"):
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                return True
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, (int, float)):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag process creation in files lacking a bounded join."""
+        sites = self._spawn_sites(ctx.tree)
+        if not sites or self._has_bounded_join(ctx.tree):
+            return
+        for lineno, label in sites:
+            yield self.finding(
+                ctx, lineno,
+                f"{label}(...) without any join-with-timeout in this "
+                "file: a wedged child would hang shutdown — join "
+                "bounded, then kill",
+            )
+
+
 class MissingDocstringRule(Rule):
     """Docstring coverage for the documented API surface.
 
@@ -566,6 +639,7 @@ DEFAULT_RULES = (
     MissingLockGuardRule(),
     SwallowedWorkerErrorRule(),
     SpanParentContextRule(),
+    UnsupervisedSubprocessRule(),
     MissingDocstringRule(),
 )
 

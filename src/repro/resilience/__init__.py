@@ -18,7 +18,12 @@ first-class, *testable* concern:
 * :mod:`repro.resilience.harness` — the :class:`BatchHarness` the
   schedulers wrap around ``process_batch`` (retry / quarantine / requeue
   bookkeeping) and the :class:`Watchdog` thread that flags batches
-  blowing past a rolling soft deadline.
+  blowing past a rolling soft deadline;
+* :mod:`repro.resilience.supervisor` — the crash-only substrate for
+  ``repro serve --workers``: a :class:`SupervisedPool` of spawn-based
+  worker subprocesses with heartbeats, kill-and-restart under capped
+  exponential :class:`BackoffPolicy`, and per-worker
+  :class:`CircuitBreaker` escalation for restart storms.
 
 All failure events flow into the installed :mod:`repro.obs` tracer
 (span/event error status) and metrics registry
@@ -46,22 +51,42 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     InjectedFault,
+    WorkerFaults,
     active_injector,
 )
 from repro.resilience.harness import BatchHarness, Watchdog
+from repro.resilience.supervisor import (
+    BackoffPolicy,
+    BreakerConfig,
+    CircuitBreaker,
+    HandlerSpec,
+    PoolClosedError,
+    SupervisedPool,
+    WorkerDeathError,
+    WorkerTaskError,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "BatchFailure",
     "BatchFaults",
     "BatchHarness",
+    "BreakerConfig",
+    "CircuitBreaker",
     "CompletenessReport",
     "FailurePolicy",
     "FaultInjector",
     "FaultPlan",
+    "HandlerSpec",
     "InjectedFault",
+    "PoolClosedError",
     "RunReport",
+    "SupervisedPool",
     "Watchdog",
     "WatchdogConfig",
     "WatchdogEvent",
+    "WorkerDeathError",
+    "WorkerFaults",
+    "WorkerTaskError",
     "active_injector",
 ]

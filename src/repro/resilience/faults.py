@@ -57,6 +57,29 @@ class BatchFaults:
 
 
 @dataclass(frozen=True)
+class WorkerFaults:
+    """The plan's process-level verdict for one task (supervised pool).
+
+    ``kill`` means the worker subprocess hard-exits (SIGKILL-style,
+    ``os._exit``) when it picks the task up; ``hang`` > 0 stalls the
+    worker for that many seconds *with heartbeats suppressed*, so the
+    supervisor's liveness monitor — not the worker — has to notice.
+    Non-sticky faults fire only on the task's first dispatch, so a
+    restarted worker completes the retry; sticky faults fire on every
+    dispatch and end as a poisonous-task ``worker_death`` verdict.
+    """
+
+    kill: bool = False
+    hang: float = 0.0
+    sticky: bool = False
+
+    @property
+    def any(self) -> bool:
+        """True when at least one process-level fault fires."""
+        return self.kill or self.hang > 0.0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded recipe of faults, independent of execution order.
 
@@ -64,7 +87,10 @@ class FaultPlan:
     conditional probability that an injected exception re-fires on every
     retry (making the batch unrecoverable); ``max_delay`` bounds the
     injected stall in seconds.  ``corrupt_rate`` is a per-byte flip
-    probability used by :meth:`corrupt`.
+    probability used by :meth:`corrupt`.  ``kill_rate`` / ``hang_rate``
+    are per-*task* probabilities of the process-level faults the
+    supervised worker pool injects (:meth:`decide_worker`);
+    ``hang_duration`` is the heartbeat-stall length in seconds.
     """
 
     seed: int = 0
@@ -74,15 +100,21 @@ class FaultPlan:
     sticky_rate: float = 0.5
     max_delay: float = 0.005
     corrupt_rate: float = 0.001
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_duration: float = 0.5
 
     def __post_init__(self):
         for name in ("raise_rate", "delay_rate", "storm_rate",
-                     "sticky_rate", "corrupt_rate"):
+                     "sticky_rate", "corrupt_rate", "kill_rate",
+                     "hang_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         if self.max_delay < 0:
             raise ValueError("max_delay must be non-negative")
+        if self.hang_duration < 0:
+            raise ValueError("hang_duration must be non-negative")
 
     def decide(self, first: int) -> BatchFaults:
         """The faults this plan injects into the batch starting at ``first``.
@@ -99,6 +131,25 @@ class FaultPlan:
         return BatchFaults(
             raise_fault=raise_fault, sticky=sticky, delay=delay, storm=storm
         )
+
+    def decide_worker(self, key: int) -> WorkerFaults:
+        """The process-level faults injected into the task keyed ``key``.
+
+        Deterministic: a pure function of the plan and ``key`` (the
+        supervised pool keys tasks by a request-id hash), drawn from a
+        stream independent of :meth:`decide` so batch- and
+        process-level chaos compose without interference.  Kill and
+        hang are mutually exclusive — a dead worker cannot also stall.
+        """
+        rng = SplitMix64(derive_seed(self.seed, "worker", key))
+        kill = rng.random() < self.kill_rate
+        hang_roll = rng.random() < self.hang_rate
+        sticky = rng.random() < self.sticky_rate
+        if kill:
+            return WorkerFaults(kill=True, sticky=sticky)
+        if hang_roll:
+            return WorkerFaults(hang=self.hang_duration, sticky=sticky)
+        return WorkerFaults()
 
     def corrupt(self, data: bytes, label: str = "seeds") -> bytes:
         """Deterministically flip bytes in ``data`` (seed-file corruption).

@@ -1,0 +1,608 @@
+"""Supervised worker subprocesses: heartbeats, restarts, circuit breakers.
+
+The service's crash-only substrate.  A :class:`SupervisedPool` owns a
+fixed set of **spawn**-based worker subprocesses; batches ship to them
+over pipes and verdicts come back the same way.  Each worker runs a
+heartbeat thread, so the pool's monitor can tell three failure modes
+apart and survive all of them:
+
+* **death** — the process exited (crash, ``os._exit``, SIGKILL): the
+  monitor notices the closed pipe / exit code, fails the in-flight
+  task back to its caller, and schedules a restart;
+* **hang** — the process is alive but heartbeats stopped (a stuck
+  kernel, a runaway loop): the monitor SIGKILLs it after
+  ``heartbeat_timeout`` and treats it as a death;
+* **restart storm** — a worker that keeps dying escalates through
+  capped exponential backoff (:class:`BackoffPolicy`) into a per-worker
+  :class:`CircuitBreaker`: *open* stops restarts for a cool-down,
+  *half-open* admits one probe restart, and a surviving probe closes
+  the breaker again.
+
+Tasks are retried on death: a task whose worker dies is re-dispatched
+to another worker until ``max_task_deaths``, at which point the pool
+declares the *task* poisonous and raises :class:`WorkerDeathError` —
+the service routes that to the dead-letter queue with a
+``worker_death`` verdict, so one hostile batch can never wedge the
+pool.  Handler exceptions (the task failed, the worker is fine) come
+back as :class:`WorkerTaskError` without costing the worker its life.
+
+Workers are described by a :class:`HandlerSpec` — a dotted-path factory
+plus keyword arguments — because spawn children cannot unpickle
+closures: each child imports the factory, builds its handler once, and
+then maps payload dicts to result dicts for its whole life.  Worker
+fault injection (SIGKILL / heartbeat-stall hang) is seeded through
+:class:`repro.resilience.faults.FaultPlan` worker decisions, keyed by
+the task's fault key, so chaos runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util import timing
+from repro.util.rng import SplitMix64, derive_seed
+
+#: Worker states surfaced by :meth:`SupervisedPool.stats` (and the
+#: ``repro top`` supervision panel).
+WORKER_STARTING = "starting"
+WORKER_ALIVE = "alive"
+WORKER_RESTARTING = "restarting"
+WORKER_BREAKER_OPEN = "breaker_open"
+WORKER_STOPPED = "stopped"
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class WorkerDeathError(RuntimeError):
+    """A task's worker died ``max_task_deaths`` times — the task is poisonous."""
+
+    def __init__(self, message: str, deaths: int = 0):
+        super().__init__(message)
+        self.deaths = deaths
+
+
+class WorkerTaskError(RuntimeError):
+    """The handler raised inside the worker (the worker itself survived)."""
+
+
+class PoolClosedError(RuntimeError):
+    """A task was offered to a pool that is shutting down."""
+
+
+@dataclass(frozen=True)
+class HandlerSpec:
+    """A spawn-safe recipe for the worker's payload handler.
+
+    ``factory`` is a dotted path (``"package.module:attribute"``) to a
+    zero-state factory callable; each worker child imports it and calls
+    ``factory(**kwargs)`` once to obtain the actual
+    ``handler(payload: dict) -> dict``.  Keeping the recipe as strings
+    and plain data is what makes it picklable for the spawn context.
+    """
+
+    factory: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolve(self) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+        """Import the factory and build the handler (runs in the child)."""
+        module_name, _, attr = self.factory.partition(":")
+        if not attr:
+            module_name, _, attr = self.factory.rpartition(".")
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr)
+        return factory(**self.kwargs)
+
+
+def echo_handler_factory(**extra: Any) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Reference handler factory: echoes the payload (tests and smokes).
+
+    The returned handler merges ``extra`` into a copy of the payload
+    and, when the payload carries ``"fail"``, raises — exercising the
+    :class:`WorkerTaskError` path without a real mapper.
+    """
+    def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Echo ``payload`` (plus factory extras) back to the parent."""
+        if payload.get("fail"):
+            raise RuntimeError(str(payload["fail"]))
+        result = dict(payload)
+        result.update(extra)
+        result["echo"] = True
+        return result
+    return handler
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential restart backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, … is ``base * 2**(attempt-1)``
+    scaled by a seeded jitter factor in ``[1, 2)``, clamped to ``cap``.
+    Because the jittered value for attempt *n* is always below the raw
+    value for attempt *n+1*, the sequence is monotone non-decreasing
+    until it saturates at ``cap`` — and it is a pure function of
+    ``(seed, attempt)``, so chaos runs replay identical schedules.
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError("base must be positive")
+        if self.cap < self.base:
+            raise ValueError("cap must be >= base")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before restart ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = self.base * (2.0 ** (attempt - 1))
+        rng = SplitMix64(derive_seed(self.seed, "backoff", attempt))
+        return min(self.cap, raw * (1.0 + rng.random()))
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tunables for one worker's restart circuit breaker.
+
+    ``failure_threshold`` consecutive deaths open the breaker;
+    restarts are then refused for ``open_duration`` seconds, after
+    which one half-open probe restart is admitted.  The probe worker
+    surviving a task closes the breaker; dying re-opens it.
+    """
+
+    failure_threshold: int = 5
+    open_duration: float = 1.0
+
+
+class CircuitBreaker:
+    """The open → half-open → closed restart gate for one worker.
+
+    Not thread-safe by itself: the pool's monitor thread is the only
+    caller.  ``clock`` is injectable so tests can drive the cool-down
+    without sleeping.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None,
+                 clock: Callable[[], float] = timing.now):
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+
+    def record_failure(self) -> None:
+        """Count one worker death; may trip the breaker open."""
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe died: straight back to open, fresh cool-down.
+            self.state = BREAKER_OPEN
+            self._opened_at = self._clock()
+        elif (self.state == BREAKER_CLOSED
+              and self.consecutive_failures >= self.config.failure_threshold):
+            self.state = BREAKER_OPEN
+            self._opened_at = self._clock()
+
+    def record_success(self) -> None:
+        """Count one completed task; a surviving probe closes the breaker."""
+        self.consecutive_failures = 0
+        if self.state == BREAKER_HALF_OPEN:
+            self.state = BREAKER_CLOSED
+
+    def allow_restart(self) -> bool:
+        """May the supervisor restart this worker right now?
+
+        In the open state the answer flips to True once the cool-down
+        elapses, transitioning to half-open (the caller's restart is
+        the probe).
+        """
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if self._clock() - self._opened_at >= self.config.open_duration:
+                self.state = BREAKER_HALF_OPEN
+                return True
+            return False
+        # Half-open: the single probe restart was already admitted.
+        return False
+
+
+class _Task:
+    """One payload in flight through the pool (parent-side bookkeeping)."""
+
+    _ids = 0
+    _ids_lock = threading.Lock()
+
+    def __init__(self, payload: Dict[str, Any], fault_key: int):
+        with _Task._ids_lock:
+            _Task._ids += 1
+            self.task_id = _Task._ids
+        self.payload = payload
+        self.fault_key = fault_key
+        self.deaths = 0
+        self.done = threading.Event()
+        self.outcome: Optional[str] = None  # "result" | "error" | "death"
+        self.result: Optional[Dict[str, Any]] = None
+        self.error = ""
+
+
+class _Worker:
+    """Parent-side state for one worker slot."""
+
+    def __init__(self, index: int, breaker: CircuitBreaker):
+        self.index = index
+        self.breaker = breaker
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn = None
+        self.state = WORKER_STOPPED
+        self.ready = False
+        self.last_beat = 0.0
+        self.restarts = 0
+        self.restart_at = 0.0
+        self.task: Optional[_Task] = None
+
+
+def _worker_main(conn, spec: HandlerSpec, heartbeat_interval: float,
+                 fault_plan) -> None:
+    """Worker child entry point: heartbeats plus a task loop.
+
+    Runs in the spawned subprocess.  A dedicated thread beats on the
+    pipe every ``heartbeat_interval`` seconds; the main loop resolves
+    the handler once and then serves tasks until an exit message (or a
+    closed pipe).  Injected worker faults fire *here*: a kill fault is
+    a hard ``os._exit`` (indistinguishable from a crash), a hang fault
+    suppresses heartbeats and stalls the loop so the parent's liveness
+    monitor has something real to catch.
+    """
+    send_lock = threading.Lock()
+    hang_until = [0.0]
+    stop = threading.Event()
+
+    def beat() -> None:
+        seq = 0
+        while not stop.is_set():
+            if time.monotonic() >= hang_until[0]:
+                try:
+                    with send_lock:
+                        conn.send(("hb", seq))
+                except (OSError, ValueError):  # qa: ignore[swallowed-worker-error] — pipe closed: parent is gone, heartbeats are moot
+                    return
+                seq += 1
+            time.sleep(heartbeat_interval)
+
+    heartbeat = threading.Thread(target=beat, name="supervisor-heartbeat",
+                                 daemon=True)
+    heartbeat.start()
+    try:
+        handler = spec.resolve()
+        with send_lock:
+            conn.send(("ready",))
+        while True:
+            if not conn.poll(0.05):
+                continue
+            message = conn.recv()
+            if message[0] == "exit":
+                break
+            _, task_id, attempt, fault_key, payload = message
+            if fault_plan is not None:
+                faults = fault_plan.decide_worker(fault_key)
+                armed = faults.sticky or attempt == 1
+                if faults.kill and armed:
+                    os._exit(137)
+                if faults.hang > 0.0 and armed:
+                    hang_until[0] = time.monotonic() + faults.hang
+                    time.sleep(faults.hang)
+            try:
+                result = handler(payload)
+                reply = ("result", task_id, result)
+            except Exception as error:  # qa: ignore[broad-except] — reported to the supervisor over the pipe
+                reply = ("error", task_id, f"{type(error).__name__}: {error}")
+            with send_lock:
+                conn.send(reply)
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away or shutdown raced the pipe; just exit
+    finally:
+        stop.set()
+
+
+class SupervisedPool:
+    """A supervised pool of spawn-based worker subprocesses.
+
+    ``run(payload, fault_key)`` blocks until some worker maps the
+    payload to a result dict, retrying across worker deaths up to
+    ``max_task_deaths``.  A monitor thread owns liveness: it drains
+    heartbeats and results from every pipe, SIGKILLs hung workers,
+    fails in-flight tasks back to their callers on death, and drives
+    the backoff/breaker restart schedule.  ``shutdown(drain=True)``
+    stops admission, waits for in-flight tasks, and tears the children
+    down (join-with-timeout, then SIGKILL stragglers).
+    """
+
+    def __init__(self, spec: HandlerSpec, workers: int = 2,
+                 heartbeat_interval: float = 0.05,
+                 heartbeat_timeout: float = 1.0,
+                 startup_timeout: float = 60.0,
+                 max_task_deaths: int = 3,
+                 backoff: Optional[BackoffPolicy] = None,
+                 breaker: Optional[BreakerConfig] = None,
+                 fault_plan=None,
+                 registry: Optional[MetricsRegistry] = None):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.spec = spec
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.startup_timeout = startup_timeout
+        self.max_task_deaths = max_task_deaths
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
+        self.fault_plan = fault_plan
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._restart_counter = self.registry.counter(
+            "supervisor_worker_restarts_total",
+            "Worker subprocess deaths detected and restarted.",
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._cond = threading.Condition()
+        self._workers: List[_Worker] = [  # qa: guarded-by(self._cond)
+            _Worker(index, CircuitBreaker(self.breaker_config))
+            for index in range(workers)
+        ]
+        self._closed = False  # qa: guarded-by(self._cond)
+        self._monitor_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "SupervisedPool":
+        """Spawn every worker and launch the liveness monitor."""
+        with self._cond:
+            for worker in self._workers:
+                self._spawn(worker)
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="supervisor-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        return self
+
+    def _spawn(self, worker: _Worker) -> None:
+        # Callers hold self._cond.
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.spec, self.heartbeat_interval,
+                  self.fault_plan),
+            name=f"supervisor-worker-{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.state = WORKER_STARTING
+        worker.ready = False
+        worker.last_beat = timing.now()
+
+    def shutdown(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the pool: optionally drain in-flight tasks, then kill.
+
+        With ``drain`` the pool waits (bounded by ``timeout``) for
+        every in-flight task to settle before asking workers to exit;
+        without it the children are killed immediately — the crash-only
+        path, leaving recovery to the request journal.
+        """
+        deadline = timing.now() + timeout
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            if drain:
+                while (any(w.task is not None for w in self._workers)
+                       and timing.now() < deadline):
+                    self._cond.wait(0.05)
+            workers = list(self._workers)
+        for worker in workers:
+            process, conn = worker.process, worker.conn
+            if conn is not None and drain:
+                try:
+                    conn.send(("exit",))
+                except (OSError, ValueError):
+                    pass  # already dead; the kill below handles it
+            if process is not None:
+                process.join(timeout=0.5 if drain else 0.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+            if conn is not None:
+                conn.close()
+        with self._cond:
+            for worker in self._workers:
+                worker.state = WORKER_STOPPED
+                if worker.task is not None:
+                    self._fail_task(worker, "pool shut down")
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # task execution
+
+    def run(self, payload: Dict[str, Any], fault_key: int = 0) -> Dict[str, Any]:
+        """Map one payload on some worker; blocks until a verdict.
+
+        Retries transparently across worker deaths; raises
+        :class:`WorkerDeathError` once the task has cost
+        ``max_task_deaths`` workers their lives (the poisonous-batch
+        verdict), :class:`WorkerTaskError` when the handler raised, and
+        :class:`PoolClosedError` when the pool is shutting down.
+        """
+        task = _Task(payload, fault_key)
+        while True:
+            worker = self._claim(task)
+            try:
+                worker.conn.send(("task", task.task_id, task.deaths + 1,
+                                  task.fault_key, task.payload))
+            except (OSError, ValueError):
+                # The worker died between claim and send; the monitor
+                # will fail the task back to us — fall through to wait.
+                pass
+            task.done.wait()
+            if task.outcome == "result":
+                return task.result
+            if task.outcome == "error":
+                raise WorkerTaskError(task.error)
+            if self._is_closed():
+                raise PoolClosedError("pool shut down mid-task")
+            if task.deaths >= self.max_task_deaths:
+                raise WorkerDeathError(
+                    f"task killed {task.deaths} worker(s): {task.error}",
+                    deaths=task.deaths,
+                )
+            task.done.clear()
+            task.outcome = None
+
+    def _is_closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def _claim(self, task: _Task) -> _Worker:
+        """Block until an idle ready worker accepts ``task``."""
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise PoolClosedError("pool is shut down")
+                for worker in self._workers:
+                    if (worker.state == WORKER_ALIVE and worker.ready
+                            and worker.task is None):
+                        worker.task = task
+                        return worker
+                self._cond.wait(0.05)
+
+    # ------------------------------------------------------------------
+    # monitor
+
+    def _monitor(self) -> None:
+        """Liveness loop: pipes in, deaths out, restarts on schedule."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                now = timing.now()
+                for worker in self._workers:
+                    if worker.state in (WORKER_ALIVE, WORKER_STARTING):
+                        self._drain_conn(worker, now)
+                        self._check_liveness(worker, now)
+                    elif worker.state == WORKER_RESTARTING:
+                        if now >= worker.restart_at:
+                            self._spawn(worker)
+                    elif worker.state == WORKER_BREAKER_OPEN:
+                        if worker.breaker.allow_restart():
+                            # The half-open probe restart.
+                            self._spawn(worker)
+            time.sleep(self.heartbeat_interval / 2.0)
+
+    def _drain_conn(self, worker: _Worker, now: float) -> None:
+        # Callers hold self._cond.
+        try:
+            while worker.conn.poll(0):
+                message = worker.conn.recv()
+                kind = message[0]
+                if kind in ("hb", "ready"):
+                    worker.last_beat = now
+                    if kind == "ready":
+                        worker.ready = True
+                        worker.state = WORKER_ALIVE
+                        self._cond.notify_all()
+                    continue
+                task = worker.task
+                if task is None or message[1] != task.task_id:
+                    continue  # verdict for a task already failed over
+                worker.last_beat = now
+                if kind == "result":
+                    task.outcome = "result"
+                    task.result = message[2]
+                else:
+                    task.outcome = "error"
+                    task.error = str(message[2])
+                worker.task = None
+                worker.breaker.record_success()
+                task.done.set()
+                self._cond.notify_all()
+        except (EOFError, OSError):
+            self._handle_death(worker, now)
+
+    def _check_liveness(self, worker: _Worker, now: float) -> None:
+        # Callers hold self._cond.
+        if worker.process is not None and worker.process.exitcode is not None:
+            self._handle_death(worker, now)
+            return
+        limit = (self.heartbeat_timeout if worker.ready
+                 else self.startup_timeout)
+        if now - worker.last_beat > limit:
+            self._handle_death(worker, now)
+
+    def _handle_death(self, worker: _Worker, now: float) -> None:
+        # Callers hold self._cond.  Kill (idempotent for already-dead
+        # processes), fail the in-flight task back to run(), and
+        # schedule the restart through backoff + breaker.
+        if worker.state not in (WORKER_ALIVE, WORKER_STARTING):
+            return
+        if worker.process is not None:
+            worker.process.kill()
+            worker.process.join(timeout=1.0)
+        if worker.conn is not None:
+            worker.conn.close()
+            worker.conn = None
+        worker.ready = False
+        worker.restarts += 1
+        self._restart_counter.inc(worker=str(worker.index))
+        self._fail_task(worker, "worker died mid-task")
+        worker.breaker.record_failure()
+        if worker.breaker.state == BREAKER_OPEN:
+            worker.state = WORKER_BREAKER_OPEN
+        else:
+            worker.state = WORKER_RESTARTING
+            attempt = max(1, worker.breaker.consecutive_failures)
+            worker.restart_at = now + self.backoff.delay(attempt)
+
+    def _fail_task(self, worker: _Worker, message: str) -> None:
+        # Callers hold self._cond.
+        task = worker.task
+        if task is None:
+            return
+        worker.task = None
+        task.deaths += 1
+        task.outcome = "death"
+        task.error = message
+        task.done.set()
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def stats(self) -> Dict[str, object]:
+        """Supervision health snapshot (the ``repro top`` panel feed)."""
+        with self._cond:
+            workers = [
+                {
+                    "index": worker.index,
+                    "state": worker.state,
+                    "breaker": worker.breaker.state,
+                    "restarts": worker.restarts,
+                    "busy": worker.task is not None,
+                }
+                for worker in self._workers
+            ]
+            return {
+                "workers": workers,
+                "restarts_total": sum(w.restarts for w in self._workers),
+            }

@@ -23,13 +23,23 @@ that service:
   resilience layer is the service's failure domain;
 * :mod:`repro.serve.client` — the bundled streaming client behind
   ``repro submit`` and ``repro dlq``;
+* :mod:`repro.serve.journal` — the write-ahead request journal: every
+  admitted SUBMIT is durable before it is enqueued, every terminal
+  verdict is recorded, and restart recovery rebuilds the exactly-once
+  table from the fold (truncating torn tails loudly);
+* :mod:`repro.serve.workers` — spawn-safe handler factories for the
+  supervised worker pool (:mod:`repro.resilience.supervisor`), plus the
+  extensions digest used for byte-identity checks;
 * :mod:`repro.serve.soak` — the ``repro chaos --serve`` soak: live
   traffic under an installed fault plan, asserting the exactly-once
-  completeness invariant per connection.
+  completeness invariant per connection;
+* :mod:`repro.serve.crash` — the ``repro chaos --serve --crash`` gate:
+  kill workers and the server mid-load, restart over the journal, and
+  prove exactly-once completeness and byte-identical results.
 
 See ``docs/SERVICE.md`` for the protocol reference, admission and
 backpressure semantics, the SLO report fields, and the dead-letter
-workflow.
+workflow; ``docs/RESILIENCE.md`` covers crash recovery and supervision.
 """
 
 from repro.serve.admission import (
@@ -54,11 +64,20 @@ from repro.serve.queue import (
     QueueFullError,
     RequestQueue,
     load_spool,
+    load_spool_tolerant,
+)
+from repro.serve.journal import (
+    JournalError,
+    JournalRecovery,
+    RequestJournal,
+    recover_journal,
 )
 from repro.serve.slo import SLOReport, SLOTracker
 from repro.serve.server import MappingService, ServiceConfig, ServiceHandle
 from repro.serve.client import ClientReport, StreamingClient
 from repro.serve.soak import run_soak
+from repro.serve.crash import CrashGateError, run_crash_gate
+from repro.serve.workers import extensions_digest
 
 __all__ = [
     "AdmissionController",
@@ -78,6 +97,11 @@ __all__ = [
     "QueueFullError",
     "RequestQueue",
     "load_spool",
+    "load_spool_tolerant",
+    "JournalError",
+    "JournalRecovery",
+    "RequestJournal",
+    "recover_journal",
     "SLOReport",
     "SLOTracker",
     "MappingService",
@@ -86,4 +110,7 @@ __all__ = [
     "ClientReport",
     "StreamingClient",
     "run_soak",
+    "CrashGateError",
+    "run_crash_gate",
+    "extensions_digest",
 ]

@@ -56,6 +56,9 @@ class ClientReport:
     reads_submitted: int = 0
     retries: int = 0
     duplicates: int = 0
+    #: Times the client performed its single bounded reconnect after
+    #: the server died or stalled mid-stream.
+    reconnects: int = 0
     results: Dict[str, Dict[str, object]] = field(default_factory=dict)
     rejected: Dict[str, Dict[str, object]] = field(default_factory=dict)
     dead_lettered: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -110,6 +113,7 @@ class ClientReport:
             "dead_lettered": len(self.dead_lettered),
             "retries": self.retries,
             "duplicates": self.duplicates,
+            "reconnects": self.reconnects,
             "complete": self.complete,
         }
 
@@ -124,11 +128,15 @@ class StreamingClient:
     """
 
     def __init__(self, host: str, port: int, tenant: str,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, stall_timeout: float = 10.0):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        #: Seconds of silence with verdicts outstanding before
+        #: :meth:`stream` declares the server dead and performs its
+        #: single bounded reconnect-and-resubmit.
+        self.stall_timeout = stall_timeout
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self.welcome: Optional[Dict[str, object]] = None
@@ -230,13 +238,22 @@ class StreamingClient:
             self._traces[request_id] = entry
         return entry[0]
 
-    def submit(self, request_id: str, records: Sequence[ReadRecord]) -> None:
-        """Fire one SUBMIT frame (the verdict arrives asynchronously)."""
-        self._send(FrameKind.SUBMIT, {
+    def submit(self, request_id: str, records: Sequence[ReadRecord],
+               deadline: Optional[float] = None) -> None:
+        """Fire one SUBMIT frame (the verdict arrives asynchronously).
+
+        ``deadline`` is the protocol v3 remaining-budget hint in
+        seconds; the server rejects an exhausted budget with reason
+        ``expired`` (which the client never retries).
+        """
+        payload: Dict[str, object] = {
             "request_id": request_id,
             "records_b64": pack_records(records),
             "trace": pack_trace(self._trace_root(request_id)),
-        })
+        }
+        if deadline is not None:
+            payload["deadline"] = deadline
+        self._send(FrameKind.SUBMIT, payload)
 
     def submit_raw(self, request_id: str, records_b64: str) -> None:
         """SUBMIT with an already-packed payload (dead-letter replay)."""
@@ -285,14 +302,26 @@ class StreamingClient:
     def stream(self, batches: Sequence[Sequence[ReadRecord]],
                gaps: Optional[Sequence[float]] = None,
                request_prefix: str = "req",
-               max_retries: int = 8) -> ClientReport:
+               max_retries: int = 8,
+               deadline: Optional[float] = None) -> ClientReport:
         """Submit ``batches`` open-loop and collect every verdict.
 
         ``gaps[i]`` seconds elapse before batch ``i`` is sent (open-loop:
         the schedule never waits for responses).  REJECT verdicts are
         retried after the server's ``retry_after`` hint, up to
-        ``max_retries`` per request; further rejections are final.
-        Returns once every request has a terminal verdict.
+        ``max_retries`` per request; further rejections are final
+        (and ``expired`` rejections are always final — retrying a spent
+        deadline budget cannot succeed).  ``deadline`` is attached to
+        every SUBMIT as the per-request budget.
+
+        A server that dies or stalls mid-stream no longer wedges the
+        client: after a broken connection or ``stall_timeout`` seconds
+        of silence with verdicts outstanding, the client performs a
+        *single* bounded reconnect-and-resubmit (the server's
+        exactly-once table re-points delivery, so completed work comes
+        back as duplicate RESULTs).  A second failure raises
+        ``ConnectionError``.  Returns once every request has a terminal
+        verdict.
         """
         report = ClientReport()
         pending: Dict[str, Sequence[ReadRecord]] = {}
@@ -306,27 +335,81 @@ class StreamingClient:
             report.reads_submitted += len(batch)
         send_at = time.monotonic()
         cursor = 0
+        last_frame = time.monotonic()
+        reconnected = False
         while cursor < len(to_send) or pending or retry_at:
-            now = time.monotonic()
-            if cursor < len(to_send):
-                gap = gaps[cursor] if gaps is not None else 0.0
-                if now >= send_at + gap:
-                    request_id, batch = to_send[cursor]
-                    self.submit(request_id, batch)
-                    pending[request_id] = batch
-                    attempts[request_id] = 1
-                    send_at = now
-                    cursor += 1
-            ready = [item for item in retry_at if item[0] <= now]
-            if ready:
-                retry_at = [item for item in retry_at if item[0] > now]
-                for _, request_id in ready:
-                    self.submit(request_id, pending[request_id])
-            frame = self._try_recv(0.02)
+            try:
+                now = time.monotonic()
+                if cursor < len(to_send):
+                    gap = gaps[cursor] if gaps is not None else 0.0
+                    if now >= send_at + gap:
+                        request_id, batch = to_send[cursor]
+                        self.submit(request_id, batch, deadline=deadline)
+                        pending[request_id] = batch
+                        attempts[request_id] = 1
+                        send_at = now
+                        cursor += 1
+                ready = [item for item in retry_at if item[0] <= now]
+                if ready:
+                    retry_at = [item for item in retry_at if item[0] > now]
+                    for _, request_id in ready:
+                        self.submit(request_id, pending[request_id],
+                                    deadline=deadline)
+                frame = self._try_recv(0.02)
+            except (ConnectionError, OSError) as error:
+                reconnected = self._recover_stream(
+                    pending, report, reconnected, deadline, error
+                )
+                last_frame = time.monotonic()
+                continue
             if frame is not None:
+                last_frame = time.monotonic()
                 self._absorb(frame, report, pending, attempts, retry_at,
                              max_retries)
+            elif (pending
+                  and time.monotonic() - last_frame > self.stall_timeout):
+                reconnected = self._recover_stream(
+                    pending, report, reconnected, deadline,
+                    TimeoutError(
+                        f"no frame for {self.stall_timeout}s with "
+                        f"{len(pending)} verdict(s) outstanding"
+                    ),
+                )
+                last_frame = time.monotonic()
         return report
+
+    def _recover_stream(self, pending: Dict[str, Sequence[ReadRecord]],
+                        report: ClientReport, reconnected: bool,
+                        deadline: Optional[float],
+                        cause: BaseException) -> bool:
+        """The single bounded reconnect-and-resubmit; returns True.
+
+        Retries the TCP connect for up to ``timeout`` seconds (the
+        server may be restarting), then resubmits every pending request
+        id — the server's exactly-once table re-points delivery at the
+        new connection, serving already-completed ids from its cache.
+        Raises ``ConnectionError`` when a recovery was already spent:
+        one reconnect is the contract, not a retry loop.
+        """
+        if reconnected:
+            raise ConnectionError(
+                f"server unresponsive after reconnect: {cause}"
+            ) from cause
+        give_up_at = time.monotonic() + self.timeout
+        while True:
+            try:
+                self.reconnect()
+                break
+            except OSError as error:
+                if time.monotonic() >= give_up_at:
+                    raise ConnectionError(
+                        f"reconnect failed after {self.timeout}s: {error}"
+                    ) from error
+                time.sleep(0.05)
+        report.reconnects += 1
+        for request_id, batch in pending.items():
+            self.submit(request_id, batch, deadline=deadline)
+        return True
 
     def drain_pending(self, pending_ids: Sequence[str],
                       report: Optional[ClientReport] = None,
@@ -413,7 +496,8 @@ class StreamingClient:
             self._close_trace(request_id, "dead_letter", payload)
             return
         if frame.kind == FrameKind.REJECT:
-            if attempts.get(request_id, 1) < max_retries + 1:
+            expired = payload.get("reason") == "expired"
+            if not expired and attempts.get(request_id, 1) < max_retries + 1:
                 attempts[request_id] = attempts.get(request_id, 1) + 1
                 report.retries += 1
                 hint = payload.get("retry_after")

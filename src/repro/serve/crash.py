@@ -1,0 +1,395 @@
+"""The ``repro chaos --serve --crash`` gate: crash the service, prove recovery.
+
+The fault soak (:mod:`repro.serve.soak`) injects faults *inside* the
+mapping worker and asserts exactly-once accounting on a server that
+never dies.  This gate attacks the other half of the crash-only design:
+it kills worker subprocesses mid-task (seeded SIGKILL and
+heartbeat-stall hangs through :meth:`~repro.resilience.faults.FaultPlan.decide_worker`),
+then hard-crashes the *server itself* mid-load, tears the journal tail
+the way an interrupted append would, restarts a fresh service over the
+same journal, and has the client resubmit everything.  The run passes
+only when:
+
+* **exactly-once completeness** holds across the crash: every request
+  reaches exactly one terminal verdict per incarnation, ids completed
+  before the crash come back as ``duplicate`` RESULTs served from the
+  recovered cache, and ids the crash interrupted complete exactly once
+  after restart;
+* **byte-identity** holds: every RESULT's ``extensions_digest`` —
+  before or after the crash, duplicate or fresh — equals the digest of
+  a fault-free in-process run of the same handler on the same reads;
+* **torn-tail truncation** is loud and lossless: recovery truncates
+  exactly the garbage appended after the crash, counts it, and loses
+  none of the intact records before it;
+* **supervision engaged**: seeded worker kills forced restarts, and the
+  sticky-kill request ends as a ``worker_death`` dead letter instead of
+  wedging the pool.
+
+Deterministic for a fixed seed: fault verdicts are pure functions of
+``(plan seed, crc32(request id))``, so the same requests draw the same
+kills and hangs on every run and on both sides of the crash.  Which
+requests happen to settle *before* the crash point is scheduling
+timing — the invariants above are written to hold for every
+interleaving.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.io import ReadRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import BackoffPolicy, BreakerConfig, HandlerSpec
+from repro.serve.client import ClientReport, StreamingClient
+from repro.serve.journal import _RECORD_HEADER, recover_journal
+from repro.serve.protocol import pack_records
+from repro.serve.queue import REASON_EXPIRED, REASON_WORKER_DEATH
+from repro.serve.server import MappingService, ServiceConfig
+from repro.util import timing
+from repro.util.rng import derive_seed
+
+
+class CrashGateError(AssertionError):
+    """The crash gate's recovery invariant was violated."""
+
+
+#: Request-id prefix; fault keys are crc32 over these ids, so the plan
+#: scan and the service draw identical verdicts.
+_PREFIX = "crash"
+
+#: Bytes appended to simulate an append interrupted mid-record: a valid
+#: header declaring 64 payload bytes, followed by only 4 of them.
+_TORN_TAIL = _RECORD_HEADER.pack(64, 0) + b"torn"
+
+
+def _request_ids(requests: int) -> List[str]:
+    return [f"{_PREFIX}-{index:04d}" for index in range(requests)]
+
+
+def _fault_key(request_id: str) -> int:
+    return zlib.crc32(request_id.encode("utf-8"))
+
+
+def _crash_plan(seed: int, requests: int) -> FaultPlan:
+    """A fault plan guaranteed to exercise every supervision path.
+
+    Scans seeds (the :func:`~repro.serve.soak._poison_plan` technique)
+    for a plan whose worker verdicts over this run's actual fault keys
+    include at least one transient kill (restart + retry completes), one
+    sticky kill (the ``worker_death`` dead-letter path), and one
+    transient hang (the heartbeat-stall liveness path) — while leaving
+    at least a third of the requests clean and avoiding sticky hangs,
+    whose repeated stall-detect-kill cycles would dominate the gate's
+    wall clock without testing anything new.
+    """
+    keys = [_fault_key(request_id) for request_id in _request_ids(requests)]
+    base = derive_seed(seed, "crash", "faults")
+    for offset in range(4096):
+        plan = FaultPlan(seed=base + offset, kill_rate=0.2, hang_rate=0.15,
+                         sticky_rate=0.5, hang_duration=0.5)
+        verdicts = [plan.decide_worker(key) for key in keys]
+        clean = sum(1 for v in verdicts if not v.any)
+        if (any(v.kill and not v.sticky for v in verdicts)
+                and any(v.kill and v.sticky for v in verdicts)
+                and any(v.hang > 0.0 and not v.sticky for v in verdicts)
+                and not any(v.hang > 0.0 and v.sticky for v in verdicts)
+                and clean >= requests // 3):
+            return plan
+    # ~4096 misses of a >10% joint event is unreachable in practice;
+    # fall back to kills only rather than crash the gate itself.
+    return FaultPlan(seed=base, kill_rate=0.3, sticky_rate=0.5)
+
+
+def _batches(records: Sequence[ReadRecord], requests: int,
+             batch_reads: int) -> List[List[ReadRecord]]:
+    """Per-request batches with globally unique read names.
+
+    Each request's reads are renamed with its index so every request
+    digests differently — a verdict delivered to the wrong id can then
+    never pass the byte-identity check by coincidence.
+    """
+    source = list(records)
+    if not source:
+        raise ValueError("crash gate needs at least one read")
+    out: List[List[ReadRecord]] = []
+    for index in range(requests):
+        batch: List[ReadRecord] = []
+        for position in range(batch_reads):
+            record = source[position % len(source)]
+            batch.append(ReadRecord(
+                name=f"{record.name}@{index:04d}.{position}",
+                sequence=record.sequence,
+                seeds=record.seeds,
+            ))
+        out.append(batch)
+    return out
+
+
+def _service_config(journal_path: str, requests: int, workers: int,
+                    spec: HandlerSpec, seed: int) -> ServiceConfig:
+    """One config for both incarnations (identical tunables by design)."""
+    return ServiceConfig(
+        max_queue_depth=requests + 4,
+        journal_path=journal_path,
+        journal_fsync_batch=4,
+        workers=workers,
+        worker_spec=spec,
+        worker_heartbeat_timeout=0.25,
+        max_task_deaths=2,
+        worker_backoff=BackoffPolicy(base=0.02, cap=0.25, seed=seed),
+        worker_breaker=BreakerConfig(failure_threshold=4, open_duration=0.25),
+    )
+
+
+def _phase_a(handle, batches: List[List[ReadRecord]], crash_after: int,
+             give_up: float) -> ClientReport:
+    """Submit everything, absorb verdicts until the crash point.
+
+    Drives the client's internal absorb machinery directly instead of
+    :meth:`StreamingClient.stream` because the stream loop runs to full
+    completion — and the whole point here is to walk away mid-load.
+    """
+    report = ClientReport()
+    pending: Dict[str, Sequence[ReadRecord]] = {}
+    attempts: Dict[str, int] = {}
+    retry_at: List[Tuple[float, str]] = []
+    with StreamingClient(handle.host, handle.port, "crash-tenant") as client:
+        for request_id, batch in zip(_request_ids(len(batches)), batches):
+            client.submit(request_id, batch)
+            pending[request_id] = batch
+            attempts[request_id] = 1
+            report.reads_submitted += len(batch)
+        while report.terminal_count < crash_after:
+            if timing.now() > give_up:
+                raise CrashGateError(
+                    f"phase A stalled: {report.terminal_count} of "
+                    f"{crash_after} pre-crash verdicts arrived in time"
+                )
+            now = timing.now()
+            ready = [item for item in retry_at if item[0] <= now]
+            if ready:
+                retry_at = [item for item in retry_at if item[0] > now]
+                for _, request_id in ready:
+                    client.submit(request_id, pending[request_id])
+            frame = client._try_recv(0.05)
+            if frame is not None:
+                client._absorb(frame, report, pending, attempts, retry_at, 8)
+    return report
+
+
+def run_crash_gate(records: Sequence[ReadRecord], journal_path: str,
+                   requests: int = 18, batch_reads: int = 4,
+                   workers: int = 2, seed: int = 0,
+                   crash_after: Optional[int] = None,
+                   spec: Optional[HandlerSpec] = None,
+                   timeout: float = 120.0) -> Dict[str, object]:
+    """Run the crash-recovery gate; returns a JSON-ready summary.
+
+    Phase A starts a journaled, supervised service with a seeded
+    worker-fault plan, streams ``requests`` batches at it, and calls
+    :meth:`~repro.serve.server.MappingService.crash` once ``crash_after``
+    (default: a third of the requests) terminal verdicts have landed.
+    The journal tail is then torn mid-record, and phase B restarts a
+    fresh service over the same journal and resubmits every id.  Raises
+    :class:`CrashGateError` on any violated invariant (see module
+    docstring); ``spec`` defaults to the deterministic stub handler, so
+    the gate needs no pangenome.
+    """
+    if spec is None:
+        spec = HandlerSpec("repro.serve.workers:build_stub_handler",
+                           {"latency": 0.03})
+    if crash_after is None:
+        crash_after = max(1, requests // 3)
+    give_up = timing.now() + timeout
+    plan = _crash_plan(seed, requests)
+    batches = _batches(records, requests, batch_reads)
+    ids = _request_ids(requests)
+
+    # Fault-free baseline: the same handler the workers build, run
+    # in-process on the same reads — the digests every RESULT (either
+    # phase, duplicate or fresh) must reproduce byte-identically.
+    handler = spec.resolve()
+    baseline = {
+        request_id: str(handler(
+            {"records_b64": pack_records(batch)}
+        )["extensions_digest"])
+        for request_id, batch in zip(ids, batches)
+    }
+    planned = {
+        request_id: plan.decide_worker(_fault_key(request_id))
+        for request_id in ids
+    }
+    sticky_kills = sorted(
+        rid for rid, v in planned.items() if v.kill and v.sticky
+    )
+
+    config = _service_config(journal_path, requests, workers, spec, seed)
+    registry_a = MetricsRegistry()
+    service_a = MappingService(None, config, registry=registry_a,
+                               worker_fault_plan=plan,
+                               log=lambda message: None)
+    handle_a = service_a.start()
+    try:
+        report_a = _phase_a(handle_a, batches, crash_after, give_up)
+    finally:
+        service_a.crash()
+        handle_a.join(timeout=5.0)
+    restarts_a = registry_a.counter(
+        "supervisor_worker_restarts_total"
+    ).total()
+
+    violations: List[str] = []
+
+    # Pre-tear ground truth: what the intact journal holds.  Verdicts
+    # the client saw were journaled before delivery, so every terminal
+    # id from phase A must already be durable.
+    pre = recover_journal(journal_path)
+    if pre.truncated_records:
+        violations.append(
+            "journal had a torn tail before the gate tore one"
+        )
+    for request_id in list(report_a.results) + list(report_a.dead_lettered):
+        if ("crash-tenant", request_id) not in pre.completed:
+            violations.append(
+                f"{request_id}: client saw a verdict the journal lost"
+            )
+    with open(journal_path, "ab") as tail:
+        tail.write(_TORN_TAIL)
+
+    registry_b = MetricsRegistry()
+    service_b = MappingService(None, config, registry=registry_b,
+                               worker_fault_plan=plan,
+                               log=lambda message: None)
+    handle_b = service_b.start()
+    try:
+        recovery = service_b.recovery
+        if recovery is None:
+            raise CrashGateError("phase B service performed no recovery")
+        if recovery.truncated_records != 1:
+            violations.append(
+                f"recovery truncated {recovery.truncated_records} tails "
+                "(expected exactly the 1 the gate tore)"
+            )
+        if recovery.truncated_bytes != len(_TORN_TAIL):
+            violations.append(
+                f"recovery truncated {recovery.truncated_bytes} bytes, "
+                f"expected {len(_TORN_TAIL)}"
+            )
+        if set(recovery.completed) != set(pre.completed):
+            violations.append(
+                "truncation lost intact completed records: "
+                f"{sorted(set(pre.completed) ^ set(recovery.completed))}"
+            )
+        if set(recovery.incomplete) != set(pre.incomplete):
+            violations.append(
+                "truncation lost intact incomplete records: "
+                f"{sorted(set(pre.incomplete) ^ set(recovery.incomplete))}"
+            )
+
+        with StreamingClient(handle_b.host, handle_b.port,
+                             "crash-tenant") as client:
+            report_b = client.stream(batches, request_prefix=_PREFIX,
+                                     deadline=timeout)
+            # The deadline-finality probe: an exhausted budget must be
+            # rejected as ``expired`` and never retried — stream()
+            # returning at all proves the client treated it as final.
+            expired_probe = client.stream([batches[0]],
+                                          request_prefix="crash-expired",
+                                          deadline=0.0)
+            slo = client.stats()
+    finally:
+        handle_b.stop()
+        handle_b.join(timeout=10.0)
+    restarts_b = registry_b.counter(
+        "supervisor_worker_restarts_total"
+    ).total()
+
+    if report_b.terminal_count != requests:
+        violations.append(
+            f"phase B: {report_b.terminal_count} terminal verdicts "
+            f"for {requests} requests"
+        )
+    if not report_b.complete:
+        violations.append(
+            f"phase B reads lost: submitted {report_b.reads_submitted}, "
+            f"mapped {report_b.reads_mapped}, failed {report_b.reads_failed}"
+        )
+    for request_id, payload in sorted(report_a.results.items()):
+        if str(payload.get("extensions_digest")) != baseline[request_id]:
+            violations.append(
+                f"{request_id}: pre-crash digest diverged from fault-free run"
+            )
+        follow_up = report_b.results.get(request_id)
+        if follow_up is None:
+            violations.append(
+                f"{request_id}: completed pre-crash but not terminal "
+                "as a RESULT after restart"
+            )
+        elif not follow_up.get("duplicate"):
+            violations.append(
+                f"{request_id}: completed pre-crash but re-executed "
+                "after restart (not served from the recovered cache)"
+            )
+    for request_id, payload in sorted(report_b.results.items()):
+        if str(payload.get("extensions_digest")) != baseline[request_id]:
+            violations.append(
+                f"{request_id}: post-restart digest diverged from "
+                "fault-free run"
+            )
+    for request_id in sticky_kills:
+        payload = report_b.dead_lettered.get(request_id)
+        if payload is None:
+            violations.append(
+                f"{request_id}: sticky kill planned but no dead letter"
+            )
+        elif payload.get("reason") != REASON_WORKER_DEATH:
+            violations.append(
+                f"{request_id}: sticky kill dead-lettered as "
+                f"{payload.get('reason')!r}, expected "
+                f"{REASON_WORKER_DEATH!r}"
+            )
+    if restarts_a + restarts_b <= 0:
+        violations.append(
+            "no worker restarts across either incarnation — the "
+            "supervision path went unexercised"
+        )
+    if len(expired_probe.rejected) != 1:
+        violations.append(
+            "expired-deadline probe did not end as a final rejection"
+        )
+    else:
+        probe = next(iter(expired_probe.rejected.values()))
+        if probe.get("reason") != REASON_EXPIRED:
+            violations.append(
+                f"expired-deadline probe rejected as "
+                f"{probe.get('reason')!r}, expected {REASON_EXPIRED!r}"
+            )
+    truncations = registry_b.counter(
+        "serve_journal_truncations_total"
+    ).total()
+    if truncations != 1:
+        violations.append(
+            f"serve_journal_truncations_total={truncations}, expected 1"
+        )
+    if violations:
+        raise CrashGateError("; ".join(violations))
+
+    return {
+        "ok": True,
+        "requests": requests,
+        "crash_after": crash_after,
+        "pre_crash_verdicts": report_a.terminal_count,
+        "phase_a": report_a.to_dict(),
+        "phase_b": report_b.to_dict(),
+        "recovery": recovery.to_dict(),
+        "planned_faults": {
+            "kills": sum(1 for v in planned.values() if v.kill),
+            "sticky_kills": len(sticky_kills),
+            "hangs": sum(1 for v in planned.values() if v.hang > 0.0),
+        },
+        "worker_restarts": {"phase_a": restarts_a, "phase_b": restarts_b},
+        "deadline_probe": "expired-final",
+        "slo": slo,
+    }

@@ -31,8 +31,14 @@ from repro.obs.context import TraceContext
 #: Protocol schema tag carried in HELLO/WELCOME payloads.  v2 adds
 #: causal trace context: SUBMIT may carry ``"trace"``
 #: (:func:`pack_trace`) and terminal verdicts echo ``"trace_id"``; v1
-#: peers simply omit both, so the protocols interoperate.
-SCHEMA = "repro.serve/v2"
+#: peers simply omit both, so the protocols interoperate.  v3 adds
+#: optional end-to-end deadlines: SUBMIT may carry ``"deadline"``
+#: (relative seconds of remaining budget), admission rejects an
+#: exhausted budget with reason ``expired``, and a request that
+#: expires while queued or at dispatch dead-letters with the same
+#: reason.  Every addition is optional, so v1/v2 peers interoperate
+#: unchanged.
+SCHEMA = "repro.serve/v3"
 
 #: Hard per-frame payload cap (bytes).  A well-formed submission never
 #: approaches this; a decoded length beyond it means the stream is

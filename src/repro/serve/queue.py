@@ -56,6 +56,12 @@ class MappingRequest:
     #: first admission — a reconnect re-points ``deliver`` but keeps the
     #: original trace tree intact.
     context: Optional[TraceContext] = None
+    #: Absolute monotonic deadline (protocol v3): the ``timing.now()``
+    #: reading past which the request's budget is spent.  None means no
+    #: deadline.  The monotonic clock does not survive a restart, so
+    #: journal recovery re-arms the original *relative* budget from the
+    #: moment of readmission.
+    expires_at: Optional[float] = None
 
     @property
     def key(self) -> tuple:
@@ -66,6 +72,10 @@ class MappingRequest:
     def read_count(self) -> int:
         """Number of reads in the submission (the admission cost)."""
         return len(self.records)
+
+    def expired(self, now: float) -> bool:
+        """True when the request's deadline budget is already spent."""
+        return self.expires_at is not None and now >= self.expires_at
 
 
 class RequestQueue:
@@ -89,10 +99,16 @@ class RequestQueue:
         with self._ready:
             return len(self._items)
 
-    def put(self, request: MappingRequest) -> None:
-        """Enqueue, or raise :class:`QueueFullError` at the ceiling."""
+    def put(self, request: MappingRequest, force: bool = False) -> None:
+        """Enqueue, or raise :class:`QueueFullError` at the ceiling.
+
+        ``force`` bypasses the ceiling — reserved for journal recovery,
+        whose requests were already admitted (and journaled) by the
+        previous incarnation and must not be re-judged against the new
+        process's empty token buckets.
+        """
         with self._ready:
-            if len(self._items) >= self.max_depth:
+            if not force and len(self._items) >= self.max_depth:
                 raise QueueFullError(
                     f"queue depth {len(self._items)} at ceiling "
                     f"{self.max_depth}"
@@ -114,6 +130,8 @@ class RequestQueue:
 REASON_QUARANTINED = "quarantined"
 REASON_TIMEOUT = "timeout"
 REASON_ERROR = "error"
+REASON_EXPIRED = "expired"
+REASON_WORKER_DEATH = "worker_death"
 
 
 @dataclass(frozen=True)
@@ -207,12 +225,34 @@ class DeadLetterQueue:
         return [entry.to_dict() for entry in self.snapshot()]
 
 
-def load_spool(path: str) -> List[DeadLetter]:
-    """Read a dead-letter JSONL spool written by :class:`DeadLetterQueue`."""
+def load_spool_tolerant(path: str) -> "tuple[List[DeadLetter], int]":
+    """Read a dead-letter spool, skipping damaged lines with a count.
+
+    A service that crashes mid-append leaves a truncated final line;
+    mirroring ``load_seed_file_tolerant``, every intact entry is kept
+    and each undecodable line is skipped and counted instead of
+    aborting the load.  Returns ``(entries, skipped)``.
+    """
     entries: List[DeadLetter] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 entries.append(DeadLetter.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                skipped += 1
+    return entries, skipped
+
+
+def load_spool(path: str) -> List[DeadLetter]:
+    """Read a dead-letter JSONL spool written by :class:`DeadLetterQueue`.
+
+    Tolerant of a truncated final line (crash mid-append) — use
+    :func:`load_spool_tolerant` to also learn how many lines were
+    skipped.
+    """
+    entries, _ = load_spool_tolerant(path)
     return entries

@@ -1,4 +1,4 @@
-"""The mapping service: asyncio front-end plus a mapping worker thread.
+"""The mapping service: asyncio front-end plus supervised mapping workers.
 
 :class:`MappingService` owns the full request lifecycle:
 
@@ -6,33 +6,47 @@
   (:mod:`repro.serve.protocol`), answers HELLO with WELCOME, and routes
   SUBMIT frames through the :class:`~repro.serve.admission.AdmissionController`
   into the bounded :class:`~repro.serve.queue.RequestQueue`;
-* the **mapping worker thread** pops requests and drives
-  :class:`repro.core.MiniGiraffe` under a quarantine
-  :class:`~repro.resilience.policy.FailurePolicy` with a watchdog whose
-  soft deadline is the service's per-request timeout — the resilience
-  layer *is* the service's failure domain, so a hung or poisoned
-  request is quarantined by the watchdog, reported through
-  ``CompletenessReport.failed_reads``, and routed to the dead-letter
-  queue instead of wedging the service;
+* **mapping workers** pop requests and map them — either on an
+  in-process thread driving :class:`repro.core.MiniGiraffe` under a
+  quarantine :class:`~repro.resilience.policy.FailurePolicy` (the
+  default), or, with ``workers > 0``, on a crash-only
+  :class:`~repro.resilience.supervisor.SupervisedPool` of spawn-based
+  subprocesses with heartbeats, kill-and-restart backoff, and
+  per-worker circuit breakers.  Either way a hung or poisoned request
+  is quarantined and dead-lettered instead of wedging the service; a
+  batch that kills its worker repeatedly dead-letters with a
+  ``worker_death`` verdict;
+* a **write-ahead journal** (:mod:`repro.serve.journal`, when
+  ``journal_path`` is configured) records every admitted SUBMIT before
+  it is enqueued and every terminal verdict after it settles; on
+  restart, recovery repopulates the duplicate-result cache from
+  completed records and readmits incomplete ids exactly once, so a
+  crash loses no admitted work;
 * an **exactly-once table** keyed ``(tenant, request_id)`` makes
   terminal verdicts idempotent: a duplicate of a completed request gets
   the cached RESULT back (flagged ``duplicate``); resubmitting an
   in-flight request re-points delivery at the live connection (the
   reconnect path); a dead-lettered id may be readmitted exactly once
   (the replay path);
+* **deadlines** (protocol v3) propagate end-to-end: admission rejects
+  an exhausted budget, dispatch re-checks it after queue wait, and
+  expirations surface as a distinct SLO outcome;
 * every request is traced as a ``serve.request`` span and accounted in
   the :class:`~repro.serve.slo.SLOTracker`, whose periodic report the
   server prints and any client can fetch with a STATS frame.
 
 The server runs its event loop on a dedicated thread, so tests, the
 chaos soak, and the CLI all use the same in-process entry point:
-``handle = MappingService(mapper, config).start()``.
+``handle = MappingService(mapper, config).start()``.  :meth:`crash`
+is the crash-only exit: abort without draining, exactly as SIGKILL
+would, leaving recovery to the journal.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -41,7 +55,17 @@ from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer
 from repro.resilience.policy import FailurePolicy, WatchdogConfig
+from repro.resilience.supervisor import (
+    BackoffPolicy,
+    BreakerConfig,
+    HandlerSpec,
+    PoolClosedError,
+    SupervisedPool,
+    WorkerDeathError,
+    WorkerTaskError,
+)
 from repro.serve.admission import AdmissionController, TenantQuota
+from repro.serve.journal import JournalRecovery, RequestJournal, recover_journal
 from repro.serve.protocol import (
     SCHEMA,
     Frame,
@@ -49,12 +73,15 @@ from repro.serve.protocol import (
     FrameKind,
     decode_frames,
     encode_frame,
+    pack_records,
     unpack_records,
     unpack_trace,
 )
 from repro.serve.queue import (
     REASON_ERROR,
+    REASON_EXPIRED,
     REASON_QUARANTINED,
+    REASON_WORKER_DEATH,
     DeadLetter,
     DeadLetterQueue,
     MappingRequest,
@@ -62,6 +89,7 @@ from repro.serve.queue import (
     RequestQueue,
 )
 from repro.serve.slo import SLOTracker
+from repro.serve.workers import extensions_digest
 from repro.util import timing
 
 #: Exactly-once table states.
@@ -81,6 +109,14 @@ class ServiceConfig:
     seconds; 0 disables the periodic report (STATS still works).
     ``keep_dead_records`` embeds the original records payload in each
     dead letter so ``repro dlq --replay`` can resubmit offline.
+
+    ``journal_path`` enables the write-ahead request journal;
+    ``recover`` (default on) replays an existing journal on start.
+    ``workers`` > 0 switches mapping from the in-process thread to a
+    supervised pool of that many spawn-based subprocesses built from
+    ``worker_spec`` (a :class:`~repro.resilience.supervisor.HandlerSpec`);
+    ``max_task_deaths`` is the poisonous-batch threshold, and
+    ``worker_backoff`` / ``worker_breaker`` tune the restart schedule.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +130,15 @@ class ServiceConfig:
     dlq_spool: Optional[str] = None
     keep_dead_records: bool = True
     threads: int = 1
+    journal_path: Optional[str] = None
+    journal_fsync_batch: int = 8
+    recover: bool = True
+    workers: int = 0
+    worker_spec: Optional[HandlerSpec] = None
+    worker_heartbeat_timeout: float = 1.0
+    max_task_deaths: int = 3
+    worker_backoff: Optional[BackoffPolicy] = None
+    worker_breaker: Optional[BreakerConfig] = None
 
 
 @dataclass
@@ -121,10 +166,12 @@ class MappingService:
     returns a :class:`ServiceHandle` once the port is known.
     """
 
-    def __init__(self, mapper: MiniGiraffe, config: Optional[ServiceConfig] = None,
+    def __init__(self, mapper: Optional[MiniGiraffe],
+                 config: Optional[ServiceConfig] = None,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 log: Optional[Callable[[str], None]] = None):
+                 log: Optional[Callable[[str], None]] = None,
+                 worker_fault_plan=None):
         self.mapper = mapper
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -148,18 +195,54 @@ class MappingService:
         #: (tenant, request_id) -> {"state", "request"|None, "payload"|None}
         self._table: Dict[Tuple[str, str], Dict[str, object]] = {}  # qa: guarded-by(self._state_lock)
         self._stop = threading.Event()
+        self._crashed = threading.Event()
         self._started = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._bound: Tuple[str, int] = (self.config.host, self.config.port)
         self._server_thread: Optional[threading.Thread] = None
-        self._worker_thread: Optional[threading.Thread] = None
+        self._worker_threads: List[threading.Thread] = []
         self._start_error: Optional[BaseException] = None
+        self._worker_fault_plan = worker_fault_plan
+        self.journal: Optional[RequestJournal] = None
+        self.pool: Optional[SupervisedPool] = None
+        self.recovery: Optional[JournalRecovery] = None
+        self._finalized = False
+        if self.config.workers > 0 and self.config.worker_spec is None:
+            raise ValueError("workers > 0 requires a worker_spec")
+        if self.config.workers == 0 and mapper is None:
+            raise ValueError("thread mode requires a mapper")
 
     # ------------------------------------------------------------------
     # lifecycle
 
     def start(self) -> ServiceHandle:
-        """Bind, launch the loop and worker threads, return a handle."""
+        """Recover, bind, launch loop and worker threads, return a handle."""
+        if self.config.journal_path and self.config.recover:
+            # Recovery runs before anything serves traffic: it truncates
+            # any torn tail, and its table/queue repopulation must be in
+            # place before the first SUBMIT can race it.
+            self.recovery = recover_journal(
+                self.config.journal_path, self.registry
+            )
+        if self.config.journal_path:
+            self.journal = RequestJournal(
+                self.config.journal_path,
+                fsync_batch=self.config.journal_fsync_batch,
+                registry=self.registry,
+            )
+        if self.config.workers > 0:
+            self.pool = SupervisedPool(
+                self.config.worker_spec,
+                workers=self.config.workers,
+                heartbeat_timeout=self.config.worker_heartbeat_timeout,
+                max_task_deaths=self.config.max_task_deaths,
+                backoff=self.config.worker_backoff,
+                breaker=self.config.worker_breaker,
+                fault_plan=self._worker_fault_plan,
+                registry=self.registry,
+            ).start()
+        if self.recovery is not None:
+            self._apply_recovery(self.recovery)
         self._server_thread = threading.Thread(
             target=self._run_loop, name="repro-serve-loop", daemon=True
         )
@@ -169,23 +252,111 @@ class MappingService:
             raise RuntimeError(
                 f"service failed to start: {self._start_error}"
             ) from self._start_error
-        self._worker_thread = threading.Thread(
-            target=self._worker, name="repro-serve-worker", daemon=True
-        )
-        self._worker_thread.start()
+        dispatchers = self.config.workers if self.pool is not None else 1
+        for index in range(max(1, dispatchers)):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
         host, port = self._bound
         return ServiceHandle(host=host, port=port, service=self)
+
+    def _apply_recovery(self, recovery: JournalRecovery) -> None:
+        """Fold a journal recovery into the exactly-once table.
+
+        Completed ids repopulate the duplicate-result cache (their
+        cached verdicts replay to resubmitting clients); incomplete ids
+        are rebuilt from their journaled payloads and readmitted
+        exactly once, bypassing admission — the previous incarnation
+        already admitted and journaled them.  A journaled deadline is
+        re-armed as a fresh relative budget: the monotonic clock does
+        not survive the restart, so the original absolute reading is
+        meaningless here.
+        """
+        with self._state_lock:
+            for key, record in recovery.completed.items():
+                state = _DONE if record.get("state") == _DONE else _DEAD
+                self._table[key] = {
+                    "state": state, "request": None,
+                    "payload": dict(record.get("payload") or {}),
+                }
+        for key, submit in sorted(recovery.incomplete.items()):
+            tenant, request_id = key
+            records_b64 = str(submit.get("records_b64", ""))
+            try:
+                records = unpack_records(records_b64)
+            except FrameError as error:
+                # The journaled payload itself is unusable; surface the
+                # loss as a dead letter rather than dropping it.
+                request = MappingRequest(
+                    tenant=tenant, request_id=request_id, records=[],
+                    enqueued_at=timing.now(), deliver=None,
+                )
+                with self._state_lock:
+                    self._table[key] = {"state": _PENDING, "request": request,
+                                        "payload": None}
+                self._dead_letter(request, REASON_ERROR,
+                                  f"unrecoverable journal payload: {error}",
+                                  failed=[], mapped=0, extensions=0)
+                continue
+            deadline = submit.get("deadline")
+            context = TraceContext.from_wire(submit.get("trace"))
+            if context is None:
+                context = TraceContext.root()
+            request = MappingRequest(
+                tenant=tenant,
+                request_id=request_id,
+                records=records,
+                enqueued_at=timing.now(),
+                deliver=None,
+                records_b64=(records_b64 if self.config.keep_dead_records
+                             else None),
+                context=context,
+                expires_at=(timing.now() + float(deadline)
+                            if deadline is not None else None),
+            )
+            with self._state_lock:
+                self._table[key] = {"state": _PENDING, "request": request,
+                                    "payload": None}
+            self.queue.put(request, force=True)
+            self.slo.record_accepted(tenant)
 
     def request_stop(self) -> None:
         """Ask the loop and worker to wind down (idempotent)."""
         self._stop.set()
 
+    def crash(self) -> None:
+        """Hard-abort the service: the crash-only exit path.
+
+        Models SIGKILL as closely as an in-process shutdown can: worker
+        pool children are killed without drain, queued and in-flight
+        requests are abandoned unsettled, and the journal is closed
+        *without* an fsync — whatever the OS already has is what
+        recovery gets, exactly like a power loss.
+        """
+        self._crashed.set()
+        self._stop.set()
+        if self.pool is not None:
+            self.pool.shutdown(drain=False, timeout=2.0)
+        if self.journal is not None:
+            self.journal.close(sync=False)
+        self._finalized = True
+
     def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for both service threads to exit."""
+        """Wait for the service threads to exit; finalize on clean stop."""
         if self._server_thread is not None:
             self._server_thread.join(timeout)
-        if self._worker_thread is not None:
-            self._worker_thread.join(timeout)
+        for thread in self._worker_threads:
+            thread.join(timeout)
+        if (not self._finalized
+                and not any(t.is_alive() for t in self._worker_threads)):
+            self._finalized = True
+            if self.pool is not None:
+                self.pool.shutdown(drain=True)
+            if self.journal is not None:
+                self.journal.close(sync=True)
 
     def _run_loop(self) -> None:
         try:
@@ -280,6 +451,18 @@ class MappingService:
             report = self.slo.report().to_dict()
             report["queue_depth"] = self.queue.depth()
             report["dead_letter_queue"] = len(self.dlq)
+            if self.pool is not None:
+                report["workers"] = self.pool.stats()
+            else:
+                report["workers"] = {
+                    "mode": "threads",
+                    "threads": max(1, len(self._worker_threads)),
+                }
+            if self.journal is not None:
+                journal_stats: Dict[str, object] = dict(self.journal.stats())
+                if self.recovery is not None:
+                    journal_stats.update(self.recovery.to_dict())
+                report["journal"] = journal_stats
             send(FrameKind.SLO_REPORT, report)
             return tenant, False
         if kind == FrameKind.METRICS:
@@ -355,6 +538,27 @@ class MappingService:
         context = unpack_trace(payload)
         if context is None:
             context = TraceContext.root()
+
+        # Protocol v3 deadline: relative seconds of remaining budget.
+        # A malformed value is treated as absent (deadlines are an SLO
+        # feature, not a validity gate); an exhausted budget is a
+        # distinct rejection the client must not retry.
+        deadline: Optional[float] = None
+        raw_deadline = payload.get("deadline")
+        if raw_deadline is not None:
+            try:
+                deadline = float(raw_deadline)
+            except (TypeError, ValueError):
+                deadline = None
+        if deadline is not None and deadline <= 0:
+            self.slo.record_rejected(tenant)
+            self.slo.record_expired(tenant)
+            send(FrameKind.REJECT, {
+                "accepted": False, "reason": REASON_EXPIRED,
+                "request_id": request_id, "trace_id": context.trace_id,
+            })
+            return
+
         with self.tracer.span(
             "serve.admission", context=context, tenant=tenant,
             request_id=request_id, reads=len(records),
@@ -382,16 +586,31 @@ class MappingService:
                 if self.config.keep_dead_records else None
             ),
             context=context,
+            expires_at=(timing.now() + deadline
+                        if deadline is not None else None),
         )
         with self._state_lock:
             self._table[key] = {"state": _PENDING, "request": request,
                                 "payload": None}
+        if self.journal is not None:
+            # Write-ahead: the admitted submission is durable before it
+            # can be worked on (and so before any verdict can exist).
+            self.journal.append_submit(
+                tenant, request_id, str(payload.get("records_b64", "")),
+                deadline=deadline,
+                trace=context.to_wire(),
+            )
         try:
             self.queue.put(request)
         except QueueFullError:
             # Lost the race between the depth check and the enqueue.
             with self._state_lock:
                 del self._table[key]
+            if self.journal is not None:
+                # Cancel the write-ahead record: the id was never
+                # admitted, so recovery must not readmit it.
+                self.journal.append_verdict(tenant, request_id,
+                                            "rejected", {})
             self.slo.record_rejected(tenant)
             send(FrameKind.REJECT, {
                 "accepted": False, "reason": "queue_full",
@@ -405,6 +624,8 @@ class MappingService:
 
     def _worker(self) -> None:
         while not (self._stop.is_set() and self.queue.depth() == 0):
+            if self._crashed.is_set():
+                return  # crash-only exit: abandon the queue to the journal
             request = self.queue.get(timeout=0.05)
             if request is None:
                 if self._stop.is_set():
@@ -425,41 +646,33 @@ class MappingService:
             "serve.request", context=request.context, tenant=request.tenant,
             request_id=request.request_id, reads=request.read_count,
         ) as span:
-            try:
-                result = self.mapper.map_reads(
-                    request.records, resilience=self._policy
-                )
-            except Exception as error:
-                span.set_error(error)
+            if request.expired(timing.now()):
+                # The deadline budget drained while queued: a distinct
+                # terminal outcome, checked before any mapping work.
+                span.set_error(RuntimeError("deadline expired before dispatch"))
+                self.slo.record_expired(request.tenant)
                 self._dead_letter(
-                    request, REASON_ERROR, str(error),
+                    request, REASON_EXPIRED,
+                    "deadline budget expired before dispatch",
                     failed=[record.name for record in request.records],
                     mapped=0, extensions=0,
                 )
                 return
-            failed = (
-                list(result.completeness.failed_reads)
-                if result.completeness is not None else []
-            )
-            if failed:
-                span.set_error(RuntimeError(
-                    f"{len(failed)} reads quarantined"
-                ))
-                self._dead_letter(
-                    request, REASON_QUARANTINED,
-                    f"{len(failed)} of {request.read_count} reads quarantined",
-                    failed=failed, mapped=result.mapped_reads,
-                    extensions=len(result.extensions),
-                )
+            if self.pool is not None:
+                outcome = self._map_on_pool(request, span)
+            else:
+                outcome = self._map_on_thread(request, span)
+            if outcome is None:
                 return
             latency = timing.now() - request.enqueued_at
             summary = {
                 "request_id": request.request_id,
                 "tenant": request.tenant,
                 "read_count": request.read_count,
-                "mapped_reads": result.mapped_reads,
-                "extensions": len(result.extensions),
-                "makespan": result.makespan,
+                "mapped_reads": outcome["mapped_reads"],
+                "extensions": outcome["extensions"],
+                "makespan": outcome["makespan"],
+                "extensions_digest": outcome["extensions_digest"],
                 "latency": latency,
             }
             if request.context is not None:
@@ -474,6 +687,104 @@ class MappingService:
                 ),
             )
             self._settle(request, _DONE, FrameKind.RESULT, summary)
+
+    def _map_on_thread(self, request: MappingRequest,
+                       span) -> Optional[Dict[str, object]]:
+        """Map on the in-process thread; None when already settled."""
+        try:
+            result = self.mapper.map_reads(
+                request.records, resilience=self._policy
+            )
+        except Exception as error:
+            span.set_error(error)
+            self._dead_letter(
+                request, REASON_ERROR, str(error),
+                failed=[record.name for record in request.records],
+                mapped=0, extensions=0,
+            )
+            return None
+        failed = (
+            list(result.completeness.failed_reads)
+            if result.completeness is not None else []
+        )
+        if failed:
+            span.set_error(RuntimeError(
+                f"{len(failed)} reads quarantined"
+            ))
+            self._dead_letter(
+                request, REASON_QUARANTINED,
+                f"{len(failed)} of {request.read_count} reads quarantined",
+                failed=failed, mapped=result.mapped_reads,
+                extensions=len(result.extensions),
+            )
+            return None
+        return {
+            "mapped_reads": result.mapped_reads,
+            "extensions": len(result.extensions),
+            "makespan": result.makespan,
+            "extensions_digest": extensions_digest(result.extensions),
+        }
+
+    def _map_on_pool(self, request: MappingRequest,
+                     span) -> Optional[Dict[str, object]]:
+        """Map on the supervised pool; None when already settled.
+
+        The fault key is a pure function of the request id, so seeded
+        worker faults (SIGKILL / heartbeat stall) replay on the same
+        requests across runs and across restarts.
+        """
+        records_b64 = request.records_b64
+        if records_b64 is None:
+            records_b64 = pack_records(request.records)
+        fault_key = zlib.crc32(request.request_id.encode("utf-8"))
+        try:
+            summary = self.pool.run(
+                {"records_b64": records_b64,
+                 "tenant": request.tenant,
+                 "request_id": request.request_id},
+                fault_key=fault_key,
+            )
+        except WorkerDeathError as error:
+            # The poisonous-batch verdict: this request killed its
+            # worker max_task_deaths times in a row.
+            span.set_error(error)
+            self._dead_letter(
+                request, REASON_WORKER_DEATH,
+                f"request killed {error.deaths} worker(s)",
+                failed=[record.name for record in request.records],
+                mapped=0, extensions=0,
+            )
+            return None
+        except WorkerTaskError as error:
+            span.set_error(error)
+            self._dead_letter(
+                request, REASON_ERROR, str(error),
+                failed=[record.name for record in request.records],
+                mapped=0, extensions=0,
+            )
+            return None
+        except PoolClosedError:
+            # Shutdown (or crash) raced the dispatch: leave the request
+            # pending — journal recovery readmits it next incarnation.
+            return None
+        failed = [str(name) for name in summary.get("failed_reads", [])]
+        if failed:
+            span.set_error(RuntimeError(
+                f"{len(failed)} reads quarantined"
+            ))
+            self._dead_letter(
+                request, REASON_QUARANTINED,
+                f"{len(failed)} of {request.read_count} reads quarantined",
+                failed=failed, mapped=int(summary.get("mapped_reads", 0)),
+                extensions=int(summary.get("extensions", 0)),
+            )
+            return None
+        return {
+            "mapped_reads": int(summary.get("mapped_reads", 0)),
+            "extensions": int(summary.get("extensions", 0)),
+            "makespan": float(summary.get("makespan", 0.0)),
+            "extensions_digest": str(summary.get("extensions_digest", "")),
+        }
 
     def _dead_letter(self, request: MappingRequest, reason: str, error: str,
                      failed: List[str], mapped: int, extensions: int) -> None:
@@ -509,6 +820,10 @@ class MappingService:
                 "state": state, "request": None, "payload": payload,
             }
             deliver = request.deliver
+        if self.journal is not None:
+            self.journal.append_verdict(
+                request.tenant, request.request_id, state, payload
+            )
         if deliver is not None:
             try:
                 deliver(kind, payload)

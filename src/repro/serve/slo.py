@@ -53,6 +53,11 @@ class SLOReport:
     latency_percentiles: Dict[str, Dict[str, float]]
     rejection_rate: Optional[float]
     dead_letter_rate: Optional[float]
+    #: Requests whose deadline budget expired (admission or dispatch) —
+    #: a distinct SLO outcome from quarantine/error dead letters.
+    #: Defaults keep older report payloads reconstructable.
+    expired: int = 0
+    expired_rate: Optional[float] = None
     #: Per-tenant worst-latency exemplars: tenant -> list of
     #: ``{"latency": seconds, "trace_id": id-or-None}``, worst first.
     #: The trace ids name the requests behind the tail percentiles —
@@ -74,6 +79,8 @@ class SLOReport:
             "latency_percentiles": self.latency_percentiles,
             "rejection_rate": self.rejection_rate,
             "dead_letter_rate": self.dead_letter_rate,
+            "expired": self.expired,
+            "expired_rate": self.expired_rate,
             "exemplars": self.exemplars,
             "per_tenant": self.per_tenant,
         }
@@ -93,6 +100,8 @@ class SLOReport:
                 f"  rejection_rate={self.rejection_rate:.4f} "
                 f"dead_letter_rate={self.dead_letter_rate:.4f}"
             )
+        if self.expired:
+            lines.append(f"  deadline_expired={self.expired}")
         for tenant in sorted(self.latency_percentiles):
             pcts = self.latency_percentiles[tenant]
             if not pcts:
@@ -133,6 +142,7 @@ class SLOTracker:
         self._rejected = 0  # qa: guarded-by(self._lock)
         self._dead_lettered = 0  # qa: guarded-by(self._lock)
         self._completed = 0  # qa: guarded-by(self._lock)
+        self._expired = 0  # qa: guarded-by(self._lock)
         self._reads_mapped = 0  # qa: guarded-by(self._lock)
         self._latencies: Dict[str, List[float]] = {}  # qa: guarded-by(self._lock)
         self._exemplars: Dict[str, List[Dict[str, object]]] = {}  # qa: guarded-by(self._lock)
@@ -144,7 +154,7 @@ class SLOTracker:
         if counts is None:
             counts = self._tenant_counts[tenant] = {  # qa: ignore[missing-lock-guard] — every caller holds self._lock
                 "completed": 0, "rejected": 0, "dead_lettered": 0,
-                "reads_mapped": 0,
+                "reads_mapped": 0, "expired": 0,
             }
         return counts
 
@@ -184,6 +194,24 @@ class SLOTracker:
             worst.sort(key=lambda entry: -float(entry["latency"]))
             del worst[MAX_EXEMPLARS:]
         self._hist.observe(latency, tenant=tenant)
+
+    def record_expired(self, tenant: str) -> None:
+        """Count one deadline expiration (overlay on the terminal outcome).
+
+        Expiration is a *distinct SLO outcome* layered on top of the
+        terminal verdict the client saw: an admission-time expiration is
+        also recorded rejected, a dispatch-time one also dead-lettered —
+        this counter is what separates "the budget ran out" from "the
+        work failed".
+        """
+        with self._lock:
+            self._expired += 1
+            self._latencies.setdefault(tenant, [])
+            self._counts(tenant)["expired"] += 1
+        self.registry.counter(
+            "serve_deadline_expired_total",
+            "Requests whose deadline budget expired.",
+        ).inc(tenant=tenant)
 
     def record_dead_letter(self, tenant: str) -> None:
         """Count one request that terminated in the dead-letter queue."""
@@ -238,6 +266,10 @@ class SLOTracker:
                 ),
                 dead_letter_rate=(
                     self._dead_lettered / decided if decided else None
+                ),
+                expired=self._expired,
+                expired_rate=(
+                    self._expired / decided if decided else None
                 ),
                 exemplars=exemplars,
                 per_tenant=tenant_counts,

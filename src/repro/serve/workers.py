@@ -1,0 +1,131 @@
+"""Worker-side mapping handlers for the supervised process pool.
+
+The :class:`~repro.resilience.supervisor.SupervisedPool` ships batches
+to spawn-based subprocesses, and spawn children cannot unpickle
+closures — so the pool is configured with a
+:class:`~repro.resilience.supervisor.HandlerSpec` naming a factory in
+*this* module by dotted path.  Each worker child imports the factory,
+materializes its own mapper once (deterministic: the same
+``(input_set, scale)`` pair always builds the same pangenome), and then
+serves ``{"records_b64": ...}`` payloads for its whole life.
+
+Results cross the pipe as plain summaries (mapped counts, failed read
+names, makespan) plus an **extensions digest** — a SHA-256 over the
+canonical ``save_extensions`` serialization — so the parent can assert
+byte-identical mapping output across worker deaths, restarts, and
+journal recovery without shipping the extensions themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.core.io import save_extensions
+from repro.serve.protocol import unpack_records
+
+
+def extensions_digest(per_read: Dict[str, Sequence[Any]]) -> str:
+    """SHA-256 of the canonical extension serialization.
+
+    ``save_extensions`` writes reads in sorted order with fully
+    deterministic varint encoding, so equal mappings — regardless of
+    scheduler interleaving, worker identity, or restart count — always
+    digest identically.  This is the byte-identity probe the crash
+    gate compares against a fault-free run.
+    """
+    stream = io.BytesIO()
+    save_extensions(per_read, stream)
+    return hashlib.sha256(stream.getvalue()).hexdigest()
+
+
+def build_mapping_handler(input_set: str, scale: float, threads: int = 1,
+                          batch_size: int = 16, scheduler: str = "dynamic",
+                          request_timeout: float = 5.0,
+                          watchdog_factor: float = 8.0,
+                          ) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Factory for the real mapping handler (runs in the worker child).
+
+    Materializes the ``input_set`` preset at ``scale`` and wraps
+    ``MiniGiraffe.map_reads`` under the same quarantine policy the
+    thread-mode service uses, so a request maps to the identical
+    verdict shape whichever execution mode served it.
+    """
+    from repro.core import MiniGiraffe, ProxyOptions
+    from repro.giraffe import GiraffeMapper, GiraffeOptions
+    from repro.resilience.policy import FailurePolicy, WatchdogConfig
+    from repro.workloads.input_sets import INPUT_SETS, materialize
+
+    bundle = materialize(INPUT_SETS[input_set], scale=scale)
+    spec = bundle.spec
+    parent = GiraffeMapper(
+        bundle.pangenome.gbz,
+        GiraffeOptions(minimizer_k=spec.minimizer_k,
+                       minimizer_w=spec.minimizer_w),
+    )
+    proxy = MiniGiraffe(
+        bundle.pangenome.gbz,
+        ProxyOptions(threads=threads, batch_size=batch_size,
+                     scheduler=scheduler),
+        seed_span=spec.minimizer_k,
+        distance_index=parent.distance_index,
+    )
+    policy = FailurePolicy.quarantine(
+        watchdog=WatchdogConfig(factor=watchdog_factor,
+                                min_deadline=request_timeout)
+    )
+
+    def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Map one packed batch; return the verdict summary."""
+        records = unpack_records(str(payload["records_b64"]))
+        result = proxy.map_reads(records, resilience=policy)
+        failed = (
+            list(result.completeness.failed_reads)
+            if result.completeness is not None else []
+        )
+        return {
+            "mapped_reads": result.mapped_reads,
+            "extensions": len(result.extensions),
+            "makespan": result.makespan,
+            "failed_reads": failed,
+            "extensions_digest": extensions_digest(result.extensions),
+        }
+
+    return handler
+
+
+def build_stub_handler(latency: float = 0.0,
+                       fail_reads: Optional[Sequence[str]] = None,
+                       ) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Factory for a mapper-free handler (tests and the crash smoke).
+
+    Decodes the records like the real handler but "maps" them by
+    counting: every read not named in ``fail_reads`` is mapped, and the
+    digest is a SHA-256 over the sorted read names — deterministic, so
+    the crash gate's byte-identity comparison still has teeth without
+    paying for pangenome materialization in every worker child.
+    """
+    import time as _time
+
+    failing = frozenset(fail_reads or ())
+
+    def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Pseudo-map one packed batch deterministically."""
+        records = unpack_records(str(payload["records_b64"]))
+        if latency > 0.0:
+            _time.sleep(latency)
+        failed = [r.name for r in records if r.name in failing]
+        mapped = [r.name for r in records if r.name not in failing]
+        digest = hashlib.sha256(
+            "\n".join(sorted(mapped)).encode("utf-8")
+        ).hexdigest()
+        return {
+            "mapped_reads": len(mapped),
+            "extensions": len(mapped),
+            "makespan": latency,
+            "failed_reads": failed,
+            "extensions_digest": digest,
+        }
+
+    return handler

@@ -1,0 +1,204 @@
+"""Crash-only serving end to end: journal recovery, poison, deadlines.
+
+These tests run a real :class:`MappingService` in worker-pool mode —
+spawn-based subprocesses behind the supervised pool — against real
+sockets, with the mapper replaced by the spawn-safe stub handler
+(``repro.serve.workers:build_stub_handler``), so crashes and recoveries
+are fast and deterministic.  The full kill-storm gate lives in
+``repro chaos --serve --crash`` (:mod:`repro.serve.crash`).
+"""
+
+import socket
+import threading
+import time
+import zlib
+
+from repro.core.io import ReadRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import BackoffPolicy, BreakerConfig, FaultPlan
+from repro.resilience.supervisor import HandlerSpec
+from repro.serve import MappingService, ServiceConfig, StreamingClient
+from repro.serve.protocol import FrameKind
+
+STUB = "repro.serve.workers:build_stub_handler"
+
+
+def _config(tmp_path, latency=0.0, **kwargs):
+    return ServiceConfig(
+        port=kwargs.pop("port", 0),
+        journal_path=str(tmp_path / "requests.journal"),
+        journal_fsync_batch=2,
+        workers=1,
+        worker_spec=HandlerSpec(STUB, {"latency": latency}),
+        worker_heartbeat_timeout=0.5,
+        worker_backoff=BackoffPolicy(base=0.01, cap=0.05, seed=0),
+        worker_breaker=BreakerConfig(failure_threshold=4, open_duration=0.2),
+        **kwargs,
+    )
+
+
+def _start(config, registry=None, fault_plan=None):
+    service = MappingService(None, config, registry=registry,
+                             log=lambda _line: None,
+                             worker_fault_plan=fault_plan)
+    return service.start()
+
+
+def _reads(prefix, count=3):
+    return [ReadRecord(f"{prefix}-{i}", "ACGTACGT") for i in range(count)]
+
+
+def _collect_terminal(client, count, timeout=20.0):
+    frames = []
+    deadline = time.monotonic() + timeout
+    while len(frames) < count and time.monotonic() < deadline:
+        frame = client._try_recv(0.05)
+        if frame is not None and frame.kind in FrameKind.TERMINAL:
+            frames.append(frame)
+    assert len(frames) == count, f"got {len(frames)} terminal frames"
+    return frames
+
+
+def test_restart_recovers_journal_and_replays_duplicates(tmp_path):
+    config = _config(tmp_path, latency=0.25)
+    handle = _start(config)
+    ids = [f"r-{i}" for i in range(3)]
+    try:
+        with StreamingClient(handle.host, handle.port, "t") as client:
+            for request_id in ids:
+                client.submit(request_id, _reads(request_id))
+            # One verdict lands, then the service dies mid-load.
+            (first,) = _collect_terminal(client, 1)
+            done_id = first.payload["request_id"]
+    finally:
+        handle.service.crash()
+        handle.join(timeout=10.0)
+
+    handle_b = _start(_config(tmp_path, latency=0.0))
+    try:
+        recovery = handle_b.service.recovery
+        assert recovery is not None
+        summary = recovery.to_dict()
+        assert summary["recovered_completed"] >= 1
+        assert (summary["recovered_completed"]
+                + summary["recovered_incomplete"]) == len(ids)
+        # Resubmitting every pre-crash id terminates exactly once each;
+        # the one that completed before the crash replays from cache.
+        with StreamingClient(handle_b.host, handle_b.port, "t") as client:
+            for request_id in ids:
+                client.submit(request_id, _reads(request_id))
+            frames = _collect_terminal(client, len(ids))
+        verdicts = {f.payload["request_id"]: f for f in frames}
+        assert set(verdicts) == set(ids)
+        assert all(f.kind == FrameKind.RESULT for f in frames)
+        assert verdicts[done_id].payload.get("duplicate") is True
+    finally:
+        handle_b.stop()
+        handle_b.join(timeout=10.0)
+
+
+def test_sticky_worker_kill_dead_letters_as_worker_death(tmp_path):
+    plan = FaultPlan(seed=3, kill_rate=0.3, sticky_rate=0.3)
+
+    def wants(request_id, kill, sticky):
+        faults = plan.decide_worker(zlib.crc32(request_id.encode("utf-8")))
+        return faults.kill == kill and faults.sticky == sticky
+
+    poison = next(f"poison-{i}" for i in range(4096)
+                  if wants(f"poison-{i}", True, True))
+    clean = next(f"clean-{i}" for i in range(4096)
+                 if wants(f"clean-{i}", False, False))
+
+    registry = MetricsRegistry()
+    handle = _start(_config(tmp_path, max_task_deaths=2),
+                    registry=registry, fault_plan=plan)
+    try:
+        with StreamingClient(handle.host, handle.port, "t") as client:
+            client.submit(poison, _reads(poison))
+            client.submit(clean, _reads(clean))
+            frames = _collect_terminal(client, 2)
+        verdicts = {f.payload["request_id"]: f for f in frames}
+        assert verdicts[poison].kind == FrameKind.DEAD_LETTER
+        assert verdicts[poison].payload["reason"] == "worker_death"
+        assert verdicts[clean].kind == FrameKind.RESULT
+        assert registry.counter(
+            "supervisor_worker_restarts_total"
+        ).total() >= 1
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_deadline_expires_at_admission_and_at_dispatch(tmp_path):
+    registry = MetricsRegistry()
+    handle = _start(_config(tmp_path, latency=0.4), registry=registry)
+    try:
+        with StreamingClient(handle.host, handle.port, "t") as client:
+            # Occupy the single worker, then queue a request whose
+            # budget dies while it waits: the dispatch-time check.
+            client.submit("hold", _reads("hold"))
+            client.submit("late", _reads("late"), deadline=0.05)
+            # Already-spent budget: rejected at admission, terminally.
+            client.submit("dead", _reads("dead"), deadline=0.0)
+            frames = _collect_terminal(client, 3)
+        verdicts = {f.payload["request_id"]: f for f in frames}
+        assert verdicts["hold"].kind == FrameKind.RESULT
+        assert verdicts["late"].kind == FrameKind.DEAD_LETTER
+        assert verdicts["late"].payload["reason"] == "expired"
+        assert verdicts["dead"].kind == FrameKind.REJECT
+        assert verdicts["dead"].payload["reason"] == "expired"
+        assert "retry_after" not in verdicts["dead"].payload
+        assert registry.counter(
+            "serve_deadline_expired_total"
+        ).total() == 2
+        report = handle.service.slo.report()
+        assert report.expired == 2
+    finally:
+        handle.stop()
+        handle.join(timeout=10.0)
+
+
+def test_client_reconnects_once_when_the_server_dies_under_it(tmp_path):
+    # Reserve a port so the restarted service can reuse the address.
+    probe = socket.socket()
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    handle = _start(_config(tmp_path, latency=0.4, port=port))
+    restarted = []
+
+    def crash_and_restart():
+        handle.service.crash()
+        handle.join(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                restarted.append(
+                    _start(_config(tmp_path, latency=0.0, port=port))
+                )
+                return
+            except (RuntimeError, OSError):
+                time.sleep(0.1)
+
+    killer = threading.Timer(0.5, crash_and_restart)
+    killer.start()
+    try:
+        # The generous stall_timeout is load tolerance, not the crash
+        # detector: a dead server surfaces as a connection error almost
+        # immediately, while the restarted service's spawn-based worker
+        # can need several seconds to warm up under a busy test suite.
+        client = StreamingClient("127.0.0.1", port, "t",
+                                 timeout=30.0, stall_timeout=6.0)
+        with client:
+            report = client.stream([_reads(f"b{i}") for i in range(4)],
+                                   request_prefix="req")
+        assert report.reconnects == 1
+        assert report.complete
+        assert report.terminal_count == 4
+    finally:
+        killer.join()
+        if restarted:
+            restarted[0].stop()
+            restarted[0].join(timeout=10.0)

@@ -1,0 +1,128 @@
+"""Properties of the supervisor's restart machinery (no subprocesses).
+
+Two contracts the crash gate leans on, checked as properties over the
+pure logic (the spawn-based pool itself is exercised in
+``tests/unit/test_supervisor.py``):
+
+* :class:`BackoffPolicy` delay schedules are a pure function of the
+  policy (deterministic across runs) and monotone non-decreasing until
+  they saturate at the cap — a restart storm always slows down, never
+  speeds up or oscillates.
+* :class:`CircuitBreaker` admits restarts exactly as specified: freely
+  while closed, never during an open cool-down, exactly one probe per
+  open period — and tripping it never loses work, because refusal only
+  ever *delays* a restart.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import BackoffPolicy, BreakerConfig, CircuitBreaker
+
+
+@st.composite
+def policies(draw):
+    """A valid BackoffPolicy (cap >= base > 0)."""
+    base = draw(st.floats(min_value=1e-4, max_value=1.0,
+                          allow_nan=False, allow_infinity=False))
+    factor = draw(st.floats(min_value=1.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False))
+    seed = draw(st.integers(min_value=0, max_value=2**63 - 1))
+    return BackoffPolicy(base=base, cap=base * factor, seed=seed)
+
+
+@given(policies(), st.integers(min_value=1, max_value=24))
+@settings(max_examples=60)
+def test_backoff_is_deterministic(policy, attempts):
+    twin = BackoffPolicy(base=policy.base, cap=policy.cap, seed=policy.seed)
+    schedule = [policy.delay(a) for a in range(1, attempts + 1)]
+    assert schedule == [twin.delay(a) for a in range(1, attempts + 1)]
+
+
+@given(policies(), st.integers(min_value=1, max_value=24))
+@settings(max_examples=60)
+def test_backoff_is_monotone_bounded_and_saturates(policy, attempts):
+    schedule = [policy.delay(a) for a in range(1, attempts + 1)]
+    for attempt, delay in enumerate(schedule, start=1):
+        raw = policy.base * 2.0 ** (attempt - 1)
+        assert min(policy.cap, raw) <= delay <= policy.cap
+    for earlier, later in zip(schedule, schedule[1:]):
+        assert later >= earlier
+    # Once the schedule pins at the cap it stays there.
+    saturated = False
+    for delay in schedule:
+        if saturated:
+            assert delay == policy.cap
+        saturated = saturated or delay == policy.cap
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.sampled_from(["fail", "success", "tick", "ask"]),
+             min_size=1, max_size=60),
+)
+@settings(max_examples=120)
+def test_breaker_state_machine_invariants(threshold, events):
+    """Drive a breaker with an injectable clock through random histories."""
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, open_duration=10.0),
+        clock=lambda: clock[0],
+    )
+    for event in events:
+        before = breaker.state
+        if event == "fail":
+            breaker.record_failure()
+            if before == "half_open":
+                assert breaker.state == "open"      # the probe died
+        elif event == "success":
+            breaker.record_success()
+            assert breaker.consecutive_failures == 0
+            if before == "half_open":
+                assert breaker.state == "closed"    # the probe survived
+            else:
+                assert breaker.state == before
+        elif event == "tick":
+            clock[0] += 4.0
+        else:
+            allowed = breaker.allow_restart()
+            if before == "closed":
+                assert allowed and breaker.state == "closed"
+            elif before == "half_open":
+                assert not allowed                  # one probe only
+            elif allowed:
+                assert breaker.state == "half_open"  # cool-down elapsed
+            else:
+                assert breaker.state == "open"
+        assert breaker.state in ("closed", "open", "half_open")
+        # Closed with threshold-or-more consecutive failures is
+        # unreachable: the threshold-th failure always trips it.
+        if breaker.state == "closed":
+            assert breaker.consecutive_failures < threshold
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_breaker_open_only_delays_never_denies(threshold):
+    """An open breaker always re-admits a restart after the cool-down.
+
+    This is the no-dropped-work half of the contract: a refused restart
+    is a *delay*, so a task queued behind an open breaker is eventually
+    served (the pool-level version runs real subprocesses in
+    ``tests/unit/test_supervisor.py``).
+    """
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, open_duration=5.0),
+        clock=lambda: clock[0],
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow_restart()
+    clock[0] += 5.0
+    assert breaker.allow_restart()                  # the probe is admitted
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow_restart()

@@ -1,0 +1,151 @@
+"""Request-journal framing, fold semantics, and torn-tail recovery."""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.journal import (
+    MAGIC,
+    JournalError,
+    RequestJournal,
+    recover_journal,
+)
+
+
+def _journal(tmp_path, **kwargs):
+    return RequestJournal(str(tmp_path / "requests.journal"), **kwargs)
+
+
+def test_round_trip_completed_and_incomplete(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.append_submit("t", "r-2", "Qg==", deadline=2.5)
+    journal.append_verdict("t", "r-1", "done", {"mapped_reads": 4})
+    journal.close()
+
+    recovery = recover_journal(journal.path)
+    assert recovery.truncated_records == 0
+    assert recovery.truncated_bytes == 0
+    assert recovery.completed == {
+        ("t", "r-1"): {"state": "done", "payload": {"mapped_reads": 4}},
+    }
+    incomplete = recovery.incomplete[("t", "r-2")]
+    assert incomplete["records_b64"] == "Qg=="
+    # The journaled deadline survives for readmission re-arming.
+    assert incomplete["deadline"] == 2.5
+
+
+def test_fold_rejected_verdict_cancels_the_submit(tmp_path):
+    # The queue-full race: the submit was journaled, then admission
+    # failed — the id was never accepted, so recovery must forget it.
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.append_verdict("t", "r-1", "rejected", {})
+    journal.close()
+    recovery = recover_journal(journal.path)
+    assert recovery.completed == {}
+    assert recovery.incomplete == {}
+
+
+def test_fold_submit_after_done_is_a_readmission(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.append_verdict("t", "r-1", "dead", {"reason": "quarantined"})
+    journal.append_submit("t", "r-1", "QQ==")        # the replay path
+    journal.close()
+    recovery = recover_journal(journal.path)
+    assert ("t", "r-1") not in recovery.completed     # verdict no longer stands
+    assert ("t", "r-1") in recovery.incomplete
+
+
+def test_torn_tail_is_truncated_loudly_and_idempotently(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.append_verdict("t", "r-1", "done", {})
+    journal.close()
+    clean_size = os.path.getsize(journal.path)
+    with open(journal.path, "ab") as handle:
+        handle.write(b"\x00\x00\x00\x40\x00\x00\x00\x00torn")
+
+    registry = MetricsRegistry()
+    recovery = recover_journal(journal.path, registry)
+    assert recovery.truncated_records == 1
+    assert recovery.truncated_bytes == 12
+    assert registry.counter(
+        "serve_journal_truncations_total"
+    ).total() == 1
+    # Everything before the tear survived.
+    assert ("t", "r-1") in recovery.completed
+    assert os.path.getsize(journal.path) == clean_size
+    # A second pass sees a clean journal: the truncation stuck.
+    again = recover_journal(journal.path)
+    assert again.truncated_records == 0
+    assert again.completed == recovery.completed
+
+
+def test_mid_file_corruption_stops_at_the_damage_point(tmp_path):
+    # A CRC failure that is *not* the tail still truncates there — the
+    # decoder cannot trust framing past unverified bytes — but every
+    # intact record before it is preserved.
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.close()
+    good_size = os.path.getsize(journal.path)
+    with open(journal.path, "r+b") as handle:
+        handle.seek(good_size - 1)
+        handle.write(b"\xff")
+    recovery = recover_journal(journal.path)
+    assert recovery.truncated_records == 1
+    assert recovery.incomplete == {}
+
+
+def test_bad_magic_raises_instead_of_truncating(tmp_path):
+    path = str(tmp_path / "not-a-journal")
+    with open(path, "wb") as handle:
+        handle.write(b"something else entirely")
+    with pytest.raises(JournalError):
+        recover_journal(path)
+    # The file was not touched: truncating it would destroy data that
+    # was never ours.
+    assert open(path, "rb").read() == b"something else entirely"
+
+
+def test_missing_journal_recovers_empty(tmp_path):
+    recovery = recover_journal(str(tmp_path / "absent"))
+    assert recovery.completed == {} and recovery.incomplete == {}
+    assert recovery.truncated_records == 0
+
+
+def test_fsync_batching_accounting(tmp_path):
+    registry = MetricsRegistry()
+    journal = _journal(tmp_path, fsync_batch=3, registry=registry)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.append_submit("t", "r-2", "QQ==")
+    assert journal.stats() == {"appends": 2, "fsyncs": 0, "lag": 2}
+    journal.append_submit("t", "r-3", "QQ==")        # batch boundary
+    assert journal.stats() == {"appends": 3, "fsyncs": 1, "lag": 0}
+    journal.append_submit("t", "r-4", "QQ==")
+    journal.sync()
+    assert journal.stats() == {"appends": 4, "fsyncs": 2, "lag": 0}
+    journal.close()
+    assert registry.counter("serve_journal_appends_total").total() == 4
+    assert registry.counter("serve_journal_fsyncs_total").total() == 2
+
+
+def test_append_after_close_is_a_noop(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append_submit("t", "r-1", "QQ==")
+    journal.close()
+    journal.append_verdict("t", "r-1", "done", {})   # raced shutdown
+    journal.close()                                  # idempotent
+    recovery = recover_journal(journal.path)
+    assert ("t", "r-1") in recovery.incomplete       # readmitted on restart
+
+
+def test_fresh_journal_writes_magic_and_rejects_bad_batch(tmp_path):
+    journal = _journal(tmp_path)
+    journal.close()
+    assert open(journal.path, "rb").read() == MAGIC
+    with pytest.raises(ValueError):
+        _journal(tmp_path, fsync_batch=0)

@@ -10,6 +10,7 @@ from repro.serve.queue import (
     QueueFullError,
     RequestQueue,
     load_spool,
+    load_spool_tolerant,
 )
 
 
@@ -103,3 +104,27 @@ def test_dlq_spool_survives_restart(tmp_path):
     assert [e.request_id for e in entries] == ["r-1", "r-2"]
     assert entries[0].records_b64 == "QQ=="
     assert entries[1].reason == "quarantined"
+
+
+def test_tolerant_spool_load_skips_truncated_final_line(tmp_path):
+    spool = str(tmp_path / "dead.jsonl")
+    dlq = DeadLetterQueue(spool_path=spool)
+    dlq.push(DeadLetter("t", "r-1", "error", "boom", 2, ("a", "b"), "QQ=="))
+    dlq.push(DeadLetter("t", "r-2", "timeout", "slow", 1, ("c",)))
+    # Simulate a crash mid-append: the final line is cut short.
+    with open(spool, "a", encoding="utf-8") as handle:
+        handle.write('{"tenant": "t", "request_id": "r-3", "rea')
+    entries, skipped = load_spool_tolerant(spool)
+    assert [e.request_id for e in entries] == ["r-1", "r-2"]
+    assert skipped == 1
+    # The strict loader shares the salvage (it just drops the count).
+    assert [e.request_id for e in load_spool(spool)] == ["r-1", "r-2"]
+
+
+def test_tolerant_spool_load_reports_zero_skips_when_clean(tmp_path):
+    spool = str(tmp_path / "dead.jsonl")
+    DeadLetterQueue(spool_path=spool).push(
+        DeadLetter("t", "r-1", "error", "boom", 1, ("a",))
+    )
+    entries, skipped = load_spool_tolerant(spool)
+    assert [e.request_id for e in entries] == ["r-1"] and skipped == 0

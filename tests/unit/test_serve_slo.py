@@ -146,11 +146,44 @@ def test_per_tenant_counts_feed_top_view():
     report = tracker.report()
     assert report.per_tenant["a"] == {
         "completed": 1, "rejected": 1, "dead_lettered": 0, "reads_mapped": 6,
+        "expired": 0,
     }
     assert report.per_tenant["b"] == {
         "completed": 0, "rejected": 1, "dead_lettered": 1, "reads_mapped": 0,
+        "expired": 0,
     }
     # The dict round-trips (STATS frames reconstruct SLOReport from it).
     payload = report.to_dict()
     assert payload["per_tenant"] == report.per_tenant
     assert payload["exemplars"] == report.exemplars
+
+
+def test_expired_is_an_overlay_outcome_with_its_own_counter():
+    registry = MetricsRegistry()
+    tracker = SLOTracker(registry)
+    # Admission-time expiry: the request is rejected AND expired.
+    tracker.record_rejected("a")
+    tracker.record_expired("a")
+    # Dispatch-time expiry: accepted, then dead-lettered AND expired.
+    tracker.record_accepted("a")
+    tracker.record_expired("a")
+    tracker.record_dead_letter("a")
+    report = tracker.report()
+    assert report.expired == 2
+    assert report.expired_rate == 2 / report.window_requests
+    assert report.per_tenant["a"]["expired"] == 2
+    # The overlay never steals from the primary columns.
+    assert report.rejected == 1 and report.dead_lettered == 1
+    payload = report.to_dict()
+    assert payload["expired"] == 2
+    assert registry.counter(
+        "serve_deadline_expired_total"
+    ).total() == 2
+    assert "deadline_expired=2" in report.render()
+
+
+def test_expired_absent_from_clean_windows():
+    report = SLOTracker().report()
+    assert report.expired == 0
+    assert report.expired_rate is None
+    assert "deadline_expired" not in report.render()

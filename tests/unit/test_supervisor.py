@@ -1,0 +1,120 @@
+"""Supervised worker pool: dispatch, deaths, restarts, poison, specs.
+
+These tests run real spawn-based subprocesses, so pools are kept to one
+or two workers and restart timings are tuned small.  The pure
+backoff/breaker logic has property coverage in
+``tests/property/test_prop_supervisor.py``.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import FaultPlan
+from repro.resilience.supervisor import (
+    BackoffPolicy,
+    BreakerConfig,
+    HandlerSpec,
+    PoolClosedError,
+    SupervisedPool,
+    WorkerDeathError,
+    WorkerTaskError,
+)
+
+ECHO = HandlerSpec("repro.resilience.supervisor:echo_handler_factory",
+                   {"tag": "unit"})
+
+_FAST = dict(
+    heartbeat_interval=0.02,
+    heartbeat_timeout=0.5,
+    backoff=BackoffPolicy(base=0.01, cap=0.05, seed=0),
+    breaker=BreakerConfig(failure_threshold=4, open_duration=0.2),
+)
+
+
+def _fault_key(plan, want_kill, want_sticky, limit=4096):
+    """Scan for a key whose planned worker fault matches the request."""
+    for key in range(limit):
+        faults = plan.decide_worker(key)
+        if faults.kill == want_kill and faults.sticky == want_sticky:
+            return key
+    raise AssertionError("no matching fault key in scan range")
+
+
+def test_pool_maps_payloads_and_survives_handler_errors():
+    pool = SupervisedPool(ECHO, workers=1, **_FAST).start()
+    try:
+        result = pool.run({"x": 42})
+        assert result["x"] == 42
+        assert result["tag"] == "unit"
+        assert result["echo"] is True
+        # A raising handler costs the task, not the worker.
+        with pytest.raises(WorkerTaskError, match="boom"):
+            pool.run({"fail": "boom"})
+        assert pool.run({"x": 7})["x"] == 7
+        stats = pool.stats()
+        assert stats["restarts_total"] == 0
+        (worker,) = stats["workers"]
+        assert worker["state"] == "alive"
+        assert worker["breaker"] == "closed"
+    finally:
+        pool.shutdown()
+    with pytest.raises(PoolClosedError):
+        pool.run({"x": 1})
+
+
+def test_nonsticky_kill_restarts_worker_and_retries_the_task():
+    # The never-drop contract: the single worker dies on the task's
+    # first dispatch, the pool restarts it (through the backoff/breaker
+    # schedule), and the queued task completes on the retry.
+    plan = FaultPlan(seed=3, kill_rate=0.3, sticky_rate=0.3)
+    key = _fault_key(plan, want_kill=True, want_sticky=False)
+    registry = MetricsRegistry()
+    pool = SupervisedPool(ECHO, workers=1, max_task_deaths=3,
+                          fault_plan=plan, registry=registry, **_FAST).start()
+    try:
+        result = pool.run({"x": 1}, fault_key=key)
+        assert result["x"] == 1 and result["echo"] is True
+        assert pool.stats()["restarts_total"] >= 1
+        assert registry.counter(
+            "supervisor_worker_restarts_total"
+        ).total() >= 1
+    finally:
+        pool.shutdown()
+
+
+def test_sticky_kill_is_poisonous_and_dead_ends_the_task():
+    plan = FaultPlan(seed=3, kill_rate=0.3, sticky_rate=0.3)
+    sticky = _fault_key(plan, want_kill=True, want_sticky=True)
+    clean = _fault_key(plan, want_kill=False, want_sticky=False)
+    pool = SupervisedPool(ECHO, workers=1, max_task_deaths=2,
+                          fault_plan=plan, **_FAST).start()
+    try:
+        with pytest.raises(WorkerDeathError) as info:
+            pool.run({"x": 1}, fault_key=sticky)
+        assert info.value.deaths == 2
+        # The pool outlives the poisonous task.
+        assert pool.run({"x": 2}, fault_key=clean)["x"] == 2
+    finally:
+        pool.shutdown()
+
+
+def test_handler_spec_resolves_both_dotted_forms():
+    for factory in (
+        "repro.resilience.supervisor:echo_handler_factory",
+        "repro.resilience.supervisor.echo_handler_factory",
+    ):
+        handler = HandlerSpec(factory, {"tag": "spec"}).resolve()
+        assert handler({"a": 1}) == {"a": 1, "tag": "spec", "echo": True}
+    with pytest.raises(ModuleNotFoundError):
+        HandlerSpec("repro.no_such_module:thing").resolve()
+    with pytest.raises(AttributeError):
+        HandlerSpec("repro.resilience.supervisor:no_such_factory").resolve()
+
+
+def test_backoff_and_breaker_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base=0.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(base=1.0, cap=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy().delay(0)
