@@ -3,7 +3,7 @@
 #
 # Usage: ./scripts/ci.sh [--lint] [--bench-smoke] [--tune-smoke]
 #                        [--chaos-smoke] [--serve-smoke] [--trace-smoke]
-#                        [--crash-smoke]
+#                        [--crash-smoke] [--parallel-smoke]
 # Extra pytest arguments are passed through, e.g.:
 #   ./scripts/ci.sh -k obs
 #
@@ -44,6 +44,12 @@
 # fault-free baseline, duplicate suppression for pre-crash completions,
 # and that an already-expired deadline is rejected finally (no retry).
 #
+# --parallel-smoke additionally runs the process-pool gate (ISSUE 10):
+# the same workload is mapped through the in-process thread schedulers
+# and through a 2-worker shared-memory process pool, the two extension
+# files must be byte-identical, and no repro_shm_* segment may remain
+# in /dev/shm afterwards (leak-freedom even across worker restarts).
+#
 # --trace-smoke additionally runs the causal-tracing gate (ISSUE 7): an
 # in-process served two-tenant workload under `repro trace --serve
 # --attribute` must reach 100% trace-join completeness (the command
@@ -65,6 +71,7 @@ CHAOS_SMOKE=0
 SERVE_SMOKE=0
 TRACE_SMOKE=0
 CRASH_SMOKE=0
+PARALLEL_SMOKE=0
 args=()
 for arg in "$@"; do
     if [[ "$arg" == "--lint" ]]; then
@@ -81,6 +88,8 @@ for arg in "$@"; do
         TRACE_SMOKE=1
     elif [[ "$arg" == "--crash-smoke" ]]; then
         CRASH_SMOKE=1
+    elif [[ "$arg" == "--parallel-smoke" ]]; then
+        PARALLEL_SMOKE=1
     else
         args+=("$arg")
     fi
@@ -216,6 +225,37 @@ print("crash JSON OK "
       f"{restarts['phase_a'] + restarts['phase_b']} worker restarts)")
 PY
     echo "crash smoke OK"
+fi
+
+if [[ "$PARALLEL_SMOKE" == "1" ]]; then
+    echo "== parallel smoke (process pool: bit-identity + shm leak gate) =="
+    par_out="$(mktemp -d)"
+    trap 'rm -rf "${bench_out:-}" "${chaos_out:-}" "${serve_out:-}" "${crash_out:-}" "$par_out"' EXIT
+    python -m repro generate --input-set A-human --scale 0.05 \
+        --out-dir "$par_out"
+
+    echo "-- threaded run (2 threads)"
+    python -m repro map --gbz "$par_out/A-human.gbz" \
+        --seeds "$par_out/A-human.seeds.bin" --seed-span 13 \
+        --threads 2 --batch-size 8 --output "$par_out/threaded.ext"
+
+    echo "-- process-pool run (2 workers over shared memory)"
+    python -m repro map --gbz "$par_out/A-human.gbz" \
+        --seeds "$par_out/A-human.seeds.bin" --seed-span 13 \
+        --workers 2 --batch-size 8 --output "$par_out/pooled.ext"
+
+    echo "-- extension files must be byte-identical"
+    cmp "$par_out/threaded.ext" "$par_out/pooled.ext" \
+        || { echo "process-pool output differs from threaded output"; exit 1; }
+
+    echo "-- no leaked shared-memory segments"
+    python - <<'PY'
+from repro.graph.shm import active_segments
+leaked = active_segments()
+assert not leaked, f"leaked shared-memory segments: {leaked}"
+print("no repro_shm_* segments remain")
+PY
+    echo "parallel smoke OK"
 fi
 
 if [[ "$TRACE_SMOKE" == "1" ]]; then

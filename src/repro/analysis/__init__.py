@@ -26,8 +26,20 @@ from repro.analysis.tracereport import (
     render_trace_report,
 )
 from repro.analysis.tunereport import render_tune_report
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingValidation,
+    measured_worker_curve,
+    predicted_worker_curve,
+    validate_scaling,
+)
 
 __all__ = [
+    "ScalingPoint",
+    "ScalingValidation",
+    "measured_worker_curve",
+    "predicted_worker_curve",
+    "validate_scaling",
     "render_bench_report",
     "render_validation_report",
     "region_breakdown",

@@ -1,0 +1,237 @@
+"""Scaling-shape validation: measured worker curves vs the machine model.
+
+The process-pool scheduler's reason to exist is throughput scaling, but
+a measured speedup number is only meaningful relative to what the host
+could possibly deliver — a 1.0x curve is a bug on a 16-core box and
+exactly correct on a 1-core one.  This module closes that loop: it
+extracts the measured workers→wall-time curve from a ``repro bench
+--parallel`` report, predicts the same curve with the DES-backed
+:class:`~repro.sim.exec_model.ExecutionModel` on a host-shaped
+:class:`~repro.sim.platform.PlatformSpec`, and gates on *shape
+agreement* (relative speedups within a tolerance), not on absolute
+seconds.
+
+The model predicts with effective threads capped at the platform's
+``max_threads``: hardware cannot run more concurrent threads than it
+has, so extra workers beyond that add time-slicing, not parallelism —
+the model's SMT formula would otherwise credit oversubscribed workers
+with full-rate cores.  On a 1-core host every predicted speedup is
+therefore ~1.0x, and a flat measured curve *passes*.
+
+Oversubscribed points (``workers > max_threads``) gate **one-sided**:
+a measured speedup the hardware cannot produce still fails, but a
+measured *slowdown* there is expected — context switching, worker
+spawn, and IPC contention are real costs the capped model deliberately
+does not predict.  Within the hardware's thread budget the gate stays
+two-sided, so a flat curve on a 64-core box fails; see
+``docs/PARALLELISM.md`` ("Scaling honesty").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.exec_model import ExecutionModel, TuningConfig
+from repro.sim.platform import PlatformSpec, host_platform_spec
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One worker count on a scaling curve."""
+
+    workers: int
+    wall_time: float
+    #: Throughput relative to the curve's 1-worker point.
+    speedup: float
+
+
+@dataclass
+class ScalingValidation:
+    """Outcome of comparing a measured curve against the model's."""
+
+    platform: str
+    cpu_count: int
+    measured: List[ScalingPoint] = field(default_factory=list)
+    predicted: List[ScalingPoint] = field(default_factory=list)
+    #: Per-worker-count relative deviation of measured vs predicted speedup.
+    deviations: Dict[int, float] = field(default_factory=dict)
+    tolerance: float = 0.5
+    #: Worker counts beyond the platform's hardware threads — these
+    #: gate one-sided (only impossible speedups fail, slowdowns pass).
+    oversubscribed: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def point_ok(self, workers: int) -> bool:
+        """Whether one worker count's deviation passes the gate."""
+        deviation = self.deviations[workers]
+        if workers in self.oversubscribed:
+            return deviation <= self.tolerance
+        return abs(deviation) <= self.tolerance
+
+    @property
+    def ok(self) -> bool:
+        """True when every common point's shape deviation is in tolerance."""
+        return all(self.point_ok(workers) for workers in self.deviations)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (for machine-readable CI logs)."""
+        return {
+            "platform": self.platform,
+            "cpu_count": self.cpu_count,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "measured": [
+                {"workers": p.workers, "wall_time": p.wall_time,
+                 "speedup": p.speedup}
+                for p in self.measured
+            ],
+            "predicted": [
+                {"workers": p.workers, "wall_time": p.wall_time,
+                 "speedup": p.speedup}
+                for p in self.predicted
+            ],
+            "deviations": {str(k): v for k, v in self.deviations.items()},
+            "oversubscribed": list(self.oversubscribed),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Plain-text report table."""
+        lines = [
+            f"scaling shape vs model ({self.platform}, "
+            f"{self.cpu_count} core(s), tolerance {self.tolerance:.0%})"
+        ]
+        predicted = {p.workers: p for p in self.predicted}
+        for point in self.measured:
+            model = predicted.get(point.workers)
+            deviation = self.deviations.get(point.workers)
+            parts = [
+                f"  w{point.workers}: measured {point.wall_time:.3f}s "
+                f"({point.speedup:.2f}x)"
+            ]
+            if model is not None:
+                parts.append(f"model {model.speedup:.2f}x")
+            if deviation is not None:
+                if self.point_ok(point.workers):
+                    flag = ("ok, oversubscribed"
+                            if point.workers in self.oversubscribed
+                            else "ok")
+                else:
+                    flag = "DEVIANT"
+                parts.append(f"delta {deviation:+.1%} [{flag}]")
+            lines.append(" ".join(parts))
+        lines.extend(f"  note: {note}" for note in self.notes)
+        lines.append(f"  verdict: {'OK' if self.ok else 'SHAPE MISMATCH'}")
+        return "\n".join(lines)
+
+
+def _curve(points: Dict[int, float]) -> List[ScalingPoint]:
+    """Wall-time dict → speedup curve normalized to its 1-worker point."""
+    if not points:
+        return []
+    base_workers = min(points)
+    base = points[base_workers]
+    return [
+        ScalingPoint(
+            workers=workers,
+            wall_time=wall,
+            speedup=(base / wall) if wall > 0 else 0.0,
+        )
+        for workers, wall in sorted(points.items())
+    ]
+
+
+def measured_worker_curve(report: Dict[str, object]) -> Dict[int, float]:
+    """Extract workers → best wall time from a bench report.
+
+    Only process-pool entries (``config.workers > 0``) join the curve;
+    multiple entries at one worker count keep the best time (the
+    standard best-of-N reduction across configs).
+    """
+    points: Dict[int, float] = {}
+    for entry in report.get("configs", []):
+        config = entry.get("config") or {}
+        workers = int(config.get("workers", 0) or 0)
+        wall = entry.get("wall_time")
+        if workers > 0 and wall is not None:
+            points[workers] = min(points.get(workers, float("inf")), wall)
+    return points
+
+
+def predicted_worker_curve(
+    profile,
+    worker_counts,
+    platform: Optional[PlatformSpec] = None,
+    config: Optional[TuningConfig] = None,
+) -> Dict[int, float]:
+    """Model-predicted workers → makespan on ``platform``.
+
+    Effective model threads are ``min(workers, platform.max_threads)``:
+    the DES models concurrency the hardware can actually run, and
+    worker processes beyond that only time-slice.
+    """
+    platform = platform or host_platform_spec()
+    config = config or TuningConfig()
+    model = ExecutionModel(profile, platform)
+    points: Dict[int, float] = {}
+    for workers in worker_counts:
+        effective = max(1, min(workers, platform.max_threads))
+        points[workers] = model.makespan(
+            TuningConfig(
+                scheduler=config.scheduler,
+                batch_size=config.batch_size,
+                cache_capacity=config.cache_capacity,
+                threads=effective,
+            )
+        )
+    return points
+
+
+def validate_scaling(
+    measured: Dict[int, float],
+    predicted: Dict[int, float],
+    platform: Optional[PlatformSpec] = None,
+    tolerance: float = 0.5,
+) -> ScalingValidation:
+    """Gate the measured curve's *shape* against the model's.
+
+    Both curves are normalized to their own smallest worker count, then
+    compared point-wise as relative speedups — absolute seconds never
+    enter (the synthetic workload's model calibration is not the
+    reproduction target, the scaling shape is).  ``tolerance`` bounds
+    ``measured_speedup / predicted_speedup - 1`` per point, two-sided
+    within the platform's hardware thread budget and one-sided (upper
+    bound only) for oversubscribed worker counts.
+    """
+    platform = platform or host_platform_spec()
+    validation = ScalingValidation(
+        platform=platform.name,
+        cpu_count=os.cpu_count() or 1,
+        measured=_curve(measured),
+        predicted=_curve(predicted),
+        tolerance=tolerance,
+    )
+    predicted_by_workers = {p.workers: p for p in validation.predicted}
+    for point in validation.measured:
+        model = predicted_by_workers.get(point.workers)
+        if model is None or model.speedup <= 0:
+            continue
+        validation.deviations[point.workers] = (
+            point.speedup / model.speedup - 1.0
+        )
+    if not validation.deviations:
+        validation.notes.append(
+            "no common worker counts between measured and predicted curves"
+        )
+    capped = sorted(w for w in measured if w > platform.max_threads)
+    if capped:
+        validation.oversubscribed = capped
+        validation.notes.append(
+            f"worker counts {capped} exceed the platform's "
+            f"{platform.max_threads} hardware thread(s); the model "
+            f"predicts no speedup there, and slowdowns (time-slicing, "
+            f"spawn and IPC contention) gate one-sided"
+        )
+    return validation

@@ -112,6 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="dynamic",
     )
     map_cmd.add_argument("--seed-span", type=int, default=13)
+    map_cmd.add_argument(
+        "--workers", type=int, default=0,
+        help="map through the shared-memory process pool with this many "
+             "worker processes (0 = in-process thread schedulers)",
+    )
+    map_cmd.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count for process-pool affinity (0 = one per worker)",
+    )
     map_cmd.add_argument("--instrument", action="store_true")
     map_cmd.add_argument("--output", help="write extensions to this file")
     map_cmd.add_argument("--gam", help="write JSON-lines alignments here")
@@ -167,6 +176,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke", action="store_true",
         help="run the two-config CI subset instead of the full grid",
+    )
+    bench.add_argument(
+        "--parallel", action="store_true",
+        help="run the process-pool scaling suite (threaded anchor plus "
+             "1/2/4-worker points) instead of the full grid",
     )
     bench.add_argument(
         "--out-dir", default=".",
@@ -370,6 +384,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --measured: best-of-N repeats per grid point",
     )
     tune.add_argument(
+        "--workers",
+        help="with --measured: comma-separated process-pool worker counts "
+             "(0 = thread schedulers; refused above the host's core count)",
+    )
+    tune.add_argument(
+        "--allow-oversubscribe", action="store_true",
+        help="with --measured: allow --workers counts beyond the host's "
+             "cores (correctness testing only; the curve is meaningless)",
+    )
+    tune.add_argument(
         "--json", help="with --measured: write the repro.tune/v1 report here"
     )
     tune.add_argument(
@@ -385,6 +409,19 @@ def _build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--profile-scale", type=float, default=0.1)
     scale.add_argument(
         "--platform", choices=sorted(PLATFORMS) + ["all"], default="all"
+    )
+    scale.add_argument(
+        "--measured-bench",
+        help="validate the worker-scaling shape of this BENCH_*.json "
+             "(from 'repro bench --parallel') against the host-shaped "
+             "machine model; exits 1 on shape mismatch",
+    )
+    scale.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="with --measured-bench: allowed relative speedup deviation",
+    )
+    scale.add_argument(
+        "--json", help="with --measured-bench: write the validation here"
     )
 
     lint = commands.add_parser(
@@ -475,6 +512,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "subprocesses (crash-only: heartbeats, "
                             "restart backoff, circuit breakers) instead "
                             "of in-process threads")
+    serve.add_argument("--shm", action="store_true",
+                       help="with --workers: publish the graph state once "
+                            "as a shared-memory segment and have worker "
+                            "children attach it zero-copy instead of "
+                            "re-materializing the pangenome per child")
     serve.add_argument("--trace-out",
                        help="write serve.request spans here (JSONL) on exit")
     serve.add_argument("--profile-out",
@@ -632,11 +674,16 @@ def _cmd_map(args) -> int:
         cache_capacity=args.cache_capacity,
         scheduler=args.scheduler,
         instrument=args.instrument,
+        workers=args.workers,
+        shards=args.shards,
     )
     proxy = MiniGiraffe.from_files(args.gbz, options, seed_span=args.seed_span)
     records = load_seed_file_path(args.seeds)
     start = time.perf_counter()
-    result = proxy.map_reads(records)
+    try:
+        result = proxy.map_reads(records)
+    finally:
+        proxy.close()
     elapsed = time.perf_counter() - start
     print(f"mapped {result.mapped_reads}/{len(records)} reads "
           f"in {result.makespan:.3f}s (total {elapsed:.3f}s)")
@@ -1097,8 +1144,12 @@ def _cmd_bench(args) -> int:
     from repro.analysis.benchreport import render_bench_report
     from repro.obs import bench as obs_bench
 
-    suite_name = "smoke" if args.smoke else "full"
-    configs = obs_bench.smoke_suite() if args.smoke else obs_bench.default_suite()
+    if args.parallel:
+        suite_name, configs = "parallel", obs_bench.parallel_suite()
+    elif args.smoke:
+        suite_name, configs = "smoke", obs_bench.smoke_suite()
+    else:
+        suite_name, configs = "full", obs_bench.default_suite()
     print(f"bench suite '{suite_name}': {len(configs)} config(s)")
 
     def progress(entry):
@@ -1185,17 +1236,27 @@ def _cmd_tune_measured(args) -> int:
         overrides["threads"] = args.threads
     if args.repeats is not None:
         overrides["repeats"] = args.repeats
+    if args.workers:
+        overrides["workers"] = tuple(_int_list(args.workers))
     if overrides:
         import dataclasses
 
         grid = dataclasses.replace(grid, **overrides)
+    try:
+        grid.check_host(allow_oversubscribe=args.allow_oversubscribe)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     def progress(entry):
         print(f"  {entry['key']}: {entry['wall_time']:.4f}s")
 
     print(f"measured sweep: {grid.size()} grid points + default "
           f"(input set {args.input_set}, scale {grid.scale})")
-    report = run_sweep(args.input_set, grid=grid, progress=progress)
+    report = run_sweep(
+        args.input_set, grid=grid, progress=progress,
+        allow_oversubscribe=args.allow_oversubscribe,
+    )
     summary = summarize_sweep(report)
     print()
     print(render_tune_report(summary))
@@ -1240,7 +1301,42 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_scale_measured(args) -> int:
+    """The shape gate behind ``repro scale --measured-bench``."""
+    from repro.analysis.scaling import (
+        measured_worker_curve,
+        predicted_worker_curve,
+        validate_scaling,
+    )
+    from repro.obs.bench import load_report
+    from repro.sim.platform import host_platform_spec
+
+    report = load_report(args.measured_bench)
+    measured = measured_worker_curve(report)
+    if not measured:
+        print(f"error: {args.measured_bench} has no process-pool entries "
+              f"(run 'repro bench --parallel')", file=sys.stderr)
+        return 2
+    profile = _profile_for(args.input_set, args.profile_scale)
+    platform = host_platform_spec()
+    predicted = predicted_worker_curve(
+        profile, sorted(measured), platform=platform
+    )
+    validation = validate_scaling(
+        measured, predicted, platform=platform, tolerance=args.tolerance
+    )
+    print(validation.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(validation.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if validation.ok else 1
+
+
 def _cmd_scale(args) -> int:
+    if args.measured_bench:
+        return _cmd_scale_measured(args)
     profile = _profile_for(args.input_set, args.profile_scale)
     for name, platform in _platforms_for(args.platform).items():
         model = ExecutionModel(profile, platform)
@@ -1373,7 +1469,29 @@ def _cmd_serve(args) -> int:
     from repro.serve import MappingService, ServiceConfig, TenantQuota
 
     worker_spec = None
-    if args.workers > 0:
+    shared_state = None
+    if args.shm and args.workers <= 0:
+        raise SystemExit("error: --shm requires --workers > 0")
+    if args.workers > 0 and args.shm:
+        # Shared-memory mode: the parent materializes the pangenome
+        # once, publishes it as a segment, and every worker child
+        # attaches it zero-copy (restarts skip re-materialization).
+        from repro.graph.shm import SharedMappingState
+
+        proxy = None
+        bundle, _ = _materialize_with_mapper(args.input_set, args.scale)
+        shared_state = SharedMappingState.create(bundle.pangenome.gbz)
+        worker_spec = HandlerSpec(
+            "repro.serve.workers:build_shm_mapping_handler",
+            {
+                "segment": shared_state.name,
+                "seed_span": bundle.spec.minimizer_k,
+                "threads": args.threads,
+                "batch_size": args.batch_size,
+                "request_timeout": args.request_timeout,
+            },
+        )
+    elif args.workers > 0:
         # Supervised mode: each spawn child materializes its own mapper
         # through this spec, so the parent never builds one at all.
         proxy = None
@@ -1431,6 +1549,9 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         handle.stop()
         handle.join(timeout=10.0)
+    finally:
+        if shared_state is not None:
+            shared_state.unlink()
     if args.trace_out:
         count = tracer.export_jsonl(args.trace_out)
         print(f"wrote {count} span(s) to {args.trace_out}")

@@ -52,6 +52,16 @@ class ProxyOptions:
     #: "batch": cleared before each batch, vg's cache-lifetime behaviour
     #: (bounds the resident set at the cost of re-decoding).
     cache_lifetime: str = "run"
+    #: 0 runs the in-process thread schedulers (the default).  N > 0
+    #: routes mapping through the shared-memory process pool
+    #: (:mod:`repro.sched.process_pool`): N supervised worker processes
+    #: attach the graph state zero-copy and map batches GIL-free.
+    workers: int = 0
+    #: Shard count for process-pool affinity (0 = one shard per worker).
+    shards: int = 0
+    #: Machine model (:data:`repro.sim.platform.PLATFORMS` name or
+    #: "host") that seeds the process pool's shard-to-socket affinity.
+    platform: str = "host"
     extend: ExtendOptions = field(default_factory=ExtendOptions)
     process: ProcessOptions = field(default_factory=ProcessOptions)
 
@@ -66,3 +76,9 @@ class ProxyOptions:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.cache_lifetime not in ("run", "batch"):
             raise ValueError(f"unknown cache lifetime {self.cache_lifetime!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+        if self.shards and not self.workers:
+            raise ValueError("shards requires workers > 0")

@@ -106,10 +106,32 @@ class MiniGiraffe:
         self.seed_span = seed_span
         self.scoring = scoring or ScoringParams()
         self.distance_index = distance_index or DistanceIndex(gbz.graph)
+        #: Lazily created process-pool runner (``options.workers > 0``);
+        #: kept for the proxy's lifetime so worker processes and their
+        #: caches stay warm across runs.
+        self._process_runner = None
         # Build the packed-sequence side table during single-threaded
         # setup so worker threads only ever read it (repro races audits
         # this invariant).
         gbz.graph.packed_sequences()
+
+    def close(self) -> None:
+        """Tear down the process pool and shared segments (idempotent).
+
+        Only meaningful when ``options.workers > 0``; thread-scheduler
+        proxies hold no external resources.  Safe to skip at interpreter
+        exit — segment finalizers unlink anything left behind — but
+        explicit close keeps tests and long-lived services tidy.
+        """
+        if self._process_runner is not None:
+            self._process_runner.close()
+            self._process_runner = None
+
+    def __enter__(self) -> "MiniGiraffe":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @classmethod
     def from_files(
@@ -151,6 +173,8 @@ class MiniGiraffe:
                 metrics = obs_metrics.get_metrics()
             with obs_trace.use_tracer(tracer), obs_metrics.use_metrics(metrics):
                 return self.map_reads(records, resilience=resilience)
+        if self.options.workers > 0:
+            return self._map_reads_process(records, resilience)
         options = self.options
         graph = self.gbz.graph
         results: List[Optional[List[GaplessExtension]]] = [None] * len(records)
@@ -296,6 +320,71 @@ class MiniGiraffe:
             counters=merged_counters,
             cache_stats=cache_stats,
             timer=timer if options.instrument else None,
+            completeness=completeness,
+        )
+
+    def _map_reads_process(
+        self,
+        records: Sequence[ReadRecord],
+        resilience: Optional[FailurePolicy],
+    ) -> MappingResult:
+        """The ``workers > 0`` path: shared-memory process-pool mapping.
+
+        Delegates batch execution to
+        :class:`repro.sched.process_pool.ProcessPoolRunner` (created
+        lazily and kept for the proxy's lifetime) and reassembles the
+        exact :class:`MappingResult` surface of the threaded path:
+        identical extensions and counters (bit-identity is gated in CI),
+        aggregated per-worker cache statistics, read-level completeness,
+        and the same metric series.
+        """
+        from repro.sched.process_pool import ProcessPoolRunner
+
+        if self._process_runner is None:
+            injector = _faults.active_injector()
+            self._process_runner = ProcessPoolRunner(
+                self.gbz,
+                self.options,
+                seed_span=self.seed_span,
+                scoring=self.scoring,
+                fault_plan=injector.plan if injector is not None else None,
+            )
+        outcome = self._process_runner.map(records, resilience=resilience)
+        missing = outcome.missing_indices
+        if missing and (resilience is None or resilience.mode == "fail_fast"):
+            raise IncompleteRunError(
+                f"{len(missing)} of {len(records)} reads were never "
+                f"processed (first missing index: {missing[0]})"
+            )
+        completeness = CompletenessReport.from_run_report(
+            total_reads=len(records),
+            failed_reads=[records[index].name for index in missing],
+            report=outcome.report,
+        )
+        registry = obs_metrics.get_metrics()
+        kernel_ops = registry.counter(
+            "proxy_kernel_ops_total", "kernel operation counts, by class"
+        )
+        for op, count in outcome.counters.as_dict().items():
+            kernel_ops.inc(count, op=op)
+        registry.counter(
+            "proxy_reads_total", "reads mapped by the proxy"
+        ).inc(len(records))
+        if missing:
+            registry.counter(
+                "proxy_read_failures_total",
+                "reads never processed (quarantined batches)",
+            ).inc(len(missing))
+        registry.gauge(
+            "proxy_makespan_seconds", "makespan of the most recent proxy run"
+        ).set(outcome.makespan)
+        return MappingResult(
+            extensions=outcome.extensions,
+            makespan=outcome.makespan,
+            traces=outcome.traces,
+            counters=outcome.counters,
+            cache_stats=outcome.cache_stats,
+            timer=None,
             completeness=completeness,
         )
 

@@ -89,6 +89,17 @@ class GBWT:
         self.decode_count += 1
         return decode_record(data)
 
+    def record_bytes(self, handle: int) -> bytes:
+        """The raw byte-packed record for ``handle`` (no decoding).
+
+        Exporters (:mod:`repro.graph.shm`) use this to re-home record
+        pages without going through a decode/encode round trip.
+        """
+        data = self._packed.get(handle)
+        if data is None:
+            raise KeyError(f"no GBWT record for handle {handle}")
+        return data
+
     def packed_size(self) -> int:
         """Total bytes of packed records (the in-memory footprint)."""
         return sum(len(v) for v in self._packed.values())

@@ -1,0 +1,581 @@
+"""Buffer-backed shared-memory storage for the read-only mapping state.
+
+The mapping hot path consumes three immutable structures: the variation
+graph (topology + node sequences), the byte-packed GBWT record pages,
+and the 2-bit :class:`~repro.graph.variation_graph.PackedSequenceTable`.
+Under the thread schedulers these live in ordinary Python dicts shared
+for free inside one interpreter; process workers cannot share them that
+way, and pickling a whole pangenome per worker per batch would drown the
+kernel time.  This module flattens the working set **once** into a
+single ``multiprocessing.shared_memory`` segment that any number of
+worker processes attach zero-copy:
+
+* GBWT record pages stay byte-packed exactly as :class:`repro.gbwt.gbwt.GBWT`
+  stores them — a fixed-width ``(handle, offset, length)`` directory plus
+  one contiguous blob.  :class:`SharedGBWT` binary-searches the
+  directory and slices records out of the buffer on demand; decoding is
+  deferred to :class:`repro.gbwt.cache.CachedGBWT` exactly as in the
+  threaded path, so per-process caches amortize the same cost.
+* The packed-sequence table is stored as the same directory+blob shape;
+  :class:`SharedPackedSequenceTable` materializes individual packed
+  integers lazily (memoized per process) instead of re-packing every
+  node per worker.
+* Graph topology (edge lists, node sequences, paths) is stored in the
+  ``RVG1`` format from :mod:`repro.graph.serialize` and rebuilt once per
+  attaching process — Python dict structure cannot be mapped in place,
+  but the rebuild is a single linear decode with no pickling.
+
+Read batches (the seed tables alongside their reads) travel the same
+way: :class:`SharedReadBatch` frames them with the ``RSB2`` seed-file
+codec into a per-run segment, so N workers share one copy of the input
+instead of N pickled copies.
+
+Lifecycle protocol: the **creator** (the proxy parent) owns the segment
+and must :meth:`~SharedSegment.unlink` it (context-manager exit, a
+``weakref.finalize`` safety net, or explicitly); **attachers** (worker
+children) only :meth:`~SharedSegment.close` their mapping.  Because the
+spawn context shares the parent's ``resource_tracker``, a SIGKILLed
+worker leaks nothing: the parent's unlink removes the one and only
+backing file.  Attaching an unlinked or never-created segment raises
+:class:`ShmStateError` with the segment name, and :func:`active_segments`
+enumerates live ``repro_shm_*`` segments so tests and the CI
+``--parallel-smoke`` gate can assert leak-freedom.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.io import ReadRecord, load_seed_file, save_seed_file
+from repro.gbwt.gbwt import GBWT
+from repro.gbwt.gbz import GBZ
+from repro.graph.handle import Handle
+from repro.graph.serialize import (
+    graph_from_bytes,
+    graph_to_bytes,
+    read_varint,
+    write_varint,
+)
+from repro.graph.variation_graph import (
+    PackedSequenceTable,
+    VariationGraph,
+    pack_sequence,
+)
+
+#: Segment magic + layout version ("RSHM" v1).
+MAGIC = b"RSHM"
+VERSION = 1
+
+#: Every segment this module creates is named with this prefix, which is
+#: what makes leak auditing (:func:`active_segments`) possible.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Fixed-width directory entry: ``(handle, blob offset, record length)``.
+_DIR_ENTRY = struct.Struct("<QQI")
+
+
+class ShmStateError(RuntimeError):
+    """A shared-memory segment could not be created, attached, or parsed."""
+
+
+def _new_segment_name(tag: str) -> str:
+    """A collision-resistant segment name carrying the creator's pid."""
+    return f"{SEGMENT_PREFIX}{tag}_{os.getpid()}_{os.urandom(4).hex()}"
+
+
+def active_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of live shared-memory segments created by this module.
+
+    Linux backs POSIX shared memory with ``/dev/shm`` files, so leak
+    checks reduce to a directory listing.  On platforms without
+    ``/dev/shm`` this returns an empty list (the leak gates are
+    Linux-CI checks, not a portable API).
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        entry for entry in os.listdir(root) if entry.startswith(prefix)
+    )
+
+
+# ----------------------------------------------------------------------
+# section container
+
+
+def _pack_sections(sections: Sequence[Tuple[str, bytes]]) -> bytes:
+    """Assemble named byte sections into one self-describing buffer."""
+    header = io.BytesIO()
+    header.write(MAGIC)
+    header.write(bytes((VERSION,)))
+    write_varint(header, len(sections))
+    for name, payload in sections:
+        encoded = name.encode("ascii")
+        write_varint(header, len(encoded))
+        header.write(encoded)
+        write_varint(header, len(payload))
+    body = b"".join(payload for _, payload in sections)
+    return header.getvalue() + body
+
+
+def _parse_sections(buf: memoryview) -> Dict[str, Tuple[int, int]]:
+    """Directory of ``name -> (absolute offset, length)`` for a segment.
+
+    Only the directory is decoded; section payloads stay untouched in
+    the buffer so readers can slice lazily.
+    """
+    stream = io.BytesIO(bytes(buf[: min(len(buf), 4096)]))
+    magic = stream.read(4)
+    if magic != MAGIC:
+        raise ShmStateError(
+            f"not a repro shared segment (magic {magic!r}, expected {MAGIC!r})"
+        )
+    version = stream.read(1)[0]
+    if version != VERSION:
+        raise ShmStateError(f"unsupported shared-segment version {version}")
+    count = read_varint(stream)
+    entries: List[Tuple[str, int]] = []
+    for _ in range(count):
+        name_len = read_varint(stream)
+        name = stream.read(name_len).decode("ascii")
+        length = read_varint(stream)
+        entries.append((name, length))
+    offset = stream.tell()
+    directory: Dict[str, Tuple[int, int]] = {}
+    for name, length in entries:
+        directory[name] = (offset, length)
+        offset += length
+    if offset > len(buf):
+        raise ShmStateError("shared segment directory overruns the buffer")
+    return directory
+
+
+def _encode_directory_blob(items: Sequence[Tuple[int, bytes]]) -> bytes:
+    """Encode ``(handle, payload)`` pairs as a sorted directory + blob."""
+    ordered = sorted(items)
+    out = io.BytesIO()
+    write_varint(out, len(ordered))
+    offset = 0
+    for handle, payload in ordered:
+        out.write(_DIR_ENTRY.pack(handle, offset, len(payload)))
+        offset += len(payload)
+    for _, payload in ordered:
+        out.write(payload)
+    return out.getvalue()
+
+
+class _DirectoryBlob:
+    """Zero-copy reader for a sorted ``(handle, offset, length)`` directory.
+
+    Lookups binary-search the fixed-width directory directly in the
+    shared buffer; payload bytes are sliced out (one small copy per
+    record) only when requested, so attaching costs O(1) regardless of
+    index size.
+    """
+
+    def __init__(self, buf: memoryview, offset: int,
+                 anchor: Optional[object] = None):
+        stream = io.BytesIO(bytes(buf[offset:offset + 10]))
+        self.count = read_varint(stream)
+        self._dir_base = offset + stream.tell()
+        self._blob_base = self._dir_base + self.count * _DIR_ENTRY.size
+        self._buf = buf
+        # The blob borrows ``buf`` from a SharedSegment whose finalizer
+        # unmaps it on collection; holding the segment here keeps the
+        # mapping alive for as long as any view can still dereference it
+        # (e.g. a handler closure that captured the views but not the
+        # segment object itself).
+        self._anchor = anchor
+
+    def _entry(self, index: int) -> Tuple[int, int, int]:
+        return _DIR_ENTRY.unpack_from(
+            self._buf, self._dir_base + index * _DIR_ENTRY.size
+        )
+
+    def find(self, handle: int) -> int:
+        """Directory index of ``handle``, or ``-1`` when absent."""
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            current = self._entry(mid)[0]
+            if current < handle:
+                lo = mid + 1
+            elif current > handle:
+                hi = mid
+            else:
+                return mid
+        return -1
+
+    def payload(self, index: int) -> bytes:
+        """Copy out the payload bytes of directory entry ``index``."""
+        _, offset, length = self._entry(index)
+        start = self._blob_base + offset
+        return bytes(self._buf[start:start + length])
+
+    def handles(self) -> Iterator[int]:
+        """All handles in directory (ascending) order."""
+        for index in range(self.count):
+            yield self._entry(index)[0]
+
+
+# ----------------------------------------------------------------------
+# shared views over the hot structures
+
+
+class _ShmRecordMapping(Mapping[int, bytes]):
+    """Read-only ``handle -> packed record`` mapping over a shared blob.
+
+    Duck-types the ``Dict[int, bytes]`` that :class:`repro.gbwt.gbwt.GBWT`
+    keeps as ``_packed``, so the whole search-state API (and
+    serialization) runs unmodified against shared memory.
+    """
+
+    def __init__(self, blob: _DirectoryBlob):
+        self._blob = blob
+
+    def __getitem__(self, handle: int) -> bytes:
+        index = self._blob.find(handle)
+        if index < 0:
+            raise KeyError(handle)
+        return self._blob.payload(index)
+
+    def __contains__(self, handle: object) -> bool:
+        return isinstance(handle, int) and self._blob.find(handle) >= 0
+
+    def get(self, handle: int, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Record bytes for ``handle`` or ``default`` (no KeyError cost)."""
+        index = self._blob.find(handle)
+        if index < 0:
+            return default
+        return self._blob.payload(index)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._blob.handles()
+
+    def __len__(self) -> int:
+        return self._blob.count
+
+
+class SharedGBWT(GBWT):
+    """A :class:`~repro.gbwt.gbwt.GBWT` whose record pages live in shm.
+
+    Behavior (search states, extraction, serialization, decode
+    statistics) is inherited unchanged; only record storage differs, so
+    bit-identity against the in-process index is structural rather than
+    asserted.  :class:`repro.gbwt.cache.CachedGBWT` layers on top
+    per process exactly as it does per thread.
+    """
+
+    def __init__(self, blob: _DirectoryBlob, sequence_count: int,
+                 sequence_starts: List[Tuple[int, int]]):
+        super().__init__(
+            _ShmRecordMapping(blob), sequence_count,
+            sequence_starts=sequence_starts,
+        )
+
+
+class SharedPackedSequenceTable:
+    """A :class:`PackedSequenceTable` view backed by a shared blob.
+
+    Packed integers are decoded from the buffer on first fetch and
+    memoized per process — the packing work (the expensive part) was
+    done once by the creator.  Handles that post-date the snapshot are
+    packed on the fly without memoizing, mirroring the write-free
+    contract of the in-process table.
+    """
+
+    def __init__(self, graph: VariationGraph, blob: _DirectoryBlob):
+        self._graph = graph
+        self._blob = blob
+        self._memo: Dict[Handle, int] = {}
+        #: Node count at snapshot time (staleness check for rebuilds).
+        self.built_nodes = graph.node_count()
+
+    def fetch(self, handle: Handle) -> Optional[int]:
+        """Packed oriented sequence of ``handle`` (lazily memoized)."""
+        packed = self._memo.get(handle)
+        if packed is not None:
+            return packed
+        index = self._blob.find(handle)
+        if index < 0:
+            return pack_sequence(self._graph.sequence(handle))
+        packed = int.from_bytes(self._blob.payload(index), "little")
+        self._memo[handle] = packed
+        return packed
+
+    def __len__(self) -> int:
+        return self._blob.count
+
+
+# ----------------------------------------------------------------------
+# segments
+
+
+class SharedSegment:
+    """One named shared-memory segment with owner/attacher lifecycle.
+
+    The creator passes ``owner=True`` and is responsible for
+    :meth:`unlink`; attachers only :meth:`close`.  Both are idempotent.
+    Used as a context manager, exit closes the mapping and — for the
+    owner — unlinks the backing file.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        if owner:
+            # Safety net: an owner dropped without unlink (test failure,
+            # crashed parent path that still ran atexit) must not leak
+            # the segment past interpreter exit.
+            self._finalizer = weakref.finalize(
+                self, _cleanup_segment, shm, True
+            )
+        else:
+            self._finalizer = weakref.finalize(
+                self, _cleanup_segment, shm, False
+            )
+
+    @property
+    def name(self) -> str:
+        """The segment's global name (what attachers pass back in)."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Mapped size in bytes."""
+        return self._shm.size
+
+    @property
+    def buf(self) -> memoryview:
+        """The raw mapped buffer."""
+        if self._closed:
+            raise ShmStateError(f"segment {self.name!r} is closed")
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Unmap this process's view (safe to call more than once)."""
+        if not self._closed:
+            self._closed = True
+            if not self._owner:
+                self._finalizer.detach()
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the backing file (owner only; idempotent)."""
+        if not self._owner:
+            raise ShmStateError(
+                f"segment {self.name!r} is attached, not owned; "
+                "only the creator may unlink"
+            )
+        self.close()
+        if not self._unlinked:
+            self._unlinked = True
+            self._finalizer.detach()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass  # already removed (e.g. by an external cleanup)
+
+    def __enter__(self) -> "SharedSegment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+def _cleanup_segment(shm: shared_memory.SharedMemory, owner: bool) -> None:
+    """``weakref.finalize`` callback: close (and unlink for owners)."""
+    try:
+        shm.close()
+        if owner:
+            shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass  # already gone; nothing left to leak
+
+
+def _create_segment(payload: bytes, tag: str,
+                    name: Optional[str] = None) -> shared_memory.SharedMemory:
+    """Allocate a named segment and copy ``payload`` into it."""
+    segment_name = name if name is not None else _new_segment_name(tag)
+    try:
+        shm = shared_memory.SharedMemory(
+            name=segment_name, create=True, size=max(1, len(payload))
+        )
+    except FileExistsError as error:
+        raise ShmStateError(
+            f"shared segment {segment_name!r} already exists"
+        ) from error
+    shm.buf[: len(payload)] = payload
+    return shm
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment; missing names become ShmStateError."""
+    try:
+        return shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise ShmStateError(
+            f"shared segment {name!r} does not exist "
+            "(never created, or already unlinked by its owner)"
+        ) from error
+
+
+def _encode_packed_table(table: PackedSequenceTable) -> bytes:
+    """Serialize a packed-sequence table as directory + integer blob."""
+    items: List[Tuple[int, bytes]] = []
+    for handle, packed in table.items():
+        if packed is None:
+            continue  # non-ACGT payloads repack on the fly at fetch time
+        size = (packed.bit_length() + 7) // 8
+        items.append((handle, packed.to_bytes(size, "little")))
+    return _encode_directory_blob(items)
+
+
+def _encode_gbwt(gbwt: GBWT) -> bytes:
+    """Serialize GBWT metadata + record pages as directory + blob."""
+    head = io.BytesIO()
+    write_varint(head, gbwt.sequence_count)
+    write_varint(head, len(gbwt.sequence_starts))
+    for node, offset in gbwt.sequence_starts:
+        write_varint(head, node)
+        write_varint(head, offset)
+    records = _encode_directory_blob(
+        [(handle, gbwt.record_bytes(handle)) for handle in gbwt.handles()]
+    )
+    return head.getvalue() + records
+
+
+class SharedMappingState(SharedSegment):
+    """The whole read-only mapping working set in one shared segment.
+
+    Created once by the proxy parent from a loaded :class:`GBZ`;
+    attached by each worker process via :meth:`attach`.  :meth:`gbz`
+    materializes the worker-side view: graph topology rebuilt from the
+    ``RVG1`` section, packed sequences and GBWT record pages served
+    zero-copy straight from the buffer.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        super().__init__(shm, owner)
+        self._directory = _parse_sections(self._shm.buf)
+        self._gbz: Optional[GBZ] = None
+
+    @classmethod
+    def create(cls, gbz: GBZ, name: Optional[str] = None) -> "SharedMappingState":
+        """Flatten ``gbz`` into a fresh owned segment."""
+        payload = _pack_sections([
+            ("graph", graph_to_bytes(gbz.graph)),
+            ("pseq", _encode_packed_table(gbz.graph.packed_sequences())),
+            ("gbwt", _encode_gbwt(gbz.gbwt)),
+        ])
+        return cls(_create_segment(payload, "graph", name=name), owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedMappingState":
+        """Attach an existing mapping-state segment by name."""
+        return cls(_attach_segment(name), owner=False)
+
+    def _section(self, name: str) -> Tuple[int, int]:
+        try:
+            return self._directory[name]
+        except KeyError:
+            raise ShmStateError(
+                f"segment {self.name!r} has no {name!r} section"
+            ) from None
+
+    def gbz(self) -> GBZ:
+        """The shared-view :class:`GBZ` (built once per attachment).
+
+        The returned graph carries a :class:`SharedPackedSequenceTable`
+        adopted in place of an eagerly packed one, and the GBWT is a
+        :class:`SharedGBWT` slicing record pages out of this segment.
+        """
+        if self._gbz is None:
+            buf = self.buf
+            graph_off, graph_len = self._section("graph")
+            graph = graph_from_bytes(bytes(buf[graph_off:graph_off + graph_len]))
+            pseq_off, _ = self._section("pseq")
+            graph.adopt_packed_table(
+                SharedPackedSequenceTable(
+                    graph, _DirectoryBlob(buf, pseq_off, anchor=self)
+                )
+            )
+            gbwt_off, gbwt_len = self._section("gbwt")
+            stream = io.BytesIO(
+                bytes(buf[gbwt_off:min(gbwt_off + gbwt_len, gbwt_off + 4096)])
+            )
+            sequence_count = read_varint(stream)
+            start_count = read_varint(stream)
+            starts = [
+                (read_varint(stream), read_varint(stream))
+                for _ in range(start_count)
+            ]
+            records = _DirectoryBlob(
+                buf, gbwt_off + stream.tell(), anchor=self
+            )
+            self._gbz = GBZ(
+                graph=graph,
+                gbwt=SharedGBWT(records, sequence_count, starts),
+            )
+        return self._gbz
+
+    def close(self) -> None:
+        """Unmap, dropping the materialized view first."""
+        self._gbz = None
+        super().close()
+
+
+class SharedReadBatch(SharedSegment):
+    """One run's read records (with seeds) in a shared segment.
+
+    The creator frames the records with the ``RSB2`` seed-file codec;
+    attachers decode them once per segment.  This is the per-run
+    companion to the long-lived :class:`SharedMappingState`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        super().__init__(shm, owner)
+        self._directory = _parse_sections(self._shm.buf)
+        self._records: Optional[List[ReadRecord]] = None
+
+    @classmethod
+    def create(cls, records: Sequence[ReadRecord],
+               name: Optional[str] = None) -> "SharedReadBatch":
+        """Frame ``records`` into a fresh owned segment."""
+        body = io.BytesIO()
+        save_seed_file(list(records), body, framed=True)
+        payload = _pack_sections([("reads", body.getvalue())])
+        return cls(_create_segment(payload, "reads", name=name), owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedReadBatch":
+        """Attach an existing read-batch segment by name."""
+        return cls(_attach_segment(name), owner=False)
+
+    def records(self) -> List[ReadRecord]:
+        """Decode (once) and return the framed read records."""
+        if self._records is None:
+            try:
+                offset, length = self._directory["reads"]
+            except KeyError:
+                raise ShmStateError(
+                    f"segment {self.name!r} has no 'reads' section"
+                ) from None
+            stream = io.BytesIO(bytes(self.buf[offset:offset + length]))
+            self._records = load_seed_file(stream)
+        return self._records
+
+    def close(self) -> None:
+        """Unmap, dropping the decoded records first."""
+        self._records = None
+        super().close()

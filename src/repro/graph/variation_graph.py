@@ -91,6 +91,14 @@ class PackedSequenceTable:
     def __len__(self) -> int:
         return len(self._packed)
 
+    def items(self) -> Iterable[Tuple[Handle, Optional[int]]]:
+        """Read-only view of ``(handle, packed)`` pairs (both orientations).
+
+        Exists so exporters (:mod:`repro.graph.shm`) can snapshot the
+        table without touching its internals.
+        """
+        return self._packed.items()
+
 
 @dataclass
 class Path:
@@ -137,6 +145,18 @@ class VariationGraph:
             table = PackedSequenceTable(self)
             self._packed_table = table
         return table
+
+    def adopt_packed_table(self, table) -> None:
+        """Install an externally built packed-sequence table.
+
+        Used by the shared-memory layer (:mod:`repro.graph.shm`) to
+        substitute a buffer-backed table for the eagerly packed one.
+        The adopted table must duck-type :class:`PackedSequenceTable`
+        (``fetch``/``__len__``/``built_nodes``); the usual staleness
+        rule still applies — if nodes are added afterwards,
+        :meth:`packed_sequences` rebuilds an in-process table.
+        """
+        self._packed_table = table
 
     # -- node operations ------------------------------------------------
 

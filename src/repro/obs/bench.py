@@ -67,14 +67,26 @@ class BenchConfig:
     threads: int = 2
     scale: float = 0.1
     repeats: int = 3
+    #: 0 benchmarks the in-process thread schedulers; N > 0 routes the
+    #: run through the shared-memory process pool with N workers
+    #: (:mod:`repro.sched.process_pool`).
+    workers: int = 0
 
     @property
     def key(self) -> str:
-        """Stable identity used to match configs against a baseline."""
-        return (
+        """Stable identity used to match configs against a baseline.
+
+        Thread-scheduler keys keep their historical shape; the
+        ``/w{N}`` suffix appears only when the config runs the process
+        pool, so existing baselines match unchanged.
+        """
+        key = (
             f"{self.input_set}/{self.scheduler}"
             f"/b{self.batch_size}/c{self.cache_capacity}/t{self.threads}"
         )
+        if self.workers > 0:
+            key += f"/w{self.workers}"
+        return key
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (embedded in the report)."""
@@ -86,15 +98,19 @@ class BenchConfig:
             "threads": self.threads,
             "scale": self.scale,
             "repeats": self.repeats,
+            "workers": self.workers,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "BenchConfig":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**{k: payload[k] for k in (
-            "input_set", "scheduler", "batch_size", "cache_capacity",
-            "threads", "scale", "repeats",
-        )})
+        """Inverse of :meth:`to_dict` (pre-workers payloads load as 0)."""
+        return cls(
+            workers=int(payload.get("workers", 0)),
+            **{k: payload[k] for k in (
+                "input_set", "scheduler", "batch_size", "cache_capacity",
+                "threads", "scale", "repeats",
+            )},
+        )
 
 
 def default_suite() -> List[BenchConfig]:
@@ -123,6 +139,29 @@ def smoke_suite() -> List[BenchConfig]:
         BenchConfig("A-human", "dynamic", 16, 256, scale=0.05),
         BenchConfig("A-human", "work_stealing", 16, 256, scale=0.05),
     ]
+
+
+def parallel_suite(worker_counts: Sequence[int] = (1, 2, 4)) -> List[BenchConfig]:
+    """The process-pool scaling suite: the default config at 1/2/4 workers.
+
+    One threaded run (``workers=0``) anchors the curve; each worker
+    count then runs the same workload through the shared-memory process
+    pool, so the report shows throughput versus worker count directly.
+    Pooled points run twice and :func:`run_config` keeps the best — the
+    pool persists across repeats, so the second run is warm and the
+    recorded wall time excludes one-time worker spawn and segment
+    attach.  Wall times on a host with fewer cores than workers are
+    still expected to be flat or worse (see ``docs/PARALLELISM.md``,
+    "Scaling honesty").
+    """
+    configs = [BenchConfig("A-human", "dynamic", 16, 256, scale=0.1, repeats=1)]
+    configs.extend(
+        BenchConfig(
+            "A-human", "dynamic", 16, 256, scale=0.1, repeats=2, workers=workers
+        )
+        for workers in worker_counts
+    )
+    return configs
 
 
 def _region_stats(tracer: Tracer) -> Dict[str, Dict[str, float]]:
@@ -226,7 +265,7 @@ def run_config(
     """
     from repro.core import MiniGiraffe, ProxyOptions
     from repro.sim.counters import measure_counters
-    from repro.sim.platform import PLATFORMS
+    from repro.sim.platform import resolve_platform
 
     workloads = workloads or _WorkloadCache()
     context = workloads.context(config.input_set, config.scale)
@@ -237,22 +276,28 @@ def run_config(
             batch_size=config.batch_size,
             cache_capacity=config.cache_capacity,
             scheduler=config.scheduler,
+            workers=config.workers,
         ),
         seed_span=context.bundle.spec.minimizer_k,
         distance_index=context.mapper.distance_index,
     )
     wall_times: List[float] = []
     best = None
-    for _ in range(max(1, config.repeats)):
-        tracer, registry = Tracer(), MetricsRegistry()
-        result = proxy.map_reads(context.records, tracer=tracer, metrics=registry)
-        wall_times.append(result.makespan)
-        if best is None or result.makespan < best[0].makespan:
-            best = (result, tracer, registry)
+    try:
+        for _ in range(max(1, config.repeats)):
+            tracer, registry = Tracer(), MetricsRegistry()
+            result = proxy.map_reads(
+                context.records, tracer=tracer, metrics=registry
+            )
+            wall_times.append(result.makespan)
+            if best is None or result.makespan < best[0].makespan:
+                best = (result, tracer, registry)
+    finally:
+        proxy.close()
     result, tracer, registry = best
     counters = measure_counters(
         workloads.profile(config.input_set, config.scale),
-        PLATFORMS[platform],
+        resolve_platform(platform),
         mode="proxy",
         cache_capacity=config.cache_capacity,
     )
@@ -451,6 +496,7 @@ __all__ = [
     "compare_to_baseline",
     "default_suite",
     "load_report",
+    "parallel_suite",
     "report_filename",
     "run_config",
     "run_suite",

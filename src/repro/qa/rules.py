@@ -534,10 +534,11 @@ class SpanParentContextRule(Rule):
 
 
 class UnsupervisedSubprocessRule(Rule):
-    """Child processes in serve/resilience must be join-with-timeout'd.
+    """Child processes in serve/resilience/sched must be join-with-timeout'd.
 
-    In ``repro/serve/`` and ``repro/resilience/`` — the crash-only
-    serving stack — any code that creates a child process
+    In ``repro/serve/``, ``repro/resilience/``, and ``repro/sched/`` —
+    the crash-only serving stack plus the process-pool scheduler — any
+    code that creates a child process
     (``multiprocessing`` / ``ctx.Process(...)``, ``subprocess.Popen`` /
     ``run`` / ``check_output``) must somewhere in the same file join it
     *with a timeout*: an unbounded ``join()`` (or none at all) is how a
@@ -548,15 +549,17 @@ class UnsupervisedSubprocessRule(Rule):
     """
 
     id = "unsupervised-subprocess"
-    description = ("child process created in serve/resilience without a "
-                   "join-with-timeout in the file")
+    description = ("child process created in serve/resilience/sched "
+                   "without a join-with-timeout in the file")
 
     _PROCESS_CTORS = {"Process", "Popen"}
     _SUBPROCESS_FUNCS = {"run", "check_output", "check_call", "call"}
 
     def applies(self, norm_path: str) -> bool:
-        """The crash-only serving stack (serve/, resilience/)."""
-        return _in_any(norm_path, ("repro/serve/", "repro/resilience/"))
+        """The crash-only serving stack (serve/, resilience/, sched/)."""
+        return _in_any(
+            norm_path, ("repro/serve/", "repro/resilience/", "repro/sched/")
+        )
 
     def _spawn_sites(self, tree: ast.AST) -> List[Tuple[int, str]]:
         sites: List[Tuple[int, str]] = []

@@ -108,15 +108,21 @@ def echo_handler_factory(**extra: Any) -> Callable[[Dict[str, Any]], Dict[str, A
 
     The returned handler merges ``extra`` into a copy of the payload
     and, when the payload carries ``"fail"``, raises — exercising the
-    :class:`WorkerTaskError` path without a real mapper.
+    :class:`WorkerTaskError` path without a real mapper.  A numeric
+    ``"sleep_s"`` stalls the handler that long first, so tests can hold
+    a worker busy deterministically.  The result carries the child's
+    ``"pid"`` so placement tests can tell workers apart.
     """
     def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
         """Echo ``payload`` (plus factory extras) back to the parent."""
+        if payload.get("sleep_s"):
+            time.sleep(float(payload["sleep_s"]))
         if payload.get("fail"):
             raise RuntimeError(str(payload["fail"]))
         result = dict(payload)
         result.update(extra)
         result["echo"] = True
+        result["pid"] = os.getpid()
         return result
     return handler
 
@@ -333,6 +339,7 @@ class SupervisedPool:
                  heartbeat_interval: float = 0.05,
                  heartbeat_timeout: float = 1.0,
                  startup_timeout: float = 60.0,
+                 task_heartbeat_deadline: Optional[float] = None,
                  max_task_deaths: int = 3,
                  backoff: Optional[BackoffPolicy] = None,
                  breaker: Optional[BreakerConfig] = None,
@@ -340,10 +347,14 @@ class SupervisedPool:
                  registry: Optional[MetricsRegistry] = None):
         if workers < 1:
             raise ValueError("workers must be positive")
+        if (task_heartbeat_deadline is not None
+                and task_heartbeat_deadline <= 0):
+            raise ValueError("task_heartbeat_deadline must be positive")
         self.spec = spec
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.startup_timeout = startup_timeout
+        self.task_heartbeat_deadline = task_heartbeat_deadline
         self.max_task_deaths = max_task_deaths
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.breaker_config = breaker if breaker is not None else BreakerConfig()
@@ -436,8 +447,16 @@ class SupervisedPool:
     # ------------------------------------------------------------------
     # task execution
 
-    def run(self, payload: Dict[str, Any], fault_key: int = 0) -> Dict[str, Any]:
+    def run(self, payload: Dict[str, Any], fault_key: int = 0,
+            prefer: Optional[int] = None) -> Dict[str, Any]:
         """Map one payload on some worker; blocks until a verdict.
+
+        ``prefer`` names a worker slot the task should run on when that
+        slot is viable (soft shard affinity: per-process caches stay
+        warm).  While the preferred worker is alive or on its way back
+        (starting/restarting) the claim waits for it; once it degrades
+        past recovery (breaker open, stopped) the task falls back to
+        any idle worker so affinity never blocks progress.
 
         Retries transparently across worker deaths; raises
         :class:`WorkerDeathError` once the task has cost
@@ -445,9 +464,13 @@ class SupervisedPool:
         verdict), :class:`WorkerTaskError` when the handler raised, and
         :class:`PoolClosedError` when the pool is shutting down.
         """
+        if prefer is not None and not 0 <= prefer < len(self._workers):
+            raise ValueError(
+                f"prefer={prefer} out of range for {len(self._workers)} workers"
+            )
         task = _Task(payload, fault_key)
         while True:
-            worker = self._claim(task)
+            worker = self._claim(task, prefer)
             try:
                 worker.conn.send(("task", task.task_id, task.deaths + 1,
                                   task.fault_key, task.payload))
@@ -474,13 +497,25 @@ class SupervisedPool:
         with self._cond:
             return self._closed
 
-    def _claim(self, task: _Task) -> _Worker:
-        """Block until an idle ready worker accepts ``task``."""
+    def _claim(self, task: _Task, prefer: Optional[int] = None) -> _Worker:
+        """Block until an idle ready worker accepts ``task``.
+
+        With ``prefer`` set, the preferred slot is claimed while it is
+        viable (alive, starting, or scheduled for restart); only a slot
+        degraded past quick recovery releases the task to any idle
+        worker.
+        """
+        viable = (WORKER_ALIVE, WORKER_STARTING, WORKER_RESTARTING)
         with self._cond:
             while True:
                 if self._closed:
                     raise PoolClosedError("pool is shut down")
-                for worker in self._workers:
+                candidates = self._workers
+                if prefer is not None:
+                    preferred = self._workers[prefer]
+                    if preferred.state in viable:
+                        candidates = (preferred,)
+                for worker in candidates:
                     if (worker.state == WORKER_ALIVE and worker.ready
                             and worker.task is None):
                         worker.task = task
@@ -547,6 +582,11 @@ class SupervisedPool:
             return
         limit = (self.heartbeat_timeout if worker.ready
                  else self.startup_timeout)
+        if worker.task is not None and self.task_heartbeat_deadline is not None:
+            # A task is in flight: tolerate longer heartbeat gaps so a
+            # handler pinned in a long non-yielding stretch (first-batch
+            # shared-memory attach, index build) isn't misread as a hang.
+            limit = max(limit, self.task_heartbeat_deadline)
         if now - worker.last_beat > limit:
             self._handle_death(worker, now)
 

@@ -1,0 +1,622 @@
+"""The process-pool scheduler: GIL-free mapping over shared memory.
+
+The three thread schedulers (:mod:`repro.sched.static` /
+``dynamic`` / ``work_stealing``) interleave Python bytecode under the
+GIL, so their wall-clock never scales with cores.  This module maps
+batches on **worker processes** instead: the parent flattens the
+read-only working set once into a :class:`repro.graph.shm.SharedMappingState`
+segment, every worker attaches it zero-copy, and batches travel as tiny
+``(segment, first, last, shard)`` descriptors over the supervised-pool
+pipes — no pangenome pickling, no per-batch state shipping.
+
+Architecture
+------------
+
+* **Workers** are :class:`repro.resilience.supervisor.SupervisedPool`
+  children (spawn-safe, heartbeat-monitored, crash-only), built from the
+  :func:`build_shm_batch_handler` factory below.  Each worker attaches
+  the graph segment lazily on its first batch, builds its own
+  :class:`~repro.index.distance.DistanceIndex` and per-shard
+  :class:`~repro.gbwt.cache.CachedGBWT` instances, and then runs the
+  exact same ``cluster_seeds`` → ``process_until_threshold`` loop as the
+  threaded path.
+* **Shard affinity** comes from a :class:`ShardPlan` derived from a
+  :class:`repro.sim.platform.PlatformSpec` machine model: reads are
+  split into contiguous shards, shards and workers are assigned sockets
+  round-robin, and each parent-side dispatcher prefers its worker's own
+  shard, then same-socket shards, stealing cross-socket only as a last
+  resort (counted in ``sched_cross_socket_steals_total``).
+* **Bit-identity**: kernels are deterministic per read and
+  :class:`~repro.core.extend.KernelCounters` are independent of cache
+  state, so partitioning by process instead of thread changes neither
+  extensions nor counters; results merge in batch-index order, which
+  reproduces the threaded path's keep-last-by-index dict semantics for
+  duplicate read names.  Extensions cross the pipe through the lossless
+  ``REXT`` codec (:func:`repro.core.io.save_extensions`).
+
+Failure semantics mirror the thread schedulers: ``fail_fast`` re-raises
+the first batch error after the dispatchers join; ``quarantine`` /
+``retry`` policies record exhausted batches in a
+:class:`~repro.resilience.policy.RunReport`.  Worker deaths are retried
+*inside* the pool first (up to ``max_task_deaths``); only a poisonous
+batch surfaces as a failure here.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.extend import GaplessExtension, KernelCounters
+from repro.core.io import ReadRecord, load_extensions, save_extensions
+from repro.core.options import ProxyOptions
+from repro.core.scoring import ScoringParams
+from repro.gbwt.gbz import GBZ
+from repro.graph.shm import SharedMappingState, SharedReadBatch
+from repro.obs import context as obs_context
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.resilience import faults as _faults
+from repro.resilience.policy import BatchFailure, FailurePolicy, RunReport
+from repro.resilience.supervisor import (
+    HandlerSpec,
+    PoolClosedError,
+    SupervisedPool,
+    WorkerDeathError,
+    WorkerTaskError,
+)
+from repro.sched.base import BatchTrace
+from repro.sim.platform import PlatformSpec, resolve_platform
+from repro.util import timing
+from repro.util.rng import SplitMix64, derive_seed
+
+#: Scheduler name used for spans and metric labels.
+POLICY_NAME = "process_pool"
+
+#: Default per-task heartbeat deadline: a worker's first batch pays for
+#: the shared-memory attach plus a distance-index build, during which a
+#: pure-Python child can starve its heartbeat thread; see
+#: ``SupervisedPool.task_heartbeat_deadline``.
+DEFAULT_TASK_DEADLINE = 60.0
+
+
+# ----------------------------------------------------------------------
+# shard affinity
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous read shards mapped onto a machine model's sockets.
+
+    ``shards[s]`` is the half-open read-index range of shard ``s``;
+    ``shard_socket`` / ``worker_socket`` place shards and workers on
+    sockets round-robin (matching how the DES platform models spread
+    threads); ``worker_shard[w]`` is worker ``w``'s home shard.
+    """
+
+    item_count: int
+    shards: Tuple[Tuple[int, int], ...]
+    shard_socket: Tuple[int, ...]
+    worker_shard: Tuple[int, ...]
+    worker_socket: Tuple[int, ...]
+
+    @classmethod
+    def build(cls, item_count: int, workers: int, platform: PlatformSpec,
+              shard_count: int = 0) -> "ShardPlan":
+        """Split ``item_count`` reads into shards with socket affinity.
+
+        ``shard_count=0`` defaults to one shard per worker.  Shards are
+        contiguous and near-equal (the first ``item_count % shards``
+        shards get one extra read), so shard order equals read order —
+        the property the bit-identity merge relies on.
+        """
+        if item_count < 0:
+            raise ValueError("item_count must be non-negative")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        count = shard_count if shard_count else workers
+        base, extra = divmod(item_count, count)
+        shards: List[Tuple[int, int]] = []
+        start = 0
+        for shard in range(count):
+            size = base + (1 if shard < extra else 0)
+            shards.append((start, start + size))
+            start += size
+        return cls(
+            item_count=item_count,
+            shards=tuple(shards),
+            shard_socket=tuple(
+                shard * platform.sockets // count for shard in range(count)
+            ),
+            worker_shard=tuple(
+                worker * count // workers for worker in range(workers)
+            ),
+            worker_socket=tuple(
+                worker * platform.sockets // workers
+                for worker in range(workers)
+            ),
+        )
+
+    def affinity_order(self, worker: int) -> List[int]:
+        """Shard indices in steal order for ``worker``.
+
+        Home shard first, then other shards on the worker's socket,
+        then remote-socket shards — each tier in shard order.
+        """
+        home = self.worker_shard[worker]
+        socket = self.worker_socket[worker]
+
+        def tier(shard: int) -> int:
+            if shard == home:
+                return 0
+            return 1 if self.shard_socket[shard] == socket else 2
+
+        return sorted(range(len(self.shards)), key=lambda s: (tier(s), s))
+
+
+# ----------------------------------------------------------------------
+# worker-side handler
+
+
+def build_shm_batch_handler(
+    graph_segment: str,
+    seed_span: int,
+    cache_capacity: int,
+    cache_lifetime: str,
+    scoring: Dict[str, Any],
+    extend: Dict[str, Any],
+    process: Dict[str, Any],
+):
+    """Handler factory for one mapping worker (runs in the spawn child).
+
+    All arguments are plain data (:class:`HandlerSpec` contract).  The
+    returned handler attaches ``graph_segment`` on its first batch,
+    keeps one :class:`~repro.gbwt.cache.CachedGBWT` per shard (so shard
+    affinity translates into cache warmth), and maps each
+    ``{"reads", "first", "last", "shard"}`` payload to the batch's
+    extensions, kernel counters, and cumulative cache statistics.
+    """
+    from repro.core.cluster import cluster_seeds
+    from repro.core.options import ExtendOptions, ProcessOptions
+    from repro.core.process import process_until_threshold
+    from repro.gbwt.cache import CachedGBWT
+    from repro.index.distance import DistanceIndex
+
+    scoring_params = ScoringParams(**scoring)
+    extend_options = ExtendOptions(**extend)
+    process_options = ProcessOptions(**process)
+    state: Dict[str, Any] = {}
+
+    def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Map one batch of reads out of shared memory."""
+        attach_seconds = 0.0
+        if "gbz" not in state:
+            attach_start = timing.now()
+            mapping = SharedMappingState.attach(graph_segment)
+            gbz = mapping.gbz()
+            state["mapping"] = mapping
+            state["gbz"] = gbz
+            state["distance"] = DistanceIndex(gbz.graph)
+            state["caches"] = {}
+            attach_seconds = timing.now() - attach_start
+        gbz = state["gbz"]
+        if payload["reads"] != state.get("reads_name"):
+            batch_segment = SharedReadBatch.attach(payload["reads"])
+            try:
+                state["records"] = batch_segment.records()
+            finally:
+                batch_segment.close()
+            state["reads_name"] = payload["reads"]
+        records = state["records"]
+        first, last, shard = payload["first"], payload["last"], payload["shard"]
+        caches: Dict[int, Any] = state["caches"]
+        cache = caches.get(shard)
+        if cache is None:
+            cache = caches[shard] = CachedGBWT(gbz.gbwt, cache_capacity)
+        if cache_lifetime == "batch":
+            cache.clear()
+        if payload.get("storm"):
+            cache.storm()
+        counters = KernelCounters()
+        per_read: Dict[str, List[GaplessExtension]] = {}
+        kernel_start = timing.now()
+        for index in range(first, last):
+            record = records[index]
+            clusters = cluster_seeds(
+                state["distance"],
+                record.seeds,
+                len(record.sequence),
+                seed_span,
+                options=process_options,
+                counters=counters,
+            )
+            per_read[record.name] = process_until_threshold(
+                gbz.graph,
+                cache,
+                record.sequence,
+                clusters,
+                process_options=process_options,
+                extend_options=extend_options,
+                scoring=scoring_params,
+                counters=counters,
+            )
+        encoded = io.BytesIO()
+        save_extensions(per_read, encoded)
+        cache_totals: Dict[str, float] = {}
+        for shard_cache in caches.values():
+            for key, value in shard_cache.stats().items():
+                if key == "hit_rate":
+                    continue
+                cache_totals[key] = cache_totals.get(key, 0) + value
+        return {
+            "first": first,
+            "last": last,
+            "extensions": encoded.getvalue(),
+            "counters": counters.as_dict(),
+            "cache": cache_totals,
+            "pid": os.getpid(),
+            "kernel_seconds": timing.now() - kernel_start,
+            "attach_seconds": attach_seconds,
+        }
+
+    return handler
+
+
+# ----------------------------------------------------------------------
+# parent-side runner
+
+
+@dataclass
+class ProcessMapOutcome:
+    """Everything one process-pool run produces (pre-``MappingResult``)."""
+
+    extensions: Dict[str, List[GaplessExtension]]
+    counters: KernelCounters
+    cache_stats: Dict[str, float]
+    traces: List[BatchTrace]
+    makespan: float
+    report: RunReport
+    missing_indices: List[int]
+    worker_restarts: int
+
+
+class ProcessPoolRunner:
+    """Owns the shared graph segment and the supervised worker pool.
+
+    Created once per :class:`~repro.core.proxy.MiniGiraffe` (lazily, on
+    the first ``workers > 0`` run) and reused across runs so worker
+    processes and their caches stay warm.  :meth:`close` tears down the
+    pool and unlinks the segment; a dropped runner is cleaned up by the
+    segment's finalizer, so even abandoned runs leak nothing past
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        gbz: GBZ,
+        options: ProxyOptions,
+        seed_span: int = 11,
+        scoring: Optional[ScoringParams] = None,
+        fault_plan=None,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: float = 1.0,
+        task_heartbeat_deadline: float = DEFAULT_TASK_DEADLINE,
+        max_task_deaths: int = 3,
+    ):
+        if options.workers < 1:
+            raise ValueError("ProcessPoolRunner requires options.workers >= 1")
+        self.gbz = gbz
+        self.options = options
+        self.seed_span = seed_span
+        self.scoring = scoring or ScoringParams()
+        self.platform = resolve_platform(options.platform)
+        self.fault_plan = fault_plan
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.task_heartbeat_deadline = task_heartbeat_deadline
+        self.max_task_deaths = max_task_deaths
+        self._state: Optional[SharedMappingState] = None
+        self._pool: Optional[SupervisedPool] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ProcessPoolRunner":
+        """Create the shared segment and spawn the worker pool (idempotent)."""
+        if self._pool is not None:
+            return self
+        self._state = SharedMappingState.create(self.gbz)
+        spec = HandlerSpec(
+            factory="repro.sched.process_pool:build_shm_batch_handler",
+            kwargs={
+                "graph_segment": self._state.name,
+                "seed_span": self.seed_span,
+                "cache_capacity": self.options.cache_capacity,
+                "cache_lifetime": self.options.cache_lifetime,
+                "scoring": asdict(self.scoring),
+                "extend": asdict(self.options.extend),
+                "process": asdict(self.options.process),
+            },
+        )
+        self._pool = SupervisedPool(
+            spec,
+            workers=self.options.workers,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            task_heartbeat_deadline=self.task_heartbeat_deadline,
+            max_task_deaths=self.max_task_deaths,
+            fault_plan=self.fault_plan,
+            registry=obs_metrics.get_metrics(),
+        ).start()
+        return self
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the graph segment (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(drain=False)
+            self._pool = None
+        if self._state is not None:
+            self._state.unlink()
+            self._state = None
+
+    def __enter__(self) -> "ProcessPoolRunner":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def segment_name(self) -> Optional[str]:
+        """Name of the shared graph segment (None before :meth:`start`)."""
+        return self._state.name if self._state is not None else None
+
+    def pool_stats(self) -> Dict[str, object]:
+        """Supervision snapshot of the worker pool (empty before start)."""
+        return self._pool.stats() if self._pool is not None else {}
+
+    # -- mapping --------------------------------------------------------
+
+    def map(
+        self,
+        records: Sequence[ReadRecord],
+        resilience: Optional[FailurePolicy] = None,
+    ) -> ProcessMapOutcome:
+        """Map ``records`` across the worker processes.
+
+        One dispatcher thread per worker slot pulls batches from the
+        shard queues in affinity order and drives them through
+        ``pool.run(..., prefer=slot)``, so batch *transport* overlaps
+        batch *execution* and affinity survives worker restarts.
+        Failure handling follows ``resilience`` exactly like the thread
+        schedulers (fail-fast default, quarantine/retry otherwise).
+        """
+        self.start()
+        policy = resilience if resilience is not None else FailurePolicy.fail_fast()
+        report = RunReport()
+        restarts_before = self._pool.stats()["restarts_total"]
+        if not records:
+            return ProcessMapOutcome(
+                extensions={}, counters=KernelCounters(), cache_stats={},
+                traces=[], makespan=0.0, report=report, missing_indices=[],
+                worker_restarts=0,
+            )
+        workers = self.options.workers
+        plan = ShardPlan.build(
+            len(records), workers, self.platform, self.options.shards
+        )
+        batch_size = self.options.batch_size
+        queues: List[deque] = []
+        for shard, (first, last) in enumerate(plan.shards):
+            queue: deque = deque()
+            for start in range(first, last, batch_size):
+                queue.append((start, min(start + batch_size, last), shard))
+            queues.append(queue)
+        queue_lock = threading.Lock()
+        steals = [0]
+        cross_socket_steals = [0]
+
+        def take(slot: int) -> Optional[Tuple[int, int, int]]:
+            """Pop the next batch for ``slot`` in affinity order."""
+            with queue_lock:
+                for shard in plan.affinity_order(slot):
+                    if queues[shard]:
+                        if shard != plan.worker_shard[slot]:
+                            steals[0] += 1
+                            if (plan.shard_socket[shard]
+                                    != plan.worker_socket[slot]):
+                                cross_socket_steals[0] += 1
+                        return queues[shard].popleft()
+            return None
+
+        injector = _faults.active_injector()
+        tracer = obs_trace.get_tracer()
+        run_context = obs_context.current_context()
+        outcomes: List[Optional[Dict[str, Any]]] = []
+        quarantined: List[Tuple[int, int]] = []
+        results_lock = threading.Lock()
+        errors: List[Optional[BaseException]] = [None] * workers
+        per_slot_traces: List[List[BatchTrace]] = [[] for _ in range(workers)]
+
+        reads_segment = SharedReadBatch.create(list(records))
+
+        def run_batch(slot: int, batch: Tuple[int, int, int],
+                      rng: SplitMix64) -> None:
+            first, last, shard = batch
+            payload = {
+                "reads": reads_segment.name,
+                "first": first,
+                "last": last,
+                "shard": shard,
+            }
+            if injector is not None and injector.cache_storm(first):
+                payload["storm"] = True
+            attempts = 0
+            while True:
+                attempts += 1
+                report.record_attempt()
+                start = timing.now()
+                error: str
+                try:
+                    with tracer.span(
+                        "proxy.batch", context=run_context, worker=slot,
+                        first=first, count=last - first,
+                    ) as span:
+                        verdict = self._pool.run(
+                            payload, fault_key=first, prefer=slot
+                        )
+                        span.set(**verdict["counters"])
+                        span.set(
+                            kernel_s=verdict["kernel_seconds"],
+                            attach_s=verdict["attach_seconds"],
+                        )
+                    with results_lock:
+                        outcomes.append(verdict)
+                    per_slot_traces[slot].append(
+                        BatchTrace(slot, first, last - first, start,
+                                   timing.now())
+                    )
+                    return
+                except WorkerDeathError as exc:
+                    caught: BaseException = exc
+                    error = f"worker death: {exc}"
+                except WorkerTaskError as exc:
+                    caught = exc
+                    error = str(exc)
+                if policy.mode == "retry" and attempts < policy.max_attempts:
+                    report.record_retry()
+                    time.sleep(policy.backoff_delay(attempts, rng))
+                    continue
+                if policy.mode in ("quarantine", "retry"):
+                    report.record_quarantine(BatchFailure(
+                        first=first, last=last, thread=slot,
+                        attempts=attempts, error=error,
+                    ))
+                    with results_lock:
+                        quarantined.append((first, last))
+                    return
+                raise caught
+
+        def dispatcher(slot: int) -> None:
+            rng = SplitMix64(derive_seed(policy.seed, POLICY_NAME, slot))
+            try:
+                with obs_context.use_context(run_context):
+                    while True:
+                        batch = take(slot)
+                        if batch is None:
+                            return
+                        run_batch(slot, batch, rng)
+            except BaseException as exc:  # qa: ignore[broad-except] — collected, re-raised after join
+                errors[slot] = exc
+
+        start_time = timing.now()
+        try:
+            with tracer.span(
+                f"sched.{POLICY_NAME}",
+                context=run_context,
+                items=len(records), workers=workers,
+                shards=len(plan.shards), batch_size=batch_size,
+            ) as span:
+                threads = [
+                    threading.Thread(
+                        target=dispatcher, args=(slot,),
+                        name=f"{POLICY_NAME}-dispatch-{slot}",
+                    )
+                    for slot in range(workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                first_error = next(
+                    (error for error in errors if error is not None), None
+                )
+                if first_error is not None:
+                    span.set_error(first_error)
+                    raise first_error
+        finally:
+            reads_segment.unlink()
+        makespan = timing.now() - start_time
+
+        missing = sorted(
+            index
+            for first, last in quarantined
+            for index in range(first, last)
+        )
+        merged_extensions: Dict[str, List[GaplessExtension]] = {}
+        counters = KernelCounters()
+        cache_by_pid: Dict[int, Dict[str, float]] = {}
+        for verdict in sorted(outcomes, key=lambda v: v["first"]):
+            merged_extensions.update(
+                load_extensions(io.BytesIO(verdict["extensions"]))
+            )
+            counters.merge(KernelCounters(**verdict["counters"]))
+            cache_by_pid[verdict["pid"]] = verdict["cache"]
+        cache_stats: Dict[str, float] = {}
+        for snapshot in cache_by_pid.values():
+            for key, value in snapshot.items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+        accesses = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+        cache_stats["hit_rate"] = (
+            cache_stats.get("hits", 0) / accesses if accesses else 0.0
+        )
+        traces = [t for slot in per_slot_traces for t in slot]
+        traces.sort(key=lambda t: (t.start, t.thread))
+        restarts_after = self._pool.stats()["restarts_total"]
+        self._publish_metrics(
+            traces, workers, batch_size, report,
+            steals[0], cross_socket_steals[0],
+        )
+        return ProcessMapOutcome(
+            extensions=merged_extensions,
+            counters=counters,
+            cache_stats=cache_stats,
+            traces=traces,
+            makespan=makespan,
+            report=report,
+            missing_indices=missing,
+            worker_restarts=restarts_after - restarts_before,
+        )
+
+    def _publish_metrics(
+        self,
+        traces: List[BatchTrace],
+        workers: int,
+        batch_size: int,
+        report: RunReport,
+        steals: int,
+        cross_socket: int,
+    ) -> None:
+        """Export run-level scheduler counters (mirrors ``Scheduler``)."""
+        registry = obs_metrics.get_metrics()
+        registry.counter(
+            "sched_batches_total", "batches executed by the scheduler"
+        ).inc(len(traces), policy=POLICY_NAME)
+        registry.counter(
+            "sched_items_total", "work items executed by the scheduler"
+        ).inc(sum(t.item_count for t in traces), policy=POLICY_NAME)
+        registry.gauge(
+            "sched_threads", "thread count of the most recent run"
+        ).set(workers, policy=POLICY_NAME)
+        registry.gauge(
+            "sched_batch_size", "batch size of the most recent run"
+        ).set(batch_size, policy=POLICY_NAME)
+        registry.counter(
+            "sched_batch_retries_total",
+            "batch re-executions under a retry failure policy",
+        ).inc(report.retries, policy=POLICY_NAME)
+        registry.counter(
+            "sched_batches_quarantined_total",
+            "batches that exhausted their failure policy",
+        ).inc(len(report.failures), policy=POLICY_NAME)
+        registry.counter(
+            "sched_shard_steals_total",
+            "batches taken from a non-home shard",
+        ).inc(steals, policy=POLICY_NAME)
+        registry.counter(
+            "sched_cross_socket_steals_total",
+            "batches stolen across the model's socket boundary",
+        ).inc(cross_socket, policy=POLICY_NAME)

@@ -95,6 +95,59 @@ def build_mapping_handler(input_set: str, scale: float, threads: int = 1,
     return handler
 
 
+def build_shm_mapping_handler(segment: str, seed_span: int, threads: int = 1,
+                              batch_size: int = 16,
+                              scheduler: str = "dynamic",
+                              request_timeout: float = 5.0,
+                              watchdog_factor: float = 8.0,
+                              ) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Factory for a mapping handler that attaches shared graph state.
+
+    Instead of re-materializing the pangenome per worker child (what
+    :func:`build_mapping_handler` pays on every restart), the child
+    attaches the parent's :class:`repro.graph.shm.SharedMappingState`
+    segment zero-copy and maps against it (``repro serve --workers N
+    --shm``).  Requests and verdicts keep the exact shapes of the
+    materializing handler, so the two are drop-in interchangeable; a
+    missing or unlinked ``segment`` fails the child fast with a clear
+    :class:`~repro.graph.shm.ShmStateError` rather than serving stale
+    state.
+    """
+    from repro.core import MiniGiraffe, ProxyOptions
+    from repro.graph.shm import SharedMappingState
+    from repro.resilience.policy import FailurePolicy, WatchdogConfig
+
+    state = SharedMappingState.attach(segment)
+    proxy = MiniGiraffe(
+        state.gbz(),
+        ProxyOptions(threads=threads, batch_size=batch_size,
+                     scheduler=scheduler),
+        seed_span=seed_span,
+    )
+    policy = FailurePolicy.quarantine(
+        watchdog=WatchdogConfig(factor=watchdog_factor,
+                                min_deadline=request_timeout)
+    )
+
+    def handler(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Map one packed batch against shared state; return the verdict."""
+        records = unpack_records(str(payload["records_b64"]))
+        result = proxy.map_reads(records, resilience=policy)
+        failed = (
+            list(result.completeness.failed_reads)
+            if result.completeness is not None else []
+        )
+        return {
+            "mapped_reads": result.mapped_reads,
+            "extensions": len(result.extensions),
+            "makespan": result.makespan,
+            "failed_reads": failed,
+            "extensions_digest": extensions_digest(result.extensions),
+        }
+
+    return handler
+
+
 def build_stub_handler(latency: float = 0.0,
                        fail_reads: Optional[Sequence[str]] = None,
                        ) -> Callable[[Dict[str, Any]], Dict[str, Any]]:

@@ -9,8 +9,9 @@ are set from public spec sheets for the named parts; they control the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,59 @@ class PlatformSpec:
         points.add(self.physical_cores)
         points.add(self.max_threads)
         return sorted(points)
+
+
+def host_platform_spec(cpu_count: Optional[int] = None) -> PlatformSpec:
+    """A :class:`PlatformSpec` shaped like the machine we are running on.
+
+    Used by the process-pool scheduler's shard-affinity planner (and by
+    scaling-shape validation) when ``platform="host"``: the topology is
+    taken from ``os.cpu_count()`` as a single-socket, no-SMT model with
+    neutral microarchitectural coefficients — the point is the core
+    count and socket layout, not cycle accuracy.  DRAM is detected via
+    ``os.sysconf`` so the model's memory gate reflects the real
+    machine.  ``cpu_count`` overrides detection (tests).
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    try:
+        dram_gb = max(
+            1,
+            int(os.sysconf("SC_PAGE_SIZE") * os.sysconf("SC_PHYS_PAGES")
+                / (1 << 30)),
+        )
+    except (ValueError, OSError, AttributeError):
+        dram_gb = 64  # detection unavailable; a permissive default
+    return PlatformSpec(
+        name="host",
+        vendor="host",
+        processor="detected",
+        sockets=1,
+        cores_per_socket=max(1, cores),
+        threads_per_core=1,
+        frequency_ghz=2.5,
+        l3_per_socket_mb=32.0,
+        l2_per_core_kb=512,
+        l1d_per_core_kb=32,
+        l1i_per_core_kb=32,
+        dram_gb=dram_gb,
+        dram_bw_gbps=50.0,
+        base_ipc=1.0,
+        smt_throughput=1.0,
+        socket_penalty=1.0,
+    )
+
+
+def resolve_platform(name: str) -> PlatformSpec:
+    """Look up a machine model by name; ``"host"`` means the local box."""
+    if name == "host":
+        return host_platform_spec()
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; choose from "
+            f"{sorted(PLATFORMS) + ['host']}"
+        ) from None
 
 
 PLATFORMS: Dict[str, PlatformSpec] = {

@@ -29,6 +29,8 @@ class SweepEntry:
     wall_time: float
     kernel_ops: Dict[str, int] = field(default_factory=dict)
     cache_hit_rate: float = 0.0
+    #: Process-pool worker count; 0 means the threaded schedulers.
+    workers: int = 0
 
     @classmethod
     def from_entry(cls, entry: Dict[str, object]) -> "SweepEntry":
@@ -47,14 +49,17 @@ class SweepEntry:
             wall_time=entry["wall_time"],
             kernel_ops=dict(entry.get("kernel_ops") or {}),
             cache_hit_rate=hits / total if total else 0.0,
+            workers=int(config.get("workers", 0) or 0),
         )
 
     def label(self) -> str:
-        """Compact configuration label (scheduler/batch/capacity)."""
-        return (
+        """Compact configuration label (scheduler/batch/capacity),
+        with a ``/wN`` suffix for process-pool points."""
+        base = (
             f"{self.scheduler}/b{self.batch_size}/c{self.cache_capacity}"
             f"/t{self.threads}"
         )
+        return f"{base}/w{self.workers}" if self.workers > 0 else base
 
 
 @dataclass

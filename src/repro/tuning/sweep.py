@@ -18,6 +18,7 @@ workloads; :func:`smoke_grid` is the 2×2×2 miniature CI keeps alive
 from __future__ import annotations
 
 import json
+import os
 import platform as platform_module
 import sys
 import time
@@ -52,7 +53,15 @@ DEFAULT_CACHE_CAPACITY = 256
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """The cross-product a measured sweep evaluates."""
+    """The cross-product a measured sweep evaluates.
+
+    ``workers`` adds a process-parallelism axis: ``0`` measures the
+    in-process thread schedulers (the historical sweep), ``N > 0``
+    routes that grid point through the shared-memory process pool with
+    N workers.  Worker points cross only the batch/capacity axes (the
+    thread-scheduler choice does not apply inside the pool, so the
+    sweep pins ``"dynamic"`` for them) to keep the grid from exploding.
+    """
 
     schedulers: Sequence[str] = MEASURED_SCHEDULERS
     batch_sizes: Sequence[int] = MEASURED_BATCH_SIZES
@@ -60,31 +69,69 @@ class SweepGrid:
     threads: int = 2
     scale: float = 0.1
     repeats: int = 3
+    workers: Sequence[int] = (0,)
 
     def __post_init__(self):
         if not (self.schedulers and self.batch_sizes and self.capacities):
             raise ValueError("sweep grid must have at least one point per axis")
+        if not self.workers:
+            raise ValueError("sweep grid must have at least one workers point")
+        if any(w < 0 for w in self.workers):
+            raise ValueError("workers counts must be >= 0")
 
     def size(self) -> int:
         """Number of grid points (excluding the default run)."""
-        return len(self.schedulers) * len(self.batch_sizes) * len(self.capacities)
+        per_worker_axis = len(self.batch_sizes) * len(self.capacities)
+        thread_points = sum(1 for w in self.workers if w == 0)
+        pool_points = sum(1 for w in self.workers if w > 0)
+        return (
+            thread_points * len(self.schedulers) * per_worker_axis
+            + pool_points * per_worker_axis
+        )
+
+    def check_host(self, allow_oversubscribe: bool = False) -> None:
+        """Refuse worker counts the host cannot actually run in parallel.
+
+        A sweep point with more workers than ``os.cpu_count()`` cores
+        does not hang, but it measures scheduler-thrash rather than
+        scaling, so the sweep refuses it up front with a clear error
+        instead of burning minutes on a meaningless curve.
+        ``allow_oversubscribe=True`` (``repro tune
+        --allow-oversubscribe``) is the explicit escape hatch for
+        correctness testing on small hosts.
+        """
+        cpus = os.cpu_count() or 1
+        excessive = sorted(w for w in self.workers if w > cpus)
+        if excessive and not allow_oversubscribe:
+            raise ValueError(
+                f"workers axis {excessive} exceeds this host's "
+                f"{cpus} CPU core(s); the measured curve would show "
+                f"oversubscription thrash, not scaling. Pass "
+                f"--allow-oversubscribe to run anyway (correctness "
+                f"testing only)."
+            )
 
     def configs(self, input_set: str) -> List[BenchConfig]:
         """The grid as bench configurations, in deterministic order."""
-        return [
-            BenchConfig(
-                input_set=input_set,
-                scheduler=scheduler,
-                batch_size=batch_size,
-                cache_capacity=capacity,
-                threads=self.threads,
-                scale=self.scale,
-                repeats=self.repeats,
+        configs: List[BenchConfig] = []
+        for workers in self.workers:
+            schedulers = self.schedulers if workers == 0 else (DEFAULT_SCHEDULER,)
+            configs.extend(
+                BenchConfig(
+                    input_set=input_set,
+                    scheduler=scheduler,
+                    batch_size=batch_size,
+                    cache_capacity=capacity,
+                    threads=self.threads,
+                    scale=self.scale,
+                    repeats=self.repeats,
+                    workers=workers,
+                )
+                for scheduler in schedulers
+                for batch_size in self.batch_sizes
+                for capacity in self.capacities
             )
-            for scheduler in self.schedulers
-            for batch_size in self.batch_sizes
-            for capacity in self.capacities
-        ]
+        return configs
 
     def default_config(self, input_set: str) -> BenchConfig:
         """The proxy-default configuration at the same thread count."""
@@ -144,6 +191,7 @@ def run_sweep(
     grid: Optional[SweepGrid] = None,
     platform: str = "local-intel",
     progress=None,
+    allow_oversubscribe: bool = False,
 ) -> Dict[str, object]:
     """Measure every grid point plus the default; returns the report.
 
@@ -154,11 +202,14 @@ def run_sweep(
     replayed into the bench trajectory.  ``"clustering"`` records the
     workload's distance-query total next to what the all-pairs
     reference would have paid.  ``progress`` is an optional callable
-    invoked with each entry as it completes.
+    invoked with each entry as it completes.  Grids with a worker axis
+    beyond the host's core count are refused up front
+    (:meth:`SweepGrid.check_host`) unless ``allow_oversubscribe``.
     """
     from repro.obs.bench import _WorkloadCache
 
     grid = grid or SweepGrid()
+    grid.check_host(allow_oversubscribe=allow_oversubscribe)
     workloads = _WorkloadCache()
     entries: List[Dict[str, object]] = []
     for config in grid.configs(input_set):
@@ -186,6 +237,7 @@ def run_sweep(
             "threads": grid.threads,
             "scale": grid.scale,
             "repeats": grid.repeats,
+            "workers": list(grid.workers),
         },
         "entries": entries,
         "default": default_entry,

@@ -1,0 +1,128 @@
+"""CLI surfaces of the process-parallel path: map, tune refusal, scale gate.
+
+The heavyweight bit-identity and chaos coverage lives in
+``tests/property/test_prop_process_pool.py``; here the concern is the
+operator-facing plumbing — flags parse, refusals exit with clear
+errors, and the scaling-shape gate reads real bench reports.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graph.shm import active_segments
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    out_dir = str(tmp_path_factory.mktemp("parallel-cli"))
+    code = main(
+        ["generate", "--input-set", "A-human", "--scale", "0.05",
+         "--out-dir", out_dir]
+    )
+    assert code == 0
+    return out_dir
+
+
+class TestMapWorkers:
+    def test_map_workers_matches_threaded_output(self, generated, tmp_path):
+        gbz = os.path.join(generated, "A-human.gbz")
+        seeds = os.path.join(generated, "A-human.seeds.bin")
+        threaded = str(tmp_path / "threaded.ext")
+        pooled = str(tmp_path / "pooled.ext")
+        assert main(
+            ["map", "--gbz", gbz, "--seeds", seeds, "--seed-span", "13",
+             "--threads", "2", "--batch-size", "8", "--output", threaded]
+        ) == 0
+        before = set(active_segments())
+        assert main(
+            ["map", "--gbz", gbz, "--seeds", seeds, "--seed-span", "13",
+             "--workers", "2", "--batch-size", "8", "--output", pooled]
+        ) == 0
+        with open(threaded, "rb") as a, open(pooled, "rb") as b:
+            assert a.read() == b.read()
+        assert set(active_segments()) <= before
+
+
+class TestTuneRefusal:
+    def test_oversubscribed_workers_refused_with_clear_error(self, capsys):
+        cpus = os.cpu_count() or 1
+        code = main(
+            ["tune", "--input-set", "A-human", "--measured", "--smoke",
+             "--workers", f"0,{cpus + 1}"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "exceeds this host's" in captured.err
+        assert "--allow-oversubscribe" in captured.err
+
+
+class TestScaleMeasuredBench:
+    def _write_report(self, path, walls):
+        configs = []
+        for workers, wall in walls.items():
+            config = {
+                "input_set": "A-human", "scheduler": "dynamic",
+                "batch_size": 16, "cache_capacity": 256, "threads": 2,
+                "scale": 0.05, "repeats": 1, "workers": workers,
+            }
+            configs.append({
+                "key": f"A-human/dynamic/b16/c256/t2/w{workers}",
+                "config": config,
+                "wall_time": wall,
+            })
+        report = {
+            "schema": "repro.bench/v1", "schema_version": 1,
+            "suite": "parallel", "created_unix": 0.0,
+            "host": {"python": "x", "platform": "y"},
+            "configs": configs,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle)
+
+    def test_host_consistent_curve_passes(self, tmp_path, capsys):
+        # On a 1-core host the model predicts a flat curve, so flat
+        # measurements agree; on a multicore host the model predicts
+        # near-linear speedup, so feed it one.
+        cpus = os.cpu_count() or 1
+        walls = {w: 10.0 / min(w, cpus) for w in (1, 2, 4)}
+        path = str(tmp_path / "bench.json")
+        self._write_report(path, walls)
+        out = str(tmp_path / "validation.json")
+        code = main(
+            ["scale", "--input-set", "A-human", "--profile-scale", "0.05",
+             "--measured-bench", path, "--json", out]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+        assert "verdict: OK" in captured.out
+        with open(out, encoding="utf-8") as handle:
+            validation = json.load(handle)
+        assert validation["ok"] is True
+        assert {p["workers"] for p in validation["measured"]} == {1, 2, 4}
+
+    def test_impossible_curve_fails_the_gate(self, tmp_path, capsys):
+        # A curve that scales far beyond what the hardware can run
+        # (8x at 4 workers) disagrees with the model on any host.
+        self_path = str(tmp_path / "bench.json")
+        self._write_report(self_path, {1: 10.0, 2: 2.5, 4: 1.25})
+        code = main(
+            ["scale", "--input-set", "A-human", "--profile-scale", "0.05",
+             "--measured-bench", self_path]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "SHAPE MISMATCH" in captured.out
+
+    def test_report_without_pool_entries_is_an_error(self, tmp_path, capsys):
+        path = str(tmp_path / "bench.json")
+        self._write_report(path, {})
+        code = main(
+            ["scale", "--input-set", "A-human", "--profile-scale", "0.05",
+             "--measured-bench", path]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no process-pool entries" in captured.err

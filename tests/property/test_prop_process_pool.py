@@ -1,0 +1,169 @@
+"""Property tests: process-parallel mapping is bit-identical and exactly-once.
+
+The process-pool scheduler's contract has three legs:
+
+* **Bit-identity** — mapping through N worker processes over shared
+  memory produces exactly the extensions the frozen
+  :mod:`repro.core._reference` kernel pipeline produces (and the
+  threaded proxy's :class:`~repro.core.extend.KernelCounters`), for any
+  worker/shard/batch partitioning.
+* **Exactly-once under chaos** — non-sticky worker kills are absorbed
+  by pool-internal restarts with no read lost or duplicated; sticky
+  (poisonous) kills quarantine their batches into the
+  :class:`~repro.resilience.policy.RunReport` instead of hanging.
+* **No leaks** — every run unlinks its shared segments, even when
+  workers were killed mid-batch.
+
+Worker processes spawn for real here, so the suite keeps one small
+world and a handful of pool launches rather than hypothesis-sized
+example counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MiniGiraffe, ProxyOptions
+from repro.core._reference import (
+    ReferenceCachedGBWT,
+    reference_cluster_seeds,
+    reference_extend_seed,
+)
+from repro.core.extend import dedupe_extensions
+from repro.giraffe import GiraffeMapper, GiraffeOptions
+from repro.graph.shm import active_segments
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import FailurePolicy
+from repro.sched.process_pool import ProcessPoolRunner
+from repro.workloads.reads import ReadSimulator
+from repro.workloads.synth import build_pangenome
+
+
+@pytest.fixture(scope="module")
+def pool_world():
+    """Workload + frozen-reference mapping + threaded-proxy oracle."""
+    pangenome = build_pangenome(
+        seed=512, reference_length=2000, haplotype_count=4
+    )
+    sequences = {
+        name: pangenome.graph.path_sequence(name)
+        for name in pangenome.graph.paths
+    }
+    reads = ReadSimulator(
+        sequences, read_length=70, error_rate=0.003, seed=5
+    ).simulate_single(25)
+    mapper = GiraffeMapper(
+        pangenome.gbz, GiraffeOptions(minimizer_k=11, minimizer_w=7)
+    )
+    records = mapper.capture_read_records(reads)
+
+    # The frozen pre-optimization kernels, run per read.
+    options = ProxyOptions()
+    expected = {}
+    cache = ReferenceCachedGBWT(pangenome.gbwt, options.cache_capacity)
+    for record in records:
+        clusters = reference_cluster_seeds(
+            mapper.distance_index, record.seeds, len(record.sequence), 11,
+            options=options.process,
+        )
+        extensions = []
+        if clusters:
+            cutoff = clusters[0].score * options.process.score_threshold_factor
+            for index, cluster in enumerate(clusters):
+                if index >= options.process.max_clusters:
+                    break
+                if cluster.score < cutoff:
+                    break
+                for seed in cluster.seeds[
+                    : options.extend.max_seeds_per_cluster
+                ]:
+                    extension = reference_extend_seed(
+                        pangenome.graph, cache, record.sequence,
+                        seed.read_offset, seed.position,
+                        options=options.extend,
+                    )
+                    if extension is not None and extension.length > 0:
+                        extensions.append(extension)
+        expected[record.name] = dedupe_extensions(extensions)
+
+    threaded = MiniGiraffe(
+        pangenome.gbz, ProxyOptions(threads=2, batch_size=8),
+        seed_span=11, distance_index=mapper.distance_index,
+    ).map_reads(records)
+    assert threaded.extensions == expected  # the oracle is self-consistent
+    return pangenome, records, expected, threaded
+
+
+def test_pool_matches_reference_and_threaded(pool_world):
+    pangenome, records, expected, threaded = pool_world
+    before = set(active_segments())
+    with MiniGiraffe(
+        pangenome.gbz, ProxyOptions(batch_size=8, workers=2), seed_span=11
+    ) as proxy:
+        result = proxy.map_reads(records)
+        assert result.extensions == expected
+        assert result.counters == threaded.counters
+        assert result.complete
+        # A warm second run through the same pool stays identical.
+        again = proxy.map_reads(records)
+        assert again.extensions == expected
+        assert again.counters == threaded.counters
+    assert set(active_segments()) <= before
+
+
+@pytest.mark.parametrize(
+    "workers,shards,batch_size",
+    [(1, 0, 8), (2, 3, 4), (2, 0, 64)],
+)
+def test_pool_invariant_to_partitioning(pool_world, workers, shards, batch_size):
+    """Worker count, shard count, and batch size never change the output."""
+    pangenome, records, expected, threaded = pool_world
+    before = set(active_segments())
+    runner = ProcessPoolRunner(
+        pangenome.gbz,
+        ProxyOptions(batch_size=batch_size, workers=workers, shards=shards),
+        seed_span=11,
+    )
+    try:
+        outcome = runner.map(records)
+        assert outcome.extensions == expected
+        assert outcome.counters == threaded.counters
+        assert not outcome.missing_indices
+    finally:
+        runner.close()
+    assert set(active_segments()) <= before
+
+
+def test_chaos_kills_are_exactly_once_or_quarantined(pool_world):
+    pangenome, records, expected, threaded = pool_world
+    before = set(active_segments())
+    options = ProxyOptions(batch_size=8, workers=2)
+
+    # Non-sticky kill on every batch's first attempt: the pool restarts
+    # the worker and re-runs the batch — complete and bit-identical.
+    runner = ProcessPoolRunner(
+        pangenome.gbz, options, seed_span=11,
+        fault_plan=FaultPlan(seed=3, kill_rate=1.0, sticky_rate=0.0),
+    )
+    try:
+        outcome = runner.map(records, resilience=FailurePolicy.retry())
+        assert not outcome.missing_indices
+        assert outcome.extensions == expected
+        assert outcome.counters == threaded.counters
+        assert outcome.worker_restarts > 0
+    finally:
+        runner.close()
+
+    # Sticky kill: poisonous batches quarantine with an audit trail —
+    # nothing hangs, nothing silently disappears.
+    runner = ProcessPoolRunner(
+        pangenome.gbz, options, seed_span=11,
+        fault_plan=FaultPlan(seed=3, kill_rate=1.0, sticky_rate=1.0),
+    )
+    try:
+        outcome = runner.map(records, resilience=FailurePolicy.quarantine())
+        assert len(outcome.missing_indices) == len(records)
+        assert outcome.report.failures
+    finally:
+        runner.close()
+    assert set(active_segments()) <= before

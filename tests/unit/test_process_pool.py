@@ -1,0 +1,170 @@
+"""Process-pool scheduler plumbing: shard plans, options, bench keys.
+
+These are the pure-Python pieces — everything that involves real worker
+processes and mapping bit-identity lives in
+``tests/property/test_prop_process_pool.py`` (spawn children are slow,
+so the expensive coverage is concentrated there).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.scaling import validate_scaling
+from repro.core.options import ProxyOptions
+from repro.obs.bench import BenchConfig
+from repro.sched.process_pool import ShardPlan
+from repro.sim.platform import host_platform_spec, resolve_platform
+from repro.tuning.sweep import SweepGrid
+
+
+class TestShardPlan:
+    def test_shards_are_contiguous_and_cover_all_items(self):
+        plan = ShardPlan.build(103, workers=4, platform=host_platform_spec(4))
+        assert len(plan.shards) == 4
+        cursor = 0
+        for first, last in plan.shards:
+            assert first == cursor
+            assert last >= first
+            cursor = last
+        assert cursor == 103
+        # Near-equal: sizes differ by at most one read.
+        sizes = [last - first for first, last in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_explicit_shard_count(self):
+        plan = ShardPlan.build(
+            20, workers=2, platform=host_platform_spec(2), shard_count=5
+        )
+        assert len(plan.shards) == 5
+        assert len(plan.worker_shard) == 2
+
+    def test_two_socket_affinity_order(self):
+        platform = resolve_platform("local-intel")  # 2 sockets
+        plan = ShardPlan.build(100, workers=4, platform=platform)
+        # Workers 0-1 land on socket 0, workers 2-3 on socket 1.
+        assert plan.worker_socket == (0, 0, 1, 1)
+        assert plan.shard_socket == (0, 0, 1, 1)
+        for worker in range(4):
+            order = plan.affinity_order(worker)
+            assert sorted(order) == [0, 1, 2, 3]
+            # Home shard first...
+            assert order[0] == plan.worker_shard[worker]
+            # ...then same-socket shards before remote ones.
+            socket = plan.worker_socket[worker]
+            tiers = [
+                0 if s == order[0]
+                else (1 if plan.shard_socket[s] == socket else 2)
+                for s in order
+            ]
+            assert tiers == sorted(tiers)
+
+    def test_single_core_host_is_one_socket(self):
+        plan = ShardPlan.build(10, workers=2, platform=host_platform_spec(1))
+        assert set(plan.worker_socket) == {0}
+        assert set(plan.shard_socket) == {0}
+
+    def test_empty_and_invalid_inputs(self):
+        plan = ShardPlan.build(0, workers=2, platform=host_platform_spec(2))
+        assert all(first == last for first, last in plan.shards)
+        with pytest.raises(ValueError):
+            ShardPlan.build(-1, workers=1, platform=host_platform_spec(1))
+        with pytest.raises(ValueError):
+            ShardPlan.build(10, workers=0, platform=host_platform_spec(1))
+
+
+class TestProxyOptionsWorkers:
+    def test_workers_and_shards_validate(self):
+        assert ProxyOptions(workers=2, shards=4).workers == 2
+        with pytest.raises(ValueError):
+            ProxyOptions(workers=-1)
+        with pytest.raises(ValueError):
+            ProxyOptions(shards=-1)
+        with pytest.raises(ValueError, match="shards requires workers"):
+            ProxyOptions(shards=2)
+
+    def test_platform_name_is_carried(self):
+        assert ProxyOptions(platform="host").platform == "host"
+
+
+class TestBenchConfigWorkers:
+    def test_key_suffix_only_for_pool_configs(self):
+        threaded = BenchConfig("A-human", "dynamic", 16, 256)
+        pooled = BenchConfig("A-human", "dynamic", 16, 256, workers=2)
+        assert threaded.key == "A-human/dynamic/b16/c256/t2"
+        assert pooled.key == "A-human/dynamic/b16/c256/t2/w2"
+
+    def test_from_dict_tolerates_pre_workers_payloads(self):
+        payload = BenchConfig("A-human", "dynamic", 16, 256).to_dict()
+        del payload["workers"]
+        assert BenchConfig.from_dict(payload).workers == 0
+
+    def test_round_trip(self):
+        config = BenchConfig("A-human", "dynamic", 16, 256, workers=4)
+        assert BenchConfig.from_dict(config.to_dict()) == config
+
+
+class TestScalingValidationGate:
+    FLAT = {1: 1.0, 2: 1.0, 4: 1.0}
+
+    def test_oversubscribed_slowdown_gates_one_sided(self):
+        # A 3x slowdown at 4 workers on a 1-core box is time-slicing
+        # and IPC cost, not a shape bug — the capped model predicts
+        # flat, and points beyond the hardware only fail upward.
+        measured = {1: 1.0, 2: 1.3, 4: 3.0}
+        validation = validate_scaling(
+            measured, self.FLAT, platform=host_platform_spec(1)
+        )
+        assert validation.oversubscribed == [2, 4]
+        assert validation.deviations[4] < -0.5
+        assert validation.ok
+        assert "oversubscribed" in validation.render()
+
+    def test_impossible_speedup_fails_even_oversubscribed(self):
+        measured = {1: 1.0, 4: 0.125}  # 8x on 1 core: not physics
+        validation = validate_scaling(
+            measured, self.FLAT, platform=host_platform_spec(1)
+        )
+        assert not validation.ok
+        assert "SHAPE MISMATCH" in validation.render()
+
+    def test_flat_curve_within_budget_still_fails(self):
+        # On a 4-core model predicting near-linear speedup, a flat
+        # measurement is a parallelism bug and must fail two-sided.
+        predicted = {1: 1.0, 2: 0.5, 4: 0.25}
+        validation = validate_scaling(
+            self.FLAT, predicted, platform=host_platform_spec(4)
+        )
+        assert validation.oversubscribed == []
+        assert not validation.ok
+
+
+class TestSweepGridWorkers:
+    def test_worker_points_cross_batch_and_capacity_only(self):
+        grid = SweepGrid(
+            schedulers=("static", "dynamic"),
+            batch_sizes=(16, 64),
+            capacities=(64,),
+            workers=(0, 2),
+        )
+        configs = grid.configs("A-human")
+        assert grid.size() == len(configs) == 2 * 2 * 1 + 1 * 2 * 1
+        pooled = [c for c in configs if c.workers > 0]
+        assert {c.scheduler for c in pooled} == {"dynamic"}
+        assert {c.workers for c in configs} == {0, 2}
+
+    def test_check_host_refuses_oversubscription(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        grid = SweepGrid(workers=(0, 4))
+        with pytest.raises(ValueError, match="exceeds this host's 2 CPU"):
+            grid.check_host()
+        grid.check_host(allow_oversubscribe=True)
+        SweepGrid(workers=(0, 2)).check_host()
+
+    def test_workers_axis_validation(self):
+        with pytest.raises(ValueError):
+            SweepGrid(workers=())
+        with pytest.raises(ValueError):
+            SweepGrid(workers=(-1,))

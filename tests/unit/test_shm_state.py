@@ -1,0 +1,194 @@
+"""Shared-memory mapping state: round-trips, lifecycle, leak checks.
+
+The bit-identity of *mappings* produced over shared state is covered by
+``tests/property/test_prop_process_pool.py``; this module pins the
+storage layer itself — equivalence of the attached views with the
+in-process structures, the owner/attacher lifecycle protocol, and the
+no-leak guarantees (clean exit AND a SIGKILLed attached worker).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.io import ReadRecord
+from repro.graph.handle import forward
+from repro.graph.shm import (
+    SEGMENT_PREFIX,
+    SharedMappingState,
+    SharedReadBatch,
+    ShmStateError,
+    active_segments,
+)
+from repro.index.minimizer import Seed
+
+
+@pytest.fixture()
+def shared_state(small_pangenome):
+    state = SharedMappingState.create(small_pangenome.gbz)
+    yield state
+    state.unlink()
+
+
+def _records():
+    return [
+        ReadRecord("r0", "ACGTACGTAC", [Seed(0, (2, 1)), Seed(3, (4, 0))]),
+        ReadRecord("r1", "TTTTGGGGCC", [Seed(1, (6, 3))]),
+        ReadRecord("r2", "ACACACACAC", []),
+    ]
+
+
+class TestMappingStateRoundTrip:
+    def test_views_anchor_the_attachment(self, small_pangenome, shared_state):
+        # A handler closure may capture only the gbz views, never the
+        # SharedMappingState object itself; collecting the state must
+        # not unmap the buffer out from under the views it handed out.
+        import gc
+
+        source = small_pangenome.gbz
+        attached = SharedMappingState.attach(shared_state.name)
+        view = attached.gbz()
+        del attached
+        gc.collect()
+        handle = forward(sorted(source.graph.node_ids())[0])
+        assert view.gbwt.has_node(handle) == source.gbwt.has_node(handle)
+        assert view.graph.sequence(handle) == source.graph.sequence(handle)
+
+    def test_attached_view_matches_source(self, small_pangenome, shared_state):
+        source = small_pangenome.gbz
+        attached = SharedMappingState.attach(shared_state.name)
+        try:
+            view = attached.gbz()
+            assert view.graph.node_count() == source.graph.node_count()
+            handles = [forward(nid) for nid in sorted(source.graph.node_ids())[:32]]
+            for handle in handles:
+                assert view.graph.sequence(handle) == source.graph.sequence(handle)
+            # Packed sequences decode to the same integers the eager
+            # in-process table carries.
+            eager = source.graph.packed_sequences()
+            shared = view.graph.packed_sequences()
+            for handle in handles:
+                assert shared.fetch(handle) == eager.fetch(handle)
+            # The GBWT serializes byte-identically: record pages and
+            # metadata survived the directory+blob encoding unchanged.
+            assert view.gbwt.to_bytes() == source.gbwt.to_bytes()
+        finally:
+            attached.close()
+
+    def test_double_attach_is_supported(self, shared_state):
+        first = SharedMappingState.attach(shared_state.name)
+        second = SharedMappingState.attach(shared_state.name)
+        try:
+            assert (
+                first.gbz().graph.node_count()
+                == second.gbz().graph.node_count()
+            )
+        finally:
+            first.close()
+            second.close()
+
+    def test_read_batch_round_trip(self):
+        records = _records()
+        batch = SharedReadBatch.create(records)
+        try:
+            attached = SharedReadBatch.attach(batch.name)
+            try:
+                loaded = attached.records()
+                assert [r.name for r in loaded] == [r.name for r in records]
+                assert [r.sequence for r in loaded] == [
+                    r.sequence for r in records
+                ]
+                assert [r.seeds for r in loaded] == [r.seeds for r in records]
+            finally:
+                attached.close()
+        finally:
+            batch.unlink()
+
+
+class TestLifecycleErrors:
+    def test_attach_missing_segment(self):
+        with pytest.raises(ShmStateError, match="does not exist"):
+            SharedMappingState.attach(SEGMENT_PREFIX + "no_such_segment")
+
+    def test_attach_after_unlink(self, small_pangenome):
+        state = SharedMappingState.create(small_pangenome.gbz)
+        name = state.name
+        state.unlink()
+        with pytest.raises(ShmStateError, match="does not exist"):
+            SharedMappingState.attach(name)
+
+    def test_attacher_may_not_unlink(self, shared_state):
+        attached = SharedMappingState.attach(shared_state.name)
+        try:
+            with pytest.raises(ShmStateError, match="only the creator"):
+                attached.unlink()
+        finally:
+            attached.close()
+
+    def test_unlink_and_close_are_idempotent(self):
+        batch = SharedReadBatch.create(_records())
+        batch.unlink()
+        batch.unlink()
+        batch.close()
+
+    def test_buf_after_close_raises(self):
+        batch = SharedReadBatch.create(_records())
+        name = batch.name
+        batch.unlink()
+        with pytest.raises(ShmStateError, match="closed"):
+            batch.buf
+        assert name not in active_segments()
+
+
+class TestLeakFreedom:
+    def test_clean_exit_leaves_no_segment(self, small_pangenome):
+        before = set(active_segments())
+        state = SharedMappingState.create(small_pangenome.gbz)
+        assert state.name in active_segments()
+        state.unlink()
+        assert set(active_segments()) <= before
+
+    def test_context_manager_unlinks_for_owner(self, small_pangenome):
+        with SharedMappingState.create(small_pangenome.gbz) as state:
+            name = state.name
+            assert name in active_segments()
+        assert name not in active_segments()
+
+    def test_killed_attached_worker_leaks_nothing(self):
+        # The crash-safety contract: a worker child that attached the
+        # segment and then died by SIGKILL (no cleanup code ran) must
+        # not pin the backing file — the owner's unlink removes it.
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("leak auditing requires /dev/shm")
+        batch = SharedReadBatch.create(_records())
+        name = batch.name
+        ctx = multiprocessing.get_context("spawn")
+        ready = ctx.Event()
+        child = ctx.Process(
+            target=_attach_and_wait, args=(name, ready), daemon=True
+        )
+        child.start()
+        try:
+            assert ready.wait(timeout=30.0), "worker never attached"
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=10.0)
+            assert not child.is_alive()
+        finally:
+            batch.unlink()
+        deadline = time.monotonic() + 5.0
+        while name in active_segments() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert name not in active_segments()
+
+
+def _attach_and_wait(name: str, ready) -> None:
+    """Spawn-child target: attach the segment, report, then hang."""
+    attached = SharedReadBatch.attach(name)
+    attached.records()
+    ready.set()
+    time.sleep(60.0)

@@ -6,6 +6,8 @@ backoff/breaker logic has property coverage in
 ``tests/property/test_prop_supervisor.py``.
 """
 
+import os
+
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
@@ -104,11 +106,62 @@ def test_handler_spec_resolves_both_dotted_forms():
         "repro.resilience.supervisor.echo_handler_factory",
     ):
         handler = HandlerSpec(factory, {"tag": "spec"}).resolve()
-        assert handler({"a": 1}) == {"a": 1, "tag": "spec", "echo": True}
+        result = handler({"a": 1})
+        assert result.pop("pid") == os.getpid()
+        assert result == {"a": 1, "tag": "spec", "echo": True}
     with pytest.raises(ModuleNotFoundError):
         HandlerSpec("repro.no_such_module:thing").resolve()
     with pytest.raises(AttributeError):
         HandlerSpec("repro.resilience.supervisor:no_such_factory").resolve()
+
+
+def test_task_heartbeat_deadline_tolerates_slow_first_task():
+    # A long-running task (e.g. the process pool's first-batch shm
+    # attach + graph rebuild) must not be misread as a hang: the raised
+    # in-flight deadline covers it, and the tight idle deadline still
+    # applies between tasks.
+    pool = SupervisedPool(
+        ECHO, workers=1,
+        heartbeat_interval=0.02,
+        heartbeat_timeout=0.15,
+        task_heartbeat_deadline=5.0,
+        backoff=BackoffPolicy(base=0.01, cap=0.05, seed=0),
+        breaker=BreakerConfig(failure_threshold=4, open_duration=0.2),
+    ).start()
+    try:
+        # Sleeps well past the idle timeout; survives via the task deadline.
+        result = pool.run({"x": 5, "sleep_s": 0.4})
+        assert result["x"] == 5
+        assert pool.stats()["restarts_total"] == 0
+    finally:
+        pool.shutdown()
+
+
+def test_task_heartbeat_deadline_validation():
+    with pytest.raises(ValueError):
+        SupervisedPool(ECHO, workers=1, task_heartbeat_deadline=0.0)
+    with pytest.raises(ValueError):
+        SupervisedPool(ECHO, workers=1, task_heartbeat_deadline=-1.0)
+
+
+def test_prefer_routes_to_the_preferred_worker():
+    pool = SupervisedPool(ECHO, workers=2, **_FAST).start()
+    try:
+        pids = {}
+        for slot in (0, 1, 0, 1):
+            pids.setdefault(slot, set()).add(
+                pool.run({"x": slot}, prefer=slot)["pid"]
+            )
+        # Strict affinity: each slot always lands on one child process,
+        # and the two slots are different processes.
+        assert len(pids[0]) == 1 and len(pids[1]) == 1
+        assert pids[0] != pids[1]
+        with pytest.raises(ValueError):
+            pool.run({"x": 0}, prefer=2)
+        with pytest.raises(ValueError):
+            pool.run({"x": 0}, prefer=-1)
+    finally:
+        pool.shutdown()
 
 
 def test_backoff_and_breaker_validation():
